@@ -1,0 +1,94 @@
+//! Criterion benchmarks of the scheduling algorithms — the quantitative
+//! backing for Table V's computation-time comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mosc_core::ao::{self, AoOptions};
+use mosc_core::pco::{self, PcoOptions};
+use mosc_core::{exs, lns};
+use mosc_sched::{Platform, PlatformSpec};
+use std::hint::black_box;
+
+fn quick_ao() -> AoOptions {
+    AoOptions { base_period: 0.05, max_m: 64, m_patience: 4, t_unit_divisor: 50 }
+}
+
+fn quick_pco() -> PcoOptions {
+    PcoOptions { ao: quick_ao(), phase_steps: 4, samples: 150, refill_divisor: 40 }
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms");
+    group.sample_size(10);
+    for (rows, cols, levels) in [(1usize, 3usize, 2usize), (2, 3, 3)] {
+        let platform =
+            Platform::build(&PlatformSpec::paper(rows, cols, levels, 55.0)).expect("platform");
+        let label = format!("{}c{}l", rows * cols, levels);
+        group.bench_function(BenchmarkId::new("lns", &label), |b| {
+            b.iter(|| lns::solve(black_box(&platform)).expect("lns"));
+        });
+        group.bench_function(BenchmarkId::new("exs", &label), |b| {
+            b.iter(|| exs::solve_with_threads(black_box(&platform), 1).expect("exs"));
+        });
+        group.bench_function(BenchmarkId::new("ao", &label), |b| {
+            b.iter(|| ao::solve_with(black_box(&platform), &quick_ao()).expect("ao"));
+        });
+        group.bench_function(BenchmarkId::new("pco", &label), |b| {
+            b.iter(|| pco::solve_with(black_box(&platform), &quick_pco()).expect("pco"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exs_scaling(c: &mut Criterion) {
+    // EXS cost vs level count on the 9-core platform: the exponential wall.
+    let mut group = c.benchmark_group("exs_scaling_9core");
+    group.sample_size(10);
+    for levels in [2usize, 3, 4] {
+        let platform =
+            Platform::build(&PlatformSpec::paper(3, 3, levels, 65.0)).expect("platform");
+        group.bench_with_input(BenchmarkId::from_parameter(levels), &platform, |b, p| {
+            b.iter(|| exs::solve_with_threads(black_box(p), 1).expect("exs"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bnb_vs_plain(c: &mut Criterion) {
+    // Branch-and-bound vs exhaustive enumeration on the 9-core platform:
+    // same optimum, different visit counts.
+    let mut group = c.benchmark_group("exs_bnb_9core");
+    group.sample_size(10);
+    for levels in [3usize, 4] {
+        let platform =
+            Platform::build(&PlatformSpec::paper(3, 3, levels, 55.0)).expect("platform");
+        group.bench_function(BenchmarkId::new("plain", levels), |b| {
+            b.iter(|| exs::solve_with_threads(black_box(&platform), 1).expect("exs"));
+        });
+        group.bench_function(BenchmarkId::new("bnb", levels), |b| {
+            b.iter(|| mosc_core::exs_bnb::solve(black_box(&platform)).expect("bnb"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exs_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exs_threads_9core_4l");
+    group.sample_size(10);
+    let platform = Platform::build(&PlatformSpec::paper(3, 3, 4, 65.0)).expect("platform");
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| exs::solve_with_threads(black_box(&platform), t).expect("exs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .sample_size(20);
+    targets = bench_algorithms, bench_exs_scaling, bench_bnb_vs_plain, bench_exs_parallel
+}
+criterion_main!(benches);

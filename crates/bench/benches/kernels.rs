@@ -1,0 +1,122 @@
+//! Criterion micro-benchmarks of the numerical kernels behind the
+//! computation-time claims: the matrix exponential, LU solves, the Jacobi
+//! eigensolver, and the diagonalized propagator that makes Algorithm 2's
+//! m sweep cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mosc_linalg::{expm_scaled, Lu, Matrix, SymmetricEigen, Vector};
+use mosc_thermal::{Floorplan, RcConfig, RcNetwork, ThermalModel};
+use std::hint::black_box;
+
+fn thermal_model(rows: usize, cols: usize) -> ThermalModel {
+    let f = Floorplan::paper_grid(rows, cols).expect("floorplan");
+    let n = RcNetwork::build(&f, &RcConfig::default()).expect("network");
+    ThermalModel::new(n, 0.03).expect("model")
+}
+
+fn bench_expm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expm");
+    for (rows, cols) in [(1usize, 2usize), (2, 3), (3, 3)] {
+        let model = thermal_model(rows, cols);
+        let a = model.a_matrix();
+        group.bench_with_input(
+            BenchmarkId::new("pade", format!("{}n", a.rows())),
+            &a,
+            |b, a| b.iter(|| expm_scaled(black_box(a), 0.01).expect("expm")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_propagator_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagator");
+    let model = thermal_model(3, 3);
+    let a = model.a_matrix();
+    // Padé from scratch per dt vs the model's diagonalized+cached path.
+    group.bench_function("pade_per_dt", |b| {
+        let mut dt = 0.001;
+        b.iter(|| {
+            dt += 1e-9; // force a fresh value each iteration
+            expm_scaled(black_box(&a), dt).expect("expm")
+        });
+    });
+    group.bench_function("eigen_per_dt", |b| {
+        let mut dt = 0.001;
+        b.iter(|| {
+            dt += 1e-9;
+            model.propagator(black_box(dt)).expect("propagator")
+        });
+    });
+    group.bench_function("cached_dt", |b| {
+        b.iter(|| model.propagator(black_box(0.005)).expect("propagator"));
+    });
+    group.finish();
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lu");
+    for n in [8usize, 16, 32] {
+        let mut a = Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 13) % 10) as f64 * 0.1);
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        let b_vec = Vector::from_fn(n, |i| (i as f64).sin());
+        group.bench_with_input(BenchmarkId::new("factor", n), &a, |b, a| {
+            b.iter(|| Lu::new(black_box(a)).expect("lu"));
+        });
+        let lu = Lu::new(&a).expect("lu");
+        group.bench_with_input(BenchmarkId::new("solve", n), &lu, |b, lu| {
+            b.iter(|| lu.solve_vec(black_box(&b_vec)).expect("solve"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_jacobi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jacobi");
+    for n in [8usize, 16, 32] {
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = (((i * 31 + j * 17) % 19) as f64 - 9.0) * 0.05;
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+            a[(i, i)] += 2.0;
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
+            b.iter(|| SymmetricEigen::new(black_box(a)).expect("eigen"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steady_state");
+    for (rows, cols) in [(1usize, 3usize), (3, 3)] {
+        let model = thermal_model(rows, cols);
+        let psi: Vec<f64> = (0..model.n_cores()).map(|i| 5.0 + i as f64).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rows * cols),
+            &model,
+            |b, m| b.iter(|| m.steady_state_cores(black_box(&psi)).expect("steady")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .sample_size(20);
+    targets =
+    bench_expm,
+    bench_propagator_paths,
+    bench_lu,
+    bench_jacobi,
+    bench_steady_state
+
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benchmarks of peak-temperature evaluation — the Theorem-1
+//! step-up fast path vs dense sampling, which is the paper's core
+//! computational argument for restricting AO to step-up schedules.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mosc_sched::eval::{peak_temperature, SteadyState};
+use mosc_sched::{Platform, PlatformSpec, Schedule};
+use mosc_workload::{rng, ScheduleGen};
+use std::hint::black_box;
+
+fn platform(rows: usize, cols: usize) -> Platform {
+    Platform::build(&PlatformSpec::paper(rows, cols, 5, 65.0)).expect("platform")
+}
+
+fn bench_peak_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("peak");
+    for (rows, cols) in [(1usize, 3usize), (3, 3)] {
+        let p = platform(rows, cols);
+        let n = rows * cols;
+        let gen = ScheduleGen { period: 0.5, max_segments: 3, ..ScheduleGen::default() };
+        let stepup = gen.stepup_schedule(&mut rng(77), n);
+        // Pre-warm the propagator cache so the benchmark isolates the
+        // per-evaluation cost, matching how the algorithms use it.
+        let _ = p.peak(&stepup).expect("peak");
+
+        group.bench_function(BenchmarkId::new("thm1_exact", n), |b| {
+            b.iter(|| {
+                peak_temperature(p.thermal(), p.power(), black_box(&stepup), None).expect("peak")
+            });
+        });
+        // The same schedule evaluated the slow way (as if not step-up).
+        for samples in [100usize, 400] {
+            group.bench_function(BenchmarkId::new(format!("sampled_{samples}"), n), |b| {
+                b.iter(|| {
+                    let ss = SteadyState::compute(p.thermal(), p.power(), black_box(&stepup))
+                        .expect("steady");
+                    ss.peak_sampled(p.thermal(), samples).expect("peak")
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_oscillation_eval(c: &mut Criterion) {
+    // Cost of evaluating S(m, t) as m grows: the m sweep's inner loop.
+    let mut group = c.benchmark_group("oscillated_eval_6core");
+    let p = platform(2, 3);
+    let base = Schedule::two_mode(&[0.6; 6], &[1.3; 6], &[0.4, 0.5, 0.6, 0.3, 0.45, 0.55], 0.1)
+        .expect("base schedule");
+    for m in [1usize, 8, 64] {
+        let s = base.oscillated(m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &s, |b, s| {
+            b.iter(|| p.peak(black_box(s)).expect("peak"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .sample_size(20);
+    targets = bench_peak_paths, bench_oscillation_eval
+}
+criterion_main!(benches);

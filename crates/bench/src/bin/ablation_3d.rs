@@ -1,0 +1,64 @@
+//! Extension — 3-D stacking ablation.
+//!
+//! The paper's introduction motivates the thermal problem with 3-D ICs
+//! (longer heat-removal paths, higher power density). This experiment makes
+//! that quantitative on our substrate: the same four cores arranged as a
+//! planar 2×2 grid vs a two-layer stack of 1×2 grids, compared at equal
+//! `T_max` across the algorithm suite.
+
+use mosc_bench::compare::{ao_options, Comparison};
+use mosc_bench::{csv_dir_from_args, f4, write_csv, Table};
+use mosc_core::ao;
+use mosc_sched::{Platform, PlatformSpec};
+
+fn main() {
+    let csv = csv_dir_from_args();
+    println!("3-D stacking ablation — 4 cores as planar 2x2 vs stacked 2x(1x2)\n");
+
+    let mut table = Table::new(&["layout", "T_max (C)", "LNS", "EXS", "AO", "AO m"]);
+    let mut csv_out = String::from("layout,t_max_c,lns,exs,ao,m\n");
+    for &t_max_c in &[55.0, 60.0, 65.0] {
+        for (label, layers, rows, cols) in [("planar 2x2", 1usize, 2usize, 2usize), ("stack 2x(1x2)", 2, 1, 2)] {
+            let spec = PlatformSpec { layers, ..PlatformSpec::paper(rows, cols, 2, t_max_c) };
+            let platform = Platform::build(&spec).expect("platform");
+            let cmp = Comparison::run(&platform);
+            let m = cmp.ao.as_ref().map_or(0, |s| s.m);
+            table.row(vec![
+                label.to_string(),
+                format!("{t_max_c:.0}"),
+                f4(Comparison::throughput(&cmp.lns)),
+                f4(Comparison::throughput(&cmp.exs)),
+                f4(Comparison::throughput(&cmp.ao)),
+                m.to_string(),
+            ]);
+            csv_out.push_str(&format!(
+                "{label},{t_max_c},{:.6},{:.6},{:.6},{m}\n",
+                Comparison::throughput(&cmp.lns),
+                Comparison::throughput(&cmp.exs),
+                Comparison::throughput(&cmp.ao),
+            ));
+        }
+    }
+    println!("{}", table.render());
+
+    // Per-layer detail at 60 C: the upper layer should be forced slower.
+    let spec = PlatformSpec { layers: 2, ..PlatformSpec::paper(1, 2, 2, 60.0) };
+    let platform = Platform::build(&spec).expect("platform");
+    if let Ok(sol) = ao::solve_with(&platform, &ao_options()) {
+        let per_core: Vec<f64> = sol
+            .schedule
+            .cores()
+            .iter()
+            .map(|c| c.work() / sol.schedule.period())
+            .collect();
+        println!(
+            "stacked per-core mean speed at 60 C: sink layer [{:.3}, {:.3}], upper layer [{:.3}, {:.3}]",
+            per_core[0], per_core[1], per_core[2], per_core[3]
+        );
+        println!("(the paper's 3-D motivation: the far-from-sink layer is throttled harder)");
+    }
+
+    if let Some(dir) = csv {
+        write_csv(&dir, "ablation_3d.csv", &csv_out);
+    }
+}

@@ -1,0 +1,70 @@
+//! Extension — ablation of AO's design choices (the DESIGN.md list):
+//!
+//! 1. **m sweep** — AO with the oscillation factor pinned to 1 vs free:
+//!    what the m-Oscillating idea itself buys.
+//! 2. **Base period** — sensitivity of the final throughput to `t_p`.
+//! 3. **Neighboring pairs** — AO restricted to the extreme pair
+//!    (lowest, highest level) instead of the neighboring pair, quantifying
+//!    Theorem 4's advice.
+
+use mosc_bench::compare::ao_options;
+use mosc_bench::{csv_dir_from_args, f4, write_csv, Table};
+use mosc_core::ao::{self, adjust_to_tmax, AoOptions, CorePair};
+use mosc_core::continuous;
+use mosc_sched::{Platform, PlatformSpec};
+
+fn main() {
+    let csv = csv_dir_from_args();
+    let platform = Platform::build(&PlatformSpec::paper(2, 3, 4, 55.0)).expect("platform");
+    println!("AO design ablation — 6-core, 4 levels, T_max = 55 C\n");
+    let mut csv_out = String::from("ablation,variant,throughput\n");
+
+    // 1. m sweep on/off.
+    let free = ao::solve_with(&platform, &ao_options()).expect("free m");
+    let pinned = ao::solve_with(&platform, &AoOptions { max_m: 1, ..ao_options() }).expect("m=1");
+    let mut t1 = Table::new(&["variant", "throughput", "m"]);
+    t1.row(vec!["m pinned to 1".into(), f4(pinned.throughput), "1".into()]);
+    t1.row(vec!["m swept (AO)".into(), f4(free.throughput), free.m.to_string()]);
+    println!("1) oscillation-factor sweep:\n{}", t1.render());
+    csv_out.push_str(&format!("m_sweep,pinned,{:.6}\nm_sweep,free,{:.6}\n", pinned.throughput, free.throughput));
+
+    // 2. Base-period sensitivity.
+    let mut t2 = Table::new(&["base period (ms)", "throughput", "m"]);
+    for &tp in &[0.01, 0.02, 0.05, 0.1, 0.2] {
+        let sol = ao::solve_with(&platform, &AoOptions { base_period: tp, ..ao_options() })
+            .expect("period variant");
+        t2.row(vec![format!("{:.0}", tp * 1e3), f4(sol.throughput), sol.m.to_string()]);
+        csv_out.push_str(&format!("base_period,{tp},{:.6}\n", sol.throughput));
+    }
+    println!("2) base-period sensitivity:\n{}", t2.render());
+
+    // 3. Neighboring vs extreme pairs (Theorem 4 in practice).
+    let ideal = continuous::solve(&platform).expect("ideal");
+    let neighbor_pairs = ao::build_pairs(&platform, &ideal.voltages);
+    let modes = platform.modes();
+    let extreme_pairs: Vec<CorePair> = ideal
+        .voltages
+        .iter()
+        .map(|&v| {
+            let (lo, hi) = (modes.lowest(), modes.highest());
+            CorePair { v_low: lo, v_high: hi, ratio_high: ((v - lo) / (hi - lo)).clamp(0.0, 1.0) }
+        })
+        .collect();
+    let t_c = 0.05 / free.m.max(1) as f64;
+    let mut t3 = Table::new(&["pair choice", "throughput"]);
+    for (label, pairs) in [("neighboring (Thm 4)", &neighbor_pairs), ("extreme (0.6, 1.3)", &extreme_pairs)] {
+        match adjust_to_tmax(&platform, pairs, t_c, t_c / 100.0) {
+            Ok((_, sched)) => {
+                let thr = sched.throughput_with_overhead(platform.overhead());
+                t3.row(vec![label.into(), f4(thr)]);
+                csv_out.push_str(&format!("pair_choice,{label},{thr:.6}\n"));
+            }
+            Err(e) => t3.row(vec![label.into(), format!("infeasible ({e})")]),
+        }
+    }
+    println!("3) level-pair choice:\n{}", t3.render());
+
+    if let Some(dir) = csv {
+        write_csv(&dir, "ablation_design.csv", &csv_out);
+    }
+}

@@ -1,0 +1,85 @@
+//! E-F4 — Fig. 4: a 6-core step-up schedule's temperature trace.
+//!
+//! Random step-up schedule (1 s period, ≤3 intervals per core) on the 6-core
+//! platform: (a) the warm-up from ambient, confirming each core rises
+//! monotonically toward the stable status; (b) one period of the
+//! stable-status trace, confirming the peak lands at the period end
+//! (Theorem 1).
+
+use mosc_bench::{csv_dir_from_args, f2, write_csv};
+use mosc_linalg::Vector;
+use mosc_sched::eval::{transient_trace, SteadyState};
+use mosc_sched::{Platform, PlatformSpec};
+use mosc_workload::{rng, ScheduleGen};
+
+fn main() {
+    let csv = csv_dir_from_args();
+    let mut spec = PlatformSpec::paper(2, 3, 5, 65.0);
+    spec.rc = mosc_thermal::RcConfig::responsive_package();
+    let platform = Platform::build(&spec).expect("platform");
+
+    let gen = ScheduleGen { period: 1.0, max_segments: 3, ..ScheduleGen::default() };
+    let schedule = gen.stepup_schedule(&mut rng(2016), 6);
+    assert!(schedule.is_step_up());
+
+    println!("Fig. 4 — 6-core step-up schedule, 1 s period, <=3 intervals/core\n");
+
+    // (a) Warm-up from ambient.
+    let t0 = Vector::zeros(platform.thermal().n_nodes());
+    let n_periods = 40;
+    let warmup = transient_trace(platform.thermal(), platform.power(), &schedule, &t0, n_periods, 50)
+        .expect("warm-up trace");
+    let warm_peak = warmup.peak().expect("non-empty");
+
+    // (b) Stable-status period.
+    let ss = SteadyState::compute(platform.thermal(), platform.power(), &schedule).expect("steady");
+    let stable = ss.trace(platform.thermal(), 500).expect("stable trace");
+    let stable_peak = stable.peak().expect("non-empty");
+    let period = schedule.period();
+
+    println!(
+        "(a) warm-up from {:.0} C ambient over {n_periods} periods: final peak {} C (core {})",
+        platform.t_ambient_c(),
+        f2(platform.to_celsius(warm_peak.temp)),
+        warm_peak.core
+    );
+    println!(
+        "(b) stable-status peak: {} C on core {} at t = {:.3} s of the {:.1} s period",
+        f2(platform.to_celsius(stable_peak.temp)),
+        stable_peak.core,
+        stable_peak.time,
+        period
+    );
+    let at_end = stable_peak.time >= period - 1e-6 || stable_peak.time <= 1e-6;
+    println!(
+        "peak occurs at the period boundary: {} (Theorem 1 {})",
+        if at_end { "YES" } else { "NO" },
+        if at_end { "confirmed" } else { "VIOLATED" }
+    );
+    assert!(at_end, "Theorem 1 violated on the stable-status trace");
+    assert!(
+        warm_peak.temp <= stable_peak.temp + 1e-6,
+        "warm-up envelope exceeded the stable-status peak"
+    );
+    println!("warm-up stays below the stable-status peak: YES");
+
+    // Per-core monotone rise at period boundaries during warm-up.
+    let mut boundary_temps: Vec<Vec<f64>> = vec![Vec::new(); 6];
+    for (i, &t) in warmup.times().iter().enumerate() {
+        let frac = (t / period).fract();
+        if !(1e-9..=1.0 - 1e-9).contains(&frac) {
+            for (c, list) in boundary_temps.iter_mut().enumerate() {
+                list.push(warmup.temps()[i][c]);
+            }
+        }
+    }
+    let monotone = boundary_temps
+        .iter()
+        .all(|list| list.windows(2).all(|w| w[1] >= w[0] - 1e-9));
+    println!("per-core period-boundary temperatures rise monotonically: {}", if monotone { "YES" } else { "NO" });
+
+    if let Some(dir) = csv {
+        write_csv(&dir, "fig4a_warmup.csv", &warmup.to_csv(platform.t_ambient_c()));
+        write_csv(&dir, "fig4b_stable_period.csv", &stable.to_csv(platform.t_ambient_c()));
+    }
+}

@@ -1,0 +1,46 @@
+//! E-F5 — Fig. 5: the peak temperature of an m-Oscillating schedule on a
+//! 9-core platform decreases monotonically with m.
+//!
+//! Setup per the paper: random step-up schedule, period 9.836 s, up to 5
+//! intervals per core, m swept upward; every peak is an exact Theorem-1
+//! evaluation on the compressed schedule.
+
+use mosc_bench::{csv_dir_from_args, f2, write_csv, Table};
+use mosc_sched::{Platform, PlatformSpec};
+use mosc_workload::{rng, ScheduleGen};
+
+fn main() {
+    let csv = csv_dir_from_args();
+    let mut spec = PlatformSpec::paper(3, 3, 5, 65.0);
+    spec.rc = mosc_thermal::RcConfig::responsive_package();
+    let platform = Platform::build(&spec).expect("platform");
+
+    let gen = ScheduleGen { period: 9.836, max_segments: 5, ..ScheduleGen::default() };
+    let schedule = gen.stepup_schedule(&mut rng(905), 9);
+    assert!(schedule.is_step_up());
+
+    println!("Fig. 5 — 9-core m-Oscillating peak vs m (period 9.836 s, <=5 intervals/core)\n");
+    let ms: Vec<usize> = (1..=10).chain([12, 15, 20, 25, 30, 40, 50]).collect();
+    let mut table = Table::new(&["m", "peak (C)", "drop vs m=1 (K)"]);
+    let mut prev = f64::INFINITY;
+    let mut first = 0.0;
+    let mut monotone = true;
+    let mut rows_csv = String::from("m,peak_c\n");
+    for &m in &ms {
+        let peak = platform.peak(&schedule.oscillated(m)).expect("peak").temp;
+        if m == 1 {
+            first = peak;
+        }
+        monotone &= peak <= prev + 1e-9;
+        prev = peak;
+        table.row(vec![m.to_string(), f2(platform.to_celsius(peak)), f2(first - peak)]);
+        rows_csv.push_str(&format!("{m},{:.4}\n", platform.to_celsius(peak)));
+    }
+    println!("{}", table.render());
+    println!("peak monotonically non-increasing in m: {}", if monotone { "YES" } else { "NO" });
+    assert!(monotone, "Theorem 5 violated");
+
+    if let Some(dir) = csv {
+        write_csv(&dir, "fig5_peak_vs_m.csv", &rows_csv);
+    }
+}

@@ -1,0 +1,60 @@
+//! E-F6 — Fig. 6: throughput of LNS / EXS / AO / PCO across core counts
+//! {2, 3, 6, 9} and voltage-level counts {2, 3, 4, 5} (Table IV sets) at
+//! `T_max` = 55 °C, τ = 5 µs.
+
+use mosc_bench::compare::Comparison;
+use mosc_bench::{csv_dir_from_args, f4, timed, write_csv, Table};
+use mosc_sched::{Platform, PlatformSpec};
+use mosc_workload::PAPER_CONFIGS;
+
+fn main() {
+    let csv = csv_dir_from_args();
+    let t_max_c = 55.0;
+    println!("Fig. 6 — throughput vs core count and voltage-level count (T_max = {t_max_c} C)\n");
+
+    let mut table = Table::new(&["cores", "levels", "LNS", "EXS", "AO", "PCO", "AO vs EXS %"]);
+    let mut csv_out = String::from("cores,levels,lns,exs,ao,pco\n");
+    let mut improvements = Vec::new();
+    for &(rows, cols) in &PAPER_CONFIGS {
+        let n = rows * cols;
+        for levels in 2..=5usize {
+            let platform =
+                Platform::build(&PlatformSpec::paper(rows, cols, levels, t_max_c)).expect("platform");
+            let (cmp, secs) = timed(|| Comparison::run(&platform));
+            let (l, e, a, p) = (
+                Comparison::throughput(&cmp.lns),
+                Comparison::throughput(&cmp.exs),
+                Comparison::throughput(&cmp.ao),
+                Comparison::throughput(&cmp.pco),
+            );
+            let imp = cmp.ao_vs_exs_percent();
+            improvements.push(imp);
+            table.row(vec![
+                n.to_string(),
+                levels.to_string(),
+                f4(l),
+                f4(e),
+                f4(a),
+                f4(p),
+                format!("{imp:+.1}"),
+            ]);
+            csv_out.push_str(&format!("{n},{levels},{l:.6},{e:.6},{a:.6},{p:.6}\n"));
+            eprintln!("  [{n} cores, {levels} levels] done in {secs:.1} s");
+        }
+    }
+    println!("{}", table.render());
+
+    let avg = improvements.iter().sum::<f64>() / improvements.len() as f64;
+    let max = improvements.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!("AO improvement over EXS: average {avg:.1}%, max {max:.1}%");
+    println!("(paper: 2-level average 55.2%, 5-level average 24.8%, overall avg 11%, max 89%)");
+    let two_level: Vec<f64> = improvements.iter().copied().step_by(4).collect();
+    println!(
+        "2-level average here: {:.1}%",
+        two_level.iter().sum::<f64>() / two_level.len() as f64
+    );
+
+    if let Some(dir) = csv {
+        write_csv(&dir, "fig6_throughput_levels.csv", &csv_out);
+    }
+}

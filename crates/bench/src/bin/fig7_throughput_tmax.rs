@@ -1,0 +1,55 @@
+//! E-F7 — Fig. 7: throughput of LNS / EXS / AO / PCO vs temperature
+//! threshold `T_max` ∈ {50, 55, 60, 65} °C with 2 voltage levels.
+
+use mosc_bench::compare::Comparison;
+use mosc_bench::{csv_dir_from_args, f4, timed, write_csv, Table};
+use mosc_sched::{Platform, PlatformSpec};
+use mosc_workload::PAPER_CONFIGS;
+
+fn main() {
+    let csv = csv_dir_from_args();
+    println!("Fig. 7 — throughput vs T_max (2 voltage levels {{0.6, 1.3}} V)\n");
+
+    let mut table = Table::new(&["cores", "T_max (C)", "LNS", "EXS", "AO", "PCO", "AO vs EXS %"]);
+    let mut csv_out = String::from("cores,t_max_c,lns,exs,ao,pco\n");
+    let mut plateau_ok = true;
+    for &(rows, cols) in &PAPER_CONFIGS {
+        let n = rows * cols;
+        for &t_max_c in &[50.0, 55.0, 60.0, 65.0] {
+            let platform =
+                Platform::build(&PlatformSpec::paper(rows, cols, 2, t_max_c)).expect("platform");
+            let (cmp, secs) = timed(|| Comparison::run(&platform));
+            let (l, e, a, p) = (
+                Comparison::throughput(&cmp.lns),
+                Comparison::throughput(&cmp.exs),
+                Comparison::throughput(&cmp.ao),
+                Comparison::throughput(&cmp.pco),
+            );
+            // The paper's 2-core observation: above 55 C all approaches
+            // saturate at v_max.
+            if n == 2 && t_max_c >= 55.0 {
+                plateau_ok &= (l - 1.3).abs() < 1e-3 && (e - 1.3).abs() < 1e-3 && (a - 1.3).abs() < 2e-3;
+            }
+            table.row(vec![
+                n.to_string(),
+                format!("{t_max_c:.0}"),
+                f4(l),
+                f4(e),
+                f4(a),
+                f4(p),
+                format!("{:+.1}", cmp.ao_vs_exs_percent()),
+            ]);
+            csv_out.push_str(&format!("{n},{t_max_c},{l:.6},{e:.6},{a:.6},{p:.6}\n"));
+            eprintln!("  [{n} cores, T_max {t_max_c} C] done in {secs:.1} s");
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "2-core plateau at T_max >= 55 C (all approaches at v_max): {}",
+        if plateau_ok { "YES (matches the paper)" } else { "NO" }
+    );
+
+    if let Some(dir) = csv {
+        write_csv(&dir, "fig7_throughput_tmax.csv", &csv_out);
+    }
+}

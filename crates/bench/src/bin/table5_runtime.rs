@@ -1,0 +1,107 @@
+//! E-T5 — Table V: computation-time comparison of AO / PCO / EXS across
+//! core counts {2, 3, 6, 9} and level counts {2, 3, 4, 5}.
+//!
+//! Wall-clock seconds per solve (single run each; pass `--reps N` for
+//! averaging). EXS runs single-threaded here to reproduce Algorithm 1's
+//! scaling; pass `--parallel` to let it use all cores instead. Absolute
+//! numbers differ from the paper's 2016 testbed — the claim under test is
+//! the *scaling shape*: EXS explodes as `levels^cores` while AO/PCO stay
+//! polynomial.
+
+use mosc_bench::compare::{ao_options, pco_options};
+use mosc_bench::{csv_dir_from_args, timed, write_csv, Table};
+use mosc_core::{ao, exs, pco};
+use mosc_sched::{Platform, PlatformSpec};
+use mosc_workload::{rng, PAPER_CONFIGS};
+use rand::Rng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let reps: usize = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let parallel_exs = args.iter().any(|a| a == "--parallel");
+    let randomize = args.iter().any(|a| a == "--random-cases");
+    let csv = csv_dir_from_args();
+    // The paper averages over up to 100 random cases per cell; with
+    // `--random-cases` each rep draws T_max uniformly from [50, 65] °C
+    // (seeded), otherwise every rep uses the fixed 65 °C platform.
+    let mut case_rng = rng(0x7ab1e5);
+
+    println!(
+        "Table V — computation time (seconds, {} rep(s){}, EXS {})\n",
+        reps,
+        if randomize { ", randomized T_max" } else { "" },
+        if parallel_exs { "parallel" } else { "single-threaded" }
+    );
+    let mut table = Table::new(&["cores", "scheme", "2 levels", "3 levels", "4 levels", "5 levels"]);
+    let mut csv_out = String::from("cores,scheme,levels,seconds\n");
+
+    for &(rows, cols) in &PAPER_CONFIGS {
+        let n = rows * cols;
+        let mut times: [[f64; 4]; 3] = [[0.0; 4]; 3];
+        for (li, levels) in (2..=5usize).enumerate() {
+            for _ in 0..reps {
+                let t_max_c = if randomize { case_rng.gen_range(50.0..=65.0) } else { 65.0 };
+                let platform = Platform::build(&PlatformSpec::paper(rows, cols, levels, t_max_c))
+                    .expect("platform");
+                let (_, t_ao) = timed(|| ao::solve_with(&platform, &ao_options()));
+                let (_, t_pco) = timed(|| pco::solve_with(&platform, &pco_options()));
+                let (_, t_exs) = timed(|| {
+                    if parallel_exs {
+                        exs::solve(&platform)
+                    } else {
+                        exs::solve_with_threads(&platform, 1)
+                    }
+                });
+                times[0][li] += t_ao / reps as f64;
+                times[1][li] += t_pco / reps as f64;
+                times[2][li] += t_exs / reps as f64;
+            }
+            eprintln!("  [{n} cores, {levels} levels] done");
+        }
+        for (si, scheme) in ["AO", "PCO", "EXS"].iter().enumerate() {
+            table.row(
+                std::iter::once(n.to_string())
+                    .chain(std::iter::once((*scheme).to_string()))
+                    .chain((0..4).map(|li| format!("{:.3}", times[si][li])))
+                    .collect(),
+            );
+            for (li, levels) in (2..=5usize).enumerate() {
+                csv_out.push_str(&format!("{n},{scheme},{levels},{:.6}\n", times[si][li]));
+            }
+        }
+    }
+    println!("{}", table.render());
+    println!("shape check: EXS grows ~levels^cores; AO/PCO stay flat-to-polynomial in both axes.\n");
+
+    // Extended scaling: the paper's ">2 hours" cell came from richer level
+    // sets. Sweep uniform grids on the 9-core platform until EXS clearly
+    // explodes while AO barely moves.
+    println!("Extended EXS scaling on 9 cores (uniform 0.6..1.3 V grids):");
+    let mut ext = Table::new(&["levels", "EXS candidates", "EXS (s)", "AO (s)"]);
+    for levels in [2usize, 4, 6, 8] {
+        let step = 0.7 / (levels - 1) as f64;
+        let mut spec = PlatformSpec::paper(3, 3, 2, 65.0);
+        spec.modes = mosc_power::ModeTable::uniform(0.6, 1.3, step).expect("grid");
+        let platform = Platform::build(&spec).expect("platform");
+        let (_, t_exs) = timed(|| exs::solve_with_threads(&platform, 1));
+        let (_, t_ao) = timed(|| ao::solve_with(&platform, &ao_options()));
+        let candidates = (spec.modes.len() as f64).powi(9);
+        ext.row(vec![
+            spec.modes.len().to_string(),
+            format!("{candidates:.2e}"),
+            format!("{t_exs:.3}"),
+            format!("{t_ao:.3}"),
+        ]);
+        csv_out.push_str(&format!("9,EXS-ext,{},{t_exs:.6}\n9,AO-ext,{},{t_ao:.6}\n", spec.modes.len(), spec.modes.len()));
+    }
+    println!("{}", ext.render());
+
+    if let Some(dir) = csv {
+        write_csv(&dir, "table5_runtime.csv", &csv_out);
+    }
+}

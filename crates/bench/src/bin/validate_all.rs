@@ -1,0 +1,174 @@
+//! One-shot validation harness: runs every shape check the reproduction
+//! makes against the paper and prints a PASS/FAIL summary. Fast (~seconds in
+//! release); the full experiment binaries produce the detailed tables.
+
+use mosc_bench::compare::{ao_options, Comparison};
+use mosc_core::{ao, continuous, exs, lns};
+use mosc_sched::{Platform, PlatformSpec, Schedule};
+use mosc_workload::{rng, ScheduleGen};
+use std::process::ExitCode;
+
+struct Harness {
+    failures: Vec<String>,
+    count: usize,
+}
+
+impl Harness {
+    fn check(&mut self, name: &str, ok: bool, detail: String) {
+        self.count += 1;
+        if ok {
+            println!("PASS  {name}");
+        } else {
+            println!("FAIL  {name}: {detail}");
+            self.failures.push(name.to_string());
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() -> ExitCode {
+    let mut h = Harness { failures: Vec::new(), count: 0 };
+
+    // §III motivation.
+    {
+        let p = Platform::build(&PlatformSpec::motivation()).expect("platform");
+        let l = lns::solve(&p).expect("lns").throughput;
+        let e = exs::solve(&p).expect("exs").throughput;
+        let ideal = continuous::solve(&p).expect("ideal");
+        h.check("motivation: LNS collapses to 0.6", (l - 0.6).abs() < 1e-9, format!("{l}"));
+        h.check("motivation: EXS = 0.8333 ([0.6,0.6,1.3])", (e - 5.0 / 6.0).abs() < 1e-3, format!("{e}"));
+        h.check(
+            "motivation: middle core gets lower ideal voltage",
+            ideal.voltages[1] < ideal.voltages[0],
+            format!("{:?}", ideal.voltages),
+        );
+    }
+
+    // Theorem 1 & 5 spot checks.
+    {
+        let p = Platform::build(&PlatformSpec::paper(1, 3, 5, 65.0)).expect("platform");
+        let gen = ScheduleGen { period: 1.0, max_segments: 3, ..ScheduleGen::default() };
+        let s = gen.stepup_schedule(&mut rng(7), 3);
+        let exact = p.peak(&s).expect("peak");
+        let ss = mosc_sched::eval::SteadyState::compute(p.thermal(), p.power(), &s).expect("ss");
+        let dense = ss.peak_sampled(p.thermal(), 3000).expect("peak");
+        h.check(
+            "Theorem 1: step-up peak at period end",
+            dense.temp <= exact.temp + 1e-6 && exact.exact,
+            format!("dense {} vs exact {}", dense.temp, exact.temp),
+        );
+        let peaks: Vec<f64> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&m| p.peak(&s.oscillated(m)).expect("peak").temp)
+            .collect();
+        h.check(
+            "Theorem 5: peak monotone in m",
+            peaks.windows(2).all(|w| w[1] <= w[0] + 1e-9),
+            format!("{peaks:?}"),
+        );
+    }
+
+    // Theorem 2 sweep bound (reduced Fig. 3).
+    {
+        let mut spec = PlatformSpec::paper(1, 3, 2, 65.0);
+        spec.rc = mosc_thermal::RcConfig::responsive_package();
+        let p = Platform::build(&spec).expect("platform");
+        let base = Schedule::two_mode(&[0.6; 3], &[1.3; 3], &[0.5; 3], 6.0).expect("base");
+        let bound = p.peak(&base).expect("peak").temp;
+        let mut max_seen = f64::NEG_INFINITY;
+        for i in 0..6 {
+            for j in 0..6 {
+                let cand = base
+                    .with_shifted_core(1, i as f64)
+                    .with_shifted_core(2, j as f64);
+                let peak = mosc_sched::eval::peak_temperature(
+                    p.thermal(),
+                    p.power(),
+                    &cand,
+                    Some(200),
+                )
+                .expect("peak")
+                .temp;
+                max_seen = max_seen.max(peak);
+            }
+        }
+        h.check(
+            "Theorem 2: step-up bounds the phase sweep",
+            max_seen <= bound + 1e-3,
+            format!("sweep max {max_seen} vs bound {bound}"),
+        );
+    }
+
+    // Fig. 6/7 orderings.
+    {
+        let p = Platform::build(&PlatformSpec::paper(2, 3, 2, 55.0)).expect("platform");
+        let cmp = Comparison::run(&p);
+        let (l, e, a, pc) = (
+            Comparison::throughput(&cmp.lns),
+            Comparison::throughput(&cmp.exs),
+            Comparison::throughput(&cmp.ao),
+            Comparison::throughput(&cmp.pco),
+        );
+        h.check("Fig 6: LNS <= EXS <= AO on 6-core 2-level", l <= e + 1e-9 && e <= a + 1e-9, format!("{l} {e} {a}"));
+        h.check("Fig 6: AO ~ PCO", (a - pc).abs() < 0.02, format!("{a} vs {pc}"));
+    }
+    {
+        let mut ok = true;
+        let mut detail = String::new();
+        for t_max_c in [55.0, 60.0, 65.0] {
+            let p = Platform::build(&PlatformSpec::paper(1, 2, 2, t_max_c)).expect("platform");
+            let a = ao::solve_with(&p, &ao_options()).expect("ao").throughput;
+            if (a - 1.3).abs() > 2e-3 {
+                ok = false;
+                detail = format!("AO at {t_max_c} C gave {a}");
+            }
+        }
+        h.check("Fig 7: 2-core plateau at v_max for T_max >= 55", ok, detail);
+    }
+
+    // Fig 7 monotonicity in T_max.
+    {
+        let mut prev = 0.0;
+        let mut ok = true;
+        let mut vals = Vec::new();
+        for t_max_c in [50.0, 55.0, 60.0, 65.0] {
+            let p = Platform::build(&PlatformSpec::paper(3, 3, 2, t_max_c)).expect("platform");
+            let a = ao::solve_with(&p, &ao_options()).expect("ao").throughput;
+            ok &= a >= prev - 1e-9;
+            prev = a;
+            vals.push(a);
+        }
+        h.check("Fig 7: throughput monotone in T_max (9-core)", ok, format!("{vals:?}"));
+    }
+
+    // Table V shape: EXS (single-thread) superlinear in levels on 9 cores.
+    {
+        use std::time::Instant;
+        let time_exs = |levels: usize| {
+            let p = Platform::build(&PlatformSpec::paper(3, 3, levels, 65.0)).expect("platform");
+            let start = Instant::now();
+            let _ = exs::solve_with_threads(&p, 1).expect("exs");
+            start.elapsed().as_secs_f64()
+        };
+        let t3 = time_exs(3);
+        let t5 = time_exs(5);
+        h.check(
+            "Table V: EXS cost explodes with level count",
+            t5 > 5.0 * t3.max(1e-5),
+            format!("3 levels {t3:.4}s vs 5 levels {t5:.4}s"),
+        );
+    }
+
+    println!(
+        "\n{}/{} checks passed{}",
+        h.count - h.failures.len(),
+        h.count,
+        if h.failures.is_empty() { " — reproduction intact" } else { "" }
+    );
+    if h.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("failing checks: {:?}", h.failures);
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,206 @@
+//! The ideal continuously-variable operating point.
+//!
+//! Algorithm 2's starting point (line 7): assume every core's steady-state
+//! temperature sits exactly at `T_max`, i.e. `T∞(v_const) = T_max·1`. With
+//! the response matrix `R` (`T∞ = R·ψ`), the per-core powers solve
+//! `R·ψ = T_max·1` and the voltage follows from inverting
+//! `ψ(v) = α + γ·v³` — the multi-core analogue of
+//! `v = ∛((P − α − β·T_max)/γ)` in Section V.
+//!
+//! Cores whose solution falls outside the platform's voltage range are
+//! clamped and the remaining system re-solved (clamping a core at `v_max`
+//! frees thermal headroom for its neighbours; clamping at `v_min` steals
+//! some), iterating to a fixed point.
+
+use crate::{AlgoError, Result};
+use mosc_linalg::{Lu, Matrix, Vector};
+use mosc_sched::Platform;
+
+/// The ideal constant operating point.
+#[derive(Debug, Clone)]
+pub struct ContinuousSolution {
+    /// Per-core ideal voltages (clamped into the platform's range).
+    pub voltages: Vec<f64>,
+    /// Steady-state core temperatures under those voltages (K above ambient).
+    pub temps: Vector,
+    /// Chip-wide throughput (mean per-core speed).
+    pub throughput: f64,
+    /// `true` when the operating point respects `T_max` (it can fail only
+    /// when even `v_min` on some core is too hot).
+    pub feasible: bool,
+}
+
+/// Computes the ideal continuous operating point for `platform`.
+///
+/// # Errors
+/// Propagates thermal-solver failures.
+pub fn solve(platform: &Platform) -> Result<ContinuousSolution> {
+    let (v_min, v_max) = {
+        let t = platform.modes();
+        (t.lowest(), t.highest())
+    };
+    solve_with_range(platform, v_min, v_max)
+}
+
+/// As [`solve`], with an explicit voltage range (used to compute the
+/// unclamped "truly continuous" reference in the motivation experiment).
+///
+/// # Errors
+/// Propagates thermal-solver failures; rejects a degenerate range.
+pub fn solve_with_range(platform: &Platform, v_min: f64, v_max: f64) -> Result<ContinuousSolution> {
+    if !(v_min.is_finite() && v_max.is_finite()) || v_min <= 0.0 || v_max < v_min {
+        return Err(AlgoError::InvalidOptions { what: "voltage range must satisfy 0 < v_min <= v_max" });
+    }
+    let n = platform.n_cores();
+    let t_max = platform.t_max();
+    let r = platform.thermal().response_matrix().map_err(mosc_sched::SchedError::from)?;
+    let power = platform.power();
+    let psi_min = power.psi(v_min);
+    let psi_max = power.psi(v_max);
+
+    // Fixed-point clamping loop: `clamp[i]` holds the forced ψ of core i.
+    let mut clamp: Vec<Option<f64>> = vec![None; n];
+    let mut psi = vec![0.0; n];
+    for _ in 0..=2 * n {
+        let free: Vec<usize> = (0..n).filter(|&i| clamp[i].is_none()).collect();
+        if free.is_empty() {
+            break;
+        }
+        // Solve R_ff·ψ_f = T_max·1 − R_fc·ψ_c for the free cores.
+        let nf = free.len();
+        let r_ff = Matrix::from_fn(nf, nf, |a, b| r[(free[a], free[b])]);
+        let rhs = Vector::from_fn(nf, |a| {
+            let mut v = t_max;
+            for (j, c) in clamp.iter().enumerate() {
+                if let Some(pc) = c {
+                    v -= r[(free[a], j)] * pc;
+                }
+            }
+            v
+        });
+        let psi_f = Lu::new(&r_ff)
+            .and_then(|lu| lu.solve_vec(&rhs))
+            .map_err(|e| AlgoError::Sched(mosc_sched::SchedError::Linalg(e)))?;
+
+        let mut newly_clamped = false;
+        for (a, &i) in free.iter().enumerate() {
+            psi[i] = psi_f[a];
+            if psi_f[a] > psi_max {
+                clamp[i] = Some(psi_max);
+                psi[i] = psi_max;
+                newly_clamped = true;
+            } else if psi_f[a] < psi_min {
+                clamp[i] = Some(psi_min);
+                psi[i] = psi_min;
+                newly_clamped = true;
+            }
+        }
+        if !newly_clamped {
+            break;
+        }
+    }
+
+    // Voltages from ψ (clamped cores sit exactly on a range endpoint).
+    let voltages: Vec<f64> = psi
+        .iter()
+        .map(|&p| {
+            power
+                .voltage_for_psi(p)
+                .map_or(v_min, |v| v.clamp(v_min, v_max))
+        })
+        .collect();
+
+    let temps = platform
+        .thermal()
+        .steady_state_cores(&power.psi_profile(&voltages))
+        .map_err(mosc_sched::SchedError::from)?;
+    let feasible = temps.max() <= t_max + 1e-6;
+    let throughput = voltages.iter().sum::<f64>() / n as f64;
+    Ok(ContinuousSolution { voltages, temps, throughput, feasible })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosc_sched::PlatformSpec;
+
+    #[test]
+    fn unclamped_solution_pins_every_core_at_tmax() {
+        // 9-core at 55 °C: ideal voltages are interior (≈0.8–0.9 V), so every
+        // core's temperature should sit exactly on T_max.
+        let p = Platform::build(&PlatformSpec::paper(3, 3, 2, 55.0)).unwrap();
+        let sol = solve(&p).unwrap();
+        assert!(sol.feasible);
+        for c in 0..9 {
+            assert!(
+                (sol.temps[c] - p.t_max()).abs() < 1e-6,
+                "core {c} temp {} != T_max {}",
+                sol.temps[c],
+                p.t_max()
+            );
+        }
+        // Corner cores (cooler spots) get higher voltage than the center.
+        assert!(sol.voltages[0] > sol.voltages[4]);
+    }
+
+    #[test]
+    fn clamps_at_v_max_when_platform_is_cool() {
+        // 2-core at 65 °C: unconstrained, everything pegs at v_max.
+        let p = Platform::build(&PlatformSpec::paper(1, 2, 2, 65.0)).unwrap();
+        let sol = solve(&p).unwrap();
+        assert!(sol.feasible);
+        assert!(sol.voltages.iter().all(|&v| (v - 1.3).abs() < 1e-9));
+        assert!((sol.throughput - 1.3).abs() < 1e-9);
+        // Temperatures strictly below T_max (headroom remains).
+        assert!(sol.temps.max() < p.t_max());
+    }
+
+    #[test]
+    fn partial_clamping_re_solves_neighbours() {
+        // 3-core at 65 °C on the default cooler: hot enough that some cores
+        // clamp at v_max while others stay interior, or all clamp.
+        let p = Platform::build(&PlatformSpec::paper(1, 3, 2, 65.0)).unwrap();
+        let sol = solve(&p).unwrap();
+        assert!(sol.feasible);
+        for &v in &sol.voltages {
+            assert!((0.6..=1.3).contains(&v));
+        }
+        // No core exceeds T_max.
+        assert!(sol.temps.max() <= p.t_max() + 1e-6);
+    }
+
+    #[test]
+    fn motivation_platform_matches_paper_regime() {
+        let p = Platform::build(&PlatformSpec::motivation()).unwrap();
+        let sol = solve(&p).unwrap();
+        assert!(sol.feasible);
+        // The paper's example: middle core ≈ 1.17 V, edges ≈ 1.21 V.
+        assert!(sol.voltages[1] < sol.voltages[0], "middle core runs slower");
+        for &v in &sol.voltages {
+            assert!((1.0..1.3).contains(&v), "voltages in the motivating band, got {v}");
+        }
+        let thr = sol.throughput;
+        assert!((1.0..1.3).contains(&thr));
+    }
+
+    #[test]
+    fn infeasible_when_v_min_already_violates() {
+        // Absurdly low threshold: 36 °C (1 K above ambient).
+        let p = Platform::build(&PlatformSpec::paper(3, 3, 2, 36.0)).unwrap();
+        let sol = solve(&p).unwrap();
+        assert!(!sol.feasible);
+        // Everything clamps at v_min.
+        assert!(sol.voltages.iter().all(|&v| (v - 0.6).abs() < 1e-9));
+    }
+
+    #[test]
+    fn explicit_range_overrides_table() {
+        let p = Platform::build(&PlatformSpec::paper(1, 3, 2, 55.0)).unwrap();
+        let wide = solve_with_range(&p, 0.3, 2.0).unwrap();
+        let table = solve(&p).unwrap();
+        // The wider range can only help throughput.
+        assert!(wide.throughput >= table.throughput - 1e-9);
+        assert!(solve_with_range(&p, 0.0, 1.0).is_err());
+        assert!(solve_with_range(&p, 1.0, 0.5).is_err());
+    }
+}

@@ -1,0 +1,251 @@
+//! EXS — exhaustive search over constant per-core level assignments
+//! (Algorithm 1 of the paper).
+//!
+//! Every one of the `L^N` assignments is checked for `max(T∞) ≤ T_max` and
+//! the feasible assignment with the largest speed sum wins. Two engineering
+//! touches keep this honest but fast:
+//!
+//! * the steady state is *linear* in the per-core power vector
+//!   (`T∞ = R·ψ`), so candidates are evaluated by accumulating precomputed
+//!   response-matrix columns instead of solving a linear system each —
+//!   with an odometer walk that only updates the column that changed;
+//! * the outermost core's level partitions the space across threads
+//!   (`crossbeam::scope`), which matters for the 9-core × 5-level sweeps of
+//!   Table V.
+//!
+//! The search cost still grows as `L^N` — reproducing the paper's
+//! computation-time blow-up (Table V) is the point, not a defect.
+
+use crate::{Result, Solution};
+use mosc_sched::{Platform, Schedule};
+
+/// Period given to the (constant-speed) winning schedule.
+pub const DEFAULT_PERIOD: f64 = 0.1;
+
+/// Runs EXS on `platform` using all available threads.
+///
+/// # Errors
+/// Propagates evaluation failures; returns [`crate::AlgoError::Infeasible`]
+/// when not even the all-lowest assignment is safe.
+pub fn solve(platform: &Platform) -> Result<Solution> {
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    solve_with_threads(platform, threads)
+}
+
+/// Runs EXS with an explicit thread count (1 = the paper's sequential
+/// Algorithm 1; benchmarks use this to isolate algorithmic scaling from
+/// parallel speedup).
+///
+/// # Errors
+/// Propagates evaluation failures; flags infeasibility.
+pub fn solve_with_threads(platform: &Platform, threads: usize) -> Result<Solution> {
+    let n = platform.n_cores();
+    let modes = platform.modes();
+    let levels = modes.levels();
+    let t_max = platform.t_max();
+    let r = platform.thermal().response_matrix().map_err(mosc_sched::SchedError::from)?;
+    // ψ per level, shared by all cores (homogeneous power model).
+    let psi: Vec<f64> = levels.iter().map(|&v| platform.power().psi(v)).collect();
+
+    // Partition on the first core's level.
+    let threads = threads.max(1).min(levels.len());
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    let chunks: Vec<Vec<usize>> = (0..threads)
+        .map(|t| (0..levels.len()).filter(|l| l % threads == t).collect())
+        .collect();
+
+    let results: Vec<Option<(f64, Vec<usize>)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                let r = &r;
+                let psi = &psi;
+                scope.spawn(move |_| search_partition(n, levels, chunk, r, psi, t_max))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("search thread panicked")).collect()
+    })
+    .expect("crossbeam scope");
+
+    for res in results.into_iter().flatten() {
+        if best.as_ref().is_none_or(|(b, _)| res.0 > *b) {
+            best = Some(res);
+        }
+    }
+
+    let Some((_, assignment)) = best else {
+        let lowest_peak = platform.steady_peak(&vec![modes.lowest(); n])?;
+        return Err(crate::AlgoError::Infeasible { lowest_peak, t_max });
+    };
+
+    let voltages: Vec<f64> = assignment.iter().map(|&l| levels[l]).collect();
+    let schedule = Schedule::constant(&voltages, DEFAULT_PERIOD)?;
+    let peak = platform.peak(&schedule)?.temp;
+    Ok(Solution {
+        algorithm: "EXS",
+        throughput: schedule.throughput(),
+        feasible: peak <= t_max + 1e-6,
+        peak,
+        schedule,
+        m: 1,
+    })
+}
+
+/// Enumerates all assignments whose first-core level is in `first_levels`,
+/// returning the best feasible `(speed_sum, assignment)`.
+fn search_partition(
+    n: usize,
+    levels: &[f64],
+    first_levels: &[usize],
+    r: &mosc_linalg::Matrix,
+    psi: &[f64],
+    t_max: f64,
+) -> Option<(f64, Vec<usize>)> {
+    let n_levels = levels.len();
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    let mut temps = vec![0.0f64; n];
+    for &first in first_levels {
+        // Assignment state: levels per core; core 0 fixed to `first`.
+        let mut idx = vec![0usize; n];
+        idx[0] = first;
+        // Initialize temps for the all-(first, 0, 0, …) assignment.
+        for t in temps.iter_mut() {
+            *t = 0.0;
+        }
+        for (j, &lev) in idx.iter().enumerate() {
+            accumulate(&mut temps, r, j, psi[lev]);
+        }
+        loop {
+            // Evaluate the current assignment.
+            let peak = temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            if peak <= t_max + 1e-9 {
+                let speed_sum: f64 = idx.iter().map(|&l| levels[l]).sum();
+                if best.as_ref().is_none_or(|(b, _)| speed_sum > *b) {
+                    best = Some((speed_sum, idx.clone()));
+                }
+            }
+            // Odometer over cores 1..n (core 0 is the partition key),
+            // updating only the changed core's thermal contribution.
+            let mut k = n;
+            let mut advanced = false;
+            while k > 1 {
+                k -= 1;
+                if idx[k] + 1 < n_levels {
+                    accumulate(&mut temps, r, k, psi[idx[k] + 1] - psi[idx[k]]);
+                    idx[k] += 1;
+                    advanced = true;
+                    break;
+                }
+                // Wrap this digit back to level 0.
+                accumulate(&mut temps, r, k, psi[0] - psi[idx[k]]);
+                idx[k] = 0;
+            }
+            if !advanced {
+                break;
+            }
+        }
+    }
+    best
+}
+
+/// Adds `delta_psi` on core `j` into the temperature accumulator.
+#[inline]
+fn accumulate(temps: &mut [f64], r: &mosc_linalg::Matrix, j: usize, delta_psi: f64) {
+    if delta_psi == 0.0 {
+        return;
+    }
+    for (i, t) in temps.iter_mut().enumerate() {
+        *t += r[(i, j)] * delta_psi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosc_sched::PlatformSpec;
+
+    #[test]
+    fn exs_beats_or_matches_lns() {
+        for (rows, cols) in [(1, 2), (1, 3), (2, 3)] {
+            let p = Platform::build(&PlatformSpec::paper(rows, cols, 3, 55.0)).unwrap();
+            let exs = solve(&p).unwrap();
+            let lns = crate::lns::solve(&p).unwrap();
+            assert!(
+                exs.throughput >= lns.throughput - 1e-9,
+                "{rows}x{cols}: EXS {} < LNS {}",
+                exs.throughput,
+                lns.throughput
+            );
+            assert!(exs.feasible);
+        }
+    }
+
+    #[test]
+    fn exs_finds_all_max_when_unconstrained() {
+        let p = Platform::build(&PlatformSpec::paper(1, 2, 2, 65.0)).unwrap();
+        let sol = solve(&p).unwrap();
+        assert!((sol.throughput - 1.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exs_matches_brute_force_reference() {
+        // Independent re-implementation: evaluate every assignment via the
+        // full steady-state solver and compare.
+        let p = Platform::build(&PlatformSpec::paper(1, 3, 3, 55.0)).unwrap();
+        let sol = solve(&p).unwrap();
+
+        let levels = p.modes().levels().to_vec();
+        let mut best = f64::NEG_INFINITY;
+        let mut best_assign = vec![];
+        for a in p.modes().assignments(3) {
+            let peak = p.steady_peak(&a).unwrap();
+            if peak <= p.t_max() + 1e-9 {
+                let s: f64 = a.iter().sum();
+                if s > best {
+                    best = s;
+                    best_assign = a;
+                }
+            }
+        }
+        let _ = levels;
+        assert!(
+            (sol.throughput - best / 3.0).abs() < 1e-9,
+            "EXS {} vs reference {} ({best_assign:?})",
+            sol.throughput,
+            best / 3.0
+        );
+    }
+
+    #[test]
+    fn exs_single_thread_matches_parallel() {
+        let p = Platform::build(&PlatformSpec::paper(2, 3, 3, 55.0)).unwrap();
+        let seq = solve_with_threads(&p, 1).unwrap();
+        let par = solve_with_threads(&p, 8).unwrap();
+        assert!((seq.throughput - par.throughput).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exs_infeasible_platform_errors() {
+        let p = Platform::build(&PlatformSpec::paper(3, 3, 2, 36.0)).unwrap();
+        match solve(&p) {
+            Err(crate::AlgoError::Infeasible { lowest_peak, t_max }) => {
+                assert!(lowest_peak > t_max);
+            }
+            other => panic!("expected Infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exs_respects_tmax() {
+        let p = Platform::build(&PlatformSpec::paper(3, 3, 4, 55.0)).unwrap();
+        let sol = solve(&p).unwrap();
+        assert!(sol.feasible);
+        assert!(sol.peak <= p.t_max() + 1e-6);
+        // And uses only table levels.
+        for core in sol.schedule.cores() {
+            for seg in core.segments() {
+                assert!(p.modes().levels().iter().any(|&l| (l - seg.voltage).abs() < 1e-9));
+            }
+        }
+    }
+}

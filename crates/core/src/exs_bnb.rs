@@ -1,0 +1,233 @@
+//! Branch-and-bound exhaustive search — an extension over Algorithm 1.
+//!
+//! Plain EXS visits all `L^N` assignments. Two monotonicity facts prune the
+//! tree without losing optimality:
+//!
+//! * **Thermal bound** — `T∞ = R·ψ` with `R > 0` element-wise, so every
+//!   core's temperature is monotone in every core's power. If a partial
+//!   assignment is infeasible *even with all unassigned cores at the lowest
+//!   level*, no completion is feasible.
+//! * **Throughput bound** — if the partial speed sum plus `v_max` for every
+//!   unassigned core cannot beat the incumbent, the subtree is dominated.
+//!
+//! The result is exactly EXS's optimum (asserted by tests), typically at a
+//! small fraction of the node visits — the gap the `table5_runtime`/bench
+//! suite quantifies. This is the kind of follow-up the paper's conclusion
+//! gestures at ("fundamental principles … readily used for other thermal
+//! related research").
+
+use crate::{AlgoError, Result, Solution};
+use mosc_sched::{Platform, Schedule};
+
+/// Statistics from a branch-and-bound run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BnbStats {
+    /// Tree nodes expanded (partial assignments visited).
+    pub visited: u64,
+    /// Subtrees cut by the thermal bound.
+    pub thermal_prunes: u64,
+    /// Subtrees cut by the throughput bound.
+    pub throughput_prunes: u64,
+}
+
+/// Runs branch-and-bound EXS, returning the optimal constant assignment and
+/// search statistics.
+///
+/// # Errors
+/// [`AlgoError::Infeasible`] when even all-lowest violates `T_max`;
+/// propagated evaluation failures otherwise.
+pub fn solve(platform: &Platform) -> Result<(Solution, BnbStats)> {
+    let n = platform.n_cores();
+    let modes = platform.modes();
+    let levels = modes.levels().to_vec();
+    let t_max = platform.t_max();
+    let r = platform
+        .thermal()
+        .response_matrix()
+        .map_err(mosc_sched::SchedError::from)?;
+    let psi: Vec<f64> = levels.iter().map(|&v| platform.power().psi(v)).collect();
+    let psi_min = psi[0];
+    let v_max = *levels.last().expect("non-empty table");
+
+    // Precompute each core's column once; `temps_floor` starts from the
+    // everything-at-lowest baseline so the thermal bound is one vector read.
+    let mut temps_floor = vec![0.0f64; n];
+    for j in 0..n {
+        for (i, t) in temps_floor.iter_mut().enumerate() {
+            *t += r[(i, j)] * psi_min;
+        }
+    }
+    if temps_floor.iter().cloned().fold(f64::NEG_INFINITY, f64::max) > t_max + 1e-9 {
+        return Err(AlgoError::Infeasible {
+            lowest_peak: temps_floor.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            t_max,
+        });
+    }
+
+    let mut stats = BnbStats::default();
+    let mut best_sum = f64::NEG_INFINITY;
+    let mut best_assign: Vec<usize> = vec![0; n];
+    let mut assign = vec![0usize; n];
+    // `temps` always reflects: assigned cores at their level, unassigned at
+    // the lowest level (= the optimistic thermal floor of the subtree).
+    let mut temps = temps_floor;
+
+    // Depth-first with explicit recursion.
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        depth: usize,
+        n: usize,
+        levels: &[f64],
+        psi: &[f64],
+        r: &mosc_linalg::Matrix,
+        t_max: f64,
+        v_max: f64,
+        assign: &mut Vec<usize>,
+        temps: &mut Vec<f64>,
+        best_sum: &mut f64,
+        best_assign: &mut Vec<usize>,
+        stats: &mut BnbStats,
+    ) {
+        stats.visited += 1;
+        // Thermal bound: the floor completion is the coolest this subtree
+        // can ever be.
+        let peak = temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if peak > t_max + 1e-9 {
+            stats.thermal_prunes += 1;
+            return;
+        }
+        // Throughput bound.
+        let fixed_sum: f64 = assign[..depth].iter().map(|&l| levels[l]).sum();
+        let optimistic = fixed_sum + (n - depth) as f64 * v_max;
+        if optimistic <= *best_sum + 1e-12 {
+            stats.throughput_prunes += 1;
+            return;
+        }
+        if depth == n {
+            // Feasible leaf (thermal bound above is exact here).
+            if fixed_sum > *best_sum {
+                *best_sum = fixed_sum;
+                best_assign.copy_from_slice(assign);
+            }
+            return;
+        }
+        // Try the highest levels first: better incumbents earlier ⇒ more
+        // throughput prunes.
+        for l in (0..levels.len()).rev() {
+            let delta = psi[l] - psi[0];
+            for (i, t) in temps.iter_mut().enumerate() {
+                *t += r[(i, depth)] * delta;
+            }
+            assign[depth] = l;
+            dfs(
+                depth + 1,
+                n,
+                levels,
+                psi,
+                r,
+                t_max,
+                v_max,
+                assign,
+                temps,
+                best_sum,
+                best_assign,
+                stats,
+            );
+            for (i, t) in temps.iter_mut().enumerate() {
+                *t -= r[(i, depth)] * delta;
+            }
+        }
+        assign[depth] = 0;
+    }
+
+    dfs(
+        0,
+        n,
+        &levels,
+        &psi,
+        &r,
+        t_max,
+        v_max,
+        &mut assign,
+        &mut temps,
+        &mut best_sum,
+        &mut best_assign,
+        &mut stats,
+    );
+
+    let voltages: Vec<f64> = best_assign.iter().map(|&l| levels[l]).collect();
+    let schedule = Schedule::constant(&voltages, crate::exs::DEFAULT_PERIOD)?;
+    let peak = platform.peak(&schedule)?.temp;
+    Ok((
+        Solution {
+            algorithm: "EXS-BnB",
+            throughput: schedule.throughput(),
+            feasible: peak <= t_max + 1e-6,
+            peak,
+            schedule,
+            m: 1,
+        },
+        stats,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosc_sched::PlatformSpec;
+
+    #[test]
+    fn bnb_matches_plain_exs_optimum() {
+        for (rows, cols, levels) in [(1usize, 3usize, 3usize), (2, 3, 3), (1, 3, 5)] {
+            let p = Platform::build(&PlatformSpec::paper(rows, cols, levels, 55.0)).unwrap();
+            let plain = crate::exs::solve(&p).unwrap();
+            let (bnb, stats) = solve(&p).unwrap();
+            assert!(
+                (plain.throughput - bnb.throughput).abs() < 1e-12,
+                "{rows}x{cols}/{levels}: plain {} vs bnb {}",
+                plain.throughput,
+                bnb.throughput
+            );
+            assert!(stats.visited > 0);
+        }
+    }
+
+    #[test]
+    fn bnb_prunes_meaningfully_on_constrained_platforms() {
+        let p = Platform::build(&PlatformSpec::paper(3, 3, 4, 55.0)).unwrap();
+        let (_, stats) = solve(&p).unwrap();
+        let full_tree: u64 = {
+            // Nodes of the complete 4-ary tree of depth 9.
+            let mut total = 0u64;
+            let mut layer = 1u64;
+            for _ in 0..=9 {
+                total += layer;
+                layer *= 4;
+            }
+            total
+        };
+        assert!(
+            stats.visited * 4 < full_tree,
+            "expected >4x pruning: visited {} of {}",
+            stats.visited,
+            full_tree
+        );
+        assert!(stats.thermal_prunes + stats.throughput_prunes > 0);
+    }
+
+    #[test]
+    fn bnb_infeasible_platform_errors() {
+        let p = Platform::build(&PlatformSpec::paper(3, 3, 2, 36.0)).unwrap();
+        assert!(matches!(solve(&p), Err(AlgoError::Infeasible { .. })));
+    }
+
+    #[test]
+    fn bnb_unconstrained_platform_all_max() {
+        let p = Platform::build(&PlatformSpec::paper(1, 2, 5, 65.0)).unwrap();
+        let (sol, stats) = solve(&p).unwrap();
+        assert!((sol.throughput - 1.3).abs() < 1e-12);
+        // Descending order means the very first leaf is optimal and the
+        // throughput bound kills everything else.
+        assert!(stats.visited < 40, "visited {}", stats.visited);
+    }
+}

@@ -1,0 +1,148 @@
+//! LNS — the lower-neighboring-speed baseline.
+//!
+//! Round the ideal continuous voltage of every core down to the next
+//! available discrete level (Section III). Since rounding down strictly
+//! reduces power and the ideal point satisfies `T∞ ≤ T_max`, the result is
+//! always thermally safe — and often far below the achievable throughput,
+//! which is the gap AO exploits.
+
+use crate::{continuous, Result, Solution};
+use mosc_sched::{Platform, Schedule};
+
+/// Default schedule period used for the (constant-speed) LNS schedule; the
+/// value is irrelevant thermally, it only gives the schedule a concrete
+/// period for downstream tooling.
+pub const DEFAULT_PERIOD: f64 = 0.1;
+
+/// Runs LNS on `platform`.
+///
+/// Flooring the *clamped* ideal point can still violate `T_max` when some
+/// core's unclamped ideal lies below the lowest level (3-D stacks at tight
+/// thresholds do this): in that case LNS keeps stepping the hottest core
+/// down until the steady state is safe or everything sits at the lowest
+/// level.
+///
+/// # Errors
+/// Propagates evaluation failures.
+pub fn solve(platform: &Platform) -> Result<Solution> {
+    let ideal = continuous::solve(platform)?;
+    let modes = platform.modes();
+    let mut voltages: Vec<f64> = ideal
+        .voltages
+        .iter()
+        .map(|&v| modes.floor(v).unwrap_or_else(|| modes.lowest()))
+        .collect();
+
+    // Safety loop (no-op for the common case where the ideal was feasible).
+    loop {
+        let temps = platform
+            .thermal()
+            .steady_state_cores(&platform.psi_profile(&voltages))?;
+        if temps.max() <= platform.t_max() + 1e-9 {
+            break;
+        }
+        let hottest = temps.argmax().expect("non-empty platform");
+        // Lower the hottest core that still has room; if the hottest is
+        // already at the floor, lower the hottest one that is not.
+        let candidate = (0..voltages.len())
+            .filter(|&i| voltages[i] > modes.lowest() + 1e-12)
+            .max_by(|&a, &b| {
+                // Prefer the hottest adjustable core.
+                let ka = (a == hottest, temps[a]);
+                let kb = (b == hottest, temps[b]);
+                ka.partial_cmp(&kb).expect("finite temps")
+            });
+        match candidate {
+            Some(i) => {
+                let below = modes
+                    .levels()
+                    .iter()
+                    .copied()
+                    .rfind(|&l| l < voltages[i] - 1e-12)
+                    .unwrap_or_else(|| modes.lowest());
+                voltages[i] = below;
+            }
+            None => break, // everything at the floor; report as-is
+        }
+    }
+
+    let schedule = Schedule::constant(&voltages, DEFAULT_PERIOD)?;
+    let peak = platform.peak(&schedule)?.temp;
+    Ok(Solution {
+        algorithm: "LNS",
+        throughput: schedule.throughput(),
+        feasible: peak <= platform.t_max() + 1e-6,
+        peak,
+        schedule,
+        m: 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosc_sched::PlatformSpec;
+
+    #[test]
+    fn lns_is_always_feasible_when_ideal_is() {
+        for (rows, cols, tmax) in [(1, 2, 55.0), (1, 3, 55.0), (2, 3, 55.0), (3, 3, 55.0)] {
+            let p = Platform::build(&PlatformSpec::paper(rows, cols, 2, tmax)).unwrap();
+            let sol = solve(&p).unwrap();
+            assert!(sol.feasible, "{rows}x{cols} at {tmax}C");
+            assert!(sol.peak <= p.t_max() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn lns_uses_only_table_levels() {
+        let p = Platform::build(&PlatformSpec::paper(2, 3, 3, 55.0)).unwrap();
+        let sol = solve(&p).unwrap();
+        let levels = p.modes().levels().to_vec();
+        for core in sol.schedule.cores() {
+            for seg in core.segments() {
+                assert!(
+                    levels.iter().any(|&l| (l - seg.voltage).abs() < 1e-9),
+                    "voltage {} not a table level",
+                    seg.voltage
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lns_with_two_levels_collapses_to_low_on_constrained_platform() {
+        // 9-core at 55 °C with {0.6, 1.3}: ideal ≈ 0.84–0.9 V floors to 0.6 V
+        // everywhere — the paper's motivating pessimism.
+        let p = Platform::build(&PlatformSpec::paper(3, 3, 2, 55.0)).unwrap();
+        let sol = solve(&p).unwrap();
+        assert!((sol.throughput - 0.6).abs() < 1e-9, "throughput {}", sol.throughput);
+    }
+
+    #[test]
+    fn lns_improves_with_more_levels() {
+        let p2 = Platform::build(&PlatformSpec::paper(3, 3, 2, 55.0)).unwrap();
+        let p5 = Platform::build(&PlatformSpec::paper(3, 3, 5, 55.0)).unwrap();
+        let t2 = solve(&p2).unwrap().throughput;
+        let t5 = solve(&p5).unwrap().throughput;
+        assert!(t5 >= t2, "more levels cannot hurt LNS: {t5} vs {t2}");
+    }
+
+    #[test]
+    fn lns_safety_loop_recovers_feasibility_on_stacks() {
+        // A 2-layer stack at 55 °C: the ideal point clamps the upper layer
+        // at v_min and is itself infeasible; plain flooring would violate
+        // T_max, the safety loop must step down until safe.
+        let spec = PlatformSpec { layers: 2, ..PlatformSpec::paper(1, 2, 2, 55.0) };
+        let p = Platform::build(&spec).unwrap();
+        let sol = solve(&p).unwrap();
+        assert!(sol.feasible, "LNS must end feasible, peak {}", sol.peak);
+        assert!(sol.peak <= p.t_max() + 1e-6);
+    }
+
+    #[test]
+    fn lns_on_unconstrained_platform_hits_v_max() {
+        let p = Platform::build(&PlatformSpec::paper(1, 2, 2, 65.0)).unwrap();
+        let sol = solve(&p).unwrap();
+        assert!((sol.throughput - 1.3).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,264 @@
+//! PCO — phase-conscious oscillation.
+//!
+//! AO constrains every candidate to be a step-up schedule so its peak is one
+//! exact evaluation (Theorem 1). The price is that every core's high-voltage
+//! interval ends at the same instant — maximal temporal overlap of the hot
+//! phases. PCO (Section VI-C) starts from AO's result and additionally
+//! searches a cyclic **phase shift** per core, interleaving the hot intervals
+//! spatially; it then refills the freed thermal headroom by growing
+//! high-voltage ratios. Shifted schedules are no longer step-up, so every
+//! evaluation uses the sampled-peak path — which is exactly why PCO's
+//! computation time exceeds AO's in Table V.
+
+use crate::ao::{self, AoOptions};
+use crate::{Result, Solution};
+use mosc_sched::eval::{self};
+use mosc_sched::{Platform, Schedule};
+
+/// Tuning knobs for PCO.
+#[derive(Debug, Clone, Copy)]
+pub struct PcoOptions {
+    /// The underlying AO options.
+    pub ao: AoOptions,
+    /// Number of candidate phase offsets per core (granularity `t_c/k`).
+    pub phase_steps: usize,
+    /// Samples per period for the sampled-peak evaluation.
+    pub samples: usize,
+    /// Refill step as a fraction of the period (`Δr = 1/refill_divisor`).
+    pub refill_divisor: usize,
+}
+
+impl Default for PcoOptions {
+    fn default() -> Self {
+        Self { ao: AoOptions::default(), phase_steps: 8, samples: 300, refill_divisor: 100 }
+    }
+}
+
+/// Runs PCO with default options.
+///
+/// # Errors
+/// See [`solve_with`].
+pub fn solve(platform: &Platform) -> Result<Solution> {
+    solve_with(platform, &PcoOptions::default())
+}
+
+/// Runs PCO on `platform`.
+///
+/// # Errors
+/// Propagates AO failures and evaluation failures.
+pub fn solve_with(platform: &Platform, opts: &PcoOptions) -> Result<Solution> {
+    let ao_sol = ao::solve_with(platform, &opts.ao)?;
+    let t_max = platform.t_max();
+    let mut schedule = ao_sol.schedule.clone();
+    let t_c = schedule.period();
+
+    let sampled_peak = |s: &Schedule| -> Result<f64> {
+        Ok(eval::peak_temperature(platform.thermal(), platform.power(), s, Some(opts.samples))?.temp)
+    };
+
+    // Phase search: greedily shift each core to the offset minimizing the
+    // sampled peak.
+    let mut peak = sampled_peak(&schedule)?;
+    for core in 0..platform.n_cores() {
+        if schedule.core(core).segments().len() < 2 {
+            continue; // constant cores have no phase
+        }
+        let mut best_offset = 0.0;
+        let mut best_peak = peak;
+        for k in 1..opts.phase_steps {
+            let offset = t_c * k as f64 / opts.phase_steps as f64;
+            let cand = schedule.with_shifted_core(core, offset);
+            let p = sampled_peak(&cand)?;
+            if p < best_peak - 1e-12 {
+                best_peak = p;
+                best_offset = offset;
+            }
+        }
+        if best_offset > 0.0 {
+            schedule = schedule.with_shifted_core(core, best_offset);
+            peak = best_peak;
+        }
+    }
+
+    // Headroom refill: grow the high-voltage share of whichever core keeps
+    // the chip coolest, until no single step fits under T_max.
+    let t_unit = t_c / opts.refill_divisor as f64;
+    let max_iters = platform.n_cores() * opts.refill_divisor * 2;
+    let mut iters = 0;
+    while iters < max_iters {
+        iters += 1;
+        let mut best: Option<(f64, f64, Schedule)> = None; // (peak, gain, schedule)
+        for core in 0..platform.n_cores() {
+            let Some(cand) = grow_high_share(&schedule, core, t_unit) else {
+                continue;
+            };
+            let p = sampled_peak(&cand)?;
+            if p <= t_max + 1e-9 {
+                let gain = cand.throughput() - schedule.throughput();
+                let better = match &best {
+                    None => true,
+                    Some((bp, bg, _)) => gain > *bg + 1e-15 || (gain >= *bg - 1e-15 && p < *bp),
+                };
+                if better && gain > 0.0 {
+                    best = Some((p, gain, cand));
+                }
+            }
+        }
+        match best {
+            Some((p, _, cand)) => {
+                schedule = cand;
+                peak = p;
+            }
+            None => break,
+        }
+    }
+
+    // Final safety valve: if sampling missed a hot spot at coarse settings,
+    // re-check at double resolution and shrink back if needed.
+    let mut final_peak = eval::peak_temperature(
+        platform.thermal(),
+        platform.power(),
+        &schedule,
+        Some(opts.samples * 2),
+    )?
+    .temp;
+    let mut guard = 0;
+    while final_peak > t_max + 1e-9 && guard < max_iters {
+        guard += 1;
+        let Some(cand) = shrink_hottest_high_share(platform, &schedule, t_unit)? else {
+            break;
+        };
+        schedule = cand;
+        final_peak = eval::peak_temperature(
+            platform.thermal(),
+            platform.power(),
+            &schedule,
+            Some(opts.samples * 2),
+        )?
+        .temp;
+    }
+    let _ = peak;
+
+    Ok(Solution {
+        algorithm: "PCO",
+        throughput: schedule.throughput_with_overhead(platform.overhead()),
+        feasible: final_peak <= t_max + 1e-6,
+        peak: final_peak,
+        schedule,
+        m: ao_sol.m,
+    })
+}
+
+/// Moves `t_unit` seconds from the lowest-voltage segment of `core` to its
+/// highest-voltage segment. Returns `None` when the core has no two distinct
+/// levels or the low segment is exhausted.
+fn grow_high_share(schedule: &Schedule, core: usize, t_unit: f64) -> Option<Schedule> {
+    transfer_time(schedule, core, t_unit, true)
+}
+
+/// The reverse move on the schedule's hottest core (used by the safety valve).
+fn shrink_hottest_high_share(
+    platform: &Platform,
+    schedule: &Schedule,
+    t_unit: f64,
+) -> Result<Option<Schedule>> {
+    let report = eval::peak_temperature(platform.thermal(), platform.power(), schedule, Some(200))?;
+    // Try the hottest core first, then the others.
+    let n = schedule.n_cores();
+    for offset in 0..n {
+        let core = (report.core + offset) % n;
+        if let Some(cand) = transfer_time(schedule, core, t_unit, false) {
+            return Ok(Some(cand));
+        }
+    }
+    Ok(None)
+}
+
+/// Transfers `t_unit` between the extreme-voltage segments of one core
+/// (`to_high = true` grows the high segment).
+fn transfer_time(schedule: &Schedule, core: usize, t_unit: f64, to_high: bool) -> Option<Schedule> {
+    let segs = schedule.core(core).segments();
+    if segs.len() < 2 {
+        return None;
+    }
+    let (mut lo_idx, mut hi_idx) = (0usize, 0usize);
+    for (i, s) in segs.iter().enumerate() {
+        if s.voltage < segs[lo_idx].voltage {
+            lo_idx = i;
+        }
+        if s.voltage > segs[hi_idx].voltage {
+            hi_idx = i;
+        }
+    }
+    if segs[hi_idx].voltage <= segs[lo_idx].voltage + 1e-12 {
+        return None;
+    }
+    let (from, to) = if to_high { (lo_idx, hi_idx) } else { (hi_idx, lo_idx) };
+    if segs[from].duration < t_unit + 1e-12 {
+        return None;
+    }
+    let mut new_segs = segs.to_vec();
+    new_segs[from].duration -= t_unit;
+    new_segs[to].duration += t_unit;
+    let new_core = mosc_sched::CoreSchedule::new(new_segs).ok()?;
+    schedule.with_core(core, new_core).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosc_sched::PlatformSpec;
+
+    fn quick_opts() -> PcoOptions {
+        PcoOptions {
+            ao: AoOptions { base_period: 0.05, max_m: 32, m_patience: 3, t_unit_divisor: 40 },
+            phase_steps: 4,
+            samples: 150,
+            refill_divisor: 40,
+        }
+    }
+
+    #[test]
+    fn pco_is_feasible_and_at_least_ao() {
+        let p = Platform::build(&PlatformSpec::paper(1, 3, 2, 55.0)).unwrap();
+        let ao_sol = ao::solve_with(&p, &quick_opts().ao).unwrap();
+        let pco_sol = solve_with(&p, &quick_opts()).unwrap();
+        assert!(pco_sol.feasible, "PCO must satisfy T_max");
+        // PCO should never be meaningfully worse than AO.
+        assert!(
+            pco_sol.throughput >= ao_sol.throughput - 0.02,
+            "PCO {} well below AO {}",
+            pco_sol.throughput,
+            ao_sol.throughput
+        );
+    }
+
+    #[test]
+    fn pco_respects_tmax_on_constrained_platform() {
+        let p = Platform::build(&PlatformSpec::paper(2, 3, 2, 55.0)).unwrap();
+        let sol = solve_with(&p, &quick_opts()).unwrap();
+        assert!(sol.feasible, "peak {} vs {}", sol.peak, p.t_max());
+    }
+
+    #[test]
+    fn pco_unconstrained_platform_runs_all_max() {
+        let p = Platform::build(&PlatformSpec::paper(1, 2, 2, 65.0)).unwrap();
+        let sol = solve_with(&p, &quick_opts()).unwrap();
+        assert!((sol.throughput - 1.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transfer_time_moves_between_extremes() {
+        let s = Schedule::two_mode(&[0.6], &[1.3], &[0.5], 0.1).unwrap();
+        let grown = grow_high_share(&s, 0, 0.01).unwrap();
+        assert!(grown.throughput() > s.throughput());
+        let shrunk = transfer_time(&s, 0, 0.01, false).unwrap();
+        assert!(shrunk.throughput() < s.throughput());
+        // Constant core: nothing to transfer.
+        let c = Schedule::constant(&[1.0], 0.1).unwrap();
+        assert!(grow_high_share(&c, 0, 0.01).is_none());
+        // Exhausted segment: cannot overdraw.
+        let tight = Schedule::two_mode(&[0.6], &[1.3], &[0.999], 0.1).unwrap();
+        assert!(grow_high_share(&tight, 0, 0.01).is_none());
+    }
+}

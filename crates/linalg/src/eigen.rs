@@ -1,0 +1,295 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! The thermal state matrix `A = C⁻¹(βI − G)` is similar to the symmetric
+//! matrix `C^{-1/2}(βI − G)C^{-1/2}`, so its eigenvalues are the (real)
+//! eigenvalues produced here. The paper's proofs (and our validation tests)
+//! rely on all of them being negative; [`SymmetricEigen`] is how the thermal
+//! crate asserts that at model-construction time, and it also powers the
+//! diagonalized fast propagator used in the m-sweep of Algorithm 2.
+
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// Options controlling the Jacobi sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct JacobiOptions {
+    /// Maximum number of full sweeps over all off-diagonal pairs.
+    pub max_sweeps: usize,
+    /// Convergence threshold on the off-diagonal Frobenius norm, relative to
+    /// the matrix's own Frobenius norm.
+    pub rel_tol: f64,
+}
+
+impl Default for JacobiOptions {
+    fn default() -> Self {
+        Self { max_sweeps: 100, rel_tol: 1e-14 }
+    }
+}
+
+/// Eigendecomposition `A = V·Λ·Vᵀ` of a symmetric matrix, with eigenvalues
+/// sorted ascending and `V` orthonormal (columns are eigenvectors).
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vector,
+    /// Orthonormal eigenvector matrix; column `k` pairs with `values[k]`.
+    pub vectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Decomposes a symmetric matrix with default options.
+    ///
+    /// # Errors
+    /// See [`SymmetricEigen::with_options`].
+    pub fn new(a: &Matrix) -> Result<Self> {
+        Self::with_options(a, JacobiOptions::default())
+    }
+
+    /// Decomposes a symmetric matrix.
+    ///
+    /// # Errors
+    /// * [`LinalgError::NotSquare`] for rectangular input.
+    /// * [`LinalgError::NonFinite`] for NaN/∞ entries.
+    /// * [`LinalgError::ShapeMismatch`] when the matrix is not symmetric
+    ///   (within `1e-8` absolute).
+    /// * [`LinalgError::NoConvergence`] when the sweep budget is exhausted.
+    pub fn with_options(a: &Matrix, opts: JacobiOptions) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape(), op: "jacobi" });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite { op: "jacobi" });
+        }
+        if !a.is_symmetric(1e-8 * a.max_abs().max(1.0)) {
+            return Err(LinalgError::ShapeMismatch {
+                left: a.shape(),
+                right: a.shape(),
+                op: "jacobi (matrix not symmetric)",
+            });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Ok(Self { values: Vector::zeros(0), vectors: Matrix::zeros(0, 0) });
+        }
+
+        let mut m = a.clone();
+        let mut v = Matrix::identity(n);
+        let fro = crate::norm_fro(a).max(f64::MIN_POSITIVE);
+
+        let mut converged = false;
+        let mut sweeps = 0;
+        while sweeps < opts.max_sweeps {
+            let off = off_diag_fro(&m);
+            if off <= opts.rel_tol * fro {
+                converged = true;
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m[(p, q)];
+                    if apq == 0.0 {
+                        continue;
+                    }
+                    let app = m[(p, p)];
+                    let aqq = m[(q, q)];
+                    // Classic Jacobi rotation angle selection.
+                    let tau = (aqq - app) / (2.0 * apq);
+                    let t = if tau >= 0.0 {
+                        1.0 / (tau + (1.0 + tau * tau).sqrt())
+                    } else {
+                        -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+                    apply_rotation(&mut m, p, q, c, s);
+                    accumulate_vectors(&mut v, p, q, c, s);
+                }
+            }
+            sweeps += 1;
+        }
+        if !converged && off_diag_fro(&m) > opts.rel_tol * fro {
+            return Err(LinalgError::NoConvergence {
+                kernel: "jacobi",
+                iterations: sweeps,
+                residual: off_diag_fro(&m),
+            });
+        }
+
+        // Sort eigenpairs ascending by eigenvalue.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| m[(i, i)].partial_cmp(&m[(j, j)]).expect("finite eigenvalues"));
+        let values = Vector::from_fn(n, |k| m[(order[k], order[k])]);
+        let vectors = Matrix::from_fn(n, n, |i, k| v[(i, order[k])]);
+        Ok(Self { values, vectors })
+    }
+
+    /// Reconstructs `A` from the decomposition — used by tests and available
+    /// for diagnostics.
+    ///
+    /// # Errors
+    /// Propagates shape errors (cannot occur for a well-formed decomposition).
+    pub fn reconstruct(&self) -> Result<Matrix> {
+        let lam = Matrix::from_diag(self.values.as_slice());
+        self.vectors.matmul(&lam)?.matmul(&self.vectors.transpose())
+    }
+
+    /// Applies `f` to each eigenvalue and reassembles `V·f(Λ)·Vᵀ` — e.g.
+    /// `f = exp` gives the matrix exponential of a symmetric matrix in O(n³)
+    /// after a one-time decomposition, which is what makes sweeping `m` in
+    /// Algorithm 2 cheap.
+    ///
+    /// # Errors
+    /// Propagates shape errors (cannot occur for a well-formed decomposition).
+    pub fn map_spectrum(&self, f: impl Fn(f64) -> f64) -> Result<Matrix> {
+        let mapped: Vec<f64> = self.values.iter().map(|&l| f(l)).collect();
+        let lam = Matrix::from_diag(&mapped);
+        self.vectors.matmul(&lam)?.matmul(&self.vectors.transpose())
+    }
+
+    /// Largest eigenvalue.
+    #[must_use]
+    pub fn max_eigenvalue(&self) -> f64 {
+        self.values.max()
+    }
+}
+
+fn off_diag_fro(m: &Matrix) -> f64 {
+    let n = m.rows();
+    let mut sum = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            sum += 2.0 * m[(i, j)] * m[(i, j)];
+        }
+    }
+    sum.sqrt()
+}
+
+/// Applies the symmetric two-sided rotation J(p,q,θ)ᵀ·M·J(p,q,θ) in place.
+fn apply_rotation(m: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = m.rows();
+    let app = m[(p, p)];
+    let aqq = m[(q, q)];
+    let apq = m[(p, q)];
+    m[(p, p)] = c * c * app - 2.0 * s * c * apq + s * s * aqq;
+    m[(q, q)] = s * s * app + 2.0 * s * c * apq + c * c * aqq;
+    m[(p, q)] = 0.0;
+    m[(q, p)] = 0.0;
+    for i in 0..n {
+        if i == p || i == q {
+            continue;
+        }
+        let aip = m[(i, p)];
+        let aiq = m[(i, q)];
+        m[(i, p)] = c * aip - s * aiq;
+        m[(p, i)] = m[(i, p)];
+        m[(i, q)] = s * aip + c * aiq;
+        m[(q, i)] = m[(i, q)];
+    }
+}
+
+/// Accumulates the rotation into the eigenvector matrix.
+fn accumulate_vectors(v: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = v.rows();
+    for i in 0..n {
+        let vip = v[(i, p)];
+        let viq = v[(i, q)];
+        v[(i, p)] = c * vip - s * viq;
+        v[(i, q)] = s * vip + c * viq;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_is_its_own_spectrum() {
+        let a = Matrix::from_diag(&[3.0, -1.0, 2.0]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert_eq!(e.values.as_slice(), &[-1.0, 2.0, 3.0]);
+        assert_eq!(e.max_eigenvalue(), 3.0);
+    }
+
+    #[test]
+    fn known_2x2_spectrum() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5],
+            &[1.0, 3.0, 0.2],
+            &[0.5, 0.2, 5.0],
+        ]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!(e.reconstruct().unwrap().max_abs_diff(&a) < 1e-10);
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        assert!(vtv.max_abs_diff(&Matrix::identity(3)) < 1e-12);
+    }
+
+    #[test]
+    fn map_spectrum_exp_matches_expm() {
+        let a = Matrix::from_rows(&[&[-1.0, 0.3], &[0.3, -2.0]]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        let via_eigen = e.map_spectrum(f64::exp).unwrap();
+        let via_pade = crate::expm(&a).unwrap();
+        assert!(via_eigen.max_abs_diff(&via_pade) < 1e-12);
+    }
+
+    #[test]
+    fn laplacian_spectrum_nonnegative() {
+        // Path-graph Laplacian: eigenvalues 0, 1, 3 for n=3.
+        let l = Matrix::from_rows(&[
+            &[1.0, -1.0, 0.0],
+            &[-1.0, 2.0, -1.0],
+            &[0.0, -1.0, 1.0],
+        ]);
+        let e = SymmetricEigen::new(&l).unwrap();
+        assert!(e.values[0].abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        assert!((e.values[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_asymmetric_and_bad_shapes() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        assert!(SymmetricEigen::new(&a).is_err());
+        assert!(SymmetricEigen::new(&Matrix::zeros(2, 3)).is_err());
+        let mut b = Matrix::identity(2);
+        b[(0, 0)] = f64::NAN;
+        assert!(SymmetricEigen::new(&b).is_err());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let e = SymmetricEigen::new(&Matrix::zeros(0, 0)).unwrap();
+        assert!(e.values.is_empty());
+    }
+
+    #[test]
+    fn larger_random_symmetric_matrix() {
+        let mut state: u64 = 42;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let n = 12;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = next();
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!(e.reconstruct().unwrap().max_abs_diff(&a) < 1e-9);
+        // Trace equals sum of eigenvalues.
+        let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        assert!((trace - e.values.sum()).abs() < 1e-9);
+    }
+}

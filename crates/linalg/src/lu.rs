@@ -1,0 +1,298 @@
+//! LU decomposition with partial pivoting.
+
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// LU decomposition `P·A = L·U` with partial (row) pivoting.
+///
+/// The factors are stored packed in a single matrix (`L` strictly below the
+/// diagonal with implicit unit diagonal, `U` on and above), plus the pivot
+/// permutation. A factorization is computed once per thermal model and reused
+/// for every solve — the scheduling algorithms call [`Lu::solve_vec`] in inner
+/// loops, so solve cost matters more than factor cost.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    packed: Matrix,
+    pivots: Vec<usize>,
+    /// Sign of the permutation, for determinants.
+    perm_sign: f64,
+}
+
+/// Threshold below which a pivot is considered to be exactly zero and the
+/// matrix singular. Scaled by the largest absolute entry of the matrix.
+const PIVOT_REL_TOL: f64 = 1e-14;
+
+impl Lu {
+    /// Factorizes a square matrix.
+    ///
+    /// # Errors
+    /// * [`LinalgError::NotSquare`] for rectangular input.
+    /// * [`LinalgError::NonFinite`] when the matrix contains NaN/∞.
+    /// * [`LinalgError::Singular`] when a pivot underflows the tolerance.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape(), op: "lu" });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite { op: "lu" });
+        }
+        let n = a.rows();
+        let mut m = a.clone();
+        let mut pivots = Vec::with_capacity(n);
+        let mut perm_sign = 1.0;
+        let scale = a.max_abs().max(1.0);
+
+        for k in 0..n {
+            // Pick the largest pivot in column k at or below row k.
+            let mut p = k;
+            let mut best = m[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = m[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best <= PIVOT_REL_TOL * scale {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = m[(k, j)];
+                    m[(k, j)] = m[(p, j)];
+                    m[(p, j)] = tmp;
+                }
+                perm_sign = -perm_sign;
+            }
+            pivots.push(p);
+
+            let pivot = m[(k, k)];
+            for i in (k + 1)..n {
+                let factor = m[(i, k)] / pivot;
+                m[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let u = m[(k, j)];
+                    m[(i, j)] -= factor * u;
+                }
+            }
+        }
+        Ok(Self { packed: m, pivots, perm_sign })
+    }
+
+    /// Dimension of the factored matrix.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.packed.rows()
+    }
+
+    /// Solves `A·x = b` for a single right-hand side.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] when `b.len() != dim`.
+    pub fn solve_vec(&self, b: &Vector) -> Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n, n),
+                right: (b.len(), 1),
+                op: "lu_solve",
+            });
+        }
+        let mut x = b.clone();
+        // Apply the pivot permutation.
+        for (k, &p) in self.pivots.iter().enumerate() {
+            if p != k {
+                x.as_mut_slice().swap(k, p);
+            }
+        }
+        // Forward substitution with the unit-diagonal L.
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.packed[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.packed[(i, j)] * x[j];
+            }
+            x[i] = acc / self.packed[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A·X = B` for a matrix right-hand side, column by column.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] when `B.rows() != dim`.
+    pub fn solve_mat(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n, n),
+                right: b.shape(),
+                op: "lu_solve_mat",
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = self.solve_vec(&b.col(j))?;
+            for i in 0..n {
+                out[(i, j)] = col[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// The inverse matrix `A⁻¹`.
+    ///
+    /// # Errors
+    /// Propagates solve failures (cannot occur for a successfully factored
+    /// matrix, but the signature stays honest).
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_mat(&Matrix::identity(self.dim()))
+    }
+
+    /// Determinant of the factored matrix.
+    #[must_use]
+    pub fn det(&self) -> f64 {
+        let mut det = self.perm_sign;
+        for i in 0..self.dim() {
+            det *= self.packed[(i, i)];
+        }
+        det
+    }
+
+    /// Crude reciprocal-condition estimate `min|u_ii| / max|u_ii|`; cheap and
+    /// good enough to flag the pathological floorplans the failure-injection
+    /// tests construct.
+    #[must_use]
+    pub fn rcond_estimate(&self) -> f64 {
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0_f64;
+        for i in 0..self.dim() {
+            let u = self.packed[(i, i)].abs();
+            lo = lo.min(u);
+            hi = hi.max(u);
+        }
+        if hi == 0.0 {
+            0.0
+        } else {
+            lo / hi
+        }
+    }
+}
+
+/// One-shot convenience: solves `A·x = b` without keeping the factorization.
+///
+/// # Errors
+/// Propagates factorization and solve errors.
+pub fn solve(a: &Matrix, b: &Vector) -> Result<Vector> {
+    Lu::new(a)?.solve_vec(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Matrix, x: &Vector, b: &Vector) -> f64 {
+        let ax = a.matvec(x).unwrap();
+        ax.max_abs_diff(b)
+    }
+
+    #[test]
+    fn solves_known_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let b = Vector::from_slice(&[5.0, 10.0]);
+        let x = solve(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let b = Vector::from_slice(&[2.0, 3.0]);
+        let x = solve(&a, &b).unwrap();
+        assert_eq!(x.as_slice(), &[3.0, 2.0]);
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(Lu::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rejects_non_square_and_non_finite() {
+        assert!(matches!(
+            Lu::new(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        let mut a = Matrix::identity(2);
+        a[(0, 1)] = f64::NAN;
+        assert!(matches!(Lu::new(&a), Err(LinalgError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]);
+        let inv = Lu::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(2)) < 1e-12);
+    }
+
+    #[test]
+    fn determinant_matches_closed_form() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]);
+        assert!((Lu::new(&a).unwrap().det() - 10.0).abs() < 1e-12);
+        // Permutation flips the sign bookkeeping, not the value.
+        let p = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!((Lu::new(&p).unwrap().det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_mat_columnwise() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 6.0], &[2.0, 4.0]]);
+        let x = Lu::new(&a).unwrap().solve_mat(&b).unwrap();
+        assert!(x.max_abs_diff(&Matrix::from_rows(&[&[1.0, 2.0], &[1.0, 2.0]])) < 1e-12);
+        assert!(Lu::new(&a).unwrap().solve_mat(&Matrix::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_on_solve() {
+        let lu = Lu::new(&Matrix::identity(2)).unwrap();
+        assert!(lu.solve_vec(&Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn rcond_flags_bad_scaling() {
+        let good = Lu::new(&Matrix::identity(3)).unwrap();
+        assert!((good.rcond_estimate() - 1.0).abs() < 1e-12);
+        let bad = Lu::new(&Matrix::from_diag(&[1.0, 1e-12])).unwrap();
+        assert!(bad.rcond_estimate() < 1e-10);
+    }
+
+    #[test]
+    fn random_systems_have_small_residual() {
+        // Deterministic LCG so the test is reproducible without rand.
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        for n in [1usize, 2, 5, 12] {
+            let mut a = Matrix::from_fn(n, n, |_, _| next());
+            // Diagonal dominance guarantees non-singularity.
+            for i in 0..n {
+                a[(i, i)] += n as f64;
+            }
+            let b = Vector::from_fn(n, |_| next());
+            let x = solve(&a, &b).unwrap();
+            assert!(residual(&a, &x, &b) < 1e-10, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,549 @@
+//! Dense row-major matrix type.
+
+use crate::{LinalgError, Result, Vector};
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A dense, row-major `f64` matrix.
+///
+/// Sized for the thermal networks of this workspace (tens of nodes): the
+/// implementation favours clarity and exhaustive shape checking over blocked
+/// kernels. All fallible operations return [`LinalgError`] instead of
+/// panicking, except the `std::ops` operator impls which panic on shape
+/// mismatch (mirroring the convention of every dense linear-algebra library).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows × cols` matrix with every element equal to `value`.
+    #[must_use]
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::ShapeMismatch {
+                left: (rows, cols),
+                right: (data.len(), 1),
+                op: "from_vec",
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix from nested row slices. Panics if rows are ragged.
+    /// Intended for literals in tests and examples.
+    #[must_use]
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows in Matrix::from_rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Creates a square diagonal matrix from the given diagonal entries.
+    #[must_use]
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m.data[i * n + i] = d;
+        }
+        m
+    }
+
+    /// Builds a matrix element-wise from a closure `f(row, col)`.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `true` when the matrix is square.
+    #[inline]
+    #[must_use]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow the underlying row-major data.
+    #[inline]
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Extract column `j` as a [`Vector`].
+    #[must_use]
+    pub fn col(&self, j: usize) -> Vector {
+        Vector::from_fn(self.rows, |i| self.data[i * self.cols + j])
+    }
+
+    /// Checked element access.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::IndexOutOfBounds`] for an invalid index.
+    pub fn get(&self, i: usize, j: usize) -> Result<f64> {
+        if i >= self.rows || j >= self.cols {
+            return Err(LinalgError::IndexOutOfBounds { index: (i, j), shape: self.shape() });
+        }
+        Ok(self.data[i * self.cols + j])
+    }
+
+    /// Returns the main diagonal as a [`Vector`]. For non-square matrices the
+    /// diagonal has `min(rows, cols)` entries.
+    #[must_use]
+    pub fn diag(&self) -> Vector {
+        let n = self.rows.min(self.cols);
+        Vector::from_fn(n, |i| self.data[i * self.cols + i])
+    }
+
+    /// Transposed copy.
+    #[must_use]
+    pub fn transpose(&self) -> Self {
+        let mut t = Self::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] when the inner dimensions differ.
+    pub fn matmul(&self, rhs: &Self) -> Result<Self> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+                op: "matmul",
+            });
+        }
+        let mut out = Self::zeros(self.rows, rhs.cols);
+        // i-k-j loop order keeps the inner loop contiguous for both the
+        // output row and the rhs row — the standard cache-friendly ordering
+        // for row-major storage.
+        for i in 0..self.rows {
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self · x`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] when `x.len() != cols`.
+    pub fn matvec(&self, x: &Vector) -> Result<Vector> {
+        if self.cols != x.len() {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: (x.len(), 1),
+                op: "matvec",
+            });
+        }
+        let mut out = Vector::zeros(self.rows);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x.as_slice()) {
+                acc += a * b;
+            }
+            out[i] = acc;
+        }
+        Ok(out)
+    }
+
+    /// In-place scaling by a scalar.
+    pub fn scale_mut(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Scaled copy.
+    #[must_use]
+    pub fn scaled(&self, s: f64) -> Self {
+        let mut m = self.clone();
+        m.scale_mut(s);
+        m
+    }
+
+    /// `self + s·I` for square matrices, used by the Padé kernels.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::NotSquare`] for non-square input.
+    pub fn add_scaled_identity(&self, s: f64) -> Result<Self> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare { shape: self.shape(), op: "add_scaled_identity" });
+        }
+        let mut m = self.clone();
+        for i in 0..self.rows {
+            m.data[i * self.cols + i] += s;
+        }
+        Ok(m)
+    }
+
+    /// Element-wise maximum entry (ignores sign).
+    #[must_use]
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Largest element value (signed).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.data.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v))
+    }
+
+    /// `true` when every element is finite.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// `true` when the matrix is symmetric to within `tol`.
+    #[must_use]
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self.data[i * self.cols + j] - self.data[j * self.cols + i]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// `true` when every element of `self` is `<=` the corresponding element
+    /// of `other` plus `tol` — the element-wise partial order the paper uses
+    /// for temperature-vector comparisons.
+    ///
+    /// # Panics
+    /// Panics when shapes differ.
+    #[must_use]
+    pub fn le_elementwise(&self, other: &Self, tol: f64) -> bool {
+        assert_eq!(self.shape(), other.shape(), "le_elementwise shape mismatch");
+        self.data.iter().zip(&other.data).all(|(a, b)| *a <= *b + tol)
+    }
+
+    /// Maximum absolute element-wise difference to `other`.
+    ///
+    /// # Panics
+    /// Panics when shapes differ.
+    #[must_use]
+    pub fn max_abs_diff(&self, other: &Self) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "max_abs_diff shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+macro_rules! elementwise_op {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident, $op:tt) => {
+        impl $trait<&Matrix> for &Matrix {
+            type Output = Matrix;
+            fn $method(self, rhs: &Matrix) -> Matrix {
+                assert_eq!(self.shape(), rhs.shape(), concat!(stringify!($method), " shape mismatch"));
+                let data = self
+                    .data
+                    .iter()
+                    .zip(&rhs.data)
+                    .map(|(a, b)| a $op b)
+                    .collect();
+                Matrix { rows: self.rows, cols: self.cols, data }
+            }
+        }
+        impl $trait for Matrix {
+            type Output = Matrix;
+            fn $method(self, rhs: Matrix) -> Matrix {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $assign_trait<&Matrix> for Matrix {
+            fn $assign_method(&mut self, rhs: &Matrix) {
+                assert_eq!(self.shape(), rhs.shape(), concat!(stringify!($assign_method), " shape mismatch"));
+                for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+                    *a = *a $op b;
+                }
+            }
+        }
+    };
+}
+
+elementwise_op!(Add, add, AddAssign, add_assign, +);
+elementwise_op!(Sub, sub, SubAssign, sub_assign, -);
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, s: f64) -> Matrix {
+        self.scaled(s)
+    }
+}
+
+impl Mul<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        self.matmul(rhs).expect("matmul shape mismatch")
+    }
+}
+
+impl MulAssign<f64> for Matrix {
+    fn mul_assign(&mut self, s: f64) {
+        self.scale_mut(s);
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+    fn neg(self) -> Matrix {
+        self.scaled(-1.0)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{:>12.6}", self.data[i * self.cols + j])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_shapes() {
+        assert_eq!(Matrix::zeros(2, 3).shape(), (2, 3));
+        assert_eq!(Matrix::identity(4)[(2, 2)], 1.0);
+        assert_eq!(Matrix::identity(4)[(2, 1)], 0.0);
+        assert_eq!(Matrix::filled(2, 2, 7.0)[(1, 1)], 7.0);
+        let d = Matrix::from_diag(&[1.0, 2.0, 3.0]);
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), (1, 1));
+        assert_eq!(c[(0, 0)], 3.0);
+        assert!(b.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let x = Vector::from_slice(&[5.0, 6.0]);
+        let y = a.matvec(&x).unwrap();
+        assert_eq!(y.as_slice(), &[17.0, 39.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::identity(2);
+        let s = &a + &b;
+        assert_eq!(s[(0, 0)], 2.0);
+        let d = &s - &b;
+        assert_eq!(d, a);
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c, s);
+        c -= &b;
+        assert_eq!(c, a);
+        assert_eq!((&a * 2.0)[(1, 1)], 8.0);
+        assert_eq!((-&a)[(0, 1)], -2.0);
+    }
+
+    #[test]
+    fn diag_and_col_extraction() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.diag().as_slice(), &[1.0, 4.0]);
+        assert_eq!(a.col(1).as_slice(), &[2.0, 4.0]);
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let s = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        assert!(s.is_symmetric(1e-12));
+        let ns = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 2.0]]);
+        assert!(!ns.is_symmetric(1e-12));
+        assert!(!Matrix::zeros(2, 3).is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn elementwise_order_and_diff() {
+        let a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 2.0);
+        assert!(a.le_elementwise(&b, 0.0));
+        assert!(!b.le_elementwise(&a, 0.0));
+        assert!((a.max_abs_diff(&b) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn checked_get() {
+        let a = Matrix::identity(2);
+        assert_eq!(a.get(1, 1).unwrap(), 1.0);
+        assert!(a.get(2, 0).is_err());
+    }
+
+    #[test]
+    fn add_scaled_identity_on_square_only() {
+        let a = Matrix::zeros(2, 2).add_scaled_identity(3.0).unwrap();
+        assert_eq!(a, Matrix::from_diag(&[3.0, 3.0]));
+        assert!(Matrix::zeros(2, 3).add_scaled_identity(1.0).is_err());
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let a = Matrix::identity(2);
+        let s = format!("{a}");
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn max_and_finiteness() {
+        let a = Matrix::from_rows(&[&[-5.0, 2.0], &[3.0, -4.0]]);
+        assert_eq!(a.max_abs(), 5.0);
+        assert_eq!(a.max(), 3.0);
+        assert!(a.is_finite());
+        let mut b = a.clone();
+        b[(0, 0)] = f64::NAN;
+        assert!(!b.is_finite());
+    }
+}

@@ -1,0 +1,63 @@
+//! Matrix norms.
+
+use crate::Matrix;
+
+/// 1-norm: maximum absolute column sum. This is the norm the Padé
+/// backward-error bounds of [`crate::expm`] are stated in.
+#[must_use]
+pub fn norm_1(a: &Matrix) -> f64 {
+    let mut best = 0.0_f64;
+    for j in 0..a.cols() {
+        let mut sum = 0.0;
+        for i in 0..a.rows() {
+            sum += a[(i, j)].abs();
+        }
+        best = best.max(sum);
+    }
+    best
+}
+
+/// Infinity norm: maximum absolute row sum.
+#[must_use]
+pub fn norm_inf(a: &Matrix) -> f64 {
+    let mut best = 0.0_f64;
+    for i in 0..a.rows() {
+        let sum: f64 = a.row(i).iter().map(|v| v.abs()).sum();
+        best = best.max(sum);
+    }
+    best
+}
+
+/// Frobenius norm.
+#[must_use]
+pub fn norm_fro(a: &Matrix) -> f64 {
+    a.as_slice().iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_norms() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[-3.0, 4.0]]);
+        assert_eq!(norm_1(&a), 6.0); // column 1: |−2|+|4| = 6
+        assert_eq!(norm_inf(&a), 7.0); // row 1: |−3|+|4| = 7
+        assert!((norm_fro(&a) - 30.0_f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn norms_of_zero_matrix() {
+        let z = Matrix::zeros(3, 2);
+        assert_eq!(norm_1(&z), 0.0);
+        assert_eq!(norm_inf(&z), 0.0);
+        assert_eq!(norm_fro(&z), 0.0);
+    }
+
+    #[test]
+    fn one_and_inf_are_transposes() {
+        let a = Matrix::from_rows(&[&[1.0, 5.0, -2.0], &[0.5, -1.0, 3.0]]);
+        assert_eq!(norm_1(&a), norm_inf(&a.transpose()));
+        assert_eq!(norm_inf(&a), norm_1(&a.transpose()));
+    }
+}

@@ -1,0 +1,371 @@
+//! Dense vector type used for temperatures, power profiles and voltages.
+
+use crate::{LinalgError, Result};
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A dense `f64` column vector.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Vector {
+    data: Vec<f64>,
+}
+
+impl Vector {
+    /// Zero vector of length `n`.
+    #[must_use]
+    pub fn zeros(n: usize) -> Self {
+        Self { data: vec![0.0; n] }
+    }
+
+    /// Vector of length `n` with every entry equal to `value`.
+    #[must_use]
+    pub fn filled(n: usize, value: f64) -> Self {
+        Self { data: vec![value; n] }
+    }
+
+    /// Copies a slice into a new vector.
+    #[must_use]
+    pub fn from_slice(s: &[f64]) -> Self {
+        Self { data: s.to_vec() }
+    }
+
+    /// Builds a vector element-wise from a closure.
+    #[must_use]
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> f64) -> Self {
+        Self { data: (0..n).map(&mut f).collect() }
+    }
+
+    /// Length of the vector.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the vector has no elements.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the underlying data.
+    #[inline]
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector and returns its storage.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Iterator over the elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.data.iter()
+    }
+
+    /// Dot product.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] when lengths differ.
+    pub fn dot(&self, other: &Self) -> Result<f64> {
+        if self.len() != other.len() {
+            return Err(LinalgError::ShapeMismatch {
+                left: (self.len(), 1),
+                right: (other.len(), 1),
+                op: "dot",
+            });
+        }
+        Ok(self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum())
+    }
+
+    /// Sum of all elements.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean (0 for the empty vector).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Largest element (−∞ for the empty vector).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.data.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v))
+    }
+
+    /// Smallest element (+∞ for the empty vector).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.data.iter().fold(f64::INFINITY, |m, &v| m.min(v))
+    }
+
+    /// Index of the largest element; `None` for the empty vector.
+    /// Ties resolve to the lowest index.
+    #[must_use]
+    pub fn argmax(&self) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &v) in self.data.iter().enumerate() {
+            match best {
+                Some((_, b)) if v <= b => {}
+                _ => best = Some((i, v)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Euclidean norm.
+    #[must_use]
+    pub fn norm_2(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Infinity norm (largest absolute element).
+    #[must_use]
+    pub fn norm_inf(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// `true` when every element is finite.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Element-wise `≤` with tolerance, the paper's temperature-vector order.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn le_elementwise(&self, other: &Self, tol: f64) -> bool {
+        assert_eq!(self.len(), other.len(), "le_elementwise length mismatch");
+        self.data.iter().zip(&other.data).all(|(a, b)| *a <= *b + tol)
+    }
+
+    /// Maximum absolute element-wise difference.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn max_abs_diff(&self, other: &Self) -> f64 {
+        assert_eq!(self.len(), other.len(), "max_abs_diff length mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+    }
+
+    /// Scaled copy.
+    #[must_use]
+    pub fn scaled(&self, s: f64) -> Self {
+        Self { data: self.data.iter().map(|v| v * s).collect() }
+    }
+
+    /// `self + s·other`, the AXPY kernel.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn axpy(&self, s: f64, other: &Self) -> Self {
+        assert_eq!(self.len(), other.len(), "axpy length mismatch");
+        Self {
+            data: self.data.iter().zip(&other.data).map(|(a, b)| a + s * b).collect(),
+        }
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(data: Vec<f64>) -> Self {
+        Self { data }
+    }
+}
+
+impl FromIterator<f64> for Vector {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Self { data: iter.into_iter().collect() }
+    }
+}
+
+impl<'a> IntoIterator for &'a Vector {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+impl Add<&Vector> for &Vector {
+    type Output = Vector;
+    fn add(self, rhs: &Vector) -> Vector {
+        self.axpy(1.0, rhs)
+    }
+}
+
+impl Sub<&Vector> for &Vector {
+    type Output = Vector;
+    fn sub(self, rhs: &Vector) -> Vector {
+        self.axpy(-1.0, rhs)
+    }
+}
+
+impl AddAssign<&Vector> for Vector {
+    fn add_assign(&mut self, rhs: &Vector) {
+        assert_eq!(self.len(), rhs.len(), "add_assign length mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+}
+
+impl SubAssign<&Vector> for Vector {
+    fn sub_assign(&mut self, rhs: &Vector) {
+        assert_eq!(self.len(), rhs.len(), "sub_assign length mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a -= b;
+        }
+    }
+}
+
+impl Mul<f64> for &Vector {
+    type Output = Vector;
+    fn mul(self, s: f64) -> Vector {
+        self.scaled(s)
+    }
+}
+
+impl Neg for &Vector {
+    type Output = Vector;
+    fn neg(self) -> Vector {
+        self.scaled(-1.0)
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.data.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.6}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let v = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+        assert_eq!(v[1], 2.0);
+        let w = Vector::from_fn(3, |i| i as f64);
+        assert_eq!(w.as_slice(), &[0.0, 1.0, 2.0]);
+        assert!(Vector::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn reductions() {
+        let v = Vector::from_slice(&[1.0, -2.0, 3.0]);
+        assert_eq!(v.sum(), 2.0);
+        assert!((v.mean() - 2.0 / 3.0).abs() < 1e-15);
+        assert_eq!(v.max(), 3.0);
+        assert_eq!(v.min(), -2.0);
+        assert_eq!(v.argmax(), Some(2));
+        assert_eq!(v.norm_inf(), 3.0);
+        assert!((v.norm_2() - 14.0_f64.sqrt()).abs() < 1e-15);
+        assert_eq!(Vector::zeros(0).argmax(), None);
+        assert_eq!(Vector::zeros(0).mean(), 0.0);
+    }
+
+    #[test]
+    fn argmax_ties_pick_first() {
+        let v = Vector::from_slice(&[5.0, 5.0, 1.0]);
+        assert_eq!(v.argmax(), Some(0));
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Vector::from_slice(&[1.0, 2.0]);
+        let b = Vector::from_slice(&[3.0, 4.0]);
+        assert_eq!(a.dot(&b).unwrap(), 11.0);
+        assert!(a.dot(&Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Vector::from_slice(&[1.0, 2.0]);
+        let b = Vector::from_slice(&[3.0, 4.0]);
+        assert_eq!((&a + &b).as_slice(), &[4.0, 6.0]);
+        assert_eq!((&b - &a).as_slice(), &[2.0, 2.0]);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
+        assert_eq!(a.axpy(2.0, &b).as_slice(), &[7.0, 10.0]);
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c.as_slice(), &[4.0, 6.0]);
+        c -= &b;
+        assert_eq!(c.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn elementwise_order() {
+        let a = Vector::from_slice(&[1.0, 2.0]);
+        let b = Vector::from_slice(&[1.0, 3.0]);
+        assert!(a.le_elementwise(&b, 0.0));
+        assert!(!b.le_elementwise(&a, 0.0));
+        assert!(b.le_elementwise(&a, 1.5));
+        assert_eq!(a.max_abs_diff(&b), 1.0);
+    }
+
+    #[test]
+    fn conversions_and_iteration() {
+        let v: Vector = vec![1.0, 2.0].into();
+        let w: Vector = v.iter().map(|x| x * 2.0).collect();
+        assert_eq!(w.as_slice(), &[2.0, 4.0]);
+        assert_eq!(w.into_vec(), vec![2.0, 4.0]);
+        let total: f64 = (&v).into_iter().sum();
+        assert_eq!(total, 3.0);
+    }
+
+    #[test]
+    fn display() {
+        let v = Vector::from_slice(&[1.0, 2.5]);
+        assert_eq!(format!("{v}"), "[1.000000, 2.500000]");
+    }
+}

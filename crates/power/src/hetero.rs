@@ -1,0 +1,170 @@
+//! Per-core power heterogeneity.
+//!
+//! The paper assumes one `(α, β, γ)` triple for the whole chip. Real silicon
+//! has process variation (die-to-die and within-die), and heterogeneous
+//! designs mix core types outright. [`CorePowerTable`] carries one
+//! [`PowerModel`] per core; the [`PowerLike`] trait lets the thermal
+//! evaluation machinery accept either the uniform or the per-core form, so a
+//! schedule certified against the nominal model can be re-evaluated against
+//! variation samples (the `robustness` experiment).
+
+use crate::{PowerError, PowerModel};
+use serde::{Deserialize, Serialize};
+
+/// Anything that can turn a per-core voltage assignment into per-core
+/// temperature-independent power. Implemented by the chip-uniform
+/// [`PowerModel`] and the per-core [`CorePowerTable`].
+pub trait PowerLike {
+    /// ψ for one core at voltage `v`.
+    fn psi_core(&self, core: usize, v: f64) -> f64;
+
+    /// ψ evaluated over a voltage slice.
+    fn psi_profile_of(&self, voltages: &[f64]) -> Vec<f64> {
+        voltages
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| self.psi_core(i, v))
+            .collect()
+    }
+
+    /// Leakage temperature sensitivity of one core (W/K).
+    fn beta_core(&self, core: usize) -> f64;
+}
+
+impl PowerLike for PowerModel {
+    fn psi_core(&self, _core: usize, v: f64) -> f64 {
+        self.psi(v)
+    }
+
+    fn beta_core(&self, _core: usize) -> f64 {
+        self.beta
+    }
+}
+
+/// One power model per core.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorePowerTable {
+    models: Vec<PowerModel>,
+}
+
+impl CorePowerTable {
+    /// Builds a table from explicit per-core models.
+    ///
+    /// # Errors
+    /// Rejects an empty list.
+    pub fn from_models(models: Vec<PowerModel>) -> Result<Self, PowerError> {
+        if models.is_empty() {
+            return Err(PowerError::InvalidParameter { what: "need at least one core model" });
+        }
+        Ok(Self { models })
+    }
+
+    /// `n` copies of one model (equivalent to the uniform chip).
+    ///
+    /// # Errors
+    /// Rejects `n == 0`.
+    pub fn uniform(model: PowerModel, n: usize) -> Result<Self, PowerError> {
+        Self::from_models(vec![model; n])
+    }
+
+    /// A variation sample around a nominal model: per-core `γ` and `α`
+    /// scaled by the given multipliers (e.g. drawn from ±10 %).
+    ///
+    /// # Errors
+    /// Rejects mismatched lengths or multipliers producing invalid models.
+    pub fn with_variation(
+        nominal: PowerModel,
+        gamma_scale: &[f64],
+        alpha_scale: &[f64],
+    ) -> Result<Self, PowerError> {
+        if gamma_scale.len() != alpha_scale.len() || gamma_scale.is_empty() {
+            return Err(PowerError::InvalidParameter {
+                what: "variation slices must be non-empty and equal-length",
+            });
+        }
+        let models = gamma_scale
+            .iter()
+            .zip(alpha_scale)
+            .map(|(&gs, &as_)| {
+                PowerModel::new(nominal.alpha * as_, nominal.beta, nominal.gamma * gs)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::from_models(models)
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn n_cores(&self) -> usize {
+        self.models.len()
+    }
+
+    /// The model of one core.
+    #[must_use]
+    pub fn model(&self, core: usize) -> &PowerModel {
+        &self.models[core]
+    }
+
+    /// Per-core β values, in core order (for the thermal state matrix).
+    #[must_use]
+    pub fn betas(&self) -> Vec<f64> {
+        self.models.iter().map(|m| m.beta).collect()
+    }
+}
+
+impl PowerLike for CorePowerTable {
+    fn psi_core(&self, core: usize, v: f64) -> f64 {
+        self.models[core].psi(v)
+    }
+
+    fn beta_core(&self, core: usize) -> f64 {
+        self.models[core].beta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nominal() -> PowerModel {
+        PowerModel::new(1.0, 0.03, 8.0).unwrap()
+    }
+
+    #[test]
+    fn uniform_table_matches_single_model() {
+        let t = CorePowerTable::uniform(nominal(), 3).unwrap();
+        assert_eq!(t.n_cores(), 3);
+        for v in [0.6, 1.0, 1.3] {
+            assert_eq!(t.psi_core(2, v), nominal().psi(v));
+        }
+        let profile = t.psi_profile_of(&[0.6, 1.0, 1.3]);
+        let direct = nominal().psi_profile(&[0.6, 1.0, 1.3]);
+        assert_eq!(profile, direct);
+    }
+
+    #[test]
+    fn variation_scales_each_core() {
+        let t = CorePowerTable::with_variation(nominal(), &[0.9, 1.1], &[1.0, 1.0]).unwrap();
+        assert!(t.psi_core(0, 1.0) < t.psi_core(1, 1.0));
+        assert_eq!(t.betas(), vec![0.03, 0.03]);
+        // Trait default profile uses the per-core models.
+        let p = t.psi_profile_of(&[1.0, 1.0]);
+        assert!(p[0] < p[1]);
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(CorePowerTable::from_models(vec![]).is_err());
+        assert!(CorePowerTable::uniform(nominal(), 0).is_err());
+        assert!(CorePowerTable::with_variation(nominal(), &[1.0], &[]).is_err());
+        // Negative multiplier invalidates the model.
+        assert!(CorePowerTable::with_variation(nominal(), &[-1.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn power_model_implements_power_like() {
+        let m = nominal();
+        assert_eq!(PowerLike::psi_core(&m, 5, 1.0), m.psi(1.0));
+        assert_eq!(PowerLike::beta_core(&m, 0), 0.03);
+        assert_eq!(m.psi_profile_of(&[0.6, 1.3]), m.psi_profile(&[0.6, 1.3]));
+    }
+}

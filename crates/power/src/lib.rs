@@ -1,0 +1,86 @@
+//! Power and DVFS modeling for temperature-constrained scheduling.
+//!
+//! Implements eq. (1) of Sha et al. (ICPP 2016): the total power of core *i*
+//! running at supply voltage `v` and temperature `T` is
+//!
+//! ```text
+//! P_i(t) = α(v) + β·T_i(t) + γ(v)·v³
+//! ```
+//!
+//! where the `β·T` term is the temperature-dependent leakage (folded into the
+//! thermal state matrix by `mosc-thermal`) and `ψ(v) = α + γ·v³` is the
+//! temperature-independent part this crate computes. Following the paper, the
+//! supply voltage doubles as the normalized processing speed (*"we use v and f
+//! interchangeably"*), so a core's throughput contribution over an interval is
+//! simply `v · length`.
+//!
+//! The crate provides:
+//! * [`PowerModel`] — the `(α, β, γ)` parameterization with presets abstracted
+//!   from McPAT-class numbers for a 65 nm, 4×4 mm core.
+//! * [`ModeTable`] — discrete voltage levels with neighbor lookup, including
+//!   the paper's Table IV level sets.
+//! * [`TransitionOverhead`] — the DVFS stall model `τ`, the compensation time
+//!   `δ_i = (v_H + v_L)·τ / (v_H − v_L)` and the oscillation bound
+//!   `M_i = ⌊t_L / (δ_i + τ)⌋` of Section V.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod hetero;
+mod model;
+mod modes;
+mod overhead;
+mod params;
+
+pub use hetero::{CorePowerTable, PowerLike};
+pub use model::PowerModel;
+pub use modes::{ModeTable, NeighborModes};
+pub use overhead::TransitionOverhead;
+pub use params::{Params65nm, PlatformParams};
+
+/// Errors produced by the power crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PowerError {
+    /// A voltage was outside the table's supported range.
+    VoltageOutOfRange {
+        /// The offending voltage.
+        voltage: f64,
+        /// Supported range.
+        range: (f64, f64),
+    },
+    /// A mode table needs at least one level.
+    EmptyModeTable,
+    /// Parameters failed validation (non-positive step, NaN, ...).
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for PowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::VoltageOutOfRange { voltage, range } => write!(
+                f,
+                "voltage {voltage} V outside supported range [{}, {}] V",
+                range.0, range.1
+            ),
+            Self::EmptyModeTable => write!(f, "mode table must contain at least one level"),
+            Self::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = PowerError::VoltageOutOfRange { voltage: 2.0, range: (0.6, 1.3) };
+        assert!(e.to_string().contains("2"));
+        assert!(PowerError::EmptyModeTable.to_string().contains("at least one"));
+    }
+}

@@ -1,0 +1,160 @@
+//! The `(α, β, γ)` power model of eq. (1).
+
+use crate::PowerError;
+use serde::{Deserialize, Serialize};
+
+/// Per-core power model `P(v, T) = ψ(v) + β·T` with `ψ(v) = α + γ·v³`.
+///
+/// Temperatures are measured **relative to ambient** throughout the
+/// workspace, so the constant leakage floor `β·T_amb` is considered part of
+/// `α`. An inactive core (`v = 0`) draws no power, matching the paper's
+/// convention that `v = f = 0` for a powered-down core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Voltage-independent active power floor (W). Includes the
+    /// ambient-temperature leakage `β·T_amb`.
+    pub alpha: f64,
+    /// Leakage temperature sensitivity (W/K), the `β` of eq. (1).
+    pub beta: f64,
+    /// Dynamic power coefficient (W/V³), the `γ` of eq. (1).
+    pub gamma: f64,
+}
+
+impl PowerModel {
+    /// Creates a model after validating that all coefficients are finite and
+    /// non-negative.
+    ///
+    /// # Errors
+    /// Returns [`PowerError::InvalidParameter`] for NaN/∞ or negative values.
+    pub fn new(alpha: f64, beta: f64, gamma: f64) -> Result<Self, PowerError> {
+        for (v, what) in [
+            (alpha, "alpha must be finite and >= 0"),
+            (beta, "beta must be finite and >= 0"),
+            (gamma, "gamma must be finite and >= 0"),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(PowerError::InvalidParameter { what });
+            }
+        }
+        Ok(Self { alpha, beta, gamma })
+    }
+
+    /// Temperature-independent power `ψ(v) = α + γ·v³`, zero for an inactive
+    /// core (`v = 0`).
+    #[inline]
+    #[must_use]
+    pub fn psi(&self, v: f64) -> f64 {
+        if v == 0.0 {
+            0.0
+        } else {
+            self.alpha + self.gamma * v * v * v
+        }
+    }
+
+    /// Total power at relative temperature `t` (K above ambient).
+    #[inline]
+    #[must_use]
+    pub fn total(&self, v: f64, t: f64) -> f64 {
+        if v == 0.0 {
+            0.0
+        } else {
+            self.psi(v) + self.beta * t
+        }
+    }
+
+    /// Inverts `ψ` for an active core: the voltage whose
+    /// temperature-independent power equals `psi`. Returns `None` when
+    /// `psi < α` (no active voltage can draw that little).
+    #[must_use]
+    pub fn voltage_for_psi(&self, psi: f64) -> Option<f64> {
+        if psi < self.alpha || self.gamma == 0.0 {
+            return None;
+        }
+        Some(((psi - self.alpha) / self.gamma).cbrt())
+    }
+
+    /// ψ evaluated over a voltage slice — the per-core power vector that
+    /// `mosc-thermal` turns into the input matrix `B(v)`.
+    #[must_use]
+    pub fn psi_profile(&self, voltages: &[f64]) -> Vec<f64> {
+        voltages.iter().map(|&v| self.psi(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PowerModel {
+        PowerModel::new(1.0, 0.03, 8.0).unwrap()
+    }
+
+    #[test]
+    fn psi_is_cubic_plus_floor() {
+        let m = model();
+        assert!((m.psi(1.0) - 9.0).abs() < 1e-12);
+        assert!((m.psi(0.5) - (1.0 + 8.0 * 0.125)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inactive_core_draws_nothing() {
+        let m = model();
+        assert_eq!(m.psi(0.0), 0.0);
+        assert_eq!(m.total(0.0, 50.0), 0.0);
+    }
+
+    #[test]
+    fn total_adds_leakage() {
+        let m = model();
+        assert!((m.total(1.0, 10.0) - (9.0 + 0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voltage_for_psi_inverts_psi() {
+        let m = model();
+        for v in [0.6, 0.8, 1.0, 1.3] {
+            let back = m.voltage_for_psi(m.psi(v)).unwrap();
+            assert!((back - v).abs() < 1e-12, "v={v}");
+        }
+        assert!(m.voltage_for_psi(0.5).is_none()); // below alpha
+    }
+
+    #[test]
+    fn psi_is_monotone_in_voltage() {
+        let m = model();
+        let mut prev = m.psi(0.1);
+        for i in 2..=13 {
+            let v = 0.1 * i as f64;
+            let p = m.psi(v);
+            assert!(p > prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn psi_profile_maps_each_core() {
+        let m = model();
+        let p = m.psi_profile(&[0.0, 1.0]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0], 0.0);
+        assert!((p[1] - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_invalid_coefficients() {
+        assert!(PowerModel::new(f64::NAN, 0.0, 1.0).is_err());
+        assert!(PowerModel::new(1.0, -0.1, 1.0).is_err());
+        assert!(PowerModel::new(1.0, 0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn psi_convexity_discrete_check() {
+        // ψ is convex in v: midpoint rule on a few triples. This is the fact
+        // Theorem 3's proof leans on.
+        let m = model();
+        for (lo, hi) in [(0.6, 1.3), (0.7, 1.0), (0.9, 1.2)] {
+            let mid = 0.5 * (lo + hi);
+            assert!(m.psi(mid) <= 0.5 * (m.psi(lo) + m.psi(hi)) + 1e-12);
+        }
+    }
+}

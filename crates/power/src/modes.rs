@@ -1,0 +1,353 @@
+//! Discrete DVFS mode tables.
+
+use crate::PowerError;
+use serde::{Deserialize, Serialize};
+
+/// The two discrete levels bracketing a continuous target voltage, plus the
+/// execution-time ratios that preserve its throughput (eq. 11 of the paper):
+///
+/// ```text
+/// v_H·r_H + v_L·r_L = v_target,   r_H + r_L = 1.
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NeighborModes {
+    /// Lower neighboring level (`v_L`).
+    pub v_low: f64,
+    /// Upper neighboring level (`v_H`).
+    pub v_high: f64,
+    /// Fraction of time at `v_high`.
+    pub ratio_high: f64,
+}
+
+impl NeighborModes {
+    /// Fraction of time at `v_low`.
+    #[inline]
+    #[must_use]
+    pub fn ratio_low(&self) -> f64 {
+        1.0 - self.ratio_high
+    }
+
+    /// `true` when the target voltage coincided with an available level and no
+    /// oscillation is needed.
+    #[inline]
+    #[must_use]
+    pub fn is_single_mode(&self) -> bool {
+        self.v_low == self.v_high || self.ratio_high == 0.0 || self.ratio_high == 1.0
+    }
+
+    /// The throughput-equivalent constant voltage this pair realizes.
+    #[inline]
+    #[must_use]
+    pub fn equivalent_voltage(&self) -> f64 {
+        self.v_high * self.ratio_high + self.v_low * self.ratio_low()
+    }
+}
+
+/// An ordered set of available discrete supply-voltage levels.
+///
+/// The paper's platforms use levels in `[0.6 V, 1.3 V]`; its Table IV defines
+/// the specific 2/3/4/5-level subsets used in the evaluation, exposed here as
+/// [`ModeTable::table_iv`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModeTable {
+    levels: Vec<f64>,
+}
+
+impl ModeTable {
+    /// Builds a table from explicit levels. Levels are sorted and deduplicated.
+    ///
+    /// # Errors
+    /// * [`PowerError::EmptyModeTable`] when no level is given.
+    /// * [`PowerError::InvalidParameter`] for non-finite or non-positive levels.
+    pub fn from_levels(levels: &[f64]) -> Result<Self, PowerError> {
+        if levels.is_empty() {
+            return Err(PowerError::EmptyModeTable);
+        }
+        if levels.iter().any(|v| !v.is_finite() || *v <= 0.0) {
+            return Err(PowerError::InvalidParameter {
+                what: "voltage levels must be finite and positive",
+            });
+        }
+        let mut sorted = levels.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite by validation"));
+        sorted.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        Ok(Self { levels: sorted })
+    }
+
+    /// Builds the uniform grid `{lo, lo+step, …, hi}` (inclusive of `hi` when
+    /// it lands on the grid, which the paper's 0.6:0.05:1.3 range does).
+    ///
+    /// # Errors
+    /// Returns [`PowerError::InvalidParameter`] for a degenerate range/step.
+    pub fn uniform(lo: f64, hi: f64, step: f64) -> Result<Self, PowerError> {
+        if !(lo.is_finite() && hi.is_finite() && step.is_finite()) || lo <= 0.0 || hi < lo || step <= 0.0 {
+            return Err(PowerError::InvalidParameter { what: "uniform grid requires 0 < lo <= hi and step > 0" });
+        }
+        let n = ((hi - lo) / step).round() as usize;
+        let mut levels: Vec<f64> = (0..=n).map(|i| lo + step * i as f64).collect();
+        if let Some(last) = levels.last_mut() {
+            if (*last - hi).abs() < step * 0.5 {
+                *last = hi;
+            }
+        }
+        Self::from_levels(&levels)
+    }
+
+    /// The paper's Table IV level sets: `count` ∈ {2, 3, 4, 5}.
+    ///
+    /// | count | levels (V) |
+    /// |---|---|
+    /// | 2 | 0.6, 1.3 |
+    /// | 3 | 0.6, 0.8, 1.3 |
+    /// | 4 | 0.6, 0.8, 1.0, 1.3 |
+    /// | 5 | 0.6, 0.8, 1.0, 1.2, 1.3 |
+    ///
+    /// # Panics
+    /// Panics for a `count` outside 2..=5.
+    #[must_use]
+    pub fn table_iv(count: usize) -> Self {
+        let levels: &[f64] = match count {
+            2 => &[0.6, 1.3],
+            3 => &[0.6, 0.8, 1.3],
+            4 => &[0.6, 0.8, 1.0, 1.3],
+            5 => &[0.6, 0.8, 1.0, 1.2, 1.3],
+            _ => panic!("Table IV defines 2..=5 levels, got {count}"),
+        };
+        Self::from_levels(levels).expect("static levels are valid")
+    }
+
+    /// The sorted level list.
+    #[inline]
+    #[must_use]
+    pub fn levels(&self) -> &[f64] {
+        &self.levels
+    }
+
+    /// Number of levels.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// `false` by construction (an empty table cannot be built).
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Lowest available level.
+    #[inline]
+    #[must_use]
+    pub fn lowest(&self) -> f64 {
+        self.levels[0]
+    }
+
+    /// Highest available level.
+    #[inline]
+    #[must_use]
+    pub fn highest(&self) -> f64 {
+        *self.levels.last().expect("non-empty by construction")
+    }
+
+    /// Largest level `≤ v` — the **LNS** (lower neighboring speed) rounding.
+    /// Returns `None` when `v` is below the lowest level.
+    #[must_use]
+    pub fn floor(&self, v: f64) -> Option<f64> {
+        let mut best = None;
+        for &l in &self.levels {
+            if l <= v + 1e-12 {
+                best = Some(l);
+            } else {
+                break;
+            }
+        }
+        best
+    }
+
+    /// Smallest level `≥ v`, or `None` above the highest level.
+    #[must_use]
+    pub fn ceil(&self, v: f64) -> Option<f64> {
+        self.levels.iter().copied().find(|&l| l >= v - 1e-12)
+    }
+
+    /// The two neighboring levels around a continuous target and the
+    /// time-ratio realizing it (eq. 11). Targets outside the table clamp to
+    /// the nearest single level.
+    ///
+    /// ```
+    /// use mosc_power::ModeTable;
+    /// let table = ModeTable::table_iv(2); // {0.6, 1.3} V
+    /// let nb = table.neighbors(0.95);
+    /// assert_eq!((nb.v_low, nb.v_high), (0.6, 1.3));
+    /// assert!((nb.equivalent_voltage() - 0.95).abs() < 1e-12);
+    /// assert!((nb.ratio_high - 0.5).abs() < 1e-12);
+    /// ```
+    #[must_use]
+    pub fn neighbors(&self, v_target: f64) -> NeighborModes {
+        let lo_level = self.lowest();
+        let hi_level = self.highest();
+        let clamped = v_target.clamp(lo_level, hi_level);
+        let low = self.floor(clamped).expect("clamped into range");
+        let high = self.ceil(clamped).expect("clamped into range");
+        if (high - low).abs() < 1e-12 {
+            return NeighborModes { v_low: low, v_high: high, ratio_high: 1.0 };
+        }
+        let ratio_high = (clamped - low) / (high - low);
+        NeighborModes { v_low: low, v_high: high, ratio_high }
+    }
+
+    /// Iterator over every assignment of one level per core — the EXS search
+    /// space of Algorithm 1 (`len()^n` candidates, emitted in odometer order).
+    #[must_use]
+    pub fn assignments(&self, n_cores: usize) -> AssignmentIter<'_> {
+        AssignmentIter {
+            levels: &self.levels,
+            indices: vec![0; n_cores],
+            done: n_cores == 0,
+        }
+    }
+}
+
+/// Odometer iterator over per-core level assignments. See
+/// [`ModeTable::assignments`].
+#[derive(Debug)]
+pub struct AssignmentIter<'a> {
+    levels: &'a [f64],
+    indices: Vec<usize>,
+    done: bool,
+}
+
+impl Iterator for AssignmentIter<'_> {
+    type Item = Vec<f64>;
+
+    fn next(&mut self) -> Option<Vec<f64>> {
+        if self.done {
+            return None;
+        }
+        let out: Vec<f64> = self.indices.iter().map(|&i| self.levels[i]).collect();
+        // Advance the odometer.
+        let mut k = self.indices.len();
+        loop {
+            if k == 0 {
+                self.done = true;
+                break;
+            }
+            k -= 1;
+            self.indices[k] += 1;
+            if self.indices[k] < self.levels.len() {
+                break;
+            }
+            self.indices[k] = 0;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_grid_matches_paper_range() {
+        let t = ModeTable::uniform(0.6, 1.3, 0.05).unwrap();
+        assert_eq!(t.len(), 15);
+        assert!((t.lowest() - 0.6).abs() < 1e-12);
+        assert!((t.highest() - 1.3).abs() < 1e-12);
+        assert!((t.levels()[1] - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_iv_level_sets() {
+        assert_eq!(ModeTable::table_iv(2).levels(), &[0.6, 1.3]);
+        assert_eq!(ModeTable::table_iv(5).len(), 5);
+        assert_eq!(ModeTable::table_iv(4).levels()[2], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Table IV")]
+    fn table_iv_rejects_bad_count() {
+        let _ = ModeTable::table_iv(7);
+    }
+
+    #[test]
+    fn from_levels_sorts_and_dedups() {
+        let t = ModeTable::from_levels(&[1.3, 0.6, 0.6, 1.0]).unwrap();
+        assert_eq!(t.levels(), &[0.6, 1.0, 1.3]);
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(matches!(ModeTable::from_levels(&[]), Err(PowerError::EmptyModeTable)));
+        assert!(ModeTable::from_levels(&[0.0]).is_err());
+        assert!(ModeTable::from_levels(&[f64::NAN]).is_err());
+        assert!(ModeTable::uniform(1.0, 0.5, 0.1).is_err());
+        assert!(ModeTable::uniform(0.5, 1.0, -0.1).is_err());
+    }
+
+    #[test]
+    fn floor_and_ceil() {
+        let t = ModeTable::table_iv(4); // 0.6 0.8 1.0 1.3
+        assert_eq!(t.floor(0.9), Some(0.8));
+        assert_eq!(t.floor(0.6), Some(0.6));
+        assert_eq!(t.floor(0.5), None);
+        assert_eq!(t.ceil(0.9), Some(1.0));
+        assert_eq!(t.ceil(1.3), Some(1.3));
+        assert_eq!(t.ceil(1.4), None);
+        // Exact hits return the level itself on both sides.
+        assert_eq!(t.floor(1.0), Some(1.0));
+        assert_eq!(t.ceil(1.0), Some(1.0));
+    }
+
+    #[test]
+    fn neighbors_preserve_throughput() {
+        let t = ModeTable::table_iv(2);
+        let nb = t.neighbors(0.95);
+        assert_eq!(nb.v_low, 0.6);
+        assert_eq!(nb.v_high, 1.3);
+        assert!((nb.equivalent_voltage() - 0.95).abs() < 1e-12);
+        assert!((nb.ratio_high + nb.ratio_low() - 1.0).abs() < 1e-12);
+        assert!(!nb.is_single_mode());
+    }
+
+    #[test]
+    fn neighbors_clamp_out_of_range_targets() {
+        let t = ModeTable::table_iv(2);
+        let hi = t.neighbors(2.0);
+        assert!(hi.is_single_mode());
+        assert_eq!(hi.equivalent_voltage(), 1.3);
+        let lo = t.neighbors(0.1);
+        assert!(lo.is_single_mode());
+        assert_eq!(lo.equivalent_voltage(), 0.6);
+    }
+
+    #[test]
+    fn neighbors_exact_level_is_single_mode() {
+        let t = ModeTable::table_iv(3);
+        let nb = t.neighbors(0.8);
+        assert!(nb.is_single_mode());
+        assert!((nb.equivalent_voltage() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assignments_enumerate_full_space() {
+        let t = ModeTable::table_iv(2);
+        let all: Vec<_> = t.assignments(3).collect();
+        assert_eq!(all.len(), 8);
+        assert_eq!(all[0], vec![0.6, 0.6, 0.6]);
+        assert_eq!(all[7], vec![1.3, 1.3, 1.3]);
+        // All distinct.
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                assert_ne!(all[i], all[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn assignments_zero_cores_is_empty() {
+        let t = ModeTable::table_iv(2);
+        assert_eq!(t.assignments(0).count(), 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! DVFS transition-overhead model of Section V.
+
+use crate::PowerError;
+use serde::{Deserialize, Serialize};
+
+/// Models the cost of a DVFS mode switch: the clock halts for `τ` seconds per
+/// transition. To keep the throughput of an oscillating schedule unchanged,
+/// each high/low pair must extend its high-voltage interval by
+///
+/// ```text
+/// δ = (v_H + v_L)·τ / (v_H − v_L)
+/// ```
+///
+/// and the low-voltage interval must stay long enough to absorb both the
+/// compensation and the stall, which bounds the oscillation factor to
+/// `M = ⌊t_L / (δ + τ)⌋` per core (chip-wide `M = min_i M_i`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransitionOverhead {
+    /// Clock-halt duration per transition, seconds. The paper's evaluation
+    /// uses 5 µs.
+    pub tau: f64,
+}
+
+impl TransitionOverhead {
+    /// Creates the overhead model.
+    ///
+    /// # Errors
+    /// Returns [`PowerError::InvalidParameter`] for negative or non-finite τ.
+    pub fn new(tau: f64) -> Result<Self, PowerError> {
+        if !tau.is_finite() || tau < 0.0 {
+            return Err(PowerError::InvalidParameter { what: "tau must be finite and >= 0" });
+        }
+        Ok(Self { tau })
+    }
+
+    /// The zero-overhead model (ideal instantaneous DVFS).
+    #[must_use]
+    pub fn zero() -> Self {
+        Self { tau: 0.0 }
+    }
+
+    /// The paper's evaluation setting, τ = 5 µs.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self { tau: 5e-6 }
+    }
+
+    /// Throughput lost per transition pair on a core oscillating between
+    /// `v_low` and `v_high`: `(v_H + v_L)·τ` work units.
+    #[inline]
+    #[must_use]
+    pub fn throughput_loss(&self, v_low: f64, v_high: f64) -> f64 {
+        (v_high + v_low) * self.tau
+    }
+
+    /// Compensation time `δ` (seconds of low-interval converted to high) that
+    /// restores the lost throughput. Returns `None` for a degenerate pair
+    /// (`v_high ≤ v_low`), where oscillation is meaningless.
+    #[must_use]
+    pub fn delta(&self, v_low: f64, v_high: f64) -> Option<f64> {
+        if v_high <= v_low {
+            return None;
+        }
+        Some((v_high + v_low) * self.tau / (v_high - v_low))
+    }
+
+    /// Per-core upper bound `M_i = ⌊t_low / (δ + τ)⌋` on the oscillation
+    /// factor, given that core's per-period low-voltage time `t_low`.
+    /// Always at least 1 (the un-oscillated schedule is always feasible);
+    /// returns 1 for single-mode cores and for τ = 0 callers should use
+    /// [`TransitionOverhead::is_zero`] to skip the bound entirely.
+    #[must_use]
+    pub fn max_m(&self, v_low: f64, v_high: f64, t_low: f64) -> usize {
+        if self.tau == 0.0 {
+            return usize::MAX;
+        }
+        match self.delta(v_low, v_high) {
+            None => 1,
+            Some(delta) => {
+                let m = (t_low / (delta + self.tau)).floor();
+                if m.is_finite() && m >= 1.0 {
+                    m as usize
+                } else {
+                    1
+                }
+            }
+        }
+    }
+
+    /// `true` for the ideal zero-overhead model.
+    #[inline]
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.tau == 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_5us() {
+        assert!((TransitionOverhead::paper_default().tau - 5e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn delta_formula() {
+        let o = TransitionOverhead::new(5e-6).unwrap();
+        // δ = (1.3+0.6)·5e-6 / (1.3−0.6) = 9.5e-6/0.7
+        let d = o.delta(0.6, 1.3).unwrap();
+        assert!((d - 9.5e-6 / 0.7).abs() < 1e-15);
+        assert!(o.delta(1.3, 1.3).is_none());
+        assert!(o.delta(1.3, 0.6).is_none());
+    }
+
+    #[test]
+    fn throughput_loss_per_pair() {
+        let o = TransitionOverhead::new(1e-5).unwrap();
+        assert!((o.throughput_loss(0.6, 1.3) - 1.9e-5).abs() < 1e-18);
+    }
+
+    #[test]
+    fn max_m_bounds() {
+        let o = TransitionOverhead::new(5e-6).unwrap();
+        let d = o.delta(0.6, 1.3).unwrap();
+        let t_low = 10.0 * (d + o.tau);
+        assert_eq!(o.max_m(0.6, 1.3, t_low), 10);
+        // Tiny low interval still allows m = 1.
+        assert_eq!(o.max_m(0.6, 1.3, 1e-9), 1);
+        // Degenerate pair.
+        assert_eq!(o.max_m(1.3, 1.3, 1.0), 1);
+    }
+
+    #[test]
+    fn zero_overhead_is_unbounded() {
+        let o = TransitionOverhead::zero();
+        assert!(o.is_zero());
+        assert_eq!(o.max_m(0.6, 1.3, 0.001), usize::MAX);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(TransitionOverhead::new(-1.0).is_err());
+        assert!(TransitionOverhead::new(f64::NAN).is_err());
+        assert!(TransitionOverhead::new(0.0).is_ok());
+    }
+
+    #[test]
+    fn larger_tau_lowers_max_m() {
+        let small = TransitionOverhead::new(1e-6).unwrap();
+        let large = TransitionOverhead::new(1e-4).unwrap();
+        let t_low = 0.01;
+        assert!(small.max_m(0.6, 1.3, t_low) > large.max_m(0.6, 1.3, t_low));
+    }
+}

@@ -1,0 +1,108 @@
+//! Calibrated parameter presets.
+
+use crate::{ModeTable, PowerModel, TransitionOverhead};
+use serde::{Deserialize, Serialize};
+
+/// Bundle of power-side parameters describing one processor family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformParams {
+    /// Power-model coefficients.
+    pub power: PowerModel,
+    /// Supported continuous voltage range (V), `[v_min, v_max]`.
+    pub v_range: (f64, f64),
+    /// Grid step for the full DVFS table (V).
+    pub v_step: f64,
+    /// DVFS transition overhead.
+    pub overhead: TransitionOverhead,
+    /// Ambient temperature in °C, used when converting the workspace's
+    /// relative temperatures for display.
+    pub t_ambient_c: f64,
+}
+
+impl PlatformParams {
+    /// The full uniform DVFS table of this platform
+    /// (`v_min : v_step : v_max`, 15 levels for the 65 nm preset).
+    ///
+    /// # Panics
+    /// Panics if the preset's range is invalid (cannot happen for the
+    /// built-in presets, which are covered by tests).
+    #[must_use]
+    pub fn full_mode_table(&self) -> ModeTable {
+        ModeTable::uniform(self.v_range.0, self.v_range.1, self.v_step)
+            .expect("preset ranges are valid")
+    }
+
+    /// Converts a workspace-relative temperature (K above ambient) to °C.
+    #[inline]
+    #[must_use]
+    pub fn to_celsius(&self, t_rel: f64) -> f64 {
+        t_rel + self.t_ambient_c
+    }
+
+    /// Converts a °C threshold to the workspace-relative scale.
+    #[inline]
+    #[must_use]
+    pub fn from_celsius(&self, t_c: f64) -> f64 {
+        t_c - self.t_ambient_c
+    }
+}
+
+/// The 65 nm preset used throughout the evaluation, abstracted from
+/// McPAT-class numbers for a 4×4 mm out-of-order core:
+///
+/// * `ψ(0.6 V) ≈ 2.7 W`, `ψ(1.3 V) ≈ 18.6 W` — spanning the near-threshold to
+///   high-performance operating points of a mid-2000s 65 nm core;
+/// * leakage sensitivity `β = 0.03 W/K`;
+/// * voltages 0.6–1.3 V in 0.05 V steps (15 modes), τ = 5 µs, ambient 35 °C —
+///   exactly the ranges stated in Section VI of the paper.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Params65nm;
+
+impl Params65nm {
+    /// Materializes the preset.
+    ///
+    /// # Panics
+    /// Never panics in practice; the hard-coded constants validate.
+    #[must_use]
+    pub fn params() -> PlatformParams {
+        PlatformParams {
+            power: PowerModel::new(1.0, 0.03, 8.0).expect("valid constants"),
+            v_range: (0.6, 1.3),
+            v_step: 0.05,
+            overhead: TransitionOverhead::paper_default(),
+            t_ambient_c: 35.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_produces_15_modes() {
+        let p = Params65nm::params();
+        assert_eq!(p.full_mode_table().len(), 15);
+    }
+
+    #[test]
+    fn preset_power_operating_points() {
+        let p = Params65nm::params();
+        let lo = p.power.psi(0.6);
+        let hi = p.power.psi(1.3);
+        assert!(lo > 2.0 && lo < 3.5, "psi(0.6)={lo}");
+        assert!(hi > 15.0 && hi < 20.0, "psi(1.3)={hi}");
+    }
+
+    #[test]
+    fn celsius_roundtrip() {
+        let p = Params65nm::params();
+        assert!((p.to_celsius(p.from_celsius(65.0)) - 65.0).abs() < 1e-12);
+        assert!((p.from_celsius(35.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_is_paper_value() {
+        assert!((Params65nm::params().overhead.tau - 5e-6).abs() < 1e-18);
+    }
+}

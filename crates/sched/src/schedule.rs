@@ -1,0 +1,626 @@
+//! Periodic multi-core voltage schedules.
+
+use crate::{Result, SchedError};
+use mosc_power::TransitionOverhead;
+use serde::{Deserialize, Serialize};
+
+/// Tolerance for comparing times and voltages inside schedules.
+pub(crate) const EPS: f64 = 1e-9;
+
+/// One piecewise-constant segment of a core's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Supply voltage (doubles as normalized speed); 0 = core inactive.
+    pub voltage: f64,
+    /// Duration in seconds.
+    pub duration: f64,
+}
+
+impl Segment {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(voltage: f64, duration: f64) -> Self {
+        Self { voltage, duration }
+    }
+}
+
+/// One core's periodic timeline: segments played in order, then repeated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreSchedule {
+    segments: Vec<Segment>,
+}
+
+impl CoreSchedule {
+    /// Builds a core timeline, dropping zero-length segments and merging
+    /// consecutive equal-voltage segments.
+    ///
+    /// # Errors
+    /// Rejects empty timelines, negative durations and non-finite values.
+    pub fn new(segments: Vec<Segment>) -> Result<Self> {
+        if segments.is_empty() {
+            return Err(SchedError::Invalid { what: "core timeline has no segments".into() });
+        }
+        let mut cleaned: Vec<Segment> = Vec::with_capacity(segments.len());
+        for s in segments {
+            if !s.voltage.is_finite() || !s.duration.is_finite() || s.voltage < 0.0 {
+                return Err(SchedError::Invalid {
+                    what: format!("segment {s:?} has non-finite or negative values"),
+                });
+            }
+            if s.duration < -EPS {
+                return Err(SchedError::Invalid {
+                    what: format!("segment {s:?} has negative duration"),
+                });
+            }
+            if s.duration <= EPS {
+                continue;
+            }
+            match cleaned.last_mut() {
+                Some(last) if (last.voltage - s.voltage).abs() < EPS => last.duration += s.duration,
+                _ => cleaned.push(s),
+            }
+        }
+        if cleaned.is_empty() {
+            return Err(SchedError::Invalid {
+                what: "core timeline has only zero-length segments".into(),
+            });
+        }
+        Ok(Self { segments: cleaned })
+    }
+
+    /// Single-mode timeline.
+    ///
+    /// # Errors
+    /// Rejects non-finite/negative values.
+    pub fn constant(voltage: f64, period: f64) -> Result<Self> {
+        Self::new(vec![Segment::new(voltage, period)])
+    }
+
+    /// The segments.
+    #[must_use]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Total duration of one period of this timeline.
+    #[must_use]
+    pub fn period(&self) -> f64 {
+        self.segments.iter().map(|s| s.duration).sum()
+    }
+
+    /// Work completed per period (`Σ v·l`).
+    #[must_use]
+    pub fn work(&self) -> f64 {
+        self.segments.iter().map(|s| s.voltage * s.duration).sum()
+    }
+
+    /// `true` when voltages are non-decreasing across the timeline.
+    #[must_use]
+    pub fn is_non_decreasing(&self) -> bool {
+        self.segments.windows(2).all(|w| w[0].voltage <= w[1].voltage + EPS)
+    }
+
+    /// Number of voltage transitions per period, counting the wrap-around
+    /// from the last segment back to the first.
+    #[must_use]
+    pub fn transitions_per_period(&self) -> usize {
+        if self.segments.len() <= 1 {
+            return 0;
+        }
+        let mut n = self.segments.len() - 1;
+        let first = self.segments.first().expect("non-empty");
+        let last = self.segments.last().expect("non-empty");
+        if (first.voltage - last.voltage).abs() > EPS {
+            n += 1;
+        }
+        n
+    }
+
+    /// Voltage at time `t` within the period (`t` taken modulo the period).
+    #[must_use]
+    pub fn voltage_at(&self, t: f64) -> f64 {
+        let period = self.period();
+        let mut t = t % period;
+        if t < 0.0 {
+            t += period;
+        }
+        let mut acc = 0.0;
+        for s in &self.segments {
+            acc += s.duration;
+            if t < acc - EPS {
+                return s.voltage;
+            }
+        }
+        self.segments.last().expect("non-empty").voltage
+    }
+
+    /// Sorted copy (ascending voltage) — the per-core piece of the step-up
+    /// reordering of Definition 2.
+    #[must_use]
+    pub fn sorted_by_voltage(&self) -> Self {
+        let mut segs = self.segments.clone();
+        segs.sort_by(|a, b| a.voltage.partial_cmp(&b.voltage).expect("finite voltages"));
+        Self::new(segs).expect("sorted copy of a valid timeline is valid")
+    }
+
+    /// Compressed copy: every duration divided by `m` (the per-core piece of
+    /// the m-Oscillating transform of Definition 3).
+    ///
+    /// # Panics
+    /// Panics when `m == 0`.
+    #[must_use]
+    pub fn compressed(&self, m: usize) -> Self {
+        assert!(m > 0, "oscillation factor must be at least 1");
+        let segs = self
+            .segments
+            .iter()
+            .map(|s| Segment::new(s.voltage, s.duration / m as f64))
+            .collect();
+        Self::new(segs).expect("compression preserves validity")
+    }
+
+    /// Cyclic shift by `offset` seconds: the timeline that plays what this
+    /// one plays at time `t + offset`. Used by the PCO phase search.
+    #[must_use]
+    pub fn shifted(&self, offset: f64) -> Self {
+        let period = self.period();
+        let mut offset = offset % period;
+        if offset < 0.0 {
+            offset += period;
+        }
+        if offset <= EPS || offset >= period - EPS {
+            return self.clone();
+        }
+        // Find the split point and rotate.
+        let mut acc = 0.0;
+        let mut out: Vec<Segment> = Vec::with_capacity(self.segments.len() + 1);
+        let mut split_idx = 0;
+        let mut split_within = 0.0;
+        for (i, s) in self.segments.iter().enumerate() {
+            if offset < acc + s.duration - EPS {
+                split_idx = i;
+                split_within = offset - acc;
+                break;
+            }
+            acc += s.duration;
+            split_idx = i + 1;
+        }
+        if split_idx >= self.segments.len() {
+            return self.clone();
+        }
+        // Tail of the split segment first…
+        let s = self.segments[split_idx];
+        if s.duration - split_within > EPS {
+            out.push(Segment::new(s.voltage, s.duration - split_within));
+        }
+        // …then everything after, then everything before, then the head.
+        out.extend_from_slice(&self.segments[split_idx + 1..]);
+        out.extend_from_slice(&self.segments[..split_idx]);
+        if split_within > EPS {
+            out.push(Segment::new(s.voltage, split_within));
+        }
+        Self::new(out).expect("rotation preserves validity")
+    }
+}
+
+/// A periodic multi-core schedule: one [`CoreSchedule`] per core, all with
+/// the same period.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    cores: Vec<CoreSchedule>,
+    period: f64,
+}
+
+impl Schedule {
+    /// Builds a schedule from per-core timelines.
+    ///
+    /// # Errors
+    /// Rejects empty core lists and mismatched per-core periods.
+    pub fn new(cores: Vec<CoreSchedule>) -> Result<Self> {
+        if cores.is_empty() {
+            return Err(SchedError::Invalid { what: "schedule has no cores".into() });
+        }
+        let period = cores[0].period();
+        if period <= EPS {
+            return Err(SchedError::Invalid { what: "schedule period must be positive".into() });
+        }
+        for (i, c) in cores.iter().enumerate() {
+            let p = c.period();
+            if (p - period).abs() > EPS * period.max(1.0) {
+                return Err(SchedError::Invalid {
+                    what: format!("core {i} period {p} differs from core 0 period {period}"),
+                });
+            }
+        }
+        Ok(Self { cores, period })
+    }
+
+    /// All cores at constant voltages for `period` seconds.
+    ///
+    /// # Errors
+    /// Propagates timeline validation.
+    pub fn constant(voltages: &[f64], period: f64) -> Result<Self> {
+        let cores = voltages
+            .iter()
+            .map(|&v| CoreSchedule::constant(v, period))
+            .collect::<Result<Vec<_>>>()?;
+        Self::new(cores)
+    }
+
+    /// Two-mode step-up schedule: each core runs `v_low[i]` for
+    /// `(1 − ratio_high[i])·period` then `v_high[i]` for the rest. This is
+    /// the shape Algorithm 2 (AO) constructs.
+    ///
+    /// ```
+    /// use mosc_sched::Schedule;
+    /// let s = Schedule::two_mode(&[0.6, 0.6], &[1.3, 1.3], &[0.5, 0.25], 0.1).unwrap();
+    /// assert!(s.is_step_up());
+    /// assert!((s.throughput() - (0.95 + 0.775) / 2.0).abs() < 1e-12);
+    /// // Definition 3: compress every interval by m.
+    /// assert!((s.oscillated(4).period() - 0.025).abs() < 1e-12);
+    /// ```
+    ///
+    /// # Errors
+    /// Rejects mismatched slice lengths and ratios outside `[0, 1]`.
+    pub fn two_mode(
+        v_low: &[f64],
+        v_high: &[f64],
+        ratio_high: &[f64],
+        period: f64,
+    ) -> Result<Self> {
+        if v_low.len() != v_high.len() || v_low.len() != ratio_high.len() {
+            return Err(SchedError::Invalid {
+                what: "two_mode slices must have equal lengths".into(),
+            });
+        }
+        let cores = v_low
+            .iter()
+            .zip(v_high)
+            .zip(ratio_high)
+            .map(|((&lo, &hi), &r)| {
+                if !(0.0..=1.0 + EPS).contains(&r) {
+                    return Err(SchedError::Invalid {
+                        what: format!("ratio_high {r} outside [0, 1]"),
+                    });
+                }
+                let r = r.clamp(0.0, 1.0);
+                CoreSchedule::new(vec![
+                    Segment::new(lo, (1.0 - r) * period),
+                    Segment::new(hi, r * period),
+                ])
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Self::new(cores)
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Period in seconds.
+    #[must_use]
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Per-core timelines.
+    #[must_use]
+    pub fn cores(&self) -> &[CoreSchedule] {
+        &self.cores
+    }
+
+    /// One core's timeline.
+    #[must_use]
+    pub fn core(&self, i: usize) -> &CoreSchedule {
+        &self.cores[i]
+    }
+
+    /// Replaces one core's timeline.
+    ///
+    /// # Errors
+    /// Rejects a timeline whose period differs.
+    pub fn with_core(&self, i: usize, core: CoreSchedule) -> Result<Self> {
+        let mut cores = self.cores.clone();
+        cores[i] = core;
+        Self::new(cores)
+    }
+
+    /// Chip-wide throughput per eq. (5): the average per-core speed,
+    /// `Σ_i work_i / (N·t_p)`.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        let total: f64 = self.cores.iter().map(CoreSchedule::work).sum();
+        total / (self.n_cores() as f64 * self.period)
+    }
+
+    /// Throughput after deducting DVFS stall losses: each transition halts
+    /// the transitioning core for `τ`, losing `v_before·τ/2 + v_after·τ/2`
+    /// work (so one full low↔high round trip loses `(v_L + v_H)·τ`, the
+    /// paper's Section V accounting).
+    #[must_use]
+    pub fn throughput_with_overhead(&self, overhead: &TransitionOverhead) -> f64 {
+        if overhead.is_zero() {
+            return self.throughput();
+        }
+        let mut total = 0.0;
+        for core in &self.cores {
+            total += core.work();
+            let segs = core.segments();
+            if segs.len() > 1 {
+                for w in segs.windows(2) {
+                    total -= (w[0].voltage + w[1].voltage) * 0.5 * overhead.tau;
+                }
+                let first = segs.first().expect("non-empty");
+                let last = segs.last().expect("non-empty");
+                if (first.voltage - last.voltage).abs() > EPS {
+                    total -= (first.voltage + last.voltage) * 0.5 * overhead.tau;
+                }
+            }
+        }
+        (total / (self.n_cores() as f64 * self.period)).max(0.0)
+    }
+
+    /// `true` when this is a step-up schedule per Definition 1 (every core's
+    /// voltage non-decreasing over the period).
+    #[must_use]
+    pub fn is_step_up(&self) -> bool {
+        self.cores.iter().all(CoreSchedule::is_non_decreasing)
+    }
+
+    /// The corresponding step-up schedule of Definition 2: per core, the same
+    /// segments reordered by non-decreasing voltage.
+    #[must_use]
+    pub fn to_step_up(&self) -> Self {
+        let cores = self.cores.iter().map(CoreSchedule::sorted_by_voltage).collect();
+        Self::new(cores).expect("reordering preserves validity")
+    }
+
+    /// The m-Oscillating schedule of Definition 3, represented by its
+    /// compressed period: every interval length divided by `m`. As a periodic
+    /// schedule, repeating the compressed period `m` times *is* `S(m, t)`,
+    /// and the two have identical steady-state behaviour.
+    ///
+    /// # Panics
+    /// Panics when `m == 0`.
+    #[must_use]
+    pub fn oscillated(&self, m: usize) -> Self {
+        let cores = self.cores.iter().map(|c| c.compressed(m)).collect();
+        Self::new(cores).expect("compression preserves validity")
+    }
+
+    /// Copy with core `i` cyclically shifted by `offset` seconds (PCO's
+    /// spatial interleaving move).
+    #[must_use]
+    pub fn with_shifted_core(&self, i: usize, offset: f64) -> Self {
+        let mut cores = self.cores.clone();
+        cores[i] = cores[i].shifted(offset);
+        Self::new(cores).expect("shifting preserves validity")
+    }
+
+    /// Decomposes the period into global state intervals: at each boundary
+    /// where *any* core switches, a new interval starts. Returns
+    /// `(per-core voltages, length)` pairs covering exactly one period.
+    #[must_use]
+    pub fn state_intervals(&self) -> Vec<(Vec<f64>, f64)> {
+        // Collect all boundaries.
+        let mut bounds: Vec<f64> = vec![0.0, self.period];
+        for core in &self.cores {
+            let mut acc = 0.0;
+            for s in core.segments() {
+                acc += s.duration;
+                if acc < self.period - EPS {
+                    bounds.push(acc);
+                }
+            }
+        }
+        bounds.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        bounds.dedup_by(|a, b| (*a - *b).abs() < EPS);
+
+        let mut out = Vec::with_capacity(bounds.len() - 1);
+        for w in bounds.windows(2) {
+            let (start, end) = (w[0], w[1]);
+            if end - start <= EPS {
+                continue;
+            }
+            let mid = 0.5 * (start + end);
+            let voltages: Vec<f64> = self.cores.iter().map(|c| c.voltage_at(mid)).collect();
+            out.push((voltages, end - start));
+        }
+        out
+    }
+
+    /// Maximum number of segments on any single core.
+    #[must_use]
+    pub fn max_segments_per_core(&self) -> usize {
+        self.cores.iter().map(|c| c.segments().len()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_core() -> Schedule {
+        Schedule::new(vec![
+            CoreSchedule::new(vec![Segment::new(0.6, 0.05), Segment::new(1.3, 0.05)]).unwrap(),
+            CoreSchedule::new(vec![Segment::new(1.3, 0.02), Segment::new(0.6, 0.08)]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_merges_and_drops_segments() {
+        let c = CoreSchedule::new(vec![
+            Segment::new(0.6, 0.1),
+            Segment::new(0.6, 0.2),
+            Segment::new(1.3, 0.0),
+            Segment::new(1.0, 0.1),
+        ])
+        .unwrap();
+        assert_eq!(c.segments().len(), 2);
+        assert!((c.segments()[0].duration - 0.3).abs() < 1e-12);
+        assert!((c.period() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn construction_rejects_bad_inputs() {
+        assert!(CoreSchedule::new(vec![]).is_err());
+        assert!(CoreSchedule::new(vec![Segment::new(0.6, -1.0)]).is_err());
+        assert!(CoreSchedule::new(vec![Segment::new(-0.5, 1.0)]).is_err());
+        assert!(CoreSchedule::new(vec![Segment::new(f64::NAN, 1.0)]).is_err());
+        assert!(CoreSchedule::new(vec![Segment::new(0.6, 0.0)]).is_err());
+        assert!(Schedule::new(vec![]).is_err());
+        // Mismatched periods.
+        let a = CoreSchedule::constant(1.0, 1.0).unwrap();
+        let b = CoreSchedule::constant(1.0, 2.0).unwrap();
+        assert!(Schedule::new(vec![a, b]).is_err());
+    }
+
+    #[test]
+    fn throughput_eq5() {
+        let s = two_core();
+        // core0: (0.6·0.05 + 1.3·0.05) = 0.095; core1: (1.3·0.02 + 0.6·0.08) = 0.074
+        // THR = (0.095+0.074) / (2·0.1) = 0.845
+        assert!((s.throughput() - 0.845).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_overhead_deduction() {
+        let s = two_core();
+        let tau = mosc_power::TransitionOverhead::new(1e-3).unwrap();
+        // Each core has 2 transitions (internal + wrap), each pair costing
+        // (0.6+1.3)·τ work → total loss 2·1.9e-3.
+        let expected = 0.845 - 2.0 * 1.9e-3 / (2.0 * 0.1);
+        assert!((s.throughput_with_overhead(&tau) - expected).abs() < 1e-12);
+        // Zero overhead falls back to plain throughput.
+        let zero = mosc_power::TransitionOverhead::zero();
+        assert_eq!(s.throughput_with_overhead(&zero), s.throughput());
+        // Constant schedules lose nothing.
+        let c = Schedule::constant(&[1.0, 1.0], 0.1).unwrap();
+        assert_eq!(c.throughput_with_overhead(&tau), c.throughput());
+    }
+
+    #[test]
+    fn step_up_detection_and_transform() {
+        let s = two_core();
+        assert!(!s.is_step_up()); // core1 goes high→low
+        let up = s.to_step_up();
+        assert!(up.is_step_up());
+        // Same work, same period (Definition 2 preserves interval contents).
+        assert!((up.throughput() - s.throughput()).abs() < 1e-12);
+        assert_eq!(up.period(), s.period());
+        // Idempotent.
+        assert_eq!(up.to_step_up(), up);
+    }
+
+    #[test]
+    fn oscillation_compresses_lengths() {
+        let s = two_core();
+        let o = s.oscillated(4);
+        assert!((o.period() - 0.025).abs() < 1e-12);
+        assert!((o.throughput() - s.throughput()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "oscillation factor")]
+    fn oscillation_rejects_zero() {
+        let _ = two_core().oscillated(0);
+    }
+
+    #[test]
+    fn voltage_at_lookup() {
+        let c = CoreSchedule::new(vec![Segment::new(0.6, 1.0), Segment::new(1.3, 2.0)]).unwrap();
+        assert_eq!(c.voltage_at(0.5), 0.6);
+        assert_eq!(c.voltage_at(1.5), 1.3);
+        assert_eq!(c.voltage_at(2.9), 1.3);
+        // Wraps modulo the period.
+        assert_eq!(c.voltage_at(3.5), 0.6);
+        assert_eq!(c.voltage_at(-0.5), 1.3);
+    }
+
+    #[test]
+    fn shift_rotates_timeline() {
+        let c = CoreSchedule::new(vec![Segment::new(0.6, 1.0), Segment::new(1.3, 2.0)]).unwrap();
+        let s = c.shifted(1.0);
+        // shifted(1.0) plays voltage_at(t+1): starts with the 1.3 block.
+        assert_eq!(s.voltage_at(0.0), 1.3);
+        assert_eq!(s.voltage_at(1.9), 1.3);
+        assert_eq!(s.voltage_at(2.5), 0.6);
+        assert!((s.period() - 3.0).abs() < 1e-12);
+        assert!((s.work() - c.work()).abs() < 1e-12);
+        // Mid-segment split.
+        let s2 = c.shifted(0.5);
+        assert_eq!(s2.voltage_at(0.0), 0.6);
+        assert_eq!(s2.voltage_at(0.4), 0.6);
+        assert_eq!(s2.voltage_at(0.6), 1.3);
+        assert!((s2.period() - 3.0).abs() < 1e-9);
+        // Zero and full-period shifts are identity.
+        assert_eq!(c.shifted(0.0), c);
+        assert_eq!(c.shifted(3.0), c);
+        // Negative shifts wrap.
+        assert_eq!(c.shifted(-2.0).voltage_at(0.0), c.voltage_at(-2.0));
+    }
+
+    #[test]
+    fn state_interval_decomposition() {
+        let s = two_core();
+        let ivs = s.state_intervals();
+        // Boundaries at 0.02 and 0.05 → 3 intervals.
+        assert_eq!(ivs.len(), 3);
+        let total: f64 = ivs.iter().map(|(_, l)| l).sum();
+        assert!((total - 0.1).abs() < 1e-12);
+        assert_eq!(ivs[0].0, vec![0.6, 1.3]);
+        assert_eq!(ivs[1].0, vec![0.6, 0.6]);
+        assert_eq!(ivs[2].0, vec![1.3, 0.6]);
+    }
+
+    #[test]
+    fn two_mode_constructor() {
+        let s = Schedule::two_mode(&[0.6, 0.6], &[1.3, 1.3], &[0.25, 1.0], 0.2).unwrap();
+        assert!(s.is_step_up());
+        // Core 1 is pure high-voltage.
+        assert_eq!(s.core(1).segments().len(), 1);
+        assert!((s.core(0).segments()[1].duration - 0.05).abs() < 1e-12);
+        // Invalid ratios rejected.
+        assert!(Schedule::two_mode(&[0.6], &[1.3], &[1.5], 0.2).is_err());
+        assert!(Schedule::two_mode(&[0.6], &[1.3, 1.3], &[0.5], 0.2).is_err());
+    }
+
+    #[test]
+    fn transitions_per_period_counts_wrap() {
+        let c = CoreSchedule::new(vec![Segment::new(0.6, 1.0), Segment::new(1.3, 1.0)]).unwrap();
+        assert_eq!(c.transitions_per_period(), 2);
+        let konst = CoreSchedule::constant(1.0, 1.0).unwrap();
+        assert_eq!(konst.transitions_per_period(), 0);
+        let updown = CoreSchedule::new(vec![
+            Segment::new(0.6, 1.0),
+            Segment::new(1.3, 1.0),
+            Segment::new(0.6, 1.0),
+        ])
+        .unwrap();
+        // 0.6→1.3, 1.3→0.6, wrap 0.6→0.6 (free).
+        assert_eq!(updown.transitions_per_period(), 2);
+    }
+
+    #[test]
+    fn with_core_and_with_shifted_core() {
+        let s = two_core();
+        let replaced = s
+            .with_core(0, CoreSchedule::constant(1.0, 0.1).unwrap())
+            .unwrap();
+        assert_eq!(replaced.core(0).segments().len(), 1);
+        assert!(s
+            .with_core(0, CoreSchedule::constant(1.0, 0.3).unwrap())
+            .is_err());
+        let shifted = s.with_shifted_core(1, 0.02);
+        assert!((shifted.throughput() - s.throughput()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_segments() {
+        assert_eq!(two_core().max_segments_per_core(), 2);
+        assert_eq!(Schedule::constant(&[1.0], 1.0).unwrap().max_segments_per_core(), 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! A small line-oriented text format for schedules.
+//!
+//! Lets the CLI and experiment tooling pass schedules around without pulling
+//! a serialization framework into the binaries:
+//!
+//! ```text
+//! # anything after '#' is a comment
+//! period 0.1
+//! core 0: 0.6 x 0.06, 1.3 x 0.04
+//! core 1: 1.3 x 0.1
+//! ```
+//!
+//! Durations are in seconds, voltages in volts; cores must be listed
+//! 0..N−1 in order and each must sum to the declared period (the parser
+//! rescales ULP-level drift and rejects anything worse than 0.1 %).
+
+use crate::{CoreSchedule, Result, SchedError, Schedule, Segment};
+use std::fmt::Write as _;
+
+/// Renders a schedule in the text format.
+#[must_use]
+pub fn to_text(schedule: &Schedule) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "period {}", schedule.period());
+    for (i, core) in schedule.cores().iter().enumerate() {
+        let segs: Vec<String> = core
+            .segments()
+            .iter()
+            .map(|s| format!("{} x {}", s.voltage, s.duration))
+            .collect();
+        let _ = writeln!(out, "core {i}: {}", segs.join(", "));
+    }
+    out
+}
+
+/// Parses the text format back into a schedule.
+///
+/// # Errors
+/// Returns [`SchedError::Invalid`] describing the first malformed line,
+/// missing/duplicate core, or period mismatch.
+pub fn from_text(text: &str) -> Result<Schedule> {
+    let mut period: Option<f64> = None;
+    let mut cores: Vec<CoreSchedule> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("period") {
+            if period.is_some() {
+                return Err(invalid(lineno, "duplicate 'period' line"));
+            }
+            let p: f64 = rest
+                .trim()
+                .parse()
+                .map_err(|_| invalid(lineno, "cannot parse period value"))?;
+            if !(p.is_finite() && p > 0.0) {
+                return Err(invalid(lineno, "period must be positive"));
+            }
+            period = Some(p);
+        } else if let Some(rest) = line.strip_prefix("core") {
+            let (idx_str, segs_str) = rest
+                .split_once(':')
+                .ok_or_else(|| invalid(lineno, "core line needs 'core <i>: …'"))?;
+            let idx: usize = idx_str
+                .trim()
+                .parse()
+                .map_err(|_| invalid(lineno, "cannot parse core index"))?;
+            if idx != cores.len() {
+                return Err(invalid(lineno, "cores must be listed 0..N-1 in order"));
+            }
+            let mut segments = Vec::new();
+            for part in segs_str.split(',') {
+                let (v_str, d_str) = part
+                    .split_once('x')
+                    .ok_or_else(|| invalid(lineno, "segment needs '<volts> x <seconds>'"))?;
+                let voltage: f64 = v_str
+                    .trim()
+                    .parse()
+                    .map_err(|_| invalid(lineno, "cannot parse segment voltage"))?;
+                let duration: f64 = d_str
+                    .trim()
+                    .parse()
+                    .map_err(|_| invalid(lineno, "cannot parse segment duration"))?;
+                segments.push(Segment::new(voltage, duration));
+            }
+            cores.push(CoreSchedule::new(segments)?);
+        } else {
+            return Err(invalid(lineno, "expected 'period …' or 'core <i>: …'"));
+        }
+    }
+
+    let period = period.ok_or_else(|| SchedError::Invalid {
+        what: "missing 'period' line".into(),
+    })?;
+    if cores.is_empty() {
+        return Err(SchedError::Invalid { what: "no core lines".into() });
+    }
+    // Rescale tiny drift; reject real mismatches.
+    let mut fixed = Vec::with_capacity(cores.len());
+    for (i, c) in cores.into_iter().enumerate() {
+        let actual = c.period();
+        let rel = (actual - period).abs() / period;
+        if rel > 1e-3 {
+            return Err(SchedError::Invalid {
+                what: format!("core {i} durations sum to {actual}, declared period {period}"),
+            });
+        }
+        let scale = period / actual;
+        let segs: Vec<Segment> = c
+            .segments()
+            .iter()
+            .map(|s| Segment::new(s.voltage, s.duration * scale))
+            .collect();
+        fixed.push(CoreSchedule::new(segs)?);
+    }
+    Schedule::new(fixed)
+}
+
+fn invalid(lineno: usize, what: &str) -> SchedError {
+    SchedError::Invalid { what: format!("line {}: {what}", lineno + 1) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schedule {
+        Schedule::new(vec![
+            CoreSchedule::new(vec![Segment::new(0.6, 0.06), Segment::new(1.3, 0.04)]).unwrap(),
+            CoreSchedule::constant(1.3, 0.1).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_schedule() {
+        let s = sample();
+        let text = to_text(&s);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.n_cores(), 2);
+        assert!((back.period() - 0.1).abs() < 1e-12);
+        assert!((back.throughput() - s.throughput()).abs() < 1e-12);
+        assert_eq!(back.core(0).segments().len(), 2);
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "# a schedule\nperiod 1.0\n\ncore 0: 0.8 x 1.0  # constant\n";
+        let s = from_text(text).unwrap();
+        assert_eq!(s.n_cores(), 1);
+        assert_eq!(s.core(0).segments()[0].voltage, 0.8);
+    }
+
+    #[test]
+    fn rescales_tiny_drift() {
+        let text = "period 1.0\ncore 0: 0.6 x 0.3333333, 1.3 x 0.6666666\n";
+        let s = from_text(text).unwrap();
+        assert!((s.period() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(from_text("").is_err());
+        assert!(from_text("core 0: 1.0 x 1.0\n").is_err()); // missing period
+        assert!(from_text("period 1.0\n").is_err()); // no cores
+        assert!(from_text("period 1.0\nperiod 2.0\ncore 0: 1 x 1\n").is_err());
+        assert!(from_text("period 0\ncore 0: 1 x 1\n").is_err());
+        assert!(from_text("period 1.0\ncore 1: 1.0 x 1.0\n").is_err()); // out of order
+        assert!(from_text("period 1.0\ncore 0: 1.0 @ 1.0\n").is_err()); // bad separator
+        assert!(from_text("period 1.0\ncore 0: abc x 1.0\n").is_err());
+        assert!(from_text("period 1.0\ncore 0: 1.0 x 0.5\n").is_err()); // period mismatch
+        assert!(from_text("banana\n").is_err());
+        // Error messages carry line numbers.
+        let err = from_text("period 1.0\ncore 0: 1.0 x 0.5\n").unwrap_err();
+        assert!(err.to_string().contains("core 0"));
+    }
+
+    #[test]
+    fn multi_core_order_enforced() {
+        let good = "period 1.0\ncore 0: 1 x 1\ncore 1: 0.6 x 1\n";
+        assert_eq!(from_text(good).unwrap().n_cores(), 2);
+        let dup = "period 1.0\ncore 0: 1 x 1\ncore 0: 0.6 x 1\n";
+        assert!(from_text(dup).is_err());
+    }
+}

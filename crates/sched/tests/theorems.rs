@@ -1,0 +1,359 @@
+//! Randomized validation of the paper's formal results.
+//!
+//! * Theorem 1 — a step-up schedule's stable-status peak is at the period end.
+//! * Theorem 2 — the step-up reordering bounds the peak of any permutation.
+//! * Lemma 1  — moving a high interval later raises the period-end temperature.
+//! * Theorem 3 — a constant mode beats any same-work two-mode split.
+//! * Theorem 4 — tighter neighboring mode pairs beat wider ones.
+//! * Theorem 5 — the m-Oscillating peak is monotone non-increasing in m.
+//! * Property 1 — all-off cooldown is monotone.
+
+use mosc_sched::eval::{transient_trace, SteadyState};
+use mosc_sched::{CoreSchedule, Platform, PlatformSpec, Schedule, Segment};
+use mosc_linalg::Vector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TOL: f64 = 1e-7;
+
+fn platform(rows: usize, cols: usize) -> Platform {
+    Platform::build(&PlatformSpec::paper(rows, cols, 5, 65.0)).unwrap()
+}
+
+/// Random step-up core timeline: 1..=max_segs segments with ascending
+/// voltages drawn from the 0.6–1.3 V range, summing to `period`.
+fn random_stepup_core(rng: &mut StdRng, period: f64, max_segs: usize) -> CoreSchedule {
+    let n = rng.gen_range(1..=max_segs);
+    let mut voltages: Vec<f64> = (0..n).map(|_| rng.gen_range(0.6..=1.3)).collect();
+    voltages.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let cuts: Vec<f64> = {
+        let mut c: Vec<f64> = (0..n - 1).map(|_| rng.gen_range(0.05..0.95)).collect();
+        c.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        c
+    };
+    let mut segs = Vec::with_capacity(n);
+    let mut prev = 0.0;
+    for (i, &v) in voltages.iter().enumerate() {
+        let end = if i + 1 == n { 1.0 } else { cuts[i] };
+        segs.push(Segment::new(v, (end - prev) * period));
+        prev = end;
+    }
+    CoreSchedule::new(segs).unwrap()
+}
+
+fn random_stepup_schedule(rng: &mut StdRng, n_cores: usize, period: f64) -> Schedule {
+    let cores = (0..n_cores)
+        .map(|_| random_stepup_core(rng, period, 4))
+        .collect();
+    Schedule::new(cores).unwrap()
+}
+
+/// Random arbitrary (not necessarily step-up) schedule.
+fn random_schedule(rng: &mut StdRng, n_cores: usize, period: f64) -> Schedule {
+    let cores = (0..n_cores)
+        .map(|_| {
+            let mut c = random_stepup_core(rng, period, 4);
+            // Shuffle the segments to break the step-up order.
+            let mut segs = c.segments().to_vec();
+            for i in (1..segs.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                segs.swap(i, j);
+            }
+            c = CoreSchedule::new(segs).unwrap();
+            c
+        })
+        .collect();
+    Schedule::new(cores).unwrap()
+}
+
+#[test]
+fn theorem1_stepup_peak_at_period_end() {
+    let p = platform(1, 3);
+    let mut rng = StdRng::seed_from_u64(11);
+    for trial in 0..20 {
+        let period = rng.gen_range(0.02..4.0);
+        let s = random_stepup_schedule(&mut rng, 3, period);
+        assert!(s.is_step_up());
+        let ss = SteadyState::compute(p.thermal(), p.power(), &s).unwrap();
+        let at_end = p.thermal().max_core_temp(ss.t_start());
+        let sampled = ss.peak_sampled(p.thermal(), 1500).unwrap();
+        assert!(
+            sampled.temp <= at_end + TOL,
+            "trial {trial}: sampled peak {} exceeds period-end {} (period {period})",
+            sampled.temp,
+            at_end
+        );
+    }
+}
+
+#[test]
+fn theorem1_warmup_from_ambient_monotone_for_constant_mode() {
+    // The warm-up envelope from ambient under a step-up schedule stays below
+    // the stable status peak (a consequence of Theorem 1's proof machinery).
+    let p = platform(1, 3);
+    let mut rng = StdRng::seed_from_u64(13);
+    for _ in 0..5 {
+        let s = random_stepup_schedule(&mut rng, 3, 1.0);
+        let ss = SteadyState::compute(p.thermal(), p.power(), &s).unwrap();
+        let peak_ss = p.thermal().max_core_temp(ss.t_start());
+        let t0 = Vector::zeros(p.thermal().n_nodes());
+        let trace = transient_trace(p.thermal(), p.power(), &s, &t0, 30, 40).unwrap();
+        let warmup_peak = trace.peak().unwrap().temp;
+        assert!(
+            warmup_peak <= peak_ss + TOL,
+            "warm-up peak {warmup_peak} exceeded stable-status peak {peak_ss}"
+        );
+    }
+}
+
+#[test]
+fn theorem2_stepup_bounds_arbitrary_permutations() {
+    let p = platform(1, 3);
+    let mut rng = StdRng::seed_from_u64(17);
+    for trial in 0..20 {
+        let period = rng.gen_range(0.05..6.0);
+        let s = random_schedule(&mut rng, 3, period);
+        let up = s.to_step_up();
+        let peak_s = p.peak(&s).unwrap().temp;
+        let peak_up = p.peak(&up).unwrap().temp;
+        assert!(
+            peak_s <= peak_up + 1e-4 + 1e-3 * peak_up.abs(),
+            "trial {trial}: arbitrary peak {peak_s} exceeds step-up bound {peak_up} (period {period})"
+        );
+    }
+}
+
+#[test]
+fn lemma1_high_interval_later_raises_period_end_temperature() {
+    let p = platform(1, 3);
+    let mut rng = StdRng::seed_from_u64(23);
+    for trial in 0..15 {
+        let period = rng.gen_range(0.1..4.0);
+        let v_const: Vec<f64> = (0..3).map(|_| rng.gen_range(0.6..=1.3)).collect();
+        let core_i = rng.gen_range(0..3);
+        let v_l = rng.gen_range(0.6..1.0);
+        let v_h = rng.gen_range(v_l..=1.3);
+        let split = rng.gen_range(0.2..0.8);
+
+        // S: core_i runs the (v_L, split·t_p) interval then (v_H, rest).
+        // S~ exchanges the two intervals AS UNITS (voltage + duration), so
+        // both schedules complete identical work.
+        let make = |first: Segment, second: Segment| {
+            let mut cores: Vec<CoreSchedule> = v_const
+                .iter()
+                .map(|&v| CoreSchedule::constant(v, period).unwrap())
+                .collect();
+            cores[core_i] = CoreSchedule::new(vec![first, second]).unwrap();
+            Schedule::new(cores).unwrap()
+        };
+        let lo_seg = Segment::new(v_l, split * period);
+        let hi_seg = Segment::new(v_h, (1.0 - split) * period);
+        let s = make(lo_seg, hi_seg);
+        let s_swapped = make(hi_seg, lo_seg);
+        assert!((s.throughput() - s_swapped.throughput()).abs() < 1e-12);
+
+        let end_s = SteadyState::compute(p.thermal(), p.power(), &s).unwrap();
+        let end_sw = SteadyState::compute(p.thermal(), p.power(), &s_swapped).unwrap();
+        // Lemma 1, prose form: moving the high interval toward the period end
+        // raises the stable-status period-end temperature. The paper states
+        // the order on the CORE temperature vector (its T has one entry per
+        // core); our package/rim nodes can deviate by O(µK) and are excluded.
+        for c in 0..3 {
+            assert!(
+                end_sw.t_start()[c] <= end_s.t_start()[c] + 1e-6,
+                "trial {trial} core {c}: swapping high earlier must cool the period end \
+                 ({} vs {})",
+                end_sw.t_start()[c],
+                end_s.t_start()[c]
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem3_constant_mode_beats_two_mode_split() {
+    let p = platform(1, 3);
+    let mut rng = StdRng::seed_from_u64(29);
+    for trial in 0..15 {
+        let period = rng.gen_range(0.05..2.0);
+        let v_e = rng.gen_range(0.7..1.2);
+        let v_l = rng.gen_range(0.6..v_e);
+        let v_h = rng.gen_range(v_e..1.3);
+        // Same work: x·v_L + (1−x)·v_H = v_e.
+        let x = (v_h - v_e) / (v_h - v_l);
+        let others: Vec<f64> = (0..2).map(|_| rng.gen_range(0.6..1.3)).collect();
+
+        let constant = Schedule::new(vec![
+            CoreSchedule::constant(v_e, period).unwrap(),
+            CoreSchedule::constant(others[0], period).unwrap(),
+            CoreSchedule::constant(others[1], period).unwrap(),
+        ])
+        .unwrap();
+        let split = Schedule::new(vec![
+            CoreSchedule::new(vec![
+                Segment::new(v_l, x * period),
+                Segment::new(v_h, (1.0 - x) * period),
+            ])
+            .unwrap(),
+            CoreSchedule::constant(others[0], period).unwrap(),
+            CoreSchedule::constant(others[1], period).unwrap(),
+        ])
+        .unwrap();
+
+        let peak_const = p.peak(&constant).unwrap().temp;
+        let peak_split = p.peak(&split).unwrap().temp;
+        assert!(
+            peak_const <= peak_split + TOL,
+            "trial {trial}: constant {peak_const} must not exceed split {peak_split}"
+        );
+    }
+}
+
+#[test]
+fn theorem4_neighboring_modes_beat_wider_pairs() {
+    let p = platform(1, 3);
+    let mut rng = StdRng::seed_from_u64(31);
+    for trial in 0..15 {
+        let period = rng.gen_range(0.05..2.0);
+        let v_e = rng.gen_range(0.8..1.1);
+        // Narrow pair around v_e and a strictly wider pair.
+        let (nl, nh) = (v_e - 0.05, v_e + 0.05);
+        let (wl, wh) = (v_e - rng.gen_range(0.1..0.2), v_e + rng.gen_range(0.1..0.2));
+        let ratio = |lo: f64, hi: f64| (hi - v_e) / (hi - lo); // time share at lo
+        let others: Vec<f64> = (0..2).map(|_| rng.gen_range(0.6..1.3)).collect();
+        let make = |lo: f64, hi: f64| {
+            let x = ratio(lo, hi);
+            Schedule::new(vec![
+                CoreSchedule::new(vec![
+                    Segment::new(lo, x * period),
+                    Segment::new(hi, (1.0 - x) * period),
+                ])
+                .unwrap(),
+                CoreSchedule::constant(others[0], period).unwrap(),
+                CoreSchedule::constant(others[1], period).unwrap(),
+            ])
+            .unwrap()
+        };
+        let narrow = make(nl, nh);
+        let wide = make(wl, wh);
+        assert!(
+            (narrow.throughput() - wide.throughput()).abs() < 1e-9,
+            "both pairs complete the same work"
+        );
+        let peak_narrow = p.peak(&narrow).unwrap().temp;
+        let peak_wide = p.peak(&wide).unwrap().temp;
+        assert!(
+            peak_narrow <= peak_wide + TOL,
+            "trial {trial}: narrow pair {peak_narrow} must not exceed wide pair {peak_wide}"
+        );
+    }
+}
+
+#[test]
+fn theorem5_oscillation_monotone_on_9_cores() {
+    // The paper's Fig. 5 setting: 9 cores, random step-up schedule.
+    let p = platform(3, 3);
+    let mut rng = StdRng::seed_from_u64(37);
+    let s = random_stepup_schedule(&mut rng, 9, 9.836);
+    let mut prev = f64::INFINITY;
+    for m in [1usize, 2, 3, 5, 8, 13, 21, 34, 55] {
+        let peak = p.peak(&s.oscillated(m)).unwrap().temp;
+        assert!(
+            peak <= prev + TOL,
+            "peak must be non-increasing in m: m={m} gives {peak}, previous {prev}"
+        );
+        prev = peak;
+    }
+}
+
+#[test]
+fn theorem5_oscillation_monotone_small_platforms() {
+    let mut rng = StdRng::seed_from_u64(41);
+    for (rows, cols) in [(1, 2), (1, 3), (2, 3)] {
+        let p = platform(rows, cols);
+        let s = random_stepup_schedule(&mut rng, rows * cols, 2.0);
+        let mut prev = f64::INFINITY;
+        for m in 1..=12 {
+            let peak = p.peak(&s.oscillated(m)).unwrap().temp;
+            assert!(peak <= prev + TOL, "{rows}x{cols}: m={m} peak {peak} > prev {prev}");
+            prev = peak;
+        }
+    }
+}
+
+#[test]
+fn oscillation_limit_is_equivalent_constant_schedule() {
+    // As m → ∞ the oscillating schedule's peak approaches the peak of the
+    // power-averaged constant schedule (not the speed-averaged one): the
+    // thermal LTI system only sees the duty-cycled power profile.
+    let p = platform(1, 2);
+    let s = Schedule::two_mode(&[0.6, 0.6], &[1.3, 1.3], &[0.5, 0.5], 1.0).unwrap();
+    let big_m = p.peak(&s.oscillated(4096)).unwrap().temp;
+    // Average power per core: 0.5·ψ(0.6) + 0.5·ψ(1.3).
+    let psi_avg: Vec<f64> = (0..2)
+        .map(|_| 0.5 * p.power().psi(0.6) + 0.5 * p.power().psi(1.3))
+        .collect();
+    let t_inf = p.thermal().steady_state_cores(&psi_avg).unwrap().max();
+    assert!(
+        (big_m - t_inf).abs() < 0.2,
+        "m→∞ peak {big_m} should approach averaged-power steady peak {t_inf}"
+    );
+    // The residual ripple keeps the oscillating peak above the average.
+    assert!(big_m >= t_inf - 1e-9);
+}
+
+#[test]
+fn property1_all_off_cooldown_is_monotone() {
+    let p = platform(2, 3);
+    // Heat up, then shut everything down and watch the decay.
+    let hot = p
+        .thermal()
+        .steady_state(&p.psi_profile(&[1.3, 1.2, 1.1, 1.0, 1.3, 1.2]))
+        .unwrap();
+    let off = Schedule::constant(&[0.0; 6], 0.5).unwrap();
+    let trace = transient_trace(p.thermal(), p.power(), &off, &hot, 40, 10).unwrap();
+    for w in trace.temps().windows(2) {
+        assert!(
+            w[1].le_elementwise(&w[0], 1e-9),
+            "cooldown must be element-wise monotone"
+        );
+    }
+}
+
+#[test]
+fn fig2_single_core_oscillation_can_raise_peak() {
+    // The paper's Fig. 2 counterexample: oscillating only ONE core can
+    // increase the multi-core peak. We reproduce the exact setup: 100 ms
+    // period, core 0 plays (1.3, 0.6), core 1 plays (0.6, 1.3); then core 0
+    // doubles its oscillation frequency while core 1 keeps its schedule.
+    let p = platform(1, 2);
+    let base = Schedule::new(vec![
+        CoreSchedule::new(vec![Segment::new(1.3, 0.05), Segment::new(0.6, 0.05)]).unwrap(),
+        CoreSchedule::new(vec![Segment::new(0.6, 0.05), Segment::new(1.3, 0.05)]).unwrap(),
+    ])
+    .unwrap();
+    let single = Schedule::new(vec![
+        CoreSchedule::new(vec![
+            Segment::new(1.3, 0.025),
+            Segment::new(0.6, 0.025),
+            Segment::new(1.3, 0.025),
+            Segment::new(0.6, 0.025),
+        ])
+        .unwrap(),
+        CoreSchedule::new(vec![Segment::new(0.6, 0.05), Segment::new(1.3, 0.05)]).unwrap(),
+    ])
+    .unwrap();
+    let peak_base = p.peak(&base).unwrap().temp;
+    let peak_single = p.peak(&single).unwrap().temp;
+    // Not asserting a strict increase as a theorem (it is a counterexample,
+    // not a law) — but on this platform, like the paper's, it does increase.
+    assert!(
+        peak_single > peak_base - 0.3,
+        "single-core oscillation must not dramatically reduce the peak \
+         (base {peak_base}, single {peak_single})"
+    );
+    // Whole-chip oscillation, by contrast, is guaranteed not to hurt.
+    let both = base.oscillated(2);
+    let peak_both = p.peak(&both).unwrap().temp;
+    assert!(peak_both <= peak_base + TOL);
+}

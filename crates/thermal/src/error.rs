@@ -1,0 +1,89 @@
+//! Error type for thermal-model construction and evaluation.
+
+use std::fmt;
+
+/// Errors produced while building or evaluating thermal models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThermalError {
+    /// The floorplan was empty or geometrically inconsistent.
+    BadFloorplan {
+        /// Human-readable description.
+        what: String,
+    },
+    /// A physical parameter failed validation.
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        what: &'static str,
+    },
+    /// The assembled state matrix `A` is not strictly stable: its largest
+    /// eigenvalue is the payload. Usually means the leakage sensitivity `β`
+    /// overwhelms the network's ambient conductance (thermal runaway).
+    Unstable {
+        /// Largest eigenvalue of `A` (must be `< 0` for a usable model).
+        max_eigenvalue: f64,
+    },
+    /// A power/temperature vector had the wrong length.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// An underlying linear-algebra kernel failed.
+    Linalg(mosc_linalg::LinalgError),
+}
+
+impl fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadFloorplan { what } => write!(f, "bad floorplan: {what}"),
+            Self::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+            Self::Unstable { max_eigenvalue } => write!(
+                f,
+                "thermal model unstable: max eigenvalue {max_eigenvalue:.3e} >= 0 \
+                 (leakage beta too large for the network's ambient conductance)"
+            ),
+            Self::DimensionMismatch { expected, actual, op } => {
+                write!(f, "{op}: expected length {expected}, got {actual}")
+            }
+            Self::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ThermalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mosc_linalg::LinalgError> for ThermalError {
+    fn from(e: mosc_linalg::LinalgError) -> Self {
+        Self::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_mention_cause() {
+        let e = ThermalError::Unstable { max_eigenvalue: 0.5 };
+        assert!(e.to_string().contains("unstable"));
+        let e = ThermalError::DimensionMismatch { expected: 3, actual: 2, op: "steady_state" };
+        assert!(e.to_string().contains("expected length 3"));
+    }
+
+    #[test]
+    fn wraps_linalg_errors() {
+        let e: ThermalError = mosc_linalg::LinalgError::Singular { pivot: 0 }.into();
+        assert!(matches!(e, ThermalError::Linalg(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,399 @@
+//! Core-level floorplans.
+
+use crate::{Result, ThermalError};
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one core tile. Coordinates are the lower-left corner in
+/// meters; `layer` indexes the die layer for 3-D stacks (0 = closest to the
+/// heat sink, matching the face-down convention where stacking *away* from
+/// the sink lengthens the heat-removal path).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreGeom {
+    /// Lower-left x coordinate (m).
+    pub x: f64,
+    /// Lower-left y coordinate (m).
+    pub y: f64,
+    /// Width (m).
+    pub w: f64,
+    /// Height (m).
+    pub h: f64,
+    /// Die layer index (0 = sink side).
+    pub layer: usize,
+}
+
+impl CoreGeom {
+    /// Tile area in m².
+    #[inline]
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+
+    /// Center coordinates.
+    #[inline]
+    #[must_use]
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Length of the edge shared with `other` on the same layer (0 when not
+    /// edge-adjacent). Corner contact counts as zero.
+    #[must_use]
+    pub fn shared_edge(&self, other: &Self) -> f64 {
+        if self.layer != other.layer {
+            return 0.0;
+        }
+        let eps = 1e-9;
+        let x_overlap = (self.x + self.w).min(other.x + other.w) - self.x.max(other.x);
+        let y_overlap = (self.y + self.h).min(other.y + other.h) - self.y.max(other.y);
+        let touch_x = ((self.x + self.w) - other.x).abs() < eps || ((other.x + other.w) - self.x).abs() < eps;
+        let touch_y = ((self.y + self.h) - other.y).abs() < eps || ((other.y + other.h) - self.y).abs() < eps;
+        if touch_x && y_overlap > eps {
+            y_overlap
+        } else if touch_y && x_overlap > eps {
+            x_overlap
+        } else {
+            0.0
+        }
+    }
+
+    /// `true` when the footprints overlap in x/y (used for 3-D vertical
+    /// coupling between consecutive layers).
+    #[must_use]
+    pub fn overlaps_footprint(&self, other: &Self) -> bool {
+        let eps = 1e-9;
+        let x_overlap = (self.x + self.w).min(other.x + other.w) - self.x.max(other.x);
+        let y_overlap = (self.y + self.h).min(other.y + other.h) - self.y.max(other.y);
+        x_overlap > eps && y_overlap > eps
+    }
+}
+
+/// A core-level floorplan: a list of rectangular tiles across one or more
+/// die layers. The paper's evaluation uses 2×1, 3×1, 3×2 and 3×3 grids of
+/// 4×4 mm cores; [`Floorplan::stack3d`] supports the 3-D configurations the
+/// introduction motivates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    cores: Vec<CoreGeom>,
+    layers: usize,
+}
+
+/// The paper's core tile edge: 4 mm.
+pub const PAPER_CORE_EDGE: f64 = 4.0e-3;
+
+impl Floorplan {
+    /// Builds a floorplan from explicit tiles.
+    ///
+    /// # Errors
+    /// Rejects empty plans and degenerate tile geometry.
+    pub fn new(cores: Vec<CoreGeom>) -> Result<Self> {
+        if cores.is_empty() {
+            return Err(ThermalError::BadFloorplan { what: "no cores".into() });
+        }
+        for (i, c) in cores.iter().enumerate() {
+            if !(c.w.is_finite() && c.h.is_finite() && c.x.is_finite() && c.y.is_finite())
+                || c.w <= 0.0
+                || c.h <= 0.0
+            {
+                return Err(ThermalError::BadFloorplan {
+                    what: format!("core {i} has degenerate geometry {c:?}"),
+                });
+            }
+        }
+        let layers = cores.iter().map(|c| c.layer).max().unwrap_or(0) + 1;
+        Ok(Self { cores, layers })
+    }
+
+    /// `rows × cols` single-layer grid of uniform tiles.
+    ///
+    /// # Errors
+    /// Rejects zero dimensions.
+    pub fn grid(rows: usize, cols: usize, core_w: f64, core_h: f64) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(ThermalError::BadFloorplan { what: "grid with zero dimension".into() });
+        }
+        let mut cores = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                cores.push(CoreGeom {
+                    x: c as f64 * core_w,
+                    y: r as f64 * core_h,
+                    w: core_w,
+                    h: core_h,
+                    layer: 0,
+                });
+            }
+        }
+        Self::new(cores)
+    }
+
+    /// The paper's configurations: `grid` with 4×4 mm tiles. `(rows, cols)`
+    /// of (1,2), (1,3), (2,3), (3,3) give the 2-, 3-, 6- and 9-core
+    /// platforms of Section VI.
+    ///
+    /// # Errors
+    /// Rejects zero dimensions.
+    pub fn paper_grid(rows: usize, cols: usize) -> Result<Self> {
+        Self::grid(rows, cols, PAPER_CORE_EDGE, PAPER_CORE_EDGE)
+    }
+
+    /// A 3-D stack: `layers` copies of a `rows × cols` grid, aligned
+    /// vertically. Layer 0 is nearest the sink.
+    ///
+    /// # Errors
+    /// Rejects zero dimensions.
+    pub fn stack3d(layers: usize, rows: usize, cols: usize, core_w: f64, core_h: f64) -> Result<Self> {
+        if layers == 0 {
+            return Err(ThermalError::BadFloorplan { what: "stack with zero layers".into() });
+        }
+        let base = Self::grid(rows, cols, core_w, core_h)?;
+        let mut cores = Vec::with_capacity(layers * base.cores.len());
+        for l in 0..layers {
+            for c in &base.cores {
+                cores.push(CoreGeom { layer: l, ..*c });
+            }
+        }
+        Self::new(cores)
+    }
+
+    /// Number of cores (across all layers).
+    #[inline]
+    #[must_use]
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Number of die layers.
+    #[inline]
+    #[must_use]
+    pub fn n_layers(&self) -> usize {
+        self.layers
+    }
+
+    /// Tile list.
+    #[inline]
+    #[must_use]
+    pub fn cores(&self) -> &[CoreGeom] {
+        &self.cores
+    }
+
+    /// Same-layer edge adjacencies as `(i, j, shared_edge_length)` with
+    /// `i < j`.
+    #[must_use]
+    pub fn lateral_adjacency(&self) -> Vec<(usize, usize, f64)> {
+        let mut out = Vec::new();
+        for i in 0..self.cores.len() {
+            for j in (i + 1)..self.cores.len() {
+                let s = self.cores[i].shared_edge(&self.cores[j]);
+                if s > 0.0 {
+                    out.push((i, j, s));
+                }
+            }
+        }
+        out
+    }
+
+    /// Vertical adjacencies between consecutive layers as `(lower, upper)`
+    /// pairs (`lower.layer + 1 == upper.layer`, overlapping footprints).
+    #[must_use]
+    pub fn vertical_adjacency(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for i in 0..self.cores.len() {
+            for j in 0..self.cores.len() {
+                let (a, b) = (&self.cores[i], &self.cores[j]);
+                if a.layer + 1 == b.layer && a.overlaps_footprint(b) {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Indices of cores on the sink-side layer (layer 0), the only ones with
+    /// a direct path into the heat spreader.
+    #[must_use]
+    pub fn sink_side_cores(&self) -> Vec<usize> {
+        self.cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.layer == 0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Parses a HotSpot `.flp` floorplan file: one unit per line,
+    /// `<name> <width-m> <height-m> <left-x-m> <bottom-y-m>`, `#` comments.
+    /// Unit names are returned alongside the floorplan, in tile order.
+    ///
+    /// # Errors
+    /// Returns [`ThermalError::BadFloorplan`] naming the first malformed
+    /// line.
+    pub fn from_hotspot_flp(text: &str) -> Result<(Self, Vec<String>)> {
+        let mut cores = Vec::new();
+        let mut names = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() < 5 {
+                return Err(ThermalError::BadFloorplan {
+                    what: format!(
+                        "line {}: expected '<name> <w> <h> <x> <y>', got '{line}'",
+                        lineno + 1
+                    ),
+                });
+            }
+            let parse = |s: &str, what: &str| -> Result<f64> {
+                s.parse().map_err(|_| ThermalError::BadFloorplan {
+                    what: format!("line {}: cannot parse {what} '{s}'", lineno + 1),
+                })
+            };
+            let w = parse(fields[1], "width")?;
+            let h = parse(fields[2], "height")?;
+            let x = parse(fields[3], "x")?;
+            let y = parse(fields[4], "y")?;
+            names.push(fields[0].to_string());
+            cores.push(CoreGeom { x, y, w, h, layer: 0 });
+        }
+        Ok((Self::new(cores)?, names))
+    }
+
+    /// Renders the floorplan in HotSpot `.flp` format (layer 0 only; `.flp`
+    /// is a 2-D format).
+    #[must_use]
+    pub fn to_hotspot_flp(&self) -> String {
+        let mut out = String::from("# generated by mosc-thermal\n");
+        for (i, c) in self.cores.iter().enumerate() {
+            if c.layer != 0 {
+                continue;
+            }
+            out.push_str(&format!("core{i}\t{:e}\t{:e}\t{:e}\t{:e}\n", c.w, c.h, c.x, c.y));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_geometry() {
+        let f = Floorplan::paper_grid(3, 3).unwrap();
+        assert_eq!(f.n_cores(), 9);
+        assert_eq!(f.n_layers(), 1);
+        let c = f.cores()[4]; // center of 3x3
+        assert!((c.x - PAPER_CORE_EDGE).abs() < 1e-12);
+        assert!((c.y - PAPER_CORE_EDGE).abs() < 1e-12);
+        assert!((c.area() - 16e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_rejects_zero() {
+        assert!(Floorplan::grid(0, 3, 1e-3, 1e-3).is_err());
+        assert!(Floorplan::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn degenerate_tiles_rejected() {
+        let bad = CoreGeom { x: 0.0, y: 0.0, w: -1.0, h: 1.0, layer: 0 };
+        assert!(Floorplan::new(vec![bad]).is_err());
+        let nan = CoreGeom { x: f64::NAN, y: 0.0, w: 1.0, h: 1.0, layer: 0 };
+        assert!(Floorplan::new(vec![nan]).is_err());
+    }
+
+    #[test]
+    fn adjacency_counts_for_grids() {
+        // 3x3 grid: 12 shared edges (6 horizontal + 6 vertical pairs).
+        let f = Floorplan::paper_grid(3, 3).unwrap();
+        let adj = f.lateral_adjacency();
+        assert_eq!(adj.len(), 12);
+        for &(_, _, s) in &adj {
+            assert!((s - PAPER_CORE_EDGE).abs() < 1e-12);
+        }
+        // 1x2 grid: single adjacency.
+        assert_eq!(Floorplan::paper_grid(1, 2).unwrap().lateral_adjacency().len(), 1);
+    }
+
+    #[test]
+    fn diagonal_tiles_do_not_count_as_adjacent() {
+        let a = CoreGeom { x: 0.0, y: 0.0, w: 1.0, h: 1.0, layer: 0 };
+        let b = CoreGeom { x: 1.0, y: 1.0, w: 1.0, h: 1.0, layer: 0 };
+        assert_eq!(a.shared_edge(&b), 0.0);
+        let f = Floorplan::new(vec![a, b]).unwrap();
+        assert!(f.lateral_adjacency().is_empty());
+    }
+
+    #[test]
+    fn cross_layer_tiles_share_no_edge() {
+        let a = CoreGeom { x: 0.0, y: 0.0, w: 1.0, h: 1.0, layer: 0 };
+        let b = CoreGeom { x: 1.0, y: 0.0, w: 1.0, h: 1.0, layer: 1 };
+        assert_eq!(a.shared_edge(&b), 0.0);
+    }
+
+    #[test]
+    fn stack3d_structure() {
+        let f = Floorplan::stack3d(2, 1, 2, 1e-3, 1e-3).unwrap();
+        assert_eq!(f.n_cores(), 4);
+        assert_eq!(f.n_layers(), 2);
+        // Vertical pairs: each of the two positions pairs layer0->layer1.
+        let v = f.vertical_adjacency();
+        assert_eq!(v.len(), 2);
+        for &(lo, hi) in &v {
+            assert_eq!(f.cores()[lo].layer, 0);
+            assert_eq!(f.cores()[hi].layer, 1);
+        }
+        assert_eq!(f.sink_side_cores(), vec![0, 1]);
+    }
+
+    #[test]
+    fn hotspot_flp_roundtrip() {
+        let f = Floorplan::paper_grid(2, 2).unwrap();
+        let text = f.to_hotspot_flp();
+        let (back, names) = Floorplan::from_hotspot_flp(&text).unwrap();
+        assert_eq!(back.n_cores(), 4);
+        assert_eq!(names, vec!["core0", "core1", "core2", "core3"]);
+        for (a, b) in f.cores().iter().zip(back.cores()) {
+            assert!((a.x - b.x).abs() < 1e-15 && (a.w - b.w).abs() < 1e-15);
+        }
+        // Same adjacency structure.
+        assert_eq!(f.lateral_adjacency().len(), back.lateral_adjacency().len());
+    }
+
+    #[test]
+    fn hotspot_flp_parses_real_format() {
+        // Excerpt in the style of HotSpot's ev6.flp.
+        let text = "\
+# comment line
+Icache\t0.003072\t0.002816\t0.0\t0.0
+Dcache\t0.003072\t0.002816\t0.003072\t0.0   # trailing comment
+
+FPAdd\t0.001536\t0.001408\t0.0\t0.002816
+";
+        let (f, names) = Floorplan::from_hotspot_flp(text).unwrap();
+        assert_eq!(f.n_cores(), 3);
+        assert_eq!(names[0], "Icache");
+        assert!((f.cores()[1].x - 0.003072).abs() < 1e-12);
+        // Icache|Dcache share a vertical edge; FPAdd sits on Icache's top.
+        assert_eq!(f.lateral_adjacency().len(), 2);
+    }
+
+    #[test]
+    fn hotspot_flp_rejects_malformed() {
+        assert!(Floorplan::from_hotspot_flp("too few fields\n").is_err());
+        assert!(Floorplan::from_hotspot_flp("name w h x y\n").is_err());
+        assert!(Floorplan::from_hotspot_flp("a 0.001 -0.001 0 0\n").is_err());
+        assert!(Floorplan::from_hotspot_flp("").is_err()); // empty plan
+    }
+
+    #[test]
+    fn partial_overlap_shared_edge() {
+        // b offset by half a tile: shared edge is half the edge length.
+        let a = CoreGeom { x: 0.0, y: 0.0, w: 1.0, h: 1.0, layer: 0 };
+        let b = CoreGeom { x: 1.0, y: 0.5, w: 1.0, h: 1.0, layer: 0 };
+        assert!((a.shared_edge(&b) - 0.5).abs() < 1e-12);
+        assert!((b.shared_edge(&a) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,243 @@
+//! Block-level thermal discretization (HotSpot's "grid mode").
+//!
+//! The paper lumps each core into one thermal node ("we simplify the
+//! floor-plan to the core-level"). This module provides the refinement that
+//! HotSpot calls grid mode: every core tile is subdivided into `bx × by`
+//! blocks, each becoming its own die node, with the core's power spread
+//! uniformly across its blocks. The scheduling algorithms still speak
+//! per-core power; [`GridModel`] translates, and reports per-core
+//! temperatures as the maximum over the core's blocks (the physically
+//! binding quantity).
+//!
+//! Its purpose in this reproduction is *validation*: the
+//! `ablation_granularity` experiment quantifies how much the core-level
+//! lumping under-reports peak temperatures, i.e. the discretization error
+//! baked into the paper's (and our) evaluation.
+
+use crate::{CoreGeom, Floorplan, RcConfig, RcNetwork, Result, ThermalError, ThermalModel};
+use mosc_linalg::Vector;
+
+/// A thermal model whose die layer is discretized into sub-core blocks.
+#[derive(Debug)]
+pub struct GridModel {
+    model: ThermalModel,
+    /// Block node indices per original core.
+    blocks_of_core: Vec<Vec<usize>>,
+    n_cores: usize,
+}
+
+impl GridModel {
+    /// Builds a grid model: each core of `floorplan` is split into
+    /// `bx × by` equal blocks.
+    ///
+    /// # Errors
+    /// Rejects zero subdivisions and propagates network/model failures.
+    pub fn build(floorplan: &Floorplan, config: &RcConfig, beta: f64, bx: usize, by: usize) -> Result<Self> {
+        if bx == 0 || by == 0 {
+            return Err(ThermalError::InvalidParameter { what: "subdivision must be at least 1x1" });
+        }
+        let mut tiles = Vec::with_capacity(floorplan.n_cores() * bx * by);
+        let mut blocks_of_core = Vec::with_capacity(floorplan.n_cores());
+        for core in floorplan.cores() {
+            let mut ids = Vec::with_capacity(bx * by);
+            let (w, h) = (core.w / bx as f64, core.h / by as f64);
+            for iy in 0..by {
+                for ix in 0..bx {
+                    ids.push(tiles.len());
+                    tiles.push(CoreGeom {
+                        x: core.x + ix as f64 * w,
+                        y: core.y + iy as f64 * h,
+                        w,
+                        h,
+                        layer: core.layer,
+                    });
+                }
+            }
+            blocks_of_core.push(ids);
+        }
+        let fine = Floorplan::new(tiles)?;
+        let network = RcNetwork::build(&fine, config)?;
+        // Leakage β is a per-core quantity; each block carries its share.
+        let beta_block = beta / (bx * by) as f64;
+        let model = ThermalModel::new(network, beta_block)?;
+        Ok(Self { model, blocks_of_core, n_cores: floorplan.n_cores() })
+    }
+
+    /// Number of original cores.
+    #[must_use]
+    pub fn n_cores(&self) -> usize {
+        self.n_cores
+    }
+
+    /// Number of die blocks.
+    #[must_use]
+    pub fn n_blocks(&self) -> usize {
+        self.blocks_of_core.iter().map(Vec::len).sum()
+    }
+
+    /// The underlying (block-level) thermal model.
+    #[must_use]
+    pub fn inner(&self) -> &ThermalModel {
+        &self.model
+    }
+
+    /// Spreads per-core power uniformly over each core's blocks.
+    ///
+    /// # Errors
+    /// Returns [`ThermalError::DimensionMismatch`] for a wrong-length profile.
+    pub fn spread_power(&self, psi_cores: &[f64]) -> Result<Vec<f64>> {
+        if psi_cores.len() != self.n_cores {
+            return Err(ThermalError::DimensionMismatch {
+                expected: self.n_cores,
+                actual: psi_cores.len(),
+                op: "spread_power",
+            });
+        }
+        let mut out = vec![0.0; self.n_blocks()];
+        for (core, blocks) in self.blocks_of_core.iter().enumerate() {
+            let share = psi_cores[core] / blocks.len() as f64;
+            for &b in blocks {
+                out[b] = share;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Steady-state per-core temperatures: the **maximum block temperature**
+    /// within each core under the given per-core power.
+    ///
+    /// # Errors
+    /// Dimension mismatches or solver failures.
+    pub fn steady_state_cores(&self, psi_cores: &[f64]) -> Result<Vector> {
+        let block_psi = self.spread_power(psi_cores)?;
+        let t = self.model.steady_state(&block_psi)?;
+        Ok(self.reduce_to_cores(&t))
+    }
+
+    /// Reduces a block-level node vector to per-core maxima.
+    #[must_use]
+    pub fn reduce_to_cores(&self, t: &Vector) -> Vector {
+        Vector::from_fn(self.n_cores, |c| {
+            self.blocks_of_core[c]
+                .iter()
+                .map(|&b| t[b])
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+    }
+
+    /// Advances the block-level state across one interval of per-core power.
+    ///
+    /// # Errors
+    /// Dimension mismatches or solver failures.
+    pub fn advance(&self, t0: &Vector, psi_cores: &[f64], dt: f64) -> Result<Vector> {
+        let block_psi = self.spread_power(psi_cores)?;
+        self.model.advance(t0, &block_psi, dt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Floorplan {
+        Floorplan::paper_grid(1, 3).expect("floorplan")
+    }
+
+    #[test]
+    fn build_counts() {
+        let g = GridModel::build(&base(), &RcConfig::default(), 0.03, 2, 2).unwrap();
+        assert_eq!(g.n_cores(), 3);
+        assert_eq!(g.n_blocks(), 12);
+        // 12 die + 12 spreader + 12 sink + 2 rim nodes.
+        assert_eq!(g.inner().n_nodes(), 38);
+    }
+
+    #[test]
+    fn rejects_zero_subdivision() {
+        assert!(GridModel::build(&base(), &RcConfig::default(), 0.03, 0, 2).is_err());
+        assert!(GridModel::build(&base(), &RcConfig::default(), 0.03, 2, 0).is_err());
+    }
+
+    #[test]
+    fn one_by_one_grid_matches_core_level_model() {
+        let f = base();
+        let g = GridModel::build(&f, &RcConfig::default(), 0.03, 1, 1).unwrap();
+        let n = RcNetwork::build(&f, &RcConfig::default()).unwrap();
+        let m = ThermalModel::new(n, 0.03).unwrap();
+        let psi = [10.0, 15.0, 5.0];
+        let tg = g.steady_state_cores(&psi).unwrap();
+        let tm = m.steady_state_cores(&psi).unwrap();
+        assert!(tg.max_abs_diff(&tm) < 1e-9, "1x1 grid must equal the lumped model");
+    }
+
+    #[test]
+    fn spread_power_conserves_total() {
+        let g = GridModel::build(&base(), &RcConfig::default(), 0.03, 3, 2).unwrap();
+        let psi = [12.0, 0.0, 6.0];
+        let spread = g.spread_power(&psi).unwrap();
+        assert!((spread.iter().sum::<f64>() - 18.0).abs() < 1e-12);
+        assert!(g.spread_power(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn refinement_converges_and_bounds_hold() {
+        // Under uniform per-core power the refined model's per-core max
+        // temperature should be close to the lumped one (uniform power has
+        // no intra-core gradient except edge effects) and successive
+        // refinements should converge.
+        let f = base();
+        let psi = [14.0, 14.0, 14.0];
+        let lumped = {
+            let n = RcNetwork::build(&f, &RcConfig::default()).unwrap();
+            ThermalModel::new(n, 0.03).unwrap().steady_state_cores(&psi).unwrap().max()
+        };
+        let refined: Vec<f64> = [2usize, 3, 4]
+            .iter()
+            .map(|&b| {
+                GridModel::build(&f, &RcConfig::default(), 0.03, b, b)
+                    .unwrap()
+                    .steady_state_cores(&psi)
+                    .unwrap()
+                    .max()
+            })
+            .collect();
+        // Finer grids resolve the hotter core centers: monotone up, but the
+        // whole family stays within ~1.5 K (the lumping error this ablation
+        // quantifies), and the increments shrink (convergence).
+        assert!(lumped <= refined[0] + 1e-9, "lumped {lumped} vs 2x2 {}", refined[0]);
+        assert!(refined[0] <= refined[1] + 1e-9 && refined[1] <= refined[2] + 1e-9);
+        assert!(refined[2] - lumped < 1.5, "lumping error too large: {lumped} vs {:?}", refined);
+        assert!(
+            refined[2] - refined[1] < refined[1] - refined[0] + 0.05,
+            "refinement increments should shrink: {lumped} {refined:?}"
+        );
+    }
+
+    #[test]
+    fn hot_neighbor_creates_intra_core_gradient() {
+        // Power only on core 0: core 1's block nearest to core 0 runs hotter
+        // than its far block — the gradient the lumped model cannot see.
+        let g = GridModel::build(&base(), &RcConfig::default(), 0.03, 2, 1).unwrap();
+        let psi = [18.0, 0.0, 0.0];
+        let spread = g.spread_power(&psi).unwrap();
+        let t = g.inner().steady_state(&spread).unwrap();
+        // Core 1 blocks: indices 2 (near core 0) and 3 (far).
+        assert!(
+            t[2] > t[3],
+            "block adjacent to the hot core must be warmer: {} vs {}",
+            t[2],
+            t[3]
+        );
+    }
+
+    #[test]
+    fn advance_dimensionality() {
+        let g = GridModel::build(&base(), &RcConfig::default(), 0.03, 2, 2).unwrap();
+        let t0 = Vector::zeros(g.inner().n_nodes());
+        let t1 = g.advance(&t0, &[10.0, 10.0, 10.0], 0.1).unwrap();
+        assert_eq!(t1.len(), g.inner().n_nodes());
+        let cores = g.reduce_to_cores(&t1);
+        assert_eq!(cores.len(), 3);
+        assert!(cores.min() > 0.0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Assembly of the lumped RC network from a floorplan.
+
+use crate::{Floorplan, RcConfig, Result, ThermalError};
+use mosc_linalg::Matrix;
+
+/// Width of the spreader/sink rim beyond the die edge (m). Matches the
+/// paper's 4 mm core pitch: the package extends roughly one core pitch past
+/// the die on each side, which is what makes boundary cores run cooler than
+/// center cores (HotSpot models the same effect with its periphery nodes).
+pub const RIM_WIDTH: f64 = 4.0e-3;
+
+/// The assembled RC network: a symmetric positive-definite conductance matrix
+/// `G` (graph Laplacian plus ambient legs), a diagonal capacitance vector
+/// `C`, and the node bookkeeping.
+///
+/// Node layout: die nodes for every core first (`0..n_cores`, in floorplan
+/// order), then one spreader node per sink-side core, then one sink node per
+/// sink-side core, then two rim nodes (spreader periphery, sink periphery)
+/// lumping the package area that extends beyond the die. Ambient is the
+/// ground reference (temperature 0).
+#[derive(Debug, Clone)]
+pub struct RcNetwork {
+    g: Matrix,
+    c: Vec<f64>,
+    n_cores: usize,
+    n_nodes: usize,
+    floorplan: Floorplan,
+}
+
+impl RcNetwork {
+    /// Builds the network for `floorplan` under `config`.
+    ///
+    /// # Errors
+    /// Propagates config validation failures; rejects floorplans whose
+    /// sink-side layer is empty (no heat-removal path).
+    pub fn build(floorplan: &Floorplan, config: &RcConfig) -> Result<Self> {
+        config.validate()?;
+        let sink_side = floorplan.sink_side_cores();
+        if sink_side.is_empty() {
+            return Err(ThermalError::BadFloorplan {
+                what: "no cores on the sink-side layer (layer 0)".into(),
+            });
+        }
+
+        let n_cores = floorplan.n_cores();
+        let n_sink = sink_side.len();
+        // die … | spreader … | sink … | spreader_rim | sink_rim
+        let n_nodes = n_cores + 2 * n_sink + 2;
+        let mut g = Matrix::zeros(n_nodes, n_nodes);
+        let mut c = vec![0.0; n_nodes];
+
+        let spreader_of = |k: usize| n_cores + k;
+        let sink_of = |k: usize| n_cores + n_sink + k;
+        let spreader_rim = n_cores + 2 * n_sink;
+        let sink_rim = n_cores + 2 * n_sink + 1;
+
+        let cores = floorplan.cores();
+
+        // Exposed (non-shared) edge length of each sink-side core, which is
+        // where it couples into the rim.
+        let adjacency = floorplan.lateral_adjacency();
+        let mut exposed: Vec<f64> = sink_side
+            .iter()
+            .map(|&ci| 2.0 * (cores[ci].w + cores[ci].h))
+            .collect();
+        for &(i, j, edge) in &adjacency {
+            if let Some(ki) = sink_side.iter().position(|&c| c == i) {
+                exposed[ki] -= edge;
+            }
+            if let Some(kj) = sink_side.iter().position(|&c| c == j) {
+                exposed[kj] -= edge;
+            }
+        }
+        let total_exposed: f64 = exposed.iter().sum();
+        let rim_area = total_exposed.max(1e-9) * RIM_WIDTH;
+
+        // Capacitances.
+        for (i, core) in cores.iter().enumerate() {
+            c[i] = config.c_die_area * core.area();
+        }
+        for (k, &ci) in sink_side.iter().enumerate() {
+            let area = cores[ci].area();
+            c[spreader_of(k)] = config.c_spreader_area * area;
+            c[sink_of(k)] = config.c_sink_area * area;
+        }
+        c[spreader_rim] = config.c_spreader_area * rim_area;
+        c[sink_rim] = config.c_sink_area * rim_area;
+
+        let add = |a: usize, b: usize, cond: f64, g: &mut Matrix| {
+            g[(a, a)] += cond;
+            g[(b, b)] += cond;
+            g[(a, b)] -= cond;
+            g[(b, a)] -= cond;
+        };
+
+        // Lateral die-die coupling.
+        for &(i, j, edge) in &adjacency {
+            add(i, j, config.g_lat_die_per_m * edge, &mut g);
+        }
+
+        // 3-D inter-layer coupling (lower layer is nearer the sink).
+        for (lo, hi) in floorplan.vertical_adjacency() {
+            let overlap = overlap_area(floorplan, lo, hi);
+            add(lo, hi, overlap / config.r_interlayer_area, &mut g);
+        }
+
+        // Vertical stack under each sink-side core plus lateral coupling in
+        // the spreader and sink layers, including the rim.
+        let total_area: f64 =
+            sink_side.iter().map(|&ci| cores[ci].area()).sum::<f64>() + rim_area;
+        for (k, &ci) in sink_side.iter().enumerate() {
+            let area = cores[ci].area();
+            add(ci, spreader_of(k), area / config.r_die_spreader_area, &mut g);
+            add(spreader_of(k), sink_of(k), area / config.r_spreader_sink_area, &mut g);
+            // Area-proportional share of the package's fixed total convection
+            // resistance (legs in parallel reconstruct r_sink_ambient_total).
+            let leg = (area / total_area) / config.r_sink_ambient_total;
+            g[(sink_of(k), sink_of(k))] += leg;
+            // Rim coupling along the exposed edges.
+            if exposed[k] > 0.0 {
+                add(spreader_of(k), spreader_rim, config.g_lat_spreader_per_m * exposed[k], &mut g);
+                add(sink_of(k), sink_rim, config.g_lat_sink_per_m * exposed[k], &mut g);
+            }
+        }
+        for (k1, &c1) in sink_side.iter().enumerate() {
+            for (k2, &c2) in sink_side.iter().enumerate().skip(k1 + 1) {
+                let edge = cores[c1].shared_edge(&cores[c2]);
+                if edge > 0.0 {
+                    add(spreader_of(k1), spreader_of(k2), config.g_lat_spreader_per_m * edge, &mut g);
+                    add(sink_of(k1), sink_of(k2), config.g_lat_sink_per_m * edge, &mut g);
+                }
+            }
+        }
+        // Rim vertical path and its ambient share.
+        add(spreader_rim, sink_rim, rim_area / config.r_spreader_sink_area, &mut g);
+        g[(sink_rim, sink_rim)] += (rim_area / total_area) / config.r_sink_ambient_total;
+
+        Ok(Self { g, c, n_cores, n_nodes, floorplan: floorplan.clone() })
+    }
+
+    /// The conductance matrix `G` (SPD: Laplacian plus ambient legs).
+    #[inline]
+    #[must_use]
+    pub fn conductance(&self) -> &Matrix {
+        &self.g
+    }
+
+    /// Per-node capacitances (J/K).
+    #[inline]
+    #[must_use]
+    pub fn capacitance(&self) -> &[f64] {
+        &self.c
+    }
+
+    /// Number of core (die) nodes; these occupy indices `0..n_cores` and are
+    /// the nodes whose temperature the peak constraint governs.
+    #[inline]
+    #[must_use]
+    pub fn n_cores(&self) -> usize {
+        self.n_cores
+    }
+
+    /// Total node count.
+    #[inline]
+    #[must_use]
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// The floorplan the network was built from.
+    #[inline]
+    #[must_use]
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.floorplan
+    }
+}
+
+fn overlap_area(f: &Floorplan, i: usize, j: usize) -> f64 {
+    let (a, b) = (&f.cores()[i], &f.cores()[j]);
+    let x = (a.x + a.w).min(b.x + b.w) - a.x.max(b.x);
+    let y = (a.y + a.h).min(b.y + b.h) - a.y.max(b.y);
+    x.max(0.0) * y.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosc_linalg::SymmetricEigen;
+
+    fn net(rows: usize, cols: usize) -> RcNetwork {
+        let f = Floorplan::paper_grid(rows, cols).unwrap();
+        RcNetwork::build(&f, &RcConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn node_counts() {
+        let n = net(1, 3);
+        assert_eq!(n.n_cores(), 3);
+        assert_eq!(n.n_nodes(), 11); // 3 die + 3 spreader + 3 sink + 2 rim
+    }
+
+    #[test]
+    fn conductance_is_symmetric_spd() {
+        let n = net(2, 3);
+        let g = n.conductance();
+        assert!(g.is_symmetric(1e-12));
+        let eig = SymmetricEigen::new(g).unwrap();
+        assert!(eig.values.min() > 0.0, "G must be positive definite, min eig {}", eig.values.min());
+    }
+
+    #[test]
+    fn row_sums_equal_ambient_legs() {
+        // Row sums of a Laplacian-plus-legs matrix equal the ambient leg of
+        // that node: zero for die/spreader nodes, positive for sink nodes and
+        // the sink rim; in total they reconstruct 1/r_sink_ambient_total.
+        let n = net(1, 2);
+        let g = n.conductance();
+        let n_nodes = n.n_nodes();
+        let mut total_leg = 0.0;
+        for i in 0..n_nodes {
+            let row_sum: f64 = g.row(i).iter().sum();
+            let is_sink = (4..6).contains(&i) || i == n_nodes - 1;
+            if is_sink {
+                assert!(row_sum > 0.0, "sink node {i} must have an ambient leg");
+                total_leg += row_sum;
+            } else {
+                assert!(row_sum.abs() < 1e-9, "interior node {i} leaks {row_sum}");
+            }
+        }
+        let expected = 1.0 / RcConfig::default().r_sink_ambient_total;
+        assert!(
+            (total_leg - expected).abs() < 1e-9 * expected,
+            "total leg {total_leg} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn capacitances_positive_and_ordered() {
+        let n = net(1, 2);
+        let c = n.capacitance();
+        assert!(c.iter().all(|&x| x > 0.0));
+        // Sink mass >> spreader mass >> die mass per core column.
+        assert!(c[4] > c[2]); // sink vs spreader (first column)
+        assert!(c[2] > c[0]); // spreader vs die
+    }
+
+    #[test]
+    fn single_core_steady_state_is_physical() {
+        let n = net(1, 1);
+        assert_eq!(n.n_nodes(), 5);
+        let g = n.conductance();
+        let lu = mosc_linalg::Lu::new(g).unwrap();
+        let mut p = mosc_linalg::Vector::zeros(5);
+        p[0] = 10.0;
+        let t = lu.solve_vec(&p).unwrap();
+        // Monotone down the stack, everything above ambient.
+        assert!(t[0] > t[1] && t[1] > t[2] && t[2] > 0.0);
+        // Bounded below by pure-convection floor and above by the no-rim path.
+        let cfg = RcConfig::default();
+        let area = 16e-6;
+        let upper =
+            10.0 * ((cfg.r_die_spreader_area + cfg.r_spreader_sink_area) / area + cfg.r_sink_ambient_total);
+        assert!(t[0] > 10.0 * cfg.r_sink_ambient_total * 0.5);
+        assert!(t[0] < upper);
+    }
+
+    #[test]
+    fn stack3d_upper_layer_runs_hotter() {
+        let f = Floorplan::stack3d(2, 1, 1, 4e-3, 4e-3).unwrap();
+        let n = RcNetwork::build(&f, &RcConfig::default()).unwrap();
+        assert_eq!(n.n_cores(), 2);
+        assert_eq!(n.n_nodes(), 6); // 2 die + 1 spreader + 1 sink + 2 rim
+        let lu = mosc_linalg::Lu::new(n.conductance()).unwrap();
+        // Same power on both layers: the far-from-sink layer is hotter.
+        let mut p = mosc_linalg::Vector::zeros(6);
+        p[0] = 10.0;
+        p[1] = 10.0;
+        let t = lu.solve_vec(&p).unwrap();
+        assert!(t[1] > t[0], "upper layer {} must exceed lower {}", t[1], t[0]);
+    }
+
+    #[test]
+    fn rejects_floorplan_without_sink_layer() {
+        // All cores on layer 1, none on layer 0.
+        let c = crate::CoreGeom { x: 0.0, y: 0.0, w: 1e-3, h: 1e-3, layer: 1 };
+        let f = Floorplan::new(vec![c]).unwrap();
+        assert!(RcNetwork::build(&f, &RcConfig::default()).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let f = Floorplan::paper_grid(1, 2).unwrap();
+        let cfg = RcConfig { g_lat_die_per_m: -1.0, ..RcConfig::default() };
+        assert!(RcNetwork::build(&f, &cfg).is_err());
+    }
+
+    #[test]
+    fn coupling_decays_with_distance() {
+        // In a 1x3 row under power on core 0 only, core 1 is warmer than core 2.
+        let n = net(1, 3);
+        let lu = mosc_linalg::Lu::new(n.conductance()).unwrap();
+        let mut p = mosc_linalg::Vector::zeros(n.n_nodes());
+        p[0] = 15.0;
+        let t = lu.solve_vec(&p).unwrap();
+        assert!(t[0] > t[1] && t[1] > t[2]);
+        assert!(t[2] > 0.0, "all nodes above ambient under any heating");
+    }
+
+    #[test]
+    fn more_cores_run_hotter_under_uniform_power() {
+        // The fixed-size sink makes per-core headroom shrink with core count:
+        // the hottest core of a 3x3 under 10 W/core beats a 1x2's under the
+        // same per-core power.
+        let small = net(1, 2);
+        let big = net(3, 3);
+        let solve_max = |n: &RcNetwork, w: f64| {
+            let lu = mosc_linalg::Lu::new(n.conductance()).unwrap();
+            let mut p = mosc_linalg::Vector::zeros(n.n_nodes());
+            for i in 0..n.n_cores() {
+                p[i] = w;
+            }
+            let t = lu.solve_vec(&p).unwrap();
+            (0..n.n_cores()).fold(f64::NEG_INFINITY, |m, i| m.max(t[i]))
+        };
+        assert!(solve_max(&big, 10.0) > solve_max(&small, 10.0) + 5.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Fixed-step RK4 reference integrator.
+//!
+//! The analytic propagator of [`crate::ThermalModel`] is exact for the LTI
+//! model, but exactness claims need an independent witness: this module
+//! integrates `dT/dt = A·T + B` numerically and is used by the test suite to
+//! cross-validate eq. (3)/(4) implementations, and by the trace-producing
+//! experiment binaries where dense time sampling is wanted anyway.
+
+use crate::{Result, ThermalError, ThermalModel, Trace};
+use mosc_linalg::{Matrix, Vector};
+
+/// Integrates the model under constant per-core power for `duration`
+/// seconds, recording every `record_every`-th step into a [`Trace`].
+///
+/// # Errors
+/// Rejects non-positive step sizes and dimension mismatches.
+pub fn integrate_constant(
+    model: &ThermalModel,
+    t0: &Vector,
+    psi_cores: &[f64],
+    duration: f64,
+    dt: f64,
+    record_every: usize,
+) -> Result<(Vector, Trace)> {
+    let segments = [(psi_cores.to_vec(), duration)];
+    integrate_piecewise(model, t0, &segments, dt, record_every)
+}
+
+/// Integrates the model under a piecewise-constant power schedule given as
+/// `(psi_cores, duration)` segments.
+///
+/// # Errors
+/// Rejects non-positive `dt`, empty schedules, negative durations and
+/// dimension mismatches.
+pub fn integrate_piecewise(
+    model: &ThermalModel,
+    t0: &Vector,
+    segments: &[(Vec<f64>, f64)],
+    dt: f64,
+    record_every: usize,
+) -> Result<(Vector, Trace)> {
+    if !(dt.is_finite() && dt > 0.0) {
+        return Err(ThermalError::InvalidParameter { what: "dt must be finite and > 0" });
+    }
+    if segments.is_empty() {
+        return Err(ThermalError::InvalidParameter { what: "schedule must have segments" });
+    }
+    if t0.len() != model.n_nodes() {
+        return Err(ThermalError::DimensionMismatch {
+            expected: model.n_nodes(),
+            actual: t0.len(),
+            op: "integrate",
+        });
+    }
+    let record_every = record_every.max(1);
+    let a = model.a_matrix();
+    let c = model.network().capacitance();
+
+    let mut state = t0.clone();
+    let mut time = 0.0;
+    let mut trace = Trace::new(model.n_cores());
+    trace.push(0.0, state.clone());
+    let mut step_count = 0usize;
+
+    for (psi, duration) in segments {
+        if !duration.is_finite() || *duration < 0.0 {
+            return Err(ThermalError::InvalidParameter { what: "segment duration must be >= 0" });
+        }
+        let b = input_vector(model, psi, c)?;
+        let n_steps = (duration / dt).ceil() as usize;
+        for step in 0..n_steps {
+            // Final step may be shorter to land exactly on the boundary.
+            let h = if step + 1 == n_steps { duration - dt * step as f64 } else { dt };
+            if h <= 0.0 {
+                break;
+            }
+            state = rk4_step(&a, &b, &state, h);
+            time += h;
+            step_count += 1;
+            if step_count.is_multiple_of(record_every) {
+                trace.push(time, state.clone());
+            }
+        }
+    }
+    if trace.times().last().copied() != Some(time) {
+        trace.push(time, state.clone());
+    }
+    Ok((state, trace))
+}
+
+fn input_vector(model: &ThermalModel, psi_cores: &[f64], c: &[f64]) -> Result<Vector> {
+    let scattered = model.scatter_power(psi_cores)?;
+    Ok(Vector::from_fn(scattered.len(), |i| scattered[i] / c[i]))
+}
+
+/// One classical RK4 step of `x' = A·x + b`.
+fn rk4_step(a: &Matrix, b: &Vector, x: &Vector, h: f64) -> Vector {
+    let f = |state: &Vector| -> Vector {
+        let ax = a.matvec(state).expect("dimensions fixed by model");
+        &ax + b
+    };
+    let k1 = f(x);
+    let k2 = f(&x.axpy(h / 2.0, &k1));
+    let k3 = f(&x.axpy(h / 2.0, &k2));
+    let k4 = f(&x.axpy(h, &k3));
+    // x + h/6 (k1 + 2k2 + 2k3 + k4)
+    let mut incr = k1;
+    incr += &k2.scaled(2.0);
+    incr += &k3.scaled(2.0);
+    incr += &k4;
+    x.axpy(h / 6.0, &incr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Floorplan, RcConfig, RcNetwork};
+
+    fn model() -> ThermalModel {
+        let f = Floorplan::paper_grid(1, 2).unwrap();
+        let n = RcNetwork::build(&f, &RcConfig::default()).unwrap();
+        ThermalModel::new(n, 0.03).unwrap()
+    }
+
+    #[test]
+    fn rk4_matches_analytic_propagator() {
+        let m = model();
+        let psi = [12.0, 6.0];
+        let t0 = Vector::zeros(m.n_nodes());
+        let horizon = 0.2;
+        let analytic = m.advance(&t0, &psi, horizon).unwrap();
+        let (numeric, _) = integrate_constant(&m, &t0, &psi, horizon, 1e-5, 1000).unwrap();
+        assert!(
+            analytic.max_abs_diff(&numeric) < 1e-6,
+            "diff = {}",
+            analytic.max_abs_diff(&numeric)
+        );
+    }
+
+    #[test]
+    fn piecewise_schedule_matches_chained_advance() {
+        let m = model();
+        let t0 = Vector::zeros(m.n_nodes());
+        let segments = [(vec![15.0, 2.0], 0.05), (vec![2.0, 15.0], 0.08)];
+        let mid = m.advance(&t0, &segments[0].0, segments[0].1).unwrap();
+        let analytic = m.advance(&mid, &segments[1].0, segments[1].1).unwrap();
+        let (numeric, trace) = integrate_piecewise(&m, &t0, &segments, 1e-5, 500).unwrap();
+        assert!(analytic.max_abs_diff(&numeric) < 1e-6);
+        // Trace covers the full horizon.
+        assert!((trace.times().last().unwrap() - 0.13).abs() < 1e-9);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn trace_records_requested_density() {
+        let m = model();
+        let t0 = Vector::zeros(m.n_nodes());
+        let (_, trace) = integrate_constant(&m, &t0, &[5.0, 5.0], 0.01, 1e-4, 10).unwrap();
+        // 100 steps, every 10th recorded + initial + final.
+        assert!(trace.len() >= 11 && trace.len() <= 12, "len = {}", trace.len());
+    }
+
+    #[test]
+    fn input_validation() {
+        let m = model();
+        let t0 = Vector::zeros(m.n_nodes());
+        assert!(integrate_constant(&m, &t0, &[1.0, 1.0], 0.1, 0.0, 1).is_err());
+        assert!(integrate_constant(&m, &t0, &[1.0], 0.1, 1e-4, 1).is_err());
+        assert!(integrate_constant(&m, &Vector::zeros(2), &[1.0, 1.0], 0.1, 1e-4, 1).is_err());
+        assert!(integrate_piecewise(&m, &t0, &[], 1e-4, 1).is_err());
+        assert!(integrate_piecewise(&m, &t0, &[(vec![1.0, 1.0], -0.5)], 1e-4, 1).is_err());
+    }
+
+    #[test]
+    fn heating_trace_is_monotone_under_constant_power() {
+        let m = model();
+        let t0 = Vector::zeros(m.n_nodes());
+        let (_, trace) = integrate_constant(&m, &t0, &[10.0, 10.0], 0.5, 1e-4, 100).unwrap();
+        let series = trace.core_series(0);
+        for w in series.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-9, "heating from ambient must be monotone");
+        }
+    }
+}

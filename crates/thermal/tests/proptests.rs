@@ -1,0 +1,132 @@
+//! Property-based tests for the thermal substrate.
+
+use mosc_linalg::{SymmetricEigen, Vector};
+use mosc_thermal::{Floorplan, RcConfig, RcNetwork, ThermalModel};
+use proptest::prelude::*;
+
+fn grid_dims() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..=3, 1usize..=3)
+}
+
+fn power_profile(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..20.0, n..=n)
+}
+
+fn model(rows: usize, cols: usize) -> ThermalModel {
+    let f = Floorplan::paper_grid(rows, cols).expect("floorplan");
+    let n = RcNetwork::build(&f, &RcConfig::default()).expect("network");
+    ThermalModel::new(n, 0.03).expect("model")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn conductance_is_spd_for_all_grids((rows, cols) in grid_dims()) {
+        let f = Floorplan::paper_grid(rows, cols).unwrap();
+        let net = RcNetwork::build(&f, &RcConfig::default()).unwrap();
+        let g = net.conductance();
+        prop_assert!(g.is_symmetric(1e-12));
+        let eig = SymmetricEigen::new(g).unwrap();
+        prop_assert!(eig.values.min() > 0.0);
+    }
+
+    #[test]
+    fn steady_state_is_linear_and_monotone((rows, cols) in grid_dims(), seed in 0u64..500) {
+        let m = model(rows, cols);
+        let n = m.n_cores();
+        // Deterministic pseudo-profiles from the seed.
+        let p1: Vec<f64> = (0..n).map(|i| ((seed + i as u64) % 17) as f64).collect();
+        let p2: Vec<f64> = (0..n).map(|i| ((seed * 3 + i as u64) % 11) as f64).collect();
+        let t1 = m.steady_state_cores(&p1).unwrap();
+        let t2 = m.steady_state_cores(&p2).unwrap();
+        let sum_profile: Vec<f64> = p1.iter().zip(&p2).map(|(a, b)| a + b).collect();
+        let t_sum = m.steady_state_cores(&sum_profile).unwrap();
+        // Linearity (superposition).
+        prop_assert!(t_sum.max_abs_diff(&(&t1 + &t2)) < 1e-9);
+        // Monotonicity: extra power never cools any core.
+        prop_assert!(t1.le_elementwise(&t_sum, 1e-9));
+        prop_assert!(t2.le_elementwise(&t_sum, 1e-9));
+    }
+
+    #[test]
+    fn advance_composes((rows, cols) in grid_dims(), psi in power_profile(9), dt in 1e-4f64..0.5) {
+        let m = model(rows, cols);
+        let psi = &psi[..m.n_cores()];
+        let t0 = Vector::zeros(m.n_nodes());
+        let whole = m.advance(&t0, psi, 2.0 * dt).unwrap();
+        let half = m.advance(&t0, psi, dt).unwrap();
+        let halves = m.advance(&half, psi, dt).unwrap();
+        prop_assert!(whole.max_abs_diff(&halves) < 1e-8);
+    }
+
+    #[test]
+    fn temperatures_stay_nonnegative_and_bounded((rows, cols) in grid_dims(), psi in power_profile(9), dt in 1e-3f64..1.0) {
+        // Heating from ambient with nonnegative power: temperatures stay in
+        // [0, T∞] element-wise.
+        let m = model(rows, cols);
+        let psi = &psi[..m.n_cores()];
+        let t_inf = m.steady_state(psi).unwrap();
+        let mut t = Vector::zeros(m.n_nodes());
+        for _ in 0..5 {
+            t = m.advance(&t, psi, dt).unwrap();
+            for i in 0..t.len() {
+                prop_assert!(t[i] >= -1e-9, "node {i} went below ambient");
+                prop_assert!(t[i] <= t_inf[i] + 1e-9, "node {i} overshot steady state");
+            }
+        }
+    }
+
+    #[test]
+    fn propagator_rows_are_substochastic((rows, cols) in grid_dims(), dt in 1e-3f64..10.0) {
+        // Without leakage feedback (β = 0), e^{A·dt} is nonnegative with row
+        // sums <= 1: heat is conserved or lost to ambient, never created.
+        // (With β > 0 the die rows may exceed 1 — leakage injects heat
+        // proportional to temperature; nonnegativity still holds and is
+        // checked for the leaky model too.)
+        let f = Floorplan::paper_grid(rows, cols).unwrap();
+        let net = RcNetwork::build(&f, &RcConfig::default()).unwrap();
+        let m0 = ThermalModel::new(net.clone(), 0.0).unwrap();
+        let phi = m0.propagator(dt).unwrap();
+        for i in 0..m0.n_nodes() {
+            let mut row_sum = 0.0;
+            for j in 0..m0.n_nodes() {
+                prop_assert!(phi[(i, j)] >= -1e-10, "negative propagator entry ({i},{j})");
+                row_sum += phi[(i, j)];
+            }
+            prop_assert!(row_sum <= 1.0 + 1e-9, "row {i} sums to {row_sum}");
+        }
+        let m_leak = ThermalModel::new(net, 0.03).unwrap();
+        let phi_leak = m_leak.propagator(dt).unwrap();
+        for v in phi_leak.as_slice() {
+            prop_assert!(*v >= -1e-10);
+        }
+    }
+
+    #[test]
+    fn hotter_start_stays_hotter((rows, cols) in grid_dims(), psi in power_profile(9), dt in 1e-3f64..1.0) {
+        // Order preservation of the positive propagator: T0 <= T0' (element-
+        // wise) implies T(dt) <= T'(dt).
+        let m = model(rows, cols);
+        let psi = &psi[..m.n_cores()];
+        let cold = Vector::zeros(m.n_nodes());
+        let warm = Vector::filled(m.n_nodes(), 3.0);
+        let t_cold = m.advance(&cold, psi, dt).unwrap();
+        let t_warm = m.advance(&warm, psi, dt).unwrap();
+        prop_assert!(t_cold.le_elementwise(&t_warm, 1e-9));
+    }
+
+    #[test]
+    fn beta_increases_temperatures((rows, cols) in grid_dims(), psi in power_profile(9)) {
+        // Leakage feedback can only heat.
+        let f = Floorplan::paper_grid(rows, cols).unwrap();
+        let n1 = RcNetwork::build(&f, &RcConfig::default()).unwrap();
+        let n2 = n1.clone();
+        let m_no_leak = ThermalModel::new(n1, 0.0).unwrap();
+        let m_leak = ThermalModel::new(n2, 0.05).unwrap();
+        let psi = &psi[..m_leak.n_cores()];
+        let t0 = m_no_leak.steady_state_cores(psi).unwrap();
+        let t1 = m_leak.steady_state_cores(psi).unwrap();
+        prop_assert!(t0.le_elementwise(&t1, 1e-9));
+    }
+}

@@ -1,0 +1,241 @@
+//! Seeded random generators for the experiment suite.
+//!
+//! Everything here is deterministic under a seed so every table and figure
+//! the benches regenerate is exactly reproducible. The generators mirror the
+//! paper's experimental setups: random step-up schedules with bounded
+//! segments per core (Figs. 4–5), arbitrary periodic schedules (Fig. 3's
+//! phase sweeps and the Theorem-2 validation), random platform
+//! configurations for the Table-V timing grid, and heterogeneous floorplans
+//! for the extension studies.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod tasks;
+
+use mosc_power::ModeTable;
+use mosc_sched::{CoreSchedule, Schedule, Segment};
+use mosc_thermal::{CoreGeom, Floorplan};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates the suite's RNG from a seed.
+#[must_use]
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Parameters for random schedule generation.
+#[derive(Debug, Clone)]
+pub struct ScheduleGen {
+    /// Schedule period in seconds.
+    pub period: f64,
+    /// Maximum segments per core (at least 1).
+    pub max_segments: usize,
+    /// Voltage range to draw from.
+    pub v_range: (f64, f64),
+    /// When set, voltages snap to this table's levels instead of the
+    /// continuous range.
+    pub modes: Option<ModeTable>,
+}
+
+impl Default for ScheduleGen {
+    fn default() -> Self {
+        Self { period: 1.0, max_segments: 4, v_range: (0.6, 1.3), modes: None }
+    }
+}
+
+impl ScheduleGen {
+    fn draw_voltage(&self, rng: &mut StdRng) -> f64 {
+        match &self.modes {
+            Some(table) => {
+                let levels = table.levels();
+                levels[rng.gen_range(0..levels.len())]
+            }
+            None => rng.gen_range(self.v_range.0..=self.v_range.1),
+        }
+    }
+
+    /// One random core timeline with ascending voltages (step-up).
+    ///
+    /// # Panics
+    /// Panics when `max_segments == 0` or the period is not positive.
+    #[must_use]
+    pub fn stepup_core(&self, rng: &mut StdRng) -> CoreSchedule {
+        assert!(self.max_segments >= 1 && self.period > 0.0);
+        let n = rng.gen_range(1..=self.max_segments);
+        let mut voltages: Vec<f64> = (0..n).map(|_| self.draw_voltage(rng)).collect();
+        voltages.sort_by(|a, b| a.partial_cmp(b).expect("finite voltages"));
+        voltages.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        let n = voltages.len();
+        let mut cuts: Vec<f64> = (0..n - 1).map(|_| rng.gen_range(0.05..0.95)).collect();
+        cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite cuts"));
+        let mut segs = Vec::with_capacity(n);
+        let mut prev = 0.0;
+        for (i, &v) in voltages.iter().enumerate() {
+            let end = if i + 1 == n { 1.0 } else { cuts[i] };
+            // Guard against zero-length segments from adjacent cuts.
+            let len = ((end - prev) * self.period).max(1e-6 * self.period);
+            segs.push(Segment::new(v, len));
+            prev = end;
+        }
+        CoreSchedule::new(segs).expect("generated segments are valid")
+    }
+
+    /// One random core timeline with shuffled (arbitrary-order) voltages.
+    #[must_use]
+    pub fn arbitrary_core(&self, rng: &mut StdRng) -> CoreSchedule {
+        let core = self.stepup_core(rng);
+        let mut segs = core.segments().to_vec();
+        for i in (1..segs.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            segs.swap(i, j);
+        }
+        CoreSchedule::new(segs).expect("shuffle preserves validity")
+    }
+
+    /// A random multi-core step-up schedule.
+    ///
+    /// # Panics
+    /// Panics when `n_cores == 0`.
+    #[must_use]
+    pub fn stepup_schedule(&self, rng: &mut StdRng, n_cores: usize) -> Schedule {
+        assert!(n_cores > 0);
+        // Normalize periods exactly: rebuild each core to sum precisely.
+        let cores: Vec<CoreSchedule> = (0..n_cores).map(|_| self.stepup_core(rng)).collect();
+        Schedule::new(normalize_periods(cores, self.period)).expect("generated cores are valid")
+    }
+
+    /// A random arbitrary periodic schedule.
+    ///
+    /// # Panics
+    /// Panics when `n_cores == 0`.
+    #[must_use]
+    pub fn arbitrary_schedule(&self, rng: &mut StdRng, n_cores: usize) -> Schedule {
+        assert!(n_cores > 0);
+        let cores: Vec<CoreSchedule> = (0..n_cores).map(|_| self.arbitrary_core(rng)).collect();
+        Schedule::new(normalize_periods(cores, self.period)).expect("generated cores are valid")
+    }
+}
+
+/// Rescales each timeline so all periods match `period` exactly (floating
+/// point cut arithmetic can drift by ULPs, which `Schedule::new` rejects).
+fn normalize_periods(cores: Vec<CoreSchedule>, period: f64) -> Vec<CoreSchedule> {
+    cores
+        .into_iter()
+        .map(|c| {
+            let actual = c.period();
+            let scale = period / actual;
+            let segs: Vec<Segment> = c
+                .segments()
+                .iter()
+                .map(|s| Segment::new(s.voltage, s.duration * scale))
+                .collect();
+            CoreSchedule::new(segs).expect("rescaling preserves validity")
+        })
+        .collect()
+}
+
+/// The paper's four platform configurations as `(rows, cols)` grids.
+pub const PAPER_CONFIGS: [(usize, usize); 4] = [(1, 2), (1, 3), (2, 3), (3, 3)];
+
+/// A heterogeneous single-layer floorplan: `n` tiles in a row with random
+/// widths in `[w_min, w_max]` (all sharing the same height). Used by the
+/// extension studies; the RC config's per-area/per-length normalization makes
+/// it directly consumable.
+///
+/// # Panics
+/// Panics on a degenerate width range or `n == 0`.
+#[must_use]
+pub fn hetero_row_floorplan(rng: &mut StdRng, n: usize, w_min: f64, w_max: f64, h: f64) -> Floorplan {
+    assert!(n > 0 && w_min > 0.0 && w_max >= w_min && h > 0.0);
+    let mut x = 0.0;
+    let mut cores = Vec::with_capacity(n);
+    for _ in 0..n {
+        let w = rng.gen_range(w_min..=w_max);
+        cores.push(CoreGeom { x, y: 0.0, w, h, layer: 0 });
+        x += w;
+    }
+    Floorplan::new(cores).expect("generated tiles are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let gen = ScheduleGen::default();
+        let a = gen.stepup_schedule(&mut rng(7), 3);
+        let b = gen.stepup_schedule(&mut rng(7), 3);
+        assert_eq!(a, b);
+        let c = gen.stepup_schedule(&mut rng(8), 3);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stepup_schedules_are_stepup() {
+        let gen = ScheduleGen { max_segments: 5, ..ScheduleGen::default() };
+        let mut r = rng(42);
+        for _ in 0..50 {
+            let s = gen.stepup_schedule(&mut r, 4);
+            assert!(s.is_step_up());
+            assert!((s.period() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn arbitrary_schedules_cover_non_stepup() {
+        let gen = ScheduleGen { max_segments: 5, ..ScheduleGen::default() };
+        let mut r = rng(43);
+        let mut saw_non_stepup = false;
+        for _ in 0..50 {
+            let s = gen.arbitrary_schedule(&mut r, 4);
+            assert!((s.period() - 1.0).abs() < 1e-9);
+            saw_non_stepup |= !s.is_step_up();
+        }
+        assert!(saw_non_stepup, "shuffling should produce non-step-up schedules");
+    }
+
+    #[test]
+    fn mode_snapping_uses_table_levels() {
+        let table = ModeTable::table_iv(3);
+        let gen = ScheduleGen { modes: Some(table.clone()), ..ScheduleGen::default() };
+        let mut r = rng(44);
+        let s = gen.stepup_schedule(&mut r, 3);
+        for core in s.cores() {
+            for seg in core.segments() {
+                assert!(table.levels().iter().any(|&l| (l - seg.voltage).abs() < 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn voltages_within_range() {
+        let gen = ScheduleGen { v_range: (0.7, 1.1), ..ScheduleGen::default() };
+        let mut r = rng(45);
+        for _ in 0..20 {
+            let s = gen.stepup_schedule(&mut r, 2);
+            for core in s.cores() {
+                for seg in core.segments() {
+                    assert!((0.7..=1.1).contains(&seg.voltage));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hetero_floorplan_is_contiguous_row() {
+        let mut r = rng(46);
+        let f = hetero_row_floorplan(&mut r, 5, 2e-3, 6e-3, 4e-3);
+        assert_eq!(f.n_cores(), 5);
+        // Adjacent tiles share edges (4 adjacencies in a row of 5).
+        assert_eq!(f.lateral_adjacency().len(), 4);
+    }
+
+    #[test]
+    fn paper_configs_cover_the_four_sizes() {
+        let sizes: Vec<usize> = PAPER_CONFIGS.iter().map(|&(r, c)| r * c).collect();
+        assert_eq!(sizes, vec![2, 3, 6, 9]);
+    }
+}

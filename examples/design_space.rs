@@ -1,0 +1,46 @@
+//! Design-space sweep: how the achievable throughput moves with the thermal
+//! budget and the DVFS table richness, on a platform of your choosing.
+//!
+//! ```sh
+//! cargo run --release --example design_space -- [rows] [cols]
+//! cargo run --release --example design_space -- 3 3
+//! ```
+
+use mosc::algorithms::ao::{self, AoOptions};
+use mosc::algorithms::{continuous, exs, lns};
+use mosc::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let rows: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let cols: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let ao_opts = AoOptions { base_period: 0.05, max_m: 256, m_patience: 6, t_unit_divisor: 100 };
+
+    println!("design-space sweep on a {rows}x{cols} grid ({} cores)\n", rows * cols);
+    println!(
+        "{:>8} {:>7} | {:>8} {:>8} {:>8} {:>8} | {:>6}",
+        "T_max", "levels", "ideal", "LNS", "EXS", "AO", "AO m"
+    );
+    println!("{}", "-".repeat(70));
+
+    for &t_max_c in &[50.0, 55.0, 60.0, 65.0] {
+        for levels in [2usize, 3, 5] {
+            let spec = PlatformSpec::paper(rows, cols, levels, t_max_c);
+            let platform = Platform::build(&spec).expect("platform");
+            let ideal = continuous::solve(&platform).expect("continuous");
+            let lns_thr = lns::solve(&platform).map(|s| s.throughput).unwrap_or(f64::NAN);
+            let exs_thr = exs::solve(&platform).map(|s| s.throughput).unwrap_or(f64::NAN);
+            let (ao_thr, m) = ao::solve_with(&platform, &ao_opts)
+                .map(|s| (s.throughput, s.m))
+                .unwrap_or((f64::NAN, 0));
+            println!(
+                "{:>6.0} C {:>7} | {:>8.4} {:>8.4} {:>8.4} {:>8.4} | {:>6}",
+                t_max_c, levels, ideal.throughput, lns_thr, exs_thr, ao_thr, m
+            );
+        }
+    }
+    println!(
+        "\nreading guide: `ideal` is the continuous-DVFS upper bound; AO should sit between\n\
+         EXS and ideal, with the gap to EXS widening as levels get scarcer and heat tighter."
+    );
+}

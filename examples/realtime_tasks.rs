@@ -1,0 +1,71 @@
+//! Real-time task execution on AO's thermal schedule: what the paper's
+//! throughput metric means for deadlines.
+//!
+//! AO maximizes each core's *average* speed under the temperature cap; a
+//! periodic task set is EDF-schedulable on a varying-speed core roughly when
+//! its utilization fits under that average — provided the speed oscillation
+//! is fast against the task periods, which is exactly what m-Oscillating
+//! delivers. This example makes both halves visible.
+//!
+//! ```sh
+//! cargo run --release --example realtime_tasks
+//! ```
+
+use mosc::algorithms::ao::{self, AoOptions};
+use mosc::prelude::*;
+use mosc::workload::tasks::{simulate_edf, Task, TaskSet};
+
+fn main() {
+    let platform = Platform::build(&PlatformSpec::paper(1, 3, 2, 55.0)).expect("platform");
+    let ao_opts = AoOptions { base_period: 0.05, max_m: 256, m_patience: 6, t_unit_divisor: 100 };
+    let sol = ao::solve_with(&platform, &ao_opts).expect("AO");
+    println!(
+        "AO schedule: chip throughput {:.4}, m = {}, compressed period {:.3} ms, peak {:.1} °C\n",
+        sol.throughput,
+        sol.m,
+        sol.schedule.period() * 1e3,
+        sol.peak_c(&platform)
+    );
+
+    let horizon = 30.0;
+    for core in 0..platform.n_cores() {
+        let timeline = sol.schedule.core(core);
+        let avg_speed = timeline.work() / sol.schedule.period();
+
+        // A task set sized to ~90 % of this core's average speed.
+        let u_target = 0.9 * avg_speed;
+        let tasks = TaskSet::new(vec![
+            Task::implicit(u_target * 0.5 * 0.1, 0.1),
+            Task::implicit(u_target * 0.3 * 0.25, 0.25),
+            Task::implicit(u_target * 0.2 * 1.0, 1.0),
+        ]);
+        let stats = simulate_edf(timeline, &tasks, horizon);
+        println!(
+            "core {core}: avg speed {:.3}, task utilization {:.3} -> {} jobs done, {} missed{}",
+            avg_speed,
+            tasks.utilization(),
+            stats.completed,
+            stats.missed,
+            if stats.missed == 0 { " (all deadlines met)" } else { "" }
+        );
+
+        // The same load WITHOUT oscillation (stuck at the low level) misses.
+        let low = timeline
+            .segments()
+            .iter()
+            .map(|s| s.voltage)
+            .fold(f64::INFINITY, f64::min);
+        let constant_low = CoreSchedule::constant(low, sol.schedule.period()).expect("core");
+        let stats_low = simulate_edf(&constant_low, &tasks, horizon);
+        println!(
+            "         at the {low:.1} V floor instead: {} done, {} missed (max lateness {:.2} s)",
+            stats_low.completed, stats_low.missed, stats_low.max_lateness
+        );
+    }
+    println!(
+        "\nthe oscillating schedule sustains ~90%-of-average utilization with zero misses\n\
+         because its period ({:.1} ms) is far below the task periods (100 ms+); the same\n\
+         silicon pinned at the thermally-safe constant level drops jobs wholesale.",
+        sol.schedule.period() * 1e3
+    );
+}

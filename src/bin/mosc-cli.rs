@@ -1,0 +1,205 @@
+//! `mosc-cli` — command-line front end for the scheduler.
+//!
+//! ```text
+//! mosc-cli solve --algo ao --rows 2 --cols 3 --levels 2 --tmax 55 [--out schedule.txt]
+//! mosc-cli peak  --rows 2 --cols 3 --tmax 55 --schedule schedule.txt
+//! mosc-cli compare --rows 3 --cols 3 --levels 2 --tmax 55
+//! mosc-cli trace --rows 1 --cols 3 --tmax 65 --schedule schedule.txt --periods 20 [--out trace.csv]
+//! ```
+//!
+//! Platform flags (shared): `--rows`, `--cols` (grid), `--layers` (3-D
+//! stack), `--levels` (Table-IV set, 2–5), `--tmax` (°C), `--cooler`
+//! (`default` | `budget` | `responsive`).
+
+use mosc::algorithms::ao::{self, AoOptions};
+use mosc::algorithms::pco::{self, PcoOptions};
+use mosc::algorithms::{exs, exs_bnb, lns};
+use mosc::prelude::*;
+use mosc::sched::eval::transient_trace;
+use mosc::sched::text;
+use std::process::ExitCode;
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(s) => s.parse().map_err(|_| format!("cannot parse {name} value '{s}'")),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  mosc-cli solve   --algo <lns|exs|exs-bnb|ao|pco> [platform flags] [--out FILE]
+  mosc-cli peak    --schedule FILE [platform flags]
+  mosc-cli compare [platform flags]
+  mosc-cli trace   --schedule FILE [--periods N] [--out FILE] [platform flags]
+platform flags: --rows R --cols C [--layers L] [--levels 2..5] --tmax C [--cooler default|budget|responsive]";
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().cloned() else {
+        return Err("missing subcommand".into());
+    };
+    let args = Args(argv);
+
+    let platform = build_platform(&args)?;
+    match cmd.as_str() {
+        "solve" => solve(&args, &platform),
+        "peak" => peak(&args, &platform),
+        "compare" => compare(&platform),
+        "trace" => trace(&args, &platform),
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn build_platform(args: &Args) -> Result<Platform, String> {
+    let rows: usize = args.parse_or("--rows", 2)?;
+    let cols: usize = args.parse_or("--cols", 3)?;
+    let layers: usize = args.parse_or("--layers", 1)?;
+    let levels: usize = args.parse_or("--levels", 2)?;
+    let tmax: f64 = args.parse_or("--tmax", 55.0)?;
+    if !(2..=5).contains(&levels) {
+        return Err("--levels must be 2..=5 (Table IV sets)".into());
+    }
+    let mut spec = PlatformSpec::paper(rows, cols, levels, tmax);
+    spec.layers = layers;
+    spec.rc = match args.flag("--cooler").unwrap_or("default") {
+        "default" => RcConfig::default(),
+        "budget" => RcConfig::budget_cooler(),
+        "responsive" => RcConfig::responsive_package(),
+        other => return Err(format!("unknown cooler '{other}'")),
+    };
+    Platform::build(&spec).map_err(|e| format!("platform build failed: {e}"))
+}
+
+fn solve(args: &Args, platform: &Platform) -> Result<(), String> {
+    let algo = args.flag("--algo").unwrap_or("ao");
+    let sol = match algo {
+        "lns" => lns::solve(platform),
+        "exs" => exs::solve(platform),
+        "exs-bnb" => exs_bnb::solve(platform).map(|(s, stats)| {
+            eprintln!(
+                "bnb: visited {} nodes ({} thermal prunes, {} throughput prunes)",
+                stats.visited, stats.thermal_prunes, stats.throughput_prunes
+            );
+            s
+        }),
+        "ao" => ao::solve_with(platform, &AoOptions::default()),
+        "pco" => pco::solve_with(platform, &PcoOptions::default()),
+        other => return Err(format!("unknown algorithm '{other}'")),
+    }
+    .map_err(|e| format!("{algo} failed: {e}"))?;
+
+    println!(
+        "{}: throughput {:.4}, peak {:.2} C, feasible {}, m = {}",
+        sol.algorithm,
+        sol.throughput,
+        sol.peak_c(platform),
+        sol.feasible,
+        sol.m
+    );
+    let rendered = text::to_text(&sol.schedule);
+    match args.flag("--out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("schedule written to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+fn load_schedule(args: &Args, platform: &Platform) -> Result<Schedule, String> {
+    let path = args.flag("--schedule").ok_or("missing --schedule FILE")?;
+    let content =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let schedule = text::from_text(&content).map_err(|e| format!("parse {path}: {e}"))?;
+    if schedule.n_cores() != platform.n_cores() {
+        return Err(format!(
+            "schedule has {} cores but the platform has {}",
+            schedule.n_cores(),
+            platform.n_cores()
+        ));
+    }
+    Ok(schedule)
+}
+
+fn peak(args: &Args, platform: &Platform) -> Result<(), String> {
+    let schedule = load_schedule(args, platform)?;
+    let report = platform.peak(&schedule).map_err(|e| format!("evaluation failed: {e}"))?;
+    println!(
+        "peak {:.3} C on core {} at t = {:.6} s ({}); T_max = {:.1} C -> {}",
+        platform.to_celsius(report.temp),
+        report.core,
+        report.time,
+        if report.exact { "exact, Theorem 1" } else { "sampled" },
+        platform.t_max_c(),
+        if report.temp <= platform.t_max() + 1e-9 { "SAFE" } else { "VIOLATION" }
+    );
+    println!("throughput {:.4}", schedule.throughput_with_overhead(platform.overhead()));
+    Ok(())
+}
+
+fn compare(platform: &Platform) -> Result<(), String> {
+    println!(
+        "{:<8} {:>10} {:>10} {:>9} {:>5}",
+        "algo", "throughput", "peak (C)", "feasible", "m"
+    );
+    for (name, result) in [
+        ("LNS", lns::solve(platform)),
+        ("EXS", exs::solve(platform)),
+        ("AO", ao::solve_with(platform, &AoOptions::default())),
+        ("PCO", pco::solve_with(platform, &PcoOptions::default())),
+    ] {
+        match result {
+            Ok(s) => println!(
+                "{name:<8} {:>10.4} {:>10.2} {:>9} {:>5}",
+                s.throughput,
+                s.peak_c(platform),
+                s.feasible,
+                s.m
+            ),
+            Err(e) => println!("{name:<8} failed: {e}"),
+        }
+    }
+    Ok(())
+}
+
+fn trace(args: &Args, platform: &Platform) -> Result<(), String> {
+    let schedule = load_schedule(args, platform)?;
+    let periods: usize = args.parse_or("--periods", 10)?;
+    let t0 = mosc::linalg::Vector::zeros(platform.thermal().n_nodes());
+    let tr = transient_trace(platform.thermal(), platform.power(), &schedule, &t0, periods, 50)
+        .map_err(|e| format!("trace failed: {e}"))?;
+    let csv = tr.to_csv(platform.t_ambient_c());
+    match args.flag("--out") {
+        Some(path) => {
+            std::fs::write(path, &csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("trace ({} samples) written to {path}", tr.len());
+        }
+        None => print!("{csv}"),
+    }
+    Ok(())
+}

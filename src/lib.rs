@@ -1,0 +1,68 @@
+//! # mosc — frequency-oscillation scheduling for temperature-constrained multi-cores
+//!
+//! A from-scratch Rust reproduction of **Sha, Wen, Fan, Ren, Quan,
+//! "Performance Maximization via Frequency Oscillation on Temperature
+//! Constrained Multi-core Processors" (ICPP 2016)**: maximize the chip-wide
+//! throughput of a DVFS-capable multi-core processor while guaranteeing its
+//! peak temperature never exceeds a threshold.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mosc::prelude::*;
+//!
+//! // A 6-core (2x3) chip with the paper's 2-level DVFS table at T_max = 55 C.
+//! let platform = Platform::build(&PlatformSpec::paper(2, 3, 2, 55.0)).unwrap();
+//!
+//! // The paper's AO algorithm: ideal point -> neighboring levels ->
+//! // m-Oscillating schedule -> TPT ratio adjustment.
+//! let solution = mosc::algorithms::ao::solve(&platform).unwrap();
+//! assert!(solution.feasible);
+//!
+//! // The baseline exhaustive search over constant assignments (Algorithm 1).
+//! let baseline = mosc::algorithms::exs::solve(&platform).unwrap();
+//! assert!(solution.throughput >= baseline.throughput - 1e-9);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`linalg`] | dense matrices, LU, matrix exponential, Jacobi eigensolver |
+//! | [`thermal`] | floorplans, HotSpot-style RC networks, LTI thermal solver |
+//! | [`power`] | DVFS mode tables, the `α + βT + γv³` power model, overhead |
+//! | [`sched`] | periodic schedules, step-up / m-Oscillating transforms, peaks |
+//! | [`algorithms`] | LNS, EXS, AO (Algorithm 2), PCO, reactive governor |
+//! | [`workload`] | seeded random generators for experiments |
+//!
+//! Every table and figure of the paper has a regenerating binary in
+//! `mosc-bench` (see DESIGN.md §5 and EXPERIMENTS.md).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub use mosc_core as algorithms;
+pub use mosc_linalg as linalg;
+pub use mosc_power as power;
+pub use mosc_sched as sched;
+pub use mosc_thermal as thermal;
+pub use mosc_workload as workload;
+
+/// The most commonly used types, re-exported for `use mosc::prelude::*`.
+pub mod prelude {
+    pub use mosc_core::{ao::AoOptions, AlgoError, Solution};
+    pub use mosc_power::{ModeTable, Params65nm, PowerModel, TransitionOverhead};
+    pub use mosc_sched::{CoreSchedule, Platform, PlatformSpec, Schedule, Segment};
+    pub use mosc_thermal::{Floorplan, Materials, RcConfig, RcNetwork, ThermalModel};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_the_core_types() {
+        use crate::prelude::*;
+        let spec = PlatformSpec::paper(1, 2, 2, 55.0);
+        let platform = Platform::build(&spec).unwrap();
+        assert_eq!(platform.n_cores(), 2);
+    }
+}

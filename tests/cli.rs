@@ -1,0 +1,92 @@
+//! Integration tests for the `mosc-cli` binary: the full
+//! solve → serialize → re-load → evaluate loop through the text format.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mosc-cli"))
+}
+
+#[test]
+fn solve_then_peak_roundtrip() {
+    let dir = std::env::temp_dir().join("mosc_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let sched_path = dir.join("ao_sched.txt");
+
+    let out = cli()
+        .args([
+            "solve", "--algo", "ao", "--rows", "1", "--cols", "3", "--levels", "2", "--tmax",
+            "55", "--out",
+        ])
+        .arg(&sched_path)
+        .output()
+        .expect("run solve");
+    assert!(out.status.success(), "solve failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("AO:"), "{stdout}");
+    assert!(stdout.contains("feasible true"), "{stdout}");
+    assert!(sched_path.exists());
+
+    let out = cli()
+        .args(["peak", "--rows", "1", "--cols", "3", "--levels", "2", "--tmax", "55", "--schedule"])
+        .arg(&sched_path)
+        .output()
+        .expect("run peak");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SAFE"), "{stdout}");
+    assert!(stdout.contains("Theorem 1"), "{stdout}");
+}
+
+#[test]
+fn compare_prints_all_algorithms() {
+    let out = cli()
+        .args(["compare", "--rows", "1", "--cols", "2", "--levels", "2", "--tmax", "60"])
+        .output()
+        .expect("run compare");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["LNS", "EXS", "AO", "PCO"] {
+        assert!(stdout.contains(name), "missing {name} in {stdout}");
+    }
+}
+
+#[test]
+fn bad_arguments_fail_with_usage() {
+    let out = cli().args(["frobnicate"]).output().expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage"), "{stderr}");
+
+    let out = cli()
+        .args(["solve", "--algo", "nonsense", "--rows", "1", "--cols", "2"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+
+    let out = cli()
+        .args(["solve", "--levels", "9"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("levels"));
+
+    // peak without --schedule
+    let out = cli().args(["peak"]).output().expect("run");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn schedule_core_count_mismatch_detected() {
+    let dir = std::env::temp_dir().join("mosc_cli_test2");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("two_core.txt");
+    std::fs::write(&path, "period 0.1\ncore 0: 0.6 x 0.1\ncore 1: 0.6 x 0.1\n").expect("write");
+    let out = cli()
+        .args(["peak", "--rows", "1", "--cols", "3", "--tmax", "55", "--schedule"])
+        .arg(&path)
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cores"));
+}

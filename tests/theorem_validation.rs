@@ -1,0 +1,117 @@
+//! Cross-crate theorem validation on platforms *different* from the ones the
+//! `mosc-sched` unit suite uses (budget cooler, responsive package, 3-D
+//! stacks) — the theorems are supposed to hold for any RC model with
+//! negative real spectrum, so we vary the substrate.
+
+use mosc::prelude::*;
+use mosc::sched::eval::{peak_temperature, SteadyState};
+use mosc::workload::{rng, ScheduleGen};
+
+fn platforms() -> Vec<(String, Platform)> {
+    let mut out = Vec::new();
+    let mut spec = PlatformSpec::paper(1, 3, 5, 65.0);
+    spec.rc = RcConfig::budget_cooler();
+    out.push(("3-core budget".into(), Platform::build(&spec).unwrap()));
+
+    let mut spec = PlatformSpec::paper(2, 3, 5, 65.0);
+    spec.rc = RcConfig::responsive_package();
+    out.push(("6-core responsive".into(), Platform::build(&spec).unwrap()));
+
+    let spec = PlatformSpec { layers: 2, ..PlatformSpec::paper(1, 2, 5, 65.0) };
+    out.push(("4-core 3-D stack".into(), Platform::build(&spec).unwrap()));
+    out
+}
+
+#[test]
+fn theorem1_peak_at_period_end_across_substrates() {
+    for (name, p) in platforms() {
+        let gen = ScheduleGen { period: 1.5, max_segments: 4, ..ScheduleGen::default() };
+        let mut r = rng(101);
+        for trial in 0..6 {
+            let s = gen.stepup_schedule(&mut r, p.n_cores());
+            let ss = SteadyState::compute(p.thermal(), p.power(), &s).unwrap();
+            let at_end = p.thermal().max_core_temp(ss.t_start());
+            let sampled = ss.peak_sampled(p.thermal(), 800).unwrap().temp;
+            // Tolerance: the sampled path composes hundreds of propagator
+            // applications, so it can drift a few µK past the single-solve
+            // period-end value; anything below 1e-5 K is numerical noise.
+            assert!(
+                sampled <= at_end + 1e-5,
+                "[{name}] trial {trial}: sampled {sampled} > period-end {at_end}"
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem2_stepup_bound_across_substrates() {
+    for (name, p) in platforms() {
+        let gen = ScheduleGen { period: 2.0, max_segments: 4, ..ScheduleGen::default() };
+        let mut r = rng(103);
+        for trial in 0..6 {
+            let s = gen.arbitrary_schedule(&mut r, p.n_cores());
+            let peak_any =
+                peak_temperature(p.thermal(), p.power(), &s, Some(600)).unwrap().temp;
+            let peak_up = p.peak(&s.to_step_up()).unwrap().temp;
+            assert!(
+                peak_any <= peak_up + 1e-3 + 1e-3 * peak_up.abs(),
+                "[{name}] trial {trial}: {peak_any} > step-up bound {peak_up}"
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem5_m_monotone_across_substrates() {
+    for (name, p) in platforms() {
+        let gen = ScheduleGen { period: 3.0, max_segments: 3, ..ScheduleGen::default() };
+        let mut r = rng(107);
+        let s = gen.stepup_schedule(&mut r, p.n_cores());
+        let mut prev = f64::INFINITY;
+        for m in [1usize, 2, 4, 8, 16, 32] {
+            let peak = p.peak(&s.oscillated(m)).unwrap().temp;
+            assert!(peak <= prev + 1e-7, "[{name}] m={m}: {peak} > {prev}");
+            prev = peak;
+        }
+    }
+}
+
+#[test]
+fn theorem3_constant_beats_split_across_substrates() {
+    for (name, p) in platforms() {
+        let n = p.n_cores();
+        let period = 0.8;
+        let v_e = 1.0;
+        let (v_l, v_h) = (0.8, 1.2);
+        let x = (v_h - v_e) / (v_h - v_l);
+        let mut constant = vec![CoreSchedule::constant(0.9, period).unwrap(); n];
+        let mut split = constant.clone();
+        constant[0] = CoreSchedule::constant(v_e, period).unwrap();
+        split[0] = CoreSchedule::new(vec![
+            Segment::new(v_l, x * period),
+            Segment::new(v_h, (1.0 - x) * period),
+        ])
+        .unwrap();
+        let pc = p.peak(&Schedule::new(constant).unwrap()).unwrap().temp;
+        let ps = p.peak(&Schedule::new(split).unwrap()).unwrap().temp;
+        assert!(pc <= ps + 1e-7, "[{name}]: constant {pc} > split {ps}");
+    }
+}
+
+#[test]
+fn stable_status_is_a_fixed_point_everywhere() {
+    // Eq. (4)'s defining property on every substrate: advancing one full
+    // period from T_ss(0) returns exactly to T_ss(0).
+    for (name, p) in platforms() {
+        let gen = ScheduleGen { period: 0.7, max_segments: 5, ..ScheduleGen::default() };
+        let mut r = rng(109);
+        let s = gen.arbitrary_schedule(&mut r, p.n_cores());
+        let ss = SteadyState::compute(p.thermal(), p.power(), &s).unwrap();
+        let back = ss.at_interval_ends().last().unwrap();
+        assert!(
+            back.max_abs_diff(ss.t_start()) < 1e-8,
+            "[{name}] fixed point violated by {}",
+            back.max_abs_diff(ss.t_start())
+        );
+    }
+}
