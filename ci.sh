@@ -1,0 +1,14 @@
+#!/bin/sh
+# The full local CI gate. Run from the repository root before committing.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> all checks passed"

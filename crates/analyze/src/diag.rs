@@ -1,0 +1,334 @@
+//! Diagnostic plumbing: stable codes, severities, and rustc-style rendering.
+//!
+//! Every lint in this crate reports through a [`Report`] instead of
+//! panicking, so callers (the CLI, the `debug_assert` hooks in `mosc-core`,
+//! property tests) can decide what to do with the findings. Codes are
+//! stable: `M0xx` strings never change meaning once released, which lets
+//! tests and downstream tooling match on them.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not necessarily wrong; never fails an analysis run.
+    Warning,
+    /// A genuine violation of a paper invariant or structural rule.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Warning => write!(f, "warning"),
+            Self::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable diagnostic codes. The numeric ranges group the lints:
+/// `M001`–`M009` platform, `M011`–`M018` schedule, `M020`–`M024` solution.
+///
+/// DESIGN.md §7 maps each code to the paper theorem or equation it enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Code {
+    /// M001 — DVFS levels are not strictly increasing (duplicates included).
+    LevelsNotSorted,
+    /// M002 — a DVFS level is non-finite or non-positive.
+    LevelInvalid,
+    /// M003 — fewer than two DVFS levels (oscillation needs a pair).
+    TooFewLevels,
+    /// M004 — `T_max` does not exceed the ambient temperature.
+    TmaxNotAboveAmbient,
+    /// M005 — the conductance matrix `G` is not symmetric.
+    ConductanceAsymmetric,
+    /// M006 — `G` is not (weakly) diagonally dominant.
+    NotDiagonallyDominant,
+    /// M007 — the state matrix `A = C⁻¹(βE − G)` is not Hurwitz-stable.
+    NotHurwitz,
+    /// M008 — the power model is not strictly increasing over the levels.
+    PowerNotMonotone,
+    /// M009 — the DVFS transition overhead `τ` is negative or non-finite.
+    OverheadInvalid,
+    /// M011 — a segment duration is non-positive or non-finite.
+    DurationInvalid,
+    /// M012 — a segment voltage is negative or non-finite.
+    VoltageInvalid,
+    /// M013 — a core's segment durations do not sum to the common period.
+    PeriodMismatch,
+    /// M014 — the schedule is not step-up (voltages must be non-decreasing
+    /// over each period for the exact Theorem-1 peak evaluation).
+    NotStepUp,
+    /// M015 — the schedule has no cores, or a core has no segments.
+    EmptySchedule,
+    /// M016 — a segment voltage is not one of the platform's DVFS levels.
+    VoltageNotALevel,
+    /// M017 — the oscillation violates the overhead budget `m ≤ M`
+    /// (equivalently: a low-voltage dwell is shorter than `τ`).
+    OscillationOverBudget,
+    /// M018 — schedule core count differs from the platform's.
+    CoreCountMismatch,
+    /// M020 — the claimed throughput diverges from the eq. (5) recompute.
+    ThroughputMismatch,
+    /// M021 — the claimed peak diverges from the recomputed stable peak.
+    PeakMismatch,
+    /// M022 — claimed feasible but the recomputed peak exceeds `T_max`.
+    InfeasibleMarkedFeasible,
+    /// M023 — claimed infeasible but the recomputed peak respects `T_max`.
+    FeasibleMarkedInfeasible,
+    /// M024 — the claimed oscillation factor `m` is inconsistent with the
+    /// schedule's DVFS transition count.
+    TransitionsInconsistent,
+}
+
+impl Code {
+    /// The stable `M0xx` string for this code.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::LevelsNotSorted => "M001",
+            Self::LevelInvalid => "M002",
+            Self::TooFewLevels => "M003",
+            Self::TmaxNotAboveAmbient => "M004",
+            Self::ConductanceAsymmetric => "M005",
+            Self::NotDiagonallyDominant => "M006",
+            Self::NotHurwitz => "M007",
+            Self::PowerNotMonotone => "M008",
+            Self::OverheadInvalid => "M009",
+            Self::DurationInvalid => "M011",
+            Self::VoltageInvalid => "M012",
+            Self::PeriodMismatch => "M013",
+            Self::NotStepUp => "M014",
+            Self::EmptySchedule => "M015",
+            Self::VoltageNotALevel => "M016",
+            Self::OscillationOverBudget => "M017",
+            Self::CoreCountMismatch => "M018",
+            Self::ThroughputMismatch => "M020",
+            Self::PeakMismatch => "M021",
+            Self::InfeasibleMarkedFeasible => "M022",
+            Self::FeasibleMarkedInfeasible => "M023",
+            Self::TransitionsInconsistent => "M024",
+        }
+    }
+
+    /// The severity a lint of this code carries unless the caller overrides
+    /// it (e.g. [`NotStepUp`](Self::NotStepUp) escalates to an error when a
+    /// spec declares the schedule as step-up pipeline input).
+    #[must_use]
+    pub fn default_severity(self) -> Severity {
+        match self {
+            Self::NotDiagonallyDominant
+            | Self::PowerNotMonotone
+            | Self::NotStepUp
+            | Self::VoltageNotALevel
+            | Self::OscillationOverBudget
+            | Self::FeasibleMarkedInfeasible
+            | Self::TransitionsInconsistent => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// One finding: a severity, a stable code, a human-readable message, and a
+/// context path into the analyzed artifact (e.g. `cores[3].segments[1]`).
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Whether this finding fails the analysis.
+    pub severity: Severity,
+    /// Stable machine-matchable code.
+    pub code: Code,
+    /// Human-readable description including the offending values.
+    pub message: String,
+    /// Where in the artifact the finding anchors (empty for global findings).
+    pub path: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        if !self.path.is_empty() {
+            write!(f, " (at {})", self.path)?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered collection of diagnostics from one analysis run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a finding with the code's default severity.
+    pub fn push(&mut self, code: Code, path: impl Into<String>, message: impl Into<String>) {
+        self.push_with(code.default_severity(), code, path, message);
+    }
+
+    /// Adds a finding with an explicit severity.
+    pub fn push_with(
+        &mut self,
+        severity: Severity,
+        code: Code,
+        path: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            severity,
+            code,
+            message: message.into(),
+            path: path.into(),
+        });
+    }
+
+    /// Appends every finding of `other`.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// All findings, in emission order.
+    #[must_use]
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// `true` when no findings at all were emitted.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// `true` when at least one error-severity finding exists.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// `true` when some finding carries `code` (any severity).
+    #[must_use]
+    pub fn has_code(&self, code: Code) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Number of error-severity findings.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// Number of warning-severity findings.
+    #[must_use]
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// Renders every finding rustc-style, one per line, followed by a
+    /// summary line. Returns `"ok: no findings\n"` for a clean report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        if self.is_clean() {
+            return "ok: no findings\n".into();
+        }
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        let (e, w) = (self.error_count(), self.warning_count());
+        out.push_str(&format!("{e} error(s), {w} warning(s)\n"));
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let all = [
+            Code::LevelsNotSorted,
+            Code::LevelInvalid,
+            Code::TooFewLevels,
+            Code::TmaxNotAboveAmbient,
+            Code::ConductanceAsymmetric,
+            Code::NotDiagonallyDominant,
+            Code::NotHurwitz,
+            Code::PowerNotMonotone,
+            Code::OverheadInvalid,
+            Code::DurationInvalid,
+            Code::VoltageInvalid,
+            Code::PeriodMismatch,
+            Code::NotStepUp,
+            Code::EmptySchedule,
+            Code::VoltageNotALevel,
+            Code::OscillationOverBudget,
+            Code::CoreCountMismatch,
+            Code::ThroughputMismatch,
+            Code::PeakMismatch,
+            Code::InfeasibleMarkedFeasible,
+            Code::FeasibleMarkedInfeasible,
+            Code::TransitionsInconsistent,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for c in all {
+            assert!(seen.insert(c.as_str()), "duplicate code string {c}");
+            assert!(c.as_str().starts_with('M'));
+            assert_eq!(c.as_str().len(), 4);
+        }
+    }
+
+    #[test]
+    fn rendering_matches_rustc_shape() {
+        let mut r = Report::new();
+        r.push(Code::VoltageInvalid, "cores[3].segments[1]", "segment voltage is NaN");
+        r.push(Code::NotStepUp, "", "voltages decrease mid-period");
+        let text = r.render();
+        assert!(text.contains("error[M012]: segment voltage is NaN (at cores[3].segments[1])"));
+        assert!(text.contains("warning[M014]: voltages decrease mid-period"));
+        assert!(text.contains("1 error(s), 1 warning(s)"));
+        assert!(r.has_errors());
+        assert!(r.has_code(Code::NotStepUp));
+        assert!(!r.has_code(Code::NotHurwitz));
+    }
+
+    #[test]
+    fn clean_report_renders_ok() {
+        let r = Report::new();
+        assert!(r.is_clean());
+        assert!(!r.has_errors());
+        assert_eq!(r.render(), "ok: no findings\n");
+    }
+
+    #[test]
+    fn severity_override_and_merge() {
+        let mut a = Report::new();
+        a.push_with(Severity::Error, Code::NotStepUp, "cores[0]", "declared step-up");
+        let mut b = Report::new();
+        b.push(Code::PowerNotMonotone, "", "flat psi");
+        a.merge(b);
+        assert_eq!(a.diagnostics().len(), 2);
+        assert_eq!(a.error_count(), 1);
+        assert_eq!(a.warning_count(), 1);
+        assert!(a.has_errors());
+    }
+}

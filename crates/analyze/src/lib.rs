@@ -1,0 +1,46 @@
+//! Static analysis for the mosc workspace: lint platforms, schedules, and
+//! claimed solutions against the invariants of Sha et al., "Performance
+//! Maximization via Frequency Oscillation on Temperature Constrained
+//! Multi-core Processors" (ICPP 2016) — reporting typed [`Diagnostic`]
+//! values with stable `M0xx` codes instead of panicking.
+//!
+//! Three artifact kinds, three lint groups:
+//!
+//! * **platform** ([`platform`]) — the DVFS level set is strictly sorted and
+//!   usable (M001–M003), `T_max` exceeds ambient (M004), the conductance
+//!   matrix is symmetric and diagonally dominant (M005–M006), the state
+//!   matrix `A = C⁻¹(βE − G)` is Hurwitz-stable — the spectrum assumption
+//!   behind Theorems 1–5 — (M007), the power model is monotone over the
+//!   levels (M008), and the transition overhead is valid (M009).
+//! * **schedule** ([`schedule`]) — segments are finite and positive
+//!   (M011–M012), cores share one period (M013, Definition 1), the timeline
+//!   is step-up (M014, Definition 2 / Theorem 1), and voltages are DVFS
+//!   levels of the platform (M016).
+//! * **solution** ([`solution`]) — the claimed throughput and peak are
+//!   recomputed from scratch (eq. (5) net of overhead; Theorem-1 exact or
+//!   sampled peak) and divergence is flagged (M020–M021), feasibility flags
+//!   are cross-checked against `T_max` (M022–M023), and the oscillation
+//!   factor is checked against the Theorem-5 overhead budget `m ≤ M`
+//!   (M017) and the transition count (M024).
+//!
+//! Entry points:
+//!
+//! * [`analyze_spec`] — lint a JSON spec file (see [`spec`] for the format);
+//!   this is what `mosc-cli analyze <spec.json>` calls.
+//! * [`check_platform`] / [`check_schedule`] / [`check_solution`] — typed
+//!   checks used by the `debug_assert` hooks in `mosc-core`'s solvers.
+//!
+//! DESIGN.md §7 tabulates every code with the paper statement it enforces.
+
+pub mod diag;
+pub mod json;
+pub mod platform;
+pub mod schedule;
+pub mod solution;
+pub mod spec;
+
+pub use diag::{Code, Diagnostic, Report, Severity};
+pub use platform::{check_levels, check_platform, check_t_max_c, check_tau};
+pub use schedule::{check_raw_schedule, check_schedule};
+pub use solution::{check_solution, SolutionClaim, Tolerances};
+pub use spec::{analyze_spec, SpecError};

@@ -1,0 +1,212 @@
+//! Schedule lints, in two layers.
+//!
+//! * [`check_raw_schedule`] runs on `(voltage, duration)` pairs exactly as a
+//!   spec states them — the typed [`Schedule`] constructors reject or
+//!   silently repair (drop, merge, rescale) most of these defects, so
+//!   linting after construction would miss them.
+//! * [`check_schedule`] runs on a typed [`Schedule`] and verifies the
+//!   paper-level invariants: the step-up property (Definition 2, which
+//!   Theorem 1 needs for the exact peak evaluation), a common period across
+//!   cores (Definition 1), and — given a platform — that every voltage is
+//!   one of the discrete DVFS levels.
+
+use crate::diag::{Code, Report, Severity};
+use mosc_sched::{Platform, Schedule};
+
+/// Relative slack when comparing a core's duration sum to the period.
+const PERIOD_TOL: f64 = 1e-6;
+/// Absolute slack when matching voltages against table levels.
+const LEVEL_TOL: f64 = 1e-9;
+
+/// Lints raw schedule data: `cores[i]` is the segment list of core `i` as
+/// `(voltage, duration)` pairs and `period` the declared common period.
+///
+/// Emits M015 (no cores / empty core), M011 (bad durations), M012 (bad
+/// voltages), and M013 (durations that do not sum to the period).
+#[must_use]
+pub fn check_raw_schedule(period: f64, cores: &[Vec<(f64, f64)>]) -> Report {
+    let mut report = Report::new();
+    if cores.is_empty() {
+        report.push(Code::EmptySchedule, "schedule.cores", "schedule has no cores");
+    }
+    if !(period.is_finite() && period > 0.0) {
+        report.push(
+            Code::PeriodMismatch,
+            "schedule.period",
+            format!("period must be finite and positive, got {period}"),
+        );
+    }
+    for (c, segments) in cores.iter().enumerate() {
+        if segments.is_empty() {
+            report.push(Code::EmptySchedule, format!("cores[{c}]"), "core has no segments");
+            continue;
+        }
+        let mut sum = 0.0;
+        for (s, &(voltage, duration)) in segments.iter().enumerate() {
+            if !(duration.is_finite() && duration > 0.0) {
+                report.push(
+                    Code::DurationInvalid,
+                    format!("cores[{c}].segments[{s}]"),
+                    format!("segment duration must be finite and positive, got {duration}"),
+                );
+            } else {
+                sum += duration;
+            }
+            if !(voltage.is_finite() && voltage >= 0.0) {
+                report.push(
+                    Code::VoltageInvalid,
+                    format!("cores[{c}].segments[{s}]"),
+                    format!("segment voltage must be finite and non-negative, got {voltage}"),
+                );
+            }
+        }
+        if period.is_finite() && period > 0.0 && (sum - period).abs() > PERIOD_TOL * period.max(1.0)
+        {
+            report.push(
+                Code::PeriodMismatch,
+                format!("cores[{c}]"),
+                format!("segment durations sum to {sum} but the declared period is {period}"),
+            );
+        }
+    }
+    report
+}
+
+/// Lints a typed [`Schedule`].
+///
+/// `step_up_severity` sets how a non-step-up timeline is reported (M014):
+/// the m-Oscillating pipeline treats it as an error (Theorem 1's exact peak
+/// evaluation needs it), while phase-shifted PCO schedules legitimately
+/// break it and only warn. With a `platform`, also checks the core count
+/// (M018) and that every voltage is a DVFS table level (M016).
+#[must_use]
+pub fn check_schedule(
+    schedule: &Schedule,
+    platform: Option<&Platform>,
+    step_up_severity: Severity,
+) -> Report {
+    let mut report = Report::new();
+    let period = schedule.period();
+
+    for (c, core) in schedule.cores().iter().enumerate() {
+        // The constructors enforce these; re-verify cheaply so hand-built
+        // or mutated schedules cannot sneak through the debug hooks.
+        for (s, seg) in core.segments().iter().enumerate() {
+            if !(seg.duration.is_finite() && seg.duration > 0.0) {
+                report.push(
+                    Code::DurationInvalid,
+                    format!("cores[{c}].segments[{s}]"),
+                    format!("segment duration must be finite and positive, got {}", seg.duration),
+                );
+            }
+            if !(seg.voltage.is_finite() && seg.voltage >= 0.0) {
+                report.push(
+                    Code::VoltageInvalid,
+                    format!("cores[{c}].segments[{s}]"),
+                    format!("segment voltage must be finite and non-negative, got {}", seg.voltage),
+                );
+            }
+        }
+        if (core.period() - period).abs() > PERIOD_TOL * period.max(1.0) {
+            report.push(
+                Code::PeriodMismatch,
+                format!("cores[{c}]"),
+                format!("core period {} differs from the schedule period {period}", core.period()),
+            );
+        }
+        if !core.is_non_decreasing() {
+            report.push_with(
+                step_up_severity,
+                Code::NotStepUp,
+                format!("cores[{c}]"),
+                "voltages are not non-decreasing over the period (Definition 2)",
+            );
+        }
+    }
+
+    if let Some(p) = platform {
+        if schedule.n_cores() != p.n_cores() {
+            report.push(
+                Code::CoreCountMismatch,
+                "schedule.cores",
+                format!(
+                    "schedule has {} cores but the platform has {}",
+                    schedule.n_cores(),
+                    p.n_cores()
+                ),
+            );
+        }
+        let levels = p.modes().levels();
+        for (c, core) in schedule.cores().iter().enumerate() {
+            for (s, seg) in core.segments().iter().enumerate() {
+                if !levels.iter().any(|&l| (l - seg.voltage).abs() <= LEVEL_TOL) {
+                    report.push(
+                        Code::VoltageNotALevel,
+                        format!("cores[{c}].segments[{s}]"),
+                        format!("voltage {} is not one of the platform's DVFS levels", seg.voltage),
+                    );
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosc_sched::{CoreSchedule, PlatformSpec, Segment};
+
+    #[test]
+    fn raw_lints_fire_on_each_defect() {
+        // Clean two-core schedule.
+        let ok = vec![vec![(0.6, 0.06), (1.3, 0.04)], vec![(1.3, 0.1)]];
+        assert!(check_raw_schedule(0.1, &ok).is_clean());
+
+        assert!(check_raw_schedule(0.1, &[]).has_code(Code::EmptySchedule));
+        assert!(check_raw_schedule(0.1, &[vec![]]).has_code(Code::EmptySchedule));
+        let bad_dur = vec![vec![(0.6, -0.05), (1.3, 0.15)]];
+        assert!(check_raw_schedule(0.1, &bad_dur).has_code(Code::DurationInvalid));
+        let bad_v = vec![vec![(f64::NAN, 0.1)]];
+        assert!(check_raw_schedule(0.1, &bad_v).has_code(Code::VoltageInvalid));
+        let short = vec![vec![(0.6, 0.05)]];
+        assert!(check_raw_schedule(0.1, &short).has_code(Code::PeriodMismatch));
+        assert!(check_raw_schedule(0.0, &ok).has_code(Code::PeriodMismatch));
+    }
+
+    #[test]
+    fn typed_step_up_schedule_is_clean() {
+        let s = Schedule::two_mode(&[0.6, 0.6], &[1.3, 1.3], &[0.4, 0.7], 0.1).unwrap();
+        let r = check_schedule(&s, None, Severity::Error);
+        assert!(r.is_clean(), "findings:\n{r}");
+    }
+
+    #[test]
+    fn non_step_up_schedule_reports_m014_with_chosen_severity() {
+        let core =
+            CoreSchedule::new(vec![Segment::new(1.3, 0.04), Segment::new(0.6, 0.06)]).unwrap();
+        let s = Schedule::new(vec![core]).unwrap();
+        let strict = check_schedule(&s, None, Severity::Error);
+        assert!(strict.has_errors());
+        assert!(strict.has_code(Code::NotStepUp));
+        let lax = check_schedule(&s, None, Severity::Warning);
+        assert!(!lax.has_errors());
+        assert!(lax.has_code(Code::NotStepUp));
+    }
+
+    #[test]
+    fn platform_aware_lints() {
+        let p = Platform::build(&PlatformSpec::paper(1, 2, 2, 55.0)).unwrap();
+        // Wrong core count.
+        let s1 = Schedule::constant(&[0.6], 0.1).unwrap();
+        assert!(check_schedule(&s1, Some(&p), Severity::Error).has_code(Code::CoreCountMismatch));
+        // Voltage off the table.
+        let s2 = Schedule::constant(&[0.6, 0.9], 0.1).unwrap();
+        let r = check_schedule(&s2, Some(&p), Severity::Error);
+        assert!(r.has_code(Code::VoltageNotALevel));
+        assert!(!r.has_errors(), "M016 is a warning");
+        // Clean.
+        let s3 = Schedule::two_mode(&[0.6, 0.6], &[1.3, 1.3], &[0.3, 0.6], 0.1).unwrap();
+        assert!(check_schedule(&s3, Some(&p), Severity::Error).is_clean());
+    }
+}

@@ -1,0 +1,301 @@
+//! Solution lints: recompute the claimed headline numbers from scratch and
+//! flag divergence.
+//!
+//! A "solution" here is the plain claim an algorithm makes about its
+//! schedule — throughput, stable peak, feasibility, oscillation factor —
+//! decoupled from `mosc-core`'s `Solution` struct so this crate stays below
+//! the algorithms in the dependency graph. The lints recompute the eq. (5)
+//! throughput (net of DVFS stall overhead) and the stable-status peak
+//! (Theorem 1 fast path for step-up schedules, sampled otherwise) and
+//! compare against the claims, plus the Theorem-5 overhead-budget and
+//! transition-count consistency checks.
+
+use crate::diag::{Code, Report};
+use mosc_sched::{Platform, Schedule};
+
+/// The headline numbers an algorithm claims for a schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct SolutionClaim {
+    /// Chip-wide eq. (5) throughput, net of DVFS stall overhead.
+    pub throughput: f64,
+    /// Stable-status peak temperature, relative to ambient (K).
+    pub peak: f64,
+    /// Whether the claim says the peak respects `T_max`.
+    pub feasible: bool,
+    /// Oscillation factor (1 for constant-speed schedules).
+    pub m: usize,
+}
+
+/// Divergence tolerances for the recompute lints.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerances {
+    /// Relative tolerance on throughput (against `max(1, |recomputed|)`).
+    pub throughput_rel: f64,
+    /// Absolute tolerance on peak temperature (K). Also used as the slack on
+    /// the feasibility cross-checks; sampled-peak paths at different
+    /// resolutions legitimately differ by a few millikelvin.
+    pub peak_abs: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Self { throughput_rel: 1e-4, peak_abs: 1e-2 }
+    }
+}
+
+/// Voltages closer than this are the same level.
+const V_EPS: f64 = 1e-12;
+
+/// Lints a claim against its schedule on `platform`.
+///
+/// Emits M018 (core-count mismatch — remaining lints are skipped), M020
+/// (throughput divergence), M021 (peak divergence), M022/M023 (feasibility
+/// contradictions), M017 (overhead budget), and M024 (transition count
+/// inconsistent with `m`).
+#[must_use]
+pub fn check_solution(
+    platform: &Platform,
+    schedule: &Schedule,
+    claim: &SolutionClaim,
+    tol: &Tolerances,
+) -> Report {
+    let mut report = Report::new();
+    if schedule.n_cores() != platform.n_cores() {
+        report.push(
+            Code::CoreCountMismatch,
+            "schedule.cores",
+            format!(
+                "schedule has {} cores but the platform has {}",
+                schedule.n_cores(),
+                platform.n_cores()
+            ),
+        );
+        return report;
+    }
+
+    // Throughput: eq. (5) net of the per-transition stall (v0+v1)·τ/2.
+    let throughput = schedule.throughput_with_overhead(platform.overhead());
+    if (throughput - claim.throughput).abs() > tol.throughput_rel * throughput.abs().max(1.0) {
+        report.push(
+            Code::ThroughputMismatch,
+            "solution.throughput",
+            format!("claimed throughput {} but eq. (5) recomputes {throughput}", claim.throughput),
+        );
+    }
+
+    // Peak: exact Theorem-1 path for step-up schedules, sampled otherwise.
+    match platform.peak(schedule) {
+        Ok(peak) => {
+            if (peak.temp - claim.peak).abs() > tol.peak_abs {
+                report.push(
+                    Code::PeakMismatch,
+                    "solution.peak",
+                    format!(
+                        "claimed peak {} K but recomputation finds {} K ({})",
+                        claim.peak,
+                        peak.temp,
+                        if peak.exact { "exact, Theorem 1" } else { "sampled" }
+                    ),
+                );
+            }
+            let t_max = platform.t_max();
+            if claim.feasible && peak.temp > t_max + tol.peak_abs {
+                report.push(
+                    Code::InfeasibleMarkedFeasible,
+                    "solution.feasible",
+                    format!(
+                        "claimed feasible but recomputed peak {} K exceeds T_max {t_max} K",
+                        peak.temp
+                    ),
+                );
+            }
+            if !claim.feasible && peak.temp <= t_max - tol.peak_abs {
+                report.push(
+                    Code::FeasibleMarkedInfeasible,
+                    "solution.feasible",
+                    format!(
+                        "claimed infeasible but recomputed peak {} K respects T_max {t_max} K",
+                        peak.temp
+                    ),
+                );
+            }
+        }
+        Err(e) => {
+            report.push(
+                Code::PeakMismatch,
+                "solution.peak",
+                format!("peak recomputation failed: {e}"),
+            );
+        }
+    }
+
+    check_oscillation(platform, schedule, claim, &mut report);
+    report
+}
+
+/// The Theorem-5 overhead-budget lint (M017) and the transition-count
+/// consistency lint (M024).
+///
+/// With base period `t_p = m·t_c`, the budget `m ≤ M = ⌊t_L/(δ+τ)⌋`
+/// (`δ = (v_H+v_L)τ/(v_H−v_L)`) is equivalent — after the δ compensation the
+/// pipeline applies — to every oscillating core's low-voltage dwell in the
+/// compressed period being at least `τ`: any shorter and the core would
+/// still be mid-transition when its low interval ends.
+fn check_oscillation(
+    platform: &Platform,
+    schedule: &Schedule,
+    claim: &SolutionClaim,
+    report: &mut Report,
+) {
+    if claim.m == 0 {
+        report.push(
+            Code::OscillationOverBudget,
+            "solution.m",
+            "oscillation factor m must be at least 1",
+        );
+        return;
+    }
+    let tau = platform.overhead().tau;
+    let mut any_oscillates = false;
+    let mut max_transitions = 0usize;
+    for (c, core) in schedule.cores().iter().enumerate() {
+        max_transitions = max_transitions.max(core.transitions_per_period());
+        let segs = core.segments();
+        let v_min = segs.iter().map(|s| s.voltage).fold(f64::INFINITY, f64::min);
+        let v_max = segs.iter().map(|s| s.voltage).fold(f64::NEG_INFINITY, f64::max);
+        if v_max <= v_min + V_EPS {
+            continue; // constant core: no oscillation, no budget
+        }
+        any_oscillates = true;
+        // The schedule only respects the budget if it is step-up-shaped
+        // two-level output of the oscillation pipeline; for richer shapes
+        // (arbitrary spec schedules) the per-dwell check still applies to
+        // the shortest low dwell.
+        let low_dwell: f64 =
+            segs.iter().filter(|s| (s.voltage - v_min).abs() <= V_EPS).map(|s| s.duration).sum();
+        if tau > 0.0 && low_dwell + 1e-12 < tau {
+            report.push(
+                Code::OscillationOverBudget,
+                format!("cores[{c}]"),
+                format!(
+                    "low-voltage dwell {low_dwell} s is shorter than the transition \
+                     latency tau = {tau} s, so m = {} exceeds the Theorem-5 budget",
+                    claim.m
+                ),
+            );
+        }
+    }
+    if claim.m > 1 && !any_oscillates {
+        report.push(
+            Code::TransitionsInconsistent,
+            "solution.m",
+            format!("claimed oscillation factor m = {} but every core is constant", claim.m),
+        );
+    }
+    if max_transitions > 2 * claim.m {
+        report.push(
+            Code::TransitionsInconsistent,
+            "solution.m",
+            format!(
+                "a core makes {max_transitions} DVFS transitions per period, more than the \
+                 2m = {} an m-Oscillating schedule performs",
+                2 * claim.m
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosc_sched::PlatformSpec;
+
+    fn platform() -> Platform {
+        Platform::build(&PlatformSpec::paper(1, 2, 2, 55.0)).unwrap()
+    }
+
+    fn claim_for(platform: &Platform, schedule: &Schedule, m: usize) -> SolutionClaim {
+        let peak = platform.peak(schedule).unwrap().temp;
+        SolutionClaim {
+            throughput: schedule.throughput_with_overhead(platform.overhead()),
+            peak,
+            feasible: peak <= platform.t_max() + 1e-6,
+            m,
+        }
+    }
+
+    #[test]
+    fn truthful_claim_is_clean() {
+        let p = platform();
+        let s = Schedule::two_mode(&[0.6, 0.6], &[1.3, 1.3], &[0.3, 0.5], 0.1).unwrap();
+        let claim = claim_for(&p, &s, 1);
+        let r = check_solution(&p, &s, &claim, &Tolerances::default());
+        assert!(r.is_clean(), "findings:\n{r}");
+    }
+
+    #[test]
+    fn throughput_and_peak_divergence_flagged() {
+        let p = platform();
+        let s = Schedule::two_mode(&[0.6, 0.6], &[1.3, 1.3], &[0.3, 0.5], 0.1).unwrap();
+        let mut claim = claim_for(&p, &s, 1);
+        claim.throughput += 0.05;
+        let r = check_solution(&p, &s, &claim, &Tolerances::default());
+        assert!(r.has_code(Code::ThroughputMismatch));
+
+        let mut claim = claim_for(&p, &s, 1);
+        claim.peak += 1.0;
+        let r = check_solution(&p, &s, &claim, &Tolerances::default());
+        assert!(r.has_code(Code::PeakMismatch));
+    }
+
+    #[test]
+    fn feasibility_contradictions_flagged() {
+        // All-max on the 9-core grid at 55 °C is far over T_max (the ideal
+        // point sits near 0.85 V): genuinely infeasible.
+        let p = Platform::build(&PlatformSpec::paper(3, 3, 2, 55.0)).unwrap();
+        let hot = Schedule::constant(&[1.3; 9], 0.1).unwrap();
+        let mut claim = claim_for(&p, &hot, 1);
+        assert!(!claim.feasible);
+        claim.feasible = true;
+        let r = check_solution(&p, &hot, &claim, &Tolerances::default());
+        assert!(r.has_code(Code::InfeasibleMarkedFeasible));
+
+        let cool = Schedule::constant(&[0.6; 9], 0.1).unwrap();
+        let mut claim = claim_for(&p, &cool, 1);
+        claim.feasible = false;
+        let r = check_solution(&p, &cool, &claim, &Tolerances::default());
+        assert!(r.has_code(Code::FeasibleMarkedInfeasible));
+        assert!(!r.has_errors(), "M023 is a warning");
+    }
+
+    #[test]
+    fn oscillation_budget_and_transition_lints() {
+        let p = platform(); // tau = 5 µs (paper default)
+                            // Low dwell of 1 µs < tau: over budget.
+        let s = Schedule::two_mode(&[0.6, 0.6], &[1.3, 1.3], &[1.0 - 1e-4, 0.5], 1e-2).unwrap();
+        let claim = claim_for(&p, &s, 4);
+        let r = check_solution(&p, &s, &claim, &Tolerances::default());
+        assert!(r.has_code(Code::OscillationOverBudget), "findings:\n{r}");
+
+        // m > 1 with an all-constant schedule is inconsistent.
+        let c = Schedule::constant(&[0.6, 0.6], 0.1).unwrap();
+        let claim = claim_for(&p, &c, 3);
+        let r = check_solution(&p, &c, &claim, &Tolerances::default());
+        assert!(r.has_code(Code::TransitionsInconsistent));
+
+        // m = 0 is rejected outright.
+        let claim = SolutionClaim { m: 0, ..claim_for(&p, &c, 1) };
+        let r = check_solution(&p, &c, &claim, &Tolerances::default());
+        assert!(r.has_code(Code::OscillationOverBudget));
+    }
+
+    #[test]
+    fn core_count_mismatch_short_circuits() {
+        let p = platform();
+        let s = Schedule::constant(&[0.6], 0.1).unwrap();
+        let claim = SolutionClaim { throughput: 0.6, peak: 1.0, feasible: true, m: 1 };
+        let r = check_solution(&p, &s, &claim, &Tolerances::default());
+        assert!(r.has_code(Code::CoreCountMismatch));
+        assert_eq!(r.diagnostics().len(), 1);
+    }
+}

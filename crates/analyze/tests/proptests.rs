@@ -1,0 +1,164 @@
+//! Property tests for the analyzer: randomly generated *valid* artifacts
+//! must produce zero errors, and targeted mutations must trip exactly the
+//! lint that guards against them.
+
+use mosc_analyze::{
+    check_levels, check_raw_schedule, check_schedule, check_solution, Code, Severity,
+    SolutionClaim, Tolerances,
+};
+use mosc_sched::{CoreSchedule, Platform, PlatformSpec, Schedule, Segment};
+use mosc_testutil::{propcheck, propcheck_cases, Rng64};
+
+/// The paper's Table-IV style level sets, by size.
+const LEVEL_SETS: [&[f64]; 4] =
+    [&[0.6, 1.3], &[0.6, 0.95, 1.3], &[0.6, 0.85, 1.1, 1.3], &[0.6, 0.8, 0.95, 1.15, 1.3]];
+
+/// Draws a random step-up core: 1–3 segments with strictly ascending
+/// voltages from `levels` and positive durations summing to `period`.
+fn random_stepup_core(rng: &mut Rng64, levels: &[f64], period: f64) -> Vec<(f64, f64)> {
+    let n_segs = rng.gen_range(1..levels.len().min(3) + 1);
+    // Ascending distinct level indices.
+    let mut idx: Vec<usize> = (0..levels.len()).collect();
+    rng.shuffle(&mut idx);
+    idx.truncate(n_segs);
+    idx.sort_unstable();
+    // Random positive partition of the period.
+    let mut cuts: Vec<f64> = (0..n_segs - 1).map(|_| rng.gen_range(0.1..0.9) * period).collect();
+    cuts.push(0.0);
+    cuts.push(period);
+    cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    idx.iter()
+        .zip(cuts.windows(2))
+        .map(|(&l, w)| (levels[l], (w[1] - w[0]).max(1e-6 * period)))
+        .collect()
+}
+
+fn typed_schedule(cores: &[Vec<(f64, f64)>]) -> Schedule {
+    let typed: Vec<CoreSchedule> = cores
+        .iter()
+        .map(|segs| {
+            CoreSchedule::new(segs.iter().map(|&(v, d)| Segment::new(v, d)).collect())
+                .expect("valid core")
+        })
+        .collect();
+    Schedule::new(typed).expect("valid schedule")
+}
+
+#[test]
+fn valid_stepup_schedules_are_clean() {
+    propcheck("valid step-up schedules produce no errors", |rng| {
+        let levels = LEVEL_SETS[rng.gen_range(0..LEVEL_SETS.len())];
+        let n_cores = rng.gen_range(1..5usize);
+        let period = rng.gen_range(0.01..0.5);
+        let cores: Vec<Vec<(f64, f64)>> =
+            (0..n_cores).map(|_| random_stepup_core(rng, levels, period)).collect();
+
+        let raw = check_raw_schedule(period, &cores);
+        assert!(raw.is_clean(), "raw lints fired on a valid schedule:\n{raw}");
+
+        let typed = typed_schedule(&cores);
+        let report = check_schedule(&typed, None, Severity::Error);
+        assert!(!report.has_errors(), "typed lints fired on a valid schedule:\n{report}");
+    });
+}
+
+#[test]
+fn descending_segments_trip_m014() {
+    propcheck("non-step-up schedules are flagged NotStepUp", |rng| {
+        let levels = LEVEL_SETS[rng.gen_range(0..LEVEL_SETS.len())];
+        let period = rng.gen_range(0.01..0.5);
+        // Force at least two segments, then reverse so voltages descend.
+        let mut core = random_stepup_core(rng, levels, period);
+        while core.len() < 2 {
+            core = random_stepup_core(rng, levels, period);
+        }
+        core.reverse();
+
+        let typed = typed_schedule(&[core]);
+        let report = check_schedule(&typed, None, Severity::Error);
+        assert!(report.has_code(Code::NotStepUp), "expected M014:\n{report}");
+    });
+}
+
+#[test]
+fn mismatched_periods_trip_m013() {
+    propcheck("cores with unequal periods are flagged PeriodMismatch", |rng| {
+        let levels = LEVEL_SETS[rng.gen_range(0..LEVEL_SETS.len())];
+        let period = rng.gen_range(0.01..0.5);
+        let mut cores: Vec<Vec<(f64, f64)>> =
+            (0..3).map(|_| random_stepup_core(rng, levels, period)).collect();
+        // Stretch one core's durations so its period disagrees.
+        let victim = rng.gen_range(0..cores.len());
+        let factor = if rng.gen_range(0..2usize) == 0 { 1.5 } else { 0.5 };
+        for seg in &mut cores[victim] {
+            seg.1 *= factor;
+        }
+        let report = check_raw_schedule(period, &cores);
+        assert!(report.has_code(Code::PeriodMismatch), "expected M013:\n{report}");
+    });
+}
+
+#[test]
+fn negative_durations_trip_m011() {
+    propcheck("non-positive durations are flagged DurationInvalid", |rng| {
+        let levels = LEVEL_SETS[rng.gen_range(0..LEVEL_SETS.len())];
+        let period = rng.gen_range(0.01..0.5);
+        let mut cores: Vec<Vec<(f64, f64)>> =
+            (0..2).map(|_| random_stepup_core(rng, levels, period)).collect();
+        let victim = rng.gen_range(0..cores.len());
+        let seg = rng.gen_range(0..cores[victim].len());
+        cores[victim][seg].1 = -cores[victim][seg].1;
+        let report = check_raw_schedule(period, &cores);
+        assert!(report.has_code(Code::DurationInvalid), "expected M011:\n{report}");
+    });
+}
+
+#[test]
+fn unsorted_or_duplicate_levels_trip_m001() {
+    propcheck("broken level orderings are flagged LevelsNotSorted", |rng| {
+        let base = LEVEL_SETS[rng.gen_range(0..LEVEL_SETS.len())];
+        let mut levels = base.to_vec();
+        if rng.gen_range(0..2usize) == 0 {
+            // Duplicate a random entry next to itself.
+            let i = rng.gen_range(0..levels.len());
+            levels.insert(i, levels[i]);
+        } else {
+            // Shuffle until genuinely out of order.
+            loop {
+                rng.shuffle(&mut levels);
+                if levels.windows(2).any(|w| w[1] <= w[0]) {
+                    break;
+                }
+            }
+        }
+        let report = check_levels(&levels);
+        assert!(report.has_code(Code::LevelsNotSorted), "expected M001:\n{report}");
+    });
+}
+
+#[test]
+fn honest_solution_claims_are_clean_and_perturbed_throughput_trips_m020() {
+    // Platform construction dominates the cost, so share it across cases.
+    let platform = Platform::build(&PlatformSpec::paper(1, 2, 2, 55.0)).expect("platform");
+    propcheck_cases("recomputed-vs-claimed throughput lint", 16, |rng| {
+        let levels = platform.modes().levels();
+        let voltages: Vec<f64> =
+            (0..platform.n_cores()).map(|_| levels[rng.gen_range(0..levels.len())]).collect();
+        let schedule = Schedule::constant(&voltages, 0.1).expect("schedule");
+        let peak = platform.peak(&schedule).expect("peak").temp;
+        let throughput = schedule.throughput_with_overhead(platform.overhead());
+        let honest =
+            SolutionClaim { throughput, peak, feasible: peak <= platform.t_max() + 1e-6, m: 1 };
+        let clean = check_solution(&platform, &schedule, &honest, &Tolerances::default());
+        assert!(!clean.has_errors(), "honest claim flagged:\n{clean}");
+
+        // Perturb the throughput well past the relative tolerance.
+        let sign = if rng.gen_range(0..2usize) == 0 { 1.0 } else { -1.0 };
+        let lying = SolutionClaim {
+            throughput: throughput * (1.0 + sign * rng.gen_range(0.01..0.2)),
+            ..honest
+        };
+        let caught = check_solution(&platform, &schedule, &lying, &Tolerances::default());
+        assert!(caught.has_code(Code::ThroughputMismatch), "expected M020:\n{caught}");
+    });
+}

@@ -1,7 +1,7 @@
-//! Criterion benchmarks of the scheduling algorithms — the quantitative
-//! backing for Table V's computation-time comparison.
+//! Micro-benchmarks of the scheduling algorithms — the quantitative backing
+//! for Table V's computation-time comparison.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mosc_bench::micro::Runner;
 use mosc_core::ao::{self, AoOptions};
 use mosc_core::pco::{self, PcoOptions};
 use mosc_core::{exs, lns};
@@ -16,79 +16,65 @@ fn quick_pco() -> PcoOptions {
     PcoOptions { ao: quick_ao(), phase_steps: 4, samples: 150, refill_divisor: 40 }
 }
 
-fn bench_algorithms(c: &mut Criterion) {
-    let mut group = c.benchmark_group("algorithms");
-    group.sample_size(10);
+fn bench_algorithms(r: &mut Runner) {
+    let mut group = r.group("algorithms");
     for (rows, cols, levels) in [(1usize, 3usize, 2usize), (2, 3, 3)] {
         let platform =
             Platform::build(&PlatformSpec::paper(rows, cols, levels, 55.0)).expect("platform");
         let label = format!("{}c{}l", rows * cols, levels);
-        group.bench_function(BenchmarkId::new("lns", &label), |b| {
-            b.iter(|| lns::solve(black_box(&platform)).expect("lns"));
+        group.bench(&format!("lns/{label}"), || lns::solve(black_box(&platform)).expect("lns"));
+        group.bench(&format!("exs/{label}"), || {
+            exs::solve_with_threads(black_box(&platform), 1).expect("exs")
         });
-        group.bench_function(BenchmarkId::new("exs", &label), |b| {
-            b.iter(|| exs::solve_with_threads(black_box(&platform), 1).expect("exs"));
+        group.bench(&format!("ao/{label}"), || {
+            ao::solve_with(black_box(&platform), &quick_ao()).expect("ao")
         });
-        group.bench_function(BenchmarkId::new("ao", &label), |b| {
-            b.iter(|| ao::solve_with(black_box(&platform), &quick_ao()).expect("ao"));
-        });
-        group.bench_function(BenchmarkId::new("pco", &label), |b| {
-            b.iter(|| pco::solve_with(black_box(&platform), &quick_pco()).expect("pco"));
+        group.bench(&format!("pco/{label}"), || {
+            pco::solve_with(black_box(&platform), &quick_pco()).expect("pco")
         });
     }
-    group.finish();
 }
 
-fn bench_exs_scaling(c: &mut Criterion) {
+fn bench_exs_scaling(r: &mut Runner) {
     // EXS cost vs level count on the 9-core platform: the exponential wall.
-    let mut group = c.benchmark_group("exs_scaling_9core");
-    group.sample_size(10);
+    let mut group = r.group("exs_scaling_9core");
     for levels in [2usize, 3, 4] {
-        let platform =
-            Platform::build(&PlatformSpec::paper(3, 3, levels, 65.0)).expect("platform");
-        group.bench_with_input(BenchmarkId::from_parameter(levels), &platform, |b, p| {
-            b.iter(|| exs::solve_with_threads(black_box(p), 1).expect("exs"));
+        let platform = Platform::build(&PlatformSpec::paper(3, 3, levels, 65.0)).expect("platform");
+        group.bench(&levels.to_string(), || {
+            exs::solve_with_threads(black_box(&platform), 1).expect("exs")
         });
     }
-    group.finish();
 }
 
-fn bench_bnb_vs_plain(c: &mut Criterion) {
+fn bench_bnb_vs_plain(r: &mut Runner) {
     // Branch-and-bound vs exhaustive enumeration on the 9-core platform:
     // same optimum, different visit counts.
-    let mut group = c.benchmark_group("exs_bnb_9core");
-    group.sample_size(10);
+    let mut group = r.group("exs_bnb_9core");
     for levels in [3usize, 4] {
-        let platform =
-            Platform::build(&PlatformSpec::paper(3, 3, levels, 55.0)).expect("platform");
-        group.bench_function(BenchmarkId::new("plain", levels), |b| {
-            b.iter(|| exs::solve_with_threads(black_box(&platform), 1).expect("exs"));
+        let platform = Platform::build(&PlatformSpec::paper(3, 3, levels, 55.0)).expect("platform");
+        group.bench(&format!("plain/{levels}"), || {
+            exs::solve_with_threads(black_box(&platform), 1).expect("exs")
         });
-        group.bench_function(BenchmarkId::new("bnb", levels), |b| {
-            b.iter(|| mosc_core::exs_bnb::solve(black_box(&platform)).expect("bnb"));
+        group.bench(&format!("bnb/{levels}"), || {
+            mosc_core::exs_bnb::solve(black_box(&platform)).expect("bnb")
         });
     }
-    group.finish();
 }
 
-fn bench_exs_parallel(c: &mut Criterion) {
-    let mut group = c.benchmark_group("exs_threads_9core_4l");
-    group.sample_size(10);
+fn bench_exs_parallel(r: &mut Runner) {
+    let mut group = r.group("exs_threads_9core_4l");
     let platform = Platform::build(&PlatformSpec::paper(3, 3, 4, 65.0)).expect("platform");
     for threads in [1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            b.iter(|| exs::solve_with_threads(black_box(&platform), t).expect("exs"));
+        group.bench(&threads.to_string(), || {
+            exs::solve_with_threads(black_box(&platform), threads).expect("exs")
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .sample_size(20);
-    targets = bench_algorithms, bench_exs_scaling, bench_bnb_vs_plain, bench_exs_parallel
+fn main() {
+    let mut r = Runner::from_args();
+    bench_algorithms(&mut r);
+    bench_exs_scaling(&mut r);
+    bench_bnb_vs_plain(&mut r);
+    bench_exs_parallel(&mut r);
 }
-criterion_main!(benches);

@@ -1,9 +1,8 @@
-//! Criterion micro-benchmarks of the numerical kernels behind the
-//! computation-time claims: the matrix exponential, LU solves, the Jacobi
-//! eigensolver, and the diagonalized propagator that makes Algorithm 2's
-//! m sweep cheap.
+//! Micro-benchmarks of the numerical kernels behind the computation-time
+//! claims: the matrix exponential, LU solves, the Jacobi eigensolver, and
+//! the diagonalized propagator that makes Algorithm 2's m sweep cheap.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mosc_bench::micro::Runner;
 use mosc_linalg::{expm_scaled, Lu, Matrix, SymmetricEigen, Vector};
 use mosc_thermal::{Floorplan, RcConfig, RcNetwork, ThermalModel};
 use std::hint::black_box;
@@ -14,66 +13,51 @@ fn thermal_model(rows: usize, cols: usize) -> ThermalModel {
     ThermalModel::new(n, 0.03).expect("model")
 }
 
-fn bench_expm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("expm");
+fn bench_expm(r: &mut Runner) {
+    let mut group = r.group("expm");
     for (rows, cols) in [(1usize, 2usize), (2, 3), (3, 3)] {
         let model = thermal_model(rows, cols);
         let a = model.a_matrix();
-        group.bench_with_input(
-            BenchmarkId::new("pade", format!("{}n", a.rows())),
-            &a,
-            |b, a| b.iter(|| expm_scaled(black_box(a), 0.01).expect("expm")),
-        );
+        group.bench(&format!("pade/{}n", a.rows()), || {
+            expm_scaled(black_box(&a), 0.01).expect("expm")
+        });
     }
-    group.finish();
 }
 
-fn bench_propagator_paths(c: &mut Criterion) {
-    let mut group = c.benchmark_group("propagator");
+fn bench_propagator_paths(r: &mut Runner) {
+    let mut group = r.group("propagator");
     let model = thermal_model(3, 3);
     let a = model.a_matrix();
     // Padé from scratch per dt vs the model's diagonalized+cached path.
-    group.bench_function("pade_per_dt", |b| {
-        let mut dt = 0.001;
-        b.iter(|| {
-            dt += 1e-9; // force a fresh value each iteration
-            expm_scaled(black_box(&a), dt).expect("expm")
-        });
+    let mut dt = 0.001;
+    group.bench("pade_per_dt", || {
+        dt += 1e-9; // force a fresh value each iteration
+        expm_scaled(black_box(&a), dt).expect("expm")
     });
-    group.bench_function("eigen_per_dt", |b| {
-        let mut dt = 0.001;
-        b.iter(|| {
-            dt += 1e-9;
-            model.propagator(black_box(dt)).expect("propagator")
-        });
+    let mut dt = 0.001;
+    group.bench("eigen_per_dt", || {
+        dt += 1e-9;
+        model.propagator(black_box(dt)).expect("propagator")
     });
-    group.bench_function("cached_dt", |b| {
-        b.iter(|| model.propagator(black_box(0.005)).expect("propagator"));
-    });
-    group.finish();
+    group.bench("cached_dt", || model.propagator(black_box(0.005)).expect("propagator"));
 }
 
-fn bench_lu(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lu");
+fn bench_lu(r: &mut Runner) {
+    let mut group = r.group("lu");
     for n in [8usize, 16, 32] {
         let mut a = Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 13) % 10) as f64 * 0.1);
         for i in 0..n {
             a[(i, i)] += n as f64;
         }
         let b_vec = Vector::from_fn(n, |i| (i as f64).sin());
-        group.bench_with_input(BenchmarkId::new("factor", n), &a, |b, a| {
-            b.iter(|| Lu::new(black_box(a)).expect("lu"));
-        });
+        group.bench(&format!("factor/{n}"), || Lu::new(black_box(&a)).expect("lu"));
         let lu = Lu::new(&a).expect("lu");
-        group.bench_with_input(BenchmarkId::new("solve", n), &lu, |b, lu| {
-            b.iter(|| lu.solve_vec(black_box(&b_vec)).expect("solve"));
-        });
+        group.bench(&format!("solve/{n}"), || lu.solve_vec(black_box(&b_vec)).expect("solve"));
     }
-    group.finish();
 }
 
-fn bench_jacobi(c: &mut Criterion) {
-    let mut group = c.benchmark_group("jacobi");
+fn bench_jacobi(r: &mut Runner) {
+    let mut group = r.group("jacobi");
     for n in [8usize, 16, 32] {
         let mut a = Matrix::zeros(n, n);
         for i in 0..n {
@@ -84,39 +68,26 @@ fn bench_jacobi(c: &mut Criterion) {
             }
             a[(i, i)] += 2.0;
         }
-        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
-            b.iter(|| SymmetricEigen::new(black_box(a)).expect("eigen"));
-        });
+        group.bench(&n.to_string(), || SymmetricEigen::new(black_box(&a)).expect("eigen"));
     }
-    group.finish();
 }
 
-fn bench_steady_state(c: &mut Criterion) {
-    let mut group = c.benchmark_group("steady_state");
+fn bench_steady_state(r: &mut Runner) {
+    let mut group = r.group("steady_state");
     for (rows, cols) in [(1usize, 3usize), (3, 3)] {
         let model = thermal_model(rows, cols);
         let psi: Vec<f64> = (0..model.n_cores()).map(|i| 5.0 + i as f64).collect();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(rows * cols),
-            &model,
-            |b, m| b.iter(|| m.steady_state_cores(black_box(&psi)).expect("steady")),
-        );
+        group.bench(&(rows * cols).to_string(), || {
+            model.steady_state_cores(black_box(&psi)).expect("steady")
+        });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .sample_size(20);
-    targets =
-    bench_expm,
-    bench_propagator_paths,
-    bench_lu,
-    bench_jacobi,
-    bench_steady_state
-
+fn main() {
+    let mut r = Runner::from_args();
+    bench_expm(&mut r);
+    bench_propagator_paths(&mut r);
+    bench_lu(&mut r);
+    bench_jacobi(&mut r);
+    bench_steady_state(&mut r);
 }
-criterion_main!(benches);

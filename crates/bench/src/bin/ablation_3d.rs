@@ -18,7 +18,9 @@ fn main() {
     let mut table = Table::new(&["layout", "T_max (C)", "LNS", "EXS", "AO", "AO m"]);
     let mut csv_out = String::from("layout,t_max_c,lns,exs,ao,m\n");
     for &t_max_c in &[55.0, 60.0, 65.0] {
-        for (label, layers, rows, cols) in [("planar 2x2", 1usize, 2usize, 2usize), ("stack 2x(1x2)", 2, 1, 2)] {
+        for (label, layers, rows, cols) in
+            [("planar 2x2", 1usize, 2usize, 2usize), ("stack 2x(1x2)", 2, 1, 2)]
+        {
             let spec = PlatformSpec { layers, ..PlatformSpec::paper(rows, cols, 2, t_max_c) };
             let platform = Platform::build(&spec).expect("platform");
             let cmp = Comparison::run(&platform);
@@ -45,12 +47,8 @@ fn main() {
     let spec = PlatformSpec { layers: 2, ..PlatformSpec::paper(1, 2, 2, 60.0) };
     let platform = Platform::build(&spec).expect("platform");
     if let Ok(sol) = ao::solve_with(&platform, &ao_options()) {
-        let per_core: Vec<f64> = sol
-            .schedule
-            .cores()
-            .iter()
-            .map(|c| c.work() / sol.schedule.period())
-            .collect();
+        let per_core: Vec<f64> =
+            sol.schedule.cores().iter().map(|c| c.work() / sol.schedule.period()).collect();
         println!(
             "stacked per-core mean speed at 60 C: sink layer [{:.3}, {:.3}], upper layer [{:.3}, {:.3}]",
             per_core[0], per_core[1], per_core[2], per_core[3]

@@ -26,7 +26,10 @@ fn main() {
     t1.row(vec!["m pinned to 1".into(), f4(pinned.throughput), "1".into()]);
     t1.row(vec!["m swept (AO)".into(), f4(free.throughput), free.m.to_string()]);
     println!("1) oscillation-factor sweep:\n{}", t1.render());
-    csv_out.push_str(&format!("m_sweep,pinned,{:.6}\nm_sweep,free,{:.6}\n", pinned.throughput, free.throughput));
+    csv_out.push_str(&format!(
+        "m_sweep,pinned,{:.6}\nm_sweep,free,{:.6}\n",
+        pinned.throughput, free.throughput
+    ));
 
     // 2. Base-period sensitivity.
     let mut t2 = Table::new(&["base period (ms)", "throughput", "m"]);
@@ -52,7 +55,9 @@ fn main() {
         .collect();
     let t_c = 0.05 / free.m.max(1) as f64;
     let mut t3 = Table::new(&["pair choice", "throughput"]);
-    for (label, pairs) in [("neighboring (Thm 4)", &neighbor_pairs), ("extreme (0.6, 1.3)", &extreme_pairs)] {
+    for (label, pairs) in
+        [("neighboring (Thm 4)", &neighbor_pairs), ("extreme (0.6, 1.3)", &extreme_pairs)]
+    {
         match adjust_to_tmax(&platform, pairs, t_c, t_c / 100.0) {
             Ok((_, sched)) => {
                 let thr = sched.throughput_with_overhead(platform.overhead());

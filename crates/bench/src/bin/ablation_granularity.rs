@@ -1,7 +1,7 @@
 //! Extension — thermal-model granularity ablation.
 //!
 //! The paper (and this reproduction's algorithms) lump each core into one
-//! thermal node. HotSpot's grid mode subdivides further; this experiment
+//! thermal node. `HotSpot`'s grid mode subdivides further; this experiment
 //! quantifies what the lumping hides: per-core peak steady temperatures
 //! under the same power, at 1×1 (lumped) through 4×4 blocks per core, and
 //! the effect on the *constraint margin* of an AO schedule certified with
@@ -20,7 +20,8 @@ fn main() {
     let beta = 0.03;
     println!("Thermal granularity ablation — 6-core chip, uniform and skewed power\n");
 
-    let mut table = Table::new(&["blocks/core", "die nodes", "uniform peak (C)", "skewed peak (C)"]);
+    let mut table =
+        Table::new(&["blocks/core", "die nodes", "uniform peak (C)", "skewed peak (C)"]);
     let uniform = vec![14.0; 6];
     let skewed = vec![18.6, 2.7, 18.6, 2.7, 18.6, 2.7];
     let mut csv_out = String::from("blocks,uniform_peak_c,skewed_peak_c\n");
@@ -45,18 +46,11 @@ fn main() {
         .cores()
         .iter()
         .map(|c| {
-            c.segments()
-                .iter()
-                .map(|s| platform.power().psi(s.voltage) * s.duration)
-                .sum::<f64>()
+            c.segments().iter().map(|s| platform.power().psi(s.voltage) * s.duration).sum::<f64>()
                 / sol.schedule.period()
         })
         .collect();
-    let lumped_peak = platform
-        .thermal()
-        .steady_state_cores(&avg_psi)
-        .expect("steady")
-        .max();
+    let lumped_peak = platform.thermal().steady_state_cores(&avg_psi).expect("steady").max();
     let grid_peak = g.steady_state_cores(&avg_psi).expect("steady").max();
     println!(
         "AO schedule certified lumped at {:.2} C; 3x3-grid model reads {:.2} C (margin to eat: {:.2} K)",

@@ -22,22 +22,18 @@ fn main() {
     let mut csv_out = String::from("cores,algo,throughput,energy_per_period,j_per_work\n");
     for &(rows, cols) in &PAPER_CONFIGS {
         let n = rows * cols;
-        let platform = Platform::build(&PlatformSpec::paper(rows, cols, 2, 55.0)).expect("platform");
+        let platform =
+            Platform::build(&PlatformSpec::paper(rows, cols, 2, 55.0)).expect("platform");
         let solutions = [
             lns::solve(&platform).ok(),
             exs::solve(&platform).ok(),
             ao::solve_with(&platform, &ao_options()).ok(),
         ];
         for sol in solutions.into_iter().flatten() {
-            let energy = stable_energy_per_period(
-                platform.thermal(),
-                platform.power(),
-                &sol.schedule,
-                400,
-            )
-            .expect("energy");
-            let work_per_period =
-                sol.schedule.throughput() * n as f64 * sol.schedule.period();
+            let energy =
+                stable_energy_per_period(platform.thermal(), platform.power(), &sol.schedule, 400)
+                    .expect("energy");
+            let work_per_period = sol.schedule.throughput() * n as f64 * sol.schedule.period();
             let j_per_work = energy / work_per_period.max(1e-12);
             table.row(vec![
                 n.to_string(),

@@ -65,10 +65,10 @@ fn sweep(
     steps: usize,
     step: f64,
 ) -> (f64, f64, Vec<(f64, f64, f64)>) {
-    let rows: Vec<Vec<(f64, f64, f64)>> = crossbeam::thread::scope(|scope| {
+    let rows: Vec<Vec<(f64, f64, f64)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..steps)
             .map(|i| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let x2 = i as f64 * step;
                     let shifted2 = base.with_shifted_core(1, x2);
                     (0..steps)
@@ -90,8 +90,7 @@ fn sweep(
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("sweep thread")).collect()
-    })
-    .expect("crossbeam scope");
+    });
 
     let grid: Vec<(f64, f64, f64)> = rows.into_iter().flatten().collect();
     let min = grid.iter().map(|g| g.2).fold(f64::INFINITY, f64::min);

@@ -27,8 +27,9 @@ fn main() {
     // (a) Warm-up from ambient.
     let t0 = Vector::zeros(platform.thermal().n_nodes());
     let n_periods = 40;
-    let warmup = transient_trace(platform.thermal(), platform.power(), &schedule, &t0, n_periods, 50)
-        .expect("warm-up trace");
+    let warmup =
+        transient_trace(platform.thermal(), platform.power(), &schedule, &t0, n_periods, 50)
+            .expect("warm-up trace");
     let warm_peak = warmup.peak().expect("non-empty");
 
     // (b) Stable-status period.
@@ -73,10 +74,11 @@ fn main() {
             }
         }
     }
-    let monotone = boundary_temps
-        .iter()
-        .all(|list| list.windows(2).all(|w| w[1] >= w[0] - 1e-9));
-    println!("per-core period-boundary temperatures rise monotonically: {}", if monotone { "YES" } else { "NO" });
+    let monotone = boundary_temps.iter().all(|list| list.windows(2).all(|w| w[1] >= w[0] - 1e-9));
+    println!(
+        "per-core period-boundary temperatures rise monotonically: {}",
+        if monotone { "YES" } else { "NO" }
+    );
 
     if let Some(dir) = csv {
         write_csv(&dir, "fig4a_warmup.csv", &warmup.to_csv(platform.t_ambient_c()));

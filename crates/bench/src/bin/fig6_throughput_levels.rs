@@ -18,8 +18,8 @@ fn main() {
     for &(rows, cols) in &PAPER_CONFIGS {
         let n = rows * cols;
         for levels in 2..=5usize {
-            let platform =
-                Platform::build(&PlatformSpec::paper(rows, cols, levels, t_max_c)).expect("platform");
+            let platform = Platform::build(&PlatformSpec::paper(rows, cols, levels, t_max_c))
+                .expect("platform");
             let (cmp, secs) = timed(|| Comparison::run(&platform));
             let (l, e, a, p) = (
                 Comparison::throughput(&cmp.lns),

@@ -28,7 +28,8 @@ fn main() {
             // The paper's 2-core observation: above 55 C all approaches
             // saturate at v_max.
             if n == 2 && t_max_c >= 55.0 {
-                plateau_ok &= (l - 1.3).abs() < 1e-3 && (e - 1.3).abs() < 1e-3 && (a - 1.3).abs() < 2e-3;
+                plateau_ok &=
+                    (l - 1.3).abs() < 1e-3 && (e - 1.3).abs() < 1e-3 && (a - 1.3).abs() < 2e-3;
             }
             table.row(vec![
                 n.to_string(),

@@ -15,10 +15,14 @@ use mosc_workload::PAPER_CONFIGS;
 
 fn main() {
     let csv = csv_dir_from_args();
-    println!("Proactive AO vs reactive governor (T_max = 55 C, 5 levels, sustained after warm-up)\n");
+    println!(
+        "Proactive AO vs reactive governor (T_max = 55 C, 5 levels, sustained after warm-up)\n"
+    );
 
-    let tight = GovernorOptions { guard_band: 0.5, upgrade_band: 1.5, ..GovernorOptions::default() };
-    let loose = GovernorOptions { guard_band: 3.0, upgrade_band: 6.0, ..GovernorOptions::default() };
+    let tight =
+        GovernorOptions { guard_band: 0.5, upgrade_band: 1.5, ..GovernorOptions::default() };
+    let loose =
+        GovernorOptions { guard_band: 3.0, upgrade_band: 6.0, ..GovernorOptions::default() };
 
     let mut table = Table::new(&[
         "cores",
@@ -31,7 +35,8 @@ fn main() {
     let mut csv_out = String::from("cores,ao,gov_tight,tight_viol,gov_loose,loose_viol\n");
     for &(rows, cols) in &PAPER_CONFIGS {
         let n = rows * cols;
-        let platform = Platform::build(&PlatformSpec::paper(rows, cols, 5, 55.0)).expect("platform");
+        let platform =
+            Platform::build(&PlatformSpec::paper(rows, cols, 5, 55.0)).expect("platform");
         let ao_thr = ao::solve_with(&platform, &ao_options())
             .as_ref()
             .map_or(0.0, |s: &Solution| s.throughput);

@@ -17,7 +17,8 @@ use mosc_sched::{Platform, PlatformSpec, Schedule};
 
 fn main() {
     let csv = csv_dir_from_args();
-    let platform = Platform::build(&PlatformSpec::motivation()).expect("motivation platform builds");
+    let platform =
+        Platform::build(&PlatformSpec::motivation()).expect("motivation platform builds");
     println!(
         "Motivating example: 3-core (1x3) platform, budget cooler, T_max = {:.0} C, modes {{0.6, 1.3}} V\n",
         platform.t_max_c()

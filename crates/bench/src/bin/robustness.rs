@@ -5,7 +5,7 @@
 //! by several percent die-to-die. This experiment samples per-core variation,
 //! rebuilds the thermal model with the sampled per-core `β`, re-evaluates the
 //! nominal AO schedule's stable peak, and reports how often and by how much
-//! the 55 °C guarantee breaks — and what guard band (T_max derating at design
+//! the 55 °C guarantee breaks — and what guard band (`T_max` derating at design
 //! time) restores it. This quantifies the classic criticism of offline DTM
 //! that the paper's related-work section acknowledges.
 
@@ -17,7 +17,6 @@ use mosc_sched::eval::SteadyState;
 use mosc_sched::{Platform, PlatformSpec, Schedule};
 use mosc_thermal::{Floorplan, RcConfig, RcNetwork, ThermalModel};
 use mosc_workload::rng;
-use rand::Rng;
 
 const SAMPLES: usize = 200;
 
@@ -38,7 +37,8 @@ fn main() {
         "violations (%)",
         "guard band (K)",
     ]);
-    let mut csv_out = String::from("sigma_pct,mean_peak_c,p95_peak_c,max_peak_c,violation_pct,guard_band_k\n");
+    let mut csv_out =
+        String::from("sigma_pct,mean_peak_c,p95_peak_c,max_peak_c,violation_pct,guard_band_k\n");
 
     for &sigma in &[0.02, 0.05, 0.10] {
         let (peaks, t_max) = sample_peaks(rows, cols, t_max_c, sigma);

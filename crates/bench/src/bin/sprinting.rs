@@ -24,17 +24,20 @@ fn main() {
         "sprint avg speed",
         "AO sustained",
     ]);
-    let mut csv_out = String::from("cores,cold_sprint_s,cycle_sprint_s,cycle_rest_s,sprint_avg,ao_sustained\n");
+    let mut csv_out =
+        String::from("cores,cold_sprint_s,cycle_sprint_s,cycle_rest_s,sprint_avg,ao_sustained\n");
     for (rows, cols) in [(1usize, 3usize), (2, 3)] {
         let n = rows * cols;
-        let platform = Platform::build(&PlatformSpec::paper(rows, cols, 2, 55.0)).expect("platform");
+        let platform =
+            Platform::build(&PlatformSpec::paper(rows, cols, 2, 55.0)).expect("platform");
         let boost = vec![1.3; n];
         let rest = vec![0.6; n];
         let t0 = Vector::zeros(platform.thermal().n_nodes());
 
-        let cold = sprint_duration(platform.thermal(), platform.power(), &t0, &boost, platform.t_max())
-            .expect("sprint eval")
-            .map_or(f64::INFINITY, |d| d);
+        let cold =
+            sprint_duration(platform.thermal(), platform.power(), &t0, &boost, platform.t_max())
+                .expect("sprint eval")
+                .map_or(f64::INFINITY, |d| d);
         let cycle = limit_cycle(
             platform.thermal(),
             platform.power(),

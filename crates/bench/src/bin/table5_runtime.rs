@@ -13,7 +13,6 @@ use mosc_bench::{csv_dir_from_args, timed, write_csv, Table};
 use mosc_core::{ao, exs, pco};
 use mosc_sched::{Platform, PlatformSpec};
 use mosc_workload::{rng, PAPER_CONFIGS};
-use rand::Rng;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -37,7 +36,8 @@ fn main() {
         if randomize { ", randomized T_max" } else { "" },
         if parallel_exs { "parallel" } else { "single-threaded" }
     );
-    let mut table = Table::new(&["cores", "scheme", "2 levels", "3 levels", "4 levels", "5 levels"]);
+    let mut table =
+        Table::new(&["cores", "scheme", "2 levels", "3 levels", "4 levels", "5 levels"]);
     let mut csv_out = String::from("cores,scheme,levels,seconds\n");
 
     for &(rows, cols) in &PAPER_CONFIGS {
@@ -76,7 +76,9 @@ fn main() {
         }
     }
     println!("{}", table.render());
-    println!("shape check: EXS grows ~levels^cores; AO/PCO stay flat-to-polynomial in both axes.\n");
+    println!(
+        "shape check: EXS grows ~levels^cores; AO/PCO stay flat-to-polynomial in both axes.\n"
+    );
 
     // Extended scaling: the paper's ">2 hours" cell came from richer level
     // sets. Sweep uniform grids on the 9-core platform until EXS clearly
@@ -97,7 +99,11 @@ fn main() {
             format!("{t_exs:.3}"),
             format!("{t_ao:.3}"),
         ]);
-        csv_out.push_str(&format!("9,EXS-ext,{},{t_exs:.6}\n9,AO-ext,{},{t_ao:.6}\n", spec.modes.len(), spec.modes.len()));
+        csv_out.push_str(&format!(
+            "9,EXS-ext,{},{t_exs:.6}\n9,AO-ext,{},{t_ao:.6}\n",
+            spec.modes.len(),
+            spec.modes.len()
+        ));
     }
     println!("{}", ext.render());
 

@@ -14,7 +14,7 @@ struct Harness {
 }
 
 impl Harness {
-    fn check(&mut self, name: &str, ok: bool, detail: String) {
+    fn check(&mut self, name: &str, ok: bool, detail: &str) {
         self.count += 1;
         if ok {
             println!("PASS  {name}");
@@ -35,12 +35,16 @@ fn main() -> ExitCode {
         let l = lns::solve(&p).expect("lns").throughput;
         let e = exs::solve(&p).expect("exs").throughput;
         let ideal = continuous::solve(&p).expect("ideal");
-        h.check("motivation: LNS collapses to 0.6", (l - 0.6).abs() < 1e-9, format!("{l}"));
-        h.check("motivation: EXS = 0.8333 ([0.6,0.6,1.3])", (e - 5.0 / 6.0).abs() < 1e-3, format!("{e}"));
+        h.check("motivation: LNS collapses to 0.6", (l - 0.6).abs() < 1e-9, &format!("{l}"));
+        h.check(
+            "motivation: EXS = 0.8333 ([0.6,0.6,1.3])",
+            (e - 5.0 / 6.0).abs() < 1e-3,
+            &format!("{e}"),
+        );
         h.check(
             "motivation: middle core gets lower ideal voltage",
             ideal.voltages[1] < ideal.voltages[0],
-            format!("{:?}", ideal.voltages),
+            &format!("{:?}", ideal.voltages),
         );
     }
 
@@ -55,7 +59,7 @@ fn main() -> ExitCode {
         h.check(
             "Theorem 1: step-up peak at period end",
             dense.temp <= exact.temp + 1e-6 && exact.exact,
-            format!("dense {} vs exact {}", dense.temp, exact.temp),
+            &format!("dense {} vs exact {}", dense.temp, exact.temp),
         );
         let peaks: Vec<f64> = [1usize, 2, 4, 8]
             .iter()
@@ -64,7 +68,7 @@ fn main() -> ExitCode {
         h.check(
             "Theorem 5: peak monotone in m",
             peaks.windows(2).all(|w| w[1] <= w[0] + 1e-9),
-            format!("{peaks:?}"),
+            &format!("{peaks:?}"),
         );
     }
 
@@ -78,24 +82,18 @@ fn main() -> ExitCode {
         let mut max_seen = f64::NEG_INFINITY;
         for i in 0..6 {
             for j in 0..6 {
-                let cand = base
-                    .with_shifted_core(1, i as f64)
-                    .with_shifted_core(2, j as f64);
-                let peak = mosc_sched::eval::peak_temperature(
-                    p.thermal(),
-                    p.power(),
-                    &cand,
-                    Some(200),
-                )
-                .expect("peak")
-                .temp;
+                let cand = base.with_shifted_core(1, i as f64).with_shifted_core(2, j as f64);
+                let peak =
+                    mosc_sched::eval::peak_temperature(p.thermal(), p.power(), &cand, Some(200))
+                        .expect("peak")
+                        .temp;
                 max_seen = max_seen.max(peak);
             }
         }
         h.check(
             "Theorem 2: step-up bounds the phase sweep",
             max_seen <= bound + 1e-3,
-            format!("sweep max {max_seen} vs bound {bound}"),
+            &format!("sweep max {max_seen} vs bound {bound}"),
         );
     }
 
@@ -109,8 +107,12 @@ fn main() -> ExitCode {
             Comparison::throughput(&cmp.ao),
             Comparison::throughput(&cmp.pco),
         );
-        h.check("Fig 6: LNS <= EXS <= AO on 6-core 2-level", l <= e + 1e-9 && e <= a + 1e-9, format!("{l} {e} {a}"));
-        h.check("Fig 6: AO ~ PCO", (a - pc).abs() < 0.02, format!("{a} vs {pc}"));
+        h.check(
+            "Fig 6: LNS <= EXS <= AO on 6-core 2-level",
+            l <= e + 1e-9 && e <= a + 1e-9,
+            &format!("{l} {e} {a}"),
+        );
+        h.check("Fig 6: AO ~ PCO", (a - pc).abs() < 0.02, &format!("{a} vs {pc}"));
     }
     {
         let mut ok = true;
@@ -123,7 +125,7 @@ fn main() -> ExitCode {
                 detail = format!("AO at {t_max_c} C gave {a}");
             }
         }
-        h.check("Fig 7: 2-core plateau at v_max for T_max >= 55", ok, detail);
+        h.check("Fig 7: 2-core plateau at v_max for T_max >= 55", ok, &detail);
     }
 
     // Fig 7 monotonicity in T_max.
@@ -138,7 +140,7 @@ fn main() -> ExitCode {
             prev = a;
             vals.push(a);
         }
-        h.check("Fig 7: throughput monotone in T_max (9-core)", ok, format!("{vals:?}"));
+        h.check("Fig 7: throughput monotone in T_max (9-core)", ok, &format!("{vals:?}"));
     }
 
     // Table V shape: EXS (single-thread) superlinear in levels on 9 cores.
@@ -155,7 +157,7 @@ fn main() -> ExitCode {
         h.check(
             "Table V: EXS cost explodes with level count",
             t5 > 5.0 * t3.max(1e-5),
-            format!("3 levels {t3:.4}s vs 5 levels {t5:.4}s"),
+            &format!("3 levels {t3:.4}s vs 5 levels {t5:.4}s"),
         );
     }
 

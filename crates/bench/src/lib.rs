@@ -5,10 +5,8 @@
 //! stdout and, when `--csv <dir>` is passed, also drop CSV files suitable
 //! for replotting.
 
-#![deny(missing_docs)]
-#![warn(clippy::all)]
-
 pub mod compare;
+pub mod micro;
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -79,10 +77,7 @@ impl Table {
 #[must_use]
 pub fn csv_dir_from_args() -> Option<PathBuf> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from)
+    args.iter().position(|a| a == "--csv").and_then(|i| args.get(i + 1)).map(PathBuf::from)
 }
 
 /// Writes `content` into `dir/name`, creating the directory when needed.

@@ -1,0 +1,141 @@
+//! A minimal micro-benchmark harness for the `[[bench]]` targets.
+//!
+//! The workspace builds offline, so the benches cannot use Criterion. This
+//! harness keeps the same shape — named groups of named benchmarks — with a
+//! simple adaptive protocol: calibrate the per-iteration cost, then collect a
+//! fixed number of samples and report the median and minimum. Invoke via
+//! `cargo bench`; pass a substring filter as the first free argument to run a
+//! subset, or `--list` to enumerate without running.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per benchmark.
+const SAMPLES: usize = 12;
+/// Wall-clock budget per benchmark used to size iteration counts.
+const TARGET_TOTAL: Duration = Duration::from_millis(240);
+
+/// Top-level runner: parses the CLI filter and owns the report.
+#[derive(Debug)]
+pub struct Runner {
+    filter: Option<String>,
+    list_only: bool,
+}
+
+impl Runner {
+    /// Builds a runner from `std::env::args` (`[filter]`, `--list`).
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut filter = None;
+        let mut list_only = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--list" => list_only = true,
+                // `cargo bench` forwards its own cosmetic flags; ignore them.
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Self { filter, list_only }
+    }
+
+    /// Starts a named benchmark group.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group { runner: self, name: name.to_string() }
+    }
+
+    fn should_run(&self, full_name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+    }
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self::from_args()
+    }
+}
+
+/// A named group of benchmarks (mirrors Criterion's `benchmark_group`).
+#[derive(Debug)]
+pub struct Group<'a> {
+    runner: &'a mut Runner,
+    name: String,
+}
+
+impl Group<'_> {
+    /// Times `f`, printing one result line. The closure's return value is
+    /// passed through [`black_box`] so the work cannot be optimized away.
+    pub fn bench<T>(&mut self, id: &str, mut f: impl FnMut() -> T) {
+        let full = format!("{}/{id}", self.name);
+        if !self.runner.should_run(&full) {
+            return;
+        }
+        if self.runner.list_only {
+            println!("{full}");
+            return;
+        }
+        // Calibrate: grow the iteration count until one batch is measurable.
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break elapsed.as_secs_f64() / iters as f64;
+            }
+            iters *= 4;
+        };
+        let batch = ((TARGET_TOTAL.as_secs_f64() / SAMPLES as f64 / per_iter.max(1e-9)) as u64)
+            .clamp(1, 10_000_000);
+        let mut samples: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                start.elapsed().as_secs_f64() / batch as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        println!("{full:<44} median {:>12}  min {:>12}", fmt_time(median), fmt_time(min));
+    }
+}
+
+/// Human-readable time with an adaptive unit.
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_formatting_picks_units() {
+        assert_eq!(fmt_time(2.5), "2.500 s");
+        assert_eq!(fmt_time(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.500 µs");
+        assert_eq!(fmt_time(2.5e-9), "2.5 ns");
+    }
+
+    #[test]
+    fn filter_matches_substrings() {
+        let r = Runner { filter: Some("lu/".into()), list_only: false };
+        assert!(r.should_run("lu/factor"));
+        assert!(!r.should_run("jacobi/8"));
+        let open = Runner { filter: None, list_only: false };
+        assert!(open.should_run("anything"));
+    }
+}

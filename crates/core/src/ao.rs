@@ -98,6 +98,7 @@ pub fn solve(platform: &Platform) -> Result<Solution> {
 /// * Propagated evaluation failures.
 pub fn solve_with(platform: &Platform, opts: &AoOptions) -> Result<Solution> {
     opts.validate()?;
+    debug_assert!(crate::checks::platform_ok(platform), "AO input platform fails static analysis");
     let n = platform.n_cores();
     let t_max = platform.t_max();
     let modes = platform.modes();
@@ -122,14 +123,19 @@ pub fn solve_with(platform: &Platform, opts: &AoOptions) -> Result<Solution> {
     let (_, schedule) = adjust_to_tmax(platform, &pairs_adj, t_c, t_unit)?;
 
     let peak = platform.peak(&schedule)?.temp;
-    Ok(Solution {
+    let solution = Solution {
         algorithm: "AO",
         throughput: schedule.throughput_with_overhead(platform.overhead()),
         feasible: peak <= t_max + 1e-6,
         peak,
         schedule,
         m: m_opt,
-    })
+    };
+    debug_assert!(
+        crate::checks::solution_ok(platform, &solution, true),
+        "AO result fails static analysis"
+    );
+    Ok(solution)
 }
 
 /// Algorithm 2's TPT pass (lines 14–21): starting from `pairs` on period
@@ -211,8 +217,7 @@ pub fn adjust_to_tmax(
                     }
                 }
                 if !any {
-                    let lowest_peak =
-                        platform.steady_peak(&vec![platform.modes().lowest(); n])?;
+                    let lowest_peak = platform.steady_peak(&vec![platform.modes().lowest(); n])?;
                     return Err(AlgoError::Infeasible { lowest_peak, t_max });
                 }
                 schedule = schedule_from_pairs(&pairs_adj, t_c)?;
@@ -255,11 +260,7 @@ pub fn build_pairs(platform: &Platform, ideal_voltages: &[f64]) -> Vec<CorePair>
                 // with ratio 1 so the TPT pass can still trade time, unless
                 // the level is already the lowest.
                 let level = nb.equivalent_voltage();
-                let below = modes
-                    .levels()
-                    .iter()
-                    .copied()
-                    .rfind(|&l| l < level - 1e-12);
+                let below = modes.levels().iter().copied().rfind(|&l| l < level - 1e-12);
                 match below {
                     Some(lo) => CorePair { v_low: lo, v_high: level, ratio_high: 1.0 },
                     None => CorePair { v_low: level, v_high: level, ratio_high: 1.0 },
@@ -289,7 +290,12 @@ pub fn chip_max_m(platform: &Platform, pairs: &[CorePair], opts: &AoOptions) -> 
 
 /// Applies the per-repetition overhead compensation `δ` to the ratios for a
 /// given oscillation factor.
-fn adjusted_pairs(pairs: &[CorePair], platform: &Platform, m: usize, opts: &AoOptions) -> Vec<CorePair> {
+fn adjusted_pairs(
+    pairs: &[CorePair],
+    platform: &Platform,
+    m: usize,
+    opts: &AoOptions,
+) -> Vec<CorePair> {
     let overhead = platform.overhead();
     let t_c = opts.base_period / m as f64;
     pairs
@@ -360,7 +366,8 @@ fn pairs_oscillating(p: &CorePair) -> bool {
 /// Stable-status period-end temperature of one core under a step-up
 /// schedule (Theorem 1 makes this the core's binding value).
 fn temp_of_core(platform: &Platform, schedule: &Schedule, core: usize) -> Result<f64> {
-    let ss = mosc_sched::eval::SteadyState::compute(platform.thermal(), platform.power(), schedule)?;
+    let ss =
+        mosc_sched::eval::SteadyState::compute(platform.thermal(), platform.power(), schedule)?;
     Ok(ss.t_start()[core])
 }
 
@@ -441,10 +448,7 @@ mod tests {
     #[test]
     fn ao_infeasible_platform_errors() {
         let p = Platform::build(&PlatformSpec::paper(3, 3, 2, 36.0)).unwrap();
-        assert!(matches!(
-            solve_with(&p, &quick_opts()),
-            Err(AlgoError::Infeasible { .. })
-        ));
+        assert!(matches!(solve_with(&p, &quick_opts()), Err(AlgoError::Infeasible { .. })));
     }
 
     #[test]
@@ -501,7 +505,7 @@ mod tests {
         assert_eq!(pairs[0].v_high, 1.3);
         assert!((pairs[0].ratio_high - 1.0).abs() < 1e-12);
         assert!(pairs[0].v_low < 1.3); // adjustable downward
-        // Lowest level is not adjustable.
+                                       // Lowest level is not adjustable.
         assert_eq!(pairs[1].v_low, pairs[1].v_high);
         assert!(!pairs[1].adjustable());
     }

@@ -1,0 +1,54 @@
+//! Debug-build self-checks: the `mosc-analyze` lints wired to solver entry
+//! and exit. Every call site goes through `debug_assert!`, so release
+//! builds pay nothing; in debug builds a platform that violates the paper's
+//! model assumptions, or a solver result whose headline numbers do not
+//! survive recomputation, aborts with the rendered diagnostics instead of
+//! silently propagating garbage.
+
+use crate::Solution;
+use mosc_analyze::{Severity, SolutionClaim, Tolerances};
+use mosc_sched::Platform;
+
+/// Divergence slack for the recompute lints. Throughput recomputation is
+/// the same closed formula, so it is tight; peaks compare the exact
+/// Theorem-1 path against sampled paths at differing resolutions, so they
+/// get a few tens of millikelvin.
+fn tolerances() -> Tolerances {
+    Tolerances { throughput_rel: 1e-9, peak_abs: 2e-2 }
+}
+
+/// `true` when `platform` passes the M00x platform lints. Renders the
+/// report to stderr otherwise, so the failing `debug_assert!` has context.
+pub(crate) fn platform_ok(platform: &Platform) -> bool {
+    let report = mosc_analyze::check_platform(platform);
+    if report.has_errors() {
+        eprintln!("platform failed static analysis:\n{report}");
+        return false;
+    }
+    true
+}
+
+/// `true` when `solution` passes the schedule and solution lints.
+/// `step_up_required` escalates a non-step-up timeline to an error — set by
+/// the m-Oscillating solvers (AO, LNS, EXS), whose output must stay on the
+/// exact Theorem-1 path; PCO's phase-shifted schedules pass `false`.
+pub(crate) fn solution_ok(
+    platform: &Platform,
+    solution: &Solution,
+    step_up_required: bool,
+) -> bool {
+    let severity = if step_up_required { Severity::Error } else { Severity::Warning };
+    let mut report = mosc_analyze::check_schedule(&solution.schedule, Some(platform), severity);
+    let claim = SolutionClaim {
+        throughput: solution.throughput,
+        peak: solution.peak,
+        feasible: solution.feasible,
+        m: solution.m,
+    };
+    report.merge(mosc_analyze::check_solution(platform, &solution.schedule, &claim, &tolerances()));
+    if report.has_errors() {
+        eprintln!("{} solution failed static analysis:\n{report}", solution.algorithm);
+        return false;
+    }
+    true
+}

@@ -49,8 +49,14 @@ pub fn solve(platform: &Platform) -> Result<ContinuousSolution> {
 /// Propagates thermal-solver failures; rejects a degenerate range.
 pub fn solve_with_range(platform: &Platform, v_min: f64, v_max: f64) -> Result<ContinuousSolution> {
     if !(v_min.is_finite() && v_max.is_finite()) || v_min <= 0.0 || v_max < v_min {
-        return Err(AlgoError::InvalidOptions { what: "voltage range must satisfy 0 < v_min <= v_max" });
+        return Err(AlgoError::InvalidOptions {
+            what: "voltage range must satisfy 0 < v_min <= v_max",
+        });
     }
+    debug_assert!(
+        crate::checks::platform_ok(platform),
+        "continuous-solver input platform fails static analysis"
+    );
     let n = platform.n_cores();
     let t_max = platform.t_max();
     let r = platform.thermal().response_matrix().map_err(mosc_sched::SchedError::from)?;
@@ -103,11 +109,7 @@ pub fn solve_with_range(platform: &Platform, v_min: f64, v_max: f64) -> Result<C
     // Voltages from ψ (clamped cores sit exactly on a range endpoint).
     let voltages: Vec<f64> = psi
         .iter()
-        .map(|&p| {
-            power
-                .voltage_for_psi(p)
-                .map_or(v_min, |v| v.clamp(v_min, v_max))
-        })
+        .map(|&p| power.voltage_for_psi(p).map_or(v_min, |v| v.clamp(v_min, v_max)))
         .collect();
 
     let temps = platform

@@ -9,9 +9,9 @@
 //!   (`T∞ = R·ψ`), so candidates are evaluated by accumulating precomputed
 //!   response-matrix columns instead of solving a linear system each —
 //!   with an odometer walk that only updates the column that changed;
-//! * the outermost core's level partitions the space across threads
-//!   (`crossbeam::scope`), which matters for the 9-core × 5-level sweeps of
-//!   Table V.
+//! * the outermost core's level partitions the space across scoped threads
+//!   (`std::thread::scope`), which matters for the 9-core × 5-level sweeps
+//!   of Table V.
 //!
 //! The search cost still grows as `L^N` — reproducing the paper's
 //! computation-time blow-up (Table V) is the point, not a defect.
@@ -39,6 +39,7 @@ pub fn solve(platform: &Platform) -> Result<Solution> {
 /// # Errors
 /// Propagates evaluation failures; flags infeasibility.
 pub fn solve_with_threads(platform: &Platform, threads: usize) -> Result<Solution> {
+    debug_assert!(crate::checks::platform_ok(platform), "EXS input platform fails static analysis");
     let n = platform.n_cores();
     let modes = platform.modes();
     let levels = modes.levels();
@@ -50,22 +51,20 @@ pub fn solve_with_threads(platform: &Platform, threads: usize) -> Result<Solutio
     // Partition on the first core's level.
     let threads = threads.max(1).min(levels.len());
     let mut best: Option<(f64, Vec<usize>)> = None;
-    let chunks: Vec<Vec<usize>> = (0..threads)
-        .map(|t| (0..levels.len()).filter(|l| l % threads == t).collect())
-        .collect();
+    let chunks: Vec<Vec<usize>> =
+        (0..threads).map(|t| (0..levels.len()).filter(|l| l % threads == t).collect()).collect();
 
-    let results: Vec<Option<(f64, Vec<usize>)>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Option<(f64, Vec<usize>)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|chunk| {
                 let r = &r;
                 let psi = &psi;
-                scope.spawn(move |_| search_partition(n, levels, chunk, r, psi, t_max))
+                scope.spawn(move || search_partition(n, levels, chunk, r, psi, t_max))
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("search thread panicked")).collect()
-    })
-    .expect("crossbeam scope");
+    });
 
     for res in results.into_iter().flatten() {
         if best.as_ref().is_none_or(|(b, _)| res.0 > *b) {
@@ -81,14 +80,19 @@ pub fn solve_with_threads(platform: &Platform, threads: usize) -> Result<Solutio
     let voltages: Vec<f64> = assignment.iter().map(|&l| levels[l]).collect();
     let schedule = Schedule::constant(&voltages, DEFAULT_PERIOD)?;
     let peak = platform.peak(&schedule)?.temp;
-    Ok(Solution {
+    let solution = Solution {
         algorithm: "EXS",
         throughput: schedule.throughput(),
         feasible: peak <= t_max + 1e-6,
         peak,
         schedule,
         m: 1,
-    })
+    };
+    debug_assert!(
+        crate::checks::solution_ok(platform, &solution, true),
+        "EXS result fails static analysis"
+    );
+    Ok(solution)
 }
 
 /// Enumerates all assignments whose first-core level is in `first_levels`,

@@ -37,14 +37,15 @@ pub struct BnbStats {
 /// [`AlgoError::Infeasible`] when even all-lowest violates `T_max`;
 /// propagated evaluation failures otherwise.
 pub fn solve(platform: &Platform) -> Result<(Solution, BnbStats)> {
+    debug_assert!(
+        crate::checks::platform_ok(platform),
+        "EXS-BnB input platform fails static analysis"
+    );
     let n = platform.n_cores();
     let modes = platform.modes();
     let levels = modes.levels().to_vec();
     let t_max = platform.t_max();
-    let r = platform
-        .thermal()
-        .response_matrix()
-        .map_err(mosc_sched::SchedError::from)?;
+    let r = platform.thermal().response_matrix().map_err(mosc_sched::SchedError::from)?;
     let psi: Vec<f64> = levels.iter().map(|&v| platform.power().psi(v)).collect();
     let psi_min = psi[0];
     let v_max = *levels.last().expect("non-empty table");
@@ -158,17 +159,19 @@ pub fn solve(platform: &Platform) -> Result<(Solution, BnbStats)> {
     let voltages: Vec<f64> = best_assign.iter().map(|&l| levels[l]).collect();
     let schedule = Schedule::constant(&voltages, crate::exs::DEFAULT_PERIOD)?;
     let peak = platform.peak(&schedule)?.temp;
-    Ok((
-        Solution {
-            algorithm: "EXS-BnB",
-            throughput: schedule.throughput(),
-            feasible: peak <= t_max + 1e-6,
-            peak,
-            schedule,
-            m: 1,
-        },
-        stats,
-    ))
+    let solution = Solution {
+        algorithm: "EXS-BnB",
+        throughput: schedule.throughput(),
+        feasible: peak <= t_max + 1e-6,
+        peak,
+        schedule,
+        m: 1,
+    };
+    debug_assert!(
+        crate::checks::solution_ok(platform, &solution, true),
+        "EXS-BnB result fails static analysis"
+    );
+    Ok((solution, stats))
 }
 
 #[cfg(test)]

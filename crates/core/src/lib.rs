@@ -26,11 +26,18 @@
 //! * [`reactive::simulate`] — a reactive threshold governor, the classic
 //!   online-DTM baseline the related-work section contrasts against
 //!   (an extension beyond the paper's comparison set).
+//!
+//! In debug builds every solver self-checks through the `mosc-analyze`
+//! lints: the input platform must satisfy the paper's model assumptions
+//! (Hurwitz-stable state matrix, symmetric conductances, monotone power),
+//! and the returned [`Solution`]'s headline numbers must survive a from-
+//! scratch recomputation. Release builds compile the hooks out.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod ao;
+mod checks;
 pub mod continuous;
 pub mod exs;
 pub mod exs_bnb;

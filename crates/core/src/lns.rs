@@ -25,19 +25,15 @@ pub const DEFAULT_PERIOD: f64 = 0.1;
 /// # Errors
 /// Propagates evaluation failures.
 pub fn solve(platform: &Platform) -> Result<Solution> {
+    debug_assert!(crate::checks::platform_ok(platform), "LNS input platform fails static analysis");
     let ideal = continuous::solve(platform)?;
     let modes = platform.modes();
-    let mut voltages: Vec<f64> = ideal
-        .voltages
-        .iter()
-        .map(|&v| modes.floor(v).unwrap_or_else(|| modes.lowest()))
-        .collect();
+    let mut voltages: Vec<f64> =
+        ideal.voltages.iter().map(|&v| modes.floor(v).unwrap_or_else(|| modes.lowest())).collect();
 
     // Safety loop (no-op for the common case where the ideal was feasible).
     loop {
-        let temps = platform
-            .thermal()
-            .steady_state_cores(&platform.psi_profile(&voltages))?;
+        let temps = platform.thermal().steady_state_cores(&platform.psi_profile(&voltages))?;
         if temps.max() <= platform.t_max() + 1e-9 {
             break;
         }
@@ -68,14 +64,19 @@ pub fn solve(platform: &Platform) -> Result<Solution> {
 
     let schedule = Schedule::constant(&voltages, DEFAULT_PERIOD)?;
     let peak = platform.peak(&schedule)?.temp;
-    Ok(Solution {
+    let solution = Solution {
         algorithm: "LNS",
         throughput: schedule.throughput(),
         feasible: peak <= platform.t_max() + 1e-6,
         peak,
         schedule,
         m: 1,
-    })
+    };
+    debug_assert!(
+        crate::checks::solution_ok(platform, &solution, true),
+        "LNS result fails static analysis"
+    );
+    Ok(solution)
 }
 
 #[cfg(test)]

@@ -47,13 +47,15 @@ pub fn solve(platform: &Platform) -> Result<Solution> {
 /// # Errors
 /// Propagates AO failures and evaluation failures.
 pub fn solve_with(platform: &Platform, opts: &PcoOptions) -> Result<Solution> {
+    debug_assert!(crate::checks::platform_ok(platform), "PCO input platform fails static analysis");
     let ao_sol = ao::solve_with(platform, &opts.ao)?;
     let t_max = platform.t_max();
     let mut schedule = ao_sol.schedule.clone();
     let t_c = schedule.period();
 
     let sampled_peak = |s: &Schedule| -> Result<f64> {
-        Ok(eval::peak_temperature(platform.thermal(), platform.power(), s, Some(opts.samples))?.temp)
+        Ok(eval::peak_temperature(platform.thermal(), platform.power(), s, Some(opts.samples))?
+            .temp)
     };
 
     // Phase search: greedily shift each core to the offset minimizing the
@@ -139,14 +141,21 @@ pub fn solve_with(platform: &Platform, opts: &PcoOptions) -> Result<Solution> {
     }
     let _ = peak;
 
-    Ok(Solution {
+    let solution = Solution {
         algorithm: "PCO",
         throughput: schedule.throughput_with_overhead(platform.overhead()),
         feasible: final_peak <= t_max + 1e-6,
         peak: final_peak,
         schedule,
         m: ao_sol.m,
-    })
+    };
+    // Phase-shifted schedules legitimately leave the step-up family, so the
+    // step-up lint stays a warning here.
+    debug_assert!(
+        crate::checks::solution_ok(platform, &solution, false),
+        "PCO result fails static analysis"
+    );
+    Ok(solution)
 }
 
 /// Moves `t_unit` seconds from the lowest-voltage segment of `core` to its

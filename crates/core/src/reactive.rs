@@ -126,7 +126,9 @@ pub fn simulate(platform: &Platform, opts: &GovernorOptions) -> Result<GovernorR
         let measuring = now >= opts.warmup;
         let voltages: Vec<f64> = level_idx.iter().map(|&l| levels[l]).collect();
         let psi = platform.psi_profile(&voltages);
-        temps = model.advance(&temps, &psi, opts.control_period).map_err(mosc_sched::SchedError::from)?;
+        temps = model
+            .advance(&temps, &psi, opts.control_period)
+            .map_err(mosc_sched::SchedError::from)?;
         let core_max = model.max_core_temp(&temps);
         peak = peak.max(core_max);
         if measuring {
@@ -207,7 +209,12 @@ mod tests {
         let p = Platform::build(&PlatformSpec::paper(2, 3, 2, 55.0)).unwrap();
         let ao = crate::ao::solve_with(
             &p,
-            &crate::ao::AoOptions { base_period: 0.05, max_m: 32, m_patience: 3, t_unit_divisor: 40 },
+            &crate::ao::AoOptions {
+                base_period: 0.05,
+                max_m: 32,
+                m_patience: 3,
+                t_unit_divisor: 40,
+            },
         )
         .unwrap();
         let gov = simulate(&p, &quick()).unwrap();

@@ -220,11 +220,7 @@ mod tests {
 
     #[test]
     fn reconstruction_and_orthogonality() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, 0.2],
-            &[0.5, 0.2, 5.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 5.0]]);
         let e = SymmetricEigen::new(&a).unwrap();
         assert!(e.reconstruct().unwrap().max_abs_diff(&a) < 1e-10);
         let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
@@ -243,11 +239,7 @@ mod tests {
     #[test]
     fn laplacian_spectrum_nonnegative() {
         // Path-graph Laplacian: eigenvalues 0, 1, 3 for n=3.
-        let l = Matrix::from_rows(&[
-            &[1.0, -1.0, 0.0],
-            &[-1.0, 2.0, -1.0],
-            &[0.0, -1.0, 1.0],
-        ]);
+        let l = Matrix::from_rows(&[&[1.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 1.0]]);
         let e = SymmetricEigen::new(&l).unwrap();
         assert!(e.values[0].abs() < 1e-12);
         assert!((e.values[1] - 1.0).abs() < 1e-12);

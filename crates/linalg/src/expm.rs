@@ -10,7 +10,7 @@
 
 use crate::{norm_1, LinalgError, Lu, Matrix, Result};
 
-/// Backward-error thresholds θ_m for Padé orders 3, 5, 7, 9, 13 (Higham 2005,
+/// Backward-error thresholds `θ_m` for Padé orders 3, 5, 7, 9, 13 (Higham 2005,
 /// Table 2.3, double precision). Stated at full published precision even
 /// where f64 rounds the last digit.
 #[allow(clippy::excessive_precision)]
@@ -22,7 +22,7 @@ const THETA: [(usize, f64); 5] = [
     (13, 5.371_920_351_148_152e0),
 ];
 
-/// Padé numerator coefficients b_0..b_m for order m (denominator uses the
+/// Padé numerator coefficients `b_0..b_m` for order `m` (denominator uses the
 /// same coefficients with alternating signs on odd powers).
 fn pade_coeffs(m: usize) -> &'static [f64] {
     match m {
@@ -281,10 +281,7 @@ mod tests {
         // e^{A(s+t)} = e^{As}·e^{At} for commuting scalings of one matrix.
         let a = Matrix::from_rows(&[&[-2.0, 1.0, 0.0], &[1.0, -3.0, 1.0], &[0.0, 1.0, -2.5]]);
         let whole = expm_scaled(&a, 0.9).unwrap();
-        let part = expm_scaled(&a, 0.4)
-            .unwrap()
-            .matmul(&expm_scaled(&a, 0.5).unwrap())
-            .unwrap();
+        let part = expm_scaled(&a, 0.4).unwrap().matmul(&expm_scaled(&a, 0.5).unwrap()).unwrap();
         assert!(whole.max_abs_diff(&part) < 1e-12);
     }
 
@@ -327,11 +324,7 @@ mod tests {
 
     #[test]
     fn expm_action_matches_dense_exponential() {
-        let a = Matrix::from_rows(&[
-            &[-2.0, 0.5, 0.1],
-            &[0.5, -3.0, 0.7],
-            &[0.1, 0.7, -1.5],
-        ]);
+        let a = Matrix::from_rows(&[&[-2.0, 0.5, 0.1], &[0.5, -3.0, 0.7], &[0.1, 0.7, -1.5]]);
         let x = Vector::from_slice(&[1.0, -2.0, 0.5]);
         for t in [0.01, 0.3, 2.0, 15.0] {
             let dense = expm_scaled(&a, t).unwrap().matvec(&x).unwrap();

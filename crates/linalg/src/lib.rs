@@ -25,21 +25,21 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
-mod error;
-mod matrix;
-mod vector;
-mod lu;
-mod expm;
 mod eigen;
+mod error;
+mod expm;
+mod lu;
+mod matrix;
 mod norms;
+mod vector;
 
+pub use eigen::{JacobiOptions, SymmetricEigen};
 pub use error::LinalgError;
-pub use matrix::Matrix;
-pub use vector::Vector;
-pub use lu::{solve as lu_solve, Lu};
 pub use expm::{expm, expm_action, expm_scaled};
-pub use eigen::{SymmetricEigen, JacobiOptions};
-pub use norms::{norm_1, norm_inf, norm_fro};
+pub use lu::{solve as lu_solve, Lu};
+pub use matrix::Matrix;
+pub use norms::{norm_1, norm_fro, norm_inf};
+pub use vector::Vector;
 
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -227,10 +227,7 @@ mod tests {
 
     #[test]
     fn rejects_non_square_and_non_finite() {
-        assert!(matches!(
-            Lu::new(&Matrix::zeros(2, 3)),
-            Err(LinalgError::NotSquare { .. })
-        ));
+        assert!(matches!(Lu::new(&Matrix::zeros(2, 3)), Err(LinalgError::NotSquare { .. })));
         let mut a = Matrix::identity(2);
         a[(0, 1)] = f64::NAN;
         assert!(matches!(Lu::new(&a), Err(LinalgError::NonFinite { .. })));

@@ -317,10 +317,7 @@ impl Matrix {
     #[must_use]
     pub fn max_abs_diff(&self, other: &Self) -> f64 {
         assert_eq!(self.shape(), other.shape(), "max_abs_diff shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+        self.data.iter().zip(&other.data).fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
     }
 }
 

@@ -165,10 +165,7 @@ impl Vector {
     #[must_use]
     pub fn max_abs_diff(&self, other: &Self) -> f64 {
         assert_eq!(self.len(), other.len(), "max_abs_diff length mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+        self.data.iter().zip(&other.data).fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
     }
 
     /// Scaled copy.
@@ -184,9 +181,7 @@ impl Vector {
     #[must_use]
     pub fn axpy(&self, s: f64, other: &Self) -> Self {
         assert_eq!(self.len(), other.len(), "axpy length mismatch");
-        Self {
-            data: self.data.iter().zip(&other.data).map(|(a, b)| a + s * b).collect(),
-        }
+        Self { data: self.data.iter().zip(&other.data).map(|(a, b)| a + s * b).collect() }
     }
 }
 

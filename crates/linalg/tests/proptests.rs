@@ -1,160 +1,199 @@
 //! Property-based tests for the dense linear-algebra kernels.
 
-use mosc_linalg::{expm, expm_scaled, norm_1, norm_fro, norm_inf, Lu, Matrix, SymmetricEigen, Vector};
-use proptest::prelude::*;
+use mosc_linalg::{
+    expm, expm_scaled, norm_1, norm_fro, norm_inf, Lu, Matrix, SymmetricEigen, Vector,
+};
+use mosc_testutil::{propcheck, Rng64};
 
-/// Strategy: a well-conditioned square matrix (random entries in [-1, 1] with
-/// a diagonal boost that guarantees strict diagonal dominance).
-fn dominant_matrix(n: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |data| {
-        let mut m = Matrix::from_vec(n, n, data).expect("sized by construction");
-        for i in 0..n {
-            let row_sum: f64 = m.row(i).iter().map(|v| v.abs()).sum();
-            m[(i, i)] += row_sum + 1.0;
-        }
-        m
-    })
+/// A well-conditioned square matrix (random entries in [-1, 1] with a
+/// diagonal boost that guarantees strict diagonal dominance).
+fn dominant_matrix(rng: &mut Rng64, n: usize) -> Matrix {
+    let mut m = Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+    for i in 0..n {
+        let row_sum: f64 = m.row(i).iter().map(|v| v.abs()).sum();
+        m[(i, i)] += row_sum + 1.0;
+    }
+    m
 }
 
-/// Strategy: a symmetric matrix with entries in [-1, 1].
-fn symmetric_matrix(n: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-1.0f64..1.0, n * (n + 1) / 2).prop_map(move |tri| {
-        let mut m = Matrix::zeros(n, n);
-        let mut it = tri.into_iter();
-        for i in 0..n {
-            for j in i..n {
-                let v = it.next().expect("sized by construction");
-                m[(i, j)] = v;
-                m[(j, i)] = v;
-            }
+/// A symmetric matrix with entries in [-1, 1].
+fn symmetric_matrix(rng: &mut Rng64, n: usize) -> Matrix {
+    let mut m = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            let v = rng.gen_range(-1.0..1.0);
+            m[(i, j)] = v;
+            m[(j, i)] = v;
         }
-        m
-    })
+    }
+    m
 }
 
-/// Strategy: a stable Metzler matrix (off-diagonal ≥ 0, strictly dominant
-/// negative diagonal) — the structure of every thermal state matrix `A`.
-fn stable_metzler(n: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(0.0f64..1.0, n * n).prop_map(move |data| {
-        let mut m = Matrix::from_vec(n, n, data).expect("sized by construction");
-        for i in 0..n {
-            let row_sum: f64 = m.row(i).iter().map(|v| v.abs()).sum();
-            m[(i, i)] = -(row_sum + 0.5);
-        }
-        m
-    })
+/// A stable Metzler matrix (off-diagonal ≥ 0, strictly dominant negative
+/// diagonal) — the structure of every thermal state matrix `A`.
+fn stable_metzler(rng: &mut Rng64, n: usize) -> Matrix {
+    let mut m = Matrix::from_fn(n, n, |_, _| rng.gen_range(0.0..1.0));
+    for i in 0..n {
+        let row_sum: f64 = m.row(i).iter().map(|v| v.abs()).sum();
+        m[(i, i)] = -(row_sum + 0.5);
+    }
+    m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn lu_solve_has_small_residual(m in (1usize..8).prop_flat_map(dominant_matrix)) {
-        let n = m.rows();
+#[test]
+fn lu_solve_has_small_residual() {
+    propcheck("lu_solve_has_small_residual", |rng| {
+        let n = rng.gen_range(1..8usize);
+        let m = dominant_matrix(rng, n);
         let b = Vector::from_fn(n, |i| (i as f64 + 1.0).sin());
         let x = Lu::new(&m).unwrap().solve_vec(&b).unwrap();
         let r = m.matvec(&x).unwrap().max_abs_diff(&b);
-        prop_assert!(r < 1e-9, "residual {r}");
-    }
+        assert!(r < 1e-9, "residual {r}");
+    });
+}
 
-    #[test]
-    fn matmul_is_associative(a in dominant_matrix(4), b in dominant_matrix(4), c in dominant_matrix(4)) {
+#[test]
+fn matmul_is_associative() {
+    propcheck("matmul_is_associative", |rng| {
+        let a = dominant_matrix(rng, 4);
+        let b = dominant_matrix(rng, 4);
+        let c = dominant_matrix(rng, 4);
         let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
         let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
         let scale = left.max_abs().max(1.0);
-        prop_assert!(left.max_abs_diff(&right) / scale < 1e-12);
-    }
+        assert!(left.max_abs_diff(&right) / scale < 1e-12);
+    });
+}
 
-    #[test]
-    fn transpose_reverses_products(a in dominant_matrix(3), b in dominant_matrix(3)) {
+#[test]
+fn transpose_reverses_products() {
+    propcheck("transpose_reverses_products", |rng| {
+        let a = dominant_matrix(rng, 3);
+        let b = dominant_matrix(rng, 3);
         let lhs = a.matmul(&b).unwrap().transpose();
         let rhs = b.transpose().matmul(&a.transpose()).unwrap();
-        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-12);
-    }
+        assert!(lhs.max_abs_diff(&rhs) < 1e-12);
+    });
+}
 
-    #[test]
-    fn lu_inverse_roundtrips(a in dominant_matrix(5)) {
+#[test]
+fn lu_inverse_roundtrips() {
+    propcheck("lu_inverse_roundtrips", |rng| {
+        let a = dominant_matrix(rng, 5);
         let inv = Lu::new(&a).unwrap().inverse().unwrap();
         let prod = a.matmul(&inv).unwrap();
-        prop_assert!(prod.max_abs_diff(&Matrix::identity(5)) < 1e-9);
-    }
+        assert!(prod.max_abs_diff(&Matrix::identity(5)) < 1e-9);
+    });
+}
 
-    #[test]
-    fn det_of_product_is_product_of_dets(a in dominant_matrix(4), b in dominant_matrix(4)) {
+#[test]
+fn det_of_product_is_product_of_dets() {
+    propcheck("det_of_product_is_product_of_dets", |rng| {
+        let a = dominant_matrix(rng, 4);
+        let b = dominant_matrix(rng, 4);
         let da = Lu::new(&a).unwrap().det();
         let db = Lu::new(&b).unwrap().det();
         let dab = Lu::new(&a.matmul(&b).unwrap()).unwrap().det();
         let scale = dab.abs().max(1.0);
-        prop_assert!((da * db - dab).abs() / scale < 1e-9);
-    }
+        assert!((da * db - dab).abs() / scale < 1e-9);
+    });
+}
 
-    #[test]
-    fn expm_semigroup(a in stable_metzler(4), s in 0.05f64..2.0, t in 0.05f64..2.0) {
+#[test]
+fn expm_semigroup() {
+    propcheck("expm_semigroup", |rng| {
+        let a = stable_metzler(rng, 4);
+        let s = rng.gen_range(0.05..2.0);
+        let t = rng.gen_range(0.05..2.0);
         let whole = expm_scaled(&a, s + t).unwrap();
         let split = expm_scaled(&a, s).unwrap().matmul(&expm_scaled(&a, t).unwrap()).unwrap();
-        prop_assert!(whole.max_abs_diff(&split) < 1e-10);
-    }
+        assert!(whole.max_abs_diff(&split) < 1e-10);
+    });
+}
 
-    #[test]
-    fn expm_of_metzler_is_nonnegative(a in stable_metzler(5), t in 0.01f64..5.0) {
+#[test]
+fn expm_of_metzler_is_nonnegative() {
+    propcheck("expm_of_metzler_is_nonnegative", |rng| {
         // e^{At} for a Metzler matrix is element-wise nonnegative — the
         // physical fact that heat put in one node never lowers another.
+        let a = stable_metzler(rng, 5);
+        let t = rng.gen_range(0.01..5.0);
         let e = expm_scaled(&a, t).unwrap();
         for v in e.as_slice() {
-            prop_assert!(*v >= -1e-12, "negative propagator entry {v}");
+            assert!(*v >= -1e-12, "negative propagator entry {v}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn expm_of_stable_matrix_is_substochastic(a in stable_metzler(4), t in 0.1f64..10.0) {
+#[test]
+fn expm_of_stable_matrix_is_substochastic() {
+    propcheck("expm_of_stable_matrix_is_substochastic", |rng| {
         // Strict diagonal dominance with negative diagonal ⇒ ‖e^{At}‖∞ < 1.
+        let a = stable_metzler(rng, 4);
+        let t = rng.gen_range(0.1..10.0);
         let e = expm_scaled(&a, t).unwrap();
-        prop_assert!(norm_inf(&e) < 1.0 + 1e-12);
-    }
+        assert!(norm_inf(&e) < 1.0 + 1e-12);
+    });
+}
 
-    #[test]
-    fn jacobi_reconstructs(a in symmetric_matrix(5)) {
+#[test]
+fn jacobi_reconstructs() {
+    propcheck("jacobi_reconstructs", |rng| {
+        let a = symmetric_matrix(rng, 5);
         let e = SymmetricEigen::new(&a).unwrap();
-        prop_assert!(e.reconstruct().unwrap().max_abs_diff(&a) < 1e-9);
+        assert!(e.reconstruct().unwrap().max_abs_diff(&a) < 1e-9);
         // Eigenvalues are sorted ascending.
         for w in e.values.as_slice().windows(2) {
-            prop_assert!(w[0] <= w[1] + 1e-12);
+            assert!(w[0] <= w[1] + 1e-12);
         }
-    }
+    });
+}
 
-    #[test]
-    fn jacobi_trace_identity(a in symmetric_matrix(6)) {
+#[test]
+fn jacobi_trace_identity() {
+    propcheck("jacobi_trace_identity", |rng| {
+        let a = symmetric_matrix(rng, 6);
         let e = SymmetricEigen::new(&a).unwrap();
         let trace: f64 = (0..6).map(|i| a[(i, i)]).sum();
-        prop_assert!((trace - e.values.sum()).abs() < 1e-9);
-    }
+        assert!((trace - e.values.sum()).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn norms_are_consistent(a in dominant_matrix(4)) {
-        // norm_fro ≤ sqrt(rank) * norm_2 ≤ ... we check the cheap relations:
-        // max_abs ≤ each norm, and norms are symmetric under transpose (fro).
+#[test]
+fn norms_are_consistent() {
+    propcheck("norms_are_consistent", |rng| {
+        // max_abs ≤ each norm, and the Frobenius norm is transpose-invariant.
+        let a = dominant_matrix(rng, 4);
         let fro = norm_fro(&a);
-        prop_assert!(a.max_abs() <= norm_1(&a) + 1e-12);
-        prop_assert!(a.max_abs() <= norm_inf(&a) + 1e-12);
-        prop_assert!(a.max_abs() <= fro + 1e-12);
-        prop_assert!((fro - norm_fro(&a.transpose())).abs() < 1e-12);
-    }
+        assert!(a.max_abs() <= norm_1(&a) + 1e-12);
+        assert!(a.max_abs() <= norm_inf(&a) + 1e-12);
+        assert!(a.max_abs() <= fro + 1e-12);
+        assert!((fro - norm_fro(&a.transpose())).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn expm_matches_eigen_path_for_symmetric(a in symmetric_matrix(4), t in 0.1f64..3.0) {
+#[test]
+fn expm_matches_eigen_path_for_symmetric() {
+    propcheck("expm_matches_eigen_path_for_symmetric", |rng| {
+        let a = symmetric_matrix(rng, 4);
+        let t = rng.gen_range(0.1..3.0);
         let scaled = a.scaled(t);
         let via_pade = expm(&scaled).unwrap();
         let via_eigen = SymmetricEigen::new(&scaled).unwrap().map_spectrum(f64::exp).unwrap();
         let scale = via_pade.max_abs().max(1.0);
-        prop_assert!(via_pade.max_abs_diff(&via_eigen) / scale < 1e-9);
-    }
+        assert!(via_pade.max_abs_diff(&via_eigen) / scale < 1e-9);
+    });
+}
 
-    #[test]
-    fn vector_axpy_linearity(n in 1usize..10, s in -5.0f64..5.0) {
+#[test]
+fn vector_axpy_linearity() {
+    propcheck("vector_axpy_linearity", |rng| {
+        let n = rng.gen_range(1..10usize);
+        let s = rng.gen_range(-5.0..5.0);
         let x = Vector::from_fn(n, |i| (i as f64).cos());
         let y = Vector::from_fn(n, |i| (i as f64 * 0.3).sin());
         let lhs = x.axpy(s, &y);
         let rhs = &x + &y.scaled(s);
-        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-14);
-    }
+        assert!(lhs.max_abs_diff(&rhs) < 1e-14);
+    });
 }

@@ -9,7 +9,6 @@
 //! variation samples (the `robustness` experiment).
 
 use crate::{PowerError, PowerModel};
-use serde::{Deserialize, Serialize};
 
 /// Anything that can turn a per-core voltage assignment into per-core
 /// temperature-independent power. Implemented by the chip-uniform
@@ -20,11 +19,7 @@ pub trait PowerLike {
 
     /// ψ evaluated over a voltage slice.
     fn psi_profile_of(&self, voltages: &[f64]) -> Vec<f64> {
-        voltages
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| self.psi_core(i, v))
-            .collect()
+        voltages.iter().enumerate().map(|(i, &v)| self.psi_core(i, v)).collect()
     }
 
     /// Leakage temperature sensitivity of one core (W/K).
@@ -42,7 +37,7 @@ impl PowerLike for PowerModel {
 }
 
 /// One power model per core.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CorePowerTable {
     models: Vec<PowerModel>,
 }

@@ -1,7 +1,6 @@
 //! The `(α, β, γ)` power model of eq. (1).
 
 use crate::PowerError;
-use serde::{Deserialize, Serialize};
 
 /// Per-core power model `P(v, T) = ψ(v) + β·T` with `ψ(v) = α + γ·v³`.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// workspace, so the constant leakage floor `β·T_amb` is considered part of
 /// `α`. An inactive core (`v = 0`) draws no power, matching the paper's
 /// convention that `v = f = 0` for a powered-down core.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerModel {
     /// Voltage-independent active power floor (W). Includes the
     /// ambient-temperature leakage `β·T_amb`.

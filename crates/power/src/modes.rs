@@ -1,7 +1,6 @@
 //! Discrete DVFS mode tables.
 
 use crate::PowerError;
-use serde::{Deserialize, Serialize};
 
 /// The two discrete levels bracketing a continuous target voltage, plus the
 /// execution-time ratios that preserve its throughput (eq. 11 of the paper):
@@ -48,7 +47,7 @@ impl NeighborModes {
 /// The paper's platforms use levels in `[0.6 V, 1.3 V]`; its Table IV defines
 /// the specific 2/3/4/5-level subsets used in the evaluation, exposed here as
 /// [`ModeTable::table_iv`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModeTable {
     levels: Vec<f64>,
 }
@@ -80,8 +79,14 @@ impl ModeTable {
     /// # Errors
     /// Returns [`PowerError::InvalidParameter`] for a degenerate range/step.
     pub fn uniform(lo: f64, hi: f64, step: f64) -> Result<Self, PowerError> {
-        if !(lo.is_finite() && hi.is_finite() && step.is_finite()) || lo <= 0.0 || hi < lo || step <= 0.0 {
-            return Err(PowerError::InvalidParameter { what: "uniform grid requires 0 < lo <= hi and step > 0" });
+        if !(lo.is_finite() && hi.is_finite() && step.is_finite())
+            || lo <= 0.0
+            || hi < lo
+            || step <= 0.0
+        {
+            return Err(PowerError::InvalidParameter {
+                what: "uniform grid requires 0 < lo <= hi and step > 0",
+            });
         }
         let n = ((hi - lo) / step).round() as usize;
         let mut levels: Vec<f64> = (0..=n).map(|i| lo + step * i as f64).collect();
@@ -202,11 +207,7 @@ impl ModeTable {
     /// space of Algorithm 1 (`len()^n` candidates, emitted in odometer order).
     #[must_use]
     pub fn assignments(&self, n_cores: usize) -> AssignmentIter<'_> {
-        AssignmentIter {
-            levels: &self.levels,
-            indices: vec![0; n_cores],
-            done: n_cores == 0,
-        }
+        AssignmentIter { levels: &self.levels, indices: vec![0; n_cores], done: n_cores == 0 }
     }
 }
 

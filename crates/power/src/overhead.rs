@@ -1,7 +1,6 @@
 //! DVFS transition-overhead model of Section V.
 
 use crate::PowerError;
-use serde::{Deserialize, Serialize};
 
 /// Models the cost of a DVFS mode switch: the clock halts for `τ` seconds per
 /// transition. To keep the throughput of an oscillating schedule unchanged,
@@ -14,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// and the low-voltage interval must stay long enough to absorb both the
 /// compensation and the stall, which bounds the oscillation factor to
 /// `M = ⌊t_L / (δ + τ)⌋` per core (chip-wide `M = min_i M_i`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransitionOverhead {
     /// Clock-halt duration per transition, seconds. The paper's evaluation
     /// uses 5 µs.

@@ -1,10 +1,9 @@
 //! Calibrated parameter presets.
 
 use crate::{ModeTable, PowerModel, TransitionOverhead};
-use serde::{Deserialize, Serialize};
 
 /// Bundle of power-side parameters describing one processor family.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlatformParams {
     /// Power-model coefficients.
     pub power: PowerModel,

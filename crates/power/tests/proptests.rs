@@ -1,101 +1,130 @@
 //! Property-based tests for the power/DVFS models.
 
 use mosc_power::{ModeTable, PowerModel, TransitionOverhead};
-use proptest::prelude::*;
+use mosc_testutil::{propcheck_cases, Rng64};
 
-fn level_set() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(0.5f64..1.5, 2..8)
+const CASES: usize = 128;
+
+fn level_set(rng: &mut Rng64) -> Vec<f64> {
+    let n = rng.gen_range(2..8usize);
+    (0..n).map(|_| rng.gen_range(0.5..1.5)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn psi_is_monotone_and_convex(alpha in 0.0f64..5.0, gamma in 0.1f64..20.0,
-                                  a in 0.2f64..1.0, d1 in 0.01f64..0.3, d2 in 0.01f64..0.3) {
+#[test]
+fn psi_is_monotone_and_convex() {
+    propcheck_cases("psi_is_monotone_and_convex", CASES, |rng| {
+        let alpha = rng.gen_range(0.0..5.0);
+        let gamma = rng.gen_range(0.1..20.0);
+        let a = rng.gen_range(0.2..1.0);
         let m = PowerModel::new(alpha, 0.0, gamma).unwrap();
-        let b = a + d1;
-        let c = b + d2;
-        prop_assert!(m.psi(a) < m.psi(b) && m.psi(b) < m.psi(c));
+        let b = a + rng.gen_range(0.01..0.3);
+        let c = b + rng.gen_range(0.01..0.3);
+        assert!(m.psi(a) < m.psi(b) && m.psi(b) < m.psi(c));
         // Convexity: slope increases.
         let s1 = (m.psi(b) - m.psi(a)) / (b - a);
         let s2 = (m.psi(c) - m.psi(b)) / (c - b);
-        prop_assert!(s2 >= s1 - 1e-12);
-    }
+        assert!(s2 >= s1 - 1e-12);
+    });
+}
 
-    #[test]
-    fn voltage_for_psi_is_left_inverse(alpha in 0.0f64..5.0, gamma in 0.1f64..20.0, v in 0.1f64..2.0) {
+#[test]
+fn voltage_for_psi_is_left_inverse() {
+    propcheck_cases("voltage_for_psi_is_left_inverse", CASES, |rng| {
+        let alpha = rng.gen_range(0.0..5.0);
+        let gamma = rng.gen_range(0.1..20.0);
+        let v = rng.gen_range(0.1..2.0);
         let m = PowerModel::new(alpha, 0.02, gamma).unwrap();
         let back = m.voltage_for_psi(m.psi(v)).unwrap();
-        prop_assert!((back - v).abs() < 1e-10);
-    }
+        assert!((back - v).abs() < 1e-10);
+    });
+}
 
-    #[test]
-    fn mode_table_is_sorted_and_bracketing(levels in level_set(), v in 0.4f64..1.6) {
+#[test]
+fn mode_table_is_sorted_and_bracketing() {
+    propcheck_cases("mode_table_is_sorted_and_bracketing", CASES, |rng| {
+        let levels = level_set(rng);
+        let v = rng.gen_range(0.4..1.6);
         let t = ModeTable::from_levels(&levels).unwrap();
         // Sorted.
         for w in t.levels().windows(2) {
-            prop_assert!(w[0] < w[1]);
+            assert!(w[0] < w[1]);
         }
         // floor <= v <= ceil when both exist.
         if let (Some(f), Some(c)) = (t.floor(v), t.ceil(v)) {
-            prop_assert!(f <= v + 1e-12);
-            prop_assert!(c >= v - 1e-12);
-            prop_assert!(f <= c);
+            assert!(f <= v + 1e-12);
+            assert!(c >= v - 1e-12);
+            assert!(f <= c);
         }
-    }
+    });
+}
 
-    #[test]
-    fn neighbors_preserve_equivalent_voltage(levels in level_set(), v in 0.4f64..1.6) {
+#[test]
+fn neighbors_preserve_equivalent_voltage() {
+    propcheck_cases("neighbors_preserve_equivalent_voltage", CASES, |rng| {
+        let levels = level_set(rng);
+        let v = rng.gen_range(0.4..1.6);
         let t = ModeTable::from_levels(&levels).unwrap();
         let nb = t.neighbors(v);
         let clamped = v.clamp(t.lowest(), t.highest());
-        prop_assert!((nb.equivalent_voltage() - clamped).abs() < 1e-10);
-        prop_assert!(nb.v_low <= nb.v_high);
-        prop_assert!((0.0..=1.0).contains(&nb.ratio_high));
-        prop_assert!((nb.ratio_high + nb.ratio_low() - 1.0).abs() < 1e-12);
-    }
+        assert!((nb.equivalent_voltage() - clamped).abs() < 1e-10);
+        assert!(nb.v_low <= nb.v_high);
+        assert!((0.0..=1.0).contains(&nb.ratio_high));
+        assert!((nb.ratio_high + nb.ratio_low() - 1.0).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn neighbors_are_adjacent_levels(levels in level_set(), v in 0.4f64..1.6) {
+#[test]
+fn neighbors_are_adjacent_levels() {
+    propcheck_cases("neighbors_are_adjacent_levels", CASES, |rng| {
+        let levels = level_set(rng);
+        let v = rng.gen_range(0.4..1.6);
         let t = ModeTable::from_levels(&levels).unwrap();
         let nb = t.neighbors(v);
         // No table level lies strictly between the pair.
         for &l in t.levels() {
-            prop_assert!(
+            assert!(
                 !(l > nb.v_low + 1e-9 && l < nb.v_high - 1e-9),
-                "level {l} strictly inside ({}, {})", nb.v_low, nb.v_high
+                "level {l} strictly inside ({}, {})",
+                nb.v_low,
+                nb.v_high
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn overhead_delta_and_bound_are_consistent(tau in 1e-7f64..1e-3,
-                                               vl in 0.4f64..1.0, dv in 0.05f64..0.6,
-                                               t_low in 1e-4f64..1.0) {
+#[test]
+fn overhead_delta_and_bound_are_consistent() {
+    propcheck_cases("overhead_delta_and_bound_are_consistent", CASES, |rng| {
+        let tau = rng.gen_range(1e-7..1e-3);
+        let vl = rng.gen_range(0.4..1.0);
+        let vh = vl + rng.gen_range(0.05..0.6);
+        let t_low = rng.gen_range(1e-4..1.0);
         let o = TransitionOverhead::new(tau).unwrap();
-        let vh = vl + dv;
         let delta = o.delta(vl, vh).unwrap();
         // The compensation exactly repays the stall loss.
-        prop_assert!(((vh - vl) * delta - o.throughput_loss(vl, vh)).abs() < 1e-15);
+        assert!(((vh - vl) * delta - o.throughput_loss(vl, vh)).abs() < 1e-15);
         // The m bound leaves room for the stall in each repetition — except
         // for the documented clamp to m = 1 (the un-oscillated schedule is
         // always representable even when no oscillation fits).
         let m = o.max_m(vl, vh, t_low);
         if (2..usize::MAX).contains(&m) {
-            prop_assert!(t_low / m as f64 >= delta + tau - 1e-12);
+            assert!(t_low / m as f64 >= delta + tau - 1e-12);
         }
         if t_low < delta + tau {
-            prop_assert_eq!(m, 1);
+            assert_eq!(m, 1);
         }
         // Monotone: more low-time allows more oscillation.
-        prop_assert!(o.max_m(vl, vh, 2.0 * t_low) >= m);
-    }
+        assert!(o.max_m(vl, vh, 2.0 * t_low) >= m);
+    });
+}
 
-    #[test]
-    fn assignments_count_is_levels_pow_cores(levels in level_set(), n in 1usize..4) {
+#[test]
+fn assignments_count_is_levels_pow_cores() {
+    propcheck_cases("assignments_count_is_levels_pow_cores", CASES, |rng| {
+        let levels = level_set(rng);
+        let n = rng.gen_range(1..4usize);
         let t = ModeTable::from_levels(&levels).unwrap();
         let count = t.assignments(n).count();
-        prop_assert_eq!(count, t.len().pow(n as u32));
-    }
+        assert_eq!(count, t.len().pow(n as u32));
+    });
 }

@@ -194,7 +194,12 @@ impl SteadyState {
     ///
     /// # Errors
     /// Propagates solver failures.
-    pub fn peak_refined(&self, model: &ThermalModel, samples: usize, tol: f64) -> Result<PeakReport> {
+    pub fn peak_refined(
+        &self,
+        model: &ThermalModel,
+        samples: usize,
+        tol: f64,
+    ) -> Result<PeakReport> {
         let coarse = self.peak_sampled(model, samples)?;
         let period: f64 = self.intervals.iter().map(|(_, l, _)| l).sum();
         let window = period / samples.max(1) as f64;
@@ -320,8 +325,7 @@ pub fn stable_energy_per_period<P: PowerLike + ?Sized>(
             let mid_t = 0.5 * (times[w] + times[w + 1]);
             for c in 0..schedule.n_cores() {
                 if schedule.core(c).voltage_at(mid_t) > 0.0 {
-                    integral +=
-                        power.beta_core(c) * 0.5 * (temps[w][c] + temps[w + 1][c]) * dt;
+                    integral += power.beta_core(c) * 0.5 * (temps[w][c] + temps[w + 1][c]) * dt;
                 }
             }
         }
@@ -361,10 +365,8 @@ pub fn transient_trace<P: PowerLike + ?Sized>(
     let period = schedule.period();
     let dt_target = period / samples_per_period.max(1) as f64;
 
-    let mut trace = Trace::with_capacity(
-        model.n_cores(),
-        n_periods * (samples_per_period + ivs.len()) + 2,
-    );
+    let mut trace =
+        Trace::with_capacity(model.n_cores(), n_periods * (samples_per_period + ivs.len()) + 2);
     trace.push(0.0, t0.clone());
     let mut cur = t0.clone();
     let mut time = 0.0;
@@ -495,11 +497,7 @@ mod tests {
         let trace = transient_trace(p.thermal(), p.power(), &s, &t0, 400, 4).unwrap();
         let last = trace.temps().last().unwrap();
         // After many periods the trajectory is within a whisker of T_ss(0).
-        assert!(
-            last.max_abs_diff(ss.t_start()) < 1e-3,
-            "diff {}",
-            last.max_abs_diff(ss.t_start())
-        );
+        assert!(last.max_abs_diff(ss.t_start()) < 1e-3, "diff {}", last.max_abs_diff(ss.t_start()));
     }
 
     #[test]
@@ -549,10 +547,7 @@ mod tests {
     fn core_count_mismatch_rejected() {
         let p = platform();
         let s = Schedule::constant(&[1.0, 1.0, 1.0], 0.1).unwrap();
-        assert!(matches!(
-            p.peak(&s),
-            Err(SchedError::CoreCountMismatch { schedule: 3, model: 2 })
-        ));
+        assert!(matches!(p.peak(&s), Err(SchedError::CoreCountMismatch { schedule: 3, model: 2 })));
         let t0 = Vector::zeros(3);
         let s2 = Schedule::constant(&[1.0, 1.0], 0.1).unwrap();
         assert!(transient_trace(p.thermal(), p.power(), &s2, &t0, 1, 4).is_err());
@@ -566,13 +561,8 @@ mod tests {
         // Constant schedule: E = Σ_i (ψ(v_i) + β·T∞_i) · t_p.
         let psi = p.psi_profile(&[1.0, 1.2]);
         let t_inf = p.thermal().steady_state_cores(&psi).unwrap();
-        let expected = (psi.iter().sum::<f64>()
-            + p.power().beta * (t_inf[0] + t_inf[1]))
-            * 0.25;
-        assert!(
-            (e - expected).abs() / expected < 1e-4,
-            "energy {e} vs closed form {expected}"
-        );
+        let expected = (psi.iter().sum::<f64>() + p.power().beta * (t_inf[0] + t_inf[1])) * 0.25;
+        assert!((e - expected).abs() / expected < 1e-4, "energy {e} vs closed form {expected}");
     }
 
     #[test]
@@ -586,10 +576,7 @@ mod tests {
         assert!((constant.throughput() - split.throughput()).abs() < 1e-12);
         let e_const = stable_energy_per_period(p.thermal(), p.power(), &constant, 400).unwrap();
         let e_split = stable_energy_per_period(p.thermal(), p.power(), &split, 400).unwrap();
-        assert!(
-            e_const < e_split,
-            "constant {e_const} must beat oscillating {e_split}"
-        );
+        assert!(e_const < e_split, "constant {e_const} must beat oscillating {e_split}");
     }
 
     #[test]

@@ -24,9 +24,9 @@
 
 pub mod eval;
 mod platform;
+mod schedule;
 pub mod sprint;
 pub mod text;
-mod schedule;
 
 pub use eval::{PeakReport, SteadyState};
 pub use platform::{Platform, PlatformSpec};

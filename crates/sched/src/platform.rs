@@ -1,6 +1,6 @@
 //! The platform bundle: thermal model + power model + DVFS table + limits.
 
-use crate::{eval, PeakReport, Result, Schedule, SchedError};
+use crate::{eval, PeakReport, Result, SchedError, Schedule};
 use mosc_power::{ModeTable, Params65nm, PowerModel, TransitionOverhead};
 use mosc_thermal::{Floorplan, RcConfig, RcNetwork, ThermalModel};
 
@@ -110,14 +110,7 @@ impl Platform {
         t_max_c: f64,
         t_ambient_c: f64,
     ) -> Self {
-        Self {
-            thermal,
-            power,
-            modes,
-            overhead,
-            t_max: t_max_c - t_ambient_c,
-            t_ambient_c,
-        }
+        Self { thermal, power, modes, overhead, t_max: t_max_c - t_ambient_c, t_ambient_c }
     }
 
     /// The thermal model.
@@ -234,9 +227,9 @@ mod tests {
     fn motivation_platform_is_constrained_at_1_3v() {
         let p = Platform::build(&PlatformSpec::motivation()).unwrap();
         let peak = p.steady_peak(&[1.3, 1.3, 1.3]).unwrap();
-        assert!(peak > p.t_max(), "all-high must violate 65C: {} K rise", peak);
+        assert!(peak > p.t_max(), "all-high must violate 65C: {peak} K rise");
         let low = p.steady_peak(&[0.6, 0.6, 0.6]).unwrap();
-        assert!(low < p.t_max(), "all-low must be safe: {} K rise", low);
+        assert!(low < p.t_max(), "all-low must be safe: {low} K rise");
     }
 
     #[test]
@@ -266,10 +259,7 @@ mod tests {
         let p = Platform::build(&spec).unwrap();
         assert_eq!(p.n_cores(), 4);
         // Upper-layer core is hotter under uniform power.
-        let t = p
-            .thermal()
-            .steady_state_cores(&p.psi_profile(&[1.0, 1.0, 1.0, 1.0]))
-            .unwrap();
+        let t = p.thermal().steady_state_cores(&p.psi_profile(&[1.0, 1.0, 1.0, 1.0])).unwrap();
         assert!(t[2] > t[0]);
     }
 }

@@ -2,13 +2,12 @@
 
 use crate::{Result, SchedError};
 use mosc_power::TransitionOverhead;
-use serde::{Deserialize, Serialize};
 
 /// Tolerance for comparing times and voltages inside schedules.
 pub(crate) const EPS: f64 = 1e-9;
 
 /// One piecewise-constant segment of a core's timeline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Segment {
     /// Supply voltage (doubles as normalized speed); 0 = core inactive.
     pub voltage: f64,
@@ -25,7 +24,7 @@ impl Segment {
 }
 
 /// One core's periodic timeline: segments played in order, then repeated.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoreSchedule {
     segments: Vec<Segment>,
 }
@@ -151,11 +150,8 @@ impl CoreSchedule {
     #[must_use]
     pub fn compressed(&self, m: usize) -> Self {
         assert!(m > 0, "oscillation factor must be at least 1");
-        let segs = self
-            .segments
-            .iter()
-            .map(|s| Segment::new(s.voltage, s.duration / m as f64))
-            .collect();
+        let segs =
+            self.segments.iter().map(|s| Segment::new(s.voltage, s.duration / m as f64)).collect();
         Self::new(segs).expect("compression preserves validity")
     }
 
@@ -205,7 +201,7 @@ impl CoreSchedule {
 
 /// A periodic multi-core schedule: one [`CoreSchedule`] per core, all with
 /// the same period.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Schedule {
     cores: Vec<CoreSchedule>,
     period: f64,
@@ -607,13 +603,9 @@ mod tests {
     #[test]
     fn with_core_and_with_shifted_core() {
         let s = two_core();
-        let replaced = s
-            .with_core(0, CoreSchedule::constant(1.0, 0.1).unwrap())
-            .unwrap();
+        let replaced = s.with_core(0, CoreSchedule::constant(1.0, 0.1).unwrap()).unwrap();
         assert_eq!(replaced.core(0).segments().len(), 1);
-        assert!(s
-            .with_core(0, CoreSchedule::constant(1.0, 0.3).unwrap())
-            .is_err());
+        assert!(s.with_core(0, CoreSchedule::constant(1.0, 0.3).unwrap()).is_err());
         let shifted = s.with_shifted_core(1, 0.02);
         assert!((shifted.throughput() - s.throughput()).abs() < 1e-12);
     }

@@ -108,8 +108,9 @@ pub fn rest_duration<P: PowerLike + ?Sized>(
         guard += 1;
         if guard > 60 {
             return Err(SchedError::Invalid {
-                what: "rest_duration failed to bracket (target too close to the rest steady state?)"
-                    .into(),
+                what:
+                    "rest_duration failed to bracket (target too close to the rest steady state?)"
+                        .into(),
             });
         }
     }
@@ -171,15 +172,19 @@ pub fn limit_cycle<P: PowerLike + ?Sized>(
     let mut elapsed = 0.0;
     let mut last = None;
     for _ in 0..100_000 {
-        let sprint = sprint_duration(model, power, &state, boost_voltages, t_max)?
-            .ok_or_else(|| SchedError::Invalid {
-                what: "boost assignment is sustainable; no sprint cycle exists".into(),
+        let sprint =
+            sprint_duration(model, power, &state, boost_voltages, t_max)?.ok_or_else(|| {
+                SchedError::Invalid {
+                    what: "boost assignment is sustainable; no sprint cycle exists".into(),
+                }
             })?;
         state = model.advance(&state, &psi_boost, sprint)?;
         let peak = model.max_core_temp(&state);
-        let rest = rest_duration(model, power, &state, rest_voltages, target)?
-            .ok_or_else(|| SchedError::Invalid {
-                what: "rest assignment cannot reach the target temperature".into(),
+        let rest =
+            rest_duration(model, power, &state, rest_voltages, target)?.ok_or_else(|| {
+                SchedError::Invalid {
+                    what: "rest assignment cannot reach the target temperature".into(),
+                }
             })?;
         state = model.advance(&state, &psi_rest, rest)?;
         let cycle = sprint + rest;
@@ -250,34 +255,22 @@ mod tests {
             .unwrap()
             .expect("0.6 V steady state is below half of T_max");
         assert!(d > 0.0);
-        let after = p
-            .thermal()
-            .advance(&hot, &p.psi_profile(&rest), d)
-            .unwrap();
+        let after = p.thermal().advance(&hot, &p.psi_profile(&rest), d).unwrap();
         assert!(p.thermal().max_core_temp(&after) <= target + 1e-6);
         // Unreachable target reports None.
         let impossible = rest_duration(p.thermal(), p.power(), &hot, &rest, -1.0).unwrap();
         assert!(impossible.is_none());
         // Already-cool chip needs no rest.
         let cool = Vector::zeros(p.thermal().n_nodes());
-        assert_eq!(
-            rest_duration(p.thermal(), p.power(), &cool, &rest, target).unwrap(),
-            Some(0.0)
-        );
+        assert_eq!(rest_duration(p.thermal(), p.power(), &cool, &rest, target).unwrap(), Some(0.0));
     }
 
     #[test]
     fn limit_cycle_converges_and_respects_tmax() {
         let p = small_platform();
-        let cycle = limit_cycle(
-            p.thermal(),
-            p.power(),
-            &[1.3; 3],
-            &[0.6; 3],
-            p.t_max(),
-            p.t_max() - 5.0,
-        )
-        .unwrap();
+        let cycle =
+            limit_cycle(p.thermal(), p.power(), &[1.3; 3], &[0.6; 3], p.t_max(), p.t_max() - 5.0)
+                .unwrap();
         assert!(cycle.sprint_len > 0.0 && cycle.rest_len > 0.0);
         assert!(cycle.peak <= p.t_max() + 1e-6);
         assert!(cycle.avg_speed > 0.6 && cycle.avg_speed < 1.3);
@@ -289,15 +282,9 @@ mod tests {
         // below the sustained optimum at the same T_max (ψ is convex, so the
         // extreme mix wastes power; Theorem 3's energy logic in sprint form).
         let p = small_platform();
-        let cycle = limit_cycle(
-            p.thermal(),
-            p.power(),
-            &[1.3; 3],
-            &[0.6; 3],
-            p.t_max(),
-            p.t_max() - 5.0,
-        )
-        .unwrap();
+        let cycle =
+            limit_cycle(p.thermal(), p.power(), &[1.3; 3], &[0.6; 3], p.t_max(), p.t_max() - 5.0)
+                .unwrap();
         // Continuous sustained optimum on this platform (every core pinned
         // at T_max) is an upper bound for any T_max-respecting policy.
         // 3-core at 50 C: ideal uniform ~0.95 V.

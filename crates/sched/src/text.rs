@@ -23,11 +23,8 @@ pub fn to_text(schedule: &Schedule) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "period {}", schedule.period());
     for (i, core) in schedule.cores().iter().enumerate() {
-        let segs: Vec<String> = core
-            .segments()
-            .iter()
-            .map(|s| format!("{} x {}", s.voltage, s.duration))
-            .collect();
+        let segs: Vec<String> =
+            core.segments().iter().map(|s| format!("{} x {}", s.voltage, s.duration)).collect();
         let _ = writeln!(out, "core {i}: {}", segs.join(", "));
     }
     out
@@ -51,10 +48,8 @@ pub fn from_text(text: &str) -> Result<Schedule> {
             if period.is_some() {
                 return Err(invalid(lineno, "duplicate 'period' line"));
             }
-            let p: f64 = rest
-                .trim()
-                .parse()
-                .map_err(|_| invalid(lineno, "cannot parse period value"))?;
+            let p: f64 =
+                rest.trim().parse().map_err(|_| invalid(lineno, "cannot parse period value"))?;
             if !(p.is_finite() && p > 0.0) {
                 return Err(invalid(lineno, "period must be positive"));
             }
@@ -63,10 +58,8 @@ pub fn from_text(text: &str) -> Result<Schedule> {
             let (idx_str, segs_str) = rest
                 .split_once(':')
                 .ok_or_else(|| invalid(lineno, "core line needs 'core <i>: …'"))?;
-            let idx: usize = idx_str
-                .trim()
-                .parse()
-                .map_err(|_| invalid(lineno, "cannot parse core index"))?;
+            let idx: usize =
+                idx_str.trim().parse().map_err(|_| invalid(lineno, "cannot parse core index"))?;
             if idx != cores.len() {
                 return Err(invalid(lineno, "cores must be listed 0..N-1 in order"));
             }
@@ -91,9 +84,8 @@ pub fn from_text(text: &str) -> Result<Schedule> {
         }
     }
 
-    let period = period.ok_or_else(|| SchedError::Invalid {
-        what: "missing 'period' line".into(),
-    })?;
+    let period =
+        period.ok_or_else(|| SchedError::Invalid { what: "missing 'period' line".into() })?;
     if cores.is_empty() {
         return Err(SchedError::Invalid { what: "no core lines".into() });
     }
@@ -108,11 +100,8 @@ pub fn from_text(text: &str) -> Result<Schedule> {
             });
         }
         let scale = period / actual;
-        let segs: Vec<Segment> = c
-            .segments()
-            .iter()
-            .map(|s| Segment::new(s.voltage, s.duration * scale))
-            .collect();
+        let segs: Vec<Segment> =
+            c.segments().iter().map(|s| Segment::new(s.voltage, s.duration * scale)).collect();
         fixed.push(CoreSchedule::new(segs)?);
     }
     Schedule::new(fixed)

@@ -1,58 +1,72 @@
 //! Property-based tests for the schedule algebra.
 
 use mosc_sched::{text, CoreSchedule, Platform, PlatformSpec, Schedule, Segment};
-use proptest::prelude::*;
+use mosc_testutil::{propcheck_cases, Rng64};
 
-/// Strategy: a valid random core timeline with the given period.
-fn core_timeline(period: f64) -> impl Strategy<Value = CoreSchedule> {
-    prop::collection::vec((0.6f64..1.3, 0.05f64..1.0), 1..5).prop_map(move |raw| {
-        let total: f64 = raw.iter().map(|(_, d)| d).sum();
-        let segs: Vec<Segment> = raw
-            .into_iter()
-            .map(|(v, d)| Segment::new(v, d / total * period))
-            .collect();
-        CoreSchedule::new(segs).expect("normalized segments are valid")
-    })
+const CASES: usize = 48;
+
+/// A valid random core timeline with the given period.
+fn core_timeline(rng: &mut Rng64, period: f64) -> CoreSchedule {
+    let n = rng.gen_range(1..5usize);
+    let raw: Vec<(f64, f64)> =
+        (0..n).map(|_| (rng.gen_range(0.6..1.3), rng.gen_range(0.05..1.0))).collect();
+    let total: f64 = raw.iter().map(|(_, d)| d).sum();
+    let segs: Vec<Segment> =
+        raw.into_iter().map(|(v, d)| Segment::new(v, d / total * period)).collect();
+    CoreSchedule::new(segs).expect("normalized segments are valid")
 }
 
-fn schedule(n_cores: usize, period: f64) -> impl Strategy<Value = Schedule> {
-    prop::collection::vec(core_timeline(period), n_cores..=n_cores)
-        .prop_map(|cores| Schedule::new(cores).expect("equal periods by construction"))
+fn schedule(rng: &mut Rng64, n_cores: usize, period: f64) -> Schedule {
+    let cores: Vec<CoreSchedule> = (0..n_cores).map(|_| core_timeline(rng, period)).collect();
+    Schedule::new(cores).expect("equal periods by construction")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn stepup_transform_preserves_work_and_is_stepup(s in schedule(3, 1.0)) {
+#[test]
+fn stepup_transform_preserves_work_and_is_stepup() {
+    propcheck_cases("stepup_transform_preserves_work_and_is_stepup", CASES, |rng| {
+        let s = schedule(rng, 3, 1.0);
         let up = s.to_step_up();
-        prop_assert!(up.is_step_up());
-        prop_assert!((up.throughput() - s.throughput()).abs() < 1e-12);
-        prop_assert!((up.period() - s.period()).abs() < 1e-12);
+        assert!(up.is_step_up());
+        assert!((up.throughput() - s.throughput()).abs() < 1e-12);
+        assert!((up.period() - s.period()).abs() < 1e-12);
         // Idempotence.
-        prop_assert_eq!(up.to_step_up(), up.clone());
-    }
+        assert_eq!(up.to_step_up(), up.clone());
+    });
+}
 
-    #[test]
-    fn oscillation_scales_period_only(s in schedule(2, 1.0), m in 1usize..20) {
+#[test]
+fn oscillation_scales_period_only() {
+    propcheck_cases("oscillation_scales_period_only", CASES, |rng| {
+        let s = schedule(rng, 2, 1.0);
+        let m = rng.gen_range(1..20usize);
         let o = s.oscillated(m);
-        prop_assert!((o.period() - s.period() / m as f64).abs() < 1e-12);
-        prop_assert!((o.throughput() - s.throughput()).abs() < 1e-12);
-        prop_assert_eq!(o.is_step_up(), s.is_step_up());
-    }
+        assert!((o.period() - s.period() / m as f64).abs() < 1e-12);
+        assert!((o.throughput() - s.throughput()).abs() < 1e-12);
+        assert_eq!(o.is_step_up(), s.is_step_up());
+    });
+}
 
-    #[test]
-    fn shift_preserves_work_and_period(s in schedule(3, 1.0), core in 0usize..3, offset in 0.0f64..2.0) {
+#[test]
+fn shift_preserves_work_and_period() {
+    propcheck_cases("shift_preserves_work_and_period", CASES, |rng| {
+        let s = schedule(rng, 3, 1.0);
+        let core = rng.gen_range(0..3usize);
+        let offset = rng.gen_range(0.0..2.0);
         let shifted = s.with_shifted_core(core, offset);
-        prop_assert!((shifted.throughput() - s.throughput()).abs() < 1e-12);
-        prop_assert!((shifted.period() - s.period()).abs() < 1e-9);
+        assert!((shifted.throughput() - s.throughput()).abs() < 1e-12);
+        assert!((shifted.period() - s.period()).abs() < 1e-9);
         // Shifting by the period is the identity (up to segment merging).
         let full = s.with_shifted_core(core, s.period());
-        prop_assert!((full.core(core).work() - s.core(core).work()).abs() < 1e-12);
-    }
+        assert!((full.core(core).work() - s.core(core).work()).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn shift_matches_voltage_lookup(c in core_timeline(1.0), offset in 0.0f64..1.0, probe in 0.0f64..1.0) {
+#[test]
+fn shift_matches_voltage_lookup() {
+    propcheck_cases("shift_matches_voltage_lookup", CASES, |rng| {
+        let c = core_timeline(rng, 1.0);
+        let offset = rng.gen_range(0.0..1.0);
+        let probe = rng.gen_range(0.0..1.0);
         let shifted = c.shifted(offset);
         // Away from segment boundaries the lookup must match exactly.
         let v_direct = c.voltage_at(probe + offset);
@@ -72,61 +86,69 @@ proptest! {
             false
         };
         if !near_boundary(&c, probe + offset) && !near_boundary(&shifted, probe) {
-            prop_assert_eq!(v_direct, v_shifted);
+            assert_eq!(v_direct, v_shifted);
         }
-    }
+    });
+}
 
-    #[test]
-    fn state_intervals_partition_the_period(s in schedule(3, 1.0)) {
+#[test]
+fn state_intervals_partition_the_period() {
+    propcheck_cases("state_intervals_partition_the_period", CASES, |rng| {
+        let s = schedule(rng, 3, 1.0);
         let ivs = s.state_intervals();
         let total: f64 = ivs.iter().map(|(_, l)| l).sum();
-        prop_assert!((total - s.period()).abs() < 1e-9);
+        assert!((total - s.period()).abs() < 1e-9);
         // Each interval's voltages match the per-core lookup at its midpoint.
         let mut start = 0.0;
         for (voltages, len) in &ivs {
             let mid = start + len / 2.0;
             for (c, &v) in voltages.iter().enumerate() {
-                prop_assert!((s.core(c).voltage_at(mid) - v).abs() < 1e-12);
+                assert!((s.core(c).voltage_at(mid) - v).abs() < 1e-12);
             }
             start += len;
         }
-    }
+    });
+}
 
-    #[test]
-    fn text_roundtrip(s in schedule(3, 0.5)) {
+#[test]
+fn text_roundtrip() {
+    propcheck_cases("text_roundtrip", CASES, |rng| {
+        let s = schedule(rng, 3, 0.5);
         let rendered = text::to_text(&s);
         let back = text::from_text(&rendered).unwrap();
-        prop_assert_eq!(back.n_cores(), s.n_cores());
-        prop_assert!((back.period() - s.period()).abs() < 1e-9);
-        prop_assert!((back.throughput() - s.throughput()).abs() < 1e-9);
-    }
+        assert_eq!(back.n_cores(), s.n_cores());
+        assert!((back.period() - s.period()).abs() < 1e-9);
+        assert!((back.throughput() - s.throughput()).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn throughput_is_mean_of_core_speeds(s in schedule(3, 1.0)) {
-        let mean: f64 = s
-            .cores()
-            .iter()
-            .map(|c| c.work() / s.period())
-            .sum::<f64>()
-            / s.n_cores() as f64;
-        prop_assert!((s.throughput() - mean).abs() < 1e-12);
+#[test]
+fn throughput_is_mean_of_core_speeds() {
+    propcheck_cases("throughput_is_mean_of_core_speeds", CASES, |rng| {
+        let s = schedule(rng, 3, 1.0);
+        let mean: f64 =
+            s.cores().iter().map(|c| c.work() / s.period()).sum::<f64>() / s.n_cores() as f64;
+        assert!((s.throughput() - mean).abs() < 1e-12);
         // Bounded by the voltage range used by the generator.
-        prop_assert!(s.throughput() >= 0.6 - 1e-9 && s.throughput() <= 1.3 + 1e-9);
-    }
+        assert!(s.throughput() >= 0.6 - 1e-9 && s.throughput() <= 1.3 + 1e-9);
+    });
+}
 
-    #[test]
-    fn steady_state_invariant_under_stepup_throughput(s in schedule(2, 0.4)) {
+#[test]
+fn steady_state_invariant_under_stepup_throughput() {
+    propcheck_cases("steady_state_invariant_under_stepup_throughput", 16, |rng| {
         // Not a theorem about temperature — but both schedules must agree on
         // work, and their steady states must both be valid fixed points.
+        let s = schedule(rng, 2, 0.4);
         let p = Platform::build(&PlatformSpec::paper(1, 2, 5, 65.0)).unwrap();
         let up = s.to_step_up();
         let ss1 = mosc_sched::eval::SteadyState::compute(p.thermal(), p.power(), &s).unwrap();
         let ss2 = mosc_sched::eval::SteadyState::compute(p.thermal(), p.power(), &up).unwrap();
-        prop_assert!(ss1.at_interval_ends().last().unwrap().max_abs_diff(ss1.t_start()) < 1e-8);
-        prop_assert!(ss2.at_interval_ends().last().unwrap().max_abs_diff(ss2.t_start()) < 1e-8);
+        assert!(ss1.at_interval_ends().last().unwrap().max_abs_diff(ss1.t_start()) < 1e-8);
+        assert!(ss2.at_interval_ends().last().unwrap().max_abs_diff(ss2.t_start()) < 1e-8);
         // Theorem 2 as a property: step-up peak bounds the original's.
         let p1 = mosc_sched::eval::peak_temperature(p.thermal(), p.power(), &s, Some(300)).unwrap();
         let p2 = p.peak(&up).unwrap();
-        prop_assert!(p1.temp <= p2.temp + 1e-4 + 1e-3 * p2.temp.abs());
-    }
+        assert!(p1.temp <= p2.temp + 1e-4 + 1e-3 * p2.temp.abs());
+    });
 }

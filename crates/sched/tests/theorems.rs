@@ -8,11 +8,10 @@
 //! * Theorem 5 — the m-Oscillating peak is monotone non-increasing in m.
 //! * Property 1 — all-off cooldown is monotone.
 
+use mosc_linalg::Vector;
 use mosc_sched::eval::{transient_trace, SteadyState};
 use mosc_sched::{CoreSchedule, Platform, PlatformSpec, Schedule, Segment};
-use mosc_linalg::Vector;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mosc_testutil::Rng64;
 
 const TOL: f64 = 1e-7;
 
@@ -20,9 +19,9 @@ fn platform(rows: usize, cols: usize) -> Platform {
     Platform::build(&PlatformSpec::paper(rows, cols, 5, 65.0)).unwrap()
 }
 
-/// Random step-up core timeline: 1..=max_segs segments with ascending
+/// Random step-up core timeline: `1..=max_segs` segments with ascending
 /// voltages drawn from the 0.6–1.3 V range, summing to `period`.
-fn random_stepup_core(rng: &mut StdRng, period: f64, max_segs: usize) -> CoreSchedule {
+fn random_stepup_core(rng: &mut Rng64, period: f64, max_segs: usize) -> CoreSchedule {
     let n = rng.gen_range(1..=max_segs);
     let mut voltages: Vec<f64> = (0..n).map(|_| rng.gen_range(0.6..=1.3)).collect();
     voltages.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -41,15 +40,13 @@ fn random_stepup_core(rng: &mut StdRng, period: f64, max_segs: usize) -> CoreSch
     CoreSchedule::new(segs).unwrap()
 }
 
-fn random_stepup_schedule(rng: &mut StdRng, n_cores: usize, period: f64) -> Schedule {
-    let cores = (0..n_cores)
-        .map(|_| random_stepup_core(rng, period, 4))
-        .collect();
+fn random_stepup_schedule(rng: &mut Rng64, n_cores: usize, period: f64) -> Schedule {
+    let cores = (0..n_cores).map(|_| random_stepup_core(rng, period, 4)).collect();
     Schedule::new(cores).unwrap()
 }
 
 /// Random arbitrary (not necessarily step-up) schedule.
-fn random_schedule(rng: &mut StdRng, n_cores: usize, period: f64) -> Schedule {
+fn random_schedule(rng: &mut Rng64, n_cores: usize, period: f64) -> Schedule {
     let cores = (0..n_cores)
         .map(|_| {
             let mut c = random_stepup_core(rng, period, 4);
@@ -69,7 +66,7 @@ fn random_schedule(rng: &mut StdRng, n_cores: usize, period: f64) -> Schedule {
 #[test]
 fn theorem1_stepup_peak_at_period_end() {
     let p = platform(1, 3);
-    let mut rng = StdRng::seed_from_u64(11);
+    let mut rng = Rng64::seed_from_u64(11);
     for trial in 0..20 {
         let period = rng.gen_range(0.02..4.0);
         let s = random_stepup_schedule(&mut rng, 3, period);
@@ -91,7 +88,7 @@ fn theorem1_warmup_from_ambient_monotone_for_constant_mode() {
     // The warm-up envelope from ambient under a step-up schedule stays below
     // the stable status peak (a consequence of Theorem 1's proof machinery).
     let p = platform(1, 3);
-    let mut rng = StdRng::seed_from_u64(13);
+    let mut rng = Rng64::seed_from_u64(13);
     for _ in 0..5 {
         let s = random_stepup_schedule(&mut rng, 3, 1.0);
         let ss = SteadyState::compute(p.thermal(), p.power(), &s).unwrap();
@@ -109,7 +106,7 @@ fn theorem1_warmup_from_ambient_monotone_for_constant_mode() {
 #[test]
 fn theorem2_stepup_bounds_arbitrary_permutations() {
     let p = platform(1, 3);
-    let mut rng = StdRng::seed_from_u64(17);
+    let mut rng = Rng64::seed_from_u64(17);
     for trial in 0..20 {
         let period = rng.gen_range(0.05..6.0);
         let s = random_schedule(&mut rng, 3, period);
@@ -126,7 +123,7 @@ fn theorem2_stepup_bounds_arbitrary_permutations() {
 #[test]
 fn lemma1_high_interval_later_raises_period_end_temperature() {
     let p = platform(1, 3);
-    let mut rng = StdRng::seed_from_u64(23);
+    let mut rng = Rng64::seed_from_u64(23);
     for trial in 0..15 {
         let period = rng.gen_range(0.1..4.0);
         let v_const: Vec<f64> = (0..3).map(|_| rng.gen_range(0.6..=1.3)).collect();
@@ -139,10 +136,8 @@ fn lemma1_high_interval_later_raises_period_end_temperature() {
         // S~ exchanges the two intervals AS UNITS (voltage + duration), so
         // both schedules complete identical work.
         let make = |first: Segment, second: Segment| {
-            let mut cores: Vec<CoreSchedule> = v_const
-                .iter()
-                .map(|&v| CoreSchedule::constant(v, period).unwrap())
-                .collect();
+            let mut cores: Vec<CoreSchedule> =
+                v_const.iter().map(|&v| CoreSchedule::constant(v, period).unwrap()).collect();
             cores[core_i] = CoreSchedule::new(vec![first, second]).unwrap();
             Schedule::new(cores).unwrap()
         };
@@ -173,7 +168,7 @@ fn lemma1_high_interval_later_raises_period_end_temperature() {
 #[test]
 fn theorem3_constant_mode_beats_two_mode_split() {
     let p = platform(1, 3);
-    let mut rng = StdRng::seed_from_u64(29);
+    let mut rng = Rng64::seed_from_u64(29);
     for trial in 0..15 {
         let period = rng.gen_range(0.05..2.0);
         let v_e = rng.gen_range(0.7..1.2);
@@ -212,7 +207,7 @@ fn theorem3_constant_mode_beats_two_mode_split() {
 #[test]
 fn theorem4_neighboring_modes_beat_wider_pairs() {
     let p = platform(1, 3);
-    let mut rng = StdRng::seed_from_u64(31);
+    let mut rng = Rng64::seed_from_u64(31);
     for trial in 0..15 {
         let period = rng.gen_range(0.05..2.0);
         let v_e = rng.gen_range(0.8..1.1);
@@ -253,7 +248,7 @@ fn theorem4_neighboring_modes_beat_wider_pairs() {
 fn theorem5_oscillation_monotone_on_9_cores() {
     // The paper's Fig. 5 setting: 9 cores, random step-up schedule.
     let p = platform(3, 3);
-    let mut rng = StdRng::seed_from_u64(37);
+    let mut rng = Rng64::seed_from_u64(37);
     let s = random_stepup_schedule(&mut rng, 9, 9.836);
     let mut prev = f64::INFINITY;
     for m in [1usize, 2, 3, 5, 8, 13, 21, 34, 55] {
@@ -268,7 +263,7 @@ fn theorem5_oscillation_monotone_on_9_cores() {
 
 #[test]
 fn theorem5_oscillation_monotone_small_platforms() {
-    let mut rng = StdRng::seed_from_u64(41);
+    let mut rng = Rng64::seed_from_u64(41);
     for (rows, cols) in [(1, 2), (1, 3), (2, 3)] {
         let p = platform(rows, cols);
         let s = random_stepup_schedule(&mut rng, rows * cols, 2.0);
@@ -290,9 +285,8 @@ fn oscillation_limit_is_equivalent_constant_schedule() {
     let s = Schedule::two_mode(&[0.6, 0.6], &[1.3, 1.3], &[0.5, 0.5], 1.0).unwrap();
     let big_m = p.peak(&s.oscillated(4096)).unwrap().temp;
     // Average power per core: 0.5·ψ(0.6) + 0.5·ψ(1.3).
-    let psi_avg: Vec<f64> = (0..2)
-        .map(|_| 0.5 * p.power().psi(0.6) + 0.5 * p.power().psi(1.3))
-        .collect();
+    let psi_avg: Vec<f64> =
+        (0..2).map(|_| 0.5 * p.power().psi(0.6) + 0.5 * p.power().psi(1.3)).collect();
     let t_inf = p.thermal().steady_state_cores(&psi_avg).unwrap().max();
     assert!(
         (big_m - t_inf).abs() < 0.2,
@@ -306,17 +300,11 @@ fn oscillation_limit_is_equivalent_constant_schedule() {
 fn property1_all_off_cooldown_is_monotone() {
     let p = platform(2, 3);
     // Heat up, then shut everything down and watch the decay.
-    let hot = p
-        .thermal()
-        .steady_state(&p.psi_profile(&[1.3, 1.2, 1.1, 1.0, 1.3, 1.2]))
-        .unwrap();
+    let hot = p.thermal().steady_state(&p.psi_profile(&[1.3, 1.2, 1.1, 1.0, 1.3, 1.2])).unwrap();
     let off = Schedule::constant(&[0.0; 6], 0.5).unwrap();
     let trace = transient_trace(p.thermal(), p.power(), &off, &hot, 40, 10).unwrap();
     for w in trace.temps().windows(2) {
-        assert!(
-            w[1].le_elementwise(&w[0], 1e-9),
-            "cooldown must be element-wise monotone"
-        );
+        assert!(w[1].le_elementwise(&w[0], 1e-9), "cooldown must be element-wise monotone");
     }
 }
 

@@ -1,0 +1,99 @@
+//! A mini property-testing harness.
+//!
+//! The shape mirrors how the workspace used `proptest`: generate random
+//! inputs from a seeded [`Rng64`], assert a property, repeat. On failure the
+//! panic message carries the case index and derived seed so the exact case
+//! replays by construction (the harness is fully deterministic).
+//!
+//! ```
+//! use mosc_testutil::propcheck;
+//!
+//! propcheck("addition commutes", |rng| {
+//!     let a = rng.gen_range(0..1000usize);
+//!     let b = rng.gen_range(0..1000usize);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+use crate::rng::Rng64;
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: usize = 64;
+
+/// Runs `property` over [`DEFAULT_CASES`] seeded cases.
+///
+/// # Panics
+/// Re-raises the property's panic, prefixed with the failing case's seed.
+pub fn propcheck(name: &str, property: impl FnMut(&mut Rng64)) {
+    propcheck_cases(name, DEFAULT_CASES, property);
+}
+
+/// Runs `property` over `cases` seeded cases. Each case gets an independent
+/// generator seeded from the property name and the case index, so adding or
+/// reordering cases elsewhere never shifts this property's inputs.
+///
+/// # Panics
+/// Panics (after printing the failing seed) when any case fails.
+pub fn propcheck_cases(name: &str, cases: usize, mut property: impl FnMut(&mut Rng64)) {
+    for case in 0..cases {
+        let seed = fnv1a(name) ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut rng = Rng64::seed_from_u64(seed);
+            property(&mut rng);
+        }));
+        if let Err(payload) = result {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!("property '{name}' failed at case {case} (seed {seed:#018x}): {msg}");
+        }
+    }
+}
+
+/// FNV-1a over the property name: stable across runs and platforms.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0;
+        propcheck_cases("counts", 10, |_| count += 1);
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn failing_property_reports_seed() {
+        let caught = std::panic::catch_unwind(|| {
+            propcheck_cases("always fails", 3, |_| panic!("boom"));
+        });
+        let payload = caught.expect_err("property must fail");
+        let msg = payload.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("always fails"), "{msg}");
+        assert!(msg.contains("seed"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        let mut first: Vec<u64> = Vec::new();
+        propcheck_cases("det", 5, |rng| first.push(rng.next_u64()));
+        let mut second: Vec<u64> = Vec::new();
+        propcheck_cases("det", 5, |rng| second.push(rng.next_u64()));
+        assert_eq!(first, second);
+        let mut other: Vec<u64> = Vec::new();
+        propcheck_cases("det-other", 5, |rng| other.push(rng.next_u64()));
+        assert_ne!(first, other);
+    }
+}

@@ -1,0 +1,192 @@
+//! A small seeded pseudo-random generator (`SplitMix64`).
+//!
+//! `SplitMix64` passes `BigCrush`, needs no warm-up, and any 64-bit seed is a
+//! valid state — exactly the properties a reproducible experiment suite
+//! wants. The API mirrors the subset of `rand` the workspace used:
+//! `gen_range` accepts half-open and inclusive ranges over `usize` and
+//! `f64`, dispatched through the [`SampleRange`] trait.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seeded `SplitMix64` generator.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed. Every seed is valid.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 bits of precision).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample from a range; accepts `a..b` and `a..=b` over `usize`
+    /// and `f64`, like `rand::Rng::gen_range`.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Uniform `u64` below `bound` via Lemire-style rejection (unbiased).
+    ///
+    /// # Panics
+    /// Panics when `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        // Rejection zone keeps the multiply-shift map unbiased.
+        let zone = bound.wrapping_neg() % bound;
+        loop {
+            let v = self.next_u64();
+            let (hi, lo) = {
+                let wide = u128::from(v) * u128::from(bound);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= zone {
+                return hi;
+            }
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Range types [`Rng64::gen_range`] can sample from.
+pub trait SampleRange {
+    /// Element type produced by sampling.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut Rng64) -> Self::Output;
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut Rng64) -> usize {
+        assert!(self.start < self.end, "empty range");
+        let span = (self.end - self.start) as u64;
+        self.start + rng.below(span) as usize
+    }
+}
+
+impl SampleRange for RangeInclusive<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut Rng64) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        let span = (hi - lo) as u64;
+        if span == u64::MAX {
+            return rng.next_u64() as usize;
+        }
+        lo + rng.below(span + 1) as usize
+    }
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut Rng64) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange for RangeInclusive<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut Rng64) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        // next_f64 is in [0, 1); the closed upper end is reached only up to
+        // rounding, which is indistinguishable for the float use here.
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = Rng64::seed_from_u64(7);
+        let mut b = Rng64::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng64::seed_from_u64(8);
+        assert_ne!(Rng64::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng64::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = Rng64::seed_from_u64(2);
+        for _ in 0..1000 {
+            let a = r.gen_range(3..10usize);
+            assert!((3..10).contains(&a));
+            let b = r.gen_range(5..=5usize);
+            assert_eq!(b, 5);
+            let c = r.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&c));
+            let d = r.gen_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn below_covers_all_residues() {
+        let mut r = Rng64::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            seen[r.below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = Rng64::seed_from_u64(4);
+        let mut v: Vec<usize> = (0..20).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "20 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = Rng64::seed_from_u64(5);
+        let _ = r.gen_range(3..3usize);
+    }
+}

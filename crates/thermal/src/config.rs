@@ -1,19 +1,18 @@
 //! Physical parameterization of the RC network.
 
 use crate::{Result, ThermalError};
-use serde::{Deserialize, Serialize};
 
 /// Material constants from which an [`RcConfig`] can be derived. Defaults are
-/// HotSpot-class values for a 65 nm die with copper spreader and a fixed-size
+/// `HotSpot`-class values for a 65 nm die with copper spreader and a fixed-size
 /// finned heat sink.
 ///
 /// The one deliberately *non*-per-core quantity is `r_convec_total`: like
-/// HotSpot's sink, the heat sink does not grow with the die, so its
+/// `HotSpot`'s sink, the heat sink does not grow with the die, so its
 /// convection resistance is a property of the whole package. This is what
 /// makes larger core counts progressively more temperature-constrained —
 /// the regime every figure in the paper lives in (2-core chips saturate at
 /// `v_max` by 55 °C while 6- and 9-core chips stay constrained at 65 °C).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Materials {
     /// Silicon thermal conductivity (W/(m·K)).
     pub k_si: f64,
@@ -84,11 +83,7 @@ impl Materials {
     /// second-scale swings away in its sink mass.
     #[must_use]
     pub fn responsive_package() -> Self {
-        Self {
-            r_convec_total: 0.56,
-            sink_mass_factor: 3.0,
-            ..Self::default()
-        }
+        Self { r_convec_total: 0.56, sink_mass_factor: 3.0, ..Self::default() }
     }
 
     /// Derives the lumped per-area/per-length RC parameters.
@@ -144,7 +139,7 @@ impl Materials {
 /// resistance is a **whole-package total**: each sink-side core's leg gets
 /// an area-proportional share (legs in parallel reconstruct the total),
 /// modeling a fixed-size heat sink shared by however many cores the die has.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RcConfig {
     /// Die→spreader vertical resistance × area (K·m²/W).
     pub r_die_spreader_area: f64,

@@ -1,13 +1,12 @@
 //! Core-level floorplans.
 
 use crate::{Result, ThermalError};
-use serde::{Deserialize, Serialize};
 
 /// Geometry of one core tile. Coordinates are the lower-left corner in
 /// meters; `layer` indexes the die layer for 3-D stacks (0 = closest to the
 /// heat sink, matching the face-down convention where stacking *away* from
 /// the sink lengthens the heat-removal path).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoreGeom {
     /// Lower-left x coordinate (m).
     pub x: f64,
@@ -46,8 +45,10 @@ impl CoreGeom {
         let eps = 1e-9;
         let x_overlap = (self.x + self.w).min(other.x + other.w) - self.x.max(other.x);
         let y_overlap = (self.y + self.h).min(other.y + other.h) - self.y.max(other.y);
-        let touch_x = ((self.x + self.w) - other.x).abs() < eps || ((other.x + other.w) - self.x).abs() < eps;
-        let touch_y = ((self.y + self.h) - other.y).abs() < eps || ((other.y + other.h) - self.y).abs() < eps;
+        let touch_x =
+            ((self.x + self.w) - other.x).abs() < eps || ((other.x + other.w) - self.x).abs() < eps;
+        let touch_y =
+            ((self.y + self.h) - other.y).abs() < eps || ((other.y + other.h) - self.y).abs() < eps;
         if touch_x && y_overlap > eps {
             y_overlap
         } else if touch_y && x_overlap > eps {
@@ -72,7 +73,7 @@ impl CoreGeom {
 /// die layers. The paper's evaluation uses 2×1, 3×1, 3×2 and 3×3 grids of
 /// 4×4 mm cores; [`Floorplan::stack3d`] supports the 3-D configurations the
 /// introduction motivates.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Floorplan {
     cores: Vec<CoreGeom>,
     layers: usize,
@@ -142,7 +143,13 @@ impl Floorplan {
     ///
     /// # Errors
     /// Rejects zero dimensions.
-    pub fn stack3d(layers: usize, rows: usize, cols: usize, core_w: f64, core_h: f64) -> Result<Self> {
+    pub fn stack3d(
+        layers: usize,
+        rows: usize,
+        cols: usize,
+        core_w: f64,
+        core_h: f64,
+    ) -> Result<Self> {
         if layers == 0 {
             return Err(ThermalError::BadFloorplan { what: "stack with zero layers".into() });
         }
@@ -213,15 +220,10 @@ impl Floorplan {
     /// a direct path into the heat spreader.
     #[must_use]
     pub fn sink_side_cores(&self) -> Vec<usize> {
-        self.cores
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.layer == 0)
-            .map(|(i, _)| i)
-            .collect()
+        self.cores.iter().enumerate().filter(|(_, c)| c.layer == 0).map(|(i, _)| i).collect()
     }
 
-    /// Parses a HotSpot `.flp` floorplan file: one unit per line,
+    /// Parses a `HotSpot` `.flp` floorplan file: one unit per line,
     /// `<name> <width-m> <height-m> <left-x-m> <bottom-y-m>`, `#` comments.
     /// Unit names are returned alongside the floorplan, in tile order.
     ///
@@ -260,7 +262,7 @@ impl Floorplan {
         Ok((Self::new(cores)?, names))
     }
 
-    /// Renders the floorplan in HotSpot `.flp` format (layer 0 only; `.flp`
+    /// Renders the floorplan in `HotSpot` `.flp` format (layer 0 only; `.flp`
     /// is a 2-D format).
     #[must_use]
     pub fn to_hotspot_flp(&self) -> String {
@@ -364,7 +366,7 @@ mod tests {
 
     #[test]
     fn hotspot_flp_parses_real_format() {
-        // Excerpt in the style of HotSpot's ev6.flp.
+        // Excerpt in the style of `HotSpot`'s ev6.flp.
         let text = "\
 # comment line
 Icache\t0.003072\t0.002816\t0.0\t0.0

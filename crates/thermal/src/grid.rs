@@ -1,8 +1,8 @@
-//! Block-level thermal discretization (HotSpot's "grid mode").
+//! Block-level thermal discretization (`HotSpot`'s "grid mode").
 //!
 //! The paper lumps each core into one thermal node ("we simplify the
 //! floor-plan to the core-level"). This module provides the refinement that
-//! HotSpot calls grid mode: every core tile is subdivided into `bx × by`
+//! `HotSpot` calls grid mode: every core tile is subdivided into `bx × by`
 //! blocks, each becoming its own die node, with the core's power spread
 //! uniformly across its blocks. The scheduling algorithms still speak
 //! per-core power; [`GridModel`] translates, and reports per-core
@@ -32,9 +32,17 @@ impl GridModel {
     ///
     /// # Errors
     /// Rejects zero subdivisions and propagates network/model failures.
-    pub fn build(floorplan: &Floorplan, config: &RcConfig, beta: f64, bx: usize, by: usize) -> Result<Self> {
+    pub fn build(
+        floorplan: &Floorplan,
+        config: &RcConfig,
+        beta: f64,
+        bx: usize,
+        by: usize,
+    ) -> Result<Self> {
         if bx == 0 || by == 0 {
-            return Err(ThermalError::InvalidParameter { what: "subdivision must be at least 1x1" });
+            return Err(ThermalError::InvalidParameter {
+                what: "subdivision must be at least 1x1",
+            });
         }
         let mut tiles = Vec::with_capacity(floorplan.n_cores() * bx * by);
         let mut blocks_of_core = Vec::with_capacity(floorplan.n_cores());
@@ -118,10 +126,7 @@ impl GridModel {
     #[must_use]
     pub fn reduce_to_cores(&self, t: &Vector) -> Vector {
         Vector::from_fn(self.n_cores, |c| {
-            self.blocks_of_core[c]
-                .iter()
-                .map(|&b| t[b])
-                .fold(f64::NEG_INFINITY, f64::max)
+            self.blocks_of_core[c].iter().map(|&b| t[b]).fold(f64::NEG_INFINITY, f64::max)
         })
     }
 
@@ -206,7 +211,7 @@ mod tests {
         // quantifies), and the increments shrink (convergence).
         assert!(lumped <= refined[0] + 1e-9, "lumped {lumped} vs 2x2 {}", refined[0]);
         assert!(refined[0] <= refined[1] + 1e-9 && refined[1] <= refined[2] + 1e-9);
-        assert!(refined[2] - lumped < 1.5, "lumping error too large: {lumped} vs {:?}", refined);
+        assert!(refined[2] - lumped < 1.5, "lumping error too large: {lumped} vs {refined:?}");
         assert!(
             refined[2] - refined[1] < refined[1] - refined[0] + 0.05,
             "refinement increments should shrink: {lumped} {refined:?}"
@@ -222,12 +227,7 @@ mod tests {
         let spread = g.spread_power(&psi).unwrap();
         let t = g.inner().steady_state(&spread).unwrap();
         // Core 1 blocks: indices 2 (near core 0) and 3 (far).
-        assert!(
-            t[2] > t[3],
-            "block adjacent to the hot core must be warmer: {} vs {}",
-            t[2],
-            t[3]
-        );
+        assert!(t[2] > t[3], "block adjacent to the hot core must be warmer: {} vs {}", t[2], t[3]);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! HotSpot-style lumped RC thermal modeling for multi-core processors.
+//! `HotSpot`-style lumped RC thermal modeling for multi-core processors.
 //!
 //! The paper's entire analysis rests on the compact thermal model of eq. (2):
 //!
@@ -9,7 +9,7 @@
 //! where `T` stacks the temperatures of every thermal node, `A` encodes the
 //! thermal capacitances/conductances (plus the linearized leakage term `β·T`)
 //! and `B(v)` the mode-dependent power injection. The authors obtained `A`
-//! and `B` from HotSpot-5.02 at the 65 nm node with 4×4 mm cores; this crate
+//! and `B` from `HotSpot`-5.02 at the 65 nm node with 4×4 mm cores; this crate
 //! builds an equivalent lumped network from first principles:
 //!
 //! * [`Floorplan`] — 2-D grids (the paper's 2×1, 3×1, 3×2, 3×3 layouts),

@@ -2,9 +2,8 @@
 
 use crate::{RcNetwork, Result, ThermalError};
 use mosc_linalg::{Lu, Matrix, SymmetricEigen, Vector};
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// The linear time-invariant thermal model of eq. (2), assembled from an
 /// [`RcNetwork`] and the leakage sensitivity `β`:
@@ -215,7 +214,7 @@ impl ThermalModel {
     /// # Errors
     /// Solver failure (cannot occur for a constructed model).
     pub fn response_matrix(&self) -> Result<Arc<Matrix>> {
-        let mut guard = self.response.lock();
+        let mut guard = self.response.lock().expect("response lock poisoned");
         if let Some(r) = guard.as_ref() {
             return Ok(Arc::clone(r));
         }
@@ -247,7 +246,7 @@ impl ThermalModel {
         }
         let key = dt.to_bits();
         {
-            let mut cache = self.propagators.lock();
+            let mut cache = self.propagators.lock().expect("propagator lock poisoned");
             if let Some(phi) = cache.get(&key) {
                 return Ok(Arc::clone(phi));
             }
@@ -271,7 +270,7 @@ impl ThermalModel {
         let m = scaled.matmul(&v.transpose())?;
         let phi = Matrix::from_fn(n, n, |i, j| self.c_inv_sqrt[i] * m[(i, j)] * self.c_sqrt[j]);
         let arc = Arc::new(phi);
-        self.propagators.lock().insert(key, Arc::clone(&arc));
+        self.propagators.lock().expect("propagator lock poisoned").insert(key, Arc::clone(&arc));
         Ok(arc)
     }
 
@@ -308,7 +307,7 @@ impl ThermalModel {
     /// Number of distinct propagators currently cached (diagnostics).
     #[must_use]
     pub fn cached_propagators(&self) -> usize {
-        self.propagators.lock().len()
+        self.propagators.lock().expect("propagator lock poisoned").len()
     }
 }
 

@@ -6,7 +6,7 @@ use mosc_linalg::Matrix;
 /// Width of the spreader/sink rim beyond the die edge (m). Matches the
 /// paper's 4 mm core pitch: the package extends roughly one core pitch past
 /// the die on each side, which is what makes boundary cores run cooler than
-/// center cores (HotSpot models the same effect with its periphery nodes).
+/// center cores (`HotSpot` models the same effect with its periphery nodes).
 pub const RIM_WIDTH: f64 = 4.0e-3;
 
 /// The assembled RC network: a symmetric positive-definite conductance matrix
@@ -59,10 +59,8 @@ impl RcNetwork {
         // Exposed (non-shared) edge length of each sink-side core, which is
         // where it couples into the rim.
         let adjacency = floorplan.lateral_adjacency();
-        let mut exposed: Vec<f64> = sink_side
-            .iter()
-            .map(|&ci| 2.0 * (cores[ci].w + cores[ci].h))
-            .collect();
+        let mut exposed: Vec<f64> =
+            sink_side.iter().map(|&ci| 2.0 * (cores[ci].w + cores[ci].h)).collect();
         for &(i, j, edge) in &adjacency {
             if let Some(ki) = sink_side.iter().position(|&c| c == i) {
                 exposed[ki] -= edge;
@@ -106,8 +104,7 @@ impl RcNetwork {
 
         // Vertical stack under each sink-side core plus lateral coupling in
         // the spreader and sink layers, including the rim.
-        let total_area: f64 =
-            sink_side.iter().map(|&ci| cores[ci].area()).sum::<f64>() + rim_area;
+        let total_area: f64 = sink_side.iter().map(|&ci| cores[ci].area()).sum::<f64>() + rim_area;
         for (k, &ci) in sink_side.iter().enumerate() {
             let area = cores[ci].area();
             add(ci, spreader_of(k), area / config.r_die_spreader_area, &mut g);
@@ -126,7 +123,12 @@ impl RcNetwork {
             for (k2, &c2) in sink_side.iter().enumerate().skip(k1 + 1) {
                 let edge = cores[c1].shared_edge(&cores[c2]);
                 if edge > 0.0 {
-                    add(spreader_of(k1), spreader_of(k2), config.g_lat_spreader_per_m * edge, &mut g);
+                    add(
+                        spreader_of(k1),
+                        spreader_of(k2),
+                        config.g_lat_spreader_per_m * edge,
+                        &mut g,
+                    );
                     add(sink_of(k1), sink_of(k2), config.g_lat_sink_per_m * edge, &mut g);
                 }
             }
@@ -205,7 +207,11 @@ mod tests {
         let g = n.conductance();
         assert!(g.is_symmetric(1e-12));
         let eig = SymmetricEigen::new(g).unwrap();
-        assert!(eig.values.min() > 0.0, "G must be positive definite, min eig {}", eig.values.min());
+        assert!(
+            eig.values.min() > 0.0,
+            "G must be positive definite, min eig {}",
+            eig.values.min()
+        );
     }
 
     #[test]
@@ -258,8 +264,9 @@ mod tests {
         // Bounded below by pure-convection floor and above by the no-rim path.
         let cfg = RcConfig::default();
         let area = 16e-6;
-        let upper =
-            10.0 * ((cfg.r_die_spreader_area + cfg.r_spreader_sink_area) / area + cfg.r_sink_ambient_total);
+        let upper = 10.0
+            * ((cfg.r_die_spreader_area + cfg.r_spreader_sink_area) / area
+                + cfg.r_sink_ambient_total);
         assert!(t[0] > 10.0 * cfg.r_sink_ambient_total * 0.5);
         assert!(t[0] < upper);
     }

@@ -24,11 +24,7 @@ impl Trace {
     /// Creates an empty trace with pre-allocated capacity.
     #[must_use]
     pub fn with_capacity(n_cores: usize, capacity: usize) -> Self {
-        Self {
-            times: Vec::with_capacity(capacity),
-            temps: Vec::with_capacity(capacity),
-            n_cores,
-        }
+        Self { times: Vec::with_capacity(capacity), temps: Vec::with_capacity(capacity), n_cores }
     }
 
     /// Appends a sample. Times are expected non-decreasing; violations are a
@@ -95,21 +91,14 @@ impl Trace {
             return Vector::zeros(0);
         }
         Vector::from_fn(self.n_cores, |c| {
-            self.temps
-                .iter()
-                .map(|t| t[c])
-                .fold(f64::NEG_INFINITY, f64::max)
+            self.temps.iter().map(|t| t[c]).fold(f64::NEG_INFINITY, f64::max)
         })
     }
 
     /// The time series of one core's temperature.
     #[must_use]
     pub fn core_series(&self, core: usize) -> Vec<(f64, f64)> {
-        self.times
-            .iter()
-            .zip(&self.temps)
-            .map(|(&t, temps)| (t, temps[core]))
-            .collect()
+        self.times.iter().zip(&self.temps).map(|(&t, temps)| (t, temps[core])).collect()
     }
 
     /// Renders the trace as CSV (`time,core0,core1,…`), offset by

@@ -1,15 +1,17 @@
 //! Property-based tests for the thermal substrate.
 
 use mosc_linalg::{SymmetricEigen, Vector};
+use mosc_testutil::{propcheck_cases, Rng64};
 use mosc_thermal::{Floorplan, RcConfig, RcNetwork, ThermalModel};
-use proptest::prelude::*;
 
-fn grid_dims() -> impl Strategy<Value = (usize, usize)> {
-    (1usize..=3, 1usize..=3)
+const CASES: usize = 32;
+
+fn grid_dims(rng: &mut Rng64) -> (usize, usize) {
+    (rng.gen_range(1..=3usize), rng.gen_range(1..=3usize))
 }
 
-fn power_profile(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(0.0f64..20.0, n..=n)
+fn power_profile(rng: &mut Rng64, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(0.0..20.0)).collect()
 }
 
 fn model(rows: usize, cols: usize) -> ThermalModel {
@@ -18,21 +20,24 @@ fn model(rows: usize, cols: usize) -> ThermalModel {
     ThermalModel::new(n, 0.03).expect("model")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn conductance_is_spd_for_all_grids((rows, cols) in grid_dims()) {
+#[test]
+fn conductance_is_spd_for_all_grids() {
+    propcheck_cases("conductance_is_spd_for_all_grids", CASES, |rng| {
+        let (rows, cols) = grid_dims(rng);
         let f = Floorplan::paper_grid(rows, cols).unwrap();
         let net = RcNetwork::build(&f, &RcConfig::default()).unwrap();
         let g = net.conductance();
-        prop_assert!(g.is_symmetric(1e-12));
+        assert!(g.is_symmetric(1e-12));
         let eig = SymmetricEigen::new(g).unwrap();
-        prop_assert!(eig.values.min() > 0.0);
-    }
+        assert!(eig.values.min() > 0.0);
+    });
+}
 
-    #[test]
-    fn steady_state_is_linear_and_monotone((rows, cols) in grid_dims(), seed in 0u64..500) {
+#[test]
+fn steady_state_is_linear_and_monotone() {
+    propcheck_cases("steady_state_is_linear_and_monotone", CASES, |rng| {
+        let (rows, cols) = grid_dims(rng);
+        let seed = rng.gen_range(0..500usize) as u64;
         let m = model(rows, cols);
         let n = m.n_cores();
         // Deterministic pseudo-profiles from the seed.
@@ -43,27 +48,37 @@ proptest! {
         let sum_profile: Vec<f64> = p1.iter().zip(&p2).map(|(a, b)| a + b).collect();
         let t_sum = m.steady_state_cores(&sum_profile).unwrap();
         // Linearity (superposition).
-        prop_assert!(t_sum.max_abs_diff(&(&t1 + &t2)) < 1e-9);
+        assert!(t_sum.max_abs_diff(&(&t1 + &t2)) < 1e-9);
         // Monotonicity: extra power never cools any core.
-        prop_assert!(t1.le_elementwise(&t_sum, 1e-9));
-        prop_assert!(t2.le_elementwise(&t_sum, 1e-9));
-    }
+        assert!(t1.le_elementwise(&t_sum, 1e-9));
+        assert!(t2.le_elementwise(&t_sum, 1e-9));
+    });
+}
 
-    #[test]
-    fn advance_composes((rows, cols) in grid_dims(), psi in power_profile(9), dt in 1e-4f64..0.5) {
+#[test]
+fn advance_composes() {
+    propcheck_cases("advance_composes", CASES, |rng| {
+        let (rows, cols) = grid_dims(rng);
+        let psi = power_profile(rng, 9);
+        let dt = rng.gen_range(1e-4..0.5);
         let m = model(rows, cols);
         let psi = &psi[..m.n_cores()];
         let t0 = Vector::zeros(m.n_nodes());
         let whole = m.advance(&t0, psi, 2.0 * dt).unwrap();
         let half = m.advance(&t0, psi, dt).unwrap();
         let halves = m.advance(&half, psi, dt).unwrap();
-        prop_assert!(whole.max_abs_diff(&halves) < 1e-8);
-    }
+        assert!(whole.max_abs_diff(&halves) < 1e-8);
+    });
+}
 
-    #[test]
-    fn temperatures_stay_nonnegative_and_bounded((rows, cols) in grid_dims(), psi in power_profile(9), dt in 1e-3f64..1.0) {
+#[test]
+fn temperatures_stay_nonnegative_and_bounded() {
+    propcheck_cases("temperatures_stay_nonnegative_and_bounded", CASES, |rng| {
         // Heating from ambient with nonnegative power: temperatures stay in
         // [0, T∞] element-wise.
+        let (rows, cols) = grid_dims(rng);
+        let psi = power_profile(rng, 9);
+        let dt = rng.gen_range(1e-3..1.0);
         let m = model(rows, cols);
         let psi = &psi[..m.n_cores()];
         let t_inf = m.steady_state(psi).unwrap();
@@ -71,19 +86,23 @@ proptest! {
         for _ in 0..5 {
             t = m.advance(&t, psi, dt).unwrap();
             for i in 0..t.len() {
-                prop_assert!(t[i] >= -1e-9, "node {i} went below ambient");
-                prop_assert!(t[i] <= t_inf[i] + 1e-9, "node {i} overshot steady state");
+                assert!(t[i] >= -1e-9, "node {i} went below ambient");
+                assert!(t[i] <= t_inf[i] + 1e-9, "node {i} overshot steady state");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn propagator_rows_are_substochastic((rows, cols) in grid_dims(), dt in 1e-3f64..10.0) {
+#[test]
+fn propagator_rows_are_substochastic() {
+    propcheck_cases("propagator_rows_are_substochastic", CASES, |rng| {
         // Without leakage feedback (β = 0), e^{A·dt} is nonnegative with row
         // sums <= 1: heat is conserved or lost to ambient, never created.
         // (With β > 0 the die rows may exceed 1 — leakage injects heat
         // proportional to temperature; nonnegativity still holds and is
         // checked for the leaky model too.)
+        let (rows, cols) = grid_dims(rng);
+        let dt = rng.gen_range(1e-3..10.0);
         let f = Floorplan::paper_grid(rows, cols).unwrap();
         let net = RcNetwork::build(&f, &RcConfig::default()).unwrap();
         let m0 = ThermalModel::new(net.clone(), 0.0).unwrap();
@@ -91,34 +110,43 @@ proptest! {
         for i in 0..m0.n_nodes() {
             let mut row_sum = 0.0;
             for j in 0..m0.n_nodes() {
-                prop_assert!(phi[(i, j)] >= -1e-10, "negative propagator entry ({i},{j})");
+                assert!(phi[(i, j)] >= -1e-10, "negative propagator entry ({i},{j})");
                 row_sum += phi[(i, j)];
             }
-            prop_assert!(row_sum <= 1.0 + 1e-9, "row {i} sums to {row_sum}");
+            assert!(row_sum <= 1.0 + 1e-9, "row {i} sums to {row_sum}");
         }
         let m_leak = ThermalModel::new(net, 0.03).unwrap();
         let phi_leak = m_leak.propagator(dt).unwrap();
         for v in phi_leak.as_slice() {
-            prop_assert!(*v >= -1e-10);
+            assert!(*v >= -1e-10);
         }
-    }
+    });
+}
 
-    #[test]
-    fn hotter_start_stays_hotter((rows, cols) in grid_dims(), psi in power_profile(9), dt in 1e-3f64..1.0) {
+#[test]
+fn hotter_start_stays_hotter() {
+    propcheck_cases("hotter_start_stays_hotter", CASES, |rng| {
         // Order preservation of the positive propagator: T0 <= T0' (element-
         // wise) implies T(dt) <= T'(dt).
+        let (rows, cols) = grid_dims(rng);
+        let psi = power_profile(rng, 9);
+        let dt = rng.gen_range(1e-3..1.0);
         let m = model(rows, cols);
         let psi = &psi[..m.n_cores()];
         let cold = Vector::zeros(m.n_nodes());
         let warm = Vector::filled(m.n_nodes(), 3.0);
         let t_cold = m.advance(&cold, psi, dt).unwrap();
         let t_warm = m.advance(&warm, psi, dt).unwrap();
-        prop_assert!(t_cold.le_elementwise(&t_warm, 1e-9));
-    }
+        assert!(t_cold.le_elementwise(&t_warm, 1e-9));
+    });
+}
 
-    #[test]
-    fn beta_increases_temperatures((rows, cols) in grid_dims(), psi in power_profile(9)) {
+#[test]
+fn beta_increases_temperatures() {
+    propcheck_cases("beta_increases_temperatures", CASES, |rng| {
         // Leakage feedback can only heat.
+        let (rows, cols) = grid_dims(rng);
+        let psi = power_profile(rng, 9);
         let f = Floorplan::paper_grid(rows, cols).unwrap();
         let n1 = RcNetwork::build(&f, &RcConfig::default()).unwrap();
         let n2 = n1.clone();
@@ -127,6 +155,6 @@ proptest! {
         let psi = &psi[..m_leak.n_cores()];
         let t0 = m_no_leak.steady_state_cores(psi).unwrap();
         let t1 = m_leak.steady_state_cores(psi).unwrap();
-        prop_assert!(t0.le_elementwise(&t1, 1e-9));
-    }
+        assert!(t0.le_elementwise(&t1, 1e-9));
+    });
 }

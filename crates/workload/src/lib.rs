@@ -15,14 +15,13 @@ pub mod tasks;
 
 use mosc_power::ModeTable;
 use mosc_sched::{CoreSchedule, Schedule, Segment};
+use mosc_testutil::Rng64;
 use mosc_thermal::{CoreGeom, Floorplan};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Creates the suite's RNG from a seed.
 #[must_use]
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> Rng64 {
+    Rng64::seed_from_u64(seed)
 }
 
 /// Parameters for random schedule generation.
@@ -46,7 +45,7 @@ impl Default for ScheduleGen {
 }
 
 impl ScheduleGen {
-    fn draw_voltage(&self, rng: &mut StdRng) -> f64 {
+    fn draw_voltage(&self, rng: &mut Rng64) -> f64 {
         match &self.modes {
             Some(table) => {
                 let levels = table.levels();
@@ -61,7 +60,7 @@ impl ScheduleGen {
     /// # Panics
     /// Panics when `max_segments == 0` or the period is not positive.
     #[must_use]
-    pub fn stepup_core(&self, rng: &mut StdRng) -> CoreSchedule {
+    pub fn stepup_core(&self, rng: &mut Rng64) -> CoreSchedule {
         assert!(self.max_segments >= 1 && self.period > 0.0);
         let n = rng.gen_range(1..=self.max_segments);
         let mut voltages: Vec<f64> = (0..n).map(|_| self.draw_voltage(rng)).collect();
@@ -84,7 +83,7 @@ impl ScheduleGen {
 
     /// One random core timeline with shuffled (arbitrary-order) voltages.
     #[must_use]
-    pub fn arbitrary_core(&self, rng: &mut StdRng) -> CoreSchedule {
+    pub fn arbitrary_core(&self, rng: &mut Rng64) -> CoreSchedule {
         let core = self.stepup_core(rng);
         let mut segs = core.segments().to_vec();
         for i in (1..segs.len()).rev() {
@@ -99,7 +98,7 @@ impl ScheduleGen {
     /// # Panics
     /// Panics when `n_cores == 0`.
     #[must_use]
-    pub fn stepup_schedule(&self, rng: &mut StdRng, n_cores: usize) -> Schedule {
+    pub fn stepup_schedule(&self, rng: &mut Rng64, n_cores: usize) -> Schedule {
         assert!(n_cores > 0);
         // Normalize periods exactly: rebuild each core to sum precisely.
         let cores: Vec<CoreSchedule> = (0..n_cores).map(|_| self.stepup_core(rng)).collect();
@@ -111,7 +110,7 @@ impl ScheduleGen {
     /// # Panics
     /// Panics when `n_cores == 0`.
     #[must_use]
-    pub fn arbitrary_schedule(&self, rng: &mut StdRng, n_cores: usize) -> Schedule {
+    pub fn arbitrary_schedule(&self, rng: &mut Rng64, n_cores: usize) -> Schedule {
         assert!(n_cores > 0);
         let cores: Vec<CoreSchedule> = (0..n_cores).map(|_| self.arbitrary_core(rng)).collect();
         Schedule::new(normalize_periods(cores, self.period)).expect("generated cores are valid")
@@ -126,11 +125,8 @@ fn normalize_periods(cores: Vec<CoreSchedule>, period: f64) -> Vec<CoreSchedule>
         .map(|c| {
             let actual = c.period();
             let scale = period / actual;
-            let segs: Vec<Segment> = c
-                .segments()
-                .iter()
-                .map(|s| Segment::new(s.voltage, s.duration * scale))
-                .collect();
+            let segs: Vec<Segment> =
+                c.segments().iter().map(|s| Segment::new(s.voltage, s.duration * scale)).collect();
             CoreSchedule::new(segs).expect("rescaling preserves validity")
         })
         .collect()
@@ -147,7 +143,13 @@ pub const PAPER_CONFIGS: [(usize, usize); 4] = [(1, 2), (1, 3), (2, 3), (3, 3)];
 /// # Panics
 /// Panics on a degenerate width range or `n == 0`.
 #[must_use]
-pub fn hetero_row_floorplan(rng: &mut StdRng, n: usize, w_min: f64, w_max: f64, h: f64) -> Floorplan {
+pub fn hetero_row_floorplan(
+    rng: &mut Rng64,
+    n: usize,
+    w_min: f64,
+    w_max: f64,
+    h: f64,
+) -> Floorplan {
     assert!(n > 0 && w_min > 0.0 && w_max >= w_min && h > 0.0);
     let mut x = 0.0;
     let mut cores = Vec::with_capacity(n);

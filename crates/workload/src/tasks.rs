@@ -139,13 +139,8 @@ pub fn simulate_edf(schedule: &CoreSchedule, tasks: &TaskSet, horizon: f64) -> E
     };
 
     let mut jobs: Vec<Job> = Vec::new();
-    let mut stats = EdfStats {
-        completed: 0,
-        missed: 0,
-        max_lateness: 0.0,
-        work_done: 0.0,
-        preemptions: 0,
-    };
+    let mut stats =
+        EdfStats { completed: 0, missed: 0, max_lateness: 0.0, work_done: 0.0, preemptions: 0 };
     let mut t = 0.0;
     let mut next_release: Vec<f64> = tasks.tasks().iter().map(|_| 0.0).collect();
     let mut last_running: Option<usize> = None;
@@ -169,9 +164,7 @@ pub fn simulate_edf(schedule: &CoreSchedule, tasks: &TaskSet, horizon: f64) -> E
             .enumerate()
             .filter(|(_, j)| j.finished.is_none())
             .min_by(|(_, a), (_, b)| {
-                a.abs_deadline
-                    .partial_cmp(&b.abs_deadline)
-                    .expect("finite deadlines")
+                a.abs_deadline.partial_cmp(&b.abs_deadline).expect("finite deadlines")
             })
             .map(|(i, _)| i);
         if let (Some(prev), Some(_)) = (last_running, running) {
@@ -189,12 +182,7 @@ pub fn simulate_edf(schedule: &CoreSchedule, tasks: &TaskSet, horizon: f64) -> E
         let speed = schedule.voltage_at(t + min_step);
         let mut t_next = horizon
             .min(next_segment_boundary(t))
-            .min(
-                next_release
-                    .iter()
-                    .copied()
-                    .fold(f64::INFINITY, f64::min),
-            );
+            .min(next_release.iter().copied().fold(f64::INFINITY, f64::min));
         if let Some(ri) = running {
             if speed > 0.0 {
                 t_next = t_next.min(t + jobs[ri].remaining / speed);
@@ -249,11 +237,7 @@ pub fn simulate_partitioned(
     task_sets: &[TaskSet],
     horizon: f64,
 ) -> Vec<EdfStats> {
-    assert_eq!(
-        task_sets.len(),
-        schedule.n_cores(),
-        "one task set per core is required"
-    );
+    assert_eq!(task_sets.len(), schedule.n_cores(), "one task set per core is required");
     schedule
         .cores()
         .iter()
@@ -296,11 +280,8 @@ mod tests {
     fn oscillating_speed_with_sufficient_average_meets_deadlines() {
         // Average speed 0.95 against utilization 0.8, oscillation period
         // (2 ms) tiny against the task period (1 s): EDF sails through.
-        let sched = CoreSchedule::new(vec![
-            Segment::new(0.6, 0.001),
-            Segment::new(1.3, 0.001),
-        ])
-        .expect("valid");
+        let sched = CoreSchedule::new(vec![Segment::new(0.6, 0.001), Segment::new(1.3, 0.001)])
+            .expect("valid");
         let tasks = TaskSet::new(vec![Task::implicit(0.8, 1.0)]);
         let stats = simulate_edf(&sched, &tasks, 12.0);
         assert_eq!(stats.missed, 0, "{stats:?}");
@@ -311,23 +292,14 @@ mod tests {
         // Same average speed, but the low block (0.5 s at 0.6) is long
         // against a task with a 0.25 s deadline and 0.2 work: jobs released
         // into the low block cannot finish in time.
-        let sched = CoreSchedule::new(vec![
-            Segment::new(0.6, 0.5),
-            Segment::new(1.3, 0.5),
-        ])
-        .expect("valid");
+        let sched =
+            CoreSchedule::new(vec![Segment::new(0.6, 0.5), Segment::new(1.3, 0.5)]).expect("valid");
         let tasks = TaskSet::new(vec![Task { wcet_work: 0.2, period: 0.25, deadline: 0.25 }]);
         let stats = simulate_edf(&sched, &tasks, 10.0);
-        assert!(
-            stats.missed > 0,
-            "slow oscillation must hurt tight deadlines: {stats:?}"
-        );
+        assert!(stats.missed > 0, "slow oscillation must hurt tight deadlines: {stats:?}");
         // The m-Oscillating transform fixes it at the same average speed.
-        let fast = CoreSchedule::new(vec![
-            Segment::new(0.6, 0.005),
-            Segment::new(1.3, 0.005),
-        ])
-        .expect("valid");
+        let fast = CoreSchedule::new(vec![Segment::new(0.6, 0.005), Segment::new(1.3, 0.005)])
+            .expect("valid");
         let stats_fast = simulate_edf(&fast, &tasks, 10.0);
         assert_eq!(stats_fast.missed, 0, "{stats_fast:?}");
     }
@@ -336,11 +308,8 @@ mod tests {
     fn work_done_matches_speed_integral_when_backlogged() {
         // A permanently backlogged core does work at exactly the schedule's
         // average speed.
-        let sched = CoreSchedule::new(vec![
-            Segment::new(0.6, 0.05),
-            Segment::new(1.3, 0.05),
-        ])
-        .expect("valid");
+        let sched = CoreSchedule::new(vec![Segment::new(0.6, 0.05), Segment::new(1.3, 0.05)])
+            .expect("valid");
         let tasks = TaskSet::new(vec![Task::implicit(100.0, 1000.0)]);
         let horizon = 10.0;
         let stats = simulate_edf(&sched, &tasks, horizon);
@@ -382,13 +351,8 @@ mod tests {
 
     #[test]
     fn partitioned_simulation_runs_each_core() {
-        let schedule = mosc_sched::Schedule::two_mode(
-            &[0.6, 0.6],
-            &[1.3, 1.3],
-            &[0.9, 0.1],
-            0.01,
-        )
-        .expect("schedule");
+        let schedule = mosc_sched::Schedule::two_mode(&[0.6, 0.6], &[1.3, 1.3], &[0.9, 0.1], 0.01)
+            .expect("schedule");
         // Core 0 (fast, avg 1.23) gets a heavy set; core 1 (avg 0.67) the
         // same set — only core 1 should struggle.
         let set = TaskSet::new(vec![Task::implicit(0.9, 1.0)]);

@@ -28,11 +28,10 @@ fn main() {
             let spec = PlatformSpec::paper(rows, cols, levels, t_max_c);
             let platform = Platform::build(&spec).expect("platform");
             let ideal = continuous::solve(&platform).expect("continuous");
-            let lns_thr = lns::solve(&platform).map(|s| s.throughput).unwrap_or(f64::NAN);
-            let exs_thr = exs::solve(&platform).map(|s| s.throughput).unwrap_or(f64::NAN);
-            let (ao_thr, m) = ao::solve_with(&platform, &ao_opts)
-                .map(|s| (s.throughput, s.m))
-                .unwrap_or((f64::NAN, 0));
+            let lns_thr = lns::solve(&platform).map_or(f64::NAN, |s| s.throughput);
+            let exs_thr = exs::solve(&platform).map_or(f64::NAN, |s| s.throughput);
+            let (ao_thr, m) =
+                ao::solve_with(&platform, &ao_opts).map_or((f64::NAN, 0), |s| (s.throughput, s.m));
             println!(
                 "{:>6.0} C {:>7} | {:>8.4} {:>8.4} {:>8.4} {:>8.4} | {:>6}",
                 t_max_c, levels, ideal.throughput, lns_thr, exs_thr, ao_thr, m

@@ -50,11 +50,7 @@ fn main() {
         );
 
         // The same load WITHOUT oscillation (stuck at the low level) misses.
-        let low = timeline
-            .segments()
-            .iter()
-            .map(|s| s.voltage)
-            .fold(f64::INFINITY, f64::min);
+        let low = timeline.segments().iter().map(|s| s.voltage).fold(f64::INFINITY, f64::min);
         let constant_low = CoreSchedule::constant(low, sol.schedule.period()).expect("core");
         let stats_low = simulate_edf(&constant_low, &tasks, horizon);
         println!(

@@ -50,7 +50,11 @@ fn main() {
         let t = &trace.temps()[at.min(trace.len() - 1)];
         let cores: Vec<String> =
             (0..4).map(|c| format!("{:.1}", params.to_celsius(t[c]))).collect();
-        println!("  t = {:>6.1} s   cores [{}] °C", trace.times()[at.min(trace.len() - 1)], cores.join(", "));
+        println!(
+            "  t = {:>6.1} s   cores [{}] °C",
+            trace.times()[at.min(trace.len() - 1)],
+            cores.join(", ")
+        );
     }
 
     // The periodic stable status and its peak.

@@ -5,11 +5,19 @@
 //! mosc-cli peak  --rows 2 --cols 3 --tmax 55 --schedule schedule.txt
 //! mosc-cli compare --rows 3 --cols 3 --levels 2 --tmax 55
 //! mosc-cli trace --rows 1 --cols 3 --tmax 65 --schedule schedule.txt --periods 20 [--out trace.csv]
+//! mosc-cli analyze spec.json
 //! ```
 //!
 //! Platform flags (shared): `--rows`, `--cols` (grid), `--layers` (3-D
 //! stack), `--levels` (Table-IV set, 2–5), `--tmax` (°C), `--cooler`
 //! (`default` | `budget` | `responsive`).
+//!
+//! `analyze` runs the `mosc-analyze` lints over a JSON spec describing a
+//! platform and (optionally) a schedule and a claimed solution, printing
+//! rustc-style `error[M0xx]` / `warning[M0xx]` diagnostics. The exit code
+//! is nonzero when any error-severity finding is present. See
+//! `DESIGN.md` §7 for the full code table and `crates/analyze` for the
+//! spec format.
 
 use mosc::algorithms::ao::{self, AoOptions};
 use mosc::algorithms::pco::{self, PcoOptions};
@@ -23,11 +31,7 @@ struct Args(Vec<String>);
 
 impl Args {
     fn flag(&self, name: &str) -> Option<&str> {
-        self.0
-            .iter()
-            .position(|a| a == name)
-            .and_then(|i| self.0.get(i + 1))
-            .map(String::as_str)
+        self.0.iter().position(|a| a == name).and_then(|i| self.0.get(i + 1)).map(String::as_str)
     }
 
     fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
@@ -40,7 +44,7 @@ impl Args {
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
@@ -55,22 +59,45 @@ const USAGE: &str = "usage:
   mosc-cli peak    --schedule FILE [platform flags]
   mosc-cli compare [platform flags]
   mosc-cli trace   --schedule FILE [--periods N] [--out FILE] [platform flags]
+  mosc-cli analyze SPEC.json
 platform flags: --rows R --cols C [--layers L] [--levels 2..5] --tmax C [--cooler default|budget|responsive]";
 
-fn run() -> Result<(), String> {
+fn run() -> Result<ExitCode, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first().cloned() else {
         return Err("missing subcommand".into());
     };
     let args = Args(argv);
 
+    // `analyze` builds its platform from the spec file, not the flags.
+    if cmd == "analyze" {
+        return analyze(&args);
+    }
+
     let platform = build_platform(&args)?;
     match cmd.as_str() {
         "solve" => solve(&args, &platform),
         "peak" => peak(&args, &platform),
-        "compare" => compare(&platform),
+        "compare" => {
+            compare(&platform);
+            Ok(())
+        }
         "trace" => trace(&args, &platform),
         other => Err(format!("unknown subcommand '{other}'")),
+    }
+    .map(|()| ExitCode::SUCCESS)
+}
+
+fn analyze(args: &Args) -> Result<ExitCode, String> {
+    let path =
+        args.0.get(1).filter(|a| !a.starts_with("--")).ok_or("analyze needs a SPEC.json path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let report = mosc::analyze::analyze_spec(&text).map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", report.render());
+    if report.has_errors() {
+        Ok(ExitCode::FAILURE)
+    } else {
+        Ok(ExitCode::SUCCESS)
     }
 }
 
@@ -133,8 +160,7 @@ fn solve(args: &Args, platform: &Platform) -> Result<(), String> {
 
 fn load_schedule(args: &Args, platform: &Platform) -> Result<Schedule, String> {
     let path = args.flag("--schedule").ok_or("missing --schedule FILE")?;
-    let content =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let schedule = text::from_text(&content).map_err(|e| format!("parse {path}: {e}"))?;
     if schedule.n_cores() != platform.n_cores() {
         return Err(format!(
@@ -162,11 +188,8 @@ fn peak(args: &Args, platform: &Platform) -> Result<(), String> {
     Ok(())
 }
 
-fn compare(platform: &Platform) -> Result<(), String> {
-    println!(
-        "{:<8} {:>10} {:>10} {:>9} {:>5}",
-        "algo", "throughput", "peak (C)", "feasible", "m"
-    );
+fn compare(platform: &Platform) {
+    println!("{:<8} {:>10} {:>10} {:>9} {:>5}", "algo", "throughput", "peak (C)", "feasible", "m");
     for (name, result) in [
         ("LNS", lns::solve(platform)),
         ("EXS", exs::solve(platform)),
@@ -184,7 +207,6 @@ fn compare(platform: &Platform) -> Result<(), String> {
             Err(e) => println!("{name:<8} failed: {e}"),
         }
     }
-    Ok(())
 }
 
 fn trace(args: &Args, platform: &Platform) -> Result<(), String> {

@@ -29,10 +29,11 @@
 //! | Crate | Contents |
 //! |---|---|
 //! | [`linalg`] | dense matrices, LU, matrix exponential, Jacobi eigensolver |
-//! | [`thermal`] | floorplans, HotSpot-style RC networks, LTI thermal solver |
+//! | [`thermal`] | floorplans, `HotSpot`-style RC networks, LTI thermal solver |
 //! | [`power`] | DVFS mode tables, the `α + βT + γv³` power model, overhead |
 //! | [`sched`] | periodic schedules, step-up / m-Oscillating transforms, peaks |
 //! | [`algorithms`] | LNS, EXS, AO (Algorithm 2), PCO, reactive governor |
+//! | [`analyze`] | static-analysis lints (`M0xx` diagnostics) over platforms, schedules, solutions |
 //! | [`workload`] | seeded random generators for experiments |
 //!
 //! Every table and figure of the paper has a regenerating binary in
@@ -41,6 +42,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub use mosc_analyze as analyze;
 pub use mosc_core as algorithms;
 pub use mosc_linalg as linalg;
 pub use mosc_power as power;

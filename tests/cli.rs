@@ -15,8 +15,8 @@ fn solve_then_peak_roundtrip() {
 
     let out = cli()
         .args([
-            "solve", "--algo", "ao", "--rows", "1", "--cols", "3", "--levels", "2", "--tmax",
-            "55", "--out",
+            "solve", "--algo", "ao", "--rows", "1", "--cols", "3", "--levels", "2", "--tmax", "55",
+            "--out",
         ])
         .arg(&sched_path)
         .output()
@@ -64,10 +64,7 @@ fn bad_arguments_fail_with_usage() {
         .expect("run");
     assert!(!out.status.success());
 
-    let out = cli()
-        .args(["solve", "--levels", "9"])
-        .output()
-        .expect("run");
+    let out = cli().args(["solve", "--levels", "9"]).output().expect("run");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("levels"));
 

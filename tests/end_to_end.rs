@@ -17,8 +17,8 @@ fn quick_ao() -> AoOptions {
 /// Simulates `schedule` with RK4 from the analytic stable-status start and
 /// returns the hottest core temperature seen across `periods` periods.
 fn rk4_peak(platform: &Platform, schedule: &Schedule, periods: usize) -> f64 {
-    let ss = SteadyState::compute(platform.thermal(), platform.power(), schedule)
-        .expect("steady state");
+    let ss =
+        SteadyState::compute(platform.thermal(), platform.power(), schedule).expect("steady state");
     let segments: Vec<(Vec<f64>, f64)> = schedule
         .state_intervals()
         .into_iter()
@@ -29,8 +29,7 @@ fn rk4_peak(platform: &Platform, schedule: &Schedule, periods: usize) -> f64 {
     let dt = (schedule.period() / 400.0).min(1e-3);
     for _ in 0..periods {
         let (end, trace) =
-            sim::integrate_piecewise(platform.thermal(), &state, &segments, dt, 5)
-                .expect("rk4");
+            sim::integrate_piecewise(platform.thermal(), &state, &segments, dt, 5).expect("rk4");
         peak = peak.max(trace.peak().expect("trace").temp);
         state = end;
     }
@@ -73,10 +72,7 @@ fn algorithm_ordering_holds_across_the_grid() {
         let a = ao::solve_with(&platform, &quick_ao()).expect("AO").throughput;
         assert!(l <= e + 1e-9, "{rows}x{cols}: LNS {l} > EXS {e}");
         assert!(l <= a + 1e-9, "{rows}x{cols}: LNS {l} > AO {a}");
-        assert!(
-            a >= e - 1e-6,
-            "{rows}x{cols}: AO {a} fell below EXS {e} on a 2-level platform"
-        );
+        assert!(a >= e - 1e-6, "{rows}x{cols}: AO {a} fell below EXS {e} on a 2-level platform");
     }
 }
 
@@ -99,12 +95,7 @@ fn ao_throughput_bounded_by_continuous_ideal() {
 #[test]
 fn pco_feasible_and_close_to_ao() {
     let platform = Platform::build(&PlatformSpec::paper(1, 3, 2, 55.0)).expect("platform");
-    let pco_opts = PcoOptions {
-        ao: quick_ao(),
-        phase_steps: 4,
-        samples: 200,
-        refill_divisor: 40,
-    };
+    let pco_opts = PcoOptions { ao: quick_ao(), phase_steps: 4, samples: 200, refill_divisor: 40 };
     let a = ao::solve_with(&platform, &quick_ao()).expect("AO");
     let p = pco::solve_with(&platform, &pco_opts).expect("PCO");
     assert!(p.feasible);
@@ -138,8 +129,7 @@ fn motivation_platform_reproduces_paper_baselines() {
 #[test]
 fn two_core_plateau_matches_paper_fig7() {
     for t_max_c in [55.0, 60.0, 65.0] {
-        let platform =
-            Platform::build(&PlatformSpec::paper(1, 2, 2, t_max_c)).expect("platform");
+        let platform = Platform::build(&PlatformSpec::paper(1, 2, 2, t_max_c)).expect("platform");
         for thr in [
             lns::solve(&platform).expect("LNS").throughput,
             exs::solve(&platform).expect("EXS").throughput,
@@ -157,10 +147,7 @@ fn two_core_plateau_matches_paper_fig7() {
 fn infeasible_threshold_rejected_consistently() {
     let platform = Platform::build(&PlatformSpec::paper(3, 3, 2, 36.0)).expect("platform");
     assert!(matches!(exs::solve(&platform), Err(AlgoError::Infeasible { .. })));
-    assert!(matches!(
-        ao::solve_with(&platform, &quick_ao()),
-        Err(AlgoError::Infeasible { .. })
-    ));
+    assert!(matches!(ao::solve_with(&platform, &quick_ao()), Err(AlgoError::Infeasible { .. })));
     // LNS reports the floor assignment as infeasible rather than erroring.
     let l = lns::solve(&platform).expect("LNS returns");
     assert!(!l.feasible);
