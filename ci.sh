@@ -11,4 +11,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> mosc-obs disabled-recorder overhead guard"
+cargo test -q -p mosc-obs disabled_recorder_is_inert
+
+echo "==> mosc-cli profile smoke (specs/smoke.json)"
+profile_out=$(cargo run -q --bin mosc-cli -- profile specs/smoke.json --obs=json)
+test -n "$profile_out" || { echo "profile emitted no telemetry" >&2; exit 1; }
+echo "$profile_out" | grep -q '"type":"profile","solver":"Governor"' \
+    || { echo "profile missing per-solver records" >&2; exit 1; }
+
 echo "==> all checks passed"

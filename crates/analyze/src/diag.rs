@@ -27,7 +27,8 @@ impl fmt::Display for Severity {
 }
 
 /// Stable diagnostic codes. The numeric ranges group the lints:
-/// `M001`–`M009` platform, `M011`–`M018` schedule, `M020`–`M024` solution.
+/// `M001`–`M009` platform, `M011`–`M018` schedule, `M020`–`M024` solution,
+/// `M050`–`M054` telemetry.
 ///
 /// DESIGN.md §7 maps each code to the paper theorem or equation it enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -80,6 +81,22 @@ pub enum Code {
     /// M024 — the claimed oscillation factor `m` is inconsistent with the
     /// schedule's DVFS transition count.
     TransitionsInconsistent,
+    /// M050 — the telemetry stream contains no records at all (was the
+    /// recorder enabled?).
+    TelemetryEmpty,
+    /// M051 — AO's m-sweep stopped at the overhead cap `m == M` without
+    /// converging, so the oscillation is overhead-limited, not converged.
+    AoSweepSaturated,
+    /// M052 — a sizeable EXS-BnB search pruned no subtree: both bounds were
+    /// inert, suggesting a mis-set threshold or an unconstrained platform
+    /// profiled as constrained.
+    BnbNoPrunes,
+    /// M053 — a span record's timing is inconsistent (negative totals,
+    /// `self > total`, or zero calls with nonzero time).
+    SpanTimingInvalid,
+    /// M054 — a solver span is present but the matrix-exponential kernel
+    /// counter never moved, i.e. solver and kernel instrumentation disagree.
+    KernelCountersMissing,
 }
 
 impl Code {
@@ -109,6 +126,11 @@ impl Code {
             Self::InfeasibleMarkedFeasible => "M022",
             Self::FeasibleMarkedInfeasible => "M023",
             Self::TransitionsInconsistent => "M024",
+            Self::TelemetryEmpty => "M050",
+            Self::AoSweepSaturated => "M051",
+            Self::BnbNoPrunes => "M052",
+            Self::SpanTimingInvalid => "M053",
+            Self::KernelCountersMissing => "M054",
         }
     }
 
@@ -124,7 +146,10 @@ impl Code {
             | Self::VoltageNotALevel
             | Self::OscillationOverBudget
             | Self::FeasibleMarkedInfeasible
-            | Self::TransitionsInconsistent => Severity::Warning,
+            | Self::TransitionsInconsistent
+            | Self::AoSweepSaturated
+            | Self::BnbNoPrunes
+            | Self::KernelCountersMissing => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -288,6 +313,11 @@ mod tests {
             Code::InfeasibleMarkedFeasible,
             Code::FeasibleMarkedInfeasible,
             Code::TransitionsInconsistent,
+            Code::TelemetryEmpty,
+            Code::AoSweepSaturated,
+            Code::BnbNoPrunes,
+            Code::SpanTimingInvalid,
+            Code::KernelCountersMissing,
         ];
         let mut seen = std::collections::HashSet::new();
         for c in all {

@@ -22,6 +22,11 @@
 //!   are cross-checked against `T_max` (M022–M023), and the oscillation
 //!   factor is checked against the Theorem-5 overhead budget `m ≤ M`
 //!   (M017) and the transition count (M024).
+//! * **telemetry** ([`telemetry`]) — a recorded `mosc-obs` JSONL stream is
+//!   checked for instrumentation and solver anomalies: empty streams
+//!   (M050), the AO m-sweep saturating its overhead cap (M051), pruneless
+//!   branch-and-bound runs (M052), inconsistent span timing (M053), and
+//!   solver spans without kernel counter movement (M054).
 //!
 //! Entry points:
 //!
@@ -38,9 +43,11 @@ pub mod platform;
 pub mod schedule;
 pub mod solution;
 pub mod spec;
+pub mod telemetry;
 
 pub use diag::{Code, Diagnostic, Report, Severity};
 pub use platform::{check_levels, check_platform, check_t_max_c, check_tau};
 pub use schedule::{check_raw_schedule, check_schedule};
 pub use solution::{check_solution, SolutionClaim, Tolerances};
-pub use spec::{analyze_spec, SpecError};
+pub use spec::{analyze_spec, platform_from_spec, SpecError};
+pub use telemetry::analyze_telemetry;

@@ -85,33 +85,27 @@ fn opt_usize(obj: &Value, key: &str, default: usize, ctx: &str) -> Result<usize,
     }
 }
 
-/// Analyzes a spec document. Returns the lint report, or a [`SpecError`]
-/// when the document is structurally unusable.
-///
-/// # Errors
-/// [`SpecError`] for malformed JSON, missing required fields, wrong types,
-/// or unknown cooler names.
-pub fn analyze_spec(text: &str) -> Result<Report, SpecError> {
-    let doc = Value::parse(text).map_err(|e| structural(e.to_string()))?;
-    if !doc.is_object() {
-        return Err(structural("top level must be a JSON object"));
-    }
-    let mut report = Report::new();
+/// The raw values of a spec's `platform` section, parsed and defaulted but
+/// not yet lint-checked or built into a typed [`Platform`].
+struct PlatformParams {
+    rows: usize,
+    cols: usize,
+    layers: usize,
+    levels: Vec<f64>,
+    t_max_c: f64,
+    tau: f64,
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    rc: RcConfig,
+}
 
-    // --- platform: raw lints first, construction second -----------------
+fn parse_platform_section(doc: &Value) -> Result<PlatformParams, SpecError> {
     let pspec = doc.get("platform").ok_or_else(|| structural("'platform' section is required"))?;
     if !pspec.is_object() {
         return Err(structural("'platform' must be an object"));
     }
-    let rows = req_usize(pspec, "rows", "platform")?;
-    let cols = req_usize(pspec, "cols", "platform")?;
-    let layers = opt_usize(pspec, "layers", 1, "platform")?;
-    let t_max_c = req_f64(pspec, "t_max_c", "platform")?;
-    let tau = opt_f64(pspec, "tau", TransitionOverhead::paper_default().tau, "platform")?;
     let params = Params65nm::params();
-    let alpha = opt_f64(pspec, "alpha", params.power.alpha, "platform")?;
-    let beta = opt_f64(pspec, "beta", params.power.beta, "platform")?;
-    let gamma = opt_f64(pspec, "gamma", params.power.gamma, "platform")?;
     let levels: Vec<f64> = pspec
         .get("levels")
         .ok_or_else(|| structural("platform.levels is required"))?
@@ -128,27 +122,75 @@ pub fn analyze_spec(text: &str) -> Result<Report, SpecError> {
         Some(Some(other)) => return Err(structural(format!("unknown cooler '{other}'"))),
         Some(None) => return Err(structural("platform.cooler must be a string")),
     };
+    Ok(PlatformParams {
+        rows: req_usize(pspec, "rows", "platform")?,
+        cols: req_usize(pspec, "cols", "platform")?,
+        layers: opt_usize(pspec, "layers", 1, "platform")?,
+        levels,
+        t_max_c: req_f64(pspec, "t_max_c", "platform")?,
+        tau: opt_f64(pspec, "tau", TransitionOverhead::paper_default().tau, "platform")?,
+        alpha: opt_f64(pspec, "alpha", params.power.alpha, "platform")?,
+        beta: opt_f64(pspec, "beta", params.power.beta, "platform")?,
+        gamma: opt_f64(pspec, "gamma", params.power.gamma, "platform")?,
+        rc,
+    })
+}
 
-    report.merge(plat::check_levels(&levels));
-    report.merge(plat::check_tau(tau));
-    report.merge(plat::check_t_max_c(t_max_c, params.t_ambient_c));
+fn raw_platform_lints(p: &PlatformParams) -> Report {
+    let mut report = Report::new();
+    report.merge(plat::check_levels(&p.levels));
+    report.merge(plat::check_tau(p.tau));
+    report.merge(plat::check_t_max_c(p.t_max_c, Params65nm::params().t_ambient_c));
+    report
+}
+
+/// Builds the typed [`Platform`] a spec describes, without running the full
+/// lint pipeline. `mosc-cli profile` uses this: it needs the platform (not a
+/// report) to run the solvers against. Value-level defects that
+/// [`analyze_spec`] would report as diagnostics surface here as
+/// [`SpecError`]s, since there is no report to carry them.
+///
+/// # Errors
+/// [`SpecError`] for malformed JSON, missing or mistyped fields, platform
+/// values that fail the raw lints, or a platform whose thermal model cannot
+/// be constructed (e.g. a non-Hurwitz state matrix).
+pub fn platform_from_spec(text: &str) -> Result<Platform, SpecError> {
+    let doc = Value::parse(text).map_err(|e| structural(e.to_string()))?;
+    if !doc.is_object() {
+        return Err(structural("top level must be a JSON object"));
+    }
+    let p = parse_platform_section(&doc)?;
+    let raw = raw_platform_lints(&p);
+    if raw.has_errors() {
+        return Err(structural(format!("platform values fail lints:\n{raw}")));
+    }
+    let mut report = Report::new();
+    build_platform(&p, &mut report)?
+        .ok_or_else(|| structural(format!("platform construction failed:\n{report}")))
+}
+
+/// Analyzes a spec document. Returns the lint report, or a [`SpecError`]
+/// when the document is structurally unusable.
+///
+/// # Errors
+/// [`SpecError`] for malformed JSON, missing required fields, wrong types,
+/// or unknown cooler names.
+pub fn analyze_spec(text: &str) -> Result<Report, SpecError> {
+    let doc = Value::parse(text).map_err(|e| structural(e.to_string()))?;
+    if !doc.is_object() {
+        return Err(structural("top level must be a JSON object"));
+    }
+    let mut report = Report::new();
+    let params = Params65nm::params();
+
+    // --- platform: raw lints first, construction second -----------------
+    let pp = parse_platform_section(&doc)?;
+    report.merge(raw_platform_lints(&pp));
 
     let platform = if report.has_errors() {
         None // raw platform values are broken; typed construction would mask them
     } else {
-        build_platform(
-            rows,
-            cols,
-            layers,
-            &levels,
-            t_max_c,
-            tau,
-            alpha,
-            beta,
-            gamma,
-            &rc,
-            &mut report,
-        )?
+        build_platform(&pp, &mut report)?
     };
     if let Some(p) = &platform {
         report.merge(plat::check_platform(p));
@@ -225,37 +267,24 @@ pub fn analyze_spec(text: &str) -> Result<Report, SpecError> {
     Ok(report)
 }
 
-#[allow(clippy::too_many_arguments)] // one-shot assembly helper
-fn build_platform(
-    rows: usize,
-    cols: usize,
-    layers: usize,
-    levels: &[f64],
-    t_max_c: f64,
-    tau: f64,
-    alpha: f64,
-    beta: f64,
-    gamma: f64,
-    rc: &RcConfig,
-    report: &mut Report,
-) -> Result<Option<Platform>, SpecError> {
-    let modes = ModeTable::from_levels(levels).map_err(|e| structural(e.to_string()))?;
-    let overhead = TransitionOverhead::new(tau).map_err(|e| structural(e.to_string()))?;
-    let power = PowerModel::new(alpha, beta, gamma).map_err(|e| structural(e.to_string()))?;
-    let floorplan = if layers <= 1 {
-        Floorplan::grid(rows, cols, 4.0e-3, 4.0e-3)
+fn build_platform(p: &PlatformParams, report: &mut Report) -> Result<Option<Platform>, SpecError> {
+    let modes = ModeTable::from_levels(&p.levels).map_err(|e| structural(e.to_string()))?;
+    let overhead = TransitionOverhead::new(p.tau).map_err(|e| structural(e.to_string()))?;
+    let power = PowerModel::new(p.alpha, p.beta, p.gamma).map_err(|e| structural(e.to_string()))?;
+    let floorplan = if p.layers <= 1 {
+        Floorplan::grid(p.rows, p.cols, 4.0e-3, 4.0e-3)
     } else {
-        Floorplan::stack3d(layers, rows, cols, 4.0e-3, 4.0e-3)
+        Floorplan::stack3d(p.layers, p.rows, p.cols, 4.0e-3, 4.0e-3)
     }
     .map_err(|e| structural(e.to_string()))?;
-    let network = RcNetwork::build(&floorplan, rc).map_err(|e| structural(e.to_string()))?;
-    match ThermalModel::new(network, beta) {
+    let network = RcNetwork::build(&floorplan, &p.rc).map_err(|e| structural(e.to_string()))?;
+    match ThermalModel::new(network, p.beta) {
         Ok(thermal) => Ok(Some(Platform::from_parts(
             thermal,
             power,
             modes,
             overhead,
-            t_max_c,
+            p.t_max_c,
             Params65nm::params().t_ambient_c,
         ))),
         Err(ThermalError::Unstable { max_eigenvalue }) => {
@@ -264,7 +293,8 @@ fn build_platform(
                 "platform.thermal.A",
                 format!(
                     "state matrix is not Hurwitz-stable (thermal runaway): max eigenvalue \
-                     {max_eigenvalue:e} >= 0 — is beta = {beta} too large for this package?"
+                     {max_eigenvalue:e} >= 0 — is beta = {} too large for this package?",
+                    p.beta
                 ),
             );
             Ok(None)

@@ -1,0 +1,266 @@
+//! Lints over a recorded `mosc-obs` telemetry stream (`M050`-series).
+//!
+//! The input is the JSONL that `mosc-cli --obs=json` / `mosc-cli profile
+//! --obs=json` print and the bench harness writes to `BENCH_obs.json`: one
+//! JSON object per line with a `"type"` discriminator (`span`, `counter`,
+//! `gauge`, `hist`, `event`, `meta`, plus the CLI's `profile` headers).
+//! Unknown types are skipped so the format can grow without breaking old
+//! analyzers.
+//!
+//! These lints look for *instrumentation and solver anomalies* that the
+//! value-level `M0xx` checks cannot see:
+//!
+//! * `M050` — the stream holds no records at all, which almost always means
+//!   the recorder was never enabled (or `reset()` ran before the snapshot).
+//! * `M051` — an `ao.m_selected` event with `stop == "cap"`: the m-sweep
+//!   ran into the Theorem-5 overhead budget `m == M` instead of converging,
+//!   so the reported schedule is overhead-limited.
+//! * `M052` — an `exs_bnb.done` event with a sizeable visit count but zero
+//!   prunes from either bound.
+//! * `M053` — span timing that cannot come from a healthy recorder
+//!   (negative totals, `self > total`, calls = 0 with nonzero time).
+//! * `M054` — a solver span (`ao.solve` / `pco.solve`) recorded while the
+//!   `expm.calls` kernel counter stayed at zero: the solver and kernel
+//!   layers disagree about what ran.
+
+use crate::diag::{Code, Report};
+use crate::json::Value;
+use crate::spec::SpecError;
+
+/// Minimum `exs_bnb.done` visit count before zero prunes is suspicious: a
+/// search this small can legitimately accept every node.
+const BNB_PRUNE_FLOOR: u64 = 50;
+
+/// Analyzes one telemetry JSONL document.
+///
+/// # Errors
+/// [`SpecError`] when a line is not valid JSON or not an object — a
+/// truncated or corrupted stream is a structural problem, not a finding.
+pub fn analyze_telemetry(text: &str) -> Result<Report, SpecError> {
+    let mut report = Report::new();
+    let mut records = 0usize;
+    let mut expm_calls: u64 = 0;
+    let mut solver_spans: Vec<String> = Vec::new();
+
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let value =
+            Value::parse(line).map_err(|e| SpecError(format!("telemetry line {lineno}: {e}")))?;
+        if !value.is_object() {
+            return Err(SpecError(format!("telemetry line {lineno}: each line must be an object")));
+        }
+        records += 1;
+        match value.get("type").and_then(Value::as_str) {
+            Some("span") => check_span(&value, lineno, &mut report, &mut solver_spans),
+            Some("counter") if value.get("name").and_then(Value::as_str) == Some("expm.calls") => {
+                if let Some(v) = value.get("value").and_then(Value::as_f64) {
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    {
+                        expm_calls += v.max(0.0) as u64;
+                    }
+                }
+            }
+            Some("event") => check_event(&value, lineno, &mut report),
+            _ => {} // gauge, hist, meta, profile, future types
+        }
+    }
+
+    if records == 0 {
+        report.push(
+            Code::TelemetryEmpty,
+            "",
+            "telemetry stream holds no records — was the recorder enabled?",
+        );
+    } else if expm_calls == 0 && !solver_spans.is_empty() {
+        report.push(
+            Code::KernelCountersMissing,
+            solver_spans[0].clone(),
+            format!(
+                "solver span '{}' recorded but expm.calls never moved — kernel \
+                 instrumentation and solver instrumentation disagree",
+                solver_spans[0]
+            ),
+        );
+    }
+    Ok(report)
+}
+
+fn check_span(value: &Value, lineno: usize, report: &mut Report, solver_spans: &mut Vec<String>) {
+    let path = value.get("path").and_then(Value::as_str).unwrap_or("").to_owned();
+    let name = value.get("name").and_then(Value::as_str).unwrap_or("");
+    if matches!(name, "ao.solve" | "pco.solve") {
+        solver_spans.push(path.clone());
+    }
+    let total = value.get("total_s").and_then(Value::as_f64);
+    let self_time = value.get("self_s").and_then(Value::as_f64);
+    let calls = value.get("calls").and_then(Value::as_f64);
+    let ctx = if path.is_empty() { format!("line {lineno}") } else { path };
+    match (total, self_time, calls) {
+        (Some(t), Some(s), Some(c)) => {
+            if !(t >= 0.0 && s >= 0.0) {
+                report.push(
+                    Code::SpanTimingInvalid,
+                    ctx,
+                    format!("span '{name}' has negative timing (total {t}, self {s})"),
+                );
+            } else if s > t + 1e-9 {
+                report.push(
+                    Code::SpanTimingInvalid,
+                    ctx,
+                    format!("span '{name}' self time {s} exceeds total {t}"),
+                );
+            } else if c == 0.0 && t > 0.0 {
+                report.push(
+                    Code::SpanTimingInvalid,
+                    ctx,
+                    format!("span '{name}' reports zero calls but {t} s of time"),
+                );
+            }
+        }
+        _ => report.push(
+            Code::SpanTimingInvalid,
+            ctx,
+            format!("span '{name}' is missing total_s/self_s/calls"),
+        ),
+    }
+}
+
+fn check_event(value: &Value, lineno: usize, report: &mut Report) {
+    let name = value.get("name").and_then(Value::as_str).unwrap_or("");
+    let Some(fields) = value.get("fields") else {
+        return;
+    };
+    match name {
+        "ao.m_selected" => {
+            let stop = fields.get("stop").and_then(Value::as_str).unwrap_or("");
+            if stop == "cap" {
+                let m = fields.get("m").and_then(Value::as_f64).unwrap_or(f64::NAN);
+                report.push(
+                    Code::AoSweepSaturated,
+                    format!("line {lineno}"),
+                    format!(
+                        "AO stopped its m-sweep at the overhead cap (m = {m}) without \
+                         converging — throughput is limited by tau, not by the search"
+                    ),
+                );
+            }
+        }
+        "exs_bnb.done" => {
+            let visited = fields.get("visited").and_then(Value::as_f64).unwrap_or(0.0);
+            let prunes = fields.get("thermal_prunes").and_then(Value::as_f64).unwrap_or(0.0)
+                + fields.get("throughput_prunes").and_then(Value::as_f64).unwrap_or(0.0);
+            #[allow(clippy::cast_precision_loss)]
+            if visited >= BNB_PRUNE_FLOOR as f64 && prunes == 0.0 {
+                report.push(
+                    Code::BnbNoPrunes,
+                    format!("line {lineno}"),
+                    format!(
+                        "EXS-BnB visited {visited} nodes without a single prune — both \
+                         bounds were inert on this platform"
+                    ),
+                );
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stream_is_m050() {
+        let r = analyze_telemetry("").unwrap();
+        assert!(r.has_code(Code::TelemetryEmpty));
+        assert!(r.has_errors());
+
+        let r = analyze_telemetry("\n  \n").unwrap();
+        assert!(r.has_code(Code::TelemetryEmpty));
+    }
+
+    #[test]
+    fn healthy_stream_is_clean() {
+        let text = r#"{"type":"span","path":"ao.solve","name":"ao.solve","depth":0,"calls":1,"total_s":0.5,"self_s":0.1}
+{"type":"span","path":"ao.solve/ao.sweep_m","name":"ao.sweep_m","depth":1,"calls":1,"total_s":0.4,"self_s":0.4}
+{"type":"counter","name":"expm.calls","value":123}
+{"type":"counter","name":"ao.tpt_rounds","value":9}
+{"type":"event","name":"ao.m_selected","fields":{"m":12,"m_cap":99,"peak":21.5,"stop":"patience"}}
+"#;
+        let r = analyze_telemetry(text).unwrap();
+        assert!(r.is_clean(), "findings:\n{r}");
+    }
+
+    #[test]
+    fn cap_stop_is_m051() {
+        let text = r#"{"type":"counter","name":"expm.calls","value":5}
+{"type":"event","name":"ao.m_selected","fields":{"m":99,"m_cap":99,"peak":21.5,"stop":"cap"}}
+"#;
+        let r = analyze_telemetry(text).unwrap();
+        assert!(r.has_code(Code::AoSweepSaturated), "findings:\n{r}");
+        assert!(!r.has_errors(), "M051 is a warning:\n{r}");
+    }
+
+    #[test]
+    fn pruneless_bnb_is_m052_above_the_floor_only() {
+        let big = r#"{"type":"event","name":"exs_bnb.done","fields":{"visited":5000,"thermal_prunes":0,"throughput_prunes":0}}
+"#;
+        let r = analyze_telemetry(big).unwrap();
+        assert!(r.has_code(Code::BnbNoPrunes), "findings:\n{r}");
+
+        let small = r#"{"type":"event","name":"exs_bnb.done","fields":{"visited":7,"thermal_prunes":0,"throughput_prunes":0}}
+"#;
+        let r = analyze_telemetry(small).unwrap();
+        assert!(!r.has_code(Code::BnbNoPrunes), "findings:\n{r}");
+
+        let pruned = r#"{"type":"event","name":"exs_bnb.done","fields":{"visited":5000,"thermal_prunes":120,"throughput_prunes":0}}
+"#;
+        let r = analyze_telemetry(pruned).unwrap();
+        assert!(!r.has_code(Code::BnbNoPrunes), "findings:\n{r}");
+    }
+
+    #[test]
+    fn broken_span_timing_is_m053() {
+        for line in [
+            r#"{"type":"span","path":"x","name":"x","depth":0,"calls":1,"total_s":0.1,"self_s":0.2}"#,
+            r#"{"type":"span","path":"x","name":"x","depth":0,"calls":1,"total_s":-0.1,"self_s":0.0}"#,
+            r#"{"type":"span","path":"x","name":"x","depth":0,"calls":0,"total_s":0.1,"self_s":0.1}"#,
+            r#"{"type":"span","path":"x","name":"x","depth":0}"#,
+        ] {
+            let r = analyze_telemetry(line).unwrap();
+            assert!(r.has_code(Code::SpanTimingInvalid), "{line} ->\n{r}");
+        }
+    }
+
+    #[test]
+    fn solver_span_without_expm_is_m054() {
+        let text = r#"{"type":"span","path":"ao.solve","name":"ao.solve","depth":0,"calls":1,"total_s":0.5,"self_s":0.5}
+{"type":"counter","name":"expm.calls","value":0}
+"#;
+        let r = analyze_telemetry(text).unwrap();
+        assert!(r.has_code(Code::KernelCountersMissing), "findings:\n{r}");
+
+        // A non-solver span without expm activity is fine (EXS evaluates
+        // through the cached response matrix).
+        let text = r#"{"type":"span","path":"exs.solve","name":"exs.solve","depth":0,"calls":1,"total_s":0.5,"self_s":0.5}
+"#;
+        let r = analyze_telemetry(text).unwrap();
+        assert!(!r.has_code(Code::KernelCountersMissing), "findings:\n{r}");
+    }
+
+    #[test]
+    fn unknown_types_are_skipped_and_garbage_is_structural() {
+        let text = r#"{"type":"profile","solver":"AO","wall_s":0.1}
+{"type":"flamegraph","someday":true}
+"#;
+        let r = analyze_telemetry(text).unwrap();
+        assert!(r.is_clean(), "findings:\n{r}");
+
+        assert!(analyze_telemetry("not json\n").is_err());
+        assert!(analyze_telemetry("[1,2,3]\n").is_err());
+    }
+}

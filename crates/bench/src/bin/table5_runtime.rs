@@ -9,10 +9,16 @@
 //! polynomial.
 
 use mosc_bench::compare::{ao_options, pco_options};
-use mosc_bench::{csv_dir_from_args, timed, write_csv, Table};
+use mosc_bench::{csv_dir_from_args, timed, timed_obs, write_csv, ObsLog, Table};
 use mosc_core::{ao, exs, pco};
 use mosc_sched::{Platform, PlatformSpec};
 use mosc_workload::{rng, PAPER_CONFIGS};
+use std::path::PathBuf;
+
+/// Pulls the two kernel counters out of a telemetry snapshot.
+fn kernel_counters(t: &mosc_obs::Telemetry) -> (u64, u64) {
+    (t.counter("expm.calls").unwrap_or(0), t.counter("peak_eval.calls").unwrap_or(0))
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -38,19 +44,22 @@ fn main() {
     );
     let mut table =
         Table::new(&["cores", "scheme", "2 levels", "3 levels", "4 levels", "5 levels"]);
-    let mut csv_out = String::from("cores,scheme,levels,seconds\n");
+    let mut kernels = Table::new(&["cores", "scheme", "levels", "expm.calls", "peak_eval.calls"]);
+    let mut csv_out = String::from("cores,scheme,levels,seconds,expm_calls,peak_eval_calls\n");
+    let mut obs_log = ObsLog::new();
 
     for &(rows, cols) in &PAPER_CONFIGS {
         let n = rows * cols;
         let mut times: [[f64; 4]; 3] = [[0.0; 4]; 3];
+        let mut counts: [[(u64, u64); 4]; 3] = [[(0, 0); 4]; 3];
         for (li, levels) in (2..=5usize).enumerate() {
-            for _ in 0..reps {
+            for rep in 0..reps {
                 let t_max_c = if randomize { case_rng.gen_range(50.0..=65.0) } else { 65.0 };
                 let platform = Platform::build(&PlatformSpec::paper(rows, cols, levels, t_max_c))
                     .expect("platform");
-                let (_, t_ao) = timed(|| ao::solve_with(&platform, &ao_options()));
-                let (_, t_pco) = timed(|| pco::solve_with(&platform, &pco_options()));
-                let (_, t_exs) = timed(|| {
+                let (_, t_ao, obs_ao) = timed_obs(|| ao::solve_with(&platform, &ao_options()));
+                let (_, t_pco, obs_pco) = timed_obs(|| pco::solve_with(&platform, &pco_options()));
+                let (_, t_exs, obs_exs) = timed_obs(|| {
                     if parallel_exs {
                         exs::solve(&platform)
                     } else {
@@ -60,6 +69,16 @@ fn main() {
                 times[0][li] += t_ao / reps as f64;
                 times[1][li] += t_pco / reps as f64;
                 times[2][li] += t_exs / reps as f64;
+                for (si, obs) in [&obs_ao, &obs_pco, &obs_exs].into_iter().enumerate() {
+                    let (e, p) = kernel_counters(obs);
+                    counts[si][li].0 += e;
+                    counts[si][li].1 += p;
+                }
+                if rep + 1 == reps {
+                    obs_log.section(&format!("AO/{n}c/{levels}L"), t_ao, &obs_ao);
+                    obs_log.section(&format!("PCO/{n}c/{levels}L"), t_pco, &obs_pco);
+                    obs_log.section(&format!("EXS/{n}c/{levels}L"), t_exs, &obs_exs);
+                }
             }
             eprintln!("  [{n} cores, {levels} levels] done");
         }
@@ -71,11 +90,21 @@ fn main() {
                     .collect(),
             );
             for (li, levels) in (2..=5usize).enumerate() {
-                csv_out.push_str(&format!("{n},{scheme},{levels},{:.6}\n", times[si][li]));
+                let (e, p) = counts[si][li];
+                csv_out.push_str(&format!("{n},{scheme},{levels},{:.6},{e},{p}\n", times[si][li]));
+                kernels.row(vec![
+                    n.to_string(),
+                    (*scheme).to_string(),
+                    levels.to_string(),
+                    e.to_string(),
+                    p.to_string(),
+                ]);
             }
         }
     }
     println!("{}", table.render());
+    println!("Kernel work per cell (mosc-obs counters, summed over reps):");
+    println!("{}", kernels.render());
     println!(
         "shape check: EXS grows ~levels^cores; AO/PCO stay flat-to-polynomial in both axes.\n"
     );
@@ -107,6 +136,9 @@ fn main() {
     }
     println!("{}", ext.render());
 
+    // Machine-readable telemetry for the perf trajectory: the last rep of
+    // every (scheme, cores, levels) cell, in `--obs=json` profile format.
+    obs_log.write(&csv.clone().unwrap_or_else(|| PathBuf::from(".")));
     if let Some(dir) = csv {
         write_csv(&dir, "table5_runtime.csv", &csv_out);
     }

@@ -3,9 +3,11 @@
 //! release); the full experiment binaries produce the detailed tables.
 
 use mosc_bench::compare::{ao_options, Comparison};
+use mosc_bench::{timed_obs, ObsLog};
 use mosc_core::{ao, continuous, exs, lns};
 use mosc_sched::{Platform, PlatformSpec, Schedule};
 use mosc_workload::{rng, ScheduleGen};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Harness {
@@ -159,6 +161,39 @@ fn main() -> ExitCode {
             t5 > 5.0 * t3.max(1e-5),
             &format!("3 levels {t3:.4}s vs 5 levels {t5:.4}s"),
         );
+    }
+
+    // Observability: the kernel counters must attribute the solvers' work,
+    // and the telemetry must be exportable for the perf trajectory.
+    {
+        let p = Platform::build(&PlatformSpec::paper(2, 3, 2, 55.0)).expect("platform");
+        let mut log = ObsLog::new();
+        let (_, t_ao, obs_ao) = timed_obs(|| ao::solve_with(&p, &ao_options()));
+        let expm = obs_ao.counter("expm.calls").unwrap_or(0);
+        let peaks = obs_ao.counter("peak_eval.calls").unwrap_or(0);
+        let rounds = obs_ao.counter("ao.tpt_rounds").unwrap_or(0);
+        log.section("AO", t_ao, &obs_ao);
+        h.check(
+            "obs: AO attributes kernel work to counters",
+            expm > 0 && peaks > 0 && rounds > 0,
+            &format!("expm {expm}, peak_eval {peaks}, tpt_rounds {rounds}"),
+        );
+        let (_, t_exs, obs_exs) = timed_obs(|| exs::solve(&p));
+        log.section("EXS", t_exs, &obs_exs);
+        h.check(
+            "obs: EXS run produces a root span",
+            obs_exs.span_path("exs.solve").is_some(),
+            "no exs.solve span in snapshot",
+        );
+        let (_, t_lns, obs_lns) = timed_obs(|| lns::solve(&p));
+        log.section("LNS", t_lns, &obs_lns);
+        println!(
+            "      (AO on 6 cores: {expm} expm.calls, {peaks} peak_eval.calls, \
+             {rounds} tpt rounds in {t_ao:.3}s)"
+        );
+        log.write(&PathBuf::from("."));
+        mosc_obs::disable();
+        mosc_obs::reset();
     }
 
     println!(

@@ -102,6 +102,65 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (v, start.elapsed().as_secs_f64())
 }
 
+/// Times a closure inside its own `mosc-obs` recorder window (the recorder
+/// is armed and reset first), returning the value, the elapsed seconds, and
+/// the telemetry captured during the run — how the runtime tables report
+/// `expm.calls` / `peak_eval.calls` alongside wall-time.
+pub fn timed_obs<T>(f: impl FnOnce() -> T) -> (T, f64, mosc_obs::Telemetry) {
+    mosc_obs::enable();
+    mosc_obs::reset();
+    let start = Instant::now();
+    let v = f();
+    let secs = start.elapsed().as_secs_f64();
+    (v, secs, mosc_obs::snapshot())
+}
+
+/// Accumulates labelled telemetry sections into the `BENCH_obs.json` format:
+/// JSON lines, one `{"type":"profile",...}` header per section followed by
+/// that section's records — the same shape `mosc-cli profile --obs=json`
+/// prints, so `mosc-cli analyze BENCH_obs.json` (renamed `.jsonl`) and any
+/// trajectory tooling can consume either.
+#[derive(Debug, Default)]
+pub struct ObsLog {
+    lines: String,
+}
+
+impl ObsLog {
+    /// An empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one labelled section.
+    pub fn section(&mut self, label: &str, wall_s: f64, telemetry: &mosc_obs::Telemetry) {
+        let escaped: String = label
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                c => vec![c],
+            })
+            .collect();
+        let _ = writeln!(
+            self.lines,
+            "{{\"type\":\"profile\",\"solver\":\"{escaped}\",\"wall_s\":{wall_s:?}}}"
+        );
+        self.lines.push_str(&telemetry.to_jsonl());
+    }
+
+    /// The accumulated JSONL document.
+    #[must_use]
+    pub fn render(&self) -> &str {
+        &self.lines
+    }
+
+    /// Writes the log as `BENCH_obs.json` under `dir` (same reporting
+    /// behavior as [`write_csv`]: failures warn, never panic).
+    pub fn write(&self, dir: &PathBuf) {
+        write_csv(dir, "BENCH_obs.json", &self.lines);
+    }
+}
+
 /// Formats a float with 4 decimals (the tables' standard precision).
 #[must_use]
 pub fn f4(v: f64) -> String {

@@ -26,6 +26,12 @@
 use crate::{continuous, AlgoError, Result, Solution};
 use mosc_sched::{Platform, Schedule};
 
+/// Oscillation factors evaluated by the m sweep across all AO runs.
+static M_CANDIDATES: mosc_obs::Counter = mosc_obs::Counter::new("ao.m_candidates");
+/// TPT adjustment loop rounds — one stable-peak evaluation each, counting
+/// the final round that confirms the constraint holds.
+static TPT_ROUNDS: mosc_obs::Counter = mosc_obs::Counter::new("ao.tpt_rounds");
+
 /// Tuning knobs for Algorithm 2.
 #[derive(Debug, Clone, Copy)]
 pub struct AoOptions {
@@ -97,6 +103,7 @@ pub fn solve(platform: &Platform) -> Result<Solution> {
 /// * [`AlgoError::InvalidOptions`] for bad options.
 /// * Propagated evaluation failures.
 pub fn solve_with(platform: &Platform, opts: &AoOptions) -> Result<Solution> {
+    let _span = mosc_obs::span("ao.solve");
     opts.validate()?;
     debug_assert!(crate::checks::platform_ok(platform), "AO input platform fails static analysis");
     let n = platform.n_cores();
@@ -155,6 +162,7 @@ pub fn adjust_to_tmax(
     t_c: f64,
     t_unit: f64,
 ) -> Result<(Vec<CorePair>, Schedule)> {
+    let _span = mosc_obs::span("ao.tpt_adjust");
     if !(t_c > 0.0 && t_unit > 0.0 && t_unit < t_c) {
         return Err(AlgoError::InvalidOptions { what: "need 0 < t_unit < t_c" });
     }
@@ -166,6 +174,7 @@ pub fn adjust_to_tmax(
     let mut iters = 0;
     let mut last_reduced: Option<usize> = None;
     loop {
+        TPT_ROUNDS.incr();
         let peak = platform.peak(&schedule)?;
         if peak.temp <= t_max + 1e-9 {
             break;
@@ -245,6 +254,7 @@ pub fn adjust_to_tmax(
             }
         }
     }
+    mosc_obs::event("ao.tpt_done", &[("rounds", iters.into())]);
     Ok((pairs_adj, schedule))
 }
 
@@ -323,14 +333,17 @@ pub fn schedule_from_pairs(pairs: &[CorePair], t_c: f64) -> Result<Schedule> {
 /// Sweeps the oscillation factor (Algorithm 2 lines 8–13) and returns the
 /// factor with the lowest stable peak along with its schedule.
 fn sweep_m(platform: &Platform, pairs: &[CorePair], opts: &AoOptions) -> Result<(usize, Schedule)> {
+    let _span = mosc_obs::span("ao.sweep_m");
     // When no core actually oscillates the schedule is m-invariant.
     if !pairs.iter().any(pairs_oscillating) {
         let schedule = schedule_from_pairs(pairs, opts.base_period)?;
+        mosc_obs::event("ao.m_selected", &[("m", 1u64.into()), ("stop", "no_oscillation".into())]);
         return Ok((1, schedule));
     }
     let m_cap = chip_max_m(platform, pairs, opts);
     let mut best: Option<(usize, f64, Schedule)> = None;
     let mut since_improvement = 0;
+    let mut stop: &'static str = "cap";
     for m in 1..=m_cap {
         let adjusted = adjusted_pairs(pairs, platform, m, opts);
         let t_c = opts.base_period / m as f64;
@@ -341,8 +354,10 @@ fn sweep_m(platform: &Platform, pairs: &[CorePair], opts: &AoOptions) -> Result<
             .zip(&adjusted)
             .any(|(base, adj)| pairs_oscillating(base) && adj.ratio_high >= 1.0 - 1e-12)
         {
+            stop = "overhead_saturated";
             break;
         }
+        M_CANDIDATES.incr();
         let schedule = schedule_from_pairs(&adjusted, t_c)?;
         let peak = platform.peak(&schedule)?.temp;
         if best.as_ref().is_none_or(|(_, b, _)| peak < *b - 1e-9) {
@@ -351,11 +366,16 @@ fn sweep_m(platform: &Platform, pairs: &[CorePair], opts: &AoOptions) -> Result<
         } else {
             since_improvement += 1;
             if since_improvement >= opts.m_patience {
+                stop = "patience";
                 break;
             }
         }
     }
-    let (m, _, schedule) = best.expect("m = 1 always evaluates");
+    let (m, peak, schedule) = best.expect("m = 1 always evaluates");
+    mosc_obs::event(
+        "ao.m_selected",
+        &[("m", m.into()), ("m_cap", m_cap.into()), ("peak", peak.into()), ("stop", stop.into())],
+    );
     Ok((m, schedule))
 }
 

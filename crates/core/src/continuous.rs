@@ -16,6 +16,10 @@ use crate::{AlgoError, Result};
 use mosc_linalg::{Lu, Matrix, Vector};
 use mosc_sched::Platform;
 
+/// Fixed-point rounds of the clamping loop (one re-solve of the free
+/// subsystem each).
+static CLAMP_ROUNDS: mosc_obs::Counter = mosc_obs::Counter::new("continuous.clamp_rounds");
+
 /// The ideal constant operating point.
 #[derive(Debug, Clone)]
 pub struct ContinuousSolution {
@@ -48,6 +52,7 @@ pub fn solve(platform: &Platform) -> Result<ContinuousSolution> {
 /// # Errors
 /// Propagates thermal-solver failures; rejects a degenerate range.
 pub fn solve_with_range(platform: &Platform, v_min: f64, v_max: f64) -> Result<ContinuousSolution> {
+    let _span = mosc_obs::span("continuous.solve");
     if !(v_min.is_finite() && v_max.is_finite()) || v_min <= 0.0 || v_max < v_min {
         return Err(AlgoError::InvalidOptions {
             what: "voltage range must satisfy 0 < v_min <= v_max",
@@ -68,6 +73,7 @@ pub fn solve_with_range(platform: &Platform, v_min: f64, v_max: f64) -> Result<C
     let mut clamp: Vec<Option<f64>> = vec![None; n];
     let mut psi = vec![0.0; n];
     for _ in 0..=2 * n {
+        CLAMP_ROUNDS.incr();
         let free: Vec<usize> = (0..n).filter(|&i| clamp[i].is_none()).collect();
         if free.is_empty() {
             break;

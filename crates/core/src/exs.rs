@@ -19,6 +19,11 @@
 use crate::{Result, Solution};
 use mosc_sched::{Platform, Schedule};
 
+/// Level assignments evaluated across all partitions. Each worker
+/// accumulates locally and adds its batch once at the end, so the hot
+/// odometer loop never touches a shared atomic.
+static ASSIGNMENTS: mosc_obs::Counter = mosc_obs::Counter::new("exs.assignments");
+
 /// Period given to the (constant-speed) winning schedule.
 pub const DEFAULT_PERIOD: f64 = 0.1;
 
@@ -39,6 +44,7 @@ pub fn solve(platform: &Platform) -> Result<Solution> {
 /// # Errors
 /// Propagates evaluation failures; flags infeasibility.
 pub fn solve_with_threads(platform: &Platform, threads: usize) -> Result<Solution> {
+    let _span = mosc_obs::span("exs.solve");
     debug_assert!(crate::checks::platform_ok(platform), "EXS input platform fails static analysis");
     let n = platform.n_cores();
     let modes = platform.modes();
@@ -108,6 +114,7 @@ fn search_partition(
     let n_levels = levels.len();
     let mut best: Option<(f64, Vec<usize>)> = None;
     let mut temps = vec![0.0f64; n];
+    let mut evaluated = 0u64;
     for &first in first_levels {
         // Assignment state: levels per core; core 0 fixed to `first`.
         let mut idx = vec![0usize; n];
@@ -121,6 +128,7 @@ fn search_partition(
         }
         loop {
             // Evaluate the current assignment.
+            evaluated += 1;
             let peak = temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             if peak <= t_max + 1e-9 {
                 let speed_sum: f64 = idx.iter().map(|&l| levels[l]).sum();
@@ -149,6 +157,7 @@ fn search_partition(
             }
         }
     }
+    ASSIGNMENTS.add(evaluated);
     best
 }
 

@@ -19,6 +19,14 @@
 use crate::{AlgoError, Result, Solution};
 use mosc_sched::{Platform, Schedule};
 
+/// Tree nodes expanded (mirrors [`BnbStats::visited`], batched per run).
+static NODES_VISITED: mosc_obs::Counter = mosc_obs::Counter::new("exs_bnb.nodes_visited");
+/// Subtrees cut by the thermal bound.
+static PRUNED_THERMAL: mosc_obs::Counter = mosc_obs::Counter::new("exs_bnb.nodes_pruned_thermal");
+/// Subtrees cut by the throughput bound.
+static PRUNED_THROUGHPUT: mosc_obs::Counter =
+    mosc_obs::Counter::new("exs_bnb.nodes_pruned_throughput");
+
 /// Statistics from a branch-and-bound run.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BnbStats {
@@ -37,6 +45,7 @@ pub struct BnbStats {
 /// [`AlgoError::Infeasible`] when even all-lowest violates `T_max`;
 /// propagated evaluation failures otherwise.
 pub fn solve(platform: &Platform) -> Result<(Solution, BnbStats)> {
+    let _span = mosc_obs::span("exs_bnb.solve");
     debug_assert!(
         crate::checks::platform_ok(platform),
         "EXS-BnB input platform fails static analysis"
@@ -154,6 +163,18 @@ pub fn solve(platform: &Platform) -> Result<(Solution, BnbStats)> {
         &mut best_sum,
         &mut best_assign,
         &mut stats,
+    );
+
+    NODES_VISITED.add(stats.visited);
+    PRUNED_THERMAL.add(stats.thermal_prunes);
+    PRUNED_THROUGHPUT.add(stats.throughput_prunes);
+    mosc_obs::event(
+        "exs_bnb.done",
+        &[
+            ("visited", stats.visited.into()),
+            ("thermal_prunes", stats.thermal_prunes.into()),
+            ("throughput_prunes", stats.throughput_prunes.into()),
+        ],
     );
 
     let voltages: Vec<f64> = best_assign.iter().map(|&l| levels[l]).collect();

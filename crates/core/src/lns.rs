@@ -9,6 +9,10 @@
 use crate::{continuous, Result, Solution};
 use mosc_sched::{Platform, Schedule};
 
+/// Safety-loop rounds that stepped some core down a level (zero in the
+/// common case where flooring the ideal point is already feasible).
+static DOWNSTEPS: mosc_obs::Counter = mosc_obs::Counter::new("lns.downsteps");
+
 /// Default schedule period used for the (constant-speed) LNS schedule; the
 /// value is irrelevant thermally, it only gives the schedule a concrete
 /// period for downstream tooling.
@@ -25,6 +29,7 @@ pub const DEFAULT_PERIOD: f64 = 0.1;
 /// # Errors
 /// Propagates evaluation failures.
 pub fn solve(platform: &Platform) -> Result<Solution> {
+    let _span = mosc_obs::span("lns.solve");
     debug_assert!(crate::checks::platform_ok(platform), "LNS input platform fails static analysis");
     let ideal = continuous::solve(platform)?;
     let modes = platform.modes();
@@ -57,6 +62,7 @@ pub fn solve(platform: &Platform) -> Result<Solution> {
                     .rfind(|&l| l < voltages[i] - 1e-12)
                     .unwrap_or_else(|| modes.lowest());
                 voltages[i] = below;
+                DOWNSTEPS.incr();
             }
             None => break, // everything at the floor; report as-is
         }

@@ -15,6 +15,11 @@ use crate::{Result, Solution};
 use mosc_sched::eval::{self};
 use mosc_sched::{Platform, Schedule};
 
+/// Candidate phase offsets evaluated (one sampled-peak each).
+static PHASES_TRIED: mosc_obs::Counter = mosc_obs::Counter::new("pco.phases_tried");
+/// Headroom-refill steps accepted (high-share grown by one `t_unit`).
+static REFILL_STEPS: mosc_obs::Counter = mosc_obs::Counter::new("pco.refill_steps");
+
 /// Tuning knobs for PCO.
 #[derive(Debug, Clone, Copy)]
 pub struct PcoOptions {
@@ -47,6 +52,7 @@ pub fn solve(platform: &Platform) -> Result<Solution> {
 /// # Errors
 /// Propagates AO failures and evaluation failures.
 pub fn solve_with(platform: &Platform, opts: &PcoOptions) -> Result<Solution> {
+    let _span = mosc_obs::span("pco.solve");
     debug_assert!(crate::checks::platform_ok(platform), "PCO input platform fails static analysis");
     let ao_sol = ao::solve_with(platform, &opts.ao)?;
     let t_max = platform.t_max();
@@ -60,7 +66,9 @@ pub fn solve_with(platform: &Platform, opts: &PcoOptions) -> Result<Solution> {
 
     // Phase search: greedily shift each core to the offset minimizing the
     // sampled peak.
+    let phase_span = mosc_obs::span("pco.phase_search");
     let mut peak = sampled_peak(&schedule)?;
+    let mut shifted_cores = 0usize;
     for core in 0..platform.n_cores() {
         if schedule.core(core).segments().len() < 2 {
             continue; // constant cores have no phase
@@ -70,6 +78,7 @@ pub fn solve_with(platform: &Platform, opts: &PcoOptions) -> Result<Solution> {
         for k in 1..opts.phase_steps {
             let offset = t_c * k as f64 / opts.phase_steps as f64;
             let cand = schedule.with_shifted_core(core, offset);
+            PHASES_TRIED.incr();
             let p = sampled_peak(&cand)?;
             if p < best_peak - 1e-12 {
                 best_peak = p;
@@ -79,11 +88,18 @@ pub fn solve_with(platform: &Platform, opts: &PcoOptions) -> Result<Solution> {
         if best_offset > 0.0 {
             schedule = schedule.with_shifted_core(core, best_offset);
             peak = best_peak;
+            shifted_cores += 1;
         }
     }
+    drop(phase_span);
+    mosc_obs::event(
+        "pco.phase_selected",
+        &[("shifted_cores", shifted_cores.into()), ("peak", peak.into())],
+    );
 
     // Headroom refill: grow the high-voltage share of whichever core keeps
     // the chip coolest, until no single step fits under T_max.
+    let refill_span = mosc_obs::span("pco.refill");
     let t_unit = t_c / opts.refill_divisor as f64;
     let max_iters = platform.n_cores() * opts.refill_divisor * 2;
     let mut iters = 0;
@@ -110,10 +126,13 @@ pub fn solve_with(platform: &Platform, opts: &PcoOptions) -> Result<Solution> {
             Some((p, _, cand)) => {
                 schedule = cand;
                 peak = p;
+                REFILL_STEPS.incr();
             }
             None => break,
         }
     }
+    drop(refill_span);
+    mosc_obs::event("pco.refill_done", &[("steps", iters.into())]);
 
     // Final safety valve: if sampling missed a hot spot at coarse settings,
     // re-check at double resolution and shrink back if needed.

@@ -19,6 +19,10 @@ use crate::{Result, Solution};
 use mosc_linalg::Vector;
 use mosc_sched::{Platform, Schedule};
 
+/// DVFS transitions issued over the simulated horizon (batched once per
+/// run from the local tally).
+static TRANSITIONS: mosc_obs::Counter = mosc_obs::Counter::new("reactive.transitions");
+
 /// Governor configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct GovernorOptions {
@@ -92,6 +96,7 @@ impl GovernorResult {
 /// # Errors
 /// Rejects degenerate options; propagates thermal failures.
 pub fn simulate(platform: &Platform, opts: &GovernorOptions) -> Result<GovernorResult> {
+    let _span = mosc_obs::span("reactive.simulate");
     if !(opts.control_period > 0.0 && opts.horizon > 0.0) {
         return Err(crate::AlgoError::InvalidOptions {
             what: "control_period and horizon must be positive",
@@ -157,6 +162,15 @@ pub fn simulate(platform: &Platform, opts: &GovernorOptions) -> Result<GovernorR
         }
     }
 
+    TRANSITIONS.add(transitions as u64);
+    mosc_obs::event(
+        "reactive.done",
+        &[
+            ("transitions", transitions.into()),
+            ("violation_time", violation_time.into()),
+            ("peak", peak.into()),
+        ],
+    );
     Ok(GovernorResult {
         throughput: (work / (n as f64 * (opts.horizon - opts.warmup))).max(0.0),
         peak,

@@ -9,6 +9,10 @@
 
 use crate::{LinalgError, Matrix, Result, Vector};
 
+/// Jacobi eigendecompositions performed (model construction and the
+/// diagonalized propagator path both land here).
+static EIGEN_CALLS: mosc_obs::Counter = mosc_obs::Counter::new("eigen.calls");
+
 /// Options controlling the Jacobi sweep.
 #[derive(Debug, Clone, Copy)]
 pub struct JacobiOptions {
@@ -53,6 +57,7 @@ impl SymmetricEigen {
     ///   (within `1e-8` absolute).
     /// * [`LinalgError::NoConvergence`] when the sweep budget is exhausted.
     pub fn with_options(a: &Matrix, opts: JacobiOptions) -> Result<Self> {
+        EIGEN_CALLS.incr();
         if !a.is_square() {
             return Err(LinalgError::NotSquare { shape: a.shape(), op: "jacobi" });
         }

@@ -10,6 +10,23 @@
 
 use crate::{norm_1, LinalgError, Lu, Matrix, Result};
 
+/// Dense matrix exponentials computed ([`expm`] and [`expm_scaled`] both
+/// land here, and `mosc-thermal` reports its eigen-path propagator builds
+/// through [`count_expm_call`]). The dominant cost driver of every solver —
+/// watching this counter is how telemetry attributes solver cost.
+static EXPM_CALLS: mosc_obs::Counter = mosc_obs::Counter::new("expm.calls");
+/// Matrix-free exponential actions computed by [`expm_action`].
+static EXPM_ACTION_CALLS: mosc_obs::Counter = mosc_obs::Counter::new("expm_action.calls");
+
+/// Records a matrix-exponential evaluation performed outside this module
+/// into the shared `expm.calls` metric. The thermal model computes `e^{A·dt}`
+/// through its cached eigendecomposition rather than Padé, but it is the
+/// same `Φ(dt)` of eq. (3); counting both keeps `expm.calls` meaning "matrix
+/// exponentials evaluated" regardless of the algorithm (cache hits excluded).
+pub fn count_expm_call() {
+    EXPM_CALLS.incr();
+}
+
 /// Backward-error thresholds `θ_m` for Padé orders 3, 5, 7, 9, 13 (Higham 2005,
 /// Table 2.3, double precision). Stated at full published precision even
 /// where f64 rounds the last digit.
@@ -79,6 +96,7 @@ fn pade_coeffs(m: usize) -> &'static [f64] {
 /// * [`LinalgError::Singular`] if the Padé denominator cannot be inverted
 ///   (does not happen for matrices within the θ bounds; guards pathology).
 pub fn expm(a: &Matrix) -> Result<Matrix> {
+    EXPM_CALLS.incr();
     if !a.is_square() {
         return Err(LinalgError::NotSquare { shape: a.shape(), op: "expm" });
     }
@@ -134,6 +152,7 @@ pub fn expm_scaled(a: &Matrix, t: f64) -> Result<Matrix> {
 /// # Errors
 /// Shape mismatches, non-finite inputs.
 pub fn expm_action(a: &Matrix, t: f64, x: &crate::Vector) -> Result<crate::Vector> {
+    EXPM_ACTION_CALLS.incr();
     if !a.is_square() {
         return Err(LinalgError::NotSquare { shape: a.shape(), op: "expm_action" });
     }

@@ -1,0 +1,149 @@
+//! Structured solver-decision events.
+//!
+//! An event is a named record with typed fields — "AO selected m = 3 with
+//! stop reason `patience`", "`BnB` finished with 120 thermal prunes". Events
+//! are for *decisions*, not per-iteration samples: they go through a global
+//! mutex and are capped at [`MAX_EVENTS`] per run, so emit them at
+//! phase/solution granularity and use counters/histograms inside loops.
+
+use std::sync::Mutex;
+
+/// Hard cap on retained events per run; later events are dropped (the drop
+/// count is reported in the snapshot so truncation is never silent).
+pub const MAX_EVENTS: usize = 4096;
+
+/// A typed event field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer field (counts, indices, m values).
+    U64(u64),
+    /// Signed integer field.
+    I64(i64),
+    /// Floating-point field (temperatures, throughputs).
+    F64(f64),
+    /// Short static label (stop reasons, algorithm names).
+    Str(&'static str),
+    /// Boolean field (feasibility flags).
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        Self::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        Self::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        Self::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        Self::F64(v)
+    }
+}
+
+impl From<&'static str> for FieldValue {
+    fn from(v: &'static str) -> Self {
+        Self::Str(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        Self::Bool(v)
+    }
+}
+
+struct EventLog {
+    records: Vec<crate::report::EventRecord>,
+    dropped: u64,
+}
+
+static LOG: Mutex<EventLog> = Mutex::new(EventLog { records: Vec::new(), dropped: 0 });
+
+fn log() -> std::sync::MutexGuard<'static, EventLog> {
+    LOG.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Records one decision event with its fields, in call order. No-op while
+/// the recorder is disabled; silently counted as dropped past
+/// [`MAX_EVENTS`].
+pub fn event(name: &'static str, fields: &[(&'static str, FieldValue)]) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut log = log();
+    if log.records.len() >= MAX_EVENTS {
+        log.dropped += 1;
+        return;
+    }
+    log.records.push(crate::report::EventRecord {
+        name: name.to_string(),
+        fields: fields.iter().map(|(k, v)| ((*k).to_string(), v.clone())).collect(),
+    });
+}
+
+/// Clears the event log and the dropped counter.
+pub(crate) fn reset() {
+    let mut log = log();
+    log.records.clear();
+    log.dropped = 0;
+}
+
+/// Snapshot of recorded events in emission order plus the dropped count.
+pub(crate) fn collect() -> (Vec<crate::report::EventRecord>, u64) {
+    let log = log();
+    (log.records.clone(), log.dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn events_record_in_order_with_typed_fields() {
+        let _guard = test_lock::hold();
+        crate::enable();
+        crate::reset();
+        event("ev.first", &[("m", 3u64.into()), ("tpt", 1.5.into())]);
+        event(
+            "ev.second",
+            &[("stop", "patience".into()), ("ok", true.into()), ("d", (-2i64).into())],
+        );
+        let t = crate::snapshot();
+        let evs = t.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].name, "ev.first");
+        assert_eq!(evs[0].fields[0], ("m".to_string(), FieldValue::U64(3)));
+        assert_eq!(evs[1].fields[0], ("stop".to_string(), FieldValue::Str("patience")));
+        assert_eq!(evs[1].fields[1], ("ok".to_string(), FieldValue::Bool(true)));
+        assert_eq!(evs[1].fields[2], ("d".to_string(), FieldValue::I64(-2)));
+        crate::disable();
+        crate::reset();
+    }
+
+    #[test]
+    fn event_log_caps_and_counts_drops() {
+        let _guard = test_lock::hold();
+        crate::enable();
+        crate::reset();
+        for _ in 0..(MAX_EVENTS + 10) {
+            event("ev.flood", &[]);
+        }
+        let t = crate::snapshot();
+        assert_eq!(t.events().len(), MAX_EVENTS);
+        assert_eq!(t.events_dropped(), 10);
+        crate::disable();
+        crate::reset();
+    }
+}

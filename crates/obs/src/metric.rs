@@ -1,0 +1,367 @@
+//! Named metrics: counters, gauges and streaming histograms.
+//!
+//! Metrics are declared as `static`s at their point of use
+//! (`static CALLS: Counter = Counter::new("expm.calls");`) and register
+//! themselves into a process-global registry the first time they record
+//! while the recorder is enabled. The hot path is lock-free: one relaxed
+//! load of the global enabled flag, one relaxed registration check, and
+//! the atomic update itself. Registration (a mutex push) happens at most
+//! once per metric per process.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Registry of every metric static that has recorded at least once while
+/// enabled. Entries are `&'static`, so the registry never owns anything.
+struct Registry {
+    counters: Vec<&'static Counter>,
+    gauges: Vec<&'static Gauge>,
+    histograms: Vec<&'static Histogram>,
+}
+
+static REGISTRY: Mutex<Registry> =
+    Mutex::new(Registry { counters: Vec::new(), gauges: Vec::new(), histograms: Vec::new() });
+
+fn registry() -> std::sync::MutexGuard<'static, Registry> {
+    REGISTRY.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A monotonically increasing `u64` metric (calls, iterations, prunes).
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// Declares a counter. `const`, so it can initialise a `static`.
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Self { name, value: AtomicU64::new(0), registered: AtomicBool::new(false) }
+    }
+
+    /// The counter's registry name, e.g. `"expm.calls"`.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds one. No-op while the recorder is disabled.
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. Hot multi-threaded loops should accumulate locally and
+    /// call this once per batch. No-op while the recorder is disabled.
+    pub fn add(&'static self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.ensure_registered();
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value (0 until the first enabled `add`).
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// `true` once this counter has recorded while enabled. Exists for the
+    /// disabled-overhead guard test.
+    #[must_use]
+    pub fn is_registered(&self) -> bool {
+        self.registered.load(Ordering::Relaxed)
+    }
+
+    fn ensure_registered(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry().counters.push(self);
+        }
+    }
+}
+
+/// A metric holding the latest `f64` value set (occupancy, headroom).
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    /// `f64` stored via `to_bits`.
+    bits: AtomicU64,
+    set_once: AtomicBool,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    /// Declares a gauge. `const`, so it can initialise a `static`.
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            bits: AtomicU64::new(0),
+            set_once: AtomicBool::new(false),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The gauge's registry name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Stores `v` as the gauge's current value. No-op while disabled.
+    pub fn set(&'static self, v: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry().gauges.push(self);
+        }
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+        self.set_once.store(true, Ordering::Relaxed);
+    }
+
+    /// Latest value, `None` until the first enabled `set`.
+    #[must_use]
+    pub fn value(&self) -> Option<f64> {
+        if self.set_once.load(Ordering::Relaxed) {
+            Some(f64::from_bits(self.bits.load(Ordering::Relaxed)))
+        } else {
+            None
+        }
+    }
+}
+
+/// A streaming summary of recorded samples: count, sum, min, max. Cheap
+/// enough for per-evaluation recording without storing every sample.
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    count: AtomicU64,
+    /// Sum of samples, `f64` bits updated through a CAS loop.
+    sum_bits: AtomicU64,
+    /// Min/max as *ordered* `u64` keys (see [`f64_to_ordered`]), so plain
+    /// `fetch_min`/`fetch_max` maintain them without CAS loops.
+    min_key: AtomicU64,
+    max_key: AtomicU64,
+    registered: AtomicBool,
+}
+
+/// Maps an `f64` to a `u64` whose unsigned order matches the float order
+/// (standard sign-flip trick; NaN samples are rejected before this).
+fn f64_to_ordered(v: f64) -> u64 {
+    let bits = v.to_bits();
+    if bits >> 63 == 0 {
+        bits | (1 << 63)
+    } else {
+        !bits
+    }
+}
+
+/// Inverse of [`f64_to_ordered`].
+fn ordered_to_f64(key: u64) -> f64 {
+    if key >> 63 == 1 {
+        f64::from_bits(key & !(1 << 63))
+    } else {
+        f64::from_bits(!key)
+    }
+}
+
+impl Histogram {
+    /// Declares a histogram. `const`, so it can initialise a `static`.
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+            min_key: AtomicU64::new(u64::MAX),
+            max_key: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The histogram's registry name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one sample. NaN samples are dropped. No-op while disabled.
+    pub fn record(&'static self, v: f64) {
+        if !crate::enabled() || v.is_nan() {
+            return;
+        }
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry().histograms.push(self);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let key = f64_to_ordered(v);
+        self.min_key.fetch_min(key, Ordering::Relaxed);
+        self.max_key.fetch_max(key, Ordering::Relaxed);
+    }
+
+    /// Current summary, `None` until the first enabled `record`.
+    #[must_use]
+    pub fn summary(&self) -> Option<crate::report::HistSummary> {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return None;
+        }
+        Some(crate::report::HistSummary {
+            count,
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            min: ordered_to_f64(self.min_key.load(Ordering::Relaxed)),
+            max: ordered_to_f64(self.max_key.load(Ordering::Relaxed)),
+        })
+    }
+}
+
+/// Zeroes and unregisters every registered metric, so the next snapshot
+/// only lists metrics touched after the reset. A metric static re-registers
+/// itself on its next enabled record.
+pub(crate) fn reset() {
+    let mut reg = registry();
+    for c in reg.counters.drain(..) {
+        c.value.store(0, Ordering::Relaxed);
+        c.registered.store(false, Ordering::Relaxed);
+    }
+    for g in reg.gauges.drain(..) {
+        g.bits.store(0, Ordering::Relaxed);
+        g.set_once.store(false, Ordering::Relaxed);
+        g.registered.store(false, Ordering::Relaxed);
+    }
+    for h in reg.histograms.drain(..) {
+        h.count.store(0, Ordering::Relaxed);
+        h.sum_bits.store(0, Ordering::Relaxed);
+        h.min_key.store(u64::MAX, Ordering::Relaxed);
+        h.max_key.store(0, Ordering::Relaxed);
+        h.registered.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Snapshot triple of (counters, gauges, histograms).
+pub(crate) type MetricSnapshot =
+    (Vec<(String, u64)>, Vec<(String, f64)>, Vec<(String, crate::report::HistSummary)>);
+
+/// Snapshot of all registered metrics with a nonzero/recorded state,
+/// sorted by name for stable rendering.
+pub(crate) fn collect() -> MetricSnapshot {
+    let reg = registry();
+    let mut counters: Vec<(String, u64)> =
+        reg.counters.iter().map(|c| (c.name.to_string(), c.value())).collect();
+    let mut gauges: Vec<(String, f64)> =
+        reg.gauges.iter().filter_map(|g| g.value().map(|v| (g.name.to_string(), v))).collect();
+    let mut hists: Vec<(String, crate::report::HistSummary)> = reg
+        .histograms
+        .iter()
+        .filter_map(|h| h.summary().map(|s| (h.name.to_string(), s)))
+        .collect();
+    counters.sort_by(|a, b| a.0.cmp(&b.0));
+    gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    hists.sort_by(|a, b| a.0.cmp(&b.0));
+    (counters, gauges, hists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn counter_aggregates_across_threads() {
+        let _guard = test_lock::hold();
+        crate::enable();
+        crate::reset();
+        static MT: Counter = Counter::new("metric.mt_counter");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        MT.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(MT.value(), 8000);
+        assert_eq!(crate::snapshot().counter("metric.mt_counter"), Some(8000));
+        crate::disable();
+        crate::reset();
+    }
+
+    #[test]
+    fn gauge_keeps_latest_value() {
+        let _guard = test_lock::hold();
+        crate::enable();
+        crate::reset();
+        static G: Gauge = Gauge::new("metric.gauge");
+        assert_eq!(G.value(), None);
+        G.set(1.25);
+        G.set(-3.5);
+        assert_eq!(G.value(), Some(-3.5));
+        assert_eq!(crate::snapshot().gauge("metric.gauge"), Some(-3.5));
+        crate::disable();
+        crate::reset();
+    }
+
+    #[test]
+    fn histogram_summarises_including_negatives() {
+        let _guard = test_lock::hold();
+        crate::enable();
+        crate::reset();
+        static H: Histogram = Histogram::new("metric.hist");
+        for v in [2.0, -1.0, 5.5, 0.0] {
+            H.record(v);
+        }
+        H.record(f64::NAN); // dropped
+        let s = H.summary().expect("recorded");
+        assert_eq!(s.count, 4);
+        assert!((s.sum - 6.5).abs() < 1e-12);
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 5.5);
+        crate::disable();
+        crate::reset();
+    }
+
+    #[test]
+    fn reset_zeroes_and_unregisters() {
+        let _guard = test_lock::hold();
+        crate::enable();
+        crate::reset();
+        static R: Counter = Counter::new("metric.reset_counter");
+        R.add(7);
+        assert!(R.is_registered());
+        crate::reset();
+        assert!(!R.is_registered(), "reset must unregister so stale zeros don't linger");
+        assert_eq!(R.value(), 0);
+        assert_eq!(crate::snapshot().counter("metric.reset_counter"), None);
+        // The static re-registers on its next enabled record.
+        R.add(2);
+        assert_eq!(crate::snapshot().counter("metric.reset_counter"), Some(2));
+        crate::disable();
+        crate::reset();
+    }
+
+    #[test]
+    fn ordered_key_roundtrip() {
+        for v in [-1e300, -1.0, -0.0, 0.0, 1.0, 1e300] {
+            assert_eq!(ordered_to_f64(f64_to_ordered(v)), v);
+        }
+        assert!(f64_to_ordered(-1.0) < f64_to_ordered(0.0));
+        assert!(f64_to_ordered(0.0) < f64_to_ordered(1.0));
+    }
+}

@@ -19,6 +19,16 @@ use mosc_linalg::{Lu, Matrix, Vector};
 use mosc_power::PowerLike;
 use mosc_thermal::{ThermalModel, Trace};
 
+/// Periodic steady-state computations ([`SteadyState::compute`]): one full
+/// propagator composition plus an `(I − K)` solve each.
+static STEADY_STATE_CALLS: mosc_obs::Counter = mosc_obs::Counter::new("steady_state.calls");
+/// Peak-temperature evaluations ([`peak_temperature`]) — the unit of work
+/// every solver's inner loop is measured in.
+static PEAK_EVAL_CALLS: mosc_obs::Counter = mosc_obs::Counter::new("peak_eval.calls");
+/// Of the peak evaluations, how many took the exact Theorem-1 step-up path
+/// (the rest fell back to sampling + golden-section refinement).
+static PEAK_EVAL_EXACT: mosc_obs::Counter = mosc_obs::Counter::new("peak_eval.exact_path");
+
 /// Default number of samples per period for the sampling-based peak search
 /// on non-step-up schedules.
 pub const DEFAULT_SAMPLES_PER_PERIOD: usize = 400;
@@ -51,6 +61,7 @@ impl SteadyState {
         power: &P,
         schedule: &Schedule,
     ) -> Result<Self> {
+        STEADY_STATE_CALLS.incr();
         if schedule.n_cores() != model.n_cores() {
             return Err(SchedError::CoreCountMismatch {
                 schedule: schedule.n_cores(),
@@ -270,8 +281,10 @@ pub fn peak_temperature<P: PowerLike + ?Sized>(
     schedule: &Schedule,
     samples: Option<usize>,
 ) -> Result<PeakReport> {
+    PEAK_EVAL_CALLS.incr();
     let ss = SteadyState::compute(model, power, schedule)?;
     if schedule.is_step_up() {
+        PEAK_EVAL_EXACT.incr();
         let t = ss.t_start();
         let mut best = PeakReport { temp: f64::NEG_INFINITY, core: 0, time: 0.0, exact: true };
         for c in 0..model.n_cores() {

@@ -258,6 +258,7 @@ impl ThermalModel {
             }
         }
         let n = self.n_nodes();
+        mosc_linalg::count_expm_call();
         let v = &self.eigen.vectors;
         // M = V · diag(e^{-λ·dt}) · Vᵀ, then Φ = C^{-1/2} M C^{1/2}.
         let mut scaled = Matrix::zeros(n, n);

@@ -9,6 +9,9 @@
 use crate::{Result, ThermalError, ThermalModel, Trace};
 use mosc_linalg::{Matrix, Vector};
 
+/// RK4 steps taken across all integrations (batched per call).
+static RK4_STEPS: mosc_obs::Counter = mosc_obs::Counter::new("thermal.rk4_steps");
+
 /// Integrates the model under constant per-core power for `duration`
 /// seconds, recording every `record_every`-th step into a [`Trace`].
 ///
@@ -39,6 +42,7 @@ pub fn integrate_piecewise(
     dt: f64,
     record_every: usize,
 ) -> Result<(Vector, Trace)> {
+    let _span = mosc_obs::span("thermal.integrate");
     if !(dt.is_finite() && dt > 0.0) {
         return Err(ThermalError::InvalidParameter { what: "dt must be finite and > 0" });
     }
@@ -85,6 +89,7 @@ pub fn integrate_piecewise(
     if trace.times().last().copied() != Some(time) {
         trace.push(time, state.clone());
     }
+    RK4_STEPS.add(step_count as u64);
     Ok((state, trace))
 }
 

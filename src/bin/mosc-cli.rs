@@ -6,11 +6,18 @@
 //! mosc-cli compare --rows 3 --cols 3 --levels 2 --tmax 55
 //! mosc-cli trace --rows 1 --cols 3 --tmax 65 --schedule schedule.txt --periods 20 [--out trace.csv]
 //! mosc-cli analyze spec.json
+//! mosc-cli profile spec.json [--obs=json]
 //! ```
 //!
 //! Platform flags (shared): `--rows`, `--cols` (grid), `--layers` (3-D
 //! stack), `--levels` (Table-IV set, 2–5), `--tmax` (°C), `--cooler`
 //! (`default` | `budget` | `responsive`).
+//!
+//! The global `--obs[=pretty|json]` flag arms the `mosc-obs` recorder and
+//! appends a telemetry report to any subcommand's output: a span tree with
+//! self/total times, the metric table, and the solver decision log
+//! (`pretty`, the default), or JSONL suitable for `BENCH_obs.json`-style
+//! ingestion and the `M05x` telemetry lints (`json`).
 //!
 //! `analyze` runs the `mosc-analyze` lints over a JSON spec describing a
 //! platform and (optionally) a schedule and a claimed solution, printing
@@ -18,9 +25,15 @@
 //! is nonzero when any error-severity finding is present. See
 //! `DESIGN.md` §7 for the full code table and `crates/analyze` for the
 //! spec format.
+//!
+//! `profile` builds the platform of a spec file and runs every solver on
+//! it — LNS, EXS, EXS-BnB, AO, PCO and the reactive governor — resetting
+//! the recorder between solvers, so each section's telemetry (and the
+//! closing comparison table) is attributable to one algorithm.
 
 use mosc::algorithms::ao::{self, AoOptions};
 use mosc::algorithms::pco::{self, PcoOptions};
+use mosc::algorithms::reactive::{self, GovernorOptions};
 use mosc::algorithms::{exs, exs_bnb, lns};
 use mosc::prelude::*;
 use mosc::sched::eval::transient_trace;
@@ -39,6 +52,54 @@ impl Args {
             None => Ok(default),
             Some(s) => s.parse().map_err(|_| format!("cannot parse {name} value '{s}'")),
         }
+    }
+
+    /// The `--out` target, or an error when the flag is present without a
+    /// usable value (previously that case fell through to stdout silently).
+    fn out_path(&self) -> Result<Option<&str>, String> {
+        match self.0.iter().position(|a| a == "--out") {
+            None => Ok(None),
+            Some(i) => match self.0.get(i + 1) {
+                Some(v) if !v.starts_with("--") => Ok(Some(v)),
+                _ => Err("--out needs a file path".into()),
+            },
+        }
+    }
+}
+
+/// What the `--obs` flag asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ObsMode {
+    Off,
+    Pretty,
+    Json,
+}
+
+fn parse_obs(argv: &[String]) -> Result<ObsMode, String> {
+    for a in argv {
+        match a.as_str() {
+            "--obs" | "--obs=pretty" => return Ok(ObsMode::Pretty),
+            "--obs=json" => return Ok(ObsMode::Json),
+            other => {
+                if let Some(rest) = other.strip_prefix("--obs=") {
+                    return Err(format!("unknown --obs format '{rest}' (expected pretty or json)"));
+                }
+            }
+        }
+    }
+    Ok(ObsMode::Off)
+}
+
+/// Prints the recorder's current snapshot in the requested format.
+fn emit_obs(mode: ObsMode) {
+    let telemetry = mosc::obs::snapshot();
+    match mode {
+        ObsMode::Off => {}
+        ObsMode::Pretty => {
+            println!();
+            print!("{}", telemetry.render_pretty());
+        }
+        ObsMode::Json => print!("{}", telemetry.to_jsonl()),
     }
 }
 
@@ -59,7 +120,9 @@ const USAGE: &str = "usage:
   mosc-cli peak    --schedule FILE [platform flags]
   mosc-cli compare [platform flags]
   mosc-cli trace   --schedule FILE [--periods N] [--out FILE] [platform flags]
-  mosc-cli analyze SPEC.json
+  mosc-cli analyze SPEC.json|TELEMETRY.jsonl
+  mosc-cli profile SPEC.json
+global: --obs[=pretty|json]  append a mosc-obs telemetry report to the output
 platform flags: --rows R --cols C [--layers L] [--levels 2..5] --tmax C [--cooler default|budget|responsive]";
 
 fn run() -> Result<ExitCode, String> {
@@ -67,15 +130,23 @@ fn run() -> Result<ExitCode, String> {
     let Some(cmd) = argv.first().cloned() else {
         return Err("missing subcommand".into());
     };
+    let obs_mode = parse_obs(&argv)?;
+    if obs_mode != ObsMode::Off {
+        mosc::obs::enable();
+    }
     let args = Args(argv);
 
-    // `analyze` builds its platform from the spec file, not the flags.
+    // `analyze` builds its platform from the spec file, not the flags;
+    // `profile` does too and owns its own telemetry life cycle.
     if cmd == "analyze" {
         return analyze(&args);
     }
+    if cmd == "profile" {
+        return profile(&args, obs_mode);
+    }
 
     let platform = build_platform(&args)?;
-    match cmd.as_str() {
+    let code = match cmd.as_str() {
         "solve" => solve(&args, &platform),
         "peak" => peak(&args, &platform),
         "compare" => {
@@ -85,14 +156,158 @@ fn run() -> Result<ExitCode, String> {
         "trace" => trace(&args, &platform),
         other => Err(format!("unknown subcommand '{other}'")),
     }
-    .map(|()| ExitCode::SUCCESS)
+    .map(|()| ExitCode::SUCCESS)?;
+    emit_obs(obs_mode);
+    Ok(code)
+}
+
+/// One profile entry: solver name plus its deferred run.
+type SolverRun<'a> = (&'a str, Box<dyn Fn() -> Result<Solution, String> + 'a>);
+
+/// One summary row: name, wall seconds, `expm.calls`, `peak_eval.calls`, outcome.
+type ProfileRow<'a> = (&'a str, f64, u64, u64, Result<Solution, String>);
+
+/// Runs every solver on the spec's platform, one recorder window each, and
+/// closes with a comparison table (pretty) or per-solver JSONL blocks.
+fn profile(args: &Args, mode: ObsMode) -> Result<ExitCode, String> {
+    let path =
+        args.0.get(1).filter(|a| !a.starts_with("--")).ok_or("profile needs a SPEC.json path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let platform = mosc::analyze::platform_from_spec(&text).map_err(|e| format!("{path}: {e}"))?;
+    // Profiling is pointless without the recorder; default to pretty.
+    let json = mode == ObsMode::Json;
+    mosc::obs::enable();
+
+    // A short governor horizon: the propagator cache makes the per-step cost
+    // trivial, but the default 300 s horizon is still 60k steps.
+    let gov = GovernorOptions {
+        control_period: 0.01,
+        horizon: 30.0,
+        warmup: 15.0,
+        ..GovernorOptions::default()
+    };
+    let solvers: Vec<SolverRun<'_>> = vec![
+        ("LNS", Box::new(|| lns::solve(&platform).map_err(|e| e.to_string()))),
+        ("EXS", Box::new(|| exs::solve(&platform).map_err(|e| e.to_string()))),
+        (
+            "EXS-BnB",
+            Box::new(|| exs_bnb::solve(&platform).map(|(s, _)| s).map_err(|e| e.to_string())),
+        ),
+        (
+            "AO",
+            Box::new(|| {
+                ao::solve_with(&platform, &AoOptions::default()).map_err(|e| e.to_string())
+            }),
+        ),
+        (
+            "PCO",
+            Box::new(|| {
+                pco::solve_with(&platform, &PcoOptions::default()).map_err(|e| e.to_string())
+            }),
+        ),
+        (
+            "Governor",
+            Box::new(|| {
+                reactive::simulate(&platform, &gov)
+                    .and_then(|r| r.as_solution(&platform))
+                    .map_err(|e| e.to_string())
+            }),
+        ),
+    ];
+
+    let mut summary: Vec<ProfileRow<'_>> = Vec::new();
+    for (name, solve) in &solvers {
+        mosc::obs::reset();
+        let start = std::time::Instant::now();
+        let result = solve();
+        let wall = start.elapsed().as_secs_f64();
+        let telemetry = mosc::obs::snapshot();
+        let expm = telemetry.counter("expm.calls").unwrap_or(0);
+        let peaks = telemetry.counter("peak_eval.calls").unwrap_or(0);
+        if json {
+            match &result {
+                Ok(s) => println!(
+                    "{{\"type\":\"profile\",\"solver\":{},\"wall_s\":{wall:?},\
+                     \"throughput\":{:?},\"peak_c\":{:?},\"feasible\":{}}}",
+                    json_quote(name),
+                    s.throughput,
+                    s.peak_c(&platform),
+                    s.feasible
+                ),
+                Err(e) => println!(
+                    "{{\"type\":\"profile\",\"solver\":{},\"wall_s\":{wall:?},\"error\":{}}}",
+                    json_quote(name),
+                    json_quote(e)
+                ),
+            }
+            print!("{}", telemetry.to_jsonl());
+        } else {
+            println!("=== {name} ===");
+            match &result {
+                Ok(s) => println!(
+                    "throughput {:.4}, peak {:.2} C, feasible {}, m = {}, wall {:.3} s",
+                    s.throughput,
+                    s.peak_c(&platform),
+                    s.feasible,
+                    s.m,
+                    wall
+                ),
+                Err(e) => println!("failed: {e} (wall {wall:.3} s)"),
+            }
+            print!("{}", telemetry.render_pretty());
+            println!();
+        }
+        summary.push((name, wall, expm, peaks, result));
+    }
+
+    if !json {
+        println!(
+            "{:<9} {:>9} {:>11} {:>15} {:>10}",
+            "solver", "wall (s)", "expm.calls", "peak_eval.calls", "throughput"
+        );
+        for (name, wall, expm, peaks, result) in &summary {
+            match result {
+                Ok(s) => {
+                    println!("{name:<9} {wall:>9.3} {expm:>11} {peaks:>15} {:>10.4}", s.throughput);
+                }
+                Err(_) => println!("{name:<9} {wall:>9.3} {expm:>11} {peaks:>15} {:>10}", "failed"),
+            }
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Minimal JSON string quoting for the profile header lines.
+fn json_quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn analyze(args: &Args) -> Result<ExitCode, String> {
-    let path =
-        args.0.get(1).filter(|a| !a.starts_with("--")).ok_or("analyze needs a SPEC.json path")?;
+    let path = args
+        .0
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("analyze needs a SPEC.json or TELEMETRY.jsonl path")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let report = mosc::analyze::analyze_spec(&text).map_err(|e| format!("{path}: {e}"))?;
+    // `.jsonl` files are mosc-obs telemetry streams (M05x lints); anything
+    // else is a platform/schedule/solution spec.
+    let report = if path.ends_with(".jsonl") {
+        mosc::analyze::analyze_telemetry(&text).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        mosc::analyze::analyze_spec(&text).map_err(|e| format!("{path}: {e}"))?
+    };
     print!("{}", report.render());
     if report.has_errors() {
         Ok(ExitCode::FAILURE)
@@ -148,9 +363,10 @@ fn solve(args: &Args, platform: &Platform) -> Result<(), String> {
         sol.m
     );
     let rendered = text::to_text(&sol.schedule);
-    match args.flag("--out") {
+    match args.out_path()? {
         Some(path) => {
-            std::fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+            std::fs::write(path, &rendered)
+                .map_err(|e| format!("cannot write schedule to '{path}': {e}"))?;
             println!("schedule written to {path}");
         }
         None => print!("{rendered}"),
@@ -216,9 +432,10 @@ fn trace(args: &Args, platform: &Platform) -> Result<(), String> {
     let tr = transient_trace(platform.thermal(), platform.power(), &schedule, &t0, periods, 50)
         .map_err(|e| format!("trace failed: {e}"))?;
     let csv = tr.to_csv(platform.t_ambient_c());
-    match args.flag("--out") {
+    match args.out_path()? {
         Some(path) => {
-            std::fs::write(path, &csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+            std::fs::write(path, &csv)
+                .map_err(|e| format!("cannot write trace to '{path}': {e}"))?;
             println!("trace ({} samples) written to {path}", tr.len());
         }
         None => print!("{csv}"),

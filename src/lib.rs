@@ -34,6 +34,7 @@
 //! | [`sched`] | periodic schedules, step-up / m-Oscillating transforms, peaks |
 //! | [`algorithms`] | LNS, EXS, AO (Algorithm 2), PCO, reactive governor |
 //! | [`analyze`] | static-analysis lints (`M0xx` diagnostics) over platforms, schedules, solutions |
+//! | [`obs`] | zero-dependency spans, metrics and event telemetry (`--obs`, `mosc-cli profile`) |
 //! | [`workload`] | seeded random generators for experiments |
 //!
 //! Every table and figure of the paper has a regenerating binary in
@@ -45,6 +46,7 @@
 pub use mosc_analyze as analyze;
 pub use mosc_core as algorithms;
 pub use mosc_linalg as linalg;
+pub use mosc_obs as obs;
 pub use mosc_power as power;
 pub use mosc_sched as sched;
 pub use mosc_thermal as thermal;

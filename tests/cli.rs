@@ -87,3 +87,104 @@ fn schedule_core_count_mismatch_detected() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cores"));
 }
+
+#[test]
+fn obs_json_emits_span_tree_and_kernel_counters() {
+    let out = cli()
+        .args(["solve", "--algo", "ao", "--rows", "1", "--cols", "3", "--tmax", "55", "--obs=json"])
+        .output()
+        .expect("run solve --obs=json");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The m-sweep span must appear nested under the solve root.
+    assert!(
+        stdout.contains(r#""path":"ao.solve/ao.sweep_m""#),
+        "missing nested sweep span in {stdout}"
+    );
+    // Kernel and solver counters are present and nonzero.
+    for name in ["expm.calls", "ao.tpt_rounds", "ao.m_candidates", "peak_eval.calls"] {
+        let line = stdout
+            .lines()
+            .find(|l| l.contains(&format!(r#""name":"{name}""#)))
+            .unwrap_or_else(|| panic!("missing counter {name} in {stdout}"));
+        assert!(!line.contains(r#""value":0"#), "zero {name}: {line}");
+    }
+}
+
+#[test]
+fn obs_pretty_renders_report_after_output() {
+    let out = cli()
+        .args(["solve", "--algo", "lns", "--rows", "1", "--cols", "2", "--tmax", "60", "--obs"])
+        .output()
+        .expect("run solve --obs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("LNS:"), "{stdout}");
+    assert!(stdout.contains("lns.solve"), "missing span tree in {stdout}");
+
+    let out = cli()
+        .args(["solve", "--rows", "1", "--cols", "2", "--tmax", "60", "--obs=yaml"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("yaml"));
+}
+
+#[test]
+fn profile_reports_all_six_solvers() {
+    let dir = std::env::temp_dir().join("mosc_cli_profile");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let spec = dir.join("spec.json");
+    std::fs::write(
+        &spec,
+        r#"{"platform": {"rows": 1, "cols": 2, "levels": [0.6, 1.3], "t_max_c": 55.0}}"#,
+    )
+    .expect("write spec");
+
+    let out = cli().arg("profile").arg(&spec).output().expect("run profile");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["LNS", "EXS", "EXS-BnB", "AO", "PCO", "Governor"] {
+        assert!(stdout.contains(&format!("=== {name} ===")), "missing {name} in {stdout}");
+    }
+    assert!(stdout.contains("expm.calls"), "summary table missing in {stdout}");
+
+    let out = cli().arg("profile").arg(&spec).arg("--obs=json").output().expect("run profile json");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["LNS", "EXS", "EXS-BnB", "AO", "PCO", "Governor"] {
+        assert!(
+            stdout.contains(&format!(r#""type":"profile","solver":"{name}""#)),
+            "missing {name} profile line in {stdout}"
+        );
+    }
+
+    let out = cli().args(["profile"]).output().expect("run profile without spec");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("SPEC"));
+}
+
+#[test]
+fn out_flag_errors_carry_the_path() {
+    // --out without a value must not fall through to stdout silently.
+    let out = cli()
+        .args(["solve", "--rows", "1", "--cols", "2", "--tmax", "60", "--out"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out needs a file path"));
+
+    // An unwritable path must report which path failed.
+    let bad = std::env::temp_dir().join("mosc_no_such_dir").join("sched.txt");
+    let out = cli()
+        .args(["solve", "--rows", "1", "--cols", "2", "--tmax", "60", "--out"])
+        .arg(&bad)
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot write schedule to") && stderr.contains("mosc_no_such_dir"),
+        "{stderr}"
+    );
+}
