@@ -20,4 +20,25 @@ test -n "$profile_out" || { echo "profile emitted no telemetry" >&2; exit 1; }
 echo "$profile_out" | grep -q '"type":"profile","solver":"Governor"' \
     || { echo "profile missing per-solver records" >&2; exit 1; }
 
+echo "==> period-map scaling smoke (dense ops sublinear in m)"
+pm_field() { # pm_field <m> <field>
+    echo "$profile_out" | sed -n "s/.*\"type\":\"periodmap\",\"m\":$1,.*\"$2\":\([0-9]*\).*/\1/p"
+}
+fast_1=$(pm_field 1 fast_ops); fast_64=$(pm_field 64 fast_ops); fast_256=$(pm_field 256 fast_ops)
+dense_64=$(pm_field 64 dense_ops); expm_fast_64=$(pm_field 64 fast_expm); expm_dense_64=$(pm_field 64 dense_expm)
+test -n "$fast_1" && test -n "$fast_256" && test -n "$dense_64" \
+    || { echo "profile missing periodmap records" >&2; exit 1; }
+# The modal kernel's dense-op count must not grow with the oscillation
+# factor (flat, not merely sublinear) ...
+test "$fast_256" -le $((fast_1 * 4)) \
+    || { echo "period_map dense ops grew with m: $fast_1 -> $fast_256" >&2; exit 1; }
+# ... and must beat the interval-by-interval reference >= 5x at m = 64.
+test $((dense_64 + expm_dense_64)) -ge $(((fast_64 + expm_fast_64) * 5)) \
+    || { echo "period_map kernel not >=5x cheaper at m=64: fast $fast_64+$expm_fast_64 vs dense $dense_64+$expm_dense_64" >&2; exit 1; }
+
+echo "==> period-map bench artifact (BENCH_periodmap.json)"
+cargo run -q --release -p mosc-bench --bin periodmap -- --csv target/bench >/dev/null
+grep -q '"type":"periodmap"' target/bench/BENCH_periodmap.json \
+    || { echo "BENCH_periodmap.json missing periodmap records" >&2; exit 1; }
+
 echo "==> all checks passed"

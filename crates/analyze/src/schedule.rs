@@ -86,7 +86,9 @@ pub fn check_schedule(
     step_up_severity: Severity,
 ) -> Report {
     let mut report = Report::new();
-    let period = schedule.period();
+    // Core timelines span one repeating block; the full period is the block
+    // times the repetition factor, so M013 compares against the block.
+    let period = schedule.block_period();
 
     for (c, core) in schedule.cores().iter().enumerate() {
         // The constructors enforce these; re-verify cheaply so hand-built

@@ -99,7 +99,11 @@ pub fn check_solution(
                 );
             }
             let t_max = platform.t_max();
-            if claim.feasible && peak.temp > t_max + tol.peak_abs {
+            // Solvers stamp feasibility at FEASIBILITY_EPS, so the audit
+            // slack must never be tighter — otherwise a solution every
+            // solver legitimately accepted would be flagged M022.
+            let feas_slack = tol.peak_abs.max(mosc_sched::FEASIBILITY_EPS);
+            if claim.feasible && peak.temp > t_max + feas_slack {
                 report.push(
                     Code::InfeasibleMarkedFeasible,
                     "solution.feasible",
@@ -219,7 +223,7 @@ mod tests {
         SolutionClaim {
             throughput: schedule.throughput_with_overhead(platform.overhead()),
             peak,
-            feasible: peak <= platform.t_max() + 1e-6,
+            feasible: peak <= platform.t_max() + mosc_sched::FEASIBILITY_EPS,
             m,
         }
     }

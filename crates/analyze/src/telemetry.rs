@@ -19,9 +19,12 @@
 //!   prunes from either bound.
 //! * `M053` — span timing that cannot come from a healthy recorder
 //!   (negative totals, `self > total`, calls = 0 with nonzero time).
-//! * `M054` — a solver span (`ao.solve` / `pco.solve`) recorded while the
-//!   `expm.calls` kernel counter stayed at zero: the solver and kernel
-//!   layers disagree about what ran.
+//! * `M054` — a solver span (`ao.solve` / `pco.solve`) recorded while every
+//!   kernel counter (`expm.calls`, `period_map.matmuls`,
+//!   `steady_state.calls`) stayed at zero: the solver and kernel layers
+//!   disagree about what ran. Since the period-map kernel landed, a healthy
+//!   solver run can legitimately show `expm.calls == 0` — the modal
+//!   counters move instead.
 
 use crate::diag::{Code, Report};
 use crate::json::Value;
@@ -39,8 +42,11 @@ const BNB_PRUNE_FLOOR: u64 = 50;
 pub fn analyze_telemetry(text: &str) -> Result<Report, SpecError> {
     let mut report = Report::new();
     let mut records = 0usize;
-    let mut expm_calls: u64 = 0;
+    let mut kernel_calls: u64 = 0;
     let mut solver_spans: Vec<String> = Vec::new();
+    /// Counters whose movement proves the evaluation kernel ran: the dense
+    /// `expm` path or the modal period-map path.
+    const KERNEL_COUNTERS: [&str; 3] = ["expm.calls", "period_map.matmuls", "steady_state.calls"];
 
     for (idx, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -56,11 +62,16 @@ pub fn analyze_telemetry(text: &str) -> Result<Report, SpecError> {
         records += 1;
         match value.get("type").and_then(Value::as_str) {
             Some("span") => check_span(&value, lineno, &mut report, &mut solver_spans),
-            Some("counter") if value.get("name").and_then(Value::as_str) == Some("expm.calls") => {
+            Some("counter")
+                if value
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .is_some_and(|n| KERNEL_COUNTERS.contains(&n)) =>
+            {
                 if let Some(v) = value.get("value").and_then(Value::as_f64) {
                     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
                     {
-                        expm_calls += v.max(0.0) as u64;
+                        kernel_calls += v.max(0.0) as u64;
                     }
                 }
             }
@@ -75,12 +86,13 @@ pub fn analyze_telemetry(text: &str) -> Result<Report, SpecError> {
             "",
             "telemetry stream holds no records — was the recorder enabled?",
         );
-    } else if expm_calls == 0 && !solver_spans.is_empty() {
+    } else if kernel_calls == 0 && !solver_spans.is_empty() {
         report.push(
             Code::KernelCountersMissing,
             solver_spans[0].clone(),
             format!(
-                "solver span '{}' recorded but expm.calls never moved — kernel \
+                "solver span '{}' recorded but no kernel counter (expm.calls, \
+                 period_map.matmuls, steady_state.calls) ever moved — kernel \
                  instrumentation and solver instrumentation disagree",
                 solver_spans[0]
             ),
@@ -247,6 +259,15 @@ mod tests {
         // A non-solver span without expm activity is fine (EXS evaluates
         // through the cached response matrix).
         let text = r#"{"type":"span","path":"exs.solve","name":"exs.solve","depth":0,"calls":1,"total_s":0.5,"self_s":0.5}
+"#;
+        let r = analyze_telemetry(text).unwrap();
+        assert!(!r.has_code(Code::KernelCountersMissing), "findings:\n{r}");
+
+        // A solver whose work runs through the modal period-map kernel
+        // legitimately leaves expm.calls at zero — the modal counters count.
+        let text = r#"{"type":"span","path":"ao.solve","name":"ao.solve","depth":0,"calls":1,"total_s":0.5,"self_s":0.5}
+{"type":"counter","name":"expm.calls","value":0}
+{"type":"counter","name":"period_map.matmuls","value":42}
 "#;
         let r = analyze_telemetry(text).unwrap();
         assert!(!r.has_code(Code::KernelCountersMissing), "findings:\n{r}");

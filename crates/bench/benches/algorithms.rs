@@ -9,7 +9,7 @@ use mosc_sched::{Platform, PlatformSpec};
 use std::hint::black_box;
 
 fn quick_ao() -> AoOptions {
-    AoOptions { base_period: 0.05, max_m: 64, m_patience: 4, t_unit_divisor: 50 }
+    AoOptions { base_period: 0.05, max_m: 64, m_patience: 4, t_unit_divisor: 50, threads: 0 }
 }
 
 fn quick_pco() -> PcoOptions {

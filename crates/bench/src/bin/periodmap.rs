@@ -1,0 +1,87 @@
+//! E-PM — period-map kernel scaling: modal fast path vs the
+//! interval-by-interval dense reference on the Table V 3×3 platform.
+//!
+//! A two-mode step-up schedule is oscillated to factors m ∈ {1, 4, 16, 64,
+//! 256} and its thermal stable status evaluated twice per m: through the
+//! modal period-map kernel (`SteadyState::compute`, `O((d + log m)·n + d·n²)`)
+//! and through the dense reference (`compute_dense`, `O(m·d·n³)`). The table
+//! reports wall time, the dense-op counters (`period_map.matmuls` +
+//! `linalg.matmuls`), `expm.calls`, and the max steady-state divergence.
+//!
+//! With `--csv <dir>` the records are also written as
+//! `BENCH_periodmap.json` (JSON lines, one record per m) — the artifact the
+//! `ci.sh` smoke checks for.
+
+use mosc_bench::{csv_dir_from_args, timed_obs, write_csv, Table};
+use mosc_sched::eval::{compute_dense, SteadyState};
+use mosc_sched::{Platform, PlatformSpec, Schedule};
+use std::fmt::Write as _;
+
+/// Dense-op total of one telemetry window: modal basis changes plus full
+/// dense products.
+fn dense_ops(t: &mosc_obs::Telemetry) -> u64 {
+    t.counter("period_map.matmuls").unwrap_or(0) + t.counter("linalg.matmuls").unwrap_or(0)
+}
+
+fn main() {
+    let csv = csv_dir_from_args();
+    let platform = Platform::build(&PlatformSpec::paper(3, 3, 2, 55.0)).expect("platform");
+    let n = platform.n_cores();
+    let levels = platform.modes().levels();
+    let (v_low, v_high) = (levels[0], *levels.last().expect("non-empty mode set"));
+    let base = Schedule::two_mode(&vec![v_low; n], &vec![v_high; n], &vec![0.5; n], 0.05)
+        .expect("two-mode schedule");
+
+    println!("period-map kernel scaling — 3x3 grid, 2 levels, T_max 55 C\n");
+    let mut table = Table::new(&[
+        "m",
+        "fast (s)",
+        "dense (s)",
+        "speedup",
+        "fast ops",
+        "dense ops",
+        "fast expm",
+        "dense expm",
+        "max |diff|",
+    ]);
+    let mut json = String::new();
+
+    for &m in &[1usize, 4, 16, 64, 256] {
+        let s = base.oscillated(m);
+        let (fast, fast_wall, fast_obs) =
+            timed_obs(|| SteadyState::compute(platform.thermal(), platform.power(), &s));
+        let fast = fast.expect("fast path");
+        let (dense, dense_wall, dense_obs) =
+            timed_obs(|| compute_dense(platform.thermal(), platform.power(), &s));
+        let (dense_start, _) = dense.expect("dense reference");
+        let diff = fast.t_start().max_abs_diff(&dense_start);
+        assert!(diff < 1e-8, "kernel diverges from the dense reference at m = {m}: {diff}");
+
+        let (f_ops, f_expm) = (dense_ops(&fast_obs), fast_obs.counter("expm.calls").unwrap_or(0));
+        let (d_ops, d_expm) = (dense_ops(&dense_obs), dense_obs.counter("expm.calls").unwrap_or(0));
+        table.row(vec![
+            m.to_string(),
+            format!("{fast_wall:.6}"),
+            format!("{dense_wall:.6}"),
+            format!("{:.1}x", dense_wall / fast_wall.max(1e-12)),
+            f_ops.to_string(),
+            d_ops.to_string(),
+            f_expm.to_string(),
+            d_expm.to_string(),
+            format!("{diff:.2e}"),
+        ]);
+        let _ = writeln!(
+            json,
+            "{{\"type\":\"periodmap\",\"rows\":3,\"cols\":3,\"m\":{m},\
+             \"fast_wall_s\":{fast_wall:?},\"dense_wall_s\":{dense_wall:?},\
+             \"fast_ops\":{f_ops},\"dense_ops\":{d_ops},\
+             \"fast_expm\":{f_expm},\"dense_expm\":{d_expm},\
+             \"max_abs_diff\":{diff:?}}}"
+        );
+    }
+    print!("{}", table.render());
+
+    if let Some(dir) = csv {
+        write_csv(&dir, "BENCH_periodmap.json", &json);
+    }
+}

@@ -14,16 +14,21 @@
 //! 3. **m sweep** — oscillating all cores `m` times per period lowers the
 //!    stable peak (Theorem 5) but each DVFS round trip stalls the core for
 //!    `τ` and costs `δ = (v_H+v_L)τ/(v_H−v_L)` seconds of compensation, so
-//!    `m` is bounded by `M = min_i ⌊t_{i,L}/(δ_i+τ)⌋` and the sweep keeps the
-//!    `m` with the lowest peak (the schedule is step-up, so each candidate's
-//!    peak is one exact Theorem-1 evaluation).
+//!    `m` is bounded by `M = min_i ⌊t_{i,L}/(δ_i+τ)⌋`. Once several factors
+//!    are feasible a larger `m` only adds compensation, so the sweep keeps
+//!    the smallest feasible `m` (ties broken by net throughput); when no
+//!    factor is feasible on its own it falls back to the lowest-peak `m` and
+//!    lets the TPT pass close the gap. Candidates are independent exact
+//!    Theorem-1 evaluations, so the sweep fans batches out across scoped
+//!    threads and selects sequentially in ascending-`m` order — bit-identical
+//!    to a single-threaded sweep.
 //! 4. **TPT ratio adjustment** — while the peak still exceeds `T_max`,
 //!    convert one `t_unit` of high-voltage time to low on the core with the
 //!    best temperature-per-throughput tradeoff index
 //!    `TPT_j = ΔT_i / ((v_{j,H} − v_{j,L})·t_unit)`, where `i` is the
 //!    hottest core.
 
-use crate::{continuous, AlgoError, Result, Solution};
+use crate::{continuous, AlgoError, Result, Solution, ACCEPT_EPS, FEASIBILITY_EPS};
 use mosc_sched::{Platform, Schedule};
 
 /// Oscillation factors evaluated by the m sweep across all AO runs.
@@ -45,11 +50,16 @@ pub struct AoOptions {
     pub m_patience: usize,
     /// `t_unit = compressed_period / t_unit_divisor` for the TPT pass.
     pub t_unit_divisor: usize,
+    /// Worker threads for the m sweep and the TPT trial loop (`0` = all
+    /// available). Any thread count produces bit-identical results: workers
+    /// only evaluate candidates, selection stays sequential in candidate
+    /// order.
+    pub threads: usize,
 }
 
 impl Default for AoOptions {
     fn default() -> Self {
-        Self { base_period: 0.1, max_m: 4096, m_patience: 8, t_unit_divisor: 200 }
+        Self { base_period: 0.1, max_m: 4096, m_patience: 8, t_unit_divisor: 200, threads: 0 }
     }
 }
 
@@ -112,7 +122,7 @@ pub fn solve_with(platform: &Platform, opts: &AoOptions) -> Result<Solution> {
 
     // Feasibility floor.
     let lowest_peak = platform.steady_peak(&vec![modes.lowest(); n])?;
-    if lowest_peak > t_max + 1e-9 {
+    if lowest_peak > t_max + ACCEPT_EPS {
         return Err(AlgoError::Infeasible { lowest_peak, t_max });
     }
 
@@ -127,13 +137,14 @@ pub fn solve_with(platform: &Platform, opts: &AoOptions) -> Result<Solution> {
     let pairs_adj = adjusted_pairs(&pairs, platform, m_opt, opts);
     let t_c = opts.base_period / m_opt as f64;
     let t_unit = t_c / opts.t_unit_divisor as f64;
-    let (_, schedule) = adjust_to_tmax(platform, &pairs_adj, t_c, t_unit)?;
+    let (_, schedule) =
+        adjust_to_tmax_with_threads(platform, &pairs_adj, t_c, t_unit, opts.threads)?;
 
     let peak = platform.peak(&schedule)?.temp;
     let solution = Solution {
         algorithm: "AO",
         throughput: schedule.throughput_with_overhead(platform.overhead()),
-        feasible: peak <= t_max + 1e-6,
+        feasible: peak <= t_max + FEASIBILITY_EPS,
         peak,
         schedule,
         m: m_opt,
@@ -144,6 +155,10 @@ pub fn solve_with(platform: &Platform, opts: &AoOptions) -> Result<Solution> {
     );
     Ok(solution)
 }
+
+/// Outcome of one TPT swap trial: `None` when the core has no high time
+/// left to trade, otherwise the temperature reduction and trial schedule.
+type TptTrial = Result<Option<(f64, Schedule)>>;
 
 /// Algorithm 2's TPT pass (lines 14–21): starting from `pairs` on period
 /// `t_c`, repeatedly convert `t_unit` of high time to low on the core with
@@ -162,11 +177,30 @@ pub fn adjust_to_tmax(
     t_c: f64,
     t_unit: f64,
 ) -> Result<(Vec<CorePair>, Schedule)> {
+    adjust_to_tmax_with_threads(platform, pairs, t_c, t_unit, 0)
+}
+
+/// As [`adjust_to_tmax`], with an explicit worker-thread count for the
+/// per-core trial evaluations (`0` = all available, `1` = the paper's
+/// sequential loop). The trials are independent steady-state evaluations and
+/// the swap selection stays sequential in core order, so every thread count
+/// returns bit-identical results.
+///
+/// # Errors
+/// See [`adjust_to_tmax`].
+pub fn adjust_to_tmax_with_threads(
+    platform: &Platform,
+    pairs: &[CorePair],
+    t_c: f64,
+    t_unit: f64,
+    threads: usize,
+) -> Result<(Vec<CorePair>, Schedule)> {
     let _span = mosc_obs::span("ao.tpt_adjust");
     if !(t_c > 0.0 && t_unit > 0.0 && t_unit < t_c) {
         return Err(AlgoError::InvalidOptions { what: "need 0 < t_unit < t_c" });
     }
     let n = platform.n_cores();
+    let threads = thread_count(threads, n);
     let t_max = platform.t_max();
     let mut pairs_adj = pairs.to_vec();
     let mut schedule = schedule_from_pairs(&pairs_adj, t_c)?;
@@ -176,7 +210,7 @@ pub fn adjust_to_tmax(
     loop {
         TPT_ROUNDS.incr();
         let peak = platform.peak(&schedule)?;
-        if peak.temp <= t_max + 1e-9 {
+        if peak.temp <= t_max + ACCEPT_EPS {
             break;
         }
         iters += 1;
@@ -187,22 +221,45 @@ pub fn adjust_to_tmax(
         }
         let hot_core = peak.core;
         let hot_temp = temp_of_core(platform, &schedule, hot_core)?;
-        // Pick the core whose t_unit swap cools `hot_core` the most per unit
-        // of throughput lost.
+        // Evaluate each core's t_unit swap (possibly in parallel), then pick
+        // the one cooling `hot_core` the most per unit of throughput lost —
+        // sequentially in core order, so the choice matches a serial loop.
+        let mut trials: Vec<Option<TptTrial>> = (0..n).map(|_| None).collect();
+        if threads > 1 && n > 1 {
+            let collected: Vec<Vec<(usize, TptTrial)>> = std::thread::scope(|scope| {
+                let pairs_ref = &pairs_adj;
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        scope.spawn(move || {
+                            (t..n)
+                                .step_by(threads)
+                                .map(|j| {
+                                    (
+                                        j,
+                                        tpt_trial(
+                                            platform, pairs_ref, j, t_c, t_unit, hot_core, hot_temp,
+                                        ),
+                                    )
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("TPT trial thread panicked")).collect()
+            });
+            for (j, r) in collected.into_iter().flatten() {
+                trials[j] = Some(r);
+            }
+        } else {
+            for (j, slot) in trials.iter_mut().enumerate() {
+                *slot = Some(tpt_trial(platform, &pairs_adj, j, t_c, t_unit, hot_core, hot_temp));
+            }
+        }
         let mut best: Option<(f64, usize, Schedule)> = None;
-        for j in 0..n {
+        for (j, slot) in trials.into_iter().enumerate() {
+            let Some(result) = slot else { continue };
+            let Some((reduction, trial)) = result? else { continue };
             let p = &pairs_adj[j];
-            if !p.adjustable() {
-                continue;
-            }
-            let new_ratio = p.ratio_high - t_unit / t_c;
-            if new_ratio < -1e-12 {
-                continue;
-            }
-            let mut trial_pairs = pairs_adj.clone();
-            trial_pairs[j].ratio_high = new_ratio.max(0.0);
-            let trial = schedule_from_pairs(&trial_pairs, t_c)?;
-            let reduction = hot_temp - temp_of_core(platform, &trial, hot_core)?;
             let tpt = reduction / ((p.v_high - p.v_low) * t_unit);
             if reduction > 0.0 && best.as_ref().is_none_or(|(b, _, _)| tpt > *b) {
                 best = Some((tpt, j, trial));
@@ -245,7 +302,7 @@ pub fn adjust_to_tmax(
             let mut trial_pairs = pairs_adj.clone();
             trial_pairs[j].ratio_high = mid;
             let trial = schedule_from_pairs(&trial_pairs, t_c)?;
-            if platform.peak(&trial)?.temp <= t_max + 1e-9 {
+            if platform.peak(&trial)?.temp <= t_max + ACCEPT_EPS {
                 lo = mid;
                 pairs_adj = trial_pairs;
                 schedule = trial;
@@ -256,6 +313,41 @@ pub fn adjust_to_tmax(
     }
     mosc_obs::event("ao.tpt_done", &[("rounds", iters.into())]);
     Ok((pairs_adj, schedule))
+}
+
+/// One TPT candidate: core `j` trades `t_unit` of high time for low. Returns
+/// `None` when the core has nothing left to trade, otherwise the temperature
+/// reduction it buys on `hot_core` and the trial schedule.
+fn tpt_trial(
+    platform: &Platform,
+    pairs_adj: &[CorePair],
+    j: usize,
+    t_c: f64,
+    t_unit: f64,
+    hot_core: usize,
+    hot_temp: f64,
+) -> Result<Option<(f64, Schedule)>> {
+    let p = &pairs_adj[j];
+    if !p.adjustable() {
+        return Ok(None);
+    }
+    let new_ratio = p.ratio_high - t_unit / t_c;
+    if new_ratio < -1e-12 {
+        return Ok(None);
+    }
+    let mut trial_pairs = pairs_adj.to_vec();
+    trial_pairs[j].ratio_high = new_ratio.max(0.0);
+    let trial = schedule_from_pairs(&trial_pairs, t_c)?;
+    let reduction = hot_temp - temp_of_core(platform, &trial, hot_core)?;
+    Ok(Some((reduction, trial)))
+}
+
+/// Resolves a requested worker count (`0` = all available) against the
+/// number of independent work items.
+pub(crate) fn thread_count(requested: usize, work: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, usize::from);
+    let t = if requested == 0 { hw } else { requested };
+    t.clamp(1, work.max(1))
 }
 
 /// Builds the per-core level pairs from the ideal voltages.
@@ -330,8 +422,14 @@ pub fn schedule_from_pairs(pairs: &[CorePair], t_c: f64) -> Result<Schedule> {
     Ok(Schedule::two_mode(&v_low, &v_high, &ratio, t_c)?)
 }
 
-/// Sweeps the oscillation factor (Algorithm 2 lines 8–13) and returns the
-/// factor with the lowest stable peak along with its schedule.
+/// Sweeps the oscillation factor (Algorithm 2 lines 8–13). Returns the
+/// smallest feasible factor (ties in net throughput keep the smaller `m`,
+/// since extra oscillation only adds δ compensation) or, when no factor is
+/// feasible on its own, the lowest-peak factor for the TPT pass to finish.
+///
+/// Candidates are evaluated in batches across scoped threads; selection
+/// consumes the batch sequentially in ascending-`m` order, so the result is
+/// bit-identical to a single-threaded sweep.
 fn sweep_m(platform: &Platform, pairs: &[CorePair], opts: &AoOptions) -> Result<(usize, Schedule)> {
     let _span = mosc_obs::span("ao.sweep_m");
     // When no core actually oscillates the schedule is m-invariant.
@@ -341,40 +439,109 @@ fn sweep_m(platform: &Platform, pairs: &[CorePair], opts: &AoOptions) -> Result<
         return Ok((1, schedule));
     }
     let m_cap = chip_max_m(platform, pairs, opts);
-    let mut best: Option<(usize, f64, Schedule)> = None;
+    let threads = thread_count(opts.threads, m_cap);
+    let t_max = platform.t_max();
+    // Best feasible candidate: highest net throughput, first (smallest) m on
+    // ties. Fallback: lowest stable peak.
+    let mut best_feasible: Option<(usize, f64, f64, Schedule)> = None;
+    let mut best_peak: Option<(usize, f64, Schedule)> = None;
     let mut since_improvement = 0;
     let mut stop: &'static str = "cap";
-    for m in 1..=m_cap {
-        let adjusted = adjusted_pairs(pairs, platform, m, opts);
-        let t_c = opts.base_period / m as f64;
-        // Oscillation is pointless (and the δ compensation undefined) when
-        // the compensation consumes a core's entire low interval.
-        if pairs
-            .iter()
-            .zip(&adjusted)
-            .any(|(base, adj)| pairs_oscillating(base) && adj.ratio_high >= 1.0 - 1e-12)
-        {
-            stop = "overhead_saturated";
-            break;
-        }
-        M_CANDIDATES.incr();
-        let schedule = schedule_from_pairs(&adjusted, t_c)?;
-        let peak = platform.peak(&schedule)?.temp;
-        if best.as_ref().is_none_or(|(_, b, _)| peak < *b - 1e-9) {
-            best = Some((m, peak, schedule));
-            since_improvement = 0;
-        } else {
-            since_improvement += 1;
-            if since_improvement >= opts.m_patience {
-                stop = "patience";
+    let mut m_next = 1usize;
+    'sweep: while m_next <= m_cap {
+        // Assemble a batch of factors whose δ compensation still fits: the
+        // compensation consuming a core's entire low interval means larger m
+        // is pointless (and δ undefined), so saturation ends the sweep.
+        let mut batch: Vec<(usize, Vec<CorePair>, f64)> = Vec::with_capacity(threads);
+        let mut saturated = false;
+        while batch.len() < threads && m_next <= m_cap {
+            let m = m_next;
+            m_next += 1;
+            let adjusted = adjusted_pairs(pairs, platform, m, opts);
+            if pairs
+                .iter()
+                .zip(&adjusted)
+                .any(|(base, adj)| pairs_oscillating(base) && adj.ratio_high >= 1.0 - 1e-12)
+            {
+                stop = "overhead_saturated";
+                saturated = true;
                 break;
             }
+            batch.push((m, adjusted, opts.base_period / m as f64));
+        }
+        if batch.is_empty() {
+            break;
+        }
+        // Each candidate's exact Theorem-1 peak is independent; fan out.
+        let evals: Vec<Result<(Schedule, f64)>> = if threads > 1 && batch.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = batch
+                    .iter()
+                    .map(|(_, adjusted, t_c)| {
+                        scope.spawn(move || -> Result<(Schedule, f64)> {
+                            let schedule = schedule_from_pairs(adjusted, *t_c)?;
+                            let peak = platform.peak(&schedule)?.temp;
+                            Ok((schedule, peak))
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("m-sweep thread panicked")).collect()
+            })
+        } else {
+            batch
+                .iter()
+                .map(|(_, adjusted, t_c)| {
+                    let schedule = schedule_from_pairs(adjusted, *t_c)?;
+                    let peak = platform.peak(&schedule)?.temp;
+                    Ok((schedule, peak))
+                })
+                .collect()
+        };
+        for ((m, _, _), eval) in batch.iter().zip(evals) {
+            let (schedule, peak) = eval?;
+            M_CANDIDATES.incr();
+            let mut improved = false;
+            if peak <= t_max + ACCEPT_EPS {
+                let net = schedule.throughput_with_overhead(platform.overhead());
+                if best_feasible.as_ref().is_none_or(|(_, b, _, _)| net > *b + 1e-12) {
+                    best_feasible = Some((*m, net, peak, schedule.clone()));
+                    improved = true;
+                }
+            }
+            if best_peak.as_ref().is_none_or(|(_, b, _)| peak < *b - 1e-9) {
+                best_peak = Some((*m, peak, schedule));
+                // Peak progress only counts while chasing first feasibility;
+                // afterwards only net-throughput gains keep the sweep alive.
+                improved = improved || best_feasible.is_none();
+            }
+            if improved {
+                since_improvement = 0;
+            } else {
+                since_improvement += 1;
+                if since_improvement >= opts.m_patience {
+                    stop = "patience";
+                    break 'sweep;
+                }
+            }
+        }
+        if saturated {
+            break;
         }
     }
-    let (m, peak, schedule) = best.expect("m = 1 always evaluates");
+    let (m, peak, schedule, selected) = match (best_feasible, best_peak) {
+        (Some((m, _, p, s)), _) => (m, p, s, "smallest_feasible"),
+        (None, Some((m, p, s))) => (m, p, s, "lowest_peak"),
+        _ => unreachable!("m = 1 always evaluates"),
+    };
     mosc_obs::event(
         "ao.m_selected",
-        &[("m", m.into()), ("m_cap", m_cap.into()), ("peak", peak.into()), ("stop", stop.into())],
+        &[
+            ("m", m.into()),
+            ("m_cap", m_cap.into()),
+            ("peak", peak.into()),
+            ("stop", stop.into()),
+            ("selected", selected.into()),
+        ],
     );
     Ok((m, schedule))
 }
@@ -397,7 +564,43 @@ mod tests {
     use mosc_sched::PlatformSpec;
 
     fn quick_opts() -> AoOptions {
-        AoOptions { base_period: 0.05, max_m: 64, m_patience: 4, t_unit_divisor: 50 }
+        AoOptions { base_period: 0.05, max_m: 64, m_patience: 4, t_unit_divisor: 50, threads: 0 }
+    }
+
+    #[test]
+    fn ao_single_thread_matches_parallel() {
+        let p = Platform::build(&PlatformSpec::paper(2, 3, 2, 55.0)).unwrap();
+        let seq = solve_with(&p, &AoOptions { threads: 1, ..quick_opts() }).unwrap();
+        let par = solve_with(&p, &AoOptions { threads: 8, ..quick_opts() }).unwrap();
+        assert_eq!(seq.m, par.m);
+        assert!((seq.throughput - par.throughput).abs() == 0.0, "thread count changed the result");
+        assert!((seq.peak - par.peak).abs() == 0.0);
+    }
+
+    #[test]
+    fn sweep_prefers_smallest_feasible_m() {
+        // Nonzero τ (the paper's 5 µs default): once a factor is feasible,
+        // larger ones only add δ compensation, so the sweep must not pass
+        // the smallest feasible m. Scaling the ideal ratios down leaves
+        // thermal headroom in the continuous mixture, so feasibility is
+        // reached at a finite m without any TPT adjustment.
+        let p = Platform::build(&PlatformSpec::paper(2, 3, 2, 55.0)).unwrap();
+        assert!(p.overhead().tau > 0.0, "paper default must carry overhead");
+        let opts = quick_opts();
+        let ideal = crate::continuous::solve(&p).unwrap();
+        let mut pairs = build_pairs(&p, &ideal.voltages);
+        for pair in &mut pairs {
+            pair.ratio_high *= 0.6;
+        }
+        let (m_sel, _) = sweep_m(&p, &pairs, &opts).unwrap();
+        let m_cap = chip_max_m(&p, &pairs, &opts);
+        let smallest_feasible = (1..=m_cap).find(|&m| {
+            let adjusted = adjusted_pairs(&pairs, &p, m, &opts);
+            let s = schedule_from_pairs(&adjusted, opts.base_period / m as f64).unwrap();
+            p.peak(&s).unwrap().temp <= p.t_max() + ACCEPT_EPS
+        });
+        let mf = smallest_feasible.expect("some m must be feasible with 0.6x ratios");
+        assert!(m_sel <= mf, "selected m {m_sel} exceeds smallest feasible {mf}");
     }
 
     #[test]

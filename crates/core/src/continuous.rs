@@ -122,7 +122,7 @@ pub fn solve_with_range(platform: &Platform, v_min: f64, v_max: f64) -> Result<C
         .thermal()
         .steady_state_cores(&power.psi_profile(&voltages))
         .map_err(mosc_sched::SchedError::from)?;
-    let feasible = temps.max() <= t_max + 1e-6;
+    let feasible = temps.max() <= t_max + crate::FEASIBILITY_EPS;
     let throughput = voltages.iter().sum::<f64>() / n as f64;
     Ok(ContinuousSolution { voltages, temps, throughput, feasible })
 }

@@ -16,7 +16,7 @@
 //! The search cost still grows as `L^N` — reproducing the paper's
 //! computation-time blow-up (Table V) is the point, not a defect.
 
-use crate::{Result, Solution};
+use crate::{Result, Solution, ACCEPT_EPS, FEASIBILITY_EPS};
 use mosc_sched::{Platform, Schedule};
 
 /// Level assignments evaluated across all partitions. Each worker
@@ -89,7 +89,7 @@ pub fn solve_with_threads(platform: &Platform, threads: usize) -> Result<Solutio
     let solution = Solution {
         algorithm: "EXS",
         throughput: schedule.throughput(),
-        feasible: peak <= t_max + 1e-6,
+        feasible: peak <= t_max + FEASIBILITY_EPS,
         peak,
         schedule,
         m: 1,
@@ -130,7 +130,7 @@ fn search_partition(
             // Evaluate the current assignment.
             evaluated += 1;
             let peak = temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            if peak <= t_max + 1e-9 {
+            if peak <= t_max + ACCEPT_EPS {
                 let speed_sum: f64 = idx.iter().map(|&l| levels[l]).sum();
                 if best.as_ref().is_none_or(|(b, _)| speed_sum > *b) {
                     best = Some((speed_sum, idx.clone()));

@@ -16,7 +16,7 @@
 //! gestures at ("fundamental principles … readily used for other thermal
 //! related research").
 
-use crate::{AlgoError, Result, Solution};
+use crate::{AlgoError, Result, Solution, ACCEPT_EPS, FEASIBILITY_EPS};
 use mosc_sched::{Platform, Schedule};
 
 /// Tree nodes expanded (mirrors [`BnbStats::visited`], batched per run).
@@ -67,7 +67,7 @@ pub fn solve(platform: &Platform) -> Result<(Solution, BnbStats)> {
             *t += r[(i, j)] * psi_min;
         }
     }
-    if temps_floor.iter().cloned().fold(f64::NEG_INFINITY, f64::max) > t_max + 1e-9 {
+    if temps_floor.iter().cloned().fold(f64::NEG_INFINITY, f64::max) > t_max + ACCEPT_EPS {
         return Err(AlgoError::Infeasible {
             lowest_peak: temps_floor.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
             t_max,
@@ -102,7 +102,7 @@ pub fn solve(platform: &Platform) -> Result<(Solution, BnbStats)> {
         // Thermal bound: the floor completion is the coolest this subtree
         // can ever be.
         let peak = temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        if peak > t_max + 1e-9 {
+        if peak > t_max + ACCEPT_EPS {
             stats.thermal_prunes += 1;
             return;
         }
@@ -183,7 +183,7 @@ pub fn solve(platform: &Platform) -> Result<(Solution, BnbStats)> {
     let solution = Solution {
         algorithm: "EXS-BnB",
         throughput: schedule.throughput(),
-        feasible: peak <= t_max + 1e-6,
+        feasible: peak <= t_max + FEASIBILITY_EPS,
         peak,
         schedule,
         m: 1,

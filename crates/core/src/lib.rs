@@ -46,7 +46,7 @@ pub mod pco;
 pub mod reactive;
 
 pub use ao::AoOptions;
-pub use mosc_sched::{Platform, PlatformSpec, Schedule};
+pub use mosc_sched::{Platform, PlatformSpec, Schedule, ACCEPT_EPS, FEASIBILITY_EPS};
 
 /// Outcome of a scheduling algorithm: the schedule it constructed and the
 /// headline numbers the evaluation compares.

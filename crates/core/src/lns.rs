@@ -6,7 +6,7 @@
 //! always thermally safe — and often far below the achievable throughput,
 //! which is the gap AO exploits.
 
-use crate::{continuous, Result, Solution};
+use crate::{continuous, Result, Solution, ACCEPT_EPS, FEASIBILITY_EPS};
 use mosc_sched::{Platform, Schedule};
 
 /// Safety-loop rounds that stepped some core down a level (zero in the
@@ -39,7 +39,7 @@ pub fn solve(platform: &Platform) -> Result<Solution> {
     // Safety loop (no-op for the common case where the ideal was feasible).
     loop {
         let temps = platform.thermal().steady_state_cores(&platform.psi_profile(&voltages))?;
-        if temps.max() <= platform.t_max() + 1e-9 {
+        if temps.max() <= platform.t_max() + ACCEPT_EPS {
             break;
         }
         let hottest = temps.argmax().expect("non-empty platform");
@@ -73,7 +73,7 @@ pub fn solve(platform: &Platform) -> Result<Solution> {
     let solution = Solution {
         algorithm: "LNS",
         throughput: schedule.throughput(),
-        feasible: peak <= platform.t_max() + 1e-6,
+        feasible: peak <= platform.t_max() + FEASIBILITY_EPS,
         peak,
         schedule,
         m: 1,

@@ -1,0 +1,71 @@
+//! Cross-crate consistency of the feasibility tolerances: every schedule a
+//! solver accepts and stamps `feasible` must survive the `mosc-analyze`
+//! M022 audit (`InfeasibleMarkedFeasible`), including under tolerances
+//! tighter than the solvers' own stamping slack — the analyzer floors its
+//! slack at `FEASIBILITY_EPS` for exactly this reason.
+
+use mosc_analyze::{Code, SolutionClaim, Tolerances};
+use mosc_core::ao::AoOptions;
+use mosc_core::pco::PcoOptions;
+use mosc_core::{ao, exs, exs_bnb, lns, pco, Platform, PlatformSpec, Solution};
+
+fn quick_ao() -> AoOptions {
+    AoOptions { base_period: 0.05, max_m: 32, m_patience: 3, t_unit_divisor: 40, threads: 0 }
+}
+
+fn claim_of(solution: &Solution) -> SolutionClaim {
+    SolutionClaim {
+        throughput: solution.throughput,
+        peak: solution.peak,
+        feasible: solution.feasible,
+        m: solution.m,
+    }
+}
+
+fn assert_never_m022(platform: &Platform, solution: &Solution, tol: &Tolerances) {
+    let report =
+        mosc_analyze::check_solution(platform, &solution.schedule, &claim_of(solution), tol);
+    assert!(
+        !report.has_code(Code::InfeasibleMarkedFeasible),
+        "{}: solver-accepted solution flagged infeasible by analyze:\n{report}",
+        solution.algorithm
+    );
+}
+
+#[test]
+fn accepted_solutions_survive_the_analyzer_audit() {
+    let tol = Tolerances::default();
+    for (rows, cols) in [(1, 3), (2, 3)] {
+        let p = Platform::build(&PlatformSpec::paper(rows, cols, 2, 55.0)).unwrap();
+        let solutions = [
+            lns::solve(&p).unwrap(),
+            exs::solve(&p).unwrap(),
+            exs_bnb::solve(&p).unwrap().0,
+            ao::solve_with(&p, &quick_ao()).unwrap(),
+            pco::solve_with(
+                &p,
+                &PcoOptions { ao: quick_ao(), phase_steps: 4, samples: 150, refill_divisor: 40 },
+            )
+            .unwrap(),
+        ];
+        for sol in &solutions {
+            assert!(sol.feasible, "{rows}x{cols}: {} must be feasible", sol.algorithm);
+            assert_never_m022(&p, sol, &tol);
+        }
+    }
+}
+
+#[test]
+fn audit_slack_is_floored_at_the_stamping_slack() {
+    // Even with a zero peak tolerance the M022 audit must not outlaw the
+    // `peak <= T_max + FEASIBILITY_EPS` band the solvers stamp feasible —
+    // the exact-path solvers recompute bit-identical peaks, so any flag
+    // here would be a pure tolerance-mismatch artifact.
+    let tight = Tolerances { throughput_rel: 1e-9, peak_abs: 0.0 };
+    let p = Platform::build(&PlatformSpec::paper(2, 3, 2, 55.0)).unwrap();
+    for sol in
+        [lns::solve(&p).unwrap(), exs::solve(&p).unwrap(), ao::solve_with(&p, &quick_ao()).unwrap()]
+    {
+        assert_never_m022(&p, &sol, &tight);
+    }
+}

@@ -4,6 +4,10 @@ use crate::{LinalgError, Result, Vector};
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
 
+/// Dense `O(n³)` matrix–matrix products — together with `expm.calls` this is
+/// the cost the period-map kernel is measured against.
+static MATMUL_CALLS: mosc_obs::Counter = mosc_obs::Counter::new("linalg.matmuls");
+
 /// A dense, row-major `f64` matrix.
 ///
 /// Sized for the thermal networks of this workspace (tens of nodes): the
@@ -190,6 +194,7 @@ impl Matrix {
                 op: "matmul",
             });
         }
+        MATMUL_CALLS.incr();
         let mut out = Self::zeros(self.rows, rhs.cols);
         // i-k-j loop order keeps the inner loop contiguous for both the
         // output row and the rhs row — the standard cache-friendly ordering
@@ -230,6 +235,32 @@ impl Matrix {
                 acc += a * b;
             }
             out[i] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Transposed matrix–vector product `selfᵀ · x`, without materializing
+    /// the transpose (column-walk over the row-major storage).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] when `x.len() != rows`.
+    pub fn tr_matvec(&self, x: &Vector) -> Result<Vector> {
+        if self.rows != x.len() {
+            return Err(LinalgError::ShapeMismatch {
+                left: (self.cols, self.rows),
+                right: (x.len(), 1),
+                op: "tr_matvec",
+            });
+        }
+        let mut out = Vector::zeros(self.cols);
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            let row = self.row(i);
+            for (o, &a) in out.as_mut_slice().iter_mut().zip(row) {
+                *o += a * xi;
+            }
         }
         Ok(out)
     }
@@ -434,6 +465,16 @@ mod tests {
     fn from_vec_rejects_bad_length() {
         assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
         assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn tr_matvec_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let x = Vector::from_slice(&[2.0, -1.0]);
+        let direct = a.tr_matvec(&x).unwrap();
+        let via_transpose = a.transpose().matvec(&x).unwrap();
+        assert!(direct.max_abs_diff(&via_transpose) < 1e-15);
+        assert!(a.tr_matvec(&Vector::zeros(3)).is_err());
     }
 
     #[test]

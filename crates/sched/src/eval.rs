@@ -12,12 +12,22 @@
 //! thermal stable status is the fixed point `T_ss(0) = (I − K)⁻¹·r`
 //! (`I − K` is invertible because every eigenvalue of `A` is negative, so
 //! `‖K‖ < 1`).
+//!
+//! Since all `Φ_q` are exponentials of the same `A`, the whole composition
+//! diagonalizes in `A`'s eigenbasis: [`SteadyState::compute`] routes through
+//! the [`crate::period_map`] kernel, which composes the period map
+//! elementwise in modal coordinates (no `expm`, no dense products, no LU)
+//! and exponentiates repeated blocks by binary squaring. The historical
+//! interval-by-interval dense path is retained as [`compute_dense`] for
+//! property tests and the bench comparison.
 
+use crate::period_map::{self, PeriodMap};
 use crate::schedule::EPS;
 use crate::{Result, SchedError, Schedule};
 use mosc_linalg::{Lu, Matrix, Vector};
 use mosc_power::PowerLike;
 use mosc_thermal::{ThermalModel, Trace};
+use std::sync::Arc;
 
 /// Periodic steady-state computations ([`SteadyState::compute`]): one full
 /// propagator composition plus an `(I − K)` solve each.
@@ -33,18 +43,34 @@ static PEAK_EVAL_EXACT: mosc_obs::Counter = mosc_obs::Counter::new("peak_eval.ex
 /// on non-step-up schedules.
 pub const DEFAULT_SAMPLES_PER_PERIOD: usize = 400;
 
+/// One block state interval of the stable status, in modal coordinates.
+#[derive(Debug, Clone)]
+struct IntervalState {
+    /// Start time within the block (s).
+    start: f64,
+    /// Interval length (s).
+    len: f64,
+    /// Modal steady state of the interval's power profile.
+    y_inf: Arc<Vector>,
+    /// Modal temperatures at the interval start (stable status).
+    y_at_start: Vector,
+}
+
 /// The periodic thermal stable status of a schedule on a model: the
-/// start-of-period temperature fixed point plus the per-interval data needed
-/// to reconstruct the trace anywhere inside the period.
+/// start-of-period temperature fixed point plus the per-interval modal data
+/// needed to reconstruct the trace anywhere inside the repeating block (the
+/// stable trace of a repeated schedule is block-periodic).
 #[derive(Debug, Clone)]
 pub struct SteadyState {
     /// Start-of-period node temperatures in the stable status.
     t_start: Vector,
-    /// Per interval: `(start_time, length, T∞ of the interval's power)`.
-    intervals: Vec<(f64, f64, Vector)>,
+    /// Per-interval modal data for one repeating block.
+    intervals: Vec<IntervalState>,
     /// Node temperatures at each interval end (stable status), aligned with
     /// `intervals`.
     at_ends: Vec<Vector>,
+    /// Repetition factor carried from the schedule.
+    repetitions: usize,
     n_cores: usize,
 }
 
@@ -54,6 +80,11 @@ impl SteadyState {
     /// [`mosc_power::CorePowerTable`]; with the latter, the model's per-core
     /// β values must have been built to match).
     ///
+    /// Runs entirely through the [`crate::period_map`] modal kernel: cost is
+    /// `O(d·n²)` in the block's interval count `d` and *independent* of the
+    /// schedule's repetition factor up to an `O(n·log m)` squaring term —
+    /// compare [`compute_dense`].
+    ///
     /// # Errors
     /// Core-count mismatches or (for pathological models) solver failures.
     pub fn compute<P: PowerLike + ?Sized>(
@@ -62,48 +93,36 @@ impl SteadyState {
         schedule: &Schedule,
     ) -> Result<Self> {
         STEADY_STATE_CALLS.incr();
-        if schedule.n_cores() != model.n_cores() {
-            return Err(SchedError::CoreCountMismatch {
-                schedule: schedule.n_cores(),
-                model: model.n_cores(),
+        let pm = PeriodMap::build(model, power, schedule)?;
+        let y0 = pm.steady_start()?;
+        let t_start = period_map::from_modal(model, &y0)?;
+
+        let mut intervals = Vec::with_capacity(pm.intervals().len());
+        let mut at_ends = Vec::with_capacity(pm.intervals().len());
+        let mut y = y0;
+        for iv in pm.intervals() {
+            let y_at_start = y.clone();
+            y = Vector::from_fn(y.len(), |k| iv.decay[k] * (y[k] - iv.y_inf[k]) + iv.y_inf[k]);
+            at_ends.push(period_map::from_modal(model, &y)?);
+            intervals.push(IntervalState {
+                start: iv.start,
+                len: iv.len,
+                y_inf: Arc::clone(&iv.y_inf),
+                y_at_start,
             });
         }
-        let n = model.n_nodes();
-        let ivs = schedule.state_intervals();
+        Ok(Self {
+            t_start,
+            intervals,
+            at_ends,
+            repetitions: pm.repetitions(),
+            n_cores: model.n_cores(),
+        })
+    }
 
-        // Per-interval steady states and propagators; compose the period map.
-        let mut k = Matrix::identity(n);
-        let mut r = Vector::zeros(n);
-        let mut interval_data = Vec::with_capacity(ivs.len());
-        let mut start = 0.0;
-        for (voltages, len) in &ivs {
-            let psi = power.psi_profile_of(voltages);
-            let t_inf = model.steady_state(&psi)?;
-            let phi = model.propagator(*len)?;
-            // r ← Φ·r + (I − Φ)·T∞;  K ← Φ·K
-            let phir = phi.matvec(&r)?;
-            let phit = phi.matvec(&t_inf)?;
-            r = &(&phir + &t_inf) - &phit;
-            k = phi.matmul(&k)?;
-            interval_data.push((start, *len, t_inf));
-            start += len;
-        }
-
-        // Fixed point (I − K)·T_ss(0) = r.
-        let i_minus_k = &Matrix::identity(n) - &k;
-        let t_start = Lu::new(&i_minus_k)?.solve_vec(&r)?;
-
-        // Temperatures at interval ends.
-        let mut at_ends = Vec::with_capacity(interval_data.len());
-        let mut cur = t_start.clone();
-        for (_, len, t_inf) in &interval_data {
-            let phi = model.propagator(*len)?;
-            let diff = &cur - t_inf;
-            cur = &phi.matvec(&diff)? + t_inf;
-            at_ends.push(cur.clone());
-        }
-
-        Ok(Self { t_start, intervals: interval_data, at_ends, n_cores: model.n_cores() })
+    /// Duration of the repeating block covered by the per-interval data.
+    fn block_period(&self) -> f64 {
+        self.intervals.iter().map(|iv| iv.len).sum()
     }
 
     /// Start-of-period temperatures (all nodes).
@@ -124,7 +143,7 @@ impl SteadyState {
     #[must_use]
     pub fn peak_at_boundaries(&self) -> PeakReport {
         let mut best = PeakReport { temp: f64::NEG_INFINITY, core: 0, time: 0.0, exact: false };
-        let period: f64 = self.intervals.iter().map(|(_, l, _)| l).sum();
+        let period = self.block_period();
         let consider = |t: &Vector, time: f64, best: &mut PeakReport| {
             for c in 0..self.n_cores {
                 if t[c] > best.temp {
@@ -133,31 +152,33 @@ impl SteadyState {
             }
         };
         consider(&self.t_start, 0.0, &mut best);
-        for ((start, len, _), t) in self.intervals.iter().zip(&self.at_ends) {
-            consider(t, (start + len).min(period), &mut best);
+        for (iv, t) in self.intervals.iter().zip(&self.at_ends) {
+            consider(t, (iv.start + iv.len).min(period), &mut best);
         }
         best
     }
 
     /// Samples the stable-status trace at (at least) `samples` points over
-    /// the period, always including interval boundaries.
+    /// one repeating block (= the full period for unrepeated schedules; the
+    /// stable trace of a repeated schedule is block-periodic), always
+    /// including interval boundaries. Each sample costs one elementwise
+    /// modal step plus one basis change — no propagator builds.
     ///
     /// # Errors
     /// Solver failures only (cannot occur for a constructed model).
     pub fn trace(&self, model: &ThermalModel, samples: usize) -> Result<Trace> {
-        let period: f64 = self.intervals.iter().map(|(_, l, _)| l).sum();
+        let period = self.block_period();
         let dt_target = period / samples.max(1) as f64;
         let mut trace = Trace::with_capacity(self.n_cores, samples + self.intervals.len() + 2);
         trace.push(0.0, self.t_start.clone());
-        let mut cur = self.t_start.clone();
-        for (start, len, t_inf) in &self.intervals {
-            let n_steps = (len / dt_target).ceil().max(1.0) as usize;
-            let h = len / n_steps as f64;
-            let phi = model.propagator(h)?;
+        for iv in &self.intervals {
+            let n_steps = (iv.len / dt_target).ceil().max(1.0) as usize;
+            let h = iv.len / n_steps as f64;
+            let d = model.modal_decay(h)?;
+            let mut y = iv.y_at_start.clone();
             for s in 1..=n_steps {
-                let diff = &cur - t_inf;
-                cur = &phi.matvec(&diff)? + t_inf;
-                trace.push(start + h * s as f64, cur.clone());
+                y = Vector::from_fn(y.len(), |k| d[k] * (y[k] - iv.y_inf[k]) + iv.y_inf[k]);
+                trace.push(iv.start + h * s as f64, period_map::from_modal(model, &y)?);
             }
         }
         Ok(trace)
@@ -174,34 +195,45 @@ impl SteadyState {
     }
 
     /// Temperature vector at an arbitrary time within the period (stable
-    /// status): propagates from the enclosing interval's start.
+    /// status): one elementwise modal step from the enclosing interval's
+    /// start plus a basis change — no propagator build, so golden-section
+    /// refinement and PCO's sampled peaks stay `expm`-free.
+    ///
+    /// Times beyond the first block (repeated schedules) are folded modulo
+    /// the block period, which the stable trace is periodic in.
     ///
     /// # Errors
     /// Rejects times outside `[0, period]`; propagates solver failures.
     pub fn at_time(&self, model: &ThermalModel, t: f64) -> Result<Vector> {
-        let period: f64 = self.intervals.iter().map(|(_, l, _)| l).sum();
+        let block = self.block_period();
+        let period = block * self.repetitions as f64;
         if !(0.0..=period + EPS).contains(&t) {
             return Err(SchedError::Invalid {
                 what: format!("time {t} outside the period [0, {period}]"),
             });
         }
-        let mut cur = self.t_start.clone();
-        for ((start, len, t_inf), end_state) in self.intervals.iter().zip(&self.at_ends) {
-            if t <= start + len + EPS {
-                let phi = model.propagator((t - start).max(0.0))?;
-                let diff = &cur - t_inf;
-                return Ok(&phi.matvec(&diff)? + t_inf);
+        let t = if t > block + EPS { t % block } else { t };
+        for iv in &self.intervals {
+            if t <= iv.start + iv.len + EPS {
+                let d = model.modal_decay((t - iv.start).max(0.0))?;
+                let y = Vector::from_fn(d.len(), |k| {
+                    d[k] * (iv.y_at_start[k] - iv.y_inf[k]) + iv.y_inf[k]
+                });
+                return period_map::from_modal(model, &y);
             }
-            cur = end_state.clone();
         }
-        Ok(cur)
+        Ok(self.at_ends.last().expect("non-empty schedule").clone())
     }
 
     /// Sampled peak refined by golden-section search around the hottest
     /// sample. Within one state interval each core's temperature is a sum of
-    /// decaying exponentials toward `T∞`; it is unimodal between samples at
-    /// any reasonable sampling density, so a local search recovers the
-    /// continuous-time peak to `tol` seconds.
+    /// decaying exponentials toward `T∞` and is unimodal between samples at
+    /// any reasonable sampling density — but the `±1` sample window around
+    /// the hottest sample can straddle a state-interval boundary, where the
+    /// temperature kinks and is *not* unimodal. The window is therefore
+    /// split at every interior interval boundary, each boundary point is
+    /// evaluated explicitly (a kink maximum sits exactly there), and the
+    /// golden-section search runs per sub-bracket.
     ///
     /// # Errors
     /// Propagates solver failures.
@@ -212,43 +244,68 @@ impl SteadyState {
         tol: f64,
     ) -> Result<PeakReport> {
         let coarse = self.peak_sampled(model, samples)?;
-        let period: f64 = self.intervals.iter().map(|(_, l, _)| l).sum();
+        let period = self.block_period();
         let window = period / samples.max(1) as f64;
-        let mut lo = (coarse.time - window).max(0.0);
-        let mut hi = (coarse.time + window).min(period);
+        let lo = (coarse.time - window).max(0.0);
+        let hi = (coarse.time + window).min(period);
         let core = coarse.core;
         let f = |t: f64| -> Result<f64> { Ok(self.at_time(model, t)?[core]) };
 
-        // Golden-section maximization of core temperature over [lo, hi].
-        const INV_PHI: f64 = 0.618_033_988_749_894_9;
-        let mut a = hi - INV_PHI * (hi - lo);
-        let mut b = lo + INV_PHI * (hi - lo);
-        let mut fa = f(a)?;
-        let mut fb = f(b)?;
-        let mut guard = 0;
-        while hi - lo > tol && guard < 200 {
-            guard += 1;
-            if fa >= fb {
-                hi = b;
-                b = a;
-                fb = fa;
-                a = hi - INV_PHI * (hi - lo);
-                fa = f(a)?;
-            } else {
-                lo = a;
-                a = b;
-                fa = fb;
-                b = lo + INV_PHI * (hi - lo);
-                fb = f(b)?;
+        // Split the window at the state-interval boundaries inside it.
+        let mut cuts = vec![lo];
+        for iv in &self.intervals {
+            for b in [iv.start, iv.start + iv.len] {
+                if b > lo + EPS && b < hi - EPS {
+                    cuts.push(b);
+                }
             }
         }
-        let t_best = 0.5 * (lo + hi);
-        let refined = f(t_best)?;
-        if refined >= coarse.temp {
-            Ok(PeakReport { temp: refined, core, time: t_best, exact: false })
-        } else {
-            Ok(coarse)
+        cuts.push(hi);
+        cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        cuts.dedup_by(|a, b| (*a - *b).abs() < EPS);
+
+        let mut best = coarse;
+        // Boundary points first: a kink maximum is exactly there and no
+        // interior search would converge onto it.
+        for &c in &cuts {
+            let v = f(c)?;
+            if v > best.temp {
+                best = PeakReport { temp: v, core, time: c, exact: false };
+            }
         }
+        // Golden-section maximization inside each sub-bracket, where the
+        // temperature is a smooth sum of exponentials and unimodal.
+        const INV_PHI: f64 = 0.618_033_988_749_894_9;
+        for w in cuts.windows(2) {
+            let (mut lo, mut hi) = (w[0], w[1]);
+            let mut a = hi - INV_PHI * (hi - lo);
+            let mut b = lo + INV_PHI * (hi - lo);
+            let mut fa = f(a)?;
+            let mut fb = f(b)?;
+            let mut guard = 0;
+            while hi - lo > tol && guard < 200 {
+                guard += 1;
+                if fa >= fb {
+                    hi = b;
+                    b = a;
+                    fb = fa;
+                    a = hi - INV_PHI * (hi - lo);
+                    fa = f(a)?;
+                } else {
+                    lo = a;
+                    a = b;
+                    fa = fb;
+                    b = lo + INV_PHI * (hi - lo);
+                    fb = f(b)?;
+                }
+            }
+            let t_best = 0.5 * (lo + hi);
+            let refined = f(t_best)?;
+            if refined > best.temp {
+                best = PeakReport { temp: refined, core, time: t_best, exact: false };
+            }
+        }
+        Ok(best)
     }
 }
 
@@ -283,7 +340,10 @@ pub fn peak_temperature<P: PowerLike + ?Sized>(
 ) -> Result<PeakReport> {
     PEAK_EVAL_CALLS.incr();
     let ss = SteadyState::compute(model, power, schedule)?;
-    if schedule.is_step_up() {
+    // Theorem 1 applies per repeating block: the stable trace is
+    // block-periodic, so a step-up *block* peaks at the block boundary even
+    // when the repeated full-period schedule is not globally step-up.
+    if schedule.block_is_step_up() {
         PEAK_EVAL_EXACT.incr();
         let t = ss.t_start();
         let mut best = PeakReport { temp: f64::NEG_INFINITY, core: 0, time: 0.0, exact: true };
@@ -297,9 +357,65 @@ pub fn peak_temperature<P: PowerLike + ?Sized>(
         // Sample, then polish the winning sample with a golden-section local
         // search — one extra core's trajectory, so nearly free.
         let samples = samples.unwrap_or(DEFAULT_SAMPLES_PER_PERIOD);
-        let tol = schedule.period() / samples as f64 * 1e-3;
+        let tol = schedule.block_period() / samples as f64 * 1e-3;
         ss.peak_refined(model, samples, tol)
     }
+}
+
+/// Interval-by-interval dense reference for [`SteadyState::compute`]: walks
+/// every materialized state interval of the *full* period (all repetitions),
+/// composing `K = Π Φ_q` with dense products and solving `(I − K)·T = r` by
+/// LU — `O(m·d·n³)` for a block of `d` intervals repeated `m` times. Returns
+/// the start-of-period fixed point and the temperatures at every interval
+/// end. Retained as the property-test oracle and the "before" side of the
+/// period-map bench comparison.
+///
+/// # Errors
+/// Core-count mismatches or solver failures.
+pub fn compute_dense<P: PowerLike + ?Sized>(
+    model: &ThermalModel,
+    power: &P,
+    schedule: &Schedule,
+) -> Result<(Vector, Vec<Vector>)> {
+    if schedule.n_cores() != model.n_cores() {
+        return Err(SchedError::CoreCountMismatch {
+            schedule: schedule.n_cores(),
+            model: model.n_cores(),
+        });
+    }
+    let n = model.n_nodes();
+    let ivs = schedule.state_intervals();
+
+    // Per-interval steady states and propagators; compose the period map.
+    let mut k = Matrix::identity(n);
+    let mut r = Vector::zeros(n);
+    let mut interval_data = Vec::with_capacity(ivs.len());
+    for (voltages, len) in &ivs {
+        let psi = power.psi_profile_of(voltages);
+        let t_inf = model.steady_state(&psi)?;
+        let phi = model.propagator(*len)?;
+        // r ← Φ·r + (I − Φ)·T∞;  K ← Φ·K
+        let phir = phi.matvec(&r)?;
+        let phit = phi.matvec(&t_inf)?;
+        r = &(&phir + &t_inf) - &phit;
+        k = phi.matmul(&k)?;
+        interval_data.push((*len, t_inf));
+    }
+
+    // Fixed point (I − K)·T_ss(0) = r.
+    let i_minus_k = &Matrix::identity(n) - &k;
+    let t_start = Lu::new(&i_minus_k)?.solve_vec(&r)?;
+
+    // Temperatures at interval ends.
+    let mut at_ends = Vec::with_capacity(interval_data.len());
+    let mut cur = t_start.clone();
+    for (len, t_inf) in &interval_data {
+        let phi = model.propagator(*len)?;
+        let diff = &cur - t_inf;
+        cur = &phi.matvec(&diff)? + t_inf;
+        at_ends.push(cur.clone());
+    }
+    Ok((t_start, at_ends))
 }
 
 /// Energy drawn per period in the thermal stable status (J): the
@@ -326,6 +442,9 @@ pub fn stable_energy_per_period<P: PowerLike + ?Sized>(
     // β·∫T: trapezoid over the sampled stable trace (core nodes only, and
     // only while the core is active — inactive cores leak nothing in this
     // model).
+    // The trace covers one repeating block and the stable status is
+    // block-periodic, so the full-period leakage integral is the block
+    // integral times the repetition count.
     let any_leak = (0..schedule.n_cores()).any(|c| power.beta_core(c) > 0.0);
     if any_leak {
         let trace = ss.trace(model, samples.max(8))?;
@@ -342,7 +461,7 @@ pub fn stable_energy_per_period<P: PowerLike + ?Sized>(
                 }
             }
         }
-        energy += integral;
+        energy += integral * schedule.repetitions() as f64;
     }
     Ok(energy)
 }
@@ -554,6 +673,37 @@ mod tests {
         );
         // The peak sits at the mode-switch instant.
         assert!((refined.time - 0.123).abs() < 1e-3, "peak at {}", refined.time);
+    }
+
+    #[test]
+    fn refined_peak_tracks_switch_instant_under_oscillation() {
+        // Regression: the golden-section bracket around the hottest sample
+        // can straddle a state-interval boundary; without splitting at the
+        // kink the search could converge into the wrong sub-interval.
+        // Oscillating a step-down schedule compresses the block, so the
+        // kink sits at 0.123/m — well inside a single coarse sample window.
+        let p = platform();
+        let s = Schedule::new(vec![
+            CoreSchedule::new(vec![Segment::new(1.3, 0.123), Segment::new(0.6, 0.377)]).unwrap(),
+            CoreSchedule::constant(0.6, 0.5).unwrap(),
+        ])
+        .unwrap()
+        .oscillated(4);
+        assert!(!s.block_is_step_up());
+        let peak = p.peak(&s).unwrap();
+        assert!(!peak.exact);
+        // The peak sits at the compressed switch instant.
+        let switch = 0.123 / 4.0;
+        assert!((peak.time - switch).abs() < 1e-3, "peak at {} vs kink {switch}", peak.time);
+        // And matches a brute-force dense scan of the stable trace.
+        let ss = SteadyState::compute(p.thermal(), p.power(), &s).unwrap();
+        let dense = ss.peak_sampled(p.thermal(), 20_000).unwrap();
+        assert!(
+            (peak.temp - dense.temp).abs() < 1e-5,
+            "refined {} vs dense reference {}",
+            peak.temp,
+            dense.temp
+        );
     }
 
     #[test]

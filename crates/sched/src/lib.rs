@@ -23,14 +23,30 @@
 #![warn(clippy::all)]
 
 pub mod eval;
+pub mod period_map;
 mod platform;
 mod schedule;
 pub mod sprint;
 pub mod text;
 
 pub use eval::{PeakReport, SteadyState};
+pub use period_map::{ModalMap, PeriodMap};
 pub use platform::{Platform, PlatformSpec};
 pub use schedule::{CoreSchedule, Schedule, Segment};
+
+/// Numerical slack used when *accepting* a candidate schedule against
+/// `T_max` inside solver search loops: peaks up to `T_max + ACCEPT_EPS` are
+/// treated as meeting the constraint, absorbing float noise in the
+/// steady-state evaluation without admitting physically hotter schedules.
+pub const ACCEPT_EPS: f64 = 1e-9;
+
+/// Wider slack used when *stamping or auditing* the feasibility of a
+/// finished solution (`Solution::feasible`, safety checks, analyzer lints).
+/// Strictly larger than [`ACCEPT_EPS`] so that any candidate a solver
+/// accepted is also reported — and audited — as feasible; solvers accepting
+/// at `1e-9` while stamping at `1e-6` used to rely on two unrelated
+/// literals agreeing by luck.
+pub const FEASIBILITY_EPS: f64 = 1e-6;
 
 /// Errors produced by schedule construction and evaluation.
 #[derive(Debug, Clone, PartialEq)]

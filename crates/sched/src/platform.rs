@@ -205,7 +205,7 @@ impl Platform {
     /// # Errors
     /// Propagates evaluation failures.
     pub fn is_thermally_safe(&self, schedule: &Schedule) -> Result<bool> {
-        Ok(self.peak(schedule)?.temp <= self.t_max + 1e-6)
+        Ok(self.peak(schedule)?.temp <= self.t_max + crate::FEASIBILITY_EPS)
     }
 }
 

@@ -200,15 +200,25 @@ impl CoreSchedule {
 }
 
 /// A periodic multi-core schedule: one [`CoreSchedule`] per core, all with
-/// the same period.
+/// the same period, played [`Schedule::repetitions`] times per full period.
+///
+/// The repetition count carries the structure of Definition 3's
+/// m-Oscillating schedules explicitly: [`Schedule::oscillated`] compresses
+/// the stored block by `m` *and* multiplies `repetitions` by `m`, so the
+/// full period is invariant and evaluators can exploit the repeated-block
+/// structure (`K = K_block^m` by binary squaring) instead of walking `2m`
+/// materialized segments.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Schedule {
     cores: Vec<CoreSchedule>,
+    /// Period of the stored block (every core's timeline duration).
     period: f64,
+    /// How many times the block repeats per full period (≥ 1).
+    repetitions: usize,
 }
 
 impl Schedule {
-    /// Builds a schedule from per-core timelines.
+    /// Builds a schedule from per-core timelines (one repetition).
     ///
     /// # Errors
     /// Rejects empty core lists and mismatched per-core periods.
@@ -228,7 +238,7 @@ impl Schedule {
                 });
             }
         }
-        Ok(Self { cores, period })
+        Ok(Self { cores, period, repetitions: 1 })
     }
 
     /// All cores at constant voltages for `period` seconds.
@@ -252,8 +262,12 @@ impl Schedule {
     /// let s = Schedule::two_mode(&[0.6, 0.6], &[1.3, 1.3], &[0.5, 0.25], 0.1).unwrap();
     /// assert!(s.is_step_up());
     /// assert!((s.throughput() - (0.95 + 0.775) / 2.0).abs() < 1e-12);
-    /// // Definition 3: compress every interval by m.
-    /// assert!((s.oscillated(4).period() - 0.025).abs() < 1e-12);
+    /// // Definition 3: compress every interval by m, repeat the block m
+    /// // times — the full period is invariant, the block shrinks.
+    /// let o = s.oscillated(4);
+    /// assert_eq!(o.repetitions(), 4);
+    /// assert!((o.block_period() - 0.025).abs() < 1e-12);
+    /// assert!((o.period() - 0.1).abs() < 1e-12);
     /// ```
     ///
     /// # Errors
@@ -295,10 +309,36 @@ impl Schedule {
         self.cores.len()
     }
 
-    /// Period in seconds.
+    /// Full period in seconds: the stored block's duration times the
+    /// repetition count.
     #[must_use]
     pub fn period(&self) -> f64 {
+        self.period * self.repetitions as f64
+    }
+
+    /// Duration of the repeating block (`period() / repetitions()`); equal
+    /// to [`Schedule::period`] for unrepeated schedules.
+    #[must_use]
+    pub fn block_period(&self) -> f64 {
         self.period
+    }
+
+    /// How many times the stored block repeats per full period.
+    #[must_use]
+    pub fn repetitions(&self) -> usize {
+        self.repetitions
+    }
+
+    /// Schedule that plays this one's full period `m` times in a row —
+    /// thermally identical in the stable status, but carried structurally
+    /// so evaluation stays `O(log m)` instead of `O(m)`.
+    ///
+    /// # Panics
+    /// Panics when `m == 0`.
+    #[must_use]
+    pub fn repeated(&self, m: usize) -> Self {
+        assert!(m > 0, "repetition count must be at least 1");
+        Self { cores: self.cores.clone(), period: self.period, repetitions: self.repetitions * m }
     }
 
     /// Per-core timelines.
@@ -313,14 +353,16 @@ impl Schedule {
         &self.cores[i]
     }
 
-    /// Replaces one core's timeline.
+    /// Replaces one core's timeline (within the repeating block).
     ///
     /// # Errors
-    /// Rejects a timeline whose period differs.
+    /// Rejects a timeline whose period differs from the block period.
     pub fn with_core(&self, i: usize, core: CoreSchedule) -> Result<Self> {
         let mut cores = self.cores.clone();
         cores[i] = core;
-        Self::new(cores)
+        let mut s = Self::new(cores)?;
+        s.repetitions = self.repetitions;
+        Ok(s)
     }
 
     /// Chip-wide throughput per eq. (5): the average per-core speed,
@@ -359,47 +401,101 @@ impl Schedule {
     }
 
     /// `true` when this is a step-up schedule per Definition 1 (every core's
-    /// voltage non-decreasing over the period).
+    /// voltage non-decreasing over the *full* period). A repeated block is
+    /// only globally non-decreasing when every core is constant — the wrap
+    /// from one block into the next steps back down otherwise.
     #[must_use]
     pub fn is_step_up(&self) -> bool {
+        self.block_is_step_up() && (self.repetitions == 1 || self.max_segments_per_core() <= 1)
+    }
+
+    /// `true` when the repeating block is step-up (every core non-decreasing
+    /// within the block). In the periodic stable status the trace is
+    /// block-periodic, so Theorem 1 applies per block: the peak sits at the
+    /// block boundary and the exact evaluation path is valid whenever the
+    /// *block* is step-up, regardless of the repetition count.
+    #[must_use]
+    pub fn block_is_step_up(&self) -> bool {
         self.cores.iter().all(CoreSchedule::is_non_decreasing)
     }
 
     /// The corresponding step-up schedule of Definition 2: per core, the same
-    /// segments reordered by non-decreasing voltage.
+    /// segments reordered by non-decreasing voltage. For a repeated schedule
+    /// the reordering applies to the full period — the `m` copies of each
+    /// voltage merge into one segment of `m`-fold duration — so the result
+    /// always has a single repetition.
     #[must_use]
     pub fn to_step_up(&self) -> Self {
-        let cores = self.cores.iter().map(CoreSchedule::sorted_by_voltage).collect();
+        let reps = self.repetitions as f64;
+        let cores = self
+            .cores
+            .iter()
+            .map(|c| {
+                let sorted = c.sorted_by_voltage();
+                if self.repetitions == 1 {
+                    return sorted;
+                }
+                let segs = sorted
+                    .segments()
+                    .iter()
+                    .map(|s| Segment::new(s.voltage, s.duration * reps))
+                    .collect();
+                CoreSchedule::new(segs).expect("scaling preserves validity")
+            })
+            .collect();
         Self::new(cores).expect("reordering preserves validity")
     }
 
-    /// The m-Oscillating schedule of Definition 3, represented by its
-    /// compressed period: every interval length divided by `m`. As a periodic
-    /// schedule, repeating the compressed period `m` times *is* `S(m, t)`,
-    /// and the two have identical steady-state behaviour.
+    /// The m-Oscillating schedule of Definition 3: every interval length
+    /// divided by `m`, repeated `m` times. The compression is materialized
+    /// in the stored block while the repetition factor is carried on
+    /// [`Schedule::repetitions`], so the full period is invariant and
+    /// evaluators see the repeated structure instead of `2m` segments.
     ///
     /// # Panics
     /// Panics when `m == 0`.
     #[must_use]
     pub fn oscillated(&self, m: usize) -> Self {
         let cores = self.cores.iter().map(|c| c.compressed(m)).collect();
-        Self::new(cores).expect("compression preserves validity")
+        let mut s = Self::new(cores).expect("compression preserves validity");
+        s.repetitions = self.repetitions * m;
+        s
     }
 
-    /// Copy with core `i` cyclically shifted by `offset` seconds (PCO's
-    /// spatial interleaving move).
+    /// Copy with core `i` cyclically shifted by `offset` seconds within the
+    /// block (PCO's spatial interleaving move).
     #[must_use]
     pub fn with_shifted_core(&self, i: usize, offset: f64) -> Self {
         let mut cores = self.cores.clone();
         cores[i] = cores[i].shifted(offset);
-        Self::new(cores).expect("shifting preserves validity")
+        let mut s = Self::new(cores).expect("shifting preserves validity");
+        s.repetitions = self.repetitions;
+        s
     }
 
-    /// Decomposes the period into global state intervals: at each boundary
-    /// where *any* core switches, a new interval starts. Returns
-    /// `(per-core voltages, length)` pairs covering exactly one period.
+    /// Decomposes the *full* period into global state intervals: the block
+    /// decomposition of [`Schedule::block_intervals`], materialized once per
+    /// repetition. Returns `(per-core voltages, length)` pairs covering
+    /// exactly one full period — the `O(m)` representation the period-map
+    /// kernel avoids, retained for reference evaluation and analyzers.
     #[must_use]
     pub fn state_intervals(&self) -> Vec<(Vec<f64>, f64)> {
+        let block = self.block_intervals();
+        if self.repetitions == 1 {
+            return block;
+        }
+        let mut out = Vec::with_capacity(block.len() * self.repetitions);
+        for _ in 0..self.repetitions {
+            out.extend(block.iter().cloned());
+        }
+        out
+    }
+
+    /// Decomposes the repeating block into global state intervals: at each
+    /// boundary where *any* core switches, a new interval starts. Returns
+    /// `(per-core voltages, length)` pairs covering exactly one block.
+    #[must_use]
+    pub fn block_intervals(&self) -> Vec<(Vec<f64>, f64)> {
         // Collect all boundaries.
         let mut bounds: Vec<f64> = vec![0.0, self.period];
         for core in &self.cores {
@@ -515,8 +611,45 @@ mod tests {
     fn oscillation_compresses_lengths() {
         let s = two_core();
         let o = s.oscillated(4);
-        assert!((o.period() - 0.025).abs() < 1e-12);
+        assert_eq!(o.repetitions(), 4);
+        assert!((o.block_period() - 0.025).abs() < 1e-12);
+        // The full period is invariant under Definition 3.
+        assert!((o.period() - s.period()).abs() < 1e-12);
         assert!((o.throughput() - s.throughput()).abs() < 1e-12);
+        // Oscillation composes: (S^4)^2 = S^8.
+        assert_eq!(o.oscillated(2).repetitions(), 8);
+    }
+
+    #[test]
+    fn repeated_carries_structure() {
+        let s = two_core();
+        let r = s.repeated(3);
+        assert_eq!(r.repetitions(), 3);
+        assert!((r.period() - 0.3).abs() < 1e-12);
+        assert!((r.block_period() - 0.1).abs() < 1e-12);
+        // Same average speed; state intervals materialize all repetitions.
+        assert!((r.throughput() - s.throughput()).abs() < 1e-12);
+        assert_eq!(r.state_intervals().len(), 3 * s.state_intervals().len());
+        assert_eq!(r.block_intervals().len(), s.block_intervals().len());
+        // A repeated non-constant block is not globally step-up.
+        let up = Schedule::two_mode(&[0.6, 0.6], &[1.3, 1.3], &[0.5, 0.5], 0.1).unwrap();
+        assert!(up.is_step_up());
+        assert!(up.repeated(2).block_is_step_up());
+        assert!(!up.repeated(2).is_step_up());
+        // A repeated constant schedule stays step-up.
+        let konst = Schedule::constant(&[1.0, 1.0], 0.1).unwrap();
+        assert!(konst.repeated(5).is_step_up());
+        // to_step_up of a repeated block merges the copies.
+        let merged = up.repeated(2).to_step_up();
+        assert_eq!(merged.repetitions(), 1);
+        assert!((merged.period() - 0.2).abs() < 1e-12);
+        assert!((merged.throughput() - up.throughput()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "repetition count")]
+    fn repeated_rejects_zero() {
+        let _ = two_core().repeated(0);
     }
 
     #[test]

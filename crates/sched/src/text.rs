@@ -12,7 +12,9 @@
 //!
 //! Durations are in seconds, voltages in volts; cores must be listed
 //! 0..N−1 in order and each must sum to the declared period (the parser
-//! rescales ULP-level drift and rejects anything worse than 0.1 %).
+//! rescales ULP-level drift and rejects anything worse than 0.1 %). An
+//! optional `repeat <m>` line carries [`Schedule::repetitions`] — the
+//! declared period and the core lines then describe the repeating block.
 
 use crate::{CoreSchedule, Result, SchedError, Schedule, Segment};
 use std::fmt::Write as _;
@@ -21,7 +23,10 @@ use std::fmt::Write as _;
 #[must_use]
 pub fn to_text(schedule: &Schedule) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "period {}", schedule.period());
+    let _ = writeln!(out, "period {}", schedule.block_period());
+    if schedule.repetitions() > 1 {
+        let _ = writeln!(out, "repeat {}", schedule.repetitions());
+    }
     for (i, core) in schedule.cores().iter().enumerate() {
         let segs: Vec<String> =
             core.segments().iter().map(|s| format!("{} x {}", s.voltage, s.duration)).collect();
@@ -37,6 +42,7 @@ pub fn to_text(schedule: &Schedule) -> String {
 /// missing/duplicate core, or period mismatch.
 pub fn from_text(text: &str) -> Result<Schedule> {
     let mut period: Option<f64> = None;
+    let mut repeat: Option<usize> = None;
     let mut cores: Vec<CoreSchedule> = Vec::new();
 
     for (lineno, raw) in text.lines().enumerate() {
@@ -54,6 +60,16 @@ pub fn from_text(text: &str) -> Result<Schedule> {
                 return Err(invalid(lineno, "period must be positive"));
             }
             period = Some(p);
+        } else if let Some(rest) = line.strip_prefix("repeat") {
+            if repeat.is_some() {
+                return Err(invalid(lineno, "duplicate 'repeat' line"));
+            }
+            let m: usize =
+                rest.trim().parse().map_err(|_| invalid(lineno, "cannot parse repeat count"))?;
+            if m == 0 {
+                return Err(invalid(lineno, "repeat count must be at least 1"));
+            }
+            repeat = Some(m);
         } else if let Some(rest) = line.strip_prefix("core") {
             let (idx_str, segs_str) = rest
                 .split_once(':')
@@ -104,7 +120,7 @@ pub fn from_text(text: &str) -> Result<Schedule> {
             c.segments().iter().map(|s| Segment::new(s.voltage, s.duration * scale)).collect();
         fixed.push(CoreSchedule::new(segs)?);
     }
-    Schedule::new(fixed)
+    Ok(Schedule::new(fixed)?.repeated(repeat.unwrap_or(1)))
 }
 
 fn invalid(lineno: usize, what: &str) -> SchedError {
@@ -132,6 +148,21 @@ mod tests {
         assert!((back.period() - 0.1).abs() < 1e-12);
         assert!((back.throughput() - s.throughput()).abs() < 1e-12);
         assert_eq!(back.core(0).segments().len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_repetitions() {
+        let s = sample().oscillated(8);
+        let text = to_text(&s);
+        assert!(text.contains("repeat 8"));
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.repetitions(), 8);
+        assert!((back.period() - s.period()).abs() < 1e-12);
+        assert!((back.block_period() - s.block_period()).abs() < 1e-12);
+        // Invalid repeat lines rejected.
+        assert!(from_text("period 1.0\nrepeat 0\ncore 0: 1 x 1\n").is_err());
+        assert!(from_text("period 1.0\nrepeat x\ncore 0: 1 x 1\n").is_err());
+        assert!(from_text("period 1.0\nrepeat 2\nrepeat 2\ncore 0: 1 x 1\n").is_err());
     }
 
     #[test]

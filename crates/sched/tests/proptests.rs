@@ -40,9 +40,13 @@ fn oscillation_scales_period_only() {
         let s = schedule(rng, 2, 1.0);
         let m = rng.gen_range(1..20usize);
         let o = s.oscillated(m);
-        assert!((o.period() - s.period() / m as f64).abs() < 1e-12);
+        // Definition 3 carried structurally: the block compresses by m, the
+        // repetition count absorbs it, the full period is invariant.
+        assert!((o.block_period() - s.block_period() / m as f64).abs() < 1e-12);
+        assert_eq!(o.repetitions(), s.repetitions() * m);
+        assert!((o.period() - s.period()).abs() < 1e-12);
         assert!((o.throughput() - s.throughput()).abs() < 1e-12);
-        assert_eq!(o.is_step_up(), s.is_step_up());
+        assert_eq!(o.block_is_step_up(), s.block_is_step_up());
     });
 }
 
@@ -131,6 +135,61 @@ fn throughput_is_mean_of_core_speeds() {
         assert!((s.throughput() - mean).abs() < 1e-12);
         // Bounded by the voltage range used by the generator.
         assert!(s.throughput() >= 0.6 - 1e-9 && s.throughput() <= 1.3 + 1e-9);
+    });
+}
+
+#[test]
+fn period_map_matches_dense_reference() {
+    // The modal period-map fast path and the interval-by-interval dense
+    // oracle must agree on the stable status — including for large
+    // repetition counts, where the fast path exponentiates by squaring
+    // while the oracle grinds through every materialized interval.
+    propcheck_cases("period_map_matches_dense_reference", 6, |rng| {
+        let p = Platform::build(&PlatformSpec::paper(1, 2, 3, 65.0)).unwrap();
+        for &m in &[1usize, 3, 17, 256] {
+            let base = schedule(rng, 2, 0.3);
+            // Both repetition flavors: plain repeat (same block, m blocks)
+            // and Definition-3 oscillation (block compressed by m).
+            let s =
+                if rng.gen_range(0..2usize) == 0 { base.repeated(m) } else { base.oscillated(m) };
+            let ss = mosc_sched::eval::SteadyState::compute(p.thermal(), p.power(), &s).unwrap();
+            let (t_start, at_ends) =
+                mosc_sched::eval::compute_dense(p.thermal(), p.power(), &s).unwrap();
+            let d0 = ss.t_start().max_abs_diff(&t_start);
+            assert!(d0 < 1e-10, "m={m}: start fixed point differs by {d0}");
+            // The stable trace is block-periodic: the fast path stores one
+            // block of interval ends, the oracle all m·d of them.
+            let d = ss.at_interval_ends().len();
+            assert_eq!(at_ends.len(), d * s.repetitions());
+            for (k, t) in ss.at_interval_ends().iter().enumerate() {
+                let dk = t.max_abs_diff(&at_ends[k]);
+                assert!(dk < 1e-10, "m={m}: interval end {k}/{d} differs by {dk}");
+                // And again in the last block.
+                let dk = t.max_abs_diff(&at_ends[at_ends.len() - d + k]);
+                assert!(dk < 1e-10, "m={m}: last-block end {k}/{d} differs by {dk}");
+            }
+        }
+    });
+}
+
+#[test]
+fn peak_agrees_with_dense_sampling_under_repetition() {
+    // peak_temperature routes through the period-map kernel; a brute-force
+    // scan of the dense oracle's stable trace must find the same value.
+    propcheck_cases("peak_agrees_with_dense_sampling_under_repetition", 8, |rng| {
+        let p = Platform::build(&PlatformSpec::paper(1, 2, 3, 65.0)).unwrap();
+        let m = [1usize, 3, 17][rng.gen_range(0..3usize)];
+        let s = schedule(rng, 2, 0.3).oscillated(m);
+        let fast =
+            mosc_sched::eval::peak_temperature(p.thermal(), p.power(), &s, Some(600)).unwrap();
+        let ss = mosc_sched::eval::SteadyState::compute(p.thermal(), p.power(), &s).unwrap();
+        let dense = ss.peak_sampled(p.thermal(), 8000).unwrap();
+        assert!(
+            (fast.temp - dense.temp).abs() < 1e-4,
+            "m={m}: fast peak {} vs dense {}",
+            fast.temp,
+            dense.temp
+        );
     });
 }
 

@@ -3,7 +3,21 @@
 use crate::{RcNetwork, Result, ThermalError};
 use mosc_linalg::{Lu, Matrix, SymmetricEigen, Vector};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Modal steady-state lookups served from the memo
+/// ([`ThermalModel::modal_steady_state`]) instead of a fresh LU solve.
+static T_INF_CACHE_HITS: mosc_obs::Counter = mosc_obs::Counter::new("steady_state.cache_hits");
+
+/// Propagator-cache capacity. Bisection-style callers generate unbounded
+/// distinct `dt` values; past this size the least-recently-used half is
+/// evicted so the handful of hot schedule-interval lengths survive.
+const PROPAGATOR_CACHE_CAP: usize = 8192;
+
+/// Modal steady-state memo capacity: profiles are combinations of the
+/// discrete voltage levels, so in practice this is never reached.
+const T_INF_CACHE_CAP: usize = 4096;
 
 /// The linear time-invariant thermal model of eq. (2), assembled from an
 /// [`RcNetwork`] and the leakage sensitivity `β`:
@@ -38,8 +52,14 @@ pub struct ThermalModel {
     c_inv_sqrt: Vec<f64>,
     /// Response matrix: `T∞(cores) = R · ψ(cores)`, precomputed lazily.
     response: Mutex<Option<Arc<Matrix>>>,
-    /// Propagator cache keyed by interval-length bit pattern.
-    propagators: Mutex<HashMap<u64, Arc<Matrix>>>,
+    /// Propagator cache keyed by interval-length bit pattern; the `u64`
+    /// value is a last-access stamp driven by `prop_tick` (recency-based
+    /// eviction, see [`PROPAGATOR_CACHE_CAP`]).
+    propagators: Mutex<HashMap<u64, (Arc<Matrix>, u64)>>,
+    /// Monotone access counter backing the propagator cache's recency stamps.
+    prop_tick: AtomicU64,
+    /// Modal steady states memoized by the power profile's bit pattern.
+    modal_t_inf: Mutex<HashMap<Vec<u64>, Arc<Vector>>>,
 }
 
 impl ThermalModel {
@@ -105,6 +125,8 @@ impl ThermalModel {
             c_inv_sqrt,
             response: Mutex::new(None),
             propagators: Mutex::new(HashMap::new()),
+            prop_tick: AtomicU64::new(0),
+            modal_t_inf: Mutex::new(HashMap::new()),
         })
     }
 
@@ -247,14 +269,19 @@ impl ThermalModel {
         let key = dt.to_bits();
         {
             let mut cache = self.propagators.lock().expect("propagator lock poisoned");
-            if let Some(phi) = cache.get(&key) {
+            if let Some((phi, stamp)) = cache.get_mut(&key) {
+                *stamp = self.prop_tick.fetch_add(1, Ordering::Relaxed);
                 return Ok(Arc::clone(phi));
             }
-            // Bound the cache: bisection-style callers generate unbounded
-            // distinct dt values; past this size the hit rate no longer
-            // justifies the memory.
-            if cache.len() >= 8192 {
-                cache.clear();
+            // Bound the cache without wiping it: dropping everything would
+            // also evict the hot schedule-interval lengths mid-solve
+            // whenever a bisection caller floods it with one-shot values.
+            // Evicting the least-recently-used half keeps recent keys live.
+            if cache.len() >= PROPAGATOR_CACHE_CAP {
+                let mut stamps: Vec<u64> = cache.values().map(|(_, s)| *s).collect();
+                stamps.sort_unstable();
+                let cutoff = stamps[stamps.len() / 2];
+                cache.retain(|_, (_, s)| *s > cutoff);
             }
         }
         let n = self.n_nodes();
@@ -271,7 +298,111 @@ impl ThermalModel {
         let m = scaled.matmul(&v.transpose())?;
         let phi = Matrix::from_fn(n, n, |i, j| self.c_inv_sqrt[i] * m[(i, j)] * self.c_sqrt[j]);
         let arc = Arc::new(phi);
-        self.propagators.lock().expect("propagator lock poisoned").insert(key, Arc::clone(&arc));
+        let stamp = self.prop_tick.fetch_add(1, Ordering::Relaxed);
+        self.propagators
+            .lock()
+            .expect("propagator lock poisoned")
+            .insert(key, (Arc::clone(&arc), stamp));
+        Ok(arc)
+    }
+
+    /// `true` when the propagator for exactly this `dt` is currently cached
+    /// (diagnostics; used by the cache-eviction regression tests).
+    #[must_use]
+    pub fn propagator_cached(&self, dt: f64) -> bool {
+        self.propagators.lock().expect("propagator lock poisoned").contains_key(&dt.to_bits())
+    }
+
+    /// Modal decay factors over an interval of length `dt`: the diagonal of
+    /// `e^{−Λ·dt}` in the eigenbasis of `S = C^{-1/2}·G_eff·C^{-1/2}`.
+    ///
+    /// Because every propagator `Φ(l) = e^{A·l}` shares this eigenbasis, an
+    /// interval update that costs a dense `matvec` in node coordinates is
+    /// *elementwise* in modal coordinates: with `y = Vᵀ·C^{1/2}·T`,
+    ///
+    /// ```text
+    /// y(t₀+dt) = d(dt) ∘ (y(t₀) − y∞) + y∞,   d(dt) = e^{−λ·dt}
+    /// ```
+    ///
+    /// This is the `O(n)` primitive behind `mosc-sched`'s period-map kernel:
+    /// no `expm`, no dense products, no `(I − K)` solve.
+    ///
+    /// # Errors
+    /// Returns [`ThermalError::InvalidParameter`] for negative or non-finite
+    /// `dt`.
+    pub fn modal_decay(&self, dt: f64) -> Result<Vector> {
+        if !dt.is_finite() || dt < 0.0 {
+            return Err(ThermalError::InvalidParameter { what: "dt must be finite and >= 0" });
+        }
+        Ok(Vector::from_fn(self.n_nodes(), |k| (-self.eigen.values[k] * dt).exp()))
+    }
+
+    /// Maps a node-temperature vector into modal coordinates:
+    /// `y = Vᵀ·(C^{1/2} ∘ x)`.
+    ///
+    /// # Errors
+    /// Dimension mismatch.
+    pub fn to_modal(&self, x: &Vector) -> Result<Vector> {
+        if x.len() != self.n_nodes() {
+            return Err(ThermalError::DimensionMismatch {
+                expected: self.n_nodes(),
+                actual: x.len(),
+                op: "to_modal",
+            });
+        }
+        let scaled = Vector::from_fn(x.len(), |i| self.c_sqrt[i] * x[i]);
+        Ok(self.eigen.vectors.tr_matvec(&scaled)?)
+    }
+
+    /// Maps a modal vector back to node temperatures:
+    /// `x = C^{-1/2} ∘ (V·y)`.
+    ///
+    /// # Errors
+    /// Dimension mismatch.
+    pub fn from_modal(&self, y: &Vector) -> Result<Vector> {
+        if y.len() != self.n_nodes() {
+            return Err(ThermalError::DimensionMismatch {
+                expected: self.n_nodes(),
+                actual: y.len(),
+                op: "from_modal",
+            });
+        }
+        let vy = self.eigen.vectors.matvec(y)?;
+        Ok(Vector::from_fn(vy.len(), |i| self.c_inv_sqrt[i] * vy[i]))
+    }
+
+    /// The modal steady state `y∞ = Vᵀ·C^{1/2}·T∞(ψ)` for a per-core power
+    /// profile, memoized by the profile's bit pattern. Schedule evaluations
+    /// revisit the same handful of voltage vectors thousands of times per
+    /// solver run (the AO m-sweep in particular re-evaluates identical
+    /// interval powers at every `m`), so this turns the per-interval LU
+    /// solve + basis change into a `HashMap` lookup; hits are counted on the
+    /// `steady_state.cache_hits` counter.
+    ///
+    /// # Errors
+    /// Dimension mismatch for a wrong-length profile.
+    pub fn modal_steady_state(&self, psi_cores: &[f64]) -> Result<Arc<Vector>> {
+        if psi_cores.len() != self.n_cores() {
+            return Err(ThermalError::DimensionMismatch {
+                expected: self.n_cores(),
+                actual: psi_cores.len(),
+                op: "modal_steady_state",
+            });
+        }
+        let key: Vec<u64> = psi_cores.iter().map(|p| p.to_bits()).collect();
+        {
+            let mut cache = self.modal_t_inf.lock().expect("modal T∞ lock poisoned");
+            if let Some(y) = cache.get(&key) {
+                T_INF_CACHE_HITS.incr();
+                return Ok(Arc::clone(y));
+            }
+            if cache.len() >= T_INF_CACHE_CAP {
+                cache.clear();
+            }
+        }
+        let t_inf = self.steady_state(psi_cores)?;
+        let arc = Arc::new(self.to_modal(&t_inf)?);
+        self.modal_t_inf.lock().expect("modal T∞ lock poisoned").insert(key, Arc::clone(&arc));
         Ok(arc)
     }
 
@@ -407,6 +538,83 @@ mod tests {
         let _ = m.propagator(0.5).unwrap();
         let _ = m.propagator(0.25).unwrap();
         assert_eq!(m.cached_propagators(), 2);
+    }
+
+    #[test]
+    fn propagator_cache_keeps_hot_keys_on_overflow() {
+        // Regression: the cache used to clear *everything* when full, so a
+        // bisection caller flooding it with one-shot dt values evicted the
+        // hot schedule-interval propagators mid-solve. Recency eviction must
+        // keep recently-touched keys alive across an overflow.
+        let m = model(1, 2, 0.03);
+        let hot = [0.125, 0.25, 0.5];
+        for &dt in &hot {
+            let _ = m.propagator(dt).unwrap();
+        }
+        // Flood the cache to capacity with cold one-shot entries (seeded
+        // directly so the test does not pay for thousands of expm builds —
+        // the eviction logic only looks at keys and stamps).
+        let dummy = m.propagator(1.0).unwrap();
+        {
+            let mut cache = m.propagators.lock().unwrap();
+            let mut i = 0u64;
+            while cache.len() < PROPAGATOR_CACHE_CAP {
+                i += 1;
+                let stamp = m.prop_tick.fetch_add(1, Ordering::Relaxed);
+                cache.insert((1e-7 * i as f64).to_bits(), (Arc::clone(&dummy), stamp));
+            }
+        }
+        // The schedule evaluator keeps touching its interval lengths…
+        for &dt in &hot {
+            let _ = m.propagator(dt).unwrap();
+        }
+        // …then the next insert overflows the cache and must evict only the
+        // least-recently-used half.
+        let _ = m.propagator(2.0).unwrap();
+        assert!(m.cached_propagators() <= PROPAGATOR_CACHE_CAP / 2 + 1, "eviction must shrink");
+        for &dt in &hot {
+            assert!(m.propagator_cached(dt), "hot propagator dt={dt} was evicted");
+        }
+        assert!(m.propagator_cached(2.0), "fresh insert must be cached");
+    }
+
+    #[test]
+    fn modal_roundtrip_and_decay_match_propagator() {
+        let m = model(2, 3, 0.03);
+        let x = Vector::from_fn(m.n_nodes(), |i| 0.7 * i as f64 - 1.3);
+        let y = m.to_modal(&x).unwrap();
+        let back = m.from_modal(&y).unwrap();
+        assert!(back.max_abs_diff(&x) < 1e-10, "roundtrip diff {}", back.max_abs_diff(&x));
+
+        // Elementwise modal propagation equals the dense propagator.
+        for dt in [1e-3, 0.04, 1.7] {
+            let phi = m.propagator(dt).unwrap();
+            let dense = phi.matvec(&x).unwrap();
+            let d = m.modal_decay(dt).unwrap();
+            let modal = Vector::from_fn(y.len(), |k| d[k] * y[k]);
+            let via_modal = m.from_modal(&modal).unwrap();
+            assert!(
+                via_modal.max_abs_diff(&dense) < 1e-9,
+                "dt={dt} diff {}",
+                via_modal.max_abs_diff(&dense)
+            );
+        }
+        assert!(m.modal_decay(-1.0).is_err());
+        assert!(m.to_modal(&Vector::zeros(1)).is_err());
+        assert!(m.from_modal(&Vector::zeros(1)).is_err());
+    }
+
+    #[test]
+    fn modal_steady_state_is_memoized() {
+        let m = model(1, 3, 0.03);
+        let psi = [5.0, 2.0, 8.0];
+        let a = m.modal_steady_state(&psi).unwrap();
+        let b = m.modal_steady_state(&psi).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the memo");
+        // And it is the modal image of the dense steady state.
+        let direct = m.to_modal(&m.steady_state(&psi).unwrap()).unwrap();
+        assert!(a.max_abs_diff(&direct) < 1e-12);
+        assert!(m.modal_steady_state(&[1.0]).is_err());
     }
 
     #[test]

@@ -14,7 +14,8 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let rows: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
     let cols: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
-    let ao_opts = AoOptions { base_period: 0.05, max_m: 256, m_patience: 6, t_unit_divisor: 100 };
+    let ao_opts =
+        AoOptions { base_period: 0.05, max_m: 256, m_patience: 6, t_unit_divisor: 100, threads: 0 };
 
     println!("design-space sweep on a {rows}x{cols} grid ({} cores)\n", rows * cols);
     println!(

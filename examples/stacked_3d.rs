@@ -9,7 +9,8 @@ use mosc::algorithms::ao::{self, AoOptions};
 use mosc::prelude::*;
 
 fn main() {
-    let ao_opts = AoOptions { base_period: 0.05, max_m: 256, m_patience: 6, t_unit_divisor: 100 };
+    let ao_opts =
+        AoOptions { base_period: 0.05, max_m: 256, m_patience: 6, t_unit_divisor: 100, threads: 0 };
 
     for layers in [1usize, 2, 3] {
         // Keep total core count at 6: 1x(2x3), 2x(1x3), 3x(1x2).

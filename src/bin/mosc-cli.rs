@@ -29,7 +29,12 @@
 //! `profile` builds the platform of a spec file and runs every solver on
 //! it — LNS, EXS, EXS-BnB, AO, PCO and the reactive governor — resetting
 //! the recorder between solvers, so each section's telemetry (and the
-//! closing comparison table) is attributable to one algorithm.
+//! closing comparison table) is attributable to one algorithm. A closing
+//! period-map scaling section evaluates one two-mode schedule at
+//! oscillation factors m ∈ {1, 64, 256} through both the modal kernel and
+//! the interval-by-interval dense reference: the kernel's dense-op count
+//! must stay flat in m while the reference's grows linearly, which the
+//! `ci.sh` smoke asserts from the `{"type":"periodmap",...}` JSON lines.
 
 use mosc::algorithms::ao::{self, AoOptions};
 use mosc::algorithms::pco::{self, PcoOptions};
@@ -272,6 +277,83 @@ fn profile(args: &Args, mode: ObsMode) -> Result<ExitCode, String> {
                 }
                 Err(_) => println!("{name:<9} {wall:>9.3} {expm:>11} {peaks:>15} {:>10}", "failed"),
             }
+        }
+        println!();
+    }
+    periodmap_section(&platform, json)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The dense-op counters of the current recorder window: the modal kernel's
+/// basis changes plus any full dense products.
+fn dense_ops(t: &mosc::obs::Telemetry) -> u64 {
+    t.counter("period_map.matmuls").unwrap_or(0) + t.counter("linalg.matmuls").unwrap_or(0)
+}
+
+/// The period-map scaling section of `profile`: one two-mode schedule
+/// evaluated at m ∈ {1, 64, 256} through the modal kernel
+/// (`SteadyState::compute`) and the interval-by-interval dense reference
+/// (`compute_dense`), with each side's dense-op and `expm.calls` counters.
+/// Both sides must agree on the steady state; the kernel's dense work must
+/// not grow with m.
+fn periodmap_section(platform: &Platform, json: bool) -> Result<ExitCode, String> {
+    let n = platform.n_cores();
+    let levels = platform.modes().levels();
+    let (v_low, v_high) = (levels[0], *levels.last().expect("mode sets are non-empty"));
+    let base = Schedule::two_mode(&vec![v_low; n], &vec![v_high; n], &vec![0.5; n], 0.05)
+        .map_err(|e| format!("period-map schedule: {e}"))?;
+    if !json {
+        println!("=== period-map scaling (two-mode schedule, oscillated) ===");
+        println!(
+            "{:>5} {:>9} {:>10} {:>10} {:>10} {:>11} {:>11} {:>10}",
+            "m",
+            "fast ops",
+            "fast expm",
+            "fast (s)",
+            "dense ops",
+            "dense expm",
+            "dense (s)",
+            "max |diff|"
+        );
+    }
+    for &m in &[1usize, 64, 256] {
+        let s = base.oscillated(m);
+        mosc::obs::reset();
+        let start = std::time::Instant::now();
+        let fast =
+            mosc::sched::eval::SteadyState::compute(platform.thermal(), platform.power(), &s)
+                .map_err(|e| format!("period-map fast path (m = {m}): {e}"))?;
+        let fast_wall = start.elapsed().as_secs_f64();
+        let t = mosc::obs::snapshot();
+        let (fast_ops, fast_expm) = (dense_ops(&t), t.counter("expm.calls").unwrap_or(0));
+
+        mosc::obs::reset();
+        let start = std::time::Instant::now();
+        let (dense_start, _) =
+            mosc::sched::eval::compute_dense(platform.thermal(), platform.power(), &s)
+                .map_err(|e| format!("period-map dense reference (m = {m}): {e}"))?;
+        let dense_wall = start.elapsed().as_secs_f64();
+        let t = mosc::obs::snapshot();
+        let (dense_ops, dense_expm) = (dense_ops(&t), t.counter("expm.calls").unwrap_or(0));
+
+        let diff = fast.t_start().max_abs_diff(&dense_start);
+        if diff > 1e-8 {
+            return Err(format!(
+                "period-map kernel diverges from the dense reference at m = {m}: {diff}"
+            ));
+        }
+        if json {
+            println!(
+                "{{\"type\":\"periodmap\",\"m\":{m},\"fast_ops\":{fast_ops},\
+                 \"fast_expm\":{fast_expm},\"fast_wall_s\":{fast_wall:?},\
+                 \"dense_ops\":{dense_ops},\"dense_expm\":{dense_expm},\
+                 \"dense_wall_s\":{dense_wall:?},\"max_abs_diff\":{diff:?}}}"
+            );
+        } else {
+            println!(
+                "{m:>5} {fast_ops:>9} {fast_expm:>10} {fast_wall:>10.6} \
+                 {dense_ops:>10} {dense_expm:>11} {dense_wall:>11.6} {diff:>10.2e}"
+            );
         }
     }
     Ok(ExitCode::SUCCESS)

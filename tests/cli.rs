@@ -101,8 +101,16 @@ fn obs_json_emits_span_tree_and_kernel_counters() {
         stdout.contains(r#""path":"ao.solve/ao.sweep_m""#),
         "missing nested sweep span in {stdout}"
     );
-    // Kernel and solver counters are present and nonzero.
-    for name in ["expm.calls", "ao.tpt_rounds", "ao.m_candidates", "peak_eval.calls"] {
+    // Kernel and solver counters are present and nonzero. AO runs entirely
+    // through the modal period-map kernel, so `expm.calls` no longer
+    // appears; the kernel's own counters do.
+    for name in [
+        "period_map.matmuls",
+        "steady_state.cache_hits",
+        "ao.tpt_rounds",
+        "ao.m_candidates",
+        "peak_eval.calls",
+    ] {
         let line = stdout
             .lines()
             .find(|l| l.contains(&format!(r#""name":"{name}""#)))

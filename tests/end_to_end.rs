@@ -11,7 +11,7 @@ use mosc::sched::eval::SteadyState;
 use mosc::thermal::sim;
 
 fn quick_ao() -> AoOptions {
-    AoOptions { base_period: 0.05, max_m: 64, m_patience: 4, t_unit_divisor: 50 }
+    AoOptions { base_period: 0.05, max_m: 64, m_patience: 4, t_unit_divisor: 50, threads: 0 }
 }
 
 /// Simulates `schedule` with RK4 from the analytic stable-status start and
