@@ -41,4 +41,45 @@ cargo run -q --release -p mosc-bench --bin periodmap -- --csv target/bench >/dev
 grep -q '"type":"periodmap"' target/bench/BENCH_periodmap.json \
     || { echo "BENCH_periodmap.json missing periodmap records" >&2; exit 1; }
 
+echo "==> mosc-serve smoke (daemon, cached solve, typed errors, drained shutdown)"
+cargo build -q --release --bin mosc-cli
+serve_log=target/bench/serve_smoke.log
+mkdir -p target/bench
+# Port 0: the kernel picks a free port, the daemon prints the real address.
+./target/release/mosc-cli serve --obs=json --addr 127.0.0.1:0 >"$serve_log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 50); do
+    grep -q 'mosc-serve listening on' "$serve_log" && break
+    sleep 0.1
+done
+serve_addr=$(sed -n 's/^mosc-serve listening on //p' "$serve_log")
+test -n "$serve_addr" || { echo "daemon never announced its address" >&2; exit 1; }
+smoke_platform=$(tr -d ' \n' < specs/smoke.json | sed -e 's/^{"platform"://' -e 's/}$//')
+serve_out=$(printf '%s\n' \
+    "{\"id\":\"s1\",\"solver\":\"ao\",\"platform\":$smoke_platform}" \
+    "{\"id\":\"s2\",\"solver\":\"ao\",\"platform\":$smoke_platform}" \
+    'this is not json' \
+    '{"id":"bye","op":"shutdown"}' \
+    | ./target/release/mosc-cli client --addr "$serve_addr")
+echo "$serve_out" | grep -q '"id":"s1","status":"ok".*"cached":false' \
+    || { echo "serve smoke: first solve not a cold ok" >&2; echo "$serve_out" >&2; exit 1; }
+echo "$serve_out" | grep -q '"id":"s2","status":"ok".*"cached":true' \
+    || { echo "serve smoke: repeated solve missed the cache" >&2; echo "$serve_out" >&2; exit 1; }
+echo "$serve_out" | grep -q '"status":"error","kind":"parse"' \
+    || { echo "serve smoke: malformed request not answered with a parse error" >&2; echo "$serve_out" >&2; exit 1; }
+echo "$serve_out" | grep -q '"shutting_down":true' \
+    || { echo "serve smoke: shutdown op not acknowledged" >&2; echo "$serve_out" >&2; exit 1; }
+wait "$serve_pid" || { echo "serve smoke: daemon exited non-zero" >&2; cat "$serve_log" >&2; exit 1; }
+grep -q 'mosc-serve drained and stopped' "$serve_log" \
+    || { echo "serve smoke: daemon did not drain cleanly" >&2; cat "$serve_log" >&2; exit 1; }
+# The drained daemon's telemetry must pass the M060-M062 serve lints.
+grep -v '^mosc-serve' "$serve_log" > target/bench/serve_smoke.jsonl
+./target/release/mosc-cli analyze target/bench/serve_smoke.jsonl \
+    || { echo "serve smoke: telemetry failed the M06x lints" >&2; exit 1; }
+
+echo "==> serve bench artifact (BENCH_serve.json)"
+cargo run -q --release -p mosc-bench --bin serve -- --csv target/bench >/dev/null
+grep -q '"type":"serve","clients":8' target/bench/BENCH_serve.json \
+    || { echo "BENCH_serve.json missing serve records" >&2; exit 1; }
+
 echo "==> all checks passed"

@@ -28,7 +28,7 @@ impl fmt::Display for Severity {
 
 /// Stable diagnostic codes. The numeric ranges group the lints:
 /// `M001`–`M009` platform, `M011`–`M018` schedule, `M020`–`M024` solution,
-/// `M050`–`M054` telemetry.
+/// `M050`–`M054` telemetry, `M060`–`M062` serve telemetry.
 ///
 /// DESIGN.md §7 maps each code to the paper theorem or equation it enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -97,6 +97,18 @@ pub enum Code {
     /// M054 — a solver span is present but the matrix-exponential kernel
     /// counter never moved, i.e. solver and kernel instrumentation disagree.
     KernelCountersMissing,
+    /// M060 — the serve stream shows repeated requests with identical cache
+    /// keys yet `serve.cache_hits` stayed at zero: the solution cache is
+    /// inert (disabled, mis-keyed, or evicting pathologically).
+    ServeCacheInert,
+    /// M061 — `serve.rejected` counted backpressure rejections but the queue
+    /// depth never left zero: the daemon shed load while idle, so the
+    /// metrics (or the queue accounting) are inconsistent.
+    ServeRejectedIdle,
+    /// M062 — a `serve.response` event carries a request-id hash that no
+    /// `serve.request` event announced: a response was fabricated, double-
+    /// sent, or the request-side instrumentation was skipped.
+    ServeResponseOrphaned,
 }
 
 impl Code {
@@ -131,6 +143,9 @@ impl Code {
             Self::BnbNoPrunes => "M052",
             Self::SpanTimingInvalid => "M053",
             Self::KernelCountersMissing => "M054",
+            Self::ServeCacheInert => "M060",
+            Self::ServeRejectedIdle => "M061",
+            Self::ServeResponseOrphaned => "M062",
         }
     }
 
@@ -149,7 +164,10 @@ impl Code {
             | Self::TransitionsInconsistent
             | Self::AoSweepSaturated
             | Self::BnbNoPrunes
-            | Self::KernelCountersMissing => Severity::Warning,
+            | Self::KernelCountersMissing
+            | Self::ServeCacheInert
+            | Self::ServeRejectedIdle
+            | Self::ServeResponseOrphaned => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -318,6 +336,9 @@ mod tests {
             Code::BnbNoPrunes,
             Code::SpanTimingInvalid,
             Code::KernelCountersMissing,
+            Code::ServeCacheInert,
+            Code::ServeRejectedIdle,
+            Code::ServeResponseOrphaned,
         ];
         let mut seen = std::collections::HashSet::new();
         for c in all {

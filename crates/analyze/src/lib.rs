@@ -49,5 +49,5 @@ pub use diag::{Code, Diagnostic, Report, Severity};
 pub use platform::{check_levels, check_platform, check_t_max_c, check_tau};
 pub use schedule::{check_raw_schedule, check_schedule};
 pub use solution::{check_solution, SolutionClaim, Tolerances};
-pub use spec::{analyze_spec, platform_from_spec, SpecError};
+pub use spec::{analyze_spec, platform_from_doc, platform_from_spec, SpecError};
 pub use telemetry::analyze_telemetry;

@@ -156,10 +156,22 @@ fn raw_platform_lints(p: &PlatformParams) -> Report {
 /// be constructed (e.g. a non-Hurwitz state matrix).
 pub fn platform_from_spec(text: &str) -> Result<Platform, SpecError> {
     let doc = Value::parse(text).map_err(|e| structural(e.to_string()))?;
+    platform_from_doc(&doc)
+}
+
+/// Builds the typed [`Platform`] from an already-parsed spec document (a
+/// JSON object holding a `"platform"` member). The `mosc-serve` wire
+/// protocol parses each request line once and hands the document here, so
+/// the daemon and the file-based [`platform_from_spec`] share one platform
+/// decoder.
+///
+/// # Errors
+/// Same contract as [`platform_from_spec`], minus the JSON parse step.
+pub fn platform_from_doc(doc: &Value) -> Result<Platform, SpecError> {
     if !doc.is_object() {
         return Err(structural("top level must be a JSON object"));
     }
-    let p = parse_platform_section(&doc)?;
+    let p = parse_platform_section(doc)?;
     let raw = raw_platform_lints(&p);
     if raw.has_errors() {
         return Err(structural(format!("platform values fail lints:\n{raw}")));

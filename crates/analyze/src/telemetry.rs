@@ -25,6 +25,21 @@
 //!   disagree about what ran. Since the period-map kernel landed, a healthy
 //!   solver run can legitimately show `expm.calls == 0` — the modal
 //!   counters move instead.
+//!
+//! The `M060`-series covers streams from the `mosc-serve` daemon
+//! (`mosc-cli serve --obs=json`), which emits `serve.request` /
+//! `serve.response` events (with 32-bit `id`/`key` hashes — event fields
+//! travel as JSON numbers, so full 64-bit hashes would not survive the f64
+//! round-trip) plus the `serve.*` counters and queue gauges:
+//!
+//! * `M060` — at least one cache key recurs across `serve.request` events
+//!   but `serve.cache_hits` is zero: repeated identical specs never hit the
+//!   solution cache.
+//! * `M061` — `serve.rejected` counted backpressure rejections while the
+//!   `serve.queue_peak` gauge stayed at zero: load was shed from an idle
+//!   queue.
+//! * `M062` — a `serve.response` event's `id` hash matches no
+//!   `serve.request` event in the stream.
 
 use crate::diag::{Code, Report};
 use crate::json::Value;
@@ -44,6 +59,7 @@ pub fn analyze_telemetry(text: &str) -> Result<Report, SpecError> {
     let mut records = 0usize;
     let mut kernel_calls: u64 = 0;
     let mut solver_spans: Vec<String> = Vec::new();
+    let mut serve = ServeStream::default();
     /// Counters whose movement proves the evaluation kernel ran: the dense
     /// `expm` path or the modal period-map path.
     const KERNEL_COUNTERS: [&str; 3] = ["expm.calls", "period_map.matmuls", "steady_state.calls"];
@@ -75,10 +91,16 @@ pub fn analyze_telemetry(text: &str) -> Result<Report, SpecError> {
                     }
                 }
             }
-            Some("event") => check_event(&value, lineno, &mut report),
-            _ => {} // gauge, hist, meta, profile, future types
+            Some("counter") => serve.note_counter(&value),
+            Some("gauge") => serve.note_gauge(&value),
+            Some("event") => {
+                serve.note_event(&value, lineno);
+                check_event(&value, lineno, &mut report);
+            }
+            _ => {} // hist, meta, profile, future types
         }
     }
+    serve.finish(&mut report);
 
     if records == 0 {
         report.push(
@@ -99,6 +121,109 @@ pub fn analyze_telemetry(text: &str) -> Result<Report, SpecError> {
         );
     }
     Ok(report)
+}
+
+/// Accumulated `serve.*` state for the `M060`-series lints. All fields stay
+/// empty/zero for non-serve streams, which keeps the lints inert there.
+#[derive(Default)]
+struct ServeStream {
+    /// `serve.cache_hits` counter value (last wins, the snapshot is final).
+    cache_hits: f64,
+    /// `serve.rejected` counter value.
+    rejected: f64,
+    /// `serve.queue_peak` gauge value.
+    queue_peak: f64,
+    /// Whether the queue-peak gauge appeared at all (a stream without it
+    /// cannot support the idle-rejection lint).
+    saw_queue_peak: bool,
+    /// Cache-key hashes announced by `serve.request` events.
+    request_keys: Vec<f64>,
+    /// Request-id hashes announced by `serve.request` events.
+    request_ids: Vec<f64>,
+    /// `(lineno, id hash)` of every `serve.response` event.
+    responses: Vec<(usize, f64)>,
+}
+
+impl ServeStream {
+    fn note_counter(&mut self, value: &Value) {
+        let Some(name) = value.get("name").and_then(Value::as_str) else { return };
+        let v = value.get("value").and_then(Value::as_f64).unwrap_or(0.0);
+        match name {
+            "serve.cache_hits" => self.cache_hits = v,
+            "serve.rejected" => self.rejected = v,
+            _ => {}
+        }
+    }
+
+    fn note_gauge(&mut self, value: &Value) {
+        if value.get("name").and_then(Value::as_str) == Some("serve.queue_peak") {
+            self.saw_queue_peak = true;
+            self.queue_peak = value.get("value").and_then(Value::as_f64).unwrap_or(0.0);
+        }
+    }
+
+    fn note_event(&mut self, value: &Value, lineno: usize) {
+        let name = value.get("name").and_then(Value::as_str).unwrap_or("");
+        let Some(fields) = value.get("fields") else { return };
+        match name {
+            "serve.request" => {
+                if let Some(key) = fields.get("key").and_then(Value::as_f64) {
+                    self.request_keys.push(key);
+                }
+                if let Some(id) = fields.get("id").and_then(Value::as_f64) {
+                    self.request_ids.push(id);
+                }
+            }
+            "serve.response" => {
+                if let Some(id) = fields.get("id").and_then(Value::as_f64) {
+                    self.responses.push((lineno, id));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Emits the `M060`–`M062` findings accumulated over the stream.
+    fn finish(&self, report: &mut Report) {
+        // M060: some cache key recurs but the hit counter never moved.
+        let mut keys = self.request_keys.clone();
+        keys.sort_by(f64::total_cmp);
+        let repeated = keys.windows(2).any(|w| w[0].to_bits() == w[1].to_bits());
+        if repeated && self.cache_hits == 0.0 {
+            report.push(
+                Code::ServeCacheInert,
+                "",
+                "repeated requests with identical cache keys but serve.cache_hits \
+                 is zero — the solution cache never fired",
+            );
+        }
+        // M061: rejections counted while the queue-depth peak stayed zero.
+        if self.rejected > 0.0 && self.saw_queue_peak && self.queue_peak == 0.0 {
+            report.push(
+                Code::ServeRejectedIdle,
+                "",
+                format!(
+                    "serve.rejected counted {} backpressure rejection(s) but \
+                     serve.queue_peak never left zero — load was shed from an \
+                     idle queue",
+                    self.rejected
+                ),
+            );
+        }
+        // M062: a response id no request ever announced.
+        for &(lineno, id) in &self.responses {
+            if !self.request_ids.iter().any(|r| r.to_bits() == id.to_bits()) {
+                report.push(
+                    Code::ServeResponseOrphaned,
+                    format!("line {lineno}"),
+                    format!(
+                        "serve.response event carries id hash {id} that no \
+                         serve.request event announced"
+                    ),
+                );
+            }
+        }
+    }
 }
 
 fn check_span(value: &Value, lineno: usize, report: &mut Report, solver_spans: &mut Vec<String>) {
@@ -271,6 +396,70 @@ mod tests {
 "#;
         let r = analyze_telemetry(text).unwrap();
         assert!(!r.has_code(Code::KernelCountersMissing), "findings:\n{r}");
+    }
+
+    #[test]
+    fn inert_serve_cache_is_m060() {
+        // Two requests with the same key, zero hits -> M060.
+        let text = r#"{"type":"counter","name":"serve.cache_hits","value":0}
+{"type":"event","name":"serve.request","fields":{"id":1,"key":77}}
+{"type":"event","name":"serve.request","fields":{"id":2,"key":77}}
+{"type":"event","name":"serve.response","fields":{"id":1}}
+{"type":"event","name":"serve.response","fields":{"id":2}}
+"#;
+        let r = analyze_telemetry(text).unwrap();
+        assert!(r.has_code(Code::ServeCacheInert), "findings:\n{r}");
+        assert!(!r.has_errors(), "M060 is a warning:\n{r}");
+
+        // Same stream with a hit counted is clean.
+        let text =
+            text.replace(r#""serve.cache_hits","value":0"#, r#""serve.cache_hits","value":1"#);
+        let r = analyze_telemetry(&text).unwrap();
+        assert!(!r.has_code(Code::ServeCacheInert), "findings:\n{r}");
+
+        // Distinct keys with zero hits: nothing to hit, clean.
+        let text = r#"{"type":"counter","name":"serve.cache_hits","value":0}
+{"type":"event","name":"serve.request","fields":{"id":1,"key":77}}
+{"type":"event","name":"serve.request","fields":{"id":2,"key":78}}
+"#;
+        let r = analyze_telemetry(text).unwrap();
+        assert!(!r.has_code(Code::ServeCacheInert), "findings:\n{r}");
+    }
+
+    #[test]
+    fn rejections_from_an_idle_queue_are_m061() {
+        let text = r#"{"type":"counter","name":"serve.rejected","value":3}
+{"type":"gauge","name":"serve.queue_peak","value":0}
+"#;
+        let r = analyze_telemetry(text).unwrap();
+        assert!(r.has_code(Code::ServeRejectedIdle), "findings:\n{r}");
+
+        // Rejections with a nonzero peak are legitimate backpressure.
+        let text = r#"{"type":"counter","name":"serve.rejected","value":3}
+{"type":"gauge","name":"serve.queue_peak","value":4}
+"#;
+        let r = analyze_telemetry(text).unwrap();
+        assert!(!r.has_code(Code::ServeRejectedIdle), "findings:\n{r}");
+
+        // No queue gauge at all: the lint cannot conclude anything.
+        let text = r#"{"type":"counter","name":"serve.rejected","value":3}
+"#;
+        let r = analyze_telemetry(text).unwrap();
+        assert!(!r.has_code(Code::ServeRejectedIdle), "findings:\n{r}");
+    }
+
+    #[test]
+    fn orphaned_responses_are_m062() {
+        let text = r#"{"type":"event","name":"serve.request","fields":{"id":10,"key":1}}
+{"type":"event","name":"serve.response","fields":{"id":10}}
+{"type":"event","name":"serve.response","fields":{"id":99}}
+"#;
+        let r = analyze_telemetry(text).unwrap();
+        assert!(r.has_code(Code::ServeResponseOrphaned), "findings:\n{r}");
+        // Exactly one finding: the matched response is fine.
+        let orphans =
+            r.diagnostics().iter().filter(|d| d.code == Code::ServeResponseOrphaned).count();
+        assert_eq!(orphans, 1, "findings:\n{r}");
     }
 
     #[test]

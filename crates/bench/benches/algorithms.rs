@@ -1,47 +1,52 @@
 //! Micro-benchmarks of the scheduling algorithms — the quantitative backing
-//! for Table V's computation-time comparison.
+//! for Table V's computation-time comparison. All solves go through the
+//! unified `mosc_core::solve` dispatcher.
 
 use mosc_bench::micro::Runner;
-use mosc_core::ao::{self, AoOptions};
-use mosc_core::pco::{self, PcoOptions};
-use mosc_core::{exs, lns};
+use mosc_core::{solve, SolveOptions, SolverKind};
 use mosc_sched::{Platform, PlatformSpec};
 use std::hint::black_box;
 
-fn quick_ao() -> AoOptions {
-    AoOptions { base_period: 0.05, max_m: 64, m_patience: 4, t_unit_divisor: 50, threads: 0 }
-}
-
-fn quick_pco() -> PcoOptions {
-    PcoOptions { ao: quick_ao(), phase_steps: 4, samples: 150, refill_divisor: 40 }
+/// Quick evaluation settings: single-threaded EXS (Algorithm 1's scaling),
+/// coarse AO/PCO sampling so whole grids stay tractable in a bench run.
+fn quick_opts() -> SolveOptions {
+    SolveOptions {
+        threads: 1,
+        max_m: 64,
+        base_period: 0.05,
+        m_patience: 4,
+        t_unit_divisor: 50,
+        phase_steps: 4,
+        samples: 150,
+        refill_divisor: 40,
+        ..SolveOptions::default()
+    }
 }
 
 fn bench_algorithms(r: &mut Runner) {
     let mut group = r.group("algorithms");
+    let opts = quick_opts();
     for (rows, cols, levels) in [(1usize, 3usize, 2usize), (2, 3, 3)] {
         let platform =
             Platform::build(&PlatformSpec::paper(rows, cols, levels, 55.0)).expect("platform");
         let label = format!("{}c{}l", rows * cols, levels);
-        group.bench(&format!("lns/{label}"), || lns::solve(black_box(&platform)).expect("lns"));
-        group.bench(&format!("exs/{label}"), || {
-            exs::solve_with_threads(black_box(&platform), 1).expect("exs")
-        });
-        group.bench(&format!("ao/{label}"), || {
-            ao::solve_with(black_box(&platform), &quick_ao()).expect("ao")
-        });
-        group.bench(&format!("pco/{label}"), || {
-            pco::solve_with(black_box(&platform), &quick_pco()).expect("pco")
-        });
+        for kind in [SolverKind::Lns, SolverKind::Exs, SolverKind::Ao, SolverKind::Pco] {
+            group.bench(&format!("{}/{label}", kind.id()), || {
+                solve(kind, black_box(&platform), &opts)
+                    .unwrap_or_else(|e| panic!("{}: {e}", kind.id()))
+            });
+        }
     }
 }
 
 fn bench_exs_scaling(r: &mut Runner) {
     // EXS cost vs level count on the 9-core platform: the exponential wall.
     let mut group = r.group("exs_scaling_9core");
+    let opts = quick_opts();
     for levels in [2usize, 3, 4] {
         let platform = Platform::build(&PlatformSpec::paper(3, 3, levels, 65.0)).expect("platform");
         group.bench(&levels.to_string(), || {
-            exs::solve_with_threads(black_box(&platform), 1).expect("exs")
+            solve(SolverKind::Exs, black_box(&platform), &opts).expect("exs")
         });
     }
 }
@@ -50,13 +55,14 @@ fn bench_bnb_vs_plain(r: &mut Runner) {
     // Branch-and-bound vs exhaustive enumeration on the 9-core platform:
     // same optimum, different visit counts.
     let mut group = r.group("exs_bnb_9core");
+    let opts = quick_opts();
     for levels in [3usize, 4] {
         let platform = Platform::build(&PlatformSpec::paper(3, 3, levels, 55.0)).expect("platform");
         group.bench(&format!("plain/{levels}"), || {
-            exs::solve_with_threads(black_box(&platform), 1).expect("exs")
+            solve(SolverKind::Exs, black_box(&platform), &opts).expect("exs")
         });
         group.bench(&format!("bnb/{levels}"), || {
-            mosc_core::exs_bnb::solve(black_box(&platform)).expect("bnb")
+            solve(SolverKind::ExsBnb, black_box(&platform), &opts).expect("bnb")
         });
     }
 }
@@ -65,8 +71,9 @@ fn bench_exs_parallel(r: &mut Runner) {
     let mut group = r.group("exs_threads_9core_4l");
     let platform = Platform::build(&PlatformSpec::paper(3, 3, 4, 65.0)).expect("platform");
     for threads in [1usize, 2, 4] {
+        let opts = SolveOptions { threads, ..quick_opts() };
         group.bench(&threads.to_string(), || {
-            exs::solve_with_threads(black_box(&platform), threads).expect("exs")
+            solve(SolverKind::Exs, black_box(&platform), &opts).expect("exs")
         });
     }
 }

@@ -1,0 +1,122 @@
+//! E-SV — serve throughput: the `mosc-serve` daemon under 1/4/8 concurrent
+//! client threads on the `specs/smoke.json` platform.
+//!
+//! Each round binds a fresh in-process [`mosc_serve::Server`] on
+//! `127.0.0.1:0`, points N client threads at it, and has every client issue
+//! a fixed number of solve requests over one persistent connection. The
+//! request mix cycles through four distinct `t_max_c` variants of the smoke
+//! platform, so each round performs a handful of cold solves (four distinct
+//! cache keys; concurrent first touches may race to fill the same key) and
+//! answers the rest from the LRU cache — the steady-state regime a
+//! design-space sweep would drive. The table reports wall time, sustained
+//! requests/sec, and the cache hit ratio per client count.
+//!
+//! With `--csv <dir>` the records are also written as `BENCH_serve.json`
+//! (JSON lines, one record per client count) — the artifact the `ci.sh`
+//! smoke checks for.
+
+use mosc_bench::{csv_dir_from_args, timed, write_csv, Table};
+use mosc_serve::{ServeOptions, Server};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Solve requests issued by each client thread per round.
+const REQUESTS_PER_CLIENT: usize = 40;
+
+/// Distinct `t_max_c` values cycled through the request mix: four cache
+/// keys, so almost every request after the first few is a hit.
+const T_MAX_VARIANTS: [f64; 4] = [55.0, 56.0, 57.0, 58.0];
+
+fn request_line(id: &str, t_max_c: f64) -> String {
+    format!(
+        "{{\"id\":\"{id}\",\"solver\":\"ao\",\"platform\":{{\"rows\":1,\"cols\":2,\
+         \"levels\":[0.6,1.3],\"t_max_c\":{t_max_c:?}}},\
+         \"options\":{{\"max_m\":64,\"m_patience\":4,\"t_unit_divisor\":50}}}}"
+    )
+}
+
+/// One client thread: a persistent connection issuing its request quota
+/// one-at-a-time, panicking on any lost or malformed response.
+fn run_client(addr: SocketAddr, client: usize) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("TCP_NODELAY");
+    let mut responses = BufReader::new(stream.try_clone().expect("clone socket"));
+    let mut stream = stream;
+    for i in 0..REQUESTS_PER_CLIENT {
+        let id = format!("c{client}-{i}");
+        let mut line = request_line(&id, T_MAX_VARIANTS[i % T_MAX_VARIANTS.len()]);
+        line.push('\n');
+        stream.write_all(line.as_bytes()).expect("send request");
+        let mut response = String::new();
+        responses.read_line(&mut response).expect("read response");
+        assert!(
+            response.contains("\"status\":\"ok\"") && response.contains(&format!("\"{id}\"")),
+            "client {client} request {i} got a bad response: {response}"
+        );
+    }
+}
+
+/// Runs one round at `clients` threads; returns (wall s, hits, misses).
+fn round(clients: usize) -> (f64, u64, u64) {
+    let server =
+        Server::bind(ServeOptions { addr: "127.0.0.1:0".into(), ..ServeOptions::default() })
+            .expect("bind 127.0.0.1:0");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("serve loop"));
+
+    let ((), wall) = timed(|| {
+        std::thread::scope(|scope| {
+            for client in 0..clients {
+                scope.spawn(move || run_client(addr, client));
+            }
+        });
+    });
+    let stats = handle.stats();
+    handle.shutdown();
+    join.join().expect("server thread");
+    (wall, stats.cache_hits, stats.cache_misses)
+}
+
+fn main() {
+    let csv = csv_dir_from_args();
+    println!(
+        "serve throughput — smoke platform, {REQUESTS_PER_CLIENT} requests/client, \
+         {} distinct cache keys\n",
+        T_MAX_VARIANTS.len()
+    );
+    let mut table =
+        Table::new(&["clients", "requests", "wall (s)", "req/s", "hits", "misses", "hit ratio"]);
+    let mut json = String::new();
+
+    for clients in [1usize, 4, 8] {
+        let (wall, hits, misses) = round(clients);
+        let requests = (clients * REQUESTS_PER_CLIENT) as u64;
+        let req_per_s = requests as f64 / wall.max(1e-12);
+        let hit_ratio = hits as f64 / (hits + misses) as f64;
+        table.row(vec![
+            clients.to_string(),
+            requests.to_string(),
+            format!("{wall:.4}"),
+            format!("{req_per_s:.0}"),
+            hits.to_string(),
+            misses.to_string(),
+            format!("{hit_ratio:.3}"),
+        ]);
+        let _ = writeln!(
+            json,
+            "{{\"type\":\"serve\",\"clients\":{clients},\"requests\":{requests},\
+             \"wall_s\":{wall:?},\"req_per_s\":{req_per_s:?},\
+             \"cache_hits\":{hits},\"cache_misses\":{misses},\
+             \"hit_ratio\":{hit_ratio:?}}}"
+        );
+    }
+
+    println!("{}", table.render());
+    println!("hot requests are answered from the LRU cache without touching a solver;");
+    println!("throughput scales with client threads until the reader/writer path saturates.");
+    if let Some(dir) = csv {
+        write_csv(&dir, "BENCH_serve.json", &json);
+    }
+}

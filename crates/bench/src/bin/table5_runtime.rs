@@ -8,9 +8,9 @@
 //! the *scaling shape*: EXS explodes as `levels^cores` while AO/PCO stay
 //! polynomial.
 
-use mosc_bench::compare::{ao_options, pco_options};
+use mosc_bench::compare::solve_options;
 use mosc_bench::{csv_dir_from_args, timed, timed_obs, write_csv, ObsLog, Table};
-use mosc_core::{ao, exs, pco};
+use mosc_core::{solve, SolveOptions, SolverKind};
 use mosc_sched::{Platform, PlatformSpec};
 use mosc_workload::{rng, PAPER_CONFIGS};
 use std::path::PathBuf;
@@ -57,15 +57,12 @@ fn main() {
                 let t_max_c = if randomize { case_rng.gen_range(50.0..=65.0) } else { 65.0 };
                 let platform = Platform::build(&PlatformSpec::paper(rows, cols, levels, t_max_c))
                     .expect("platform");
-                let (_, t_ao, obs_ao) = timed_obs(|| ao::solve_with(&platform, &ao_options()));
-                let (_, t_pco, obs_pco) = timed_obs(|| pco::solve_with(&platform, &pco_options()));
-                let (_, t_exs, obs_exs) = timed_obs(|| {
-                    if parallel_exs {
-                        exs::solve(&platform)
-                    } else {
-                        exs::solve_with_threads(&platform, 1)
-                    }
-                });
+                let opts = solve_options();
+                let exs_opts = SolveOptions { threads: if parallel_exs { 0 } else { 1 }, ..opts };
+                let (_, t_ao, obs_ao) = timed_obs(|| solve(SolverKind::Ao, &platform, &opts));
+                let (_, t_pco, obs_pco) = timed_obs(|| solve(SolverKind::Pco, &platform, &opts));
+                let (_, t_exs, obs_exs) =
+                    timed_obs(|| solve(SolverKind::Exs, &platform, &exs_opts));
                 times[0][li] += t_ao / reps as f64;
                 times[1][li] += t_pco / reps as f64;
                 times[2][li] += t_exs / reps as f64;
@@ -119,8 +116,10 @@ fn main() {
         let mut spec = PlatformSpec::paper(3, 3, 2, 65.0);
         spec.modes = mosc_power::ModeTable::uniform(0.6, 1.3, step).expect("grid");
         let platform = Platform::build(&spec).expect("platform");
-        let (_, t_exs) = timed(|| exs::solve_with_threads(&platform, 1));
-        let (_, t_ao) = timed(|| ao::solve_with(&platform, &ao_options()));
+        let opts = solve_options();
+        let (_, t_exs) =
+            timed(|| solve(SolverKind::Exs, &platform, &SolveOptions { threads: 1, ..opts }));
+        let (_, t_ao) = timed(|| solve(SolverKind::Ao, &platform, &opts));
         let candidates = (spec.modes.len() as f64).powi(9);
         ext.row(vec![
             spec.modes.len().to_string(),

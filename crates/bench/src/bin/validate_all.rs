@@ -2,9 +2,9 @@
 //! makes against the paper and prints a PASS/FAIL summary. Fast (~seconds in
 //! release); the full experiment binaries produce the detailed tables.
 
-use mosc_bench::compare::{ao_options, Comparison};
+use mosc_bench::compare::{solve_options, Comparison};
 use mosc_bench::{timed_obs, ObsLog};
-use mosc_core::{ao, continuous, exs, lns};
+use mosc_core::{continuous, solve, SolveOptions, SolverKind};
 use mosc_sched::{Platform, PlatformSpec, Schedule};
 use mosc_workload::{rng, ScheduleGen};
 use std::path::PathBuf;
@@ -34,8 +34,9 @@ fn main() -> ExitCode {
     // §III motivation.
     {
         let p = Platform::build(&PlatformSpec::motivation()).expect("platform");
-        let l = lns::solve(&p).expect("lns").throughput;
-        let e = exs::solve(&p).expect("exs").throughput;
+        let opts = solve_options();
+        let l = solve(SolverKind::Lns, &p, &opts).expect("lns").solution.throughput;
+        let e = solve(SolverKind::Exs, &p, &opts).expect("exs").solution.throughput;
         let ideal = continuous::solve(&p).expect("ideal");
         h.check("motivation: LNS collapses to 0.6", (l - 0.6).abs() < 1e-9, &format!("{l}"));
         h.check(
@@ -121,7 +122,7 @@ fn main() -> ExitCode {
         let mut detail = String::new();
         for t_max_c in [55.0, 60.0, 65.0] {
             let p = Platform::build(&PlatformSpec::paper(1, 2, 2, t_max_c)).expect("platform");
-            let a = ao::solve_with(&p, &ao_options()).expect("ao").throughput;
+            let a = solve(SolverKind::Ao, &p, &solve_options()).expect("ao").solution.throughput;
             if (a - 1.3).abs() > 2e-3 {
                 ok = false;
                 detail = format!("AO at {t_max_c} C gave {a}");
@@ -137,7 +138,7 @@ fn main() -> ExitCode {
         let mut vals = Vec::new();
         for t_max_c in [50.0, 55.0, 60.0, 65.0] {
             let p = Platform::build(&PlatformSpec::paper(3, 3, 2, t_max_c)).expect("platform");
-            let a = ao::solve_with(&p, &ao_options()).expect("ao").throughput;
+            let a = solve(SolverKind::Ao, &p, &solve_options()).expect("ao").solution.throughput;
             ok &= a >= prev - 1e-9;
             prev = a;
             vals.push(a);
@@ -151,7 +152,8 @@ fn main() -> ExitCode {
         let time_exs = |levels: usize| {
             let p = Platform::build(&PlatformSpec::paper(3, 3, levels, 65.0)).expect("platform");
             let start = Instant::now();
-            let _ = exs::solve_with_threads(&p, 1).expect("exs");
+            let single = SolveOptions { threads: 1, ..solve_options() };
+            let _ = solve(SolverKind::Exs, &p, &single).expect("exs");
             start.elapsed().as_secs_f64()
         };
         let t3 = time_exs(3);
@@ -168,7 +170,8 @@ fn main() -> ExitCode {
     {
         let p = Platform::build(&PlatformSpec::paper(2, 3, 2, 55.0)).expect("platform");
         let mut log = ObsLog::new();
-        let (_, t_ao, obs_ao) = timed_obs(|| ao::solve_with(&p, &ao_options()));
+        let opts = solve_options();
+        let (_, t_ao, obs_ao) = timed_obs(|| solve(SolverKind::Ao, &p, &opts));
         let expm = obs_ao.counter("expm.calls").unwrap_or(0);
         let peaks = obs_ao.counter("peak_eval.calls").unwrap_or(0);
         let rounds = obs_ao.counter("ao.tpt_rounds").unwrap_or(0);
@@ -178,14 +181,14 @@ fn main() -> ExitCode {
             expm > 0 && peaks > 0 && rounds > 0,
             &format!("expm {expm}, peak_eval {peaks}, tpt_rounds {rounds}"),
         );
-        let (_, t_exs, obs_exs) = timed_obs(|| exs::solve(&p));
+        let (_, t_exs, obs_exs) = timed_obs(|| solve(SolverKind::Exs, &p, &opts));
         log.section("EXS", t_exs, &obs_exs);
         h.check(
             "obs: EXS run produces a root span",
             obs_exs.span_path("exs.solve").is_some(),
             "no exs.solve span in snapshot",
         );
-        let (_, t_lns, obs_lns) = timed_obs(|| lns::solve(&p));
+        let (_, t_lns, obs_lns) = timed_obs(|| solve(SolverKind::Lns, &p, &opts));
         log.section("LNS", t_lns, &obs_lns);
         println!(
             "      (AO on 6 cores: {expm} expm.calls, {peaks} peak_eval.calls, \

@@ -3,7 +3,7 @@
 
 use mosc_core::ao::AoOptions;
 use mosc_core::pco::PcoOptions;
-use mosc_core::{ao, exs, lns, pco, Solution};
+use mosc_core::{solve, Solution, SolveOptions, SolverKind};
 use mosc_sched::Platform;
 
 /// The evaluation's AO settings: 50 ms base period, overhead-bounded m.
@@ -17,6 +17,25 @@ pub fn ao_options() -> AoOptions {
 #[must_use]
 pub fn pco_options() -> PcoOptions {
     PcoOptions { ao: ao_options(), phase_steps: 6, samples: 250, refill_divisor: 60 }
+}
+
+/// The same evaluation settings in the unified dispatcher's flat form, for
+/// callers going through `mosc_core::solve`.
+#[must_use]
+pub fn solve_options() -> SolveOptions {
+    let ao = ao_options();
+    let pco = pco_options();
+    SolveOptions {
+        threads: ao.threads,
+        max_m: ao.max_m,
+        base_period: ao.base_period,
+        m_patience: ao.m_patience,
+        t_unit_divisor: ao.t_unit_divisor,
+        phase_steps: pco.phase_steps,
+        samples: pco.samples,
+        refill_divisor: pco.refill_divisor,
+        ..SolveOptions::default()
+    }
 }
 
 /// One comparison row: the four algorithms on one platform. `None` marks an
@@ -34,14 +53,16 @@ pub struct Comparison {
 }
 
 impl Comparison {
-    /// Runs all four algorithms.
+    /// Runs all four algorithms through the unified dispatcher.
     #[must_use]
     pub fn run(platform: &Platform) -> Self {
+        let opts = solve_options();
+        let run = |kind| solve(kind, platform, &opts).ok().map(|r| r.solution);
         Self {
-            lns: lns::solve(platform).ok(),
-            exs: exs::solve(platform).ok(),
-            ao: ao::solve_with(platform, &ao_options()).ok(),
-            pco: pco::solve_with(platform, &pco_options()).ok(),
+            lns: run(SolverKind::Lns),
+            exs: run(SolverKind::Exs),
+            ao: run(SolverKind::Ao),
+            pco: run(SolverKind::Pco),
         }
     }
 

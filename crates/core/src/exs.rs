@@ -34,7 +34,7 @@ pub const DEFAULT_PERIOD: f64 = 0.1;
 /// when not even the all-lowest assignment is safe.
 pub fn solve(platform: &Platform) -> Result<Solution> {
     let threads = std::thread::available_parallelism().map_or(1, usize::from);
-    solve_with_threads(platform, threads)
+    solve_inner(platform, threads, None).map(|(s, _)| s)
 }
 
 /// Runs EXS with an explicit thread count (1 = the paper's sequential
@@ -43,7 +43,28 @@ pub fn solve(platform: &Platform) -> Result<Solution> {
 ///
 /// # Errors
 /// Propagates evaluation failures; flags infeasibility.
+#[deprecated(
+    since = "0.1.0",
+    note = "use mosc_core::solve(SolverKind::Exs, platform, &SolveOptions { threads, .. })"
+)]
 pub fn solve_with_threads(platform: &Platform, threads: usize) -> Result<Solution> {
+    solve_inner(platform, threads, None).map(|(s, _)| s)
+}
+
+/// The EXS engine behind both [`solve`] and the
+/// [`crate::solve`](crate::solve()) dispatcher: an explicit thread count, an
+/// optional wall-clock deadline, and the evaluated-assignment count for
+/// [`crate::SolverStats`].
+///
+/// # Errors
+/// Propagates evaluation failures; flags infeasibility; returns
+/// [`crate::AlgoError::DeadlineExceeded`] when the enumeration runs past
+/// `deadline`.
+pub(crate) fn solve_inner(
+    platform: &Platform,
+    threads: usize,
+    deadline: Option<std::time::Instant>,
+) -> Result<(Solution, u64)> {
     let _span = mosc_obs::span("exs.solve");
     debug_assert!(crate::checks::platform_ok(platform), "EXS input platform fails static analysis");
     let n = platform.n_cores();
@@ -60,22 +81,31 @@ pub fn solve_with_threads(platform: &Platform, threads: usize) -> Result<Solutio
     let chunks: Vec<Vec<usize>> =
         (0..threads).map(|t| (0..levels.len()).filter(|l| l % threads == t).collect()).collect();
 
-    let results: Vec<Option<(f64, Vec<usize>)>> = std::thread::scope(|scope| {
+    let results: Vec<Partition> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|chunk| {
                 let r = &r;
                 let psi = &psi;
-                scope.spawn(move || search_partition(n, levels, chunk, r, psi, t_max))
+                scope.spawn(move || search_partition(n, levels, chunk, r, psi, t_max, deadline))
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("search thread panicked")).collect()
     });
 
-    for res in results.into_iter().flatten() {
-        if best.as_ref().is_none_or(|(b, _)| res.0 > *b) {
-            best = Some(res);
+    let mut evaluated = 0u64;
+    let mut expired = false;
+    for res in results {
+        evaluated += res.evaluated;
+        expired |= res.expired;
+        if let Some(found) = res.best {
+            if best.as_ref().is_none_or(|(b, _)| found.0 > *b) {
+                best = Some(found);
+            }
         }
+    }
+    if expired {
+        return Err(crate::AlgoError::DeadlineExceeded);
     }
 
     let Some((_, assignment)) = best else {
@@ -98,8 +128,24 @@ pub fn solve_with_threads(platform: &Platform, threads: usize) -> Result<Solutio
         crate::checks::solution_ok(platform, &solution, true),
         "EXS result fails static analysis"
     );
-    Ok(solution)
+    Ok((solution, evaluated))
 }
+
+/// Outcome of one partition's enumeration.
+struct Partition {
+    /// Best feasible `(speed_sum, assignment)` seen, if any.
+    best: Option<(f64, Vec<usize>)>,
+    /// Assignments evaluated before finishing or expiring.
+    evaluated: u64,
+    /// `true` when the walk aborted on the deadline.
+    expired: bool,
+}
+
+/// How many odometer steps pass between deadline polls. A power of two so
+/// the check compiles to a mask; coarse enough that the clock read never
+/// shows up in the profile, fine enough that overruns stay in the
+/// sub-millisecond range on the Table-V platforms.
+const DEADLINE_STRIDE: u64 = 4096;
 
 /// Enumerates all assignments whose first-core level is in `first_levels`,
 /// returning the best feasible `(speed_sum, assignment)`.
@@ -110,12 +156,19 @@ fn search_partition(
     r: &mosc_linalg::Matrix,
     psi: &[f64],
     t_max: f64,
-) -> Option<(f64, Vec<usize>)> {
+    deadline: Option<std::time::Instant>,
+) -> Partition {
     let n_levels = levels.len();
     let mut best: Option<(f64, Vec<usize>)> = None;
     let mut temps = vec![0.0f64; n];
     let mut evaluated = 0u64;
     for &first in first_levels {
+        // Poll once per first-core level as well as every stride: a
+        // partition's subtree can be smaller than the stride.
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            ASSIGNMENTS.add(evaluated);
+            return Partition { best, evaluated, expired: true };
+        }
         // Assignment state: levels per core; core 0 fixed to `first`.
         let mut idx = vec![0usize; n];
         idx[0] = first;
@@ -129,6 +182,12 @@ fn search_partition(
         loop {
             // Evaluate the current assignment.
             evaluated += 1;
+            if evaluated.is_multiple_of(DEADLINE_STRIDE)
+                && deadline.is_some_and(|d| std::time::Instant::now() >= d)
+            {
+                ASSIGNMENTS.add(evaluated);
+                return Partition { best, evaluated, expired: true };
+            }
             let peak = temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             if peak <= t_max + ACCEPT_EPS {
                 let speed_sum: f64 = idx.iter().map(|&l| levels[l]).sum();
@@ -158,7 +217,7 @@ fn search_partition(
         }
     }
     ASSIGNMENTS.add(evaluated);
-    best
+    Partition { best, evaluated, expired: false }
 }
 
 /// Adds `delta_psi` on core `j` into the temperature accumulator.
@@ -232,9 +291,12 @@ mod tests {
     #[test]
     fn exs_single_thread_matches_parallel() {
         let p = Platform::build(&PlatformSpec::paper(2, 3, 3, 55.0)).unwrap();
-        let seq = solve_with_threads(&p, 1).unwrap();
-        let par = solve_with_threads(&p, 8).unwrap();
+        let (seq, seq_evaluated) = solve_inner(&p, 1, None).unwrap();
+        let (par, par_evaluated) = solve_inner(&p, 8, None).unwrap();
         assert!((seq.throughput - par.throughput).abs() < 1e-12);
+        // Both cover the complete 3^6 space regardless of partitioning.
+        assert_eq!(seq_evaluated, 729);
+        assert_eq!(par_evaluated, 729);
     }
 
     #[test]

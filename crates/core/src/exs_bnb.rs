@@ -44,7 +44,26 @@ pub struct BnbStats {
 /// # Errors
 /// [`AlgoError::Infeasible`] when even all-lowest violates `T_max`;
 /// propagated evaluation failures otherwise.
+#[deprecated(
+    since = "0.1.0",
+    note = "use mosc_core::solve(SolverKind::ExsBnb, platform, &opts); the \
+            BnbStats live in SolveReport::stats"
+)]
 pub fn solve(platform: &Platform) -> Result<(Solution, BnbStats)> {
+    solve_inner(platform, None)
+}
+
+/// The engine behind [`solve`] and the [`crate::solve`](crate::solve())
+/// dispatcher: branch-and-bound with an optional wall-clock deadline.
+///
+/// # Errors
+/// [`AlgoError::Infeasible`] when even all-lowest violates `T_max`;
+/// [`AlgoError::DeadlineExceeded`] when the search runs past `deadline`;
+/// propagated evaluation failures otherwise.
+pub(crate) fn solve_inner(
+    platform: &Platform,
+    deadline: Option<std::time::Instant>,
+) -> Result<(Solution, BnbStats)> {
     let _span = mosc_obs::span("exs_bnb.solve");
     debug_assert!(
         crate::checks::platform_ok(platform),
@@ -74,100 +93,32 @@ pub fn solve(platform: &Platform) -> Result<(Solution, BnbStats)> {
         });
     }
 
-    let mut stats = BnbStats::default();
-    let mut best_sum = f64::NEG_INFINITY;
-    let mut best_assign: Vec<usize> = vec![0; n];
-    let mut assign = vec![0usize; n];
     // `temps` always reflects: assigned cores at their level, unassigned at
     // the lowest level (= the optimistic thermal floor of the subtree).
-    let mut temps = temps_floor;
-
-    // Depth-first with explicit recursion.
-    #[allow(clippy::too_many_arguments)]
-    fn dfs(
-        depth: usize,
-        n: usize,
-        levels: &[f64],
-        psi: &[f64],
-        r: &mosc_linalg::Matrix,
-        t_max: f64,
-        v_max: f64,
-        assign: &mut Vec<usize>,
-        temps: &mut Vec<f64>,
-        best_sum: &mut f64,
-        best_assign: &mut Vec<usize>,
-        stats: &mut BnbStats,
-    ) {
-        stats.visited += 1;
-        // Thermal bound: the floor completion is the coolest this subtree
-        // can ever be.
-        let peak = temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        if peak > t_max + ACCEPT_EPS {
-            stats.thermal_prunes += 1;
-            return;
-        }
-        // Throughput bound.
-        let fixed_sum: f64 = assign[..depth].iter().map(|&l| levels[l]).sum();
-        let optimistic = fixed_sum + (n - depth) as f64 * v_max;
-        if optimistic <= *best_sum + 1e-12 {
-            stats.throughput_prunes += 1;
-            return;
-        }
-        if depth == n {
-            // Feasible leaf (thermal bound above is exact here).
-            if fixed_sum > *best_sum {
-                *best_sum = fixed_sum;
-                best_assign.copy_from_slice(assign);
-            }
-            return;
-        }
-        // Try the highest levels first: better incumbents earlier ⇒ more
-        // throughput prunes.
-        for l in (0..levels.len()).rev() {
-            let delta = psi[l] - psi[0];
-            for (i, t) in temps.iter_mut().enumerate() {
-                *t += r[(i, depth)] * delta;
-            }
-            assign[depth] = l;
-            dfs(
-                depth + 1,
-                n,
-                levels,
-                psi,
-                r,
-                t_max,
-                v_max,
-                assign,
-                temps,
-                best_sum,
-                best_assign,
-                stats,
-            );
-            for (i, t) in temps.iter_mut().enumerate() {
-                *t -= r[(i, depth)] * delta;
-            }
-        }
-        assign[depth] = 0;
-    }
-
-    dfs(
-        0,
+    let mut search = Search {
         n,
-        &levels,
-        &psi,
-        &r,
+        levels: &levels,
+        psi: &psi,
+        r: &r,
         t_max,
         v_max,
-        &mut assign,
-        &mut temps,
-        &mut best_sum,
-        &mut best_assign,
-        &mut stats,
-    );
+        deadline,
+        assign: vec![0usize; n],
+        temps: temps_floor,
+        best_sum: f64::NEG_INFINITY,
+        best_assign: vec![0; n],
+        stats: BnbStats::default(),
+        expired: false,
+    };
+    search.dfs(0);
+    let Search { best_assign, stats, expired, .. } = search;
 
     NODES_VISITED.add(stats.visited);
     PRUNED_THERMAL.add(stats.thermal_prunes);
     PRUNED_THROUGHPUT.add(stats.throughput_prunes);
+    if expired {
+        return Err(AlgoError::DeadlineExceeded);
+    }
     mosc_obs::event(
         "exs_bnb.done",
         &[
@@ -195,6 +146,94 @@ pub fn solve(platform: &Platform) -> Result<(Solution, BnbStats)> {
     Ok((solution, stats))
 }
 
+/// How many node visits pass between deadline polls; a power of two so the
+/// modulo is a mask.
+const DEADLINE_STRIDE: u64 = 4096;
+
+/// The depth-first search state. Bundling it keeps the recursion signature
+/// readable and gives the deadline poll one place to live.
+struct Search<'a> {
+    /// Core count.
+    n: usize,
+    /// DVFS level table (V).
+    levels: &'a [f64],
+    /// ψ per level.
+    psi: &'a [f64],
+    /// Thermal response matrix `R`.
+    r: &'a mosc_linalg::Matrix,
+    /// Temperature threshold (K above ambient).
+    t_max: f64,
+    /// Fastest level, for the optimistic throughput bound.
+    v_max: f64,
+    /// Abort the walk once the clock passes this point.
+    deadline: Option<std::time::Instant>,
+    /// Current partial assignment (levels per core).
+    assign: Vec<usize>,
+    /// Assigned cores at their level, unassigned at the lowest level.
+    temps: Vec<f64>,
+    /// Incumbent speed sum.
+    best_sum: f64,
+    /// Incumbent assignment.
+    best_assign: Vec<usize>,
+    /// Visit/prune tallies.
+    stats: BnbStats,
+    /// Set once the deadline fires; unwinds the recursion.
+    expired: bool,
+}
+
+impl Search<'_> {
+    fn dfs(&mut self, depth: usize) {
+        if self.expired {
+            return;
+        }
+        self.stats.visited += 1;
+        // `== 1` polls on the very first visit, so an already-expired
+        // deadline aborts before any work; after that, every stride.
+        if self.stats.visited % DEADLINE_STRIDE == 1
+            && self.deadline.is_some_and(|d| std::time::Instant::now() >= d)
+        {
+            self.expired = true;
+            return;
+        }
+        // Thermal bound: the floor completion is the coolest this subtree
+        // can ever be.
+        let peak = self.temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if peak > self.t_max + ACCEPT_EPS {
+            self.stats.thermal_prunes += 1;
+            return;
+        }
+        // Throughput bound.
+        let fixed_sum: f64 = self.assign[..depth].iter().map(|&l| self.levels[l]).sum();
+        let optimistic = fixed_sum + (self.n - depth) as f64 * self.v_max;
+        if optimistic <= self.best_sum + 1e-12 {
+            self.stats.throughput_prunes += 1;
+            return;
+        }
+        if depth == self.n {
+            // Feasible leaf (thermal bound above is exact here).
+            if fixed_sum > self.best_sum {
+                self.best_sum = fixed_sum;
+                self.best_assign.copy_from_slice(&self.assign);
+            }
+            return;
+        }
+        // Try the highest levels first: better incumbents earlier ⇒ more
+        // throughput prunes.
+        for l in (0..self.levels.len()).rev() {
+            let delta = self.psi[l] - self.psi[0];
+            for (i, t) in self.temps.iter_mut().enumerate() {
+                *t += self.r[(i, depth)] * delta;
+            }
+            self.assign[depth] = l;
+            self.dfs(depth + 1);
+            for (i, t) in self.temps.iter_mut().enumerate() {
+                *t -= self.r[(i, depth)] * delta;
+            }
+        }
+        self.assign[depth] = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,7 +244,7 @@ mod tests {
         for (rows, cols, levels) in [(1usize, 3usize, 3usize), (2, 3, 3), (1, 3, 5)] {
             let p = Platform::build(&PlatformSpec::paper(rows, cols, levels, 55.0)).unwrap();
             let plain = crate::exs::solve(&p).unwrap();
-            let (bnb, stats) = solve(&p).unwrap();
+            let (bnb, stats) = solve_inner(&p, None).unwrap();
             assert!(
                 (plain.throughput - bnb.throughput).abs() < 1e-12,
                 "{rows}x{cols}/{levels}: plain {} vs bnb {}",
@@ -219,7 +258,7 @@ mod tests {
     #[test]
     fn bnb_prunes_meaningfully_on_constrained_platforms() {
         let p = Platform::build(&PlatformSpec::paper(3, 3, 4, 55.0)).unwrap();
-        let (_, stats) = solve(&p).unwrap();
+        let (_, stats) = solve_inner(&p, None).unwrap();
         let full_tree: u64 = {
             // Nodes of the complete 4-ary tree of depth 9.
             let mut total = 0u64;
@@ -242,13 +281,13 @@ mod tests {
     #[test]
     fn bnb_infeasible_platform_errors() {
         let p = Platform::build(&PlatformSpec::paper(3, 3, 2, 36.0)).unwrap();
-        assert!(matches!(solve(&p), Err(AlgoError::Infeasible { .. })));
+        assert!(matches!(solve_inner(&p, None), Err(AlgoError::Infeasible { .. })));
     }
 
     #[test]
     fn bnb_unconstrained_platform_all_max() {
         let p = Platform::build(&PlatformSpec::paper(1, 2, 5, 65.0)).unwrap();
-        let (sol, stats) = solve(&p).unwrap();
+        let (sol, stats) = solve_inner(&p, None).unwrap();
         assert!((sol.throughput - 1.3).abs() < 1e-12);
         // Descending order means the very first leaf is optimal and the
         // throughput bound kills everything else.

@@ -44,9 +44,11 @@ pub mod exs_bnb;
 pub mod lns;
 pub mod pco;
 pub mod reactive;
+pub mod solve;
 
 pub use ao::AoOptions;
 pub use mosc_sched::{Platform, PlatformSpec, Schedule, ACCEPT_EPS, FEASIBILITY_EPS};
+pub use solve::{solve, SolveOptions, SolveReport, SolverKind, SolverStats, UnknownSolverError};
 
 /// Outcome of a scheduling algorithm: the schedule it constructed and the
 /// headline numbers the evaluation compares.
@@ -91,6 +93,9 @@ pub enum AlgoError {
         /// Human-readable description.
         what: &'static str,
     },
+    /// An enumeration solver ran past the caller's wall-clock budget
+    /// ([`SolveOptions::deadline`]) and aborted without a result.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for AlgoError {
@@ -102,6 +107,7 @@ impl std::fmt::Display for AlgoError {
             ),
             Self::Sched(e) => write!(f, "schedule evaluation failed: {e}"),
             Self::InvalidOptions { what } => write!(f, "invalid options: {what}"),
+            Self::DeadlineExceeded => write!(f, "solver deadline exceeded"),
         }
     }
 }

@@ -24,7 +24,7 @@ use mosc_sched::{Platform, Schedule};
 static TRANSITIONS: mosc_obs::Counter = mosc_obs::Counter::new("reactive.transitions");
 
 /// Governor configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GovernorOptions {
     /// Control epoch (seconds between sensor reads / decisions).
     pub control_period: f64,

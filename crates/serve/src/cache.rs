@@ -1,0 +1,198 @@
+//! The LRU solution cache and its canonical key.
+//!
+//! The paper's schedules are pure functions of the platform spec and the
+//! solver options (Algorithm 2 recomputes everything from `Platform`), so a
+//! solve result can be reused for any byte-identical query. The key is an
+//! FNV-1a hash over the canonical serialization of `(platform, solver kind,
+//! options)` — canonical meaning object keys sorted at every level, so two
+//! clients spelling the same platform with different member order share an
+//! entry. The request deadline is excluded from the key: only successful
+//! solves are cached, and a success is the same solution under any deadline.
+
+use crate::proto::{canonical_json, options_to_json, SolveRequest};
+use mosc_core::{SolveOptions, SolverKind, SolverStats};
+use std::collections::HashMap;
+
+/// 64-bit FNV-1a over raw bytes.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The cache key of a solve request: platform + solver kind + options, with
+/// the deadline masked out (see the module docs).
+#[must_use]
+pub fn cache_key(req: &SolveRequest) -> u64 {
+    let keyed_options = SolveOptions { deadline: None, ..req.options };
+    let mut preimage = canonical_json(&req.platform);
+    preimage.push('\0');
+    preimage.push_str(req.kind.id());
+    preimage.push('\0');
+    preimage.push_str(&options_to_json(&keyed_options));
+    fnv1a(preimage.as_bytes())
+}
+
+/// A cached solve outcome: everything needed to render an `ok` response for
+/// any later request (including `want_schedule`, which is why the schedule
+/// text is always kept).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedSolve {
+    /// Which solver produced the result.
+    pub solver: SolverKind,
+    /// Chip-wide throughput per eq. (5).
+    pub throughput: f64,
+    /// Stable-status peak temperature in °C.
+    pub peak_c: f64,
+    /// Whether the peak respects `T_max`.
+    pub feasible: bool,
+    /// Oscillation factor used.
+    pub m: usize,
+    /// Wall time of the original (uncached) solve, in milliseconds.
+    pub wall_ms: f64,
+    /// Cross-solver search statistics of the original solve.
+    pub stats: SolverStats,
+    /// The schedule in `mosc-sched::text` form.
+    pub schedule_text: String,
+}
+
+/// A fixed-capacity least-recently-used cache. Lookups and inserts are
+/// `O(1)`; eviction scans for the oldest stamp, which is `O(capacity)` —
+/// fine at service cache sizes (hundreds), and it keeps the structure a
+/// plain `HashMap` instead of a hand-rolled intrusive list.
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: usize,
+    clock: u64,
+    entries: HashMap<u64, (u64, CachedSolve)>,
+}
+
+impl LruCache {
+    /// An empty cache holding at most `capacity` entries (0 disables
+    /// caching entirely).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity, clock: 0, entries: HashMap::new() }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u64) -> Option<CachedSolve> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(&key).map(|(stamp, v)| {
+            *stamp = clock;
+            v.clone()
+        })
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
+    /// when at capacity. Returns `true` when an eviction happened.
+    pub fn insert(&mut self, key: u64, value: CachedSolve) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        self.clock += 1;
+        let mut evicted = false;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some((&oldest, _)) = self.entries.iter().min_by_key(|(_, (stamp, _))| *stamp) {
+                self.entries.remove(&oldest);
+                evicted = true;
+            }
+        }
+        self.entries.insert(key, (self.clock, value));
+        evicted
+    }
+
+    /// Current entry count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosc_analyze::json::Value;
+
+    fn dummy(throughput: f64) -> CachedSolve {
+        CachedSolve {
+            solver: SolverKind::Ao,
+            throughput,
+            peak_c: 50.0,
+            feasible: true,
+            m: 1,
+            wall_ms: 1.0,
+            stats: SolverStats::default(),
+            schedule_text: String::new(),
+        }
+    }
+
+    #[test]
+    fn lru_evicts_the_oldest_untouched_entry() {
+        let mut c = LruCache::new(2);
+        assert!(!c.insert(1, dummy(1.0)));
+        assert!(!c.insert(2, dummy(2.0)));
+        // Touch 1, so 2 is now the LRU entry.
+        assert!(c.get(1).is_some());
+        assert!(c.insert(3, dummy(3.0)));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(2).is_none(), "LRU entry should have been evicted");
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LruCache::new(0);
+        assert!(!c.insert(1, dummy(1.0)));
+        assert!(c.is_empty());
+        assert!(c.get(1).is_none());
+    }
+
+    #[test]
+    fn reinserting_a_key_does_not_evict() {
+        let mut c = LruCache::new(1);
+        assert!(!c.insert(7, dummy(1.0)));
+        assert!(!c.insert(7, dummy(2.0)), "refresh is not an eviction");
+        assert!((c.get(7).unwrap().throughput - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_key_is_member_order_independent_but_value_sensitive() {
+        let mk = |platform: &str| SolveRequest {
+            id: "x".into(),
+            kind: SolverKind::Ao,
+            platform: Value::parse(platform).unwrap(),
+            options: SolveOptions::default(),
+            want_schedule: false,
+        };
+        let a = mk(r#"{"rows":1,"cols":2,"levels":[0.6,1.3],"t_max_c":55.0}"#);
+        let b = mk(r#"{"t_max_c":55.0,"levels":[0.6,1.3],"cols":2,"rows":1}"#);
+        assert_eq!(cache_key(&a), cache_key(&b), "member order must not matter");
+        let c = mk(r#"{"rows":1,"cols":2,"levels":[0.6,1.3],"t_max_c":56.0}"#);
+        assert_ne!(cache_key(&a), cache_key(&c), "values must matter");
+        // The solver kind and options are part of the key; the deadline and
+        // the id are not.
+        let mut d = a.clone();
+        d.kind = SolverKind::Lns;
+        assert_ne!(cache_key(&a), cache_key(&d));
+        let mut e = a.clone();
+        e.options.threads = 7;
+        assert_ne!(cache_key(&a), cache_key(&e));
+        let mut f = a.clone();
+        f.id = "other".into();
+        f.options.deadline = Some(std::time::Duration::from_secs(1));
+        assert_eq!(cache_key(&a), cache_key(&f));
+    }
+}

@@ -1,0 +1,32 @@
+//! `mosc-serve`: a concurrent solve service over the unified solver API.
+//!
+//! A zero-dependency TCP daemon speaking newline-delimited JSON: each
+//! request line names a solver ([`mosc_core::SolverKind`]), carries an
+//! inline platform spec (the same `"platform"` object `mosc-analyze`
+//! validates) and optional [`mosc_core::SolveOptions`] overrides, and gets
+//! exactly one response line back. Internals:
+//!
+//! - a fixed worker pool over a bounded MPMC [`queue`] — a full queue sheds
+//!   load with an immediate `overloaded` response instead of buffering;
+//! - an LRU solution [`cache`] keyed by the canonical hash of
+//!   `(platform, solver, options)`, so identical queries are answered
+//!   without re-solving;
+//! - per-request deadlines that abort the enumeration solvers (EXS, `BnB`)
+//!   cleanly through [`mosc_core::SolveOptions::deadline`];
+//! - graceful drain-then-exit on the `shutdown` op (the workspace forbids
+//!   `unsafe`, so a wire op stands in for a signal handler).
+//!
+//! Run it as `mosc-cli serve --addr 127.0.0.1:7070`, or embed it via
+//! [`Server`] as the loopback tests do. Telemetry flows through `mosc-obs`
+//! (`serve.*` counters/gauges/events) and is linted by `mosc-analyze`'s
+//! M060–M062 checks.
+
+pub mod cache;
+pub mod proto;
+pub mod queue;
+pub mod server;
+
+pub use cache::{cache_key, LruCache};
+pub use proto::{parse_request, Request, SolveRequest, SolveResponse};
+pub use queue::{BoundedQueue, QueueFull};
+pub use server::{ServeHandle, ServeOptions, ServeStats, Server};

@@ -1,0 +1,519 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response line per request, in any order across
+//! requests (responses carry the request's `id`). Requests are parsed with
+//! the `mosc-analyze` JSON reader; responses are written by the canonical
+//! serializer in this module, which emits object members in a fixed order
+//! and floats via Rust's shortest-round-trip formatting, so a response can
+//! be parsed back into the exact same values (the property tests pin this).
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"id":"r1","op":"solve","solver":"ao","platform":{"rows":1,"cols":2,"levels":[0.6,1.3],"t_max_c":55.0},"options":{"threads":2,"deadline_ms":5000},"want_schedule":false}
+//! {"id":"p1","op":"ping"}
+//! {"id":"s1","op":"stats"}
+//! {"id":"q1","op":"shutdown"}
+//! ```
+//!
+//! `op` defaults to `"solve"`. The `platform` object uses the same schema
+//! as the `mosc-cli analyze`/`profile` spec files' `"platform"` section.
+//! Every `options` member is optional and defaults to
+//! [`SolveOptions::default`]; `deadline_ms` maps to
+//! [`SolveOptions::deadline`].
+//!
+//! ## Responses
+//!
+//! ```json
+//! {"id":"r1","status":"ok","solver":"ao","throughput":1.05,"peak_c":54.2,"feasible":true,"m":3,"wall_ms":12.5,"cached":false,"stats":{...}}
+//! {"id":"r2","status":"error","kind":"infeasible","message":"..."}
+//! {"id":"r3","status":"overloaded","message":"queue full"}
+//! ```
+//!
+//! `status` is `"ok"`, `"error"`, or `"overloaded"`; error responses
+//! classify themselves through `kind` (`"parse"`, `"usage"`,
+//! `"infeasible"`, `"deadline"`, `"internal"`).
+
+use mosc_analyze::json::Value;
+use mosc_core::{SolveOptions, SolverKind, SolverStats};
+use std::time::Duration;
+
+/// A malformed request line: the human-readable reason, echoed back in the
+/// error response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// What was wrong with the line.
+    pub message: String,
+    /// The request id, when one could be recovered before the failure.
+    pub id: String,
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run a solver (the default op).
+    Solve(SolveRequest),
+    /// Liveness probe.
+    Ping {
+        /// Request id to echo.
+        id: String,
+    },
+    /// Service metrics snapshot.
+    Stats {
+        /// Request id to echo.
+        id: String,
+    },
+    /// Drain in-flight work, then exit. Replaces a signal handler: the
+    /// workspace forbids `unsafe`, so POSIX signals cannot be caught and
+    /// graceful shutdown is a protocol op instead.
+    Shutdown {
+        /// Request id to echo.
+        id: String,
+    },
+}
+
+/// A solve request: which solver, on what platform, with what options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveRequest {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: String,
+    /// Which solver to run.
+    pub kind: SolverKind,
+    /// The platform description (the spec-file `"platform"` object).
+    pub platform: Value,
+    /// Solver options (wire-absent members take the defaults).
+    pub options: SolveOptions,
+    /// Whether the response should carry the schedule in
+    /// `mosc-sched::text` form.
+    pub want_schedule: bool,
+}
+
+fn proto_err(id: &str, message: impl Into<String>) -> ProtoError {
+    ProtoError { message: message.into(), id: id.to_owned() }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+/// [`ProtoError`] for malformed JSON, a non-object line, an unknown op or
+/// solver, or a mistyped member. The error carries whatever `id` could be
+/// recovered, so the caller can still address its error response.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let doc = Value::parse(line).map_err(|e| proto_err("", format!("invalid JSON: {e}")))?;
+    if !doc.is_object() {
+        return Err(proto_err("", "request must be a JSON object"));
+    }
+    let id = match doc.get("id") {
+        None => String::new(),
+        Some(Value::String(s)) => s.clone(),
+        Some(_) => return Err(proto_err("", "'id' must be a string")),
+    };
+    let op = match doc.get("op") {
+        None => "solve",
+        Some(Value::String(s)) => s.as_str(),
+        Some(_) => return Err(proto_err(&id, "'op' must be a string")),
+    };
+    match op {
+        "ping" => Ok(Request::Ping { id }),
+        "stats" => Ok(Request::Stats { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
+        "solve" => parse_solve(&doc, id).map(Request::Solve),
+        other => Err(proto_err(&id, format!("unknown op '{other}'"))),
+    }
+}
+
+fn parse_solve(doc: &Value, id: String) -> Result<SolveRequest, ProtoError> {
+    let solver = match doc.get("solver") {
+        None => return Err(proto_err(&id, "solve request needs a 'solver' member")),
+        Some(Value::String(s)) => {
+            s.parse::<SolverKind>().map_err(|e| proto_err(&id, e.to_string()))?
+        }
+        Some(_) => return Err(proto_err(&id, "'solver' must be a string")),
+    };
+    let platform = match doc.get("platform") {
+        Some(p @ Value::Object(_)) => p.clone(),
+        Some(_) => return Err(proto_err(&id, "'platform' must be an object")),
+        None => return Err(proto_err(&id, "solve request needs a 'platform' object")),
+    };
+    let options = match doc.get("options") {
+        None => SolveOptions::default(),
+        Some(o @ Value::Object(_)) => parse_options(o, &id)?,
+        Some(_) => return Err(proto_err(&id, "'options' must be an object")),
+    };
+    let want_schedule = match doc.get("want_schedule") {
+        None => false,
+        Some(Value::Bool(b)) => *b,
+        Some(_) => return Err(proto_err(&id, "'want_schedule' must be a boolean")),
+    };
+    Ok(SolveRequest { id, kind: solver, platform, options, want_schedule })
+}
+
+fn parse_options(o: &Value, id: &str) -> Result<SolveOptions, ProtoError> {
+    let mut opts = SolveOptions::default();
+    let usize_field = |name: &str, into: &mut usize| -> Result<(), ProtoError> {
+        if let Some(v) = o.get(name) {
+            *into = v.as_usize().ok_or_else(|| {
+                proto_err(id, format!("options.{name} must be a non-negative integer"))
+            })?;
+        }
+        Ok(())
+    };
+    usize_field("threads", &mut opts.threads)?;
+    usize_field("max_m", &mut opts.max_m)?;
+    usize_field("m_patience", &mut opts.m_patience)?;
+    usize_field("t_unit_divisor", &mut opts.t_unit_divisor)?;
+    usize_field("phase_steps", &mut opts.phase_steps)?;
+    usize_field("samples", &mut opts.samples)?;
+    usize_field("refill_divisor", &mut opts.refill_divisor)?;
+    if let Some(v) = o.get("deadline_ms") {
+        let ms = v
+            .as_f64()
+            .filter(|ms| ms.is_finite() && *ms >= 0.0)
+            .ok_or_else(|| proto_err(id, "options.deadline_ms must be a non-negative number"))?;
+        opts.deadline = Some(Duration::from_secs_f64(ms / 1e3));
+    }
+    let f64_field = |name: &str, into: &mut f64| -> Result<(), ProtoError> {
+        if let Some(v) = o.get(name) {
+            *into = v
+                .as_f64()
+                .ok_or_else(|| proto_err(id, format!("options.{name} must be a number")))?;
+        }
+        Ok(())
+    };
+    f64_field("base_period", &mut opts.base_period)?;
+    f64_field("governor_control_period", &mut opts.governor.control_period)?;
+    f64_field("governor_guard_band", &mut opts.governor.guard_band)?;
+    f64_field("governor_upgrade_band", &mut opts.governor.upgrade_band)?;
+    f64_field("governor_horizon", &mut opts.governor.horizon)?;
+    f64_field("governor_warmup", &mut opts.governor.warmup)?;
+    Ok(opts)
+}
+
+/// A successful solve response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveResponse {
+    /// The request's correlation id.
+    pub id: String,
+    /// Which solver produced the result.
+    pub solver: SolverKind,
+    /// Chip-wide throughput per eq. (5).
+    pub throughput: f64,
+    /// Stable-status peak temperature in °C.
+    pub peak_c: f64,
+    /// Whether the peak respects `T_max`.
+    pub feasible: bool,
+    /// Oscillation factor used.
+    pub m: usize,
+    /// Solver wall time in milliseconds (the original solve's time when the
+    /// response came from the cache).
+    pub wall_ms: f64,
+    /// Whether the response was served from the solution cache.
+    pub cached: bool,
+    /// Cross-solver search statistics.
+    pub stats: SolverStats,
+    /// The schedule in `mosc-sched::text` form, when the request asked.
+    pub schedule: Option<String>,
+}
+
+impl SolveResponse {
+    /// Serializes to one canonical response line (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"id\":");
+        out.push_str(&json_string(&self.id));
+        out.push_str(",\"status\":\"ok\",\"solver\":");
+        out.push_str(&json_string(self.solver.id()));
+        out.push_str(&format!(
+            ",\"throughput\":{:?},\"peak_c\":{:?},\"feasible\":{},\"m\":{},\"wall_ms\":{:?},\"cached\":{}",
+            self.throughput, self.peak_c, self.feasible, self.m, self.wall_ms, self.cached
+        ));
+        out.push_str(&format!(
+            ",\"stats\":{{\"explored\":{},\"thermal_prunes\":{},\"throughput_prunes\":{},\"transitions\":{},\"violation_time\":{:?}}}",
+            self.stats.explored,
+            self.stats.thermal_prunes,
+            self.stats.throughput_prunes,
+            self.stats.transitions,
+            self.stats.violation_time
+        ));
+        if let Some(schedule) = &self.schedule {
+            out.push_str(",\"schedule\":");
+            out.push_str(&json_string(schedule));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses a response line produced by [`Self::to_json`].
+    ///
+    /// # Errors
+    /// [`ProtoError`] when the line is not an ok-status response or a member
+    /// is missing/mistyped.
+    pub fn from_value(doc: &Value) -> Result<Self, ProtoError> {
+        let id = match doc.get("id") {
+            Some(Value::String(s)) => s.clone(),
+            _ => return Err(proto_err("", "response 'id' must be a string")),
+        };
+        if doc.get("status").and_then(Value::as_str) != Some("ok") {
+            return Err(proto_err(&id, "not an ok-status response"));
+        }
+        let solver = doc
+            .get("solver")
+            .and_then(Value::as_str)
+            .ok_or_else(|| proto_err(&id, "response 'solver' must be a string"))?
+            .parse::<SolverKind>()
+            .map_err(|e| proto_err(&id, e.to_string()))?;
+        let num = |name: &str| -> Result<f64, ProtoError> {
+            doc.get(name)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| proto_err(&id, format!("response '{name}' must be a number")))
+        };
+        let stats_doc =
+            doc.get("stats").ok_or_else(|| proto_err(&id, "response is missing 'stats'"))?;
+        let stat = |name: &str| -> Result<u64, ProtoError> {
+            stats_doc
+                .get(name)
+                .and_then(Value::as_f64)
+                .filter(|v| *v >= 0.0)
+                .map(|v| v as u64)
+                .ok_or_else(|| proto_err(&id, format!("stats.{name} must be a count")))
+        };
+        let stats = SolverStats {
+            explored: stat("explored")?,
+            thermal_prunes: stat("thermal_prunes")?,
+            throughput_prunes: stat("throughput_prunes")?,
+            transitions: stat("transitions")?,
+            violation_time: stats_doc
+                .get("violation_time")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| proto_err(&id, "stats.violation_time must be a number"))?,
+        };
+        let schedule = match doc.get("schedule") {
+            None => None,
+            Some(Value::String(s)) => Some(s.clone()),
+            Some(_) => return Err(proto_err(&id, "response 'schedule' must be a string")),
+        };
+        Ok(Self {
+            solver,
+            throughput: num("throughput")?,
+            peak_c: num("peak_c")?,
+            feasible: doc
+                .get("feasible")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| proto_err(&id, "response 'feasible' must be a boolean"))?,
+            m: doc
+                .get("m")
+                .and_then(Value::as_usize)
+                .ok_or_else(|| proto_err(&id, "response 'm' must be an integer"))?,
+            wall_ms: num("wall_ms")?,
+            cached: doc
+                .get("cached")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| proto_err(&id, "response 'cached' must be a boolean"))?,
+            stats,
+            schedule,
+            id,
+        })
+    }
+}
+
+/// Serializes a solve request to one canonical line (no trailing newline).
+/// Clients — the CLI `client` subcommand, the serve bench — compose request
+/// lines through this, so both directions of the wire share one writer.
+#[must_use]
+pub fn request_to_json(req: &SolveRequest) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"id\":");
+    out.push_str(&json_string(&req.id));
+    out.push_str(",\"op\":\"solve\",\"solver\":");
+    out.push_str(&json_string(req.kind.id()));
+    out.push_str(",\"platform\":");
+    out.push_str(&canonical_json(&req.platform));
+    out.push_str(",\"options\":");
+    out.push_str(&options_to_json(&req.options));
+    out.push_str(&format!(",\"want_schedule\":{}}}", req.want_schedule));
+    out
+}
+
+/// Serializes options with every member present, in canonical order.
+#[must_use]
+pub fn options_to_json(o: &SolveOptions) -> String {
+    let mut out = format!(
+        "{{\"threads\":{},\"max_m\":{},\"base_period\":{:?},\"m_patience\":{},\"t_unit_divisor\":{},\"phase_steps\":{},\"samples\":{},\"refill_divisor\":{}",
+        o.threads,
+        o.max_m,
+        o.base_period,
+        o.m_patience,
+        o.t_unit_divisor,
+        o.phase_steps,
+        o.samples,
+        o.refill_divisor
+    );
+    if let Some(d) = o.deadline {
+        out.push_str(&format!(",\"deadline_ms\":{:?}", d.as_secs_f64() * 1e3));
+    }
+    out.push_str(&format!(
+        ",\"governor_control_period\":{:?},\"governor_guard_band\":{:?},\"governor_upgrade_band\":{:?},\"governor_horizon\":{:?},\"governor_warmup\":{:?}}}",
+        o.governor.control_period,
+        o.governor.guard_band,
+        o.governor.upgrade_band,
+        o.governor.horizon,
+        o.governor.warmup
+    ));
+    out
+}
+
+/// One error response line (no trailing newline). `kind` classifies the
+/// failure: `"parse"`, `"usage"`, `"infeasible"`, `"deadline"`,
+/// `"internal"`.
+#[must_use]
+pub fn error_to_json(id: &str, kind: &str, message: &str) -> String {
+    format!(
+        "{{\"id\":{},\"status\":\"error\",\"kind\":{},\"message\":{}}}",
+        json_string(id),
+        json_string(kind),
+        json_string(message)
+    )
+}
+
+/// One overloaded (backpressure) response line.
+#[must_use]
+pub fn overloaded_to_json(id: &str) -> String {
+    format!("{{\"id\":{},\"status\":\"overloaded\",\"message\":\"queue full\"}}", json_string(id))
+}
+
+/// Serializes `v` canonically: object members sorted by key at every level,
+/// numbers via shortest-round-trip formatting, no whitespace. Two
+/// structurally equal documents always serialize identically, which is what
+/// makes this the cache-key preimage.
+#[must_use]
+pub fn canonical_json(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_owned(),
+        Value::Bool(b) => b.to_string(),
+        Value::Number(n) => {
+            if n.is_finite() {
+                format!("{n:?}")
+            } else {
+                // JSON has no non-finite literals; the parser never produces
+                // them, so this only defends hand-built values.
+                "null".to_owned()
+            }
+        }
+        Value::String(s) => json_string(s),
+        Value::Array(items) => {
+            let inner: Vec<String> = items.iter().map(canonical_json).collect();
+            format!("[{}]", inner.join(","))
+        }
+        Value::Object(members) => {
+            let mut sorted: Vec<&(String, Value)> = members.iter().collect();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            let inner: Vec<String> = sorted
+                .iter()
+                .map(|(k, v)| format!("{}:{}", json_string(k), canonical_json(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+/// JSON string quoting with the standard escapes.
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_through_the_wire() {
+        let platform =
+            Value::parse(r#"{"rows":1,"cols":2,"levels":[0.6,1.3],"t_max_c":55.0}"#).unwrap();
+        let req = SolveRequest {
+            id: "r-1".into(),
+            kind: SolverKind::Ao,
+            platform,
+            options: SolveOptions {
+                threads: 2,
+                deadline: Some(Duration::from_millis(1500)),
+                ..SolveOptions::default()
+            },
+            want_schedule: true,
+        };
+        let line = request_to_json(&req);
+        let parsed = match parse_request(&line).unwrap() {
+            Request::Solve(r) => r,
+            other => panic!("expected solve, got {other:?}"),
+        };
+        assert_eq!(parsed.id, req.id);
+        assert_eq!(parsed.kind, req.kind);
+        assert_eq!(parsed.options, req.options);
+        assert_eq!(parsed.want_schedule, req.want_schedule);
+        // The wire form canonicalizes the platform (sorted keys), so
+        // compare canonical serializations rather than member order.
+        assert_eq!(canonical_json(&parsed.platform), canonical_json(&req.platform));
+    }
+
+    #[test]
+    fn ops_parse_and_ids_are_recovered() {
+        assert_eq!(
+            parse_request(r#"{"id":"a","op":"ping"}"#).unwrap(),
+            Request::Ping { id: "a".into() }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"stats"}"#).unwrap(),
+            Request::Stats { id: String::new() }
+        );
+        assert_eq!(
+            parse_request(r#"{"id":"z","op":"shutdown"}"#).unwrap(),
+            Request::Shutdown { id: "z".into() }
+        );
+        // The id survives into the error for bad members after it.
+        let err = parse_request(r#"{"id":"q","op":"warp"}"#).unwrap_err();
+        assert_eq!(err.id, "q");
+        assert!(err.message.contains("warp"));
+        // Structurally broken lines cannot recover an id.
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("[1,2]").is_err());
+    }
+
+    #[test]
+    fn canonical_json_sorts_keys_at_every_level() {
+        let a = Value::parse(r#"{"b":{"y":1,"x":2},"a":[1,2]}"#).unwrap();
+        let b = Value::parse(r#"{"a":[1,2],"b":{"x":2,"y":1}}"#).unwrap();
+        assert_eq!(canonical_json(&a), canonical_json(&b));
+        assert_eq!(canonical_json(&a), r#"{"a":[1.0,2.0],"b":{"x":2.0,"y":1.0}}"#);
+    }
+
+    #[test]
+    fn error_and_overloaded_lines_parse_as_json() {
+        for line in [error_to_json("r\"1", "usage", "bad\nthing"), overloaded_to_json("")] {
+            let doc = Value::parse(&line).unwrap();
+            assert!(doc.is_object(), "{line}");
+        }
+    }
+}

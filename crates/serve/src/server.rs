@@ -1,0 +1,513 @@
+//! The TCP daemon: accept loop, reader threads, worker pool, drain.
+//!
+//! Architecture (one box per thread kind):
+//!
+//! ```text
+//!   accept loop ──► reader thread per connection ──► bounded MPMC queue
+//!                   (parse, cache fast path,          │
+//!                    backpressure: overloaded)        ▼
+//!                                               fixed worker pool
+//!                                               (deadline check, solve,
+//!                                                cache fill, respond)
+//! ```
+//!
+//! Responses are written through a per-connection `Mutex<TcpStream>` clone,
+//! so readers (cache hits, rejections) and workers (solve results) can both
+//! answer on the same socket without interleaving bytes.
+//!
+//! Shutdown is a protocol op, not a signal: the workspace forbids `unsafe`,
+//! so no signal handler can be installed, and `{"op":"shutdown"}` plays the
+//! role SIGTERM would. On shutdown the daemon stops accepting connections
+//! and new requests, closes the queue, lets the workers drain every queued
+//! job (each still gets its response), and joins all threads before
+//! returning from [`Server::run`].
+
+use crate::cache::{cache_key, fnv1a, CachedSolve, LruCache};
+use crate::proto::{
+    error_to_json, json_string, overloaded_to_json, parse_request, ProtoError, Request,
+    SolveRequest, SolveResponse,
+};
+use crate::queue::{BoundedQueue, QueueFull};
+use mosc_analyze::json::Value;
+use mosc_core::{AlgoError, SolveOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Solve requests received (all ops except ping/stats/shutdown).
+static REQUESTS: mosc_obs::Counter = mosc_obs::Counter::new("serve.requests");
+/// Response lines written (ok, error and overloaded alike).
+static RESPONSES: mosc_obs::Counter = mosc_obs::Counter::new("serve.responses");
+/// Solve responses served from the LRU cache.
+static CACHE_HITS: mosc_obs::Counter = mosc_obs::Counter::new("serve.cache_hits");
+/// Solve requests that missed the cache and went to a worker.
+static CACHE_MISSES: mosc_obs::Counter = mosc_obs::Counter::new("serve.cache_misses");
+/// Entries displaced by LRU eviction.
+static CACHE_EVICTIONS: mosc_obs::Counter = mosc_obs::Counter::new("serve.cache_evictions");
+/// Requests shed with an `overloaded` response (queue full or draining).
+static REJECTED: mosc_obs::Counter = mosc_obs::Counter::new("serve.rejected");
+/// Requests whose deadline expired (in queue or mid-solve).
+static DEADLINE_EXCEEDED: mosc_obs::Counter = mosc_obs::Counter::new("serve.deadline_exceeded");
+/// Queue depth after the most recent push/pop.
+static QUEUE_DEPTH: mosc_obs::Gauge = mosc_obs::Gauge::new("serve.queue_depth");
+/// Highest queue depth observed since start.
+static QUEUE_PEAK: mosc_obs::Gauge = mosc_obs::Gauge::new("serve.queue_peak");
+
+/// How long a blocked reader waits before re-checking the shutdown flag.
+/// This bounds the drain latency contributed by idle connections.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Listen address, e.g. `127.0.0.1:7070` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads solving queued requests (`0` = all available cores).
+    pub workers: usize,
+    /// Bounded queue capacity; pushes beyond it answer `overloaded`.
+    pub queue_capacity: usize,
+    /// LRU solution-cache capacity (`0` disables caching).
+    pub cache_capacity: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7070".into(),
+            workers: 0,
+            queue_capacity: 64,
+            cache_capacity: 128,
+            default_deadline: None,
+        }
+    }
+}
+
+/// Monotone service counters, mirrored into the `serve.*` `mosc-obs`
+/// metrics. Kept separately as plain atomics so the `stats` op and the
+/// loopback tests can read them even when the global recorder is disabled.
+#[derive(Debug, Default)]
+struct Metrics {
+    requests: AtomicU64,
+    responses: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
+    rejected: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    malformed: AtomicU64,
+    queue_peak: AtomicU64,
+}
+
+/// A point-in-time snapshot of the service counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // field names mirror the serve.* metrics one-to-one
+pub struct ServeStats {
+    pub requests: u64,
+    pub responses: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_evictions: u64,
+    pub rejected: u64,
+    pub deadline_exceeded: u64,
+    pub malformed: u64,
+    pub queue_depth: u64,
+    pub queue_peak: u64,
+    pub cache_len: u64,
+}
+
+impl ServeStats {
+    /// Renders the `stats` response payload (one line, no newline).
+    #[must_use]
+    pub fn to_json(&self, id: &str) -> String {
+        format!(
+            "{{\"id\":{},\"status\":\"ok\",\"stats\":{{\"requests\":{},\"responses\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\"rejected\":{},\
+             \"deadline_exceeded\":{},\"malformed\":{},\"queue_depth\":{},\"queue_peak\":{},\
+             \"cache_len\":{}}}}}",
+            json_string(id),
+            self.requests,
+            self.responses,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.rejected,
+            self.deadline_exceeded,
+            self.malformed,
+            self.queue_depth,
+            self.queue_peak,
+            self.cache_len
+        )
+    }
+}
+
+/// One queued unit of work.
+struct Job {
+    req: SolveRequest,
+    key: u64,
+    writer: SharedWriter,
+    deadline_at: Option<Instant>,
+}
+
+type SharedWriter = Arc<Mutex<TcpStream>>;
+
+/// State shared by the accept loop, readers and workers.
+struct Shared {
+    opts: ServeOptions,
+    addr: SocketAddr,
+    queue: BoundedQueue<Job>,
+    cache: Mutex<LruCache>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn stats(&self) -> ServeStats {
+        ServeStats {
+            requests: self.metrics.requests.load(Ordering::Relaxed),
+            responses: self.metrics.responses.load(Ordering::Relaxed),
+            cache_hits: self.metrics.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.metrics.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.metrics.cache_evictions.load(Ordering::Relaxed),
+            rejected: self.metrics.rejected.load(Ordering::Relaxed),
+            deadline_exceeded: self.metrics.deadline_exceeded.load(Ordering::Relaxed),
+            malformed: self.metrics.malformed.load(Ordering::Relaxed),
+            queue_depth: self.queue.len() as u64,
+            queue_peak: self.metrics.queue_peak.load(Ordering::Relaxed),
+            cache_len: self.lock_cache().len() as u64,
+        }
+    }
+
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, LruCache> {
+        self.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Flags shutdown and wakes the accept loop with a throwaway
+    /// connection (the pure-std replacement for signalling the thread).
+    fn initiate_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// A cloneable remote control for a bound server; lets tests and the CLI
+/// trigger the same drain-then-exit path as the wire `shutdown` op.
+#[derive(Clone)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServeHandle {
+    /// Begins drain-then-exit, as if `{"op":"shutdown"}` had arrived.
+    pub fn shutdown(&self) {
+        self.shared.initiate_shutdown();
+    }
+
+    /// Current service counters.
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats()
+    }
+}
+
+/// A bound (but not yet running) solve service.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listen socket. The server only starts serving on
+    /// [`run`](Self::run).
+    ///
+    /// # Errors
+    /// I/O errors from binding or inspecting the socket.
+    pub fn bind(opts: ServeOptions) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(opts.queue_capacity),
+            cache: Mutex::new(LruCache::new(opts.cache_capacity)),
+            metrics: Metrics::default(),
+            shutdown: AtomicBool::new(false),
+            addr,
+            opts,
+        });
+        Ok(Self { listener, shared })
+    }
+
+    /// The bound address (useful with `:0`).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A remote control for this server.
+    #[must_use]
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle { shared: self.shared.clone() }
+    }
+
+    /// Serves until a shutdown is requested (wire op or [`ServeHandle`]),
+    /// then drains: queued jobs all get responses, every thread is joined.
+    ///
+    /// # Errors
+    /// Fatal accept-loop I/O errors only; per-connection errors are
+    /// contained to their connection.
+    pub fn run(self) -> std::io::Result<()> {
+        let shared = &self.shared;
+        let workers = if shared.opts.workers == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            shared.opts.workers
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| worker_loop(shared));
+            }
+            for stream in self.listener.incoming() {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                scope.spawn(|| handle_connection(stream, shared));
+            }
+            // Drain: no new work, workers finish what is queued, readers
+            // notice the flag within READ_POLL and exit.
+            shared.queue.close();
+        });
+        Ok(())
+    }
+}
+
+/// The worker side: pop, enforce the deadline, consult the cache, solve,
+/// respond.
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        QUEUE_DEPTH.set(shared.queue.len() as f64);
+        process_job(shared, &job);
+    }
+}
+
+fn process_job(shared: &Shared, job: &Job) {
+    let id = &job.req.id;
+    // Deadline may already have burned off while queued.
+    let remaining = match job.deadline_at {
+        None => None,
+        Some(at) => match at.checked_duration_since(Instant::now()) {
+            Some(left) if left > Duration::ZERO => Some(left),
+            _ => {
+                shared.metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                DEADLINE_EXCEEDED.incr();
+                respond(
+                    shared,
+                    &job.writer,
+                    id,
+                    &error_to_json(id, "deadline", "deadline expired while queued"),
+                );
+                return;
+            }
+        },
+    };
+    // A duplicate may have filled the cache while this job waited.
+    if let Some(hit) = shared.lock_cache().get(job.key) {
+        shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        CACHE_HITS.incr();
+        respond(shared, &job.writer, id, &render_ok(&job.req, &hit, true));
+        return;
+    }
+    shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+    CACHE_MISSES.incr();
+
+    let doc = Value::Object(vec![("platform".to_owned(), job.req.platform.clone())]);
+    let platform = match mosc_analyze::platform_from_doc(&doc) {
+        Ok(p) => p,
+        Err(e) => {
+            respond(shared, &job.writer, id, &error_to_json(id, "usage", &e.to_string()));
+            return;
+        }
+    };
+    let opts = SolveOptions { deadline: remaining, ..job.req.options };
+    match mosc_core::solve(job.req.kind, &platform, &opts) {
+        Ok(report) => {
+            let cached = CachedSolve {
+                solver: job.req.kind,
+                throughput: report.solution.throughput,
+                peak_c: report.solution.peak_c(&platform),
+                feasible: report.solution.feasible,
+                m: report.solution.m,
+                wall_ms: report.wall.as_secs_f64() * 1e3,
+                stats: report.stats,
+                schedule_text: mosc_sched::text::to_text(&report.solution.schedule),
+            };
+            if shared.lock_cache().insert(job.key, cached.clone()) {
+                shared.metrics.cache_evictions.fetch_add(1, Ordering::Relaxed);
+                CACHE_EVICTIONS.incr();
+            }
+            respond(shared, &job.writer, id, &render_ok(&job.req, &cached, false));
+        }
+        Err(e) => {
+            let kind = match &e {
+                AlgoError::Infeasible { .. } => "infeasible",
+                AlgoError::DeadlineExceeded => {
+                    shared.metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                    DEADLINE_EXCEEDED.incr();
+                    "deadline"
+                }
+                AlgoError::InvalidOptions { .. } => "usage",
+                AlgoError::Sched(_) => "internal",
+            };
+            respond(shared, &job.writer, id, &error_to_json(id, kind, &e.to_string()));
+        }
+    }
+}
+
+/// Renders an ok response for `req` from a (fresh or cached) solve.
+fn render_ok(req: &SolveRequest, solve: &CachedSolve, cached: bool) -> String {
+    SolveResponse {
+        id: req.id.clone(),
+        solver: solve.solver,
+        throughput: solve.throughput,
+        peak_c: solve.peak_c,
+        feasible: solve.feasible,
+        m: solve.m,
+        wall_ms: solve.wall_ms,
+        cached,
+        stats: solve.stats,
+        schedule: req.want_schedule.then(|| solve.schedule_text.clone()),
+    }
+    .to_json()
+}
+
+/// Writes one solve-response line: response metrics plus the
+/// `serve.response` event the M062 lint pairs against `serve.request`.
+fn respond(shared: &Shared, writer: &SharedWriter, id: &str, line: &str) {
+    respond_proto(shared, writer, line);
+    mosc_obs::event("serve.response", &[("id", id_hash(id).into())]);
+}
+
+/// Writes one response line and records the response metrics, without the
+/// request/response event pairing — protocol ops (ping/stats/shutdown) and
+/// parse errors answer lines that no `serve.request` event announced.
+/// Write errors mean the client went away; the daemon has nothing useful
+/// to do about it.
+fn respond_proto(shared: &Shared, writer: &SharedWriter, line: &str) {
+    let mut framed = String::with_capacity(line.len() + 1);
+    framed.push_str(line);
+    framed.push('\n');
+    let mut stream = writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = stream.write_all(framed.as_bytes());
+    drop(stream);
+    shared.metrics.responses.fetch_add(1, Ordering::Relaxed);
+    RESPONSES.incr();
+}
+
+/// 32-bit id hash for obs events: event fields travel through JSON numbers
+/// (f64), so a full 64-bit hash would not survive the round trip.
+fn id_hash(id: &str) -> u64 {
+    fnv1a(id.as_bytes()) & 0xFFFF_FFFF
+}
+
+/// The reader side: one thread per connection, line-oriented, polling the
+/// shutdown flag between reads.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    // Responses are single small writes; Nagle + delayed ACK would add tens
+    // of milliseconds of latency per request on an otherwise idle link.
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else { return };
+    let writer: SharedWriter = Arc::new(Mutex::new(write_half));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF: client closed its write half.
+            Ok(_) => {
+                let full = std::mem::take(&mut line);
+                let trimmed = full.trim();
+                if !trimmed.is_empty() {
+                    handle_line(trimmed, &writer, shared);
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Timeout with a partial line already buffered in `line`:
+                // keep accumulating on the next pass.
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Dispatches one request line.
+fn handle_line(line: &str, writer: &SharedWriter, shared: &Shared) {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(ProtoError { message, id }) => {
+            shared.metrics.malformed.fetch_add(1, Ordering::Relaxed);
+            respond_proto(shared, writer, &error_to_json(&id, "parse", &message));
+            return;
+        }
+    };
+    match request {
+        Request::Ping { id } => {
+            let pong = format!("{{\"id\":{},\"status\":\"ok\",\"pong\":true}}", json_string(&id));
+            respond_proto(shared, writer, &pong);
+        }
+        Request::Stats { id } => {
+            let line = shared.stats().to_json(&id);
+            respond_proto(shared, writer, &line);
+        }
+        Request::Shutdown { id } => {
+            let bye =
+                format!("{{\"id\":{},\"status\":\"ok\",\"shutting_down\":true}}", json_string(&id));
+            respond_proto(shared, writer, &bye);
+            shared.initiate_shutdown();
+        }
+        Request::Solve(req) => {
+            shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+            REQUESTS.incr();
+            let key = cache_key(&req);
+            mosc_obs::event(
+                "serve.request",
+                &[("id", id_hash(&req.id).into()), ("key", (key & 0xFFFF_FFFF).into())],
+            );
+            // Fast path: answer cache hits from the reader thread, without
+            // occupying a queue slot or a worker.
+            if let Some(hit) = shared.lock_cache().get(key) {
+                shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                CACHE_HITS.incr();
+                let line = render_ok(&req, &hit, true);
+                respond(shared, writer, &req.id, &line);
+                return;
+            }
+            let deadline_at =
+                req.options.deadline.or(shared.opts.default_deadline).map(|d| Instant::now() + d);
+            let job = Job { key, writer: writer.clone(), deadline_at, req };
+            match shared.queue.try_push(job) {
+                Ok(depth) => {
+                    QUEUE_DEPTH.set(depth as f64);
+                    let peak = shared.metrics.queue_peak.fetch_max(depth as u64, Ordering::Relaxed);
+                    QUEUE_PEAK.set(peak.max(depth as u64) as f64);
+                }
+                Err(QueueFull(job)) => {
+                    shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                    REJECTED.incr();
+                    respond(shared, &job.writer, &job.req.id, &overloaded_to_json(&job.req.id));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Loopback integration tests: a real in-process [`Server`] on `127.0.0.1:0`
+//! with real TCP clients — concurrency, exactly-once responses, cache
+//! counters, backpressure and drain-then-exit, all on the `specs/smoke.json`
+//! platform.
+
+use mosc_analyze::json::Value;
+use mosc_serve::{ServeOptions, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// The `specs/smoke.json` platform, inlined.
+const PLATFORM: &str = r#"{"rows":1,"cols":2,"levels":[0.6,1.3],"t_max_c":55.0}"#;
+
+fn start(opts: ServeOptions) -> (SocketAddr, mosc_serve::ServeHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind(opts).expect("bind 127.0.0.1:0");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("serve loop"));
+    (addr, handle, join)
+}
+
+fn quick_serve_options() -> ServeOptions {
+    ServeOptions { addr: "127.0.0.1:0".into(), ..ServeOptions::default() }
+}
+
+/// Sends `line` and reads one response line on a fresh connection.
+fn roundtrip(addr: SocketAddr, line: &str) -> Value {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(line.as_bytes()).expect("send");
+    stream.write_all(b"\n").expect("send newline");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("read response");
+    Value::parse(&response).expect("response parses as JSON")
+}
+
+fn solve_line(id: &str, solver: &str) -> String {
+    format!(r#"{{"id":"{id}","solver":"{solver}","platform":{PLATFORM}}}"#)
+}
+
+#[test]
+fn concurrent_clients_each_get_exactly_one_response() {
+    let (addr, handle, join) = start(quick_serve_options());
+    // Warm the cache sequentially so the concurrent round is deterministic
+    // (identical misses racing in parallel would each count a miss).
+    roundtrip(addr, &solve_line("warm-ao", "ao"));
+    roundtrip(addr, &solve_line("warm-lns", "lns"));
+    let clients: Vec<_> = (0..8)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let solver = if i % 2 == 0 { "ao" } else { "lns" };
+                let id = format!("c{i}");
+                let doc = roundtrip(addr, &solve_line(&id, solver));
+                (id, doc)
+            })
+        })
+        .collect();
+    for client in clients {
+        let (id, doc) = client.join().expect("client thread");
+        assert_eq!(doc.get("id").and_then(Value::as_str), Some(id.as_str()), "{doc:?}");
+        assert_eq!(doc.get("status").and_then(Value::as_str), Some("ok"), "{doc:?}");
+        assert_eq!(doc.get("feasible").and_then(Value::as_bool), Some(true), "{doc:?}");
+        assert!(doc.get("throughput").and_then(Value::as_f64).unwrap_or(0.0) > 0.0);
+    }
+    let stats = handle.stats();
+    assert_eq!(stats.requests, 10, "{stats:?}");
+    assert_eq!(stats.responses, 10, "{stats:?}");
+    assert_eq!(stats.cache_misses, 2, "{stats:?}");
+    assert_eq!(stats.cache_hits, 8, "{stats:?}");
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn repeated_identical_requests_are_answered_from_the_cache() {
+    let (addr, handle, join) = start(quick_serve_options());
+    let first = roundtrip(addr, &solve_line("r0", "ao"));
+    assert_eq!(first.get("cached").and_then(Value::as_bool), Some(false), "{first:?}");
+    let throughput = first.get("throughput").and_then(Value::as_f64).unwrap();
+    for i in 1..4 {
+        let doc = roundtrip(addr, &solve_line(&format!("r{i}"), "ao"));
+        assert_eq!(doc.get("cached").and_then(Value::as_bool), Some(true), "{doc:?}");
+        let t = doc.get("throughput").and_then(Value::as_f64).unwrap();
+        assert!((t - throughput).abs() < 1e-12, "cached answer must be identical");
+    }
+    let stats = handle.stats();
+    assert_eq!((stats.cache_misses, stats.cache_hits), (1, 3), "{stats:?}");
+
+    // The wire `stats` op reports the same counters.
+    let doc = roundtrip(addr, r#"{"id":"s","op":"stats"}"#);
+    let wire = doc.get("stats").expect("stats payload");
+    assert_eq!(wire.get("cache_hits").and_then(Value::as_usize), Some(3), "{doc:?}");
+    assert_eq!(wire.get("cache_misses").and_then(Value::as_usize), Some(1), "{doc:?}");
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn want_schedule_round_trips_through_the_text_format() {
+    let (addr, handle, join) = start(quick_serve_options());
+    let line = format!(r#"{{"id":"ws","solver":"ao","platform":{PLATFORM},"want_schedule":true}}"#);
+    let doc = roundtrip(addr, &line);
+    let schedule_text = doc.get("schedule").and_then(Value::as_str).expect("schedule text");
+    let schedule = mosc_sched::text::from_text(schedule_text).expect("parses");
+    assert_eq!(schedule.n_cores(), 2);
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn a_full_queue_answers_overloaded_immediately() {
+    // One worker, one queue slot. Park the worker on a deliberately slow
+    // request (9-core 4-level EXS), fill the slot, then watch the next
+    // request bounce.
+    let opts = ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 1,
+        ..ServeOptions::default()
+    };
+    let (addr, handle, join) = start(opts);
+    let slow = r#"{"rows":3,"cols":3,"levels":[0.6,0.8,1.0,1.3],"t_max_c":65.0}"#;
+    let parked = {
+        let line = format!(
+            r#"{{"id":"slow","solver":"exs","platform":{slow},"options":{{"threads":1}}}}"#
+        );
+        std::thread::spawn(move || roundtrip(addr, &line))
+    };
+    // Wait until the slow job has been queued (peak >= 1) and picked up.
+    loop {
+        let s = handle.stats();
+        if s.queue_peak >= 1 && s.queue_depth == 0 {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    // Fill the single queue slot with a second distinct platform...
+    let fill = r#"{"rows":1,"cols":3,"levels":[0.6,1.3],"t_max_c":55.0}"#;
+    let fill_client = {
+        let line = format!(r#"{{"id":"fill","solver":"exs","platform":{fill}}}"#);
+        std::thread::spawn(move || roundtrip(addr, &line))
+    };
+    while handle.stats().queue_depth == 0 && handle.stats().responses < 2 {
+        std::thread::yield_now();
+    }
+    // ...so a third distinct request must shed immediately.
+    let doc = roundtrip(addr, &solve_line("bounced", "pco"));
+    assert_eq!(doc.get("status").and_then(Value::as_str), Some("overloaded"), "{doc:?}");
+    assert_eq!(doc.get("id").and_then(Value::as_str), Some("bounced"), "{doc:?}");
+    assert!(handle.stats().rejected >= 1);
+    // The parked and queued requests still complete normally.
+    assert_eq!(parked.join().unwrap().get("status").and_then(Value::as_str), Some("ok"));
+    assert_eq!(fill_client.join().unwrap().get("status").and_then(Value::as_str), Some("ok"));
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn malformed_and_unsolvable_requests_get_typed_errors() {
+    let (addr, handle, join) = start(quick_serve_options());
+    let doc = roundtrip(addr, "this is not json");
+    assert_eq!(doc.get("status").and_then(Value::as_str), Some("error"), "{doc:?}");
+    assert_eq!(doc.get("kind").and_then(Value::as_str), Some("parse"), "{doc:?}");
+
+    let doc = roundtrip(addr, &solve_line("u", "warp-drive"));
+    assert_eq!(doc.get("kind").and_then(Value::as_str), Some("parse"), "{doc:?}");
+
+    // An infeasible platform (T_max below what the floor level can hold).
+    let cold = r#"{"rows":3,"cols":3,"levels":[0.6,1.3],"t_max_c":36.0}"#;
+    let line = format!(r#"{{"id":"inf","solver":"exs","platform":{cold}}}"#);
+    let doc = roundtrip(addr, &line);
+    assert_eq!(doc.get("status").and_then(Value::as_str), Some("error"), "{doc:?}");
+    assert_eq!(doc.get("kind").and_then(Value::as_str), Some("infeasible"), "{doc:?}");
+
+    // A zero deadline trips the deadline path, not a solve.
+    let line = format!(
+        r#"{{"id":"dl","solver":"exs","platform":{PLATFORM},"options":{{"deadline_ms":0}}}}"#
+    );
+    let doc = roundtrip(addr, &line);
+    assert_eq!(doc.get("kind").and_then(Value::as_str), Some("deadline"), "{doc:?}");
+    assert!(handle.stats().deadline_exceeded >= 1);
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn shutdown_op_drains_and_stops_the_server() {
+    let (addr, handle, join) = start(quick_serve_options());
+    let doc = roundtrip(addr, r#"{"id":"p","op":"ping"}"#);
+    assert_eq!(doc.get("pong").and_then(Value::as_bool), Some(true), "{doc:?}");
+
+    let doc = roundtrip(addr, r#"{"id":"bye","op":"shutdown"}"#);
+    assert_eq!(doc.get("shutting_down").and_then(Value::as_bool), Some(true), "{doc:?}");
+    // run() must return on its own — no handle.shutdown() here.
+    join.join().expect("server thread exits after the shutdown op");
+    let stats = handle.stats();
+    assert_eq!(stats.responses, 2, "{stats:?}");
+}

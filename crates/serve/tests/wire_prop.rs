@@ -1,0 +1,122 @@
+//! Property tests for the wire format: randomly generated requests and
+//! responses must survive serialize → `mosc_analyze::json` parse →
+//! deserialize bit-for-bit, including escaped strings and float members.
+
+use mosc_analyze::json::Value;
+use mosc_core::{SolveOptions, SolverKind, SolverStats};
+use mosc_serve::proto::{
+    canonical_json, parse_request, request_to_json, Request, SolveRequest, SolveResponse,
+};
+use mosc_testutil::{propcheck, Rng64};
+use std::time::Duration;
+
+/// Random string over a charset that exercises every escape path of
+/// `json_string` (quotes, backslashes, control characters, non-ASCII).
+fn random_string(rng: &mut Rng64) -> String {
+    const CHARS: &[char] =
+        &['a', 'Z', '0', '-', '_', '"', '\\', '\n', '\t', '\r', '\u{1}', 'µ', '€', ' '];
+    let len = rng.below(12) as usize;
+    (0..len).map(|_| CHARS[rng.below(CHARS.len() as u64) as usize]).collect()
+}
+
+/// A random dyadic rational with a short exact decimal expansion, so the
+/// shortest-round-trip writer and any correct decimal parser agree exactly.
+fn random_f64(rng: &mut Rng64) -> f64 {
+    (rng.below(1 << 20) as f64) / 256.0
+}
+
+fn random_kind(rng: &mut Rng64) -> SolverKind {
+    let all = SolverKind::all();
+    all[rng.below(all.len() as u64) as usize]
+}
+
+fn random_platform(rng: &mut Rng64) -> Value {
+    let mut members = vec![
+        ("rows".to_owned(), Value::Number(1.0 + rng.below(3) as f64)),
+        ("cols".to_owned(), Value::Number(1.0 + rng.below(3) as f64)),
+        ("t_max_c".to_owned(), Value::Number(40.0 + random_f64(rng) % 40.0)),
+        (
+            "levels".to_owned(),
+            Value::Array(vec![Value::Number(0.6), Value::Number(random_f64(rng))]),
+        ),
+    ];
+    rng.shuffle(&mut members);
+    Value::Object(members)
+}
+
+fn random_options(rng: &mut Rng64) -> SolveOptions {
+    SolveOptions {
+        threads: rng.below(9) as usize,
+        max_m: 1 + rng.below(4096) as usize,
+        deadline: if rng.below(2) == 0 {
+            None
+        } else {
+            Some(Duration::from_millis(rng.below(60_000)))
+        },
+        base_period: 0.001 + random_f64(rng),
+        m_patience: 1 + rng.below(16) as usize,
+        t_unit_divisor: 1 + rng.below(500) as usize,
+        phase_steps: 1 + rng.below(16) as usize,
+        samples: 1 + rng.below(500) as usize,
+        refill_divisor: 1 + rng.below(200) as usize,
+        governor: mosc_core::reactive::GovernorOptions {
+            control_period: 0.001 + random_f64(rng),
+            guard_band: random_f64(rng),
+            upgrade_band: random_f64(rng),
+            horizon: 1.0 + random_f64(rng),
+            warmup: random_f64(rng),
+        },
+    }
+}
+
+#[test]
+fn solve_requests_round_trip_through_the_wire() {
+    propcheck("solve request wire round-trip", |rng| {
+        let req = SolveRequest {
+            id: random_string(rng),
+            kind: random_kind(rng),
+            platform: random_platform(rng),
+            options: random_options(rng),
+            want_schedule: rng.below(2) == 1,
+        };
+        let line = request_to_json(&req);
+        let parsed = match parse_request(&line) {
+            Ok(Request::Solve(r)) => r,
+            other => panic!("expected a solve request back, got {other:?}\nline: {line}"),
+        };
+        assert_eq!(parsed.id, req.id, "line: {line}");
+        assert_eq!(parsed.kind, req.kind, "line: {line}");
+        assert_eq!(parsed.options, req.options, "line: {line}");
+        assert_eq!(parsed.want_schedule, req.want_schedule, "line: {line}");
+        assert_eq!(canonical_json(&parsed.platform), canonical_json(&req.platform), "line: {line}");
+    });
+}
+
+#[test]
+fn solve_responses_round_trip_through_the_wire() {
+    propcheck("solve response wire round-trip", |rng| {
+        let response = SolveResponse {
+            id: random_string(rng),
+            solver: random_kind(rng),
+            throughput: random_f64(rng),
+            peak_c: random_f64(rng),
+            feasible: rng.below(2) == 1,
+            m: rng.below(100_000) as usize,
+            wall_ms: random_f64(rng),
+            cached: rng.below(2) == 1,
+            stats: SolverStats {
+                explored: rng.below(1 << 32),
+                thermal_prunes: rng.below(1 << 32),
+                throughput_prunes: rng.below(1 << 32),
+                transitions: rng.below(1 << 32),
+                violation_time: random_f64(rng),
+            },
+            schedule: if rng.below(2) == 0 { None } else { Some(random_string(rng)) },
+        };
+        let line = response.to_json();
+        let doc = Value::parse(&line).unwrap_or_else(|e| panic!("parse {line}: {e:?}"));
+        let parsed =
+            SolveResponse::from_value(&doc).unwrap_or_else(|e| panic!("from_value {line}: {e:?}"));
+        assert_eq!(parsed, response, "line: {line}");
+    });
+}

@@ -6,16 +6,20 @@
 //! cargo run --release --example design_space -- 3 3
 //! ```
 
-use mosc::algorithms::ao::{self, AoOptions};
-use mosc::algorithms::{continuous, exs, lns};
+use mosc::algorithms::{continuous, solve};
 use mosc::prelude::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let rows: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
     let cols: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
-    let ao_opts =
-        AoOptions { base_period: 0.05, max_m: 256, m_patience: 6, t_unit_divisor: 100, threads: 0 };
+    let opts = SolveOptions {
+        base_period: 0.05,
+        max_m: 256,
+        m_patience: 6,
+        t_unit_divisor: 100,
+        ..SolveOptions::default()
+    };
 
     println!("design-space sweep on a {rows}x{cols} grid ({} cores)\n", rows * cols);
     println!(
@@ -29,10 +33,12 @@ fn main() {
             let spec = PlatformSpec::paper(rows, cols, levels, t_max_c);
             let platform = Platform::build(&spec).expect("platform");
             let ideal = continuous::solve(&platform).expect("continuous");
-            let lns_thr = lns::solve(&platform).map_or(f64::NAN, |s| s.throughput);
-            let exs_thr = exs::solve(&platform).map_or(f64::NAN, |s| s.throughput);
-            let (ao_thr, m) =
-                ao::solve_with(&platform, &ao_opts).map_or((f64::NAN, 0), |s| (s.throughput, s.m));
+            let lns_thr = solve(SolverKind::Lns, &platform, &opts)
+                .map_or(f64::NAN, |r| r.solution.throughput);
+            let exs_thr = solve(SolverKind::Exs, &platform, &opts)
+                .map_or(f64::NAN, |r| r.solution.throughput);
+            let (ao_thr, m) = solve(SolverKind::Ao, &platform, &opts)
+                .map_or((f64::NAN, 0), |r| (r.solution.throughput, r.solution.m));
             println!(
                 "{:>6.0} C {:>7} | {:>8.4} {:>8.4} {:>8.4} {:>8.4} | {:>6}",
                 t_max_c, levels, ideal.throughput, lns_thr, exs_thr, ao_thr, m

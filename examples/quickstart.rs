@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use mosc::algorithms::{ao, exs, lns};
+use mosc::algorithms::solve;
 use mosc::prelude::*;
 
 fn main() {
@@ -21,12 +21,14 @@ fn main() {
         platform.t_ambient_c()
     );
 
+    // Every solver is one call on the unified dispatcher.
+    let opts = SolveOptions::default();
     // Baseline 1: round the ideal continuous speeds down (LNS).
-    let lns_sol = lns::solve(&platform).expect("LNS");
+    let lns_sol = solve(SolverKind::Lns, &platform, &opts).expect("LNS").solution;
     // Baseline 2: exhaustive search over constant assignments (EXS).
-    let exs_sol = exs::solve(&platform).expect("EXS");
+    let exs_sol = solve(SolverKind::Exs, &platform, &opts).expect("EXS").solution;
     // The contribution: m-Oscillating frequency scheduling (AO).
-    let ao_sol = ao::solve(&platform).expect("AO");
+    let ao_sol = solve(SolverKind::Ao, &platform, &opts).expect("AO").solution;
 
     for sol in [&lns_sol, &exs_sol, &ao_sol] {
         println!(

@@ -11,15 +11,20 @@
 //! cargo run --release --example realtime_tasks
 //! ```
 
-use mosc::algorithms::ao::{self, AoOptions};
+use mosc::algorithms::solve;
 use mosc::prelude::*;
 use mosc::workload::tasks::{simulate_edf, Task, TaskSet};
 
 fn main() {
     let platform = Platform::build(&PlatformSpec::paper(1, 3, 2, 55.0)).expect("platform");
-    let ao_opts =
-        AoOptions { base_period: 0.05, max_m: 256, m_patience: 6, t_unit_divisor: 100, threads: 0 };
-    let sol = ao::solve_with(&platform, &ao_opts).expect("AO");
+    let opts = SolveOptions {
+        base_period: 0.05,
+        max_m: 256,
+        m_patience: 6,
+        t_unit_divisor: 100,
+        ..SolveOptions::default()
+    };
+    let sol = solve(SolverKind::Ao, &platform, &opts).expect("AO").solution;
     println!(
         "AO schedule: chip throughput {:.4}, m = {}, compressed period {:.3} ms, peak {:.1} °C\n",
         sol.throughput,

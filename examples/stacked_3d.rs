@@ -5,12 +5,17 @@
 //! cargo run --release --example stacked_3d
 //! ```
 
-use mosc::algorithms::ao::{self, AoOptions};
+use mosc::algorithms::solve;
 use mosc::prelude::*;
 
 fn main() {
-    let ao_opts =
-        AoOptions { base_period: 0.05, max_m: 256, m_patience: 6, t_unit_divisor: 100, threads: 0 };
+    let opts = SolveOptions {
+        base_period: 0.05,
+        max_m: 256,
+        m_patience: 6,
+        t_unit_divisor: 100,
+        ..SolveOptions::default()
+    };
 
     for layers in [1usize, 2, 3] {
         // Keep total core count at 6: 1x(2x3), 2x(1x3), 3x(1x2).
@@ -21,7 +26,7 @@ fn main() {
         };
         let spec = PlatformSpec { layers, ..PlatformSpec::paper(rows, cols, 3, 60.0) };
         let platform = Platform::build(&spec).expect("platform");
-        match ao::solve_with(&platform, &ao_opts) {
+        match solve(SolverKind::Ao, &platform, &opts).map(|r| r.solution) {
             Ok(sol) => {
                 let per_layer: Vec<String> = (0..layers)
                     .map(|l| {

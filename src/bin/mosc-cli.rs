@@ -7,11 +7,18 @@
 //! mosc-cli trace --rows 1 --cols 3 --tmax 65 --schedule schedule.txt --periods 20 [--out trace.csv]
 //! mosc-cli analyze spec.json
 //! mosc-cli profile spec.json [--obs=json]
+//! mosc-cli serve --addr 127.0.0.1:7070
+//! mosc-cli client --addr 127.0.0.1:7070 < requests.jsonl
 //! ```
 //!
 //! Platform flags (shared): `--rows`, `--cols` (grid), `--layers` (3-D
 //! stack), `--levels` (Table-IV set, 2–5), `--tmax` (°C), `--cooler`
 //! (`default` | `budget` | `responsive`).
+//!
+//! All solver subcommands go through the unified dispatcher
+//! `mosc_core::solve(SolverKind, &Platform, &SolveOptions)`, so any solver
+//! name the core knows (`lns`, `exs`, `exs-bnb`, `ao`, `pco`, `governor`)
+//! is accepted wherever an algorithm is named.
 //!
 //! The global `--obs[=pretty|json]` flag arms the `mosc-obs` recorder and
 //! appends a telemetry report to any subcommand's output: a span tree with
@@ -35,15 +42,63 @@
 //! the interval-by-interval dense reference: the kernel's dense-op count
 //! must stay flat in m while the reference's grows linearly, which the
 //! `ci.sh` smoke asserts from the `{"type":"periodmap",...}` JSON lines.
+//!
+//! `serve` starts the `mosc-serve` daemon (newline-delimited JSON over
+//! TCP; see DESIGN.md §11), and `client` is its line-oriented companion:
+//! stdin lines become request lines, each response line is printed to
+//! stdout — the zero-dependency stand-in for `nc` in scripts and `ci.sh`.
+//!
+//! Exit codes: `0` success, `1` internal/solver failure, `2` usage error,
+//! `3` infeasible instance, `4` I/O error. (`analyze` keeps exiting `1`
+//! when error-severity findings are present — that is a verdict, not a
+//! failure of the tool.)
 
-use mosc::algorithms::ao::{self, AoOptions};
-use mosc::algorithms::pco::{self, PcoOptions};
-use mosc::algorithms::reactive::{self, GovernorOptions};
-use mosc::algorithms::{exs, exs_bnb, lns};
 use mosc::prelude::*;
 use mosc::sched::eval::transient_trace;
 use mosc::sched::text;
+use std::io::{BufRead, Write};
 use std::process::ExitCode;
+
+/// A CLI failure, classified for the process exit code.
+#[derive(Debug)]
+enum CliError {
+    /// Bad flags, unknown names, malformed values → exit 2 (plus usage).
+    Usage(String),
+    /// The instance has no feasible schedule → exit 3.
+    Infeasible(String),
+    /// Filesystem or socket trouble → exit 4.
+    Io(String),
+    /// Anything else (solver internals) → exit 1.
+    Other(String),
+}
+
+impl CliError {
+    fn message(&self) -> &str {
+        match self {
+            Self::Usage(m) | Self::Infeasible(m) | Self::Io(m) | Self::Other(m) => m,
+        }
+    }
+
+    fn exit_code(&self) -> u8 {
+        match self {
+            Self::Other(_) => 1,
+            Self::Usage(_) => 2,
+            Self::Infeasible(_) => 3,
+            Self::Io(_) => 4,
+        }
+    }
+}
+
+/// Classifies a solver failure: infeasibility and bad options are the
+/// caller's problem, everything else is the tool's.
+fn algo_error(context: &str, e: &AlgoError) -> CliError {
+    let msg = format!("{context} failed: {e}");
+    match e {
+        AlgoError::Infeasible { .. } => CliError::Infeasible(msg),
+        AlgoError::InvalidOptions { .. } => CliError::Usage(msg),
+        _ => CliError::Other(msg),
+    }
+}
 
 struct Args(Vec<String>);
 
@@ -52,21 +107,23 @@ impl Args {
         self.0.iter().position(|a| a == name).and_then(|i| self.0.get(i + 1)).map(String::as_str)
     }
 
-    fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+    fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.flag(name) {
             None => Ok(default),
-            Some(s) => s.parse().map_err(|_| format!("cannot parse {name} value '{s}'")),
+            Some(s) => {
+                s.parse().map_err(|_| CliError::Usage(format!("cannot parse {name} value '{s}'")))
+            }
         }
     }
 
     /// The `--out` target, or an error when the flag is present without a
     /// usable value (previously that case fell through to stdout silently).
-    fn out_path(&self) -> Result<Option<&str>, String> {
+    fn out_path(&self) -> Result<Option<&str>, CliError> {
         match self.0.iter().position(|a| a == "--out") {
             None => Ok(None),
             Some(i) => match self.0.get(i + 1) {
                 Some(v) if !v.starts_with("--") => Ok(Some(v)),
-                _ => Err("--out needs a file path".into()),
+                _ => Err(CliError::Usage("--out needs a file path".into())),
             },
         }
     }
@@ -80,14 +137,16 @@ enum ObsMode {
     Json,
 }
 
-fn parse_obs(argv: &[String]) -> Result<ObsMode, String> {
+fn parse_obs(argv: &[String]) -> Result<ObsMode, CliError> {
     for a in argv {
         match a.as_str() {
             "--obs" | "--obs=pretty" => return Ok(ObsMode::Pretty),
             "--obs=json" => return Ok(ObsMode::Json),
             other => {
                 if let Some(rest) = other.strip_prefix("--obs=") {
-                    return Err(format!("unknown --obs format '{rest}' (expected pretty or json)"));
+                    return Err(CliError::Usage(format!(
+                        "unknown --obs format '{rest}' (expected pretty or json)"
+                    )));
                 }
             }
         }
@@ -111,29 +170,34 @@ fn emit_obs(mode: ObsMode) {
 fn main() -> ExitCode {
     match run() {
         Ok(code) => code,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!();
-            eprintln!("{USAGE}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {}", e.message());
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!();
+                eprintln!("{USAGE}");
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
 const USAGE: &str = "usage:
-  mosc-cli solve   --algo <lns|exs|exs-bnb|ao|pco> [platform flags] [--out FILE]
+  mosc-cli solve   --algo <lns|exs|exs-bnb|ao|pco|governor> [platform flags] [--out FILE]
   mosc-cli peak    --schedule FILE [platform flags]
   mosc-cli compare [platform flags]
   mosc-cli trace   --schedule FILE [--periods N] [--out FILE] [platform flags]
   mosc-cli analyze SPEC.json|TELEMETRY.jsonl
   mosc-cli profile SPEC.json
+  mosc-cli serve   [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--deadline-ms MS]
+  mosc-cli client  [--addr HOST:PORT]  (stdin request lines -> stdout response lines)
 global: --obs[=pretty|json]  append a mosc-obs telemetry report to the output
-platform flags: --rows R --cols C [--layers L] [--levels 2..5] --tmax C [--cooler default|budget|responsive]";
+platform flags: --rows R --cols C [--layers L] [--levels 2..5] --tmax C [--cooler default|budget|responsive]
+exit codes: 0 ok, 1 failure, 2 usage, 3 infeasible, 4 I/O";
 
-fn run() -> Result<ExitCode, String> {
+fn run() -> Result<ExitCode, CliError> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first().cloned() else {
-        return Err("missing subcommand".into());
+        return Err(CliError::Usage("missing subcommand".into()));
     };
     let obs_mode = parse_obs(&argv)?;
     if obs_mode != ObsMode::Off {
@@ -141,13 +205,21 @@ fn run() -> Result<ExitCode, String> {
     }
     let args = Args(argv);
 
-    // `analyze` builds its platform from the spec file, not the flags;
-    // `profile` does too and owns its own telemetry life cycle.
-    if cmd == "analyze" {
-        return analyze(&args);
-    }
-    if cmd == "profile" {
-        return profile(&args, obs_mode);
+    // These subcommands don't take platform flags: `analyze` and `profile`
+    // build their platform from the spec file, `serve`/`client` speak the
+    // wire protocol.
+    match cmd.as_str() {
+        "analyze" => return analyze(&args),
+        "profile" => return profile(&args, obs_mode),
+        "serve" => {
+            // Emit the telemetry window after the daemon drains: the
+            // resulting JSONL is what the M060-M062 serve lints analyze.
+            let code = serve(&args)?;
+            emit_obs(obs_mode);
+            return Ok(code);
+        }
+        "client" => return client(&args),
+        _ => {}
     }
 
     let platform = build_platform(&args)?;
@@ -159,72 +231,52 @@ fn run() -> Result<ExitCode, String> {
             Ok(())
         }
         "trace" => trace(&args, &platform),
-        other => Err(format!("unknown subcommand '{other}'")),
+        other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
     }
     .map(|()| ExitCode::SUCCESS)?;
     emit_obs(obs_mode);
     Ok(code)
 }
 
-/// One profile entry: solver name plus its deferred run.
-type SolverRun<'a> = (&'a str, Box<dyn Fn() -> Result<Solution, String> + 'a>);
-
 /// One summary row: name, wall seconds, `expm.calls`, `peak_eval.calls`, outcome.
-type ProfileRow<'a> = (&'a str, f64, u64, u64, Result<Solution, String>);
+type ProfileRow = (&'static str, f64, u64, u64, Result<Solution, String>);
 
 /// Runs every solver on the spec's platform, one recorder window each, and
 /// closes with a comparison table (pretty) or per-solver JSONL blocks.
-fn profile(args: &Args, mode: ObsMode) -> Result<ExitCode, String> {
-    let path =
-        args.0.get(1).filter(|a| !a.starts_with("--")).ok_or("profile needs a SPEC.json path")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let platform = mosc::analyze::platform_from_spec(&text).map_err(|e| format!("{path}: {e}"))?;
+fn profile(args: &Args, mode: ObsMode) -> Result<ExitCode, CliError> {
+    let path = args
+        .0
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::Usage("profile needs a SPEC.json path".into()))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+    let platform = mosc::analyze::platform_from_spec(&text)
+        .map_err(|e| CliError::Usage(format!("{path}: {e}")))?;
     // Profiling is pointless without the recorder; default to pretty.
     let json = mode == ObsMode::Json;
     mosc::obs::enable();
 
     // A short governor horizon: the propagator cache makes the per-step cost
     // trivial, but the default 300 s horizon is still 60k steps.
-    let gov = GovernorOptions {
-        control_period: 0.01,
-        horizon: 30.0,
-        warmup: 15.0,
-        ..GovernorOptions::default()
+    let opts = SolveOptions {
+        governor: mosc::algorithms::reactive::GovernorOptions {
+            control_period: 0.01,
+            horizon: 30.0,
+            warmup: 15.0,
+            ..mosc::algorithms::reactive::GovernorOptions::default()
+        },
+        ..SolveOptions::default()
     };
-    let solvers: Vec<SolverRun<'_>> = vec![
-        ("LNS", Box::new(|| lns::solve(&platform).map_err(|e| e.to_string()))),
-        ("EXS", Box::new(|| exs::solve(&platform).map_err(|e| e.to_string()))),
-        (
-            "EXS-BnB",
-            Box::new(|| exs_bnb::solve(&platform).map(|(s, _)| s).map_err(|e| e.to_string())),
-        ),
-        (
-            "AO",
-            Box::new(|| {
-                ao::solve_with(&platform, &AoOptions::default()).map_err(|e| e.to_string())
-            }),
-        ),
-        (
-            "PCO",
-            Box::new(|| {
-                pco::solve_with(&platform, &PcoOptions::default()).map_err(|e| e.to_string())
-            }),
-        ),
-        (
-            "Governor",
-            Box::new(|| {
-                reactive::simulate(&platform, &gov)
-                    .and_then(|r| r.as_solution(&platform))
-                    .map_err(|e| e.to_string())
-            }),
-        ),
-    ];
 
-    let mut summary: Vec<ProfileRow<'_>> = Vec::new();
-    for (name, solve) in &solvers {
+    let mut summary: Vec<ProfileRow> = Vec::new();
+    for kind in SolverKind::all() {
+        let name = kind.label();
         mosc::obs::reset();
         let start = std::time::Instant::now();
-        let result = solve();
+        let result = mosc::algorithms::solve(kind, &platform, &opts)
+            .map(|r| r.solution)
+            .map_err(|e| e.to_string());
         let wall = start.elapsed().as_secs_f64();
         let telemetry = mosc::obs::snapshot();
         let expm = telemetry.counter("expm.calls").unwrap_or(0);
@@ -296,12 +348,12 @@ fn dense_ops(t: &mosc::obs::Telemetry) -> u64 {
 /// (`compute_dense`), with each side's dense-op and `expm.calls` counters.
 /// Both sides must agree on the steady state; the kernel's dense work must
 /// not grow with m.
-fn periodmap_section(platform: &Platform, json: bool) -> Result<ExitCode, String> {
+fn periodmap_section(platform: &Platform, json: bool) -> Result<ExitCode, CliError> {
     let n = platform.n_cores();
     let levels = platform.modes().levels();
     let (v_low, v_high) = (levels[0], *levels.last().expect("mode sets are non-empty"));
     let base = Schedule::two_mode(&vec![v_low; n], &vec![v_high; n], &vec![0.5; n], 0.05)
-        .map_err(|e| format!("period-map schedule: {e}"))?;
+        .map_err(|e| CliError::Other(format!("period-map schedule: {e}")))?;
     if !json {
         println!("=== period-map scaling (two-mode schedule, oscillated) ===");
         println!(
@@ -322,7 +374,7 @@ fn periodmap_section(platform: &Platform, json: bool) -> Result<ExitCode, String
         let start = std::time::Instant::now();
         let fast =
             mosc::sched::eval::SteadyState::compute(platform.thermal(), platform.power(), &s)
-                .map_err(|e| format!("period-map fast path (m = {m}): {e}"))?;
+                .map_err(|e| CliError::Other(format!("period-map fast path (m = {m}): {e}")))?;
         let fast_wall = start.elapsed().as_secs_f64();
         let t = mosc::obs::snapshot();
         let (fast_ops, fast_expm) = (dense_ops(&t), t.counter("expm.calls").unwrap_or(0));
@@ -330,17 +382,18 @@ fn periodmap_section(platform: &Platform, json: bool) -> Result<ExitCode, String
         mosc::obs::reset();
         let start = std::time::Instant::now();
         let (dense_start, _) =
-            mosc::sched::eval::compute_dense(platform.thermal(), platform.power(), &s)
-                .map_err(|e| format!("period-map dense reference (m = {m}): {e}"))?;
+            mosc::sched::eval::compute_dense(platform.thermal(), platform.power(), &s).map_err(
+                |e| CliError::Other(format!("period-map dense reference (m = {m}): {e}")),
+            )?;
         let dense_wall = start.elapsed().as_secs_f64();
         let t = mosc::obs::snapshot();
         let (dense_ops, dense_expm) = (dense_ops(&t), t.counter("expm.calls").unwrap_or(0));
 
         let diff = fast.t_start().max_abs_diff(&dense_start);
         if diff > 1e-8 {
-            return Err(format!(
+            return Err(CliError::Other(format!(
                 "period-map kernel diverges from the dense reference at m = {m}: {diff}"
-            ));
+            )));
         }
         if json {
             println!(
@@ -376,19 +429,19 @@ fn json_quote(s: &str) -> String {
     out
 }
 
-fn analyze(args: &Args) -> Result<ExitCode, String> {
-    let path = args
-        .0
-        .get(1)
-        .filter(|a| !a.starts_with("--"))
-        .ok_or("analyze needs a SPEC.json or TELEMETRY.jsonl path")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+fn analyze(args: &Args) -> Result<ExitCode, CliError> {
+    let path = args.0.get(1).filter(|a| !a.starts_with("--")).ok_or_else(|| {
+        CliError::Usage("analyze needs a SPEC.json or TELEMETRY.jsonl path".into())
+    })?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
     // `.jsonl` files are mosc-obs telemetry streams (M05x lints); anything
     // else is a platform/schedule/solution spec.
     let report = if path.ends_with(".jsonl") {
-        mosc::analyze::analyze_telemetry(&text).map_err(|e| format!("{path}: {e}"))?
+        mosc::analyze::analyze_telemetry(&text)
+            .map_err(|e| CliError::Usage(format!("{path}: {e}")))?
     } else {
-        mosc::analyze::analyze_spec(&text).map_err(|e| format!("{path}: {e}"))?
+        mosc::analyze::analyze_spec(&text).map_err(|e| CliError::Usage(format!("{path}: {e}")))?
     };
     print!("{}", report.render());
     if report.has_errors() {
@@ -398,14 +451,78 @@ fn analyze(args: &Args) -> Result<ExitCode, String> {
     }
 }
 
-fn build_platform(args: &Args) -> Result<Platform, String> {
+/// `mosc-cli serve`: run the solve daemon until a `shutdown` op arrives,
+/// then drain and exit.
+fn serve(args: &Args) -> Result<ExitCode, CliError> {
+    let opts = mosc::serve::ServeOptions {
+        addr: args.flag("--addr").unwrap_or("127.0.0.1:7070").to_owned(),
+        workers: args.parse_or("--workers", 0usize)?,
+        queue_capacity: args.parse_or("--queue", 64usize)?,
+        cache_capacity: args.parse_or("--cache", 128usize)?,
+        default_deadline: match args.flag("--deadline-ms") {
+            None => None,
+            Some(s) => {
+                let ms: f64 = s.parse().map_err(|_| {
+                    CliError::Usage(format!("cannot parse --deadline-ms value '{s}'"))
+                })?;
+                if !ms.is_finite() || ms < 0.0 {
+                    return Err(CliError::Usage("--deadline-ms must be >= 0".into()));
+                }
+                Some(std::time::Duration::from_secs_f64(ms / 1e3))
+            }
+        },
+    };
+    let addr = opts.addr.clone();
+    let server = mosc::serve::Server::bind(opts)
+        .map_err(|e| CliError::Io(format!("cannot bind {addr}: {e}")))?;
+    println!("mosc-serve listening on {}", server.local_addr());
+    // Scripts wait for the line above before connecting.
+    let _ = std::io::stdout().flush();
+    server.run().map_err(|e| CliError::Io(format!("serve: {e}")))?;
+    println!("mosc-serve drained and stopped");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `mosc-cli client`: forward stdin lines to a running daemon, printing
+/// one response line per request — the portable replacement for `nc`.
+fn client(args: &Args) -> Result<ExitCode, CliError> {
+    let addr = args.flag("--addr").unwrap_or("127.0.0.1:7070");
+    let io_err = |what: &'static str| {
+        let addr = addr.to_owned();
+        move |e: std::io::Error| CliError::Io(format!("client {what} {addr}: {e}"))
+    };
+    let mut stream = std::net::TcpStream::connect(addr).map_err(io_err("cannot connect to"))?;
+    // One small request per write: without TCP_NODELAY, Nagle + delayed ACK
+    // add tens of milliseconds of idle-link latency to every round trip.
+    stream.set_nodelay(true).map_err(io_err("cannot set TCP_NODELAY on"))?;
+    let read_half = stream.try_clone().map_err(io_err("cannot clone socket for"))?;
+    let mut responses = std::io::BufReader::new(read_half);
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let mut line = line.map_err(|e| CliError::Io(format!("client stdin: {e}")))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        line.push('\n');
+        stream.write_all(line.as_bytes()).map_err(io_err("cannot send to"))?;
+        let mut response = String::new();
+        let n = responses.read_line(&mut response).map_err(io_err("cannot read from"))?;
+        if n == 0 {
+            return Err(CliError::Io(format!("client: {addr} closed the connection")));
+        }
+        print!("{response}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn build_platform(args: &Args) -> Result<Platform, CliError> {
     let rows: usize = args.parse_or("--rows", 2)?;
     let cols: usize = args.parse_or("--cols", 3)?;
     let layers: usize = args.parse_or("--layers", 1)?;
     let levels: usize = args.parse_or("--levels", 2)?;
     let tmax: f64 = args.parse_or("--tmax", 55.0)?;
     if !(2..=5).contains(&levels) {
-        return Err("--levels must be 2..=5 (Table IV sets)".into());
+        return Err(CliError::Usage("--levels must be 2..=5 (Table IV sets)".into()));
     }
     let mut spec = PlatformSpec::paper(rows, cols, levels, tmax);
     spec.layers = layers;
@@ -413,28 +530,26 @@ fn build_platform(args: &Args) -> Result<Platform, String> {
         "default" => RcConfig::default(),
         "budget" => RcConfig::budget_cooler(),
         "responsive" => RcConfig::responsive_package(),
-        other => return Err(format!("unknown cooler '{other}'")),
+        other => return Err(CliError::Usage(format!("unknown cooler '{other}'"))),
     };
-    Platform::build(&spec).map_err(|e| format!("platform build failed: {e}"))
+    Platform::build(&spec).map_err(|e| CliError::Other(format!("platform build failed: {e}")))
 }
 
-fn solve(args: &Args, platform: &Platform) -> Result<(), String> {
+fn solve(args: &Args, platform: &Platform) -> Result<(), CliError> {
     let algo = args.flag("--algo").unwrap_or("ao");
-    let sol = match algo {
-        "lns" => lns::solve(platform),
-        "exs" => exs::solve(platform),
-        "exs-bnb" => exs_bnb::solve(platform).map(|(s, stats)| {
-            eprintln!(
-                "bnb: visited {} nodes ({} thermal prunes, {} throughput prunes)",
-                stats.visited, stats.thermal_prunes, stats.throughput_prunes
-            );
-            s
-        }),
-        "ao" => ao::solve_with(platform, &AoOptions::default()),
-        "pco" => pco::solve_with(platform, &PcoOptions::default()),
-        other => return Err(format!("unknown algorithm '{other}'")),
+    let kind: SolverKind = algo
+        .parse()
+        .map_err(|e: mosc::algorithms::UnknownSolverError| CliError::Usage(e.to_string()))?;
+    let report = mosc::algorithms::solve(kind, platform, &SolveOptions::default())
+        .map_err(|e| algo_error(algo, &e))?;
+    if kind == SolverKind::ExsBnb {
+        let stats = &report.stats;
+        eprintln!(
+            "bnb: visited {} nodes ({} thermal prunes, {} throughput prunes)",
+            stats.explored, stats.thermal_prunes, stats.throughput_prunes
+        );
     }
-    .map_err(|e| format!("{algo} failed: {e}"))?;
+    let sol = report.solution;
 
     println!(
         "{}: throughput {:.4}, peak {:.2} C, feasible {}, m = {}",
@@ -448,7 +563,7 @@ fn solve(args: &Args, platform: &Platform) -> Result<(), String> {
     match args.out_path()? {
         Some(path) => {
             std::fs::write(path, &rendered)
-                .map_err(|e| format!("cannot write schedule to '{path}': {e}"))?;
+                .map_err(|e| CliError::Io(format!("cannot write schedule to '{path}': {e}")))?;
             println!("schedule written to {path}");
         }
         None => print!("{rendered}"),
@@ -456,23 +571,27 @@ fn solve(args: &Args, platform: &Platform) -> Result<(), String> {
     Ok(())
 }
 
-fn load_schedule(args: &Args, platform: &Platform) -> Result<Schedule, String> {
-    let path = args.flag("--schedule").ok_or("missing --schedule FILE")?;
-    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let schedule = text::from_text(&content).map_err(|e| format!("parse {path}: {e}"))?;
+fn load_schedule(args: &Args, platform: &Platform) -> Result<Schedule, CliError> {
+    let path =
+        args.flag("--schedule").ok_or_else(|| CliError::Usage("missing --schedule FILE".into()))?;
+    let content = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+    let schedule =
+        text::from_text(&content).map_err(|e| CliError::Usage(format!("parse {path}: {e}")))?;
     if schedule.n_cores() != platform.n_cores() {
-        return Err(format!(
+        return Err(CliError::Usage(format!(
             "schedule has {} cores but the platform has {}",
             schedule.n_cores(),
             platform.n_cores()
-        ));
+        )));
     }
     Ok(schedule)
 }
 
-fn peak(args: &Args, platform: &Platform) -> Result<(), String> {
+fn peak(args: &Args, platform: &Platform) -> Result<(), CliError> {
     let schedule = load_schedule(args, platform)?;
-    let report = platform.peak(&schedule).map_err(|e| format!("evaluation failed: {e}"))?;
+    let report =
+        platform.peak(&schedule).map_err(|e| CliError::Other(format!("evaluation failed: {e}")))?;
     println!(
         "peak {:.3} C on core {} at t = {:.6} s ({}); T_max = {:.1} C -> {}",
         platform.to_celsius(report.temp),
@@ -486,38 +605,38 @@ fn peak(args: &Args, platform: &Platform) -> Result<(), String> {
     Ok(())
 }
 
+/// The quick four-way table: the fast solvers only (EXS-BnB and the
+/// governor are left to `profile`, which owns a telemetry window per
+/// solver).
 fn compare(platform: &Platform) {
     println!("{:<8} {:>10} {:>10} {:>9} {:>5}", "algo", "throughput", "peak (C)", "feasible", "m");
-    for (name, result) in [
-        ("LNS", lns::solve(platform)),
-        ("EXS", exs::solve(platform)),
-        ("AO", ao::solve_with(platform, &AoOptions::default())),
-        ("PCO", pco::solve_with(platform, &PcoOptions::default())),
-    ] {
-        match result {
-            Ok(s) => println!(
-                "{name:<8} {:>10.4} {:>10.2} {:>9} {:>5}",
-                s.throughput,
-                s.peak_c(platform),
-                s.feasible,
-                s.m
+    let opts = SolveOptions::default();
+    for kind in [SolverKind::Lns, SolverKind::Exs, SolverKind::Ao, SolverKind::Pco] {
+        match mosc::algorithms::solve(kind, platform, &opts) {
+            Ok(r) => println!(
+                "{:<8} {:>10.4} {:>10.2} {:>9} {:>5}",
+                kind.label(),
+                r.solution.throughput,
+                r.solution.peak_c(platform),
+                r.solution.feasible,
+                r.solution.m
             ),
-            Err(e) => println!("{name:<8} failed: {e}"),
+            Err(e) => println!("{:<8} failed: {e}", kind.label()),
         }
     }
 }
 
-fn trace(args: &Args, platform: &Platform) -> Result<(), String> {
+fn trace(args: &Args, platform: &Platform) -> Result<(), CliError> {
     let schedule = load_schedule(args, platform)?;
     let periods: usize = args.parse_or("--periods", 10)?;
     let t0 = mosc::linalg::Vector::zeros(platform.thermal().n_nodes());
     let tr = transient_trace(platform.thermal(), platform.power(), &schedule, &t0, periods, 50)
-        .map_err(|e| format!("trace failed: {e}"))?;
+        .map_err(|e| CliError::Other(format!("trace failed: {e}")))?;
     let csv = tr.to_csv(platform.t_ambient_c());
     match args.out_path()? {
         Some(path) => {
             std::fs::write(path, &csv)
-                .map_err(|e| format!("cannot write trace to '{path}': {e}"))?;
+                .map_err(|e| CliError::Io(format!("cannot write trace to '{path}': {e}")))?;
             println!("trace ({} samples) written to {path}", tr.len());
         }
         None => print!("{csv}"),

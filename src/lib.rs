@@ -35,6 +35,7 @@
 //! | [`algorithms`] | LNS, EXS, AO (Algorithm 2), PCO, reactive governor |
 //! | [`analyze`] | static-analysis lints (`M0xx` diagnostics) over platforms, schedules, solutions |
 //! | [`obs`] | zero-dependency spans, metrics and event telemetry (`--obs`, `mosc-cli profile`) |
+//! | [`serve`] | concurrent solve service: TCP daemon, worker pool, LRU cache (`mosc-cli serve`) |
 //! | [`workload`] | seeded random generators for experiments |
 //!
 //! Every table and figure of the paper has a regenerating binary in
@@ -49,12 +50,15 @@ pub use mosc_linalg as linalg;
 pub use mosc_obs as obs;
 pub use mosc_power as power;
 pub use mosc_sched as sched;
+pub use mosc_serve as serve;
 pub use mosc_thermal as thermal;
 pub use mosc_workload as workload;
 
 /// The most commonly used types, re-exported for `use mosc::prelude::*`.
 pub mod prelude {
-    pub use mosc_core::{ao::AoOptions, AlgoError, Solution};
+    pub use mosc_core::{
+        ao::AoOptions, AlgoError, Solution, SolveOptions, SolveReport, SolverKind, SolverStats,
+    };
     pub use mosc_power::{ModeTable, Params65nm, PowerModel, TransitionOverhead};
     pub use mosc_sched::{CoreSchedule, Platform, PlatformSpec, Schedule, Segment};
     pub use mosc_thermal::{Floorplan, Materials, RcConfig, RcNetwork, ThermalModel};

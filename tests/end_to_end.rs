@@ -3,15 +3,22 @@
 //! reference integrator (no shared code path with the analytic solver that
 //! the algorithms themselves use).
 
-use mosc::algorithms::ao::{self, AoOptions};
-use mosc::algorithms::pco::{self, PcoOptions};
-use mosc::algorithms::{continuous, exs, lns};
+use mosc::algorithms::{continuous, solve};
 use mosc::prelude::*;
 use mosc::sched::eval::SteadyState;
 use mosc::thermal::sim;
 
-fn quick_ao() -> AoOptions {
-    AoOptions { base_period: 0.05, max_m: 64, m_patience: 4, t_unit_divisor: 50, threads: 0 }
+fn quick_opts() -> SolveOptions {
+    SolveOptions {
+        base_period: 0.05,
+        max_m: 64,
+        m_patience: 4,
+        t_unit_divisor: 50,
+        phase_steps: 4,
+        samples: 200,
+        refill_divisor: 40,
+        ..SolveOptions::default()
+    }
 }
 
 /// Simulates `schedule` with RK4 from the analytic stable-status start and
@@ -41,7 +48,7 @@ fn ao_guarantee_holds_under_independent_rk4_simulation() {
     for (rows, cols, t_max_c) in [(1usize, 3usize, 55.0), (2, 3, 55.0)] {
         let platform =
             Platform::build(&PlatformSpec::paper(rows, cols, 2, t_max_c)).expect("platform");
-        let sol = ao::solve_with(&platform, &quick_ao()).expect("AO");
+        let sol = solve(SolverKind::Ao, &platform, &quick_opts()).expect("AO").solution;
         assert!(sol.feasible);
         let simulated = rk4_peak(&platform, &sol.schedule, 3);
         assert!(
@@ -56,7 +63,7 @@ fn ao_guarantee_holds_under_independent_rk4_simulation() {
 #[test]
 fn exs_winner_verified_by_rk4() {
     let platform = Platform::build(&PlatformSpec::paper(1, 3, 3, 55.0)).expect("platform");
-    let sol = exs::solve(&platform).expect("EXS");
+    let sol = solve(SolverKind::Exs, &platform, &quick_opts()).expect("EXS").solution;
     let simulated = rk4_peak(&platform, &sol.schedule, 2);
     assert!(simulated <= platform.t_max() + 0.05);
 }
@@ -67,9 +74,9 @@ fn algorithm_ordering_holds_across_the_grid() {
     for (rows, cols) in [(1usize, 2usize), (1, 3), (2, 3), (3, 3)] {
         let platform =
             Platform::build(&PlatformSpec::paper(rows, cols, 2, 55.0)).expect("platform");
-        let l = lns::solve(&platform).expect("LNS").throughput;
-        let e = exs::solve(&platform).expect("EXS").throughput;
-        let a = ao::solve_with(&platform, &quick_ao()).expect("AO").throughput;
+        let l = solve(SolverKind::Lns, &platform, &quick_opts()).expect("LNS").solution.throughput;
+        let e = solve(SolverKind::Exs, &platform, &quick_opts()).expect("EXS").solution.throughput;
+        let a = solve(SolverKind::Ao, &platform, &quick_opts()).expect("AO").solution.throughput;
         assert!(l <= e + 1e-9, "{rows}x{cols}: LNS {l} > EXS {e}");
         assert!(l <= a + 1e-9, "{rows}x{cols}: LNS {l} > AO {a}");
         assert!(a >= e - 1e-6, "{rows}x{cols}: AO {a} fell below EXS {e} on a 2-level platform");
@@ -82,7 +89,7 @@ fn ao_throughput_bounded_by_continuous_ideal() {
         let platform =
             Platform::build(&PlatformSpec::paper(rows, cols, 2, 55.0)).expect("platform");
         let ideal = continuous::solve(&platform).expect("ideal");
-        let a = ao::solve_with(&platform, &quick_ao()).expect("AO");
+        let a = solve(SolverKind::Ao, &platform, &quick_opts()).expect("AO").solution;
         assert!(
             a.throughput <= ideal.throughput + 1e-6,
             "{rows}x{cols}: AO {} exceeded the continuous bound {}",
@@ -95,9 +102,8 @@ fn ao_throughput_bounded_by_continuous_ideal() {
 #[test]
 fn pco_feasible_and_close_to_ao() {
     let platform = Platform::build(&PlatformSpec::paper(1, 3, 2, 55.0)).expect("platform");
-    let pco_opts = PcoOptions { ao: quick_ao(), phase_steps: 4, samples: 200, refill_divisor: 40 };
-    let a = ao::solve_with(&platform, &quick_ao()).expect("AO");
-    let p = pco::solve_with(&platform, &pco_opts).expect("PCO");
+    let a = solve(SolverKind::Ao, &platform, &quick_opts()).expect("AO").solution;
+    let p = solve(SolverKind::Pco, &platform, &quick_opts()).expect("PCO").solution;
     assert!(p.feasible);
     assert!(
         (p.throughput - a.throughput).abs() < 0.05,
@@ -114,14 +120,14 @@ fn pco_feasible_and_close_to_ao() {
 fn motivation_platform_reproduces_paper_baselines() {
     let platform = Platform::build(&PlatformSpec::motivation()).expect("platform");
     // LNS collapses to the 0.6 V floor (paper: performance 0.6).
-    let l = lns::solve(&platform).expect("LNS");
+    let l = solve(SolverKind::Lns, &platform, &quick_opts()).expect("LNS").solution;
     assert!((l.throughput - 0.6).abs() < 1e-9);
     // EXS finds one core at 1.3 V (paper: [0.6, 0.6, 1.3], performance 0.83).
-    let e = exs::solve(&platform).expect("EXS");
+    let e = solve(SolverKind::Exs, &platform, &quick_opts()).expect("EXS").solution;
     assert!((e.throughput - 0.8333).abs() < 1e-3, "EXS {}", e.throughput);
     // AO lands between EXS and the continuous ideal.
     let ideal = continuous::solve(&platform).expect("ideal");
-    let a = ao::solve_with(&platform, &quick_ao()).expect("AO");
+    let a = solve(SolverKind::Ao, &platform, &quick_opts()).expect("AO").solution;
     assert!(a.throughput > e.throughput);
     assert!(a.throughput <= ideal.throughput + 1e-6);
 }
@@ -131,9 +137,9 @@ fn two_core_plateau_matches_paper_fig7() {
     for t_max_c in [55.0, 60.0, 65.0] {
         let platform = Platform::build(&PlatformSpec::paper(1, 2, 2, t_max_c)).expect("platform");
         for thr in [
-            lns::solve(&platform).expect("LNS").throughput,
-            exs::solve(&platform).expect("EXS").throughput,
-            ao::solve_with(&platform, &quick_ao()).expect("AO").throughput,
+            solve(SolverKind::Lns, &platform, &quick_opts()).expect("LNS").solution.throughput,
+            solve(SolverKind::Exs, &platform, &quick_opts()).expect("EXS").solution.throughput,
+            solve(SolverKind::Ao, &platform, &quick_opts()).expect("AO").solution.throughput,
         ] {
             assert!(
                 (thr - 1.3).abs() < 2e-3,
@@ -146,9 +152,15 @@ fn two_core_plateau_matches_paper_fig7() {
 #[test]
 fn infeasible_threshold_rejected_consistently() {
     let platform = Platform::build(&PlatformSpec::paper(3, 3, 2, 36.0)).expect("platform");
-    assert!(matches!(exs::solve(&platform), Err(AlgoError::Infeasible { .. })));
-    assert!(matches!(ao::solve_with(&platform, &quick_ao()), Err(AlgoError::Infeasible { .. })));
+    assert!(matches!(
+        solve(SolverKind::Exs, &platform, &quick_opts()),
+        Err(AlgoError::Infeasible { .. })
+    ));
+    assert!(matches!(
+        solve(SolverKind::Ao, &platform, &quick_opts()),
+        Err(AlgoError::Infeasible { .. })
+    ));
     // LNS reports the floor assignment as infeasible rather than erroring.
-    let l = lns::solve(&platform).expect("LNS returns");
+    let l = solve(SolverKind::Lns, &platform, &quick_opts()).expect("LNS returns").solution;
     assert!(!l.feasible);
 }
