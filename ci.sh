@@ -77,9 +77,67 @@ grep -v '^mosc-serve' "$serve_log" > target/bench/serve_smoke.jsonl
 ./target/release/mosc-cli analyze target/bench/serve_smoke.jsonl \
     || { echo "serve smoke: telemetry failed the M06x lints" >&2; exit 1; }
 
+echo "==> mosc-serve observability smoke (access log, metrics exposition, M07x lints)"
+access_log=target/bench/serve_access.jsonl
+obs_log=target/bench/serve_obs_smoke.log
+# --obs=json arms the recorder (latency histograms and kernel counters only
+# record while it is on); --slow-ms 0 makes every request a "slow" one so
+# the governor entry must carry its span tree.
+./target/release/mosc-cli serve --obs=json --addr 127.0.0.1:0 \
+    --access-log "$access_log" --slow-ms 0 >"$obs_log" 2>&1 &
+obs_pid=$!
+for _ in $(seq 1 50); do
+    grep -q 'mosc-serve listening on' "$obs_log" && break
+    sleep 0.1
+done
+obs_addr=$(sed -n 's/^mosc-serve listening on //p' "$obs_log")
+test -n "$obs_addr" || { echo "observability daemon never announced its address" >&2; exit 1; }
+# 100 mixed solve requests: ao/pco alternating over 10 t_max_c variants
+# (cold solves + cache hits), closed by one short-horizon governor solve —
+# the only solver whose access-log entry can show a nonzero expm.calls delta.
+awk 'BEGIN {
+    for (i = 0; i < 99; i++) {
+        solver = (i % 2 == 0) ? "ao" : "pco";
+        printf "{\"id\":\"q%d\",\"solver\":\"%s\",\"platform\":{\"rows\":1,\"cols\":2,\"levels\":[0.6,1.3],\"t_max_c\":%d},\"options\":{\"max_m\":64,\"m_patience\":4,\"t_unit_divisor\":50}}\n", i, solver, 55 + i % 10;
+    }
+    printf "{\"id\":\"qgov\",\"solver\":\"governor\",\"platform\":{\"rows\":1,\"cols\":2,\"levels\":[0.6,1.3],\"t_max_c\":55},\"options\":{\"governor_horizon\":10.0,\"governor_warmup\":5.0,\"governor_control_period\":0.01}}\n";
+}' | ./target/release/mosc-cli client --addr "$obs_addr" > target/bench/serve_obs_responses.txt
+test "$(grep -c '"status":"ok"' target/bench/serve_obs_responses.txt)" -eq 100 \
+    || { echo "observability smoke: not all 100 requests came back ok" >&2; exit 1; }
+./target/release/mosc-cli stats --addr "$obs_addr" | grep -q 'p50' \
+    || { echo "observability smoke: stats summary missing latency quantiles" >&2; exit 1; }
+./target/release/mosc-cli metrics --addr "$obs_addr" > target/bench/serve_metrics.txt
+# Every exposition line is a comment or `name[{labels}] value` ...
+awk '
+    /^#/ { next }
+    /^mosc_serve_[a-z_]+(\{[^}]*\})? ([0-9eE+.-]+|\+Inf)$/ { ok++; next }
+    { print "bad exposition line: " $0 > "/dev/stderr"; bad++ }
+    END { exit (bad > 0 || ok == 0) }
+' target/bench/serve_metrics.txt \
+    || { echo "observability smoke: metrics exposition does not parse" >&2; exit 1; }
+# ... and the solve-latency histogram counts sum to the served solve count.
+hist_total=$(awk '/^mosc_serve_latency_seconds_count\{/ && /phase="total"/ && !/op="proto"/ { s += $2 } END { print s + 0 }' target/bench/serve_metrics.txt)
+test "$hist_total" -eq 100 \
+    || { echo "observability smoke: histogram counts sum to $hist_total, expected 100" >&2; exit 1; }
+printf '%s\n' '{"id":"bye","op":"shutdown"}' \
+    | ./target/release/mosc-cli client --addr "$obs_addr" >/dev/null
+wait "$obs_pid" || { echo "observability smoke: daemon exited non-zero" >&2; cat "$obs_log" >&2; exit 1; }
+# The slow-request entry for the governor solve carries its span tree and a
+# nonzero expm.calls delta (the transient propagator cache at work).
+grep '"id":"qgov"' "$access_log" | grep -q '"spans":.*reactive.simulate' \
+    || { echo "observability smoke: governor access entry has no span tree" >&2; exit 1; }
+gov_expm=$(sed -n 's/.*"id":"qgov".*"expm_calls":\([0-9]*\).*/\1/p' "$access_log")
+test -n "$gov_expm" && test "$gov_expm" -gt 0 \
+    || { echo "observability smoke: governor expm.calls delta is '$gov_expm', expected > 0" >&2; exit 1; }
+# Every access line and the drain trailer must pass the M07x access lints.
+./target/release/mosc-cli analyze "$access_log" \
+    || { echo "observability smoke: access log failed the M07x lints" >&2; exit 1; }
+
 echo "==> serve bench artifact (BENCH_serve.json)"
 cargo run -q --release -p mosc-bench --bin serve -- --csv target/bench >/dev/null
 grep -q '"type":"serve","clients":8' target/bench/BENCH_serve.json \
     || { echo "BENCH_serve.json missing serve records" >&2; exit 1; }
+grep -q '"p99_ms":' target/bench/BENCH_serve.json \
+    || { echo "BENCH_serve.json missing latency quantiles" >&2; exit 1; }
 
 echo "==> all checks passed"

@@ -1,0 +1,274 @@
+//! Lints over the `mosc-serve` access log (`M070`-series).
+//!
+//! The input is the JSONL that `mosc-cli serve --access-log` appends: one
+//! `{"type":"access",...}` line per completed request (lifecycle phase
+//! timings, deadline slack, kernel-counter deltas, span trees on slow
+//! requests), plus the drain-time `hist_snapshot` and `serve_summary`
+//! trailer lines. [`crate::telemetry::analyze_telemetry`] dispatches those
+//! three record types here, so one `mosc-cli analyze` invocation covers
+//! both a telemetry stream and an access log (or a concatenation).
+//!
+//! Every lint is per-line — the access log carries enough context on each
+//! record that no cross-line state is needed:
+//!
+//! * `M070` — phase timings that cannot come from one monotone clock:
+//!   a negative or missing phase, or `queue_wait + service > total`.
+//! * `M071` — a successful (`status == "ok"`) response whose
+//!   `deadline_slack_s` is ≤ 0: the deadline had already passed when the
+//!   response was written. A warning, not an error — only the enumeration
+//!   solvers (EXS, EXS-BnB) honor deadlines by contract; the polynomial
+//!   solvers deliberately run to completion.
+//! * `M072` — a `hist_snapshot` bucket series that is not a histogram:
+//!   cumulative counts decrease, finite bucket bounds fail to increase, or
+//!   the last bucket disagrees with the recorded sample count.
+//! * `M073` — `serve_summary` cache counters that are mutually impossible:
+//!   hits with zero misses (every cached entry was inserted after a miss),
+//!   or more evictions than misses (misses bound insertions).
+
+use crate::diag::{Code, Report};
+use crate::json::Value;
+
+/// Slack allowed between `queue_wait + service` and `total` before M070
+/// fires: the phases are recorded from one `Instant` clock, so anything
+/// beyond float noise is a real skew.
+const PHASE_EPS: f64 = 1e-6;
+
+/// Checks one `{"type":"access",...}` line (`M070`, `M071`).
+pub(crate) fn check_access(value: &Value, lineno: usize, report: &mut Report) {
+    let ctx = match value.get("id").and_then(Value::as_str) {
+        Some(id) if !id.is_empty() => format!("line {lineno} (id {id})"),
+        _ => format!("line {lineno}"),
+    };
+    let phase = |name: &str| value.get(name).and_then(Value::as_f64);
+    let (qw, sv, total) = (phase("queue_wait_s"), phase("service_s"), phase("total_s"));
+    match (qw, sv, total) {
+        (Some(qw), Some(sv), Some(total)) => {
+            if !(qw >= 0.0 && sv >= 0.0 && total >= 0.0) {
+                report.push(
+                    Code::AccessPhaseSkew,
+                    ctx.clone(),
+                    format!("negative phase timing (queue_wait {qw}, service {sv}, total {total})"),
+                );
+            } else if qw + sv > total + PHASE_EPS {
+                report.push(
+                    Code::AccessPhaseSkew,
+                    ctx.clone(),
+                    format!(
+                        "queue_wait {qw} + service {sv} exceeds total {total} — the phases \
+                         cannot come from one monotone clock"
+                    ),
+                );
+            }
+        }
+        _ => report.push(
+            Code::AccessPhaseSkew,
+            ctx.clone(),
+            "access line is missing queue_wait_s/service_s/total_s".to_owned(),
+        ),
+    }
+    // M071: ok response after its own deadline. `deadline_slack_s` is null
+    // for requests without a deadline, which as_f64 maps to None.
+    if value.get("status").and_then(Value::as_str) == Some("ok") {
+        if let Some(slack) = value.get("deadline_slack_s").and_then(Value::as_f64) {
+            if slack <= 0.0 {
+                report.push(
+                    Code::AccessDeadlineMissed,
+                    ctx,
+                    format!(
+                        "response succeeded {:.3} s after its deadline — only the \
+                         enumeration solvers honor deadlines, but the client asked",
+                        -slack
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Checks one `{"type":"hist_snapshot",...}` trailer line (`M072`).
+pub(crate) fn check_hist_snapshot(value: &Value, lineno: usize, report: &mut Report) {
+    let name = value.get("name").and_then(Value::as_str).unwrap_or("");
+    let ctx = if name.is_empty() { format!("line {lineno}") } else { name.to_owned() };
+    let count = value.get("count").and_then(Value::as_f64).unwrap_or(f64::NAN);
+    let Some(Value::Array(buckets)) = value.get("buckets") else {
+        report.push(
+            Code::AccessHistogramBroken,
+            ctx,
+            "hist_snapshot line has no buckets array".to_owned(),
+        );
+        return;
+    };
+    let mut prev_cum = 0.0f64;
+    let mut prev_le = f64::NEG_INFINITY;
+    for (i, bucket) in buckets.iter().enumerate() {
+        let Some(cum) = bucket.get("cum").and_then(Value::as_f64) else {
+            report.push(
+                Code::AccessHistogramBroken,
+                ctx.clone(),
+                format!("bucket {i} is missing its cumulative count"),
+            );
+            return;
+        };
+        if cum < prev_cum {
+            report.push(
+                Code::AccessHistogramBroken,
+                ctx.clone(),
+                format!("bucket {i} cumulative count {cum} drops below {prev_cum}"),
+            );
+            return;
+        }
+        prev_cum = cum;
+        // `le` is a number for finite bounds and the string "+Inf" for the
+        // final bucket (JSON has no infinity literal).
+        if let Some(le) = bucket.get("le").and_then(Value::as_f64) {
+            if le <= prev_le {
+                report.push(
+                    Code::AccessHistogramBroken,
+                    ctx.clone(),
+                    format!("bucket {i} bound {le} does not increase past {prev_le}"),
+                );
+                return;
+            }
+            prev_le = le;
+        }
+    }
+    if prev_cum != count {
+        report.push(
+            Code::AccessHistogramBroken,
+            ctx,
+            format!("last cumulative bucket {prev_cum} disagrees with count {count}"),
+        );
+    }
+}
+
+/// Checks the `{"type":"serve_summary",...}` trailer line (`M073`).
+pub(crate) fn check_serve_summary(value: &Value, lineno: usize, report: &mut Report) {
+    let ctx = format!("line {lineno}");
+    let counter = |name: &str| value.get(name).and_then(Value::as_f64).unwrap_or(0.0);
+    let (hits, misses, evictions) =
+        (counter("cache_hits"), counter("cache_misses"), counter("cache_evictions"));
+    if hits > 0.0 && misses == 0.0 {
+        report.push(
+            Code::AccessCacheInconsistent,
+            ctx,
+            format!(
+                "{hits} cache hit(s) with zero misses — every cached entry is inserted \
+                 after a miss, so hits cannot precede the first miss"
+            ),
+        );
+    } else if evictions > misses {
+        report.push(
+            Code::AccessCacheInconsistent,
+            ctx,
+            format!(
+                "{evictions} eviction(s) exceed {misses} miss(es) — evictions are bounded \
+                 by insertions, which are bounded by misses"
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::analyze_telemetry;
+
+    #[test]
+    fn healthy_access_log_is_clean() {
+        let text = r#"{"type":"access","t_s":0.1,"id":"a1","op":"solve","solver":"ao","status":"ok","cached":false,"queue_wait_s":0.001,"service_s":0.01,"total_s":0.012,"deadline_slack_s":4.9,"expm_calls":0,"period_map_matmuls":120,"steady_state_calls":3,"linalg_matmuls":40}
+{"type":"access","t_s":0.2,"id":"p1","op":"ping","solver":null,"status":"ok","cached":false,"queue_wait_s":0.0,"service_s":0.0001,"total_s":0.0001,"deadline_slack_s":null,"expm_calls":0,"period_map_matmuls":0,"steady_state_calls":0,"linalg_matmuls":0}
+{"type":"hist_snapshot","name":"serve.latency.ao.total","count":2,"sum":0.03,"buckets":[{"le":0.01,"cum":1},{"le":0.02,"cum":2},{"le":"+Inf","cum":2}]}
+{"type":"serve_summary","requests":2,"responses":2,"cache_hits":1,"cache_misses":1,"cache_evictions":0,"rejected":0,"deadline_exceeded":0,"malformed":0,"queue_peak":1,"uptime_s":0.3}
+"#;
+        let r = analyze_telemetry(text).unwrap();
+        assert!(r.is_clean(), "findings:\n{r}");
+    }
+
+    #[test]
+    fn skewed_phases_are_m070() {
+        // Phase sum exceeding the total.
+        let text = r#"{"type":"access","id":"x","status":"ok","queue_wait_s":0.5,"service_s":0.6,"total_s":1.0}
+"#;
+        let r = analyze_telemetry(text).unwrap();
+        assert!(r.has_code(Code::AccessPhaseSkew), "findings:\n{r}");
+        assert!(r.has_errors(), "M070 is an error:\n{r}");
+
+        // Negative phase.
+        let text = r#"{"type":"access","id":"x","status":"ok","queue_wait_s":-0.1,"service_s":0.1,"total_s":0.2}
+"#;
+        let r = analyze_telemetry(text).unwrap();
+        assert!(r.has_code(Code::AccessPhaseSkew), "findings:\n{r}");
+
+        // Missing phase member.
+        let text = r#"{"type":"access","id":"x","status":"ok","total_s":0.2}
+"#;
+        let r = analyze_telemetry(text).unwrap();
+        assert!(r.has_code(Code::AccessPhaseSkew), "findings:\n{r}");
+    }
+
+    #[test]
+    fn ok_after_deadline_is_m071_warning() {
+        let text = r#"{"type":"access","id":"x","status":"ok","queue_wait_s":0.1,"service_s":0.4,"total_s":0.5,"deadline_slack_s":-0.2}
+"#;
+        let r = analyze_telemetry(text).unwrap();
+        assert!(r.has_code(Code::AccessDeadlineMissed), "findings:\n{r}");
+        assert!(!r.has_errors(), "M071 is a warning:\n{r}");
+
+        // Error responses after the deadline are the expected shape, not a
+        // finding (that is what the deadline is for).
+        let text = r#"{"type":"access","id":"x","status":"error","queue_wait_s":0.1,"service_s":0.4,"total_s":0.5,"deadline_slack_s":-0.2}
+"#;
+        let r = analyze_telemetry(text).unwrap();
+        assert!(!r.has_code(Code::AccessDeadlineMissed), "findings:\n{r}");
+
+        // Null slack (no deadline requested) is clean.
+        let text = r#"{"type":"access","id":"x","status":"ok","queue_wait_s":0.1,"service_s":0.3,"total_s":0.5,"deadline_slack_s":null}
+"#;
+        let r = analyze_telemetry(text).unwrap();
+        assert!(!r.has_code(Code::AccessDeadlineMissed), "findings:\n{r}");
+    }
+
+    #[test]
+    fn broken_histograms_are_m072() {
+        // Cumulative counts decreasing.
+        let text = r#"{"type":"hist_snapshot","name":"h","count":2,"buckets":[{"le":0.01,"cum":2},{"le":"+Inf","cum":1}]}
+"#;
+        let r = analyze_telemetry(text).unwrap();
+        assert!(r.has_code(Code::AccessHistogramBroken), "findings:\n{r}");
+        assert!(r.has_errors(), "M072 is an error:\n{r}");
+
+        // Last bucket disagrees with the count.
+        let text = r#"{"type":"hist_snapshot","name":"h","count":5,"buckets":[{"le":0.01,"cum":1},{"le":"+Inf","cum":3}]}
+"#;
+        let r = analyze_telemetry(text).unwrap();
+        assert!(r.has_code(Code::AccessHistogramBroken), "findings:\n{r}");
+
+        // Bounds not increasing.
+        let text = r#"{"type":"hist_snapshot","name":"h","count":2,"buckets":[{"le":0.02,"cum":1},{"le":0.01,"cum":2},{"le":"+Inf","cum":2}]}
+"#;
+        let r = analyze_telemetry(text).unwrap();
+        assert!(r.has_code(Code::AccessHistogramBroken), "findings:\n{r}");
+    }
+
+    #[test]
+    fn impossible_cache_counters_are_m073() {
+        // Hits without a single miss.
+        let text = r#"{"type":"serve_summary","cache_hits":4,"cache_misses":0,"cache_evictions":0}
+"#;
+        let r = analyze_telemetry(text).unwrap();
+        assert!(r.has_code(Code::AccessCacheInconsistent), "findings:\n{r}");
+        assert!(!r.has_errors(), "M073 is a warning:\n{r}");
+
+        // More evictions than misses.
+        let text = r#"{"type":"serve_summary","cache_hits":1,"cache_misses":2,"cache_evictions":5}
+"#;
+        let r = analyze_telemetry(text).unwrap();
+        assert!(r.has_code(Code::AccessCacheInconsistent), "findings:\n{r}");
+
+        // A believable summary is clean.
+        let text = r#"{"type":"serve_summary","cache_hits":3,"cache_misses":5,"cache_evictions":2}
+"#;
+        let r = analyze_telemetry(text).unwrap();
+        assert!(!r.has_code(Code::AccessCacheInconsistent), "findings:\n{r}");
+    }
+}

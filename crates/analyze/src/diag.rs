@@ -28,7 +28,8 @@ impl fmt::Display for Severity {
 
 /// Stable diagnostic codes. The numeric ranges group the lints:
 /// `M001`–`M009` platform, `M011`–`M018` schedule, `M020`–`M024` solution,
-/// `M050`–`M054` telemetry, `M060`–`M062` serve telemetry.
+/// `M050`–`M054` telemetry, `M060`–`M062` serve telemetry, `M070`–`M073`
+/// serve access log.
 ///
 /// DESIGN.md §7 maps each code to the paper theorem or equation it enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -109,6 +110,23 @@ pub enum Code {
     /// `serve.request` event announced: a response was fabricated, double-
     /// sent, or the request-side instrumentation was skipped.
     ServeResponseOrphaned,
+    /// M070 — an access-log line's phase timings are clock-skewed: a phase
+    /// is negative/missing, or `queue_wait + service` exceeds `total` even
+    /// though all three derive from one monotone clock.
+    AccessPhaseSkew,
+    /// M071 — a successful response with deadline slack ≤ 0: the request's
+    /// deadline had already passed when the response was written. Only the
+    /// enumeration solvers honor deadlines by contract, so this is
+    /// suspicious rather than wrong.
+    AccessDeadlineMissed,
+    /// M072 — a `hist_snapshot` line's bucket series is broken: cumulative
+    /// counts decrease, bucket bounds do not increase, or the final bucket
+    /// disagrees with the recorded count.
+    AccessHistogramBroken,
+    /// M073 — the `serve_summary` cache counters are mutually impossible:
+    /// hits without a single miss (every entry is inserted after a miss),
+    /// or more evictions than insertions (misses bound insertions).
+    AccessCacheInconsistent,
 }
 
 impl Code {
@@ -146,6 +164,10 @@ impl Code {
             Self::ServeCacheInert => "M060",
             Self::ServeRejectedIdle => "M061",
             Self::ServeResponseOrphaned => "M062",
+            Self::AccessPhaseSkew => "M070",
+            Self::AccessDeadlineMissed => "M071",
+            Self::AccessHistogramBroken => "M072",
+            Self::AccessCacheInconsistent => "M073",
         }
     }
 
@@ -167,7 +189,9 @@ impl Code {
             | Self::KernelCountersMissing
             | Self::ServeCacheInert
             | Self::ServeRejectedIdle
-            | Self::ServeResponseOrphaned => Severity::Warning,
+            | Self::ServeResponseOrphaned
+            | Self::AccessDeadlineMissed
+            | Self::AccessCacheInconsistent => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -339,6 +363,10 @@ mod tests {
             Code::ServeCacheInert,
             Code::ServeRejectedIdle,
             Code::ServeResponseOrphaned,
+            Code::AccessPhaseSkew,
+            Code::AccessDeadlineMissed,
+            Code::AccessHistogramBroken,
+            Code::AccessCacheInconsistent,
         ];
         let mut seen = std::collections::HashSet::new();
         for c in all {

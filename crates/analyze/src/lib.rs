@@ -37,6 +37,7 @@
 //!
 //! DESIGN.md §7 tabulates every code with the paper statement it enforces.
 
+mod access;
 pub mod diag;
 pub mod json;
 pub mod platform;

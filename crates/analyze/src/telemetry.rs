@@ -40,6 +40,11 @@
 //!   queue.
 //! * `M062` — a `serve.response` event's `id` hash matches no
 //!   `serve.request` event in the stream.
+//!
+//! Lines of type `access`, `hist_snapshot` and `serve_summary` — the
+//! daemon's `--access-log` JSONL — dispatch to the [`crate::access`]
+//! module's `M070`-series lints, so telemetry streams and access logs run
+//! through the same `analyze` entry point.
 
 use crate::diag::{Code, Report};
 use crate::json::Value;
@@ -96,6 +101,13 @@ pub fn analyze_telemetry(text: &str) -> Result<Report, SpecError> {
             Some("event") => {
                 serve.note_event(&value, lineno);
                 check_event(&value, lineno, &mut report);
+            }
+            Some("access") => crate::access::check_access(&value, lineno, &mut report),
+            Some("hist_snapshot") => {
+                crate::access::check_hist_snapshot(&value, lineno, &mut report);
+            }
+            Some("serve_summary") => {
+                crate::access::check_serve_summary(&value, lineno, &mut report);
             }
             _ => {} // hist, meta, profile, future types
         }

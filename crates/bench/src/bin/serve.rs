@@ -9,7 +9,9 @@
 //! cache keys; concurrent first touches may race to fill the same key) and
 //! answers the rest from the LRU cache — the steady-state regime a
 //! design-space sweep would drive. The table reports wall time, sustained
-//! requests/sec, and the cache hit ratio per client count.
+//! requests/sec, the cache hit ratio, and the server-side p50/p99 solve
+//! latency (from the daemon's own log-bucketed histograms) per client
+//! count.
 //!
 //! With `--csv <dir>` the records are also written as `BENCH_serve.json`
 //! (JSON lines, one record per client count) — the artifact the `ci.sh`
@@ -57,8 +59,17 @@ fn run_client(addr: SocketAddr, client: usize) {
     }
 }
 
-/// Runs one round at `clients` threads; returns (wall s, hits, misses).
-fn round(clients: usize) -> (f64, u64, u64) {
+/// One round's outcome: wall time, cache counters and latency quantiles.
+struct Round {
+    wall: f64,
+    hits: u64,
+    misses: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Runs one round at `clients` threads.
+fn round(clients: usize) -> Round {
     let server =
         Server::bind(ServeOptions { addr: "127.0.0.1:0".into(), ..ServeOptions::default() })
             .expect("bind 127.0.0.1:0");
@@ -76,40 +87,61 @@ fn round(clients: usize) -> (f64, u64, u64) {
     let stats = handle.stats();
     handle.shutdown();
     join.join().expect("server thread");
-    (wall, stats.cache_hits, stats.cache_misses)
+    Round {
+        wall,
+        hits: stats.cache_hits,
+        misses: stats.cache_misses,
+        p50_ms: stats.p50_ms,
+        p99_ms: stats.p99_ms,
+    }
 }
 
 fn main() {
+    // The latency histograms behind `stats.p50_ms`/`p99_ms` only record
+    // while the mosc-obs recorder is armed.
+    mosc_obs::enable();
     let csv = csv_dir_from_args();
     println!(
         "serve throughput — smoke platform, {REQUESTS_PER_CLIENT} requests/client, \
          {} distinct cache keys\n",
         T_MAX_VARIANTS.len()
     );
-    let mut table =
-        Table::new(&["clients", "requests", "wall (s)", "req/s", "hits", "misses", "hit ratio"]);
+    let mut table = Table::new(&[
+        "clients",
+        "requests",
+        "wall (s)",
+        "req/s",
+        "hits",
+        "misses",
+        "hit ratio",
+        "p50 (ms)",
+        "p99 (ms)",
+    ]);
     let mut json = String::new();
 
     for clients in [1usize, 4, 8] {
-        let (wall, hits, misses) = round(clients);
+        let r = round(clients);
         let requests = (clients * REQUESTS_PER_CLIENT) as u64;
-        let req_per_s = requests as f64 / wall.max(1e-12);
-        let hit_ratio = hits as f64 / (hits + misses) as f64;
+        let req_per_s = requests as f64 / r.wall.max(1e-12);
+        let hit_ratio = r.hits as f64 / (r.hits + r.misses) as f64;
         table.row(vec![
             clients.to_string(),
             requests.to_string(),
-            format!("{wall:.4}"),
+            format!("{:.4}", r.wall),
             format!("{req_per_s:.0}"),
-            hits.to_string(),
-            misses.to_string(),
+            r.hits.to_string(),
+            r.misses.to_string(),
             format!("{hit_ratio:.3}"),
+            format!("{:.3}", r.p50_ms),
+            format!("{:.3}", r.p99_ms),
         ]);
         let _ = writeln!(
             json,
             "{{\"type\":\"serve\",\"clients\":{clients},\"requests\":{requests},\
-             \"wall_s\":{wall:?},\"req_per_s\":{req_per_s:?},\
-             \"cache_hits\":{hits},\"cache_misses\":{misses},\
-             \"hit_ratio\":{hit_ratio:?}}}"
+             \"wall_s\":{:?},\"req_per_s\":{req_per_s:?},\
+             \"cache_hits\":{},\"cache_misses\":{},\
+             \"hit_ratio\":{hit_ratio:?},\"p50_ms\":{:?},\"p99_ms\":{:?}}}",
+            r.wall, r.hits, r.misses, r.p50_ms, r.p99_ms
         );
     }
 

@@ -48,7 +48,9 @@ pub mod solve;
 
 pub use ao::AoOptions;
 pub use mosc_sched::{Platform, PlatformSpec, Schedule, ACCEPT_EPS, FEASIBILITY_EPS};
-pub use solve::{solve, SolveOptions, SolveReport, SolverKind, SolverStats, UnknownSolverError};
+pub use solve::{
+    solve, KernelDelta, SolveOptions, SolveReport, SolverKind, SolverStats, UnknownSolverError,
+};
 
 /// Outcome of a scheduling algorithm: the schedule it constructed and the
 /// headline numbers the evaluation compares.

@@ -229,6 +229,62 @@ impl From<BnbStats> for SolverStats {
     }
 }
 
+/// Kernel-counter increments observed across one [`solve`] call.
+///
+/// The numeric kernels self-report through `mosc-obs` counters
+/// (`expm.calls`, `period_map.matmuls`, …); this struct is the *difference*
+/// of those process-global counters read immediately before and after the
+/// dispatch, so a serving layer can attribute kernel work to the request
+/// that triggered it. The deltas are global by design — solvers fan work
+/// out to scoped threads, and a thread-local capture would miss those — so
+/// under concurrent solves a delta may include a neighbour's increments;
+/// treat it as attribution, not accounting. All zero while the `mosc-obs`
+/// recorder is disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelDelta {
+    /// Matrix-exponential evaluations (`expm.calls`).
+    pub expm_calls: u64,
+    /// Matrix products inside the period-map kernel (`period_map.matmuls`).
+    pub period_map_matmuls: u64,
+    /// Steady-state temperature evaluations (`steady_state.calls`).
+    pub steady_state_calls: u64,
+    /// General matrix products (`linalg.matmuls`).
+    pub linalg_matmuls: u64,
+}
+
+impl KernelDelta {
+    /// Reads the current global counter values (absolute, not deltas).
+    fn read() -> Self {
+        let get = |name| mosc_obs::counter_value(name).unwrap_or(0);
+        Self {
+            expm_calls: get("expm.calls"),
+            period_map_matmuls: get("period_map.matmuls"),
+            steady_state_calls: get("steady_state.calls"),
+            linalg_matmuls: get("linalg.matmuls"),
+        }
+    }
+
+    /// Element-wise saturating difference `self - earlier`. Saturation
+    /// guards against a concurrent `mosc_obs::reset()`/`drain()` zeroing
+    /// the counters mid-solve.
+    #[must_use]
+    pub fn since(&self, earlier: &Self) -> Self {
+        Self {
+            expm_calls: self.expm_calls.saturating_sub(earlier.expm_calls),
+            period_map_matmuls: self.period_map_matmuls.saturating_sub(earlier.period_map_matmuls),
+            steady_state_calls: self.steady_state_calls.saturating_sub(earlier.steady_state_calls),
+            linalg_matmuls: self.linalg_matmuls.saturating_sub(earlier.linalg_matmuls),
+        }
+    }
+
+    /// `true` when every delta is zero (recorder disabled, or a solver that
+    /// never touched the thermal kernels).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
 /// Uniform outcome of a [`solve`] call.
 #[derive(Debug, Clone)]
 pub struct SolveReport {
@@ -239,6 +295,9 @@ pub struct SolveReport {
     /// Wall-clock time of the solver call itself (excludes any queueing by
     /// the caller).
     pub wall: Duration,
+    /// Kernel-counter increments observed across the call (zero while the
+    /// `mosc-obs` recorder is disabled).
+    pub kernel: KernelDelta,
 }
 
 /// Runs solver `kind` on `platform` with `opts`, returning the uniform
@@ -256,6 +315,7 @@ pub struct SolveReport {
 /// * Propagated evaluation failures.
 pub fn solve(kind: SolverKind, platform: &Platform, opts: &SolveOptions) -> Result<SolveReport> {
     let deadline_at = opts.deadline.map(|d| Instant::now() + d);
+    let kernel_before = KernelDelta::read();
     let start = Instant::now();
     let (solution, stats) = match kind {
         SolverKind::Lns => (lns::solve(platform)?, SolverStats::default()),
@@ -287,7 +347,9 @@ pub fn solve(kind: SolverKind, platform: &Platform, opts: &SolveOptions) -> Resu
             (solution, stats)
         }
     };
-    Ok(SolveReport { solution, stats, wall: start.elapsed() })
+    let wall = start.elapsed();
+    let kernel = KernelDelta::read().since(&kernel_before);
+    Ok(SolveReport { solution, stats, wall, kernel })
 }
 
 #[cfg(test)]

@@ -105,6 +105,16 @@ pub(crate) fn collect() -> (Vec<crate::report::EventRecord>, u64) {
     (log.records.clone(), log.dropped)
 }
 
+/// Takes the event log, leaving it empty: an event racing the drain lands
+/// in this window or the next, never both. Draining also re-opens the
+/// [`MAX_EVENTS`] budget for the next window.
+pub(crate) fn drain_collect() -> (Vec<crate::report::EventRecord>, u64) {
+    let mut log = log();
+    let records = std::mem::take(&mut log.records);
+    let dropped = std::mem::replace(&mut log.dropped, 0);
+    (records, dropped)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

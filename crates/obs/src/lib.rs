@@ -48,14 +48,20 @@
 //! ```
 
 mod event;
+mod histo;
 mod metric;
+mod rate;
 mod report;
 mod span;
+mod trace;
 
 pub use event::{event, FieldValue, MAX_EVENTS};
-pub use metric::{Counter, Gauge, Histogram};
+pub use histo::{bucket_upper, HistoSnapshot, LogHistogram, LOG_BUCKETS};
+pub use metric::{counter_value, Counter, CounterCell, Gauge, Histogram};
+pub use rate::RateWindow;
 pub use report::{EventRecord, HistSummary, SpanStats, Telemetry};
 pub use span::{span, SpanGuard};
+pub use trace::{TraceContext, TraceSnapshot};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -97,6 +103,23 @@ pub fn reset() {
 #[must_use]
 pub fn snapshot() -> Telemetry {
     Telemetry::capture()
+}
+
+/// Captures the current recorder state **and consumes it**, atomically per
+/// store, so a long-lived process can carve its telemetry into windows
+/// without the [`snapshot`]-then-[`reset`] race: work recorded concurrently
+/// with a drain lands entirely in this window or entirely in the next.
+///
+/// Per store: the span aggregate is *taken* under one lock acquisition (a
+/// thread-root merge is never split across windows); counter values are
+/// atomically swapped to zero (no increment is lost or double-counted) and
+/// stay registered; the event log is taken whole and its [`MAX_EVENTS`]
+/// budget re-opens; gauges are levels, not flows, and keep their value.
+/// Streaming histograms clear field-by-field, so a sample racing the drain
+/// may split its count and sum across two windows — best-effort by design.
+#[must_use]
+pub fn drain() -> Telemetry {
+    Telemetry::capture_drain()
 }
 
 /// Opens a named span for the enclosing scope: `span!("ao.sweep_m");`
@@ -141,7 +164,10 @@ mod tests {
         static INERT_COUNTER: Counter = Counter::new("inert.counter");
         static INERT_GAUGE: Gauge = Gauge::new("inert.gauge");
         static INERT_HIST: Histogram = Histogram::new("inert.hist");
-        {
+        static INERT_LOG_HIST: LogHistogram = LogHistogram::new("inert.log_hist");
+        static INERT_RATE: RateWindow = RateWindow::new();
+        let ctx = TraceContext::new();
+        let observed = ctx.observe(|| {
             let g = span("inert.root");
             assert!(!g.is_armed(), "span guard must not arm while disabled");
             let inner = span("inert.child");
@@ -149,8 +175,12 @@ mod tests {
             INERT_COUNTER.add(5);
             INERT_GAUGE.set(1.5);
             INERT_HIST.record(2.0);
+            INERT_LOG_HIST.record(0.25);
+            INERT_RATE.tick(3);
             event("inert.event", &[("x", 1u64.into())]);
-        }
+            7
+        });
+        assert_eq!(observed, 7, "disabled observe must still run the closure");
         assert!(!INERT_COUNTER.is_registered(), "disabled counter must not register");
         let t = snapshot();
         assert!(t.spans().is_empty(), "disabled spans must not aggregate");
@@ -158,6 +188,10 @@ mod tests {
         assert_eq!(t.counter("inert.counter"), None);
         assert_eq!(t.gauge("inert.gauge"), None);
         assert!(t.histogram("inert.hist").is_none());
+        assert!(INERT_LOG_HIST.is_empty(), "disabled log histogram must not bucket");
+        assert_eq!(INERT_LOG_HIST.snapshot().count, 0);
+        assert!(INERT_RATE.per_sec().abs() < f64::EPSILON, "disabled rate must read 0");
+        assert!(ctx.snapshot().is_empty(), "disabled trace context must capture nothing");
     }
 
     #[test]

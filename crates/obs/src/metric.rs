@@ -60,6 +60,7 @@ impl Counter {
         }
         self.ensure_registered();
         self.value.fetch_add(n, Ordering::Relaxed);
+        crate::trace::on_counter(self.name, n);
     }
 
     /// Current value (0 until the first enabled `add`).
@@ -79,6 +80,43 @@ impl Counter {
         if !self.registered.swap(true, Ordering::Relaxed) {
             registry().counters.push(self);
         }
+    }
+}
+
+/// An always-on, registry-free `u64` cell for state that must be counted
+/// regardless of the recorder switch (a server's request totals, which its
+/// `stats` wire op reports even when telemetry is off). Unlike [`Counter`]
+/// it is owned (no `'static` requirement), never registers anywhere, and
+/// never checks [`crate::enabled`] — it is four relaxed atomic ops at most.
+#[derive(Debug, Default)]
+pub struct CounterCell(AtomicU64);
+
+impl CounterCell {
+    /// A zeroed cell. `const`, so it can initialise a `static` or a field.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises the cell to `v` if `v` is larger (high-watermark tracking).
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
     }
 }
 
@@ -150,7 +188,7 @@ pub struct Histogram {
 
 /// Maps an `f64` to a `u64` whose unsigned order matches the float order
 /// (standard sign-flip trick; NaN samples are rejected before this).
-fn f64_to_ordered(v: f64) -> u64 {
+pub(crate) fn f64_to_ordered(v: f64) -> u64 {
     let bits = v.to_bits();
     if bits >> 63 == 0 {
         bits | (1 << 63)
@@ -160,7 +198,7 @@ fn f64_to_ordered(v: f64) -> u64 {
 }
 
 /// Inverse of [`f64_to_ordered`].
-fn ordered_to_f64(key: u64) -> f64 {
+pub(crate) fn ordered_to_f64(key: u64) -> f64 {
     if key >> 63 == 1 {
         f64::from_bits(key & !(1 << 63))
     } else {
@@ -254,6 +292,15 @@ pub(crate) fn reset() {
     }
 }
 
+/// Reads one registered counter's current value by name, without taking a
+/// full snapshot. `None` until the counter's first enabled record. This is
+/// the cheap primitive behind kernel-counter *deltas*: read before and
+/// after a solve and subtract.
+#[must_use]
+pub fn counter_value(name: &str) -> Option<u64> {
+    registry().counters.iter().find(|c| c.name == name).map(|c| c.value())
+}
+
 /// Snapshot triple of (counters, gauges, histograms).
 pub(crate) type MetricSnapshot =
     (Vec<(String, u64)>, Vec<(String, f64)>, Vec<(String, crate::report::HistSummary)>);
@@ -270,6 +317,41 @@ pub(crate) fn collect() -> MetricSnapshot {
         .histograms
         .iter()
         .filter_map(|h| h.summary().map(|s| (h.name.to_string(), s)))
+        .collect();
+    counters.sort_by(|a, b| a.0.cmp(&b.0));
+    gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    hists.sort_by(|a, b| a.0.cmp(&b.0));
+    (counters, gauges, hists)
+}
+
+/// Like [`collect`], but *consumes* counter and histogram values: counters
+/// are atomically swapped to zero (an increment lands either in this drain
+/// or the next — never lost, never doubled), histograms have their fields
+/// cleared (field-by-field, so a sample racing the drain may split its
+/// count and sum across two windows — documented best-effort), and gauges
+/// keep their last value (they are levels, not flows). Registrations are
+/// kept, so drained metrics reappear in the next window without a
+/// re-registration race.
+pub(crate) fn drain_collect() -> MetricSnapshot {
+    let reg = registry();
+    let mut counters: Vec<(String, u64)> = reg
+        .counters
+        .iter()
+        .map(|c| (c.name.to_string(), c.value.swap(0, Ordering::Relaxed)))
+        .collect();
+    let mut gauges: Vec<(String, f64)> =
+        reg.gauges.iter().filter_map(|g| g.value().map(|v| (g.name.to_string(), v))).collect();
+    let mut hists: Vec<(String, crate::report::HistSummary)> = reg
+        .histograms
+        .iter()
+        .filter_map(|h| {
+            let count = h.count.swap(0, Ordering::Relaxed);
+            let sum = f64::from_bits(h.sum_bits.swap(0, Ordering::Relaxed));
+            let min = ordered_to_f64(h.min_key.swap(u64::MAX, Ordering::Relaxed));
+            let max = ordered_to_f64(h.max_key.swap(0, Ordering::Relaxed));
+            (count > 0)
+                .then(|| (h.name.to_string(), crate::report::HistSummary { count, sum, min, max }))
+        })
         .collect();
     counters.sort_by(|a, b| a.0.cmp(&b.0));
     gauges.sort_by(|a, b| a.0.cmp(&b.0));

@@ -83,6 +83,16 @@ impl Telemetry {
         Self { spans, counters, gauges, histograms, events, events_dropped }
     }
 
+    /// Captures and *consumes* the current recorder state (see
+    /// [`crate::drain`] for the window semantics per store).
+    #[must_use]
+    pub fn capture_drain() -> Self {
+        let spans = crate::span::drain_collect();
+        let (counters, gauges, histograms) = crate::metric::drain_collect();
+        let (events, events_dropped) = crate::event::drain_collect();
+        Self { spans, counters, gauges, histograms, events, events_dropped }
+    }
+
     /// Completed spans in preorder (parents before children).
     #[must_use]
     pub fn spans(&self) -> &[SpanStats] {

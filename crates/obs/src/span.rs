@@ -34,7 +34,7 @@ impl Node {
 
 /// An arena-backed span tree plus the stack of currently open nodes.
 #[derive(Debug, Default)]
-struct TreeState {
+pub(crate) struct TreeState {
     nodes: Vec<Node>,
     open: Vec<usize>,
 }
@@ -85,7 +85,7 @@ impl TreeState {
 
     /// Merges `other` into `self` by (path, name): equal-named children of
     /// equal parents are folded together.
-    fn merge(&mut self, other: &TreeState) {
+    pub(crate) fn merge(&mut self, other: &TreeState) {
         fn merge_level(
             dst: &mut TreeState,
             dst_parent: Option<usize>,
@@ -171,8 +171,14 @@ impl Drop for SpanGuard {
         if root_closed {
             LOCAL.with(|s| {
                 let mut local = s.borrow_mut();
-                let mut global = GLOBAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-                global.get_or_insert_with(TreeState::default).merge(&local);
+                {
+                    let mut global =
+                        GLOBAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    global.get_or_insert_with(TreeState::default).merge(&local);
+                }
+                // An active request capture on this thread gets its own copy
+                // of the completed tree (see `crate::trace`).
+                crate::trace::on_root_tree(&local);
                 *local = TreeState::default();
             });
         }
@@ -191,6 +197,22 @@ pub(crate) fn reset() {
 pub(crate) fn collect() -> Vec<crate::report::SpanStats> {
     let global = GLOBAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let Some(tree) = global.as_ref() else { return Vec::new() };
+    stats_of(tree)
+}
+
+/// Like [`collect`], but *takes* the aggregate: the tree is removed inside
+/// a single lock acquisition, so a root-span merge racing the drain lands
+/// entirely in this window or entirely in the next — never split, lost, or
+/// double-counted.
+pub(crate) fn drain_collect() -> Vec<crate::report::SpanStats> {
+    let tree = GLOBAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+    tree.as_ref().map(stats_of).unwrap_or_default()
+}
+
+/// Flattens any span tree into per-path stats, parents before children
+/// (preorder), children in first-seen order. Shared by the global aggregate
+/// snapshot and per-request [`crate::TraceContext`] captures.
+pub(crate) fn stats_of(tree: &TreeState) -> Vec<crate::report::SpanStats> {
     let mut out = Vec::new();
     fn walk(
         tree: &TreeState,

@@ -1,0 +1,226 @@
+//! Request-scoped trace capture.
+//!
+//! The global span aggregate answers "where does this *process* spend
+//! time"; a server also needs "what did *this request* do" — the solver
+//! span tree and kernel-counter increments attributable to one queued job,
+//! which runs on a worker thread far from the connection that accepted it.
+//!
+//! A [`TraceContext`] is a small shared handle created at request ingress
+//! and handed (via its `Clone`) to whichever thread executes the work. The
+//! worker wraps the work in [`TraceContext::observe`]; while the closure
+//! runs, a thread-local capture slot points at the context, and:
+//!
+//! * when a **root span** closes on that thread, the completed thread tree
+//!   is merged into the context *in addition to* the global aggregate;
+//! * every enabled [`crate::Counter`] increment on that thread is also
+//!   accumulated into the context, keyed by counter name — these are the
+//!   per-request deltas (`expm.calls` etc.) for access logging.
+//!
+//! Captures nest: `observe` saves and restores any previously installed
+//! slot, so an observed region inside an observed region attributes to the
+//! inner context only. The capture is **thread-local by design** — work a
+//! solver fans out to its own scoped threads merges into the global
+//! aggregate but not into the context (those threads have no capture
+//! slot); the root `*.solve` span always runs on the observed thread, so
+//! request attribution keeps the full call-path skeleton.
+//!
+//! While the recorder is disabled, [`TraceContext::observe`] runs the
+//! closure directly — no thread-local writes, no locks — and snapshots are
+//! empty.
+
+use crate::report::SpanStats;
+use crate::span::TreeState;
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// State accumulated for one request: its span trees and counter deltas.
+#[derive(Default)]
+struct TraceInner {
+    tree: TreeState,
+    /// Counter increments observed in the capture, in first-seen order.
+    counters: Vec<(&'static str, u64)>,
+}
+
+thread_local! {
+    /// The capture slot: set while a thread is inside `observe`.
+    static CAPTURE: RefCell<Option<Arc<Mutex<TraceInner>>>> = const { RefCell::new(None) };
+}
+
+/// A shareable handle that collects the span trees and counter increments
+/// produced inside [`TraceContext::observe`] calls, across threads.
+#[derive(Clone, Default)]
+pub struct TraceContext {
+    inner: Arc<Mutex<TraceInner>>,
+}
+
+impl std::fmt::Debug for TraceContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceContext").finish_non_exhaustive()
+    }
+}
+
+impl TraceContext {
+    /// An empty context, ready to observe work.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` with this context installed as the thread's capture target:
+    /// root span trees completing during `f` and counter increments made by
+    /// `f`'s thread accumulate into the context. Restores any previously
+    /// installed capture on exit (captures nest); panics in `f` unwind past
+    /// the restore safely. When the recorder is disabled this is exactly
+    /// `f()` — no state is touched.
+    pub fn observe<R>(&self, f: impl FnOnce() -> R) -> R {
+        if !crate::enabled() {
+            return f();
+        }
+        let prev = CAPTURE.with(|slot| slot.borrow_mut().replace(Arc::clone(&self.inner)));
+        let _restore = RestoreOnDrop(prev);
+        f()
+    }
+
+    /// Freezes what the context has captured so far.
+    #[must_use]
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        TraceSnapshot {
+            spans: crate::span::stats_of(&inner.tree),
+            counters: inner.counters.iter().map(|&(n, v)| (n.to_string(), v)).collect(),
+        }
+    }
+
+    /// A captured counter's accumulated delta, 0 when never seen.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.counters.iter().find(|(n, _)| *n == name).map_or(0, |&(_, v)| v)
+    }
+}
+
+/// Restores the previous capture slot even if the observed closure panics.
+struct RestoreOnDrop(Option<Arc<Mutex<TraceInner>>>);
+
+impl Drop for RestoreOnDrop {
+    fn drop(&mut self) {
+        let _ = CAPTURE.try_with(|slot| *slot.borrow_mut() = self.0.take());
+    }
+}
+
+/// Plain data captured by a [`TraceContext`].
+#[derive(Debug, Clone)]
+pub struct TraceSnapshot {
+    /// Captured span stats, preorder (same shape as [`crate::Telemetry::spans`]).
+    pub spans: Vec<SpanStats>,
+    /// Captured counter deltas in first-seen order.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl TraceSnapshot {
+    /// `true` when nothing was captured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty()
+    }
+}
+
+/// Span-module hook: a root span tree just completed on this thread; fold
+/// it into the active capture, if any. (`try_with`: a span closing during
+/// thread teardown must not panic on destroyed TLS.)
+pub(crate) fn on_root_tree(tree: &TreeState) {
+    let _ = CAPTURE.try_with(|slot| {
+        if let Some(inner) = slot.borrow().as_ref() {
+            inner.lock().unwrap_or_else(PoisonError::into_inner).tree.merge(tree);
+        }
+    });
+}
+
+/// Metric-module hook: an enabled counter just added `n` on this thread.
+pub(crate) fn on_counter(name: &'static str, n: u64) {
+    let _ = CAPTURE.try_with(|slot| {
+        if let Some(inner) = slot.borrow().as_ref() {
+            let mut inner = inner.lock().unwrap_or_else(PoisonError::into_inner);
+            match inner.counters.iter_mut().find(|(k, _)| *k == name) {
+                Some(entry) => entry.1 += n,
+                None => inner.counters.push((name, n)),
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn observe_captures_spans_and_counters_per_context() {
+        let _guard = test_lock::hold();
+        crate::enable();
+        crate::reset();
+        static TICKS: crate::Counter = crate::Counter::new("trace.ticks");
+        let ctx = TraceContext::new();
+        ctx.observe(|| {
+            let _root = crate::span("trace.root");
+            let _leaf = crate::span("trace.leaf");
+            TICKS.add(3);
+        });
+        // Outside the capture: neither tree nor counter lands in `ctx`.
+        {
+            let _root = crate::span("trace.outside");
+            TICKS.add(10);
+        }
+        let snap = ctx.snapshot();
+        assert_eq!(snap.counters, vec![("trace.ticks".to_string(), 3)]);
+        assert_eq!(ctx.counter("trace.ticks"), 3);
+        let paths: Vec<&str> = snap.spans.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(paths, ["trace.root", "trace.root/trace.leaf"]);
+        // The global aggregate still sees everything.
+        let t = crate::snapshot();
+        assert!(t.span_path("trace.outside").is_some());
+        assert_eq!(t.counter("trace.ticks"), Some(13));
+        crate::disable();
+        crate::reset();
+    }
+
+    #[test]
+    fn observe_hands_across_threads_and_nests() {
+        let _guard = test_lock::hold();
+        crate::enable();
+        crate::reset();
+        let outer = TraceContext::new();
+        let inner_ctx = TraceContext::new();
+        outer.observe(|| {
+            let _root = crate::span("nest.outer");
+            drop(crate::span("nest.outer_leaf"));
+            // The worker thread gets its own clone of a different context.
+            let worker_ctx = inner_ctx.clone();
+            std::thread::scope(|scope| {
+                scope.spawn(move || {
+                    worker_ctx.observe(|| {
+                        let _r = crate::span("nest.worker");
+                    });
+                });
+            });
+        });
+        assert!(outer.snapshot().spans.iter().any(|s| s.path == "nest.outer"));
+        assert!(!outer.snapshot().spans.iter().any(|s| s.path.contains("worker")));
+        assert!(inner_ctx.snapshot().spans.iter().any(|s| s.path == "nest.worker"));
+        crate::disable();
+        crate::reset();
+    }
+
+    #[test]
+    fn disabled_observe_is_transparent() {
+        let _guard = test_lock::hold();
+        crate::disable();
+        let ctx = TraceContext::new();
+        let out = ctx.observe(|| {
+            let _root = crate::span("trace.disabled");
+            41 + 1
+        });
+        assert_eq!(out, 42);
+        assert!(ctx.snapshot().is_empty());
+    }
+}

@@ -1,0 +1,77 @@
+//! Stress test pinning the `snapshot()` + `reset()` race fix.
+//!
+//! A long-lived server carves telemetry into windows. Doing that with
+//! `snapshot()` followed by `reset()` loses whatever merges between the two
+//! calls; `drain()` removes each store inside one critical section, so
+//! concurrent recording lands entirely in one window. This test hammers the
+//! recorder from many threads while the main thread drains in a loop, then
+//! checks global conservation: every counter increment and every completed
+//! root span is seen exactly once across all windows.
+//!
+//! This file is its own test binary and holds exactly one `#[test]`, so the
+//! process-global recorder is not shared with any concurrent test.
+
+use mosc_obs::Counter;
+
+const THREADS: usize = 8;
+const SPANS_PER_THREAD: u64 = 400;
+const ADDS_PER_SPAN: u64 = 16;
+
+#[test]
+fn concurrent_drains_neither_lose_nor_double_count() {
+    static HITS: Counter = Counter::new("stress.hits");
+    mosc_obs::enable();
+
+    let mut windows = Vec::new();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..SPANS_PER_THREAD {
+                    // Each iteration completes one root span (merging the
+                    // thread tree into the global aggregate) and adds to a
+                    // counter — both racing the main thread's drains.
+                    let _root = mosc_obs::span("stress.root");
+                    let _leaf = mosc_obs::span("stress.leaf");
+                    HITS.add(ADDS_PER_SPAN);
+                }
+            });
+        }
+        // Drain continuously while the writers run.
+        loop {
+            windows.push(mosc_obs::drain());
+            let done = windows
+                .iter()
+                .filter_map(|t| t.span_path("stress.root").map(|s| s.calls))
+                .sum::<u64>()
+                >= THREADS as u64 * SPANS_PER_THREAD;
+            if done {
+                break;
+            }
+            std::thread::yield_now();
+        }
+    });
+    // One final drain for anything recorded after the loop exited.
+    windows.push(mosc_obs::drain());
+
+    let total_adds: u64 = windows.iter().filter_map(|t| t.counter("stress.hits")).sum();
+    let total_roots: u64 =
+        windows.iter().filter_map(|t| t.span_path("stress.root").map(|s| s.calls)).sum();
+    let total_leaves: u64 = windows
+        .iter()
+        .filter_map(|t| t.span_path("stress.root/stress.leaf").map(|s| s.calls))
+        .sum();
+
+    let expected_spans = THREADS as u64 * SPANS_PER_THREAD;
+    assert_eq!(
+        total_adds,
+        expected_spans * ADDS_PER_SPAN,
+        "counter increments lost or double-counted across {} windows",
+        windows.len()
+    );
+    assert_eq!(total_roots, expected_spans, "root-span merges split across drains");
+    assert_eq!(total_leaves, expected_spans, "child spans must travel with their root");
+
+    mosc_obs::disable();
+    let leftover = mosc_obs::drain();
+    assert_eq!(leftover.counter("stress.hits").unwrap_or(0), 0, "everything was drained");
+}

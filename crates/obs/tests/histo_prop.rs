@@ -1,0 +1,75 @@
+//! Property test: [`mosc_obs::LogHistogram`] quantile estimates against an
+//! exact sorted-sample oracle. The log layout guarantees the estimate never
+//! under-reports and overshoots by at most one bucket ratio (10^(1/8)), so
+//! the property pins `exact <= estimate <= exact * ratio` for every sample
+//! set and quantile inside the bucketed range.
+//!
+//! This file is its own test binary and holds exactly one `#[test]`, so the
+//! process-global recorder is not shared with any concurrent test.
+
+use mosc_obs::{HistoSnapshot, LogHistogram};
+use mosc_testutil::propcheck;
+
+/// One bucket's relative width: 8 buckets per decade.
+const BUCKET_RATIO: f64 = 1.333_521_432_163_324_1; // 10^(1/8)
+
+/// Exact `q`-quantile of a sorted sample set, rank `ceil(q * n)` (the same
+/// rank definition the histogram uses).
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[test]
+fn quantile_estimate_is_bounded_by_bucket_width() {
+    mosc_obs::enable();
+    propcheck("histogram quantiles vs sorted oracle", |rng| {
+        let n = rng.gen_range(1..400usize);
+        let hist = LogHistogram::new("prop.latency");
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Log-uniform over the bucketed range [1e-6, 1e3): exercises
+            // every decade instead of piling into the top one.
+            let exponent = rng.gen_range(-6.0..3.0);
+            let v = 10f64.powf(exponent);
+            samples.push(v);
+            hist.record(v);
+        }
+        samples.sort_by(f64::total_cmp);
+
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, n as u64);
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let exact = exact_quantile(&samples, q);
+            let est = snap.quantile(q).expect("non-empty histogram");
+            assert!(
+                est >= exact * (1.0 - 1e-12),
+                "q{q}: estimate {est} under-reports exact {exact} (n={n})"
+            );
+            assert!(
+                est <= exact * BUCKET_RATIO * (1.0 + 1e-12),
+                "q{q}: estimate {est} beyond one bucket above exact {exact} (n={n})"
+            );
+        }
+
+        // Merging a random split of the same samples gives the identical
+        // snapshot (mergeability is what lets per-op histograms fold into
+        // one service-wide quantile).
+        let left = LogHistogram::new("prop.left");
+        let right = LogHistogram::new("prop.right");
+        for &v in &samples {
+            if rng.gen_range(0..2usize) == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        let mut merged = HistoSnapshot::empty();
+        merged.merge(&left.snapshot());
+        merged.merge(&right.snapshot());
+        assert_eq!(merged.counts, snap.counts, "merge must equal concatenation (n={n})");
+        assert_eq!(merged.quantile(0.5), snap.quantile(0.5));
+    });
+    mosc_obs::disable();
+}

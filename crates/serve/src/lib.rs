@@ -17,11 +17,20 @@
 //!   `unsafe`, so a wire op stands in for a signal handler).
 //!
 //! Run it as `mosc-cli serve --addr 127.0.0.1:7070`, or embed it via
-//! [`Server`] as the loopback tests do. Telemetry flows through `mosc-obs`
+//! [`Server`] as the loopback tests do.
+//!
+//! Observability (DESIGN.md §12): every request is stamped through its
+//! lifecycle (receive → enqueue → dequeue → respond) and the phase
+//! latencies land in per-op `mosc-obs` log-bucketed histograms; the
+//! `metrics` wire op exposes them (plus the service counters and rate
+//! gauges) as Prometheus text exposition; `--access-log` appends one JSONL
+//! line per request, with the solver's span tree and kernel-counter deltas
+//! attached to slow requests. Telemetry also flows through `mosc-obs`
 //! (`serve.*` counters/gauges/events) and is linted by `mosc-analyze`'s
-//! M060–M062 checks.
+//! M060–M062 (telemetry) and M070–M073 (access log) checks.
 
 pub mod cache;
+mod metrics;
 pub mod proto;
 pub mod queue;
 pub mod server;

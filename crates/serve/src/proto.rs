@@ -13,6 +13,7 @@
 //! {"id":"r1","op":"solve","solver":"ao","platform":{"rows":1,"cols":2,"levels":[0.6,1.3],"t_max_c":55.0},"options":{"threads":2,"deadline_ms":5000},"want_schedule":false}
 //! {"id":"p1","op":"ping"}
 //! {"id":"s1","op":"stats"}
+//! {"id":"m1","op":"metrics"}
 //! {"id":"q1","op":"shutdown"}
 //! ```
 //!
@@ -66,8 +67,15 @@ pub enum Request {
         /// Request id to echo.
         id: String,
     },
-    /// Service metrics snapshot.
+    /// Service counter snapshot (JSON `stats` payload).
     Stats {
+        /// Request id to echo.
+        id: String,
+    },
+    /// Prometheus text exposition: the response's `metrics` member is the
+    /// full scrape body (counters, gauges, per-op latency histograms) as
+    /// one JSON-escaped string.
+    Metrics {
         /// Request id to echo.
         id: String,
     },
@@ -124,6 +132,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
     match op {
         "ping" => Ok(Request::Ping { id }),
         "stats" => Ok(Request::Stats { id }),
+        "metrics" => Ok(Request::Metrics { id }),
         "shutdown" => Ok(Request::Shutdown { id }),
         "solve" => parse_solve(&doc, id).map(Request::Solve),
         other => Err(proto_err(&id, format!("unknown op '{other}'"))),
@@ -390,6 +399,39 @@ pub fn overloaded_to_json(id: &str) -> String {
     format!("{{\"id\":{},\"status\":\"overloaded\",\"message\":\"queue full\"}}", json_string(id))
 }
 
+/// Serializes `v` preserving object member order — the writer for response
+/// payloads and access-log lines that are *built* as [`Value`] trees, where
+/// the construction order is the intended wire order. Numbers and strings
+/// format exactly as in [`canonical_json`]; only the member ordering
+/// differs (canonicalization would scramble e.g. `id` away from the front
+/// of a response line).
+#[must_use]
+pub fn value_to_json(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_owned(),
+        Value::Bool(b) => b.to_string(),
+        Value::Number(n) => {
+            if n.is_finite() {
+                format!("{n:?}")
+            } else {
+                "null".to_owned()
+            }
+        }
+        Value::String(s) => json_string(s),
+        Value::Array(items) => {
+            let inner: Vec<String> = items.iter().map(value_to_json).collect();
+            format!("[{}]", inner.join(","))
+        }
+        Value::Object(members) => {
+            let inner: Vec<String> = members
+                .iter()
+                .map(|(k, v)| format!("{}:{}", json_string(k), value_to_json(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
 /// Serializes `v` canonically: object members sorted by key at every level,
 /// numbers via shortest-round-trip formatting, no whitespace. Two
 /// structurally equal documents always serialize identically, which is what
@@ -489,6 +531,10 @@ mod tests {
             Request::Stats { id: String::new() }
         );
         assert_eq!(
+            parse_request(r#"{"id":"m","op":"metrics"}"#).unwrap(),
+            Request::Metrics { id: "m".into() }
+        );
+        assert_eq!(
             parse_request(r#"{"id":"z","op":"shutdown"}"#).unwrap(),
             Request::Shutdown { id: "z".into() }
         );
@@ -507,6 +553,19 @@ mod tests {
         let b = Value::parse(r#"{"a":[1,2],"b":{"x":2,"y":1}}"#).unwrap();
         assert_eq!(canonical_json(&a), canonical_json(&b));
         assert_eq!(canonical_json(&a), r#"{"a":[1.0,2.0],"b":{"x":2.0,"y":1.0}}"#);
+    }
+
+    #[test]
+    fn value_to_json_preserves_member_order() {
+        let doc = Value::Object(vec![
+            ("z".to_owned(), Value::Number(1.0)),
+            ("a".to_owned(), Value::String("x\"y".to_owned())),
+            ("nested".to_owned(), Value::Object(vec![("b".to_owned(), Value::Bool(true))])),
+        ]);
+        assert_eq!(value_to_json(&doc), r#"{"z":1.0,"a":"x\"y","nested":{"b":true}}"#);
+        // Round-trips through the parser with values intact.
+        let back = Value::parse(&value_to_json(&doc)).unwrap();
+        assert_eq!(canonical_json(&back), canonical_json(&doc));
     }
 
     #[test]

@@ -15,6 +15,24 @@
 //! so readers (cache hits, rejections) and workers (solve results) can both
 //! answer on the same socket without interleaving bytes.
 //!
+//! ## Request lifecycle timestamps
+//!
+//! Every request is stamped at the points DESIGN.md §12 names: `t_recv`
+//! (full line read), `t_enqueue` (queue push), `t_dequeue` (worker pop) and
+//! completion (response written). The derived phases feed the per-op
+//! latency histograms and the access log:
+//!
+//! * `queue_wait = t_dequeue − t_enqueue` (0 for reader-thread answers),
+//! * `service   = done − t_dequeue` (platform build + solve + write),
+//! * `total     = done − t_recv`.
+//!
+//! All three come from one monotone clock, so
+//! `queue_wait + service ≤ total` always holds (the M070 lint checks it on
+//! the access log). When [`ServeOptions::access_log`] is set, every
+//! completed request appends one JSONL line; requests whose `total` is at
+//! least [`ServeOptions::slow_threshold`] additionally carry the solver's
+//! span tree captured via [`mosc_obs::TraceContext`].
+//!
 //! Shutdown is a protocol op, not a signal: the workspace forbids `unsafe`,
 //! so no signal handler can be installed, and `{"op":"shutdown"}` plays the
 //! role SIGTERM would. On shutdown the daemon stops accepting connections
@@ -23,37 +41,21 @@
 //! returning from [`Server::run`].
 
 use crate::cache::{cache_key, fnv1a, CachedSolve, LruCache};
+use crate::metrics::ServeMetrics;
 use crate::proto::{
-    error_to_json, json_string, overloaded_to_json, parse_request, ProtoError, Request,
-    SolveRequest, SolveResponse,
+    error_to_json, json_string, overloaded_to_json, parse_request, value_to_json, ProtoError,
+    Request, SolveRequest, SolveResponse,
 };
 use crate::queue::{BoundedQueue, QueueFull};
 use mosc_analyze::json::Value;
-use mosc_core::{AlgoError, SolveOptions};
+use mosc_core::{AlgoError, KernelDelta, SolveOptions, SolverKind};
+use mosc_obs::{TraceContext, TraceSnapshot};
+use std::fs::File;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
-
-/// Solve requests received (all ops except ping/stats/shutdown).
-static REQUESTS: mosc_obs::Counter = mosc_obs::Counter::new("serve.requests");
-/// Response lines written (ok, error and overloaded alike).
-static RESPONSES: mosc_obs::Counter = mosc_obs::Counter::new("serve.responses");
-/// Solve responses served from the LRU cache.
-static CACHE_HITS: mosc_obs::Counter = mosc_obs::Counter::new("serve.cache_hits");
-/// Solve requests that missed the cache and went to a worker.
-static CACHE_MISSES: mosc_obs::Counter = mosc_obs::Counter::new("serve.cache_misses");
-/// Entries displaced by LRU eviction.
-static CACHE_EVICTIONS: mosc_obs::Counter = mosc_obs::Counter::new("serve.cache_evictions");
-/// Requests shed with an `overloaded` response (queue full or draining).
-static REJECTED: mosc_obs::Counter = mosc_obs::Counter::new("serve.rejected");
-/// Requests whose deadline expired (in queue or mid-solve).
-static DEADLINE_EXCEEDED: mosc_obs::Counter = mosc_obs::Counter::new("serve.deadline_exceeded");
-/// Queue depth after the most recent push/pop.
-static QUEUE_DEPTH: mosc_obs::Gauge = mosc_obs::Gauge::new("serve.queue_depth");
-/// Highest queue depth observed since start.
-static QUEUE_PEAK: mosc_obs::Gauge = mosc_obs::Gauge::new("serve.queue_peak");
 
 /// How long a blocked reader waits before re-checking the shutdown flag.
 /// This bounds the drain latency contributed by idle connections.
@@ -72,6 +74,13 @@ pub struct ServeOptions {
     pub cache_capacity: usize,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline: Option<Duration>,
+    /// Structured JSONL access log path (`None` disables it). The file is
+    /// truncated at bind time: one run, one log.
+    pub access_log: Option<String>,
+    /// Requests whose total latency reaches this threshold get their solver
+    /// span tree attached to the access-log line (needs the `mosc-obs`
+    /// recorder enabled for the spans to exist).
+    pub slow_threshold: Duration,
 }
 
 impl Default for ServeOptions {
@@ -82,28 +91,19 @@ impl Default for ServeOptions {
             queue_capacity: 64,
             cache_capacity: 128,
             default_deadline: None,
+            access_log: None,
+            slow_threshold: Duration::from_millis(100),
         }
     }
 }
 
-/// Monotone service counters, mirrored into the `serve.*` `mosc-obs`
-/// metrics. Kept separately as plain atomics so the `stats` op and the
-/// loopback tests can read them even when the global recorder is disabled.
-#[derive(Debug, Default)]
-struct Metrics {
-    requests: AtomicU64,
-    responses: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    cache_evictions: AtomicU64,
-    rejected: AtomicU64,
-    deadline_exceeded: AtomicU64,
-    malformed: AtomicU64,
-    queue_peak: AtomicU64,
-}
-
-/// A point-in-time snapshot of the service counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A point-in-time snapshot of the service counters plus the latency
+/// summary (milliseconds) of the merged per-op solve histograms.
+///
+/// The latency quantiles come from the `mosc-obs` latency histograms,
+/// which record only while the global recorder is enabled; a server run
+/// without `--obs` reports them as `0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[allow(missing_docs)] // field names mirror the serve.* metrics one-to-one
 pub struct ServeStats {
     pub requests: u64,
@@ -117,39 +117,56 @@ pub struct ServeStats {
     pub queue_depth: u64,
     pub queue_peak: u64,
     pub cache_len: u64,
+    pub uptime_s: f64,
+    pub req_per_s: f64,
+    pub p50_ms: f64,
+    pub p90_ms: f64,
+    pub p99_ms: f64,
+    pub max_ms: f64,
 }
 
 impl ServeStats {
-    /// Renders the `stats` response payload (one line, no newline).
+    /// Renders the `stats` response payload (one line, no newline) through
+    /// the shared protocol serializer.
     #[must_use]
     pub fn to_json(&self, id: &str) -> String {
-        format!(
-            "{{\"id\":{},\"status\":\"ok\",\"stats\":{{\"requests\":{},\"responses\":{},\
-             \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\"rejected\":{},\
-             \"deadline_exceeded\":{},\"malformed\":{},\"queue_depth\":{},\"queue_peak\":{},\
-             \"cache_len\":{}}}}}",
-            json_string(id),
-            self.requests,
-            self.responses,
-            self.cache_hits,
-            self.cache_misses,
-            self.cache_evictions,
-            self.rejected,
-            self.deadline_exceeded,
-            self.malformed,
-            self.queue_depth,
-            self.queue_peak,
-            self.cache_len
-        )
+        let n = |v: u64| Value::Number(v as f64);
+        let stats = Value::Object(vec![
+            ("requests".to_owned(), n(self.requests)),
+            ("responses".to_owned(), n(self.responses)),
+            ("cache_hits".to_owned(), n(self.cache_hits)),
+            ("cache_misses".to_owned(), n(self.cache_misses)),
+            ("cache_evictions".to_owned(), n(self.cache_evictions)),
+            ("rejected".to_owned(), n(self.rejected)),
+            ("deadline_exceeded".to_owned(), n(self.deadline_exceeded)),
+            ("malformed".to_owned(), n(self.malformed)),
+            ("queue_depth".to_owned(), n(self.queue_depth)),
+            ("queue_peak".to_owned(), n(self.queue_peak)),
+            ("cache_len".to_owned(), n(self.cache_len)),
+            ("uptime_s".to_owned(), Value::Number(self.uptime_s)),
+            ("req_per_s".to_owned(), Value::Number(self.req_per_s)),
+            ("p50_ms".to_owned(), Value::Number(self.p50_ms)),
+            ("p90_ms".to_owned(), Value::Number(self.p90_ms)),
+            ("p99_ms".to_owned(), Value::Number(self.p99_ms)),
+            ("max_ms".to_owned(), Value::Number(self.max_ms)),
+        ]);
+        let doc = Value::Object(vec![
+            ("id".to_owned(), Value::String(id.to_owned())),
+            ("status".to_owned(), Value::String("ok".to_owned())),
+            ("stats".to_owned(), stats),
+        ]);
+        value_to_json(&doc)
     }
 }
 
-/// One queued unit of work.
+/// One queued unit of work, stamped at receipt and at enqueue.
 struct Job {
     req: SolveRequest,
     key: u64,
     writer: SharedWriter,
     deadline_at: Option<Instant>,
+    t_recv: Instant,
+    t_enqueue: Instant,
 }
 
 type SharedWriter = Arc<Mutex<TcpStream>>;
@@ -160,29 +177,39 @@ struct Shared {
     addr: SocketAddr,
     queue: BoundedQueue<Job>,
     cache: Mutex<LruCache>,
-    metrics: Metrics,
+    metrics: ServeMetrics,
+    access: Option<Mutex<File>>,
+    start: Instant,
     shutdown: AtomicBool,
 }
 
 impl Shared {
     fn stats(&self) -> ServeStats {
+        let merged = self.metrics.solve_total();
+        let q = |p: f64| merged.quantile(p).map_or(0.0, |s| s * 1e3);
         ServeStats {
-            requests: self.metrics.requests.load(Ordering::Relaxed),
-            responses: self.metrics.responses.load(Ordering::Relaxed),
-            cache_hits: self.metrics.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.metrics.cache_misses.load(Ordering::Relaxed),
-            cache_evictions: self.metrics.cache_evictions.load(Ordering::Relaxed),
-            rejected: self.metrics.rejected.load(Ordering::Relaxed),
-            deadline_exceeded: self.metrics.deadline_exceeded.load(Ordering::Relaxed),
-            malformed: self.metrics.malformed.load(Ordering::Relaxed),
+            requests: self.metrics.requests.get(),
+            responses: self.metrics.responses.get(),
+            cache_hits: self.metrics.cache_hits.get(),
+            cache_misses: self.metrics.cache_misses.get(),
+            cache_evictions: self.metrics.cache_evictions.get(),
+            rejected: self.metrics.rejected.get(),
+            deadline_exceeded: self.metrics.deadline_exceeded.get(),
+            malformed: self.metrics.malformed.get(),
             queue_depth: self.queue.len() as u64,
-            queue_peak: self.metrics.queue_peak.load(Ordering::Relaxed),
+            queue_peak: self.metrics.queue_peak.get(),
             cache_len: self.lock_cache().len() as u64,
+            uptime_s: self.start.elapsed().as_secs_f64(),
+            req_per_s: self.metrics.rate.per_sec(),
+            p50_ms: q(0.5),
+            p90_ms: q(0.9),
+            p99_ms: q(0.99),
+            max_ms: if merged.count > 0 { merged.max * 1e3 } else { 0.0 },
         }
     }
 
     fn lock_cache(&self) -> std::sync::MutexGuard<'_, LruCache> {
-        self.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Flags shutdown and wakes the accept loop with a throwaway
@@ -207,7 +234,7 @@ impl ServeHandle {
         self.shared.initiate_shutdown();
     }
 
-    /// Current service counters.
+    /// Current service counters and latency summary.
     #[must_use]
     pub fn stats(&self) -> ServeStats {
         self.shared.stats()
@@ -221,18 +248,25 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listen socket. The server only starts serving on
-    /// [`run`](Self::run).
+    /// Binds the listen socket and (when configured) creates the access
+    /// log. The server only starts serving on [`run`](Self::run).
     ///
     /// # Errors
-    /// I/O errors from binding or inspecting the socket.
+    /// I/O errors from binding, inspecting the socket, or creating the
+    /// access-log file.
     pub fn bind(opts: ServeOptions) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&opts.addr)?;
         let addr = listener.local_addr()?;
+        let access = match &opts.access_log {
+            None => None,
+            Some(path) => Some(Mutex::new(File::create(path)?)),
+        };
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(opts.queue_capacity),
             cache: Mutex::new(LruCache::new(opts.cache_capacity)),
-            metrics: Metrics::default(),
+            metrics: ServeMetrics::new(),
+            access,
+            start: Instant::now(),
             shutdown: AtomicBool::new(false),
             addr,
             opts,
@@ -253,7 +287,9 @@ impl Server {
     }
 
     /// Serves until a shutdown is requested (wire op or [`ServeHandle`]),
-    /// then drains: queued jobs all get responses, every thread is joined.
+    /// then drains: queued jobs all get responses, every thread is joined,
+    /// and the access log (if any) gets its `hist_snapshot` and
+    /// `serve_summary` trailer lines.
     ///
     /// # Errors
     /// Fatal accept-loop I/O errors only; per-connection errors are
@@ -280,6 +316,7 @@ impl Server {
             // notice the flag within READ_POLL and exit.
             shared.queue.close();
         });
+        write_access_trailer(shared);
         Ok(())
     }
 }
@@ -288,26 +325,212 @@ impl Server {
 /// respond.
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
-        QUEUE_DEPTH.set(shared.queue.len() as f64);
-        process_job(shared, &job);
+        let t_dequeue = Instant::now();
+        shared.metrics.on_queue_depth(shared.queue.len() as u64);
+        process_job(shared, &job, t_dequeue);
     }
 }
 
-fn process_job(shared: &Shared, job: &Job) {
+/// Everything [`finish`] needs to close out one request: identity, timing
+/// anchors, and (for solved requests) the kernel-counter deltas and the
+/// captured span tree.
+struct Completion<'a> {
+    id: &'a str,
+    /// `"solve"` for solver requests, else the protocol op (or `"parse"`).
+    op: &'a str,
+    solver: Option<SolverKind>,
+    /// `"ok"`, `"error"` or `"overloaded"`.
+    status: &'a str,
+    cached: bool,
+    t_recv: Instant,
+    queue_wait: f64,
+    service_start: Instant,
+    deadline_at: Option<Instant>,
+    kernel: KernelDelta,
+    trace: Option<TraceSnapshot>,
+}
+
+impl<'a> Completion<'a> {
+    /// A protocol op or parse error: never queued, no solver attached.
+    fn proto(id: &'a str, op: &'a str, status: &'a str, t_recv: Instant) -> Self {
+        Self {
+            id,
+            op,
+            solver: None,
+            status,
+            cached: false,
+            t_recv,
+            queue_wait: 0.0,
+            service_start: t_recv,
+            deadline_at: None,
+            kernel: KernelDelta::default(),
+            trace: None,
+        }
+    }
+}
+
+/// Records the request's phase latencies into the per-op histograms,
+/// appends the access-log line, then writes the response. The single exit
+/// path for every request, so no completion can miss a histogram or log
+/// entry — and because recording happens *before* the bytes land, a client
+/// that reads its response and immediately scrapes `metrics` (or `stats`)
+/// is guaranteed to see its own request counted. The phases therefore
+/// exclude the socket write itself, which is microseconds against
+/// millisecond solves.
+fn finish(shared: &Shared, writer: &SharedWriter, line: &str, c: &Completion<'_>) {
+    let done = Instant::now();
+    let service = done.saturating_duration_since(c.service_start).as_secs_f64();
+    let total = done.saturating_duration_since(c.t_recv).as_secs_f64();
+    match c.solver {
+        Some(kind) => shared.metrics.record_solve(kind, c.queue_wait, service, total),
+        None => shared.metrics.record_proto(total),
+    }
+    log_access(shared, c, done, service, total);
+    if c.solver.is_some() {
+        respond(shared, writer, c.id, line);
+    } else {
+        respond_proto(shared, writer, line);
+    }
+}
+
+/// Appends one `{"type":"access",...}` JSONL line for a completed request.
+fn log_access(shared: &Shared, c: &Completion<'_>, done: Instant, service: f64, total: f64) {
+    let Some(access) = &shared.access else { return };
+    let num = Value::Number;
+    let mut members: Vec<(String, Value)> = vec![
+        ("type".to_owned(), Value::String("access".to_owned())),
+        ("t_s".to_owned(), num(shared.start.elapsed().as_secs_f64())),
+        ("id".to_owned(), Value::String(c.id.to_owned())),
+        ("op".to_owned(), Value::String(c.op.to_owned())),
+        ("solver".to_owned(), c.solver.map_or(Value::Null, |k| Value::String(k.id().to_owned()))),
+        ("status".to_owned(), Value::String(c.status.to_owned())),
+        ("cached".to_owned(), Value::Bool(c.cached)),
+        ("queue_wait_s".to_owned(), num(c.queue_wait)),
+        ("service_s".to_owned(), num(service)),
+        ("total_s".to_owned(), num(total)),
+        (
+            "deadline_slack_s".to_owned(),
+            c.deadline_at.map_or(Value::Null, |at| num(signed_slack(at, done))),
+        ),
+        ("expm_calls".to_owned(), num(c.kernel.expm_calls as f64)),
+        ("period_map_matmuls".to_owned(), num(c.kernel.period_map_matmuls as f64)),
+        ("steady_state_calls".to_owned(), num(c.kernel.steady_state_calls as f64)),
+        ("linalg_matmuls".to_owned(), num(c.kernel.linalg_matmuls as f64)),
+    ];
+    if total >= shared.opts.slow_threshold.as_secs_f64() {
+        if let Some(trace) = c.trace.as_ref().filter(|t| !t.is_empty()) {
+            let spans: Vec<Value> = trace
+                .spans
+                .iter()
+                .map(|s| {
+                    Value::Object(vec![
+                        ("path".to_owned(), Value::String(s.path.clone())),
+                        ("calls".to_owned(), num(s.calls as f64)),
+                        ("total_s".to_owned(), num(s.total.as_secs_f64())),
+                        ("self_s".to_owned(), num(s.self_time.as_secs_f64())),
+                    ])
+                })
+                .collect();
+            members.push(("spans".to_owned(), Value::Array(spans)));
+        }
+    }
+    write_access_line(access, &Value::Object(members));
+}
+
+/// Seconds from `now` until `at`: positive when the deadline is still
+/// ahead, negative when it has already passed.
+fn signed_slack(at: Instant, now: Instant) -> f64 {
+    match at.checked_duration_since(now) {
+        Some(left) => left.as_secs_f64(),
+        None => -now.saturating_duration_since(at).as_secs_f64(),
+    }
+}
+
+/// One serialized line into the access log. Write errors (disk full, log
+/// on a vanished mount) must not take the request path down with them.
+fn write_access_line(access: &Mutex<File>, doc: &Value) {
+    let line = value_to_json(doc);
+    let mut file = access.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = writeln!(file, "{line}");
+}
+
+/// Drain-time access-log trailer: one `hist_snapshot` line per non-empty
+/// latency histogram (elided empty buckets, `+Inf` last) and one
+/// `serve_summary` line with the final counters — the inputs to the M072
+/// and M073 lints.
+fn write_access_trailer(shared: &Shared) {
+    let Some(access) = &shared.access else { return };
+    let num = Value::Number;
+    for (name, snap) in shared.metrics.latency_snapshots() {
+        let cumulative = snap.cumulative();
+        let mut buckets = Vec::new();
+        let mut prev = 0u64;
+        for (i, &(le, cum)) in cumulative.iter().enumerate() {
+            let last = i == cumulative.len() - 1;
+            if cum == prev && !last {
+                continue;
+            }
+            prev = cum;
+            let le_value = if last { Value::String("+Inf".to_owned()) } else { Value::Number(le) };
+            buckets.push(Value::Object(vec![
+                ("le".to_owned(), le_value),
+                ("cum".to_owned(), num(cum as f64)),
+            ]));
+        }
+        let doc = Value::Object(vec![
+            ("type".to_owned(), Value::String("hist_snapshot".to_owned())),
+            ("name".to_owned(), Value::String(name.to_owned())),
+            ("count".to_owned(), num(snap.count as f64)),
+            ("sum".to_owned(), num(snap.sum)),
+            ("buckets".to_owned(), Value::Array(buckets)),
+        ]);
+        write_access_line(access, &doc);
+    }
+    let s = shared.stats();
+    let doc = Value::Object(vec![
+        ("type".to_owned(), Value::String("serve_summary".to_owned())),
+        ("requests".to_owned(), num(s.requests as f64)),
+        ("responses".to_owned(), num(s.responses as f64)),
+        ("cache_hits".to_owned(), num(s.cache_hits as f64)),
+        ("cache_misses".to_owned(), num(s.cache_misses as f64)),
+        ("cache_evictions".to_owned(), num(s.cache_evictions as f64)),
+        ("rejected".to_owned(), num(s.rejected as f64)),
+        ("deadline_exceeded".to_owned(), num(s.deadline_exceeded as f64)),
+        ("malformed".to_owned(), num(s.malformed as f64)),
+        ("queue_peak".to_owned(), num(s.queue_peak as f64)),
+        ("uptime_s".to_owned(), num(s.uptime_s)),
+    ]);
+    write_access_line(access, &doc);
+}
+
+fn process_job(shared: &Shared, job: &Job, t_dequeue: Instant) {
     let id = &job.req.id;
+    let queue_wait = t_dequeue.saturating_duration_since(job.t_enqueue).as_secs_f64();
+    let base = Completion {
+        id,
+        op: "solve",
+        solver: Some(job.req.kind),
+        status: "ok",
+        cached: false,
+        t_recv: job.t_recv,
+        queue_wait,
+        service_start: t_dequeue,
+        deadline_at: job.deadline_at,
+        kernel: KernelDelta::default(),
+        trace: None,
+    };
     // Deadline may already have burned off while queued.
     let remaining = match job.deadline_at {
         None => None,
         Some(at) => match at.checked_duration_since(Instant::now()) {
             Some(left) if left > Duration::ZERO => Some(left),
             _ => {
-                shared.metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
-                DEADLINE_EXCEEDED.incr();
-                respond(
+                shared.metrics.on_deadline_exceeded();
+                finish(
                     shared,
                     &job.writer,
-                    id,
                     &error_to_json(id, "deadline", "deadline expired while queued"),
+                    &Completion { status: "error", ..base },
                 );
                 return;
             }
@@ -315,24 +538,33 @@ fn process_job(shared: &Shared, job: &Job) {
     };
     // A duplicate may have filled the cache while this job waited.
     if let Some(hit) = shared.lock_cache().get(job.key) {
-        shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-        CACHE_HITS.incr();
-        respond(shared, &job.writer, id, &render_ok(&job.req, &hit, true));
+        shared.metrics.on_cache_hit();
+        let line = render_ok(&job.req, &hit, true);
+        finish(shared, &job.writer, &line, &Completion { cached: true, ..base });
         return;
     }
-    shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
-    CACHE_MISSES.incr();
+    shared.metrics.on_cache_miss();
 
     let doc = Value::Object(vec![("platform".to_owned(), job.req.platform.clone())]);
     let platform = match mosc_analyze::platform_from_doc(&doc) {
         Ok(p) => p,
         Err(e) => {
-            respond(shared, &job.writer, id, &error_to_json(id, "usage", &e.to_string()));
+            finish(
+                shared,
+                &job.writer,
+                &error_to_json(id, "usage", &e.to_string()),
+                &Completion { status: "error", ..base },
+            );
             return;
         }
     };
     let opts = SolveOptions { deadline: remaining, ..job.req.options };
-    match mosc_core::solve(job.req.kind, &platform, &opts) {
+    // The context hands this request's identity across the solve: the
+    // solver's root span tree and counter increments recorded on this
+    // thread land in the snapshot attached to the access-log line.
+    let trace = TraceContext::new();
+    let result = trace.observe(|| mosc_core::solve(job.req.kind, &platform, &opts));
+    match result {
         Ok(report) => {
             let cached = CachedSolve {
                 solver: job.req.kind,
@@ -345,23 +577,32 @@ fn process_job(shared: &Shared, job: &Job) {
                 schedule_text: mosc_sched::text::to_text(&report.solution.schedule),
             };
             if shared.lock_cache().insert(job.key, cached.clone()) {
-                shared.metrics.cache_evictions.fetch_add(1, Ordering::Relaxed);
-                CACHE_EVICTIONS.incr();
+                shared.metrics.on_cache_eviction();
             }
-            respond(shared, &job.writer, id, &render_ok(&job.req, &cached, false));
+            let line = render_ok(&job.req, &cached, false);
+            finish(
+                shared,
+                &job.writer,
+                &line,
+                &Completion { kernel: report.kernel, trace: Some(trace.snapshot()), ..base },
+            );
         }
         Err(e) => {
             let kind = match &e {
                 AlgoError::Infeasible { .. } => "infeasible",
                 AlgoError::DeadlineExceeded => {
-                    shared.metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
-                    DEADLINE_EXCEEDED.incr();
+                    shared.metrics.on_deadline_exceeded();
                     "deadline"
                 }
                 AlgoError::InvalidOptions { .. } => "usage",
                 AlgoError::Sched(_) => "internal",
             };
-            respond(shared, &job.writer, id, &error_to_json(id, kind, &e.to_string()));
+            finish(
+                shared,
+                &job.writer,
+                &error_to_json(id, kind, &e.to_string()),
+                &Completion { status: "error", trace: Some(trace.snapshot()), ..base },
+            );
         }
     }
 }
@@ -391,19 +632,20 @@ fn respond(shared: &Shared, writer: &SharedWriter, id: &str, line: &str) {
 }
 
 /// Writes one response line and records the response metrics, without the
-/// request/response event pairing — protocol ops (ping/stats/shutdown) and
-/// parse errors answer lines that no `serve.request` event announced.
-/// Write errors mean the client went away; the daemon has nothing useful
-/// to do about it.
+/// request/response event pairing — protocol ops (ping/stats/metrics/
+/// shutdown) and parse errors answer lines that no `serve.request` event
+/// announced. Write errors mean the client went away; the daemon has
+/// nothing useful to do about it.
 fn respond_proto(shared: &Shared, writer: &SharedWriter, line: &str) {
+    // Count before writing: the moment the bytes land, a client may read
+    // them and query `stats`, and the response it just received must
+    // already be in the counter.
+    shared.metrics.on_response();
     let mut framed = String::with_capacity(line.len() + 1);
     framed.push_str(line);
     framed.push('\n');
-    let mut stream = writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut stream = writer.lock().unwrap_or_else(PoisonError::into_inner);
     let _ = stream.write_all(framed.as_bytes());
-    drop(stream);
-    shared.metrics.responses.fetch_add(1, Ordering::Relaxed);
-    RESPONSES.incr();
 }
 
 /// 32-bit id hash for obs events: event fields travel through JSON numbers
@@ -430,10 +672,11 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         match reader.read_line(&mut line) {
             Ok(0) => return, // EOF: client closed its write half.
             Ok(_) => {
+                let t_recv = Instant::now();
                 let full = std::mem::take(&mut line);
                 let trimmed = full.trim();
                 if !trimmed.is_empty() {
-                    handle_line(trimmed, &writer, shared);
+                    handle_line(trimmed, &writer, shared, t_recv);
                 }
             }
             Err(e)
@@ -451,34 +694,51 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     }
 }
 
-/// Dispatches one request line.
-fn handle_line(line: &str, writer: &SharedWriter, shared: &Shared) {
+/// Dispatches one request line received at `t_recv`.
+fn handle_line(line: &str, writer: &SharedWriter, shared: &Shared, t_recv: Instant) {
     let request = match parse_request(line) {
         Ok(r) => r,
         Err(ProtoError { message, id }) => {
-            shared.metrics.malformed.fetch_add(1, Ordering::Relaxed);
-            respond_proto(shared, writer, &error_to_json(&id, "parse", &message));
+            shared.metrics.on_malformed();
+            finish(
+                shared,
+                writer,
+                &error_to_json(&id, "parse", &message),
+                &Completion::proto(&id, "parse", "error", t_recv),
+            );
             return;
         }
     };
     match request {
         Request::Ping { id } => {
             let pong = format!("{{\"id\":{},\"status\":\"ok\",\"pong\":true}}", json_string(&id));
-            respond_proto(shared, writer, &pong);
+            finish(shared, writer, &pong, &Completion::proto(&id, "ping", "ok", t_recv));
         }
         Request::Stats { id } => {
             let line = shared.stats().to_json(&id);
-            respond_proto(shared, writer, &line);
+            finish(shared, writer, &line, &Completion::proto(&id, "stats", "ok", t_recv));
+        }
+        Request::Metrics { id } => {
+            let text = shared.metrics.render_prometheus(
+                shared.queue.len() as u64,
+                shared.lock_cache().len() as u64,
+                shared.start.elapsed().as_secs_f64(),
+            );
+            let line = format!(
+                "{{\"id\":{},\"status\":\"ok\",\"metrics\":{}}}",
+                json_string(&id),
+                json_string(&text)
+            );
+            finish(shared, writer, &line, &Completion::proto(&id, "metrics", "ok", t_recv));
         }
         Request::Shutdown { id } => {
             let bye =
                 format!("{{\"id\":{},\"status\":\"ok\",\"shutting_down\":true}}", json_string(&id));
-            respond_proto(shared, writer, &bye);
+            finish(shared, writer, &bye, &Completion::proto(&id, "shutdown", "ok", t_recv));
             shared.initiate_shutdown();
         }
         Request::Solve(req) => {
-            shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
-            REQUESTS.incr();
+            shared.metrics.on_request();
             let key = cache_key(&req);
             mosc_obs::event(
                 "serve.request",
@@ -487,27 +747,111 @@ fn handle_line(line: &str, writer: &SharedWriter, shared: &Shared) {
             // Fast path: answer cache hits from the reader thread, without
             // occupying a queue slot or a worker.
             if let Some(hit) = shared.lock_cache().get(key) {
-                shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-                CACHE_HITS.incr();
+                shared.metrics.on_cache_hit();
                 let line = render_ok(&req, &hit, true);
-                respond(shared, writer, &req.id, &line);
+                finish(
+                    shared,
+                    writer,
+                    &line,
+                    &Completion {
+                        id: &req.id,
+                        op: "solve",
+                        solver: Some(req.kind),
+                        status: "ok",
+                        cached: true,
+                        t_recv,
+                        queue_wait: 0.0,
+                        service_start: t_recv,
+                        deadline_at: None,
+                        kernel: KernelDelta::default(),
+                        trace: None,
+                    },
+                );
                 return;
             }
             let deadline_at =
                 req.options.deadline.or(shared.opts.default_deadline).map(|d| Instant::now() + d);
-            let job = Job { key, writer: writer.clone(), deadline_at, req };
+            let job = Job {
+                key,
+                writer: writer.clone(),
+                deadline_at,
+                t_recv,
+                t_enqueue: Instant::now(),
+                req,
+            };
             match shared.queue.try_push(job) {
-                Ok(depth) => {
-                    QUEUE_DEPTH.set(depth as f64);
-                    let peak = shared.metrics.queue_peak.fetch_max(depth as u64, Ordering::Relaxed);
-                    QUEUE_PEAK.set(peak.max(depth as u64) as f64);
-                }
+                Ok(depth) => shared.metrics.on_queue_depth(depth as u64),
                 Err(QueueFull(job)) => {
-                    shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-                    REJECTED.incr();
-                    respond(shared, &job.writer, &job.req.id, &overloaded_to_json(&job.req.id));
+                    shared.metrics.on_rejected();
+                    finish(
+                        shared,
+                        &job.writer,
+                        &overloaded_to_json(&job.req.id),
+                        &Completion {
+                            id: &job.req.id,
+                            op: "solve",
+                            solver: Some(job.req.kind),
+                            status: "overloaded",
+                            cached: false,
+                            t_recv,
+                            queue_wait: 0.0,
+                            service_start: t_recv,
+                            deadline_at: job.deadline_at,
+                            kernel: KernelDelta::default(),
+                            trace: None,
+                        },
+                    );
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression for the old hand-rolled `format!` serializer: ids with
+    /// JSON metacharacters must escape, and every field must round-trip
+    /// through the parser.
+    #[test]
+    fn stats_json_escapes_and_round_trips() {
+        let stats = ServeStats {
+            requests: 7,
+            responses: 7,
+            cache_hits: 2,
+            cache_misses: 5,
+            cache_evictions: 1,
+            rejected: 0,
+            deadline_exceeded: 0,
+            malformed: 3,
+            queue_depth: 0,
+            queue_peak: 4,
+            cache_len: 5,
+            uptime_s: 1.25,
+            req_per_s: 2.5,
+            p50_ms: 10.0,
+            p90_ms: 20.0,
+            p99_ms: 30.0,
+            max_ms: 31.5,
+        };
+        let line = stats.to_json("quote\"and\nnewline");
+        let doc = Value::parse(&line).expect("stats line must be valid JSON");
+        assert_eq!(doc.get("id").and_then(Value::as_str), Some("quote\"and\nnewline"));
+        assert_eq!(doc.get("status").and_then(Value::as_str), Some("ok"));
+        let payload = doc.get("stats").expect("stats member");
+        assert_eq!(payload.get("requests").and_then(Value::as_usize), Some(7));
+        assert_eq!(payload.get("malformed").and_then(Value::as_usize), Some(3));
+        assert_eq!(payload.get("queue_peak").and_then(Value::as_usize), Some(4));
+        assert_eq!(payload.get("p99_ms").and_then(Value::as_f64), Some(30.0));
+        assert_eq!(payload.get("req_per_s").and_then(Value::as_f64), Some(2.5));
+    }
+
+    #[test]
+    fn signed_slack_has_both_signs() {
+        let now = Instant::now();
+        let ahead = now + Duration::from_millis(250);
+        assert!(signed_slack(ahead, now) > 0.2);
+        assert!(signed_slack(now, ahead) < -0.2);
     }
 }

@@ -7,8 +7,10 @@
 //! mosc-cli trace --rows 1 --cols 3 --tmax 65 --schedule schedule.txt --periods 20 [--out trace.csv]
 //! mosc-cli analyze spec.json
 //! mosc-cli profile spec.json [--obs=json]
-//! mosc-cli serve --addr 127.0.0.1:7070
+//! mosc-cli serve --addr 127.0.0.1:7070 [--access-log FILE] [--slow-ms MS]
 //! mosc-cli client --addr 127.0.0.1:7070 < requests.jsonl
+//! mosc-cli stats --addr 127.0.0.1:7070 [--watch] [--interval-ms MS] [--count N]
+//! mosc-cli metrics --addr 127.0.0.1:7070
 //! ```
 //!
 //! Platform flags (shared): `--rows`, `--cols` (grid), `--layers` (3-D
@@ -47,6 +49,16 @@
 //! TCP; see DESIGN.md §11), and `client` is its line-oriented companion:
 //! stdin lines become request lines, each response line is printed to
 //! stdout — the zero-dependency stand-in for `nc` in scripts and `ci.sh`.
+//! `--access-log FILE` appends one JSONL line per completed request (the
+//! `M07x` lints analyze it), and requests slower than `--slow-ms` carry
+//! their solver span tree in that line.
+//!
+//! `stats` queries a running daemon's `stats` op and renders a one-screen
+//! service summary — request/response counters, cache hit rate, queue
+//! depth, req/s and latency quantiles; `--watch` redraws it every
+//! `--interval-ms` (optionally `--count` times). `metrics` fetches the
+//! `metrics` op and prints the raw Prometheus text exposition, ready to
+//! pipe into a file a Prometheus instance scrapes via textfile collection.
 //!
 //! Exit codes: `0` success, `1` internal/solver failure, `2` usage error,
 //! `3` infeasible instance, `4` I/O error. (`analyze` keeps exiting `1`
@@ -105,6 +117,11 @@ struct Args(Vec<String>);
 impl Args {
     fn flag(&self, name: &str) -> Option<&str> {
         self.0.iter().position(|a| a == name).and_then(|i| self.0.get(i + 1)).map(String::as_str)
+    }
+
+    /// Whether a bare (valueless) flag like `--watch` is present.
+    fn has(&self, name: &str) -> bool {
+        self.0.iter().any(|a| a == name)
     }
 
     fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
@@ -189,7 +206,10 @@ const USAGE: &str = "usage:
   mosc-cli analyze SPEC.json|TELEMETRY.jsonl
   mosc-cli profile SPEC.json
   mosc-cli serve   [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--deadline-ms MS]
+                   [--access-log FILE] [--slow-ms MS]
   mosc-cli client  [--addr HOST:PORT]  (stdin request lines -> stdout response lines)
+  mosc-cli stats   [--addr HOST:PORT] [--watch] [--interval-ms MS] [--count N]
+  mosc-cli metrics [--addr HOST:PORT]  (print the Prometheus text exposition)
 global: --obs[=pretty|json]  append a mosc-obs telemetry report to the output
 platform flags: --rows R --cols C [--layers L] [--levels 2..5] --tmax C [--cooler default|budget|responsive]
 exit codes: 0 ok, 1 failure, 2 usage, 3 infeasible, 4 I/O";
@@ -219,6 +239,8 @@ fn run() -> Result<ExitCode, CliError> {
             return Ok(code);
         }
         "client" => return client(&args),
+        "stats" => return stats(&args),
+        "metrics" => return metrics(&args),
         _ => {}
     }
 
@@ -270,15 +292,18 @@ fn profile(args: &Args, mode: ObsMode) -> Result<ExitCode, CliError> {
     };
 
     let mut summary: Vec<ProfileRow> = Vec::new();
+    // Discard anything recorded before the first window (e.g. by spec
+    // parsing); each `drain()` below then extracts exactly one solver's
+    // telemetry and atomically clears the recorder for the next one.
+    let _ = mosc::obs::drain();
     for kind in SolverKind::all() {
         let name = kind.label();
-        mosc::obs::reset();
         let start = std::time::Instant::now();
         let result = mosc::algorithms::solve(kind, &platform, &opts)
             .map(|r| r.solution)
             .map_err(|e| e.to_string());
         let wall = start.elapsed().as_secs_f64();
-        let telemetry = mosc::obs::snapshot();
+        let telemetry = mosc::obs::drain();
         let expm = telemetry.counter("expm.calls").unwrap_or(0);
         let peaks = telemetry.counter("peak_eval.calls").unwrap_or(0);
         if json {
@@ -368,25 +393,26 @@ fn periodmap_section(platform: &Platform, json: bool) -> Result<ExitCode, CliErr
             "max |diff|"
         );
     }
+    // Discard whatever the caller left in the recorder, then take one
+    // drained window per kernel so the two sides' counters can't bleed.
+    let _ = mosc::obs::drain();
     for &m in &[1usize, 64, 256] {
         let s = base.oscillated(m);
-        mosc::obs::reset();
         let start = std::time::Instant::now();
         let fast =
             mosc::sched::eval::SteadyState::compute(platform.thermal(), platform.power(), &s)
                 .map_err(|e| CliError::Other(format!("period-map fast path (m = {m}): {e}")))?;
         let fast_wall = start.elapsed().as_secs_f64();
-        let t = mosc::obs::snapshot();
+        let t = mosc::obs::drain();
         let (fast_ops, fast_expm) = (dense_ops(&t), t.counter("expm.calls").unwrap_or(0));
 
-        mosc::obs::reset();
         let start = std::time::Instant::now();
         let (dense_start, _) =
             mosc::sched::eval::compute_dense(platform.thermal(), platform.power(), &s).map_err(
                 |e| CliError::Other(format!("period-map dense reference (m = {m}): {e}")),
             )?;
         let dense_wall = start.elapsed().as_secs_f64();
-        let t = mosc::obs::snapshot();
+        let t = mosc::obs::drain();
         let (dense_ops, dense_expm) = (dense_ops(&t), t.counter("expm.calls").unwrap_or(0));
 
         let diff = fast.t_start().max_abs_diff(&dense_start);
@@ -471,6 +497,14 @@ fn serve(args: &Args) -> Result<ExitCode, CliError> {
                 Some(std::time::Duration::from_secs_f64(ms / 1e3))
             }
         },
+        access_log: args.flag("--access-log").map(str::to_owned),
+        slow_threshold: {
+            let ms: f64 = args.parse_or("--slow-ms", 100.0)?;
+            if !ms.is_finite() || ms < 0.0 {
+                return Err(CliError::Usage("--slow-ms must be >= 0".into()));
+            }
+            std::time::Duration::from_secs_f64(ms / 1e3)
+        },
     };
     let addr = opts.addr.clone();
     let server = mosc::serve::Server::bind(opts)
@@ -512,6 +546,129 @@ fn client(args: &Args) -> Result<ExitCode, CliError> {
         }
         print!("{response}");
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// One persistent request/response connection to a running daemon, used by
+/// `stats` and `metrics` (repeated polls reuse the socket so `--watch`
+/// doesn't pay a connect per frame).
+struct WireClient {
+    addr: String,
+    stream: std::net::TcpStream,
+    responses: std::io::BufReader<std::net::TcpStream>,
+}
+
+impl WireClient {
+    fn connect(addr: &str) -> Result<Self, CliError> {
+        let io_err = |what: &str, e: std::io::Error| CliError::Io(format!("{what} {addr}: {e}"));
+        let stream =
+            std::net::TcpStream::connect(addr).map_err(|e| io_err("cannot connect to", e))?;
+        stream.set_nodelay(true).map_err(|e| io_err("cannot set TCP_NODELAY on", e))?;
+        let read_half = stream.try_clone().map_err(|e| io_err("cannot clone socket for", e))?;
+        Ok(Self { addr: addr.to_owned(), stream, responses: std::io::BufReader::new(read_half) })
+    }
+
+    /// Sends one request line and parses the one-line JSON response.
+    fn request(&mut self, line: &str) -> Result<mosc::analyze::json::Value, CliError> {
+        let addr = &self.addr;
+        let mut line = line.to_owned();
+        line.push('\n');
+        self.stream
+            .write_all(line.as_bytes())
+            .map_err(|e| CliError::Io(format!("cannot send to {addr}: {e}")))?;
+        let mut response = String::new();
+        let n = self
+            .responses
+            .read_line(&mut response)
+            .map_err(|e| CliError::Io(format!("cannot read from {addr}: {e}")))?;
+        if n == 0 {
+            return Err(CliError::Io(format!("{addr} closed the connection")));
+        }
+        mosc::analyze::json::Value::parse(&response)
+            .map_err(|e| CliError::Other(format!("{addr} sent malformed JSON: {e}")))
+    }
+}
+
+/// Renders one `stats` payload as the fixed-height summary `--watch` redraws.
+fn render_stats(addr: &str, stats: &mosc::analyze::json::Value) -> String {
+    let num =
+        |key: &str| stats.get(key).and_then(mosc::analyze::json::Value::as_f64).unwrap_or(0.0);
+    let int = |key: &str| num(key) as u64;
+    let (hits, misses) = (num("cache_hits"), num("cache_misses"));
+    let hit_rate = if hits + misses > 0.0 { 100.0 * hits / (hits + misses) } else { 0.0 };
+    format!(
+        "mosc-serve {addr}  up {:.1} s\n\
+         requests   {:>8}   responses {:>8}   req/s {:>8.1}\n\
+         rejected   {:>8}   deadline+ {:>8}   malformed {:>4}\n\
+         cache      {:>8} hit / {} miss ({hit_rate:.1}% hit, {} evicted, {} live)\n\
+         queue      {:>8} deep (peak {})\n\
+         latency ms {:>8.2} p50 {:>10.2} p90 {:>10.2} p99 {:>10.2} max\n",
+        num("uptime_s"),
+        int("requests"),
+        int("responses"),
+        num("req_per_s"),
+        int("rejected"),
+        int("deadline_exceeded"),
+        int("malformed"),
+        int("cache_hits"),
+        int("cache_misses"),
+        int("cache_evictions"),
+        int("cache_len"),
+        int("queue_depth"),
+        int("queue_peak"),
+        num("p50_ms"),
+        num("p90_ms"),
+        num("p99_ms"),
+        num("max_ms"),
+    )
+}
+
+/// `mosc-cli stats`: poll a running daemon's `stats` op and render a live
+/// service summary. Plain single shot by default; `--watch` redraws every
+/// `--interval-ms` (clearing the screen only when stdout is a terminal),
+/// `--count N` bounds the number of frames (useful in scripts).
+fn stats(args: &Args) -> Result<ExitCode, CliError> {
+    use std::io::IsTerminal;
+    let addr = args.flag("--addr").unwrap_or("127.0.0.1:7070");
+    let watch = args.has("--watch");
+    let interval_ms: u64 = args.parse_or("--interval-ms", 1000u64)?;
+    let frames: u64 = args.parse_or("--count", if watch { 0 } else { 1 })?;
+    let tty = std::io::stdout().is_terminal();
+    let mut client = WireClient::connect(addr)?;
+    let mut served = 0u64;
+    loop {
+        let doc = client.request("{\"op\":\"stats\",\"id\":\"cli-stats\"}")?;
+        let stats = doc
+            .get("stats")
+            .ok_or_else(|| CliError::Other(format!("{addr}: stats response has no payload")))?;
+        let frame = render_stats(addr, stats);
+        if watch && tty {
+            // Home + clear-below keeps the frame flicker-free; a full clear
+            // would blank the screen between polls.
+            print!("\x1b[H\x1b[J{frame}");
+        } else {
+            print!("{frame}");
+        }
+        let _ = std::io::stdout().flush();
+        served += 1;
+        if !watch || (frames > 0 && served >= frames) {
+            return Ok(ExitCode::SUCCESS);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(10)));
+    }
+}
+
+/// `mosc-cli metrics`: fetch the `metrics` op once and print the decoded
+/// Prometheus text exposition to stdout.
+fn metrics(args: &Args) -> Result<ExitCode, CliError> {
+    let addr = args.flag("--addr").unwrap_or("127.0.0.1:7070");
+    let mut client = WireClient::connect(addr)?;
+    let doc = client.request("{\"op\":\"metrics\",\"id\":\"cli-metrics\"}")?;
+    let text = doc
+        .get("metrics")
+        .and_then(mosc::analyze::json::Value::as_str)
+        .ok_or_else(|| CliError::Other(format!("{addr}: metrics response has no payload")))?;
+    print!("{text}");
     Ok(ExitCode::SUCCESS)
 }
 
