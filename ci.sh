@@ -72,9 +72,10 @@ echo "$serve_out" | grep -q '"shutting_down":true' \
 wait "$serve_pid" || { echo "serve smoke: daemon exited non-zero" >&2; cat "$serve_log" >&2; exit 1; }
 grep -q 'mosc-serve drained and stopped' "$serve_log" \
     || { echo "serve smoke: daemon did not drain cleanly" >&2; cat "$serve_log" >&2; exit 1; }
-# The drained daemon's telemetry must pass the M060-M062 serve lints.
+# The drained daemon's telemetry must pass the M060-M062 serve lints —
+# in deny mode, so even warning-level findings fail the gate.
 grep -v '^mosc-serve' "$serve_log" > target/bench/serve_smoke.jsonl
-./target/release/mosc-cli analyze target/bench/serve_smoke.jsonl \
+./target/release/mosc-cli analyze -D warnings target/bench/serve_smoke.jsonl \
     || { echo "serve smoke: telemetry failed the M06x lints" >&2; exit 1; }
 
 echo "==> mosc-serve observability smoke (access log, metrics exposition, M07x lints)"
@@ -129,9 +130,10 @@ grep '"id":"qgov"' "$access_log" | grep -q '"spans":.*reactive.simulate' \
 gov_expm=$(sed -n 's/.*"id":"qgov".*"expm_calls":\([0-9]*\).*/\1/p' "$access_log")
 test -n "$gov_expm" && test "$gov_expm" -gt 0 \
     || { echo "observability smoke: governor expm.calls delta is '$gov_expm', expected > 0" >&2; exit 1; }
-# Every access line and the drain trailer must pass the M07x access lints.
-./target/release/mosc-cli analyze "$access_log" \
-    || { echo "observability smoke: access log failed the M07x lints" >&2; exit 1; }
+# Every access line and the drain trailer must pass the M07x access lints
+# and the M082/M09x cross-line joins — in deny mode.
+./target/release/mosc-cli analyze -D warnings "$access_log" \
+    || { echo "observability smoke: access log failed the M07x/M09x lints" >&2; exit 1; }
 
 echo "==> serve bench artifact (BENCH_serve.json)"
 cargo run -q --release -p mosc-bench --bin serve -- --csv target/bench >/dev/null
@@ -139,5 +141,50 @@ grep -q '"type":"serve","clients":8' target/bench/BENCH_serve.json \
     || { echo "BENCH_serve.json missing serve records" >&2; exit 1; }
 grep -q '"p99_ms":' target/bench/BENCH_serve.json \
     || { echo "BENCH_serve.json missing latency quantiles" >&2; exit 1; }
+
+echo "==> deny-mode analyze over every produced artifact"
+for artifact in target/bench/BENCH_periodmap.json target/bench/BENCH_serve.json; do
+    ./target/release/mosc-cli analyze -D warnings "$artifact" \
+        || { echo "deny-mode analyze failed on $artifact" >&2; exit 1; }
+done
+
+echo "==> solution-claim cross-check (solve --claim, M081 recompute, SARIF smoke)"
+printf '%s\n' '{"platform": {"rows": 1, "cols": 2, "levels": [0.6, 1.3], "t_max_c": 55.0}}' \
+    > target/bench/claim_spec.json
+./target/release/mosc-cli solve --algo ao --rows 1 --cols 2 --levels 2 --tmax 55 \
+    --claim target/bench/claim.json >/dev/null
+./target/release/mosc-cli analyze -D warnings \
+    target/bench/claim_spec.json target/bench/claim.json \
+    || { echo "claim cross-check: M081 recompute rejected the solver's own claim" >&2; exit 1; }
+./target/release/mosc-cli analyze --format sarif \
+    target/bench/claim_spec.json target/bench/claim.json \
+    | grep -q '"version":"2.1.0"' \
+    || { echo "claim cross-check: SARIF output missing schema version" >&2; exit 1; }
+
+# The sanitizer jobs need the nightly toolchain plus the miri / rust-src
+# components. They gate gracefully: absent tooling skips with a notice
+# rather than failing the whole pipeline (the container may be offline).
+if rustup toolchain list 2>/dev/null | grep -q '^nightly'; then
+    nightly_components=$(rustup component list --toolchain nightly --installed 2>/dev/null || true)
+
+    echo "==> miri: mosc-obs unit tests under the interpreter"
+    if echo "$nightly_components" | grep -q '^miri'; then
+        MIRIFLAGS=-Zmiri-disable-isolation cargo +nightly miri test -q -p mosc-obs --lib \
+            || { echo "miri found undefined behaviour in mosc-obs" >&2; exit 1; }
+    else
+        echo "    (skipped: miri component not installed for nightly)"
+    fi
+
+    echo "==> thread sanitizer: mosc-serve loopback smoke"
+    if echo "$nightly_components" | grep -q '^rust-src'; then
+        RUSTFLAGS=-Zsanitizer=thread cargo +nightly test -q -Zbuild-std \
+            --target x86_64-unknown-linux-gnu -p mosc-serve --test loopback \
+            || { echo "thread sanitizer flagged a data race in mosc-serve" >&2; exit 1; }
+    else
+        echo "    (skipped: rust-src component not installed for nightly)"
+    fi
+else
+    echo "==> sanitizers skipped: no nightly toolchain installed"
+fi
 
 echo "==> all checks passed"

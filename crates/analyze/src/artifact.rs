@@ -1,0 +1,311 @@
+//! The typed artifact model: every file `mosc-cli analyze` accepts, loaded
+//! once into a shared structure that all lint passes read.
+//!
+//! Five artifact shapes are recognized:
+//!
+//! * **Spec** — a JSON object with a `"platform"` member (optionally
+//!   `"schedule"` / `"solution"`), loaded through [`crate::spec::load_spec`]
+//!   so the typed platform and schedule survive for cross-artifact lints.
+//! * **Claim** — a JSON object with a `"throughput"` member: the
+//!   `SolveResponse`-shaped summary a solve emits (`mosc-cli solve --claim`,
+//!   or a captured serve response line). May embed its schedule as text.
+//! * **Schedule** — the `mosc-sched` text format (`period …` / `core …`).
+//! * **Stream** — JSONL telemetry / access logs: either a `.jsonl` file, a
+//!   single object with a `"type"` discriminator, or a file of one object
+//!   per line (the `BENCH_*.json` shape).
+//!
+//! Classification is by content first, extension as a hint: a file whose
+//! whole text parses as a JSON object dispatches on its members; otherwise
+//! the loader tries JSONL, then the schedule text format, and only then
+//! reports a structural error.
+
+use crate::json::Value;
+use crate::spec::{load_spec, SpecArtifact, SpecError};
+use crate::telemetry::{load_stream, StreamRecord};
+use mosc_power::Params65nm;
+use mosc_sched::{text, Platform, Schedule};
+
+/// A solve claim: the headline numbers a solver (or the serve daemon)
+/// reported for some platform, plus the schedule text when it was captured.
+#[derive(Debug)]
+pub struct ClaimArtifact {
+    /// Solver id (`"ao"`, `"pco"`, …) when the claim names one.
+    pub solver: Option<String>,
+    /// Claimed eq. (5) throughput.
+    pub throughput: f64,
+    /// Claimed stable peak, relative to ambient (K); converted from
+    /// `peak_c` when the claim used absolute degrees.
+    pub peak: Option<f64>,
+    /// Claimed feasibility verdict.
+    pub feasible: Option<bool>,
+    /// Claimed oscillation factor (defaults to 1).
+    pub m: usize,
+    /// The schedule the claim is about, when embedded as text.
+    pub schedule: Option<Schedule>,
+}
+
+/// What one loaded file turned out to be.
+#[derive(Debug)]
+pub enum ArtifactKind {
+    /// A platform/schedule/solution spec with its typed halves.
+    Spec(Box<SpecArtifact>),
+    /// A standalone schedule in the text format.
+    Schedule(Box<Schedule>),
+    /// A solve claim to verify.
+    Claim(Box<ClaimArtifact>),
+    /// A JSONL telemetry stream or access log.
+    Stream(Vec<StreamRecord>),
+}
+
+impl ArtifactKind {
+    /// A short human label for diagnostics and the JSON/SARIF outputs.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Spec(_) => "spec",
+            Self::Schedule(_) => "schedule",
+            Self::Claim(_) => "claim",
+            Self::Stream(_) => "stream",
+        }
+    }
+}
+
+/// One loaded input file.
+#[derive(Debug)]
+pub struct ArtifactFile {
+    /// The path the file was loaded from, used to stamp diagnostics.
+    pub path: String,
+    /// Its classified, typed content.
+    pub kind: ArtifactKind,
+}
+
+/// Every artifact of one analysis run, loaded up front. Lint passes receive
+/// this immutably and never re-read files.
+#[derive(Debug, Default)]
+pub struct Artifacts {
+    /// The loaded files, in command-line order.
+    pub files: Vec<ArtifactFile>,
+}
+
+impl Artifacts {
+    /// Loads and classifies `(path, text)` pairs.
+    ///
+    /// # Errors
+    /// [`SpecError`] (prefixed with the offending path) when any file is
+    /// structurally unusable — malformed JSON, unknown shape, or a spec
+    /// with missing required fields.
+    pub fn load(inputs: &[(String, String)]) -> Result<Self, SpecError> {
+        let mut files = Vec::with_capacity(inputs.len());
+        for (path, text) in inputs {
+            let kind = classify(path, text).map_err(|e| SpecError(format!("{path}: {}", e.0)))?;
+            files.push(ArtifactFile { path: path.clone(), kind });
+        }
+        Ok(Self { files })
+    }
+
+    /// The first spec artifact's typed platform, if any spec built one —
+    /// the reference platform cross-artifact lints join against.
+    #[must_use]
+    pub fn platform(&self) -> Option<&Platform> {
+        self.files.iter().find_map(|f| match &f.kind {
+            ArtifactKind::Spec(s) => s.platform.as_ref(),
+            _ => None,
+        })
+    }
+
+    /// A schedule usable as the fallback recompute target for claims that
+    /// did not embed their own: the first spec schedule, else the first
+    /// standalone schedule artifact.
+    #[must_use]
+    pub fn fallback_schedule(&self) -> Option<&Schedule> {
+        self.files
+            .iter()
+            .find_map(|f| match &f.kind {
+                ArtifactKind::Spec(s) => s.schedule.as_ref(),
+                _ => None,
+            })
+            .or_else(|| {
+                self.files.iter().find_map(|f| match &f.kind {
+                    ArtifactKind::Schedule(s) => Some(s.as_ref()),
+                    _ => None,
+                })
+            })
+    }
+}
+
+/// Classifies one file's text and loads it into its typed artifact.
+///
+/// # Errors
+/// [`SpecError`] when the content matches no artifact shape.
+pub fn classify(path: &str, text: &str) -> Result<ArtifactKind, SpecError> {
+    if path.ends_with(".jsonl") {
+        return Ok(ArtifactKind::Stream(load_stream(text)?));
+    }
+    match Value::parse(text) {
+        Ok(doc) if doc.is_object() => {
+            if doc.get("platform").is_some() {
+                Ok(ArtifactKind::Spec(Box::new(load_spec(text)?)))
+            } else if doc.get("type").and_then(Value::as_str).is_some() {
+                Ok(ArtifactKind::Stream(load_stream(text)?))
+            } else if doc.get("throughput").is_some() {
+                Ok(ArtifactKind::Claim(Box::new(load_claim(&doc)?)))
+            } else {
+                Err(SpecError(
+                    "unrecognized artifact: a JSON object needs a 'platform', 'type', \
+                     or 'throughput' member"
+                        .into(),
+                ))
+            }
+        }
+        Ok(_) => Err(SpecError("top level must be a JSON object".into())),
+        Err(json_err) => {
+            // Not a single JSON document: try JSONL (the BENCH_*.json
+            // shape), then the schedule text format.
+            if let Ok(records) = load_stream(text) {
+                if !records.is_empty() {
+                    return Ok(ArtifactKind::Stream(records));
+                }
+            }
+            match text::from_text(text) {
+                Ok(s) => Ok(ArtifactKind::Schedule(Box::new(s))),
+                Err(_) => Err(SpecError(format!(
+                    "unrecognized artifact: not JSON ({json_err}), not JSONL, \
+                     and not a schedule in the text format"
+                ))),
+            }
+        }
+    }
+}
+
+fn load_claim(doc: &Value) -> Result<ClaimArtifact, SpecError> {
+    if let Some(status) = doc.get("status") {
+        let status =
+            status.as_str().ok_or_else(|| SpecError("claim status must be a string".into()))?;
+        if status != "ok" {
+            return Err(SpecError(format!(
+                "claim status is '{status}', not 'ok' — there is no solution to verify"
+            )));
+        }
+    }
+    let throughput = doc
+        .get("throughput")
+        .and_then(Value::as_f64)
+        .ok_or_else(|| SpecError("claim.throughput must be a number".into()))?;
+    let ambient = Params65nm::params().t_ambient_c;
+    let peak = match (doc.get("peak_c"), doc.get("peak")) {
+        (Some(v), _) => Some(
+            v.as_f64().ok_or_else(|| SpecError("claim.peak_c must be a number".into()))? - ambient,
+        ),
+        (None, Some(v)) => {
+            Some(v.as_f64().ok_or_else(|| SpecError("claim.peak must be a number".into()))?)
+        }
+        (None, None) => None,
+    };
+    let feasible = match doc.get("feasible") {
+        None => None,
+        Some(v) => {
+            Some(v.as_bool().ok_or_else(|| SpecError("claim.feasible must be a boolean".into()))?)
+        }
+    };
+    let m = match doc.get("m") {
+        None => 1,
+        Some(v) => v
+            .as_usize()
+            .ok_or_else(|| SpecError("claim.m must be a non-negative integer".into()))?,
+    };
+    let solver = match doc.get("solver") {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(
+            v.as_str().ok_or_else(|| SpecError("claim.solver must be a string".into()))?.to_owned(),
+        ),
+    };
+    let schedule = match doc.get("schedule") {
+        None => None,
+        Some(v) => {
+            let txt = v
+                .as_str()
+                .ok_or_else(|| SpecError("claim.schedule must be schedule text".into()))?;
+            Some(text::from_text(txt).map_err(|e| SpecError(format!("claim.schedule: {e}")))?)
+        }
+    };
+    Ok(ClaimArtifact { solver, throughput, peak, feasible, m, schedule })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = r#"{
+        "platform": {"rows": 1, "cols": 2, "levels": [0.6, 1.3], "t_max_c": 55.0},
+        "schedule": {"period": 0.1,
+                     "cores": [[[0.6, 0.06], [1.3, 0.04]], [[0.6, 0.07], [1.3, 0.03]]]}
+    }"#;
+
+    #[test]
+    fn classification_covers_all_shapes() {
+        assert!(matches!(classify("s.json", SPEC), Ok(ArtifactKind::Spec(_))));
+        let claim = r#"{"status":"ok","solver":"ao","throughput":1.0,"peak_c":50.0,
+                        "feasible":true,"m":2}"#;
+        assert!(matches!(classify("c.json", claim), Ok(ArtifactKind::Claim(_))));
+        let stream = "{\"type\":\"counter\",\"name\":\"x\",\"value\":1}\n\
+                      {\"type\":\"counter\",\"name\":\"y\",\"value\":2}\n";
+        match classify("b.json", stream) {
+            Ok(ArtifactKind::Stream(records)) => assert_eq!(records.len(), 2),
+            other => panic!("BENCH shape misclassified: {other:?}"),
+        }
+        let sched = "period 0.1\ncore 0: 0.6 x 0.06, 1.3 x 0.04\n";
+        assert!(matches!(classify("s.txt", sched), Ok(ArtifactKind::Schedule(_))));
+        // A .jsonl extension forces stream classification even for a single
+        // object that would otherwise look like a claim.
+        let line = r#"{"type":"access","throughput":1.0}"#;
+        assert!(matches!(classify("log.jsonl", line), Ok(ArtifactKind::Stream(_))));
+    }
+
+    #[test]
+    fn unrecognized_inputs_are_structural_errors() {
+        assert!(classify("x", "definitely not anything").is_err());
+        assert!(classify("x", "[1,2,3]").is_err());
+        assert!(classify("x", r#"{"mystery": 1}"#).is_err());
+        let err_claim = r#"{"status":"error","throughput":0.0}"#;
+        assert!(classify("x", err_claim).is_err());
+    }
+
+    #[test]
+    fn artifacts_expose_platform_and_fallback_schedule() {
+        let inputs = vec![
+            ("spec.json".to_owned(), SPEC.to_owned()),
+            ("sched.txt".to_owned(), "period 0.1\ncore 0: 0.6 x 0.1\n".to_owned()),
+        ];
+        let arts = Artifacts::load(&inputs).unwrap();
+        assert_eq!(arts.files.len(), 2);
+        assert!(arts.platform().is_some());
+        // The spec's own schedule wins over the standalone one.
+        assert_eq!(arts.fallback_schedule().unwrap().n_cores(), 2);
+
+        let inputs = vec![("sched.txt".to_owned(), "period 0.1\ncore 0: 0.6 x 0.1\n".to_owned())];
+        let arts = Artifacts::load(&inputs).unwrap();
+        assert!(arts.platform().is_none());
+        assert_eq!(arts.fallback_schedule().unwrap().n_cores(), 1);
+    }
+
+    #[test]
+    fn claim_peak_c_converts_to_kelvin_above_ambient() {
+        let claim = r#"{"throughput":1.0,"peak_c":55.0}"#;
+        match classify("c.json", claim).unwrap() {
+            ArtifactKind::Claim(c) => {
+                let ambient = Params65nm::params().t_ambient_c;
+                assert!((c.peak.unwrap() - (55.0 - ambient)).abs() < 1e-12);
+                assert_eq!(c.m, 1);
+                assert!(c.solver.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_errors_carry_the_path() {
+        let inputs = vec![("bad.json".to_owned(), "nope".to_owned())];
+        let err = Artifacts::load(&inputs).unwrap_err();
+        assert!(err.0.starts_with("bad.json: "), "{err}");
+    }
+}

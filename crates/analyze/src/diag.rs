@@ -29,7 +29,8 @@ impl fmt::Display for Severity {
 /// Stable diagnostic codes. The numeric ranges group the lints:
 /// `M001`–`M009` platform, `M011`–`M018` schedule, `M020`–`M024` solution,
 /// `M050`–`M054` telemetry, `M060`–`M062` serve telemetry, `M070`–`M073`
-/// serve access log.
+/// serve access log, `M080`–`M083` cross-artifact consistency,
+/// `M090`–`M093` concurrency/trace invariants.
 ///
 /// DESIGN.md §7 maps each code to the paper theorem or equation it enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -127,6 +128,38 @@ pub enum Code {
     /// hits without a single miss (every entry is inserted after a miss),
     /// or more evictions than insertions (misses bound insertions).
     AccessCacheInconsistent,
+    /// M080 — a standalone schedule artifact does not fit the platform
+    /// artifact it was analyzed against: wrong core count, or a segment
+    /// voltage absent from the platform's DVFS table.
+    CrossScheduleMismatch,
+    /// M081 — a solve claim's throughput, peak, or feasibility verdict fails
+    /// to recompute from the referenced platform + schedule within
+    /// tolerance, or the claim cannot be verified at all (no platform or no
+    /// schedule to recompute from — reported as a warning).
+    ClaimDivergence,
+    /// M082 — the access log's cache-hit entries disagree with canonical-key
+    /// derivation: a `cached: true` entry's key was never announced by any
+    /// non-cached successful solve, or one key was served by two different
+    /// solvers.
+    AccessCacheKeyMismatch,
+    /// M083 — a per-solve `KernelDelta` is inconsistent with the solver
+    /// kind: a non-cache-hit successful solve moved no kernel counter at
+    /// all, or an AO/PCO solve did zero period-map work.
+    KernelDeltaInconsistent,
+    /// M090 — a request's phase timestamps are out of order: the monotone
+    /// pipeline requires `recv ≤ enqueue ≤ dequeue ≤ done`.
+    TimestampOrder,
+    /// M091 — a slow-request span tree is malformed: a child path has no
+    /// parent span, a child's total exceeds its parent's, a path appears
+    /// twice, or the recorded depth disagrees with the path.
+    SpanTreeMalformed,
+    /// M092 — queue-wait accounting does not sum: `queue_wait`, `service`,
+    /// or `total` disagree with the differences of the phase timestamps.
+    PhaseAccounting,
+    /// M093 — per-connection sequence numbers are not monotonic: a sequence
+    /// number repeats, or receive timestamps decrease as sequence numbers
+    /// increase.
+    SeqNonMonotonic,
 }
 
 impl Code {
@@ -168,7 +201,69 @@ impl Code {
             Self::AccessDeadlineMissed => "M071",
             Self::AccessHistogramBroken => "M072",
             Self::AccessCacheInconsistent => "M073",
+            Self::CrossScheduleMismatch => "M080",
+            Self::ClaimDivergence => "M081",
+            Self::AccessCacheKeyMismatch => "M082",
+            Self::KernelDeltaInconsistent => "M083",
+            Self::TimestampOrder => "M090",
+            Self::SpanTreeMalformed => "M091",
+            Self::PhaseAccounting => "M092",
+            Self::SeqNonMonotonic => "M093",
         }
+    }
+
+    /// Every released code, in numeric order. Severity configuration and the
+    /// SARIF rule table iterate this instead of hand-maintaining their own
+    /// lists.
+    pub const ALL: &'static [Self] = &[
+        Self::LevelsNotSorted,
+        Self::LevelInvalid,
+        Self::TooFewLevels,
+        Self::TmaxNotAboveAmbient,
+        Self::ConductanceAsymmetric,
+        Self::NotDiagonallyDominant,
+        Self::NotHurwitz,
+        Self::PowerNotMonotone,
+        Self::OverheadInvalid,
+        Self::DurationInvalid,
+        Self::VoltageInvalid,
+        Self::PeriodMismatch,
+        Self::NotStepUp,
+        Self::EmptySchedule,
+        Self::VoltageNotALevel,
+        Self::OscillationOverBudget,
+        Self::CoreCountMismatch,
+        Self::ThroughputMismatch,
+        Self::PeakMismatch,
+        Self::InfeasibleMarkedFeasible,
+        Self::FeasibleMarkedInfeasible,
+        Self::TransitionsInconsistent,
+        Self::TelemetryEmpty,
+        Self::AoSweepSaturated,
+        Self::BnbNoPrunes,
+        Self::SpanTimingInvalid,
+        Self::KernelCountersMissing,
+        Self::ServeCacheInert,
+        Self::ServeRejectedIdle,
+        Self::ServeResponseOrphaned,
+        Self::AccessPhaseSkew,
+        Self::AccessDeadlineMissed,
+        Self::AccessHistogramBroken,
+        Self::AccessCacheInconsistent,
+        Self::CrossScheduleMismatch,
+        Self::ClaimDivergence,
+        Self::AccessCacheKeyMismatch,
+        Self::KernelDeltaInconsistent,
+        Self::TimestampOrder,
+        Self::SpanTreeMalformed,
+        Self::PhaseAccounting,
+        Self::SeqNonMonotonic,
+    ];
+
+    /// Parses a stable `M0xx` string back into its code.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|c| c.as_str() == s)
     }
 
     /// The severity a lint of this code carries unless the caller overrides
@@ -191,7 +286,8 @@ impl Code {
             | Self::ServeRejectedIdle
             | Self::ServeResponseOrphaned
             | Self::AccessDeadlineMissed
-            | Self::AccessCacheInconsistent => Severity::Warning,
+            | Self::AccessCacheInconsistent
+            | Self::KernelDeltaInconsistent => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -215,15 +311,20 @@ pub struct Diagnostic {
     pub message: String,
     /// Where in the artifact the finding anchors (empty for global findings).
     pub path: String,
+    /// Which artifact file the finding is about (empty when analyzing a
+    /// single unnamed input; the pass manager stamps this).
+    pub file: String,
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
-        if !self.path.is_empty() {
-            write!(f, " (at {})", self.path)?;
+        match (self.file.is_empty(), self.path.is_empty()) {
+            (true, true) => Ok(()),
+            (true, false) => write!(f, " (at {})", self.path),
+            (false, true) => write!(f, " (in {})", self.file),
+            (false, false) => write!(f, " (at {}: {})", self.file, self.path),
         }
-        Ok(())
     }
 }
 
@@ -258,12 +359,30 @@ impl Report {
             code,
             message: message.into(),
             path: path.into(),
+            file: String::new(),
         });
+    }
+
+    /// Appends a fully-formed diagnostic (severity, file and all) — the
+    /// pass manager uses this to rebuild reports after severity mapping.
+    pub fn push_diagnostic(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
     }
 
     /// Appends every finding of `other`.
     pub fn merge(&mut self, other: Report) {
         self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Attributes every finding that has no file yet to `file`. The pass
+    /// manager calls this after running a lint over one artifact, so lints
+    /// themselves stay file-agnostic.
+    pub fn stamp_file(&mut self, file: &str) {
+        for d in &mut self.diagnostics {
+            if d.file.is_empty() {
+                d.file = file.to_owned();
+            }
+        }
     }
 
     /// All findings, in emission order.
@@ -332,48 +451,24 @@ mod tests {
 
     #[test]
     fn codes_are_stable_and_unique() {
-        let all = [
-            Code::LevelsNotSorted,
-            Code::LevelInvalid,
-            Code::TooFewLevels,
-            Code::TmaxNotAboveAmbient,
-            Code::ConductanceAsymmetric,
-            Code::NotDiagonallyDominant,
-            Code::NotHurwitz,
-            Code::PowerNotMonotone,
-            Code::OverheadInvalid,
-            Code::DurationInvalid,
-            Code::VoltageInvalid,
-            Code::PeriodMismatch,
-            Code::NotStepUp,
-            Code::EmptySchedule,
-            Code::VoltageNotALevel,
-            Code::OscillationOverBudget,
-            Code::CoreCountMismatch,
-            Code::ThroughputMismatch,
-            Code::PeakMismatch,
-            Code::InfeasibleMarkedFeasible,
-            Code::FeasibleMarkedInfeasible,
-            Code::TransitionsInconsistent,
-            Code::TelemetryEmpty,
-            Code::AoSweepSaturated,
-            Code::BnbNoPrunes,
-            Code::SpanTimingInvalid,
-            Code::KernelCountersMissing,
-            Code::ServeCacheInert,
-            Code::ServeRejectedIdle,
-            Code::ServeResponseOrphaned,
-            Code::AccessPhaseSkew,
-            Code::AccessDeadlineMissed,
-            Code::AccessHistogramBroken,
-            Code::AccessCacheInconsistent,
-        ];
+        assert_eq!(Code::ALL.len(), 42);
         let mut seen = std::collections::HashSet::new();
-        for c in all {
+        for &c in Code::ALL {
             assert!(seen.insert(c.as_str()), "duplicate code string {c}");
             assert!(c.as_str().starts_with('M'));
             assert_eq!(c.as_str().len(), 4);
+            assert_eq!(Code::parse(c.as_str()), Some(c), "parse round-trip for {c}");
         }
+        // Spot-check the new families sit in their documented ranges.
+        assert_eq!(Code::CrossScheduleMismatch.as_str(), "M080");
+        assert_eq!(Code::ClaimDivergence.as_str(), "M081");
+        assert_eq!(Code::AccessCacheKeyMismatch.as_str(), "M082");
+        assert_eq!(Code::KernelDeltaInconsistent.as_str(), "M083");
+        assert_eq!(Code::TimestampOrder.as_str(), "M090");
+        assert_eq!(Code::SpanTreeMalformed.as_str(), "M091");
+        assert_eq!(Code::PhaseAccounting.as_str(), "M092");
+        assert_eq!(Code::SeqNonMonotonic.as_str(), "M093");
+        assert_eq!(Code::parse("M999"), None);
     }
 
     #[test]
@@ -396,6 +491,24 @@ mod tests {
         assert!(r.is_clean());
         assert!(!r.has_errors());
         assert_eq!(r.render(), "ok: no findings\n");
+    }
+
+    #[test]
+    fn file_stamping_changes_rendering_but_not_existing_files() {
+        let mut r = Report::new();
+        r.push(Code::VoltageInvalid, "cores[0].segments[0]", "segment voltage is NaN");
+        r.push(Code::TelemetryEmpty, "", "no records");
+        r.stamp_file("spec.json");
+        r.push(Code::NotStepUp, "", "late finding");
+        r.stamp_file("other.json");
+        let text = r.render();
+        assert!(
+            text.contains("(at spec.json: cores[0].segments[0])"),
+            "file+path rendering: {text}"
+        );
+        assert!(text.contains("(in spec.json)"), "file-only rendering: {text}");
+        assert!(text.contains("(in other.json)"), "second stamp: {text}");
+        assert_eq!(r.diagnostics()[0].file, "spec.json", "first stamp must stick");
     }
 
     #[test]

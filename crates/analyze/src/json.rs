@@ -1,10 +1,25 @@
-//! A minimal recursive-descent JSON parser (pure `std`).
+//! A minimal JSON parser *and* serializer (pure `std`).
 //!
 //! The workspace builds without any crates.io dependency, so the `mosc
 //! analyze` spec files are parsed by this ~200-line reader instead of a
 //! serialization framework. It accepts standard JSON (RFC 8259): objects,
 //! arrays, strings with escapes, numbers, `true`/`false`/`null`. Numbers are
 //! held as `f64`, which is exact for every value the specs carry.
+//!
+//! The write side lives here too, so the whole workspace shares one
+//! parse+serialize module (the serve wire protocol re-exports these):
+//!
+//! * [`value_to_json`] — order-preserving serialization for documents that
+//!   are *built* as [`Value`] trees, where construction order is the
+//!   intended wire order.
+//! * [`canonical_json`] — key-sorted serialization; structurally equal
+//!   documents always serialize identically, which makes it a usable
+//!   cache-key preimage.
+//! * [`json_string`] — string quoting with the standard escapes.
+//!
+//! Both serializers format numbers via Rust's shortest-round-trip `{:?}`,
+//! so `parse(value_to_json(v))` reproduces `v` exactly (the round-trip
+//! property test in `crates/analyze/tests` pins this).
 
 use std::fmt;
 
@@ -347,6 +362,94 @@ impl Parser<'_> {
     }
 }
 
+/// Serializes `v` preserving object member order — the writer for response
+/// payloads and access-log lines that are *built* as [`Value`] trees, where
+/// the construction order is the intended wire order. Numbers and strings
+/// format exactly as in [`canonical_json`]; only the member ordering
+/// differs (canonicalization would scramble e.g. `id` away from the front
+/// of a response line).
+#[must_use]
+pub fn value_to_json(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_owned(),
+        Value::Bool(b) => b.to_string(),
+        Value::Number(n) => {
+            if n.is_finite() {
+                format!("{n:?}")
+            } else {
+                "null".to_owned()
+            }
+        }
+        Value::String(s) => json_string(s),
+        Value::Array(items) => {
+            let inner: Vec<String> = items.iter().map(value_to_json).collect();
+            format!("[{}]", inner.join(","))
+        }
+        Value::Object(members) => {
+            let inner: Vec<String> = members
+                .iter()
+                .map(|(k, v)| format!("{}:{}", json_string(k), value_to_json(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+/// Serializes `v` canonically: object members sorted by key at every level,
+/// numbers via shortest-round-trip formatting, no whitespace. Two
+/// structurally equal documents always serialize identically, which is what
+/// makes this the `mosc-serve` cache-key preimage.
+#[must_use]
+pub fn canonical_json(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_owned(),
+        Value::Bool(b) => b.to_string(),
+        Value::Number(n) => {
+            if n.is_finite() {
+                format!("{n:?}")
+            } else {
+                // JSON has no non-finite literals; the parser never produces
+                // them, so this only defends hand-built values.
+                "null".to_owned()
+            }
+        }
+        Value::String(s) => json_string(s),
+        Value::Array(items) => {
+            let inner: Vec<String> = items.iter().map(canonical_json).collect();
+            format!("[{}]", inner.join(","))
+        }
+        Value::Object(members) => {
+            let mut sorted: Vec<&(String, Value)> = members.iter().collect();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            let inner: Vec<String> = sorted
+                .iter()
+                .map(|(k, v)| format!("{}:{}", json_string(k), canonical_json(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+/// JSON string quoting with the standard escapes.
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,5 +532,32 @@ mod tests {
     fn deep_nesting_is_capped() {
         let deep = "[".repeat(100) + &"]".repeat(100);
         assert!(Value::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn canonical_json_sorts_keys_at_every_level() {
+        let a = Value::parse(r#"{"b":{"y":1,"x":2},"a":[1,2]}"#).unwrap();
+        let b = Value::parse(r#"{"a":[1,2],"b":{"x":2,"y":1}}"#).unwrap();
+        assert_eq!(canonical_json(&a), canonical_json(&b));
+        assert_eq!(canonical_json(&a), r#"{"a":[1.0,2.0],"b":{"x":2.0,"y":1.0}}"#);
+    }
+
+    #[test]
+    fn value_to_json_preserves_member_order() {
+        let doc = Value::Object(vec![
+            ("z".to_owned(), Value::Number(1.0)),
+            ("a".to_owned(), Value::String("x\"y".to_owned())),
+            ("nested".to_owned(), Value::Object(vec![("b".to_owned(), Value::Bool(true))])),
+        ]);
+        assert_eq!(value_to_json(&doc), r#"{"z":1.0,"a":"x\"y","nested":{"b":true}}"#);
+        // Round-trips through the parser with values intact.
+        let back = Value::parse(&value_to_json(&doc)).unwrap();
+        assert_eq!(canonical_json(&back), canonical_json(&doc));
+    }
+
+    #[test]
+    fn non_finite_numbers_serialize_as_null() {
+        assert_eq!(value_to_json(&Value::Number(f64::NAN)), "null");
+        assert_eq!(canonical_json(&Value::Number(f64::INFINITY)), "null");
     }
 }

@@ -27,28 +27,47 @@
 //!   (M050), the AO m-sweep saturating its overhead cap (M051), pruneless
 //!   branch-and-bound runs (M052), inconsistent span timing (M053), and
 //!   solver spans without kernel counter movement (M054).
+//! * **cross-artifact** ([`cross`]) — joins between artifacts: standalone
+//!   schedules against the platform's DVFS table (M080), solve claims
+//!   recomputed from the referenced platform + schedule (M081), access-log
+//!   cache hits against canonical-key derivation (M082), and per-solve
+//!   kernel counters against the solver kind (M083).
+//! * **concurrency/trace** ([`trace`]) — the serve access log's lifecycle
+//!   invariants: timestamp ordering (M090), span-tree well-formedness
+//!   (M091), queue-wait accounting (M092), and per-connection sequence
+//!   monotonicity (M093).
 //!
 //! Entry points:
 //!
-//! * [`analyze_spec`] — lint a JSON spec file (see [`spec`] for the format);
-//!   this is what `mosc-cli analyze <spec.json>` calls.
+//! * [`pass::run_passes`] — the pass-manager engine behind
+//!   `mosc-cli analyze`: load every file once into a typed
+//!   [`artifact::Artifacts`] model, run the registered [`pass::Lint`]
+//!   passes, then apply severity configuration and a baseline.
+//! * [`analyze_spec`] / [`analyze_telemetry`] — the single-file pipelines,
+//!   also reachable through the engine.
 //! * [`check_platform`] / [`check_schedule`] / [`check_solution`] — typed
 //!   checks used by the `debug_assert` hooks in `mosc-core`'s solvers.
 //!
-//! DESIGN.md §7 tabulates every code with the paper statement it enforces.
+//! DESIGN.md §7 tabulates every code with the paper statement it enforces;
+//! §13 documents the pass manager and artifact model.
 
 mod access;
+pub mod artifact;
+pub mod cross;
 pub mod diag;
 pub mod json;
+pub mod output;
+pub mod pass;
 pub mod platform;
 pub mod schedule;
 pub mod solution;
 pub mod spec;
 pub mod telemetry;
+pub mod trace;
 
 pub use diag::{Code, Diagnostic, Report, Severity};
 pub use platform::{check_levels, check_platform, check_t_max_c, check_tau};
 pub use schedule::{check_raw_schedule, check_schedule};
 pub use solution::{check_solution, SolutionClaim, Tolerances};
-pub use spec::{analyze_spec, platform_from_doc, platform_from_spec, SpecError};
+pub use spec::{analyze_spec, load_spec, platform_from_doc, platform_from_spec, SpecError};
 pub use telemetry::analyze_telemetry;

@@ -1,0 +1,184 @@
+//! Machine-readable renderings of a [`Report`]: a compact JSON findings
+//! document and SARIF 2.1.0 for code-scanning UIs.
+//!
+//! Both are built as [`Value`] trees and serialized through
+//! [`crate::json::value_to_json`], so the output is valid JSON by
+//! construction — the same guarantee the serve wire format relies on. The
+//! human-readable text format stays [`Report::render`].
+
+use crate::diag::{Report, Severity};
+use crate::json::{value_to_json, Value};
+
+fn obj(members: Vec<(&str, Value)>) -> Value {
+    Value::Object(members.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn s(text: &str) -> Value {
+    Value::String(text.to_owned())
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn n(x: usize) -> Value {
+    Value::Number(x as f64)
+}
+
+/// Renders the findings as a JSON document:
+/// `{"version":1,"errors":E,"warnings":W,"findings":[{code,severity,message,file,path}…]}`.
+#[must_use]
+pub fn render_json(report: &Report) -> String {
+    let findings: Vec<Value> = report
+        .diagnostics()
+        .iter()
+        .map(|d| {
+            obj(vec![
+                ("code", s(d.code.as_str())),
+                ("severity", s(&d.severity.to_string())),
+                ("message", s(&d.message)),
+                ("file", s(&d.file)),
+                ("path", s(&d.path)),
+            ])
+        })
+        .collect();
+    let doc = obj(vec![
+        ("version", n(1)),
+        ("errors", n(report.error_count())),
+        ("warnings", n(report.warning_count())),
+        ("findings", Value::Array(findings)),
+    ]);
+    let mut out = value_to_json(&doc);
+    out.push('\n');
+    out
+}
+
+/// Renders the findings as a minimal SARIF 2.1.0 log: one run, one rule per
+/// distinct code, one result per finding. `level` maps error → `"error"`,
+/// warning → `"warning"`; the artifact file (when stamped) becomes the
+/// result's `artifactLocation.uri`.
+#[must_use]
+pub fn render_sarif(report: &Report) -> String {
+    let mut rule_ids: Vec<&str> = report.diagnostics().iter().map(|d| d.code.as_str()).collect();
+    rule_ids.sort_unstable();
+    rule_ids.dedup();
+    let rules: Vec<Value> = rule_ids.into_iter().map(|id| obj(vec![("id", s(id))])).collect();
+
+    let results: Vec<Value> = report
+        .diagnostics()
+        .iter()
+        .map(|d| {
+            let level = match d.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            };
+            let message = if d.path.is_empty() {
+                d.message.clone()
+            } else {
+                format!("{} (at {})", d.message, d.path)
+            };
+            let mut members = vec![
+                ("ruleId", s(d.code.as_str())),
+                ("level", s(level)),
+                ("message", obj(vec![("text", s(&message))])),
+            ];
+            if !d.file.is_empty() {
+                members.push((
+                    "locations",
+                    Value::Array(vec![obj(vec![(
+                        "physicalLocation",
+                        obj(vec![("artifactLocation", obj(vec![("uri", s(&d.file))]))]),
+                    )])]),
+                ));
+            }
+            obj(members)
+        })
+        .collect();
+
+    let doc = obj(vec![
+        ("$schema", s("https://json.schemastore.org/sarif-2.1.0.json")),
+        ("version", s("2.1.0")),
+        (
+            "runs",
+            Value::Array(vec![obj(vec![
+                (
+                    "tool",
+                    obj(vec![(
+                        "driver",
+                        obj(vec![
+                            ("name", s("mosc-analyze")),
+                            ("version", s(env!("CARGO_PKG_VERSION"))),
+                            ("informationUri", s("https://github.com/mosc/mosc")),
+                            ("rules", Value::Array(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results", Value::Array(results)),
+            ])]),
+        ),
+    ]);
+    let mut out = value_to_json(&doc);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Code;
+
+    fn sample() -> Report {
+        let mut r = Report::new();
+        r.push(Code::ClaimDivergence, "throughput", "claimed 1 but recomputes \"2\"");
+        r.stamp_file("claim.json");
+        r.push(Code::NotStepUp, "", "voltages decrease");
+        r
+    }
+
+    #[test]
+    fn json_output_parses_and_carries_every_finding() {
+        let text = render_json(&sample());
+        let doc = Value::parse(&text).expect("render_json must emit valid JSON");
+        assert_eq!(doc.get("errors").and_then(Value::as_usize), Some(1));
+        assert_eq!(doc.get("warnings").and_then(Value::as_usize), Some(1));
+        let findings = doc.get("findings").and_then(Value::as_array).unwrap();
+        assert_eq!(findings.len(), 2);
+        assert_eq!(findings[0].get("code").and_then(Value::as_str), Some("M081"));
+        assert_eq!(findings[0].get("file").and_then(Value::as_str), Some("claim.json"));
+        assert_eq!(findings[1].get("severity").and_then(Value::as_str), Some("warning"));
+    }
+
+    #[test]
+    fn sarif_output_is_schema_shaped() {
+        let text = render_sarif(&sample());
+        let doc = Value::parse(&text).expect("render_sarif must emit valid JSON");
+        assert_eq!(doc.get("version").and_then(Value::as_str), Some("2.1.0"));
+        let runs = doc.get("runs").and_then(Value::as_array).unwrap();
+        assert_eq!(runs.len(), 1);
+        let driver = runs[0].get("tool").and_then(|t| t.get("driver")).unwrap();
+        assert_eq!(driver.get("name").and_then(Value::as_str), Some("mosc-analyze"));
+        let rules = driver.get("rules").and_then(Value::as_array).unwrap();
+        assert_eq!(rules.len(), 2, "one rule per distinct code");
+        let results = runs[0].get("results").and_then(Value::as_array).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].get("ruleId").and_then(Value::as_str), Some("M081"));
+        assert_eq!(results[0].get("level").and_then(Value::as_str), Some("error"));
+        let uri = results[0]
+            .get("locations")
+            .and_then(Value::as_array)
+            .and_then(|l| l[0].get("physicalLocation"))
+            .and_then(|p| p.get("artifactLocation"))
+            .and_then(|a| a.get("uri"))
+            .and_then(Value::as_str);
+        assert_eq!(uri, Some("claim.json"));
+        // The file-less finding has no locations member at all.
+        assert!(results[1].get("locations").is_none());
+    }
+
+    #[test]
+    fn empty_report_renders_empty_but_valid_documents() {
+        let r = Report::new();
+        let doc = Value::parse(&render_json(&r)).unwrap();
+        assert_eq!(doc.get("findings").and_then(Value::as_array).map(<[Value]>::len), Some(0));
+        let doc = Value::parse(&render_sarif(&r)).unwrap();
+        let runs = doc.get("runs").and_then(Value::as_array).unwrap();
+        assert_eq!(runs[0].get("results").and_then(Value::as_array).map(<[Value]>::len), Some(0));
+    }
+}

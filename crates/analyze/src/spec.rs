@@ -181,6 +181,22 @@ pub fn platform_from_doc(doc: &Value) -> Result<Platform, SpecError> {
         .ok_or_else(|| structural(format!("platform construction failed:\n{report}")))
 }
 
+/// A spec artifact after loading: the typed platform and schedule it
+/// described (when they could be built) plus every diagnostic the load
+/// produced. The pass manager hands the typed halves to cross-artifact
+/// lints (M08x) so they never re-parse the file.
+#[derive(Debug)]
+pub struct SpecArtifact {
+    /// The typed platform, `None` when its raw values failed lints or the
+    /// thermal model could not be constructed (the report says why).
+    pub platform: Option<Platform>,
+    /// The typed schedule from the spec's `schedule` section, `None` when
+    /// absent or unbuildable.
+    pub schedule: Option<Schedule>,
+    /// Everything the single-file spec pipeline found (M00x/M01x/M02x).
+    pub report: Report,
+}
+
 /// Analyzes a spec document. Returns the lint report, or a [`SpecError`]
 /// when the document is structurally unusable.
 ///
@@ -188,6 +204,15 @@ pub fn platform_from_doc(doc: &Value) -> Result<Platform, SpecError> {
 /// [`SpecError`] for malformed JSON, missing required fields, wrong types,
 /// or unknown cooler names.
 pub fn analyze_spec(text: &str) -> Result<Report, SpecError> {
+    load_spec(text).map(|a| a.report)
+}
+
+/// Loads a spec and returns the typed artifact alongside the lint report.
+/// [`analyze_spec`] is this function with the typed halves dropped.
+///
+/// # Errors
+/// Same contract as [`analyze_spec`].
+pub fn load_spec(text: &str) -> Result<SpecArtifact, SpecError> {
     let doc = Value::parse(text).map_err(|e| structural(e.to_string()))?;
     if !doc.is_object() {
         return Err(structural("top level must be a JSON object"));
@@ -251,7 +276,8 @@ pub fn analyze_spec(text: &str) -> Result<Report, SpecError> {
             if !report.has_errors() {
                 return Err(structural("'solution' requires a 'schedule' section"));
             }
-            return Ok(report); // can't recompute against broken inputs
+            // can't recompute against broken inputs
+            return Ok(SpecArtifact { platform, schedule: typed_schedule, report });
         };
         let peak = match (claim.get("peak_c"), claim.get("peak")) {
             (Some(v), _) => {
@@ -276,7 +302,7 @@ pub fn analyze_spec(text: &str) -> Result<Report, SpecError> {
         report.merge(check_solution(p, s, &claim, &Tolerances::default()));
     }
 
-    Ok(report)
+    Ok(SpecArtifact { platform, schedule: typed_schedule, report })
 }
 
 fn build_platform(p: &PlatformParams, report: &mut Report) -> Result<Option<Platform>, SpecError> {

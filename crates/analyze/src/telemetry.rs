@@ -24,7 +24,9 @@
 //!   `steady_state.calls`) stayed at zero: the solver and kernel layers
 //!   disagree about what ran. Since the period-map kernel landed, a healthy
 //!   solver run can legitimately show `expm.calls == 0` — the modal
-//!   counters move instead.
+//!   counters move instead. A stream whose successful solves were *all*
+//!   cache hits (per the access-log `cached` flag) is exempt: a cache hit
+//!   legitimately moves no kernel counter.
 //!
 //! The `M060`-series covers streams from the `mosc-serve` daemon
 //! (`mosc-cli serve --obs=json`), which emits `serve.request` /
@@ -54,21 +56,24 @@ use crate::spec::SpecError;
 /// search this small can legitimately accept every node.
 const BNB_PRUNE_FLOOR: u64 = 50;
 
-/// Analyzes one telemetry JSONL document.
+/// One parsed line of a JSONL stream: its 1-based line number and the
+/// parsed object. The artifact model loads a stream once into these and
+/// every stream lint (`M05x`–`M09x`) runs over the same records.
+#[derive(Debug, Clone)]
+pub struct StreamRecord {
+    /// 1-based line number in the source file.
+    pub lineno: usize,
+    /// The parsed JSON object on that line.
+    pub value: Value,
+}
+
+/// Parses a JSONL document into stream records, skipping blank lines.
 ///
 /// # Errors
 /// [`SpecError`] when a line is not valid JSON or not an object — a
 /// truncated or corrupted stream is a structural problem, not a finding.
-pub fn analyze_telemetry(text: &str) -> Result<Report, SpecError> {
-    let mut report = Report::new();
-    let mut records = 0usize;
-    let mut kernel_calls: u64 = 0;
-    let mut solver_spans: Vec<String> = Vec::new();
-    let mut serve = ServeStream::default();
-    /// Counters whose movement proves the evaluation kernel ran: the dense
-    /// `expm` path or the modal period-map path.
-    const KERNEL_COUNTERS: [&str; 3] = ["expm.calls", "period_map.matmuls", "steady_state.calls"];
-
+pub fn load_stream(text: &str) -> Result<Vec<StreamRecord>, SpecError> {
+    let mut records = Vec::new();
     for (idx, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
@@ -80,9 +85,41 @@ pub fn analyze_telemetry(text: &str) -> Result<Report, SpecError> {
         if !value.is_object() {
             return Err(SpecError(format!("telemetry line {lineno}: each line must be an object")));
         }
-        records += 1;
+        records.push(StreamRecord { lineno, value });
+    }
+    Ok(records)
+}
+
+/// Analyzes one telemetry JSONL document: the `M05x`–`M07x` stream lints
+/// plus the cross-artifact (`M08x`) and concurrency/trace (`M09x`)
+/// families, which stay inert on streams lacking the fields they read.
+///
+/// # Errors
+/// [`SpecError`] when a line is not valid JSON or not an object.
+pub fn analyze_telemetry(text: &str) -> Result<Report, SpecError> {
+    let records = load_stream(text)?;
+    let mut report = Report::new();
+    stream_lints(&records, &mut report);
+    crate::cross::access_log_lints(&records, &mut report);
+    crate::trace::trace_lints(&records, &mut report);
+    Ok(report)
+}
+
+/// Runs the `M050`–`M073` lints over pre-parsed stream records.
+pub fn stream_lints(records: &[StreamRecord], report: &mut Report) {
+    let mut kernel_calls: u64 = 0;
+    let mut solver_spans: Vec<String> = Vec::new();
+    let mut ok_solves = 0usize;
+    let mut cached_ok_solves = 0usize;
+    let mut serve = ServeStream::default();
+    /// Counters whose movement proves the evaluation kernel ran: the dense
+    /// `expm` path or the modal period-map path.
+    const KERNEL_COUNTERS: [&str; 3] = ["expm.calls", "period_map.matmuls", "steady_state.calls"];
+
+    for rec in records {
+        let (value, lineno) = (&rec.value, rec.lineno);
         match value.get("type").and_then(Value::as_str) {
-            Some("span") => check_span(&value, lineno, &mut report, &mut solver_spans),
+            Some("span") => check_span(value, lineno, report, &mut solver_spans),
             Some("counter")
                 if value
                     .get("name")
@@ -96,31 +133,45 @@ pub fn analyze_telemetry(text: &str) -> Result<Report, SpecError> {
                     }
                 }
             }
-            Some("counter") => serve.note_counter(&value),
-            Some("gauge") => serve.note_gauge(&value),
+            Some("counter") => serve.note_counter(value),
+            Some("gauge") => serve.note_gauge(value),
             Some("event") => {
-                serve.note_event(&value, lineno);
-                check_event(&value, lineno, &mut report);
+                serve.note_event(value, lineno);
+                check_event(value, lineno, report);
             }
-            Some("access") => crate::access::check_access(&value, lineno, &mut report),
+            Some("access") => {
+                if value.get("op").and_then(Value::as_str) == Some("solve")
+                    && value.get("status").and_then(Value::as_str) == Some("ok")
+                {
+                    ok_solves += 1;
+                    if value.get("cached").and_then(Value::as_bool) == Some(true) {
+                        cached_ok_solves += 1;
+                    }
+                }
+                crate::access::check_access(value, lineno, report);
+            }
             Some("hist_snapshot") => {
-                crate::access::check_hist_snapshot(&value, lineno, &mut report);
+                crate::access::check_hist_snapshot(value, lineno, report);
             }
             Some("serve_summary") => {
-                crate::access::check_serve_summary(&value, lineno, &mut report);
+                crate::access::check_serve_summary(value, lineno, report);
             }
             _ => {} // hist, meta, profile, future types
         }
     }
-    serve.finish(&mut report);
+    serve.finish(report);
 
-    if records == 0 {
+    // M054 exemption: if the access log shows every successful solve was a
+    // cache hit, zero kernel counters are the expected outcome, not an
+    // instrumentation disagreement.
+    let all_solves_cached = ok_solves > 0 && ok_solves == cached_ok_solves;
+    if records.is_empty() {
         report.push(
             Code::TelemetryEmpty,
             "",
             "telemetry stream holds no records — was the recorder enabled?",
         );
-    } else if kernel_calls == 0 && !solver_spans.is_empty() {
+    } else if kernel_calls == 0 && !solver_spans.is_empty() && !all_solves_cached {
         report.push(
             Code::KernelCountersMissing,
             solver_spans[0].clone(),
@@ -132,7 +183,6 @@ pub fn analyze_telemetry(text: &str) -> Result<Report, SpecError> {
             ),
         );
     }
-    Ok(report)
 }
 
 /// Accumulated `serve.*` state for the `M060`-series lints. All fields stay
@@ -408,6 +458,23 @@ mod tests {
 "#;
         let r = analyze_telemetry(text).unwrap();
         assert!(!r.has_code(Code::KernelCountersMissing), "findings:\n{r}");
+    }
+
+    #[test]
+    fn all_cached_solves_suppress_m054() {
+        // A solver span with zero kernel counters, but the access log shows
+        // the only successful solve was a cache hit: no M054.
+        let cached = r#"{"type":"span","path":"ao.solve","name":"ao.solve","depth":0,"calls":1,"total_s":0.5,"self_s":0.5}
+{"type":"counter","name":"expm.calls","value":0}
+{"type":"access","t_s":1.0,"id":"s1","op":"solve","solver":"ao","status":"ok","cached":true,"queue_wait_s":0.0,"service_s":0.001,"total_s":0.001,"deadline_slack_s":null,"expm_calls":0,"period_map_matmuls":0,"steady_state_calls":0,"linalg_matmuls":0}
+"#;
+        let r = analyze_telemetry(cached).unwrap();
+        assert!(!r.has_code(Code::KernelCountersMissing), "findings:\n{r}");
+
+        // The same stream with the solve *not* cached keeps the finding.
+        let uncached = cached.replace(r#""cached":true"#, r#""cached":false"#);
+        let r = analyze_telemetry(&uncached).unwrap();
+        assert!(r.has_code(Code::KernelCountersMissing), "findings:\n{r}");
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Concurrency and trace invariants (`M090`-series) over the serve access
+//! log's per-request lifecycle fields.
+//!
+//! The daemon stamps every access line with the four phase timestamps
+//! (`t_recv_s`, `t_enqueue_s`, `t_dequeue_s`, `t_done_s`, all relative to
+//! server start on one monotone clock), the connection id and per-connection
+//! sequence number (`conn`, `seq`), and — for slow requests — a span tree
+//! with depths. These lints check what single-line `M070` checks cannot:
+//!
+//! * `M090` — the pipeline order `recv ≤ enqueue ≤ dequeue ≤ done` is
+//!   violated. All four derive from one monotone clock, so no epsilon.
+//! * `M091` — a span tree is malformed: a nested path with no parent span,
+//!   a child whose total exceeds its parent's, a duplicated path, or a
+//!   recorded depth disagreeing with the path's nesting.
+//! * `M092` — phase accounting does not sum: `queue_wait_s`, `service_s`,
+//!   or `total_s` disagree with the corresponding timestamp differences.
+//! * `M093` — per-connection sequence numbers repeat, or receive times go
+//!   backwards as sequence numbers increase: one connection's lines are
+//!   read sequentially by one reader thread, so both are monotone.
+//!
+//! Every lint is inert on records lacking the fields it reads, so logs from
+//! older builds analyze cleanly.
+
+use crate::diag::{Code, Report};
+use crate::json::Value;
+use crate::telemetry::StreamRecord;
+use std::collections::HashMap;
+
+/// Slack on phase-accounting sums: the daemon computes the durations from
+/// the same Instants it logs, so only f64 rounding can separate them.
+const PHASE_SUM_EPS: f64 = 1e-6;
+
+/// Runs the `M090`–`M093` lints over pre-parsed stream records.
+pub fn trace_lints(records: &[StreamRecord], report: &mut Report) {
+    // conn -> [(seq, t_recv_s, lineno)]
+    let mut conns: HashMap<u64, Vec<(u64, f64, usize)>> = HashMap::new();
+
+    for rec in records {
+        let v = &rec.value;
+        if v.get("type").and_then(Value::as_str) != Some("access") {
+            continue;
+        }
+        let id = v.get("id").and_then(Value::as_str).unwrap_or("?");
+        let ctx = format!("line {} (id {id})", rec.lineno);
+        let ts = |key: &str| v.get(key).and_then(Value::as_f64);
+        let (recv, enq, deq, done) =
+            (ts("t_recv_s"), ts("t_enqueue_s"), ts("t_dequeue_s"), ts("t_done_s"));
+
+        // --- M090: timestamp ordering --------------------------------------
+        if let (Some(recv), Some(enq), Some(deq), Some(done)) = (recv, enq, deq, done) {
+            let phases = [("recv", recv), ("enqueue", enq), ("dequeue", deq), ("done", done)];
+            for w in phases.windows(2) {
+                if w[0].1 > w[1].1 {
+                    report.push(
+                        Code::TimestampOrder,
+                        ctx.clone(),
+                        format!(
+                            "t_{}_s = {} comes after t_{}_s = {} — the request pipeline \
+                             is recv ≤ enqueue ≤ dequeue ≤ done on one monotone clock",
+                            w[0].0, w[0].1, w[1].0, w[1].1
+                        ),
+                    );
+                }
+            }
+
+            // --- M092: phase accounting sums to the timestamp deltas -------
+            let sums =
+                [("queue_wait_s", deq - enq), ("service_s", done - deq), ("total_s", done - recv)];
+            for (field, expect) in sums {
+                if let Some(got) = ts(field) {
+                    if (got - expect).abs() > PHASE_SUM_EPS {
+                        report.push(
+                            Code::PhaseAccounting,
+                            ctx.clone(),
+                            format!(
+                                "{field} = {got} but the phase timestamps imply {expect} — \
+                                 queue-wait accounting does not sum"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // --- M093 bookkeeping ---------------------------------------------
+        if let (Some(conn), Some(seq), Some(recv)) =
+            (v.get("conn").and_then(Value::as_usize), v.get("seq").and_then(Value::as_usize), recv)
+        {
+            conns.entry(conn as u64).or_default().push((seq as u64, recv, rec.lineno));
+        }
+
+        // --- M091: span-tree well-formedness -------------------------------
+        if let Some(spans) = v.get("spans").and_then(Value::as_array) {
+            check_span_tree(spans, &ctx, report);
+        }
+    }
+
+    // --- M093: per-connection monotonicity --------------------------------
+    for (conn, mut entries) in conns {
+        entries.sort_by_key(|&(seq, _, _)| seq);
+        for w in entries.windows(2) {
+            let ((s0, t0, _), (s1, t1, l1)) = (w[0], w[1]);
+            if s0 == s1 {
+                report.push(
+                    Code::SeqNonMonotonic,
+                    format!("line {l1}"),
+                    format!("connection {conn} logged sequence number {s1} twice"),
+                );
+            } else if t1 < t0 {
+                report.push(
+                    Code::SeqNonMonotonic,
+                    format!("line {l1}"),
+                    format!(
+                        "connection {conn}: seq {s1} was received at {t1} s, before \
+                         seq {s0} at {t0} s — one reader thread reads a connection \
+                         in order"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn check_span_tree(spans: &[Value], ctx: &str, report: &mut Report) {
+    let mut totals: HashMap<&str, f64> = HashMap::new();
+    for s in spans {
+        let Some(path) = s.get("path").and_then(Value::as_str) else { continue };
+        let total = s.get("total_s").and_then(Value::as_f64).unwrap_or(0.0);
+        if totals.insert(path, total).is_some() {
+            report.push(
+                Code::SpanTreeMalformed,
+                ctx.to_owned(),
+                format!("span path '{path}' appears twice in one trace"),
+            );
+        }
+        if let Some(depth) = s.get("depth").and_then(Value::as_usize) {
+            let nesting = path.matches('/').count();
+            if depth != nesting {
+                report.push(
+                    Code::SpanTreeMalformed,
+                    ctx.to_owned(),
+                    format!(
+                        "span '{path}' records depth {depth} but its path nests \
+                         {nesting} level(s)"
+                    ),
+                );
+            }
+        }
+    }
+    for s in spans {
+        let Some(path) = s.get("path").and_then(Value::as_str) else { continue };
+        let Some((parent, _)) = path.rsplit_once('/') else { continue };
+        match totals.get(parent) {
+            None => report.push(
+                Code::SpanTreeMalformed,
+                ctx.to_owned(),
+                format!("span '{path}' has no parent span '{parent}' in the trace"),
+            ),
+            Some(&parent_total) => {
+                let child_total = s.get("total_s").and_then(Value::as_f64).unwrap_or(0.0);
+                if child_total > parent_total + 1e-9 {
+                    report.push(
+                        Code::SpanTreeMalformed,
+                        ctx.to_owned(),
+                        format!(
+                            "span '{path}' total {child_total} s exceeds its parent \
+                             '{parent}' total {parent_total} s"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::load_stream;
+
+    /// A pristine access line with the full v2 lifecycle fields.
+    const PRISTINE: &str = r#"{"type":"access","t_s":2.0,"id":"s1","op":"solve","solver":"ao","status":"ok","cached":false,"conn":1,"seq":0,"key":"00000000deadbeef","t_recv_s":1.0,"t_enqueue_s":1.001,"t_dequeue_s":1.005,"t_done_s":1.105,"queue_wait_s":0.004,"service_s":0.1,"total_s":0.105,"spans":[{"path":"ao.solve","calls":1,"total_s":0.09,"self_s":0.01,"depth":0},{"path":"ao.solve/ao.sweep_m","calls":1,"total_s":0.08,"self_s":0.08,"depth":1}]}"#;
+
+    fn lint(text: &str) -> Report {
+        let mut r = Report::new();
+        trace_lints(&load_stream(text).unwrap(), &mut r);
+        r
+    }
+
+    #[test]
+    fn pristine_line_is_clean() {
+        let r = lint(PRISTINE);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn timestamp_inversion_is_m090() {
+        // dequeue before enqueue
+        let bad = PRISTINE.replace(r#""t_dequeue_s":1.005"#, r#""t_dequeue_s":0.9"#);
+        let r = lint(&bad);
+        assert!(r.has_code(Code::TimestampOrder), "{r}");
+        assert!(r.has_errors());
+
+        // done before recv
+        let bad = PRISTINE.replace(r#""t_done_s":1.105"#, r#""t_done_s":0.5"#);
+        assert!(lint(&bad).has_code(Code::TimestampOrder));
+    }
+
+    #[test]
+    fn accounting_mismatch_is_m092() {
+        for (field, forged) in [
+            (r#""queue_wait_s":0.004"#, r#""queue_wait_s":0.4"#),
+            (r#""service_s":0.1"#, r#""service_s":0.9"#),
+            (r#""total_s":0.105"#, r#""total_s":9.0"#),
+        ] {
+            let bad = PRISTINE.replace(field, forged);
+            let r = lint(&bad);
+            assert!(r.has_code(Code::PhaseAccounting), "{field}:\n{r}");
+        }
+    }
+
+    #[test]
+    fn span_tree_defects_are_m091() {
+        // Orphan child: rename the root away.
+        let bad = PRISTINE.replace(
+            r#""path":"ao.solve","calls":1,"total_s":0.09"#,
+            r#""path":"other.root","calls":1,"total_s":0.09"#,
+        );
+        assert!(lint(&bad).has_code(Code::SpanTreeMalformed), "orphan");
+
+        // Child total exceeding the parent's.
+        let bad = PRISTINE.replace(r#""total_s":0.08"#, r#""total_s":0.5"#);
+        assert!(lint(&bad).has_code(Code::SpanTreeMalformed), "child > parent");
+
+        // Duplicate path.
+        let bad = PRISTINE.replace(
+            r#"{"path":"ao.solve/ao.sweep_m","calls":1,"total_s":0.08,"self_s":0.08,"depth":1}"#,
+            r#"{"path":"ao.solve","calls":1,"total_s":0.01,"self_s":0.01,"depth":0}"#,
+        );
+        assert!(lint(&bad).has_code(Code::SpanTreeMalformed), "duplicate");
+
+        // Depth disagreeing with the path.
+        let bad = PRISTINE.replace(r#""self_s":0.08,"depth":1"#, r#""self_s":0.08,"depth":3"#);
+        assert!(lint(&bad).has_code(Code::SpanTreeMalformed), "depth");
+    }
+
+    #[test]
+    fn per_connection_seq_defects_are_m093() {
+        let second = PRISTINE
+            .replace(r#""seq":0"#, r#""seq":1"#)
+            .replace(r#""id":"s1""#, r#""id":"s2""#)
+            .replace(r#""t_recv_s":1.0"#, r#""t_recv_s":1.2"#)
+            .replace(r#""t_enqueue_s":1.001"#, r#""t_enqueue_s":1.201"#)
+            .replace(r#""t_dequeue_s":1.005"#, r#""t_dequeue_s":1.205"#)
+            .replace(r#""t_done_s":1.105"#, r#""t_done_s":1.305"#);
+        let good = format!("{PRISTINE}\n{second}\n");
+        assert!(lint(&good).is_clean(), "{}", lint(&good));
+
+        // Duplicate seq on one connection.
+        let dup = second.replace(r#""seq":1"#, r#""seq":0"#);
+        let r = lint(&format!("{PRISTINE}\n{dup}\n"));
+        assert!(r.has_code(Code::SeqNonMonotonic), "{r}");
+
+        // Receive time regressing as seq increases.
+        let regress = second.replace(r#""t_recv_s":1.2"#, r#""t_recv_s":0.2"#);
+        let r = lint(&format!("{PRISTINE}\n{regress}\n"));
+        assert!(r.has_code(Code::SeqNonMonotonic), "{r}");
+
+        // Same seq on a *different* connection is fine.
+        let other_conn = second.replace(r#""conn":1,"seq":1"#, r#""conn":2,"seq":0"#);
+        let r = lint(&format!("{PRISTINE}\n{other_conn}\n"));
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn old_logs_without_lifecycle_fields_are_inert() {
+        let legacy = r#"{"type":"access","t_s":1.0,"id":"s1","op":"solve","solver":"ao","status":"ok","cached":false,"queue_wait_s":0.0,"service_s":0.1,"total_s":0.1}"#;
+        let r = lint(legacy);
+        assert!(r.is_clean(), "{r}");
+    }
+}

@@ -1,0 +1,249 @@
+//! Engine-level tests: golden snapshots of the three output formats and
+//! mutation tests that corrupt each field the M08x/M09x lints read.
+//!
+//! The golden files live in `tests/golden/`; regenerate them with
+//! `BLESS=1 cargo test -p mosc-analyze --test engine` after an intentional
+//! output change, then review the diff like any other code change.
+
+use mosc_analyze::artifact::Artifacts;
+use mosc_analyze::json::Value;
+use mosc_analyze::output::{render_json, render_sarif};
+use mosc_analyze::pass::run_passes;
+use mosc_analyze::{Code, Report};
+use mosc_sched::{Platform, PlatformSpec};
+
+/// A 1×2 paper platform spec (levels 0.6/1.3 V, `T_max` 55 °C).
+const SPEC: &str = r#"{"platform": {"rows": 1, "cols": 2, "levels": [0.6, 1.3], "t_max_c": 55.0}}"#;
+
+/// A schedule that fits the platform above exactly.
+const GOOD_SCHED: &str =
+    "period 0.1\ncore 0: 0.6 x 0.06, 1.3 x 0.04\ncore 1: 0.6 x 0.07, 1.3 x 0.03\n";
+
+/// A pristine two-line access log: one non-cached AO fill announcing key
+/// `…aa` with kernel-counter evidence and a span tree, then the cache hit it
+/// fills, on one connection with ascending seq and consistent timestamps.
+const PRISTINE_LOG: &str = concat!(
+    r#"{"type":"access","t_s":2.0,"id":"s1","op":"solve","solver":"ao","status":"ok","cached":false,"queue_wait_s":0.004,"service_s":0.1,"total_s":0.105,"deadline_slack_s":null,"expm_calls":0,"period_map_matmuls":40,"steady_state_calls":4,"linalg_matmuls":100,"conn":1,"seq":0,"key":"00000000000000aa","t_recv_s":1.0,"t_enqueue_s":1.001,"t_dequeue_s":1.005,"t_done_s":1.105,"spans":[{"path":"ao.solve","depth":0,"calls":1,"total_s":0.09,"self_s":0.01},{"path":"ao.solve/ao.sweep_m","depth":1,"calls":1,"total_s":0.08,"self_s":0.08}]}"#,
+    "\n",
+    r#"{"type":"access","t_s":2.1,"id":"s2","op":"solve","solver":"ao","status":"ok","cached":true,"queue_wait_s":0.0,"service_s":0.0005,"total_s":0.0005,"deadline_slack_s":null,"expm_calls":0,"period_map_matmuls":0,"steady_state_calls":0,"linalg_matmuls":0,"conn":1,"seq":1,"key":"00000000000000aa","t_recv_s":1.2,"t_enqueue_s":1.2,"t_dequeue_s":1.2,"t_done_s":1.2005}"#,
+    "\n",
+);
+
+fn run(inputs: &[(&str, &str)]) -> Report {
+    let owned: Vec<(String, String)> =
+        inputs.iter().map(|(p, t)| ((*p).to_owned(), (*t).to_owned())).collect();
+    run_passes(&Artifacts::load(&owned).expect("artifacts must load"))
+}
+
+/// A truthful claim document for the spec platform + `GOOD_SCHED`, built by
+/// recomputing the numbers the same way the lint does.
+fn truthful_claim() -> String {
+    let p = Platform::build(&PlatformSpec::paper(1, 2, 2, 55.0)).unwrap();
+    let s = mosc_sched::text::from_text(GOOD_SCHED).unwrap();
+    let throughput = s.throughput_with_overhead(p.overhead());
+    let peak_c = p.to_celsius(p.peak(&s).unwrap().temp);
+    let feasible = p.peak(&s).unwrap().temp <= p.t_max();
+    format!(
+        r#"{{"status":"ok","solver":"ao","throughput":{throughput:?},"peak_c":{peak_c:?},"feasible":{feasible},"m":1,"schedule":"{}"}}"#,
+        GOOD_SCHED.replace('\n', "\\n")
+    )
+}
+
+#[test]
+fn pristine_artifact_set_is_fully_clean() {
+    let claim = truthful_claim();
+    let report = run(&[
+        ("spec.json", SPEC),
+        ("sched.txt", GOOD_SCHED),
+        ("claim.json", &claim),
+        ("log.jsonl", PRISTINE_LOG),
+    ]);
+    assert!(report.is_clean(), "pristine set produced findings:\n{report}");
+}
+
+// --- M08x mutation tests: corrupt each field the lints read ---------------
+
+#[test]
+fn mutated_schedule_voltage_fires_m080() {
+    let bad = GOOD_SCHED.replace("0.6 x 0.06", "0.9 x 0.06");
+    let report = run(&[("spec.json", SPEC), ("sched.txt", &bad)]);
+    assert!(report.has_code(Code::CrossScheduleMismatch), "{report}");
+    assert!(report.has_errors());
+    // The finding carries the offending file.
+    assert!(
+        report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == Code::CrossScheduleMismatch && d.file == "sched.txt"),
+        "{report}"
+    );
+}
+
+#[test]
+fn mutated_claim_fields_fire_m081() {
+    let claim = truthful_claim();
+    let doc = Value::parse(&claim).unwrap();
+    let throughput = doc.get("throughput").and_then(Value::as_f64).unwrap();
+    let peak_c = doc.get("peak_c").and_then(Value::as_f64).unwrap();
+
+    // Each corrupted field fires on its own.
+    for (field, forged) in [
+        (
+            format!("\"throughput\":{throughput:?}"),
+            format!("\"throughput\":{:?}", throughput * 1.01),
+        ),
+        (format!("\"peak_c\":{peak_c:?}"), format!("\"peak_c\":{:?}", peak_c + 1.0)),
+    ] {
+        let lied = claim.replace(&field, &forged);
+        assert_ne!(lied, claim, "mutation did not apply: {field}");
+        let report = run(&[("spec.json", SPEC), ("claim.json", &lied)]);
+        assert!(report.has_code(Code::ClaimDivergence), "{field}:\n{report}");
+        assert!(report.has_errors(), "{field}:\n{report}");
+    }
+
+    // Feasibility contradiction: this schedule runs well under T_max.
+    let lied = claim.replace("\"feasible\":true", "\"feasible\":false");
+    let report = run(&[("spec.json", SPEC), ("claim.json", &lied)]);
+    assert!(report.has_code(Code::ClaimDivergence), "feasible:\n{report}");
+
+    // Without a platform artifact the claim is unverifiable: warning only.
+    let report = run(&[("claim.json", &claim)]);
+    assert!(report.has_code(Code::ClaimDivergence), "{report}");
+    assert!(!report.has_errors(), "unverifiable claim must be a warning:\n{report}");
+}
+
+#[test]
+fn mutated_cache_key_and_solver_fire_m082() {
+    // Hit whose key was never announced by a fill.
+    let bad = PRISTINE_LOG.replace(
+        r#""cached":true,"queue_wait_s":0.0,"service_s":0.0005,"total_s":0.0005,"deadline_slack_s":null,"expm_calls":0,"period_map_matmuls":0,"steady_state_calls":0,"linalg_matmuls":0,"conn":1,"seq":1,"key":"00000000000000aa""#,
+        r#""cached":true,"queue_wait_s":0.0,"service_s":0.0005,"total_s":0.0005,"deadline_slack_s":null,"expm_calls":0,"period_map_matmuls":0,"steady_state_calls":0,"linalg_matmuls":0,"conn":1,"seq":1,"key":"00000000000000bb""#,
+    );
+    assert_ne!(bad, PRISTINE_LOG);
+    let report = run(&[("log.jsonl", &bad)]);
+    assert!(report.has_code(Code::AccessCacheKeyMismatch), "{report}");
+    assert!(report.has_errors());
+
+    // Hit reporting a different solver than the fill.
+    let bad = PRISTINE_LOG.replace(
+        r#""id":"s2","op":"solve","solver":"ao""#,
+        r#""id":"s2","op":"solve","solver":"pco""#,
+    );
+    assert_ne!(bad, PRISTINE_LOG);
+    let report = run(&[("log.jsonl", &bad)]);
+    assert!(report.has_code(Code::AccessCacheKeyMismatch), "{report}");
+}
+
+#[test]
+fn mutated_kernel_counters_fire_m083() {
+    // The AO fill stops moving the period-map counters; linalg evidence on
+    // the same line keeps the recorder-evidence gate open.
+    let bad = PRISTINE_LOG
+        .replace(r#""period_map_matmuls":40"#, r#""period_map_matmuls":0"#)
+        .replace(r#""steady_state_calls":4"#, r#""steady_state_calls":0"#);
+    assert_ne!(bad, PRISTINE_LOG);
+    let report = run(&[("log.jsonl", &bad)]);
+    assert!(report.has_code(Code::KernelDeltaInconsistent), "{report}");
+    assert!(!report.has_errors(), "M083 defaults to warning:\n{report}");
+
+    // With every counter at zero everywhere there is no recorder evidence,
+    // so the lint stays silent (old-log compatibility).
+    let silent = bad.replace(r#""linalg_matmuls":100"#, r#""linalg_matmuls":0"#);
+    let report = run(&[("log.jsonl", &silent)]);
+    assert!(!report.has_code(Code::KernelDeltaInconsistent), "{report}");
+}
+
+// --- M09x mutation tests --------------------------------------------------
+
+#[test]
+fn mutated_timestamps_fire_m090() {
+    let bad = PRISTINE_LOG.replace(r#""t_dequeue_s":1.005"#, r#""t_dequeue_s":0.9"#);
+    assert_ne!(bad, PRISTINE_LOG);
+    let report = run(&[("log.jsonl", &bad)]);
+    assert!(report.has_code(Code::TimestampOrder), "{report}");
+    assert!(report.has_errors());
+}
+
+#[test]
+fn mutated_span_tree_fires_m091() {
+    // Recorded depth disagreeing with the path nesting.
+    let bad = PRISTINE_LOG.replace(
+        r#""path":"ao.solve/ao.sweep_m","depth":1"#,
+        r#""path":"ao.solve/ao.sweep_m","depth":3"#,
+    );
+    assert_ne!(bad, PRISTINE_LOG);
+    let report = run(&[("log.jsonl", &bad)]);
+    assert!(report.has_code(Code::SpanTreeMalformed), "{report}");
+
+    // Orphaned child: rename the root away.
+    let bad =
+        PRISTINE_LOG.replace(r#""path":"ao.solve","depth":0"#, r#""path":"other.root","depth":0"#);
+    assert_ne!(bad, PRISTINE_LOG);
+    let report = run(&[("log.jsonl", &bad)]);
+    assert!(report.has_code(Code::SpanTreeMalformed), "{report}");
+}
+
+#[test]
+fn mutated_phase_accounting_fires_m092() {
+    let bad = PRISTINE_LOG.replace(r#""queue_wait_s":0.004"#, r#""queue_wait_s":0.09"#);
+    assert_ne!(bad, PRISTINE_LOG);
+    let report = run(&[("log.jsonl", &bad)]);
+    assert!(report.has_code(Code::PhaseAccounting), "{report}");
+}
+
+#[test]
+fn mutated_sequence_numbers_fire_m093() {
+    let bad = PRISTINE_LOG.replace(r#""conn":1,"seq":1"#, r#""conn":1,"seq":0"#);
+    assert_ne!(bad, PRISTINE_LOG);
+    let report = run(&[("log.jsonl", &bad)]);
+    assert!(report.has_code(Code::SeqNonMonotonic), "{report}");
+}
+
+// --- Golden snapshots -----------------------------------------------------
+
+/// A fixed artifact set whose findings contain only input-derived numbers,
+/// so the rendered output is bit-stable across machines: one M080 (error),
+/// one M082 (error), one M083 (warning).
+fn golden_report() -> Report {
+    let sched = GOOD_SCHED.replace("0.6 x 0.06", "0.9 x 0.06");
+    let log = concat!(
+        r#"{"type":"access","t_s":2.0,"id":"g1","op":"solve","solver":"ao","status":"ok","cached":false,"queue_wait_s":0.004,"service_s":0.1,"total_s":0.105,"expm_calls":0,"period_map_matmuls":0,"steady_state_calls":0,"linalg_matmuls":50,"key":"00000000000000aa"}"#,
+        "\n",
+        r#"{"type":"access","t_s":2.1,"id":"g2","op":"solve","solver":"ao","status":"ok","cached":true,"queue_wait_s":0.0,"service_s":0.0005,"total_s":0.0005,"expm_calls":0,"period_map_matmuls":0,"steady_state_calls":0,"linalg_matmuls":0,"key":"00000000000000bb"}"#,
+        "\n",
+    );
+    run(&[("spec.json", SPEC), ("sched.txt", &sched), ("log.jsonl", log)])
+}
+
+/// Compares `got` against the golden file, or rewrites it when `BLESS` is
+/// set in the environment.
+fn assert_golden(name: &str, got: &str) {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&path, got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read golden {path}: {e} (run with BLESS=1 to create)"));
+    assert_eq!(got, want, "output drifted from {path} (re-bless with BLESS=1 if intended)");
+}
+
+#[test]
+fn golden_text_output() {
+    assert_golden("findings.txt", &golden_report().render());
+}
+
+#[test]
+fn golden_json_output() {
+    let text = render_json(&golden_report());
+    Value::parse(&text).expect("golden JSON must parse");
+    assert_golden("findings.json", &text);
+}
+
+#[test]
+fn golden_sarif_output() {
+    let text = render_sarif(&golden_report());
+    let doc = Value::parse(&text).expect("golden SARIF must parse");
+    assert_eq!(doc.get("version").and_then(Value::as_str), Some("2.1.0"));
+    assert_golden("findings.sarif", &text);
+}

@@ -162,3 +162,51 @@ fn honest_solution_claims_are_clean_and_perturbed_throughput_trips_m020() {
         assert!(caught.has_code(Code::ThroughputMismatch), "expected M020:\n{caught}");
     });
 }
+
+/// Draws an arbitrary JSON value: scalars, strings with escapes and control
+/// characters, and nested arrays/objects up to `depth`.
+fn random_json(rng: &mut Rng64, depth: usize) -> mosc_analyze::json::Value {
+    use mosc_analyze::json::Value;
+    let scalar_only = depth == 0;
+    match rng.gen_range(0..if scalar_only { 4 } else { 6 }) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen_range(0..2usize) == 1),
+        2 => {
+            // Finite numbers only: the serializer maps non-finite to null
+            // by design (JSON has no Inf/NaN literal).
+            let x = (rng.next_f64() - 0.5) * 10f64.powi(rng.gen_range(0..30) as i32 - 15);
+            Value::Number(x)
+        }
+        3 => Value::String(random_string(rng)),
+        4 => Value::Array(
+            (0..rng.gen_range(0..4usize)).map(|_| random_json(rng, depth - 1)).collect(),
+        ),
+        _ => Value::Object(
+            (0..rng.gen_range(0..4usize))
+                .map(|i| (format!("{}{i}", random_string(rng)), random_json(rng, depth - 1)))
+                .collect(),
+        ),
+    }
+}
+
+fn random_string(rng: &mut Rng64) -> String {
+    const POOL: &[char] = &['a', 'Z', '7', '"', '\\', '\n', '\t', '\u{1}', 'é', '∮', ' ', '/'];
+    (0..rng.gen_range(0..8usize)).map(|_| POOL[rng.gen_range(0..POOL.len())]).collect()
+}
+
+#[test]
+fn json_serialize_parse_round_trips() {
+    use mosc_analyze::json::{canonical_json, value_to_json, Value};
+    propcheck("value_to_json/parse round trip", |rng| {
+        let value = random_json(rng, 3);
+        let text = value_to_json(&value);
+        let back = Value::parse(&text).unwrap_or_else(|e| panic!("unparseable: {e}\n{text}"));
+        assert_eq!(back, value, "round trip changed the value:\n{text}");
+
+        // Canonical form: same value modulo key order, and a fixpoint.
+        let canon = canonical_json(&value);
+        let canon_back =
+            Value::parse(&canon).unwrap_or_else(|e| panic!("unparseable canonical: {e}\n{canon}"));
+        assert_eq!(canonical_json(&canon_back), canon, "canonical form is not a fixpoint");
+    });
+}

@@ -300,6 +300,35 @@ pub struct SolveReport {
     pub kernel: KernelDelta,
 }
 
+impl SolveReport {
+    /// Renders this result as a *solution claim* document — the JSON shape
+    /// `mosc-cli analyze` recomputes and cross-checks with the `M081` lint
+    /// (and the shape the serve protocol answers with): solver id,
+    /// throughput, peak in °C, feasibility, oscillation factor, and the
+    /// embedded schedule text so the claim is verifiable on its own
+    /// against a platform spec. One line, trailing newline included.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)] // m is tiny (≤ max_m)
+    pub fn claim_json(&self, kind: SolverKind, platform: &Platform) -> String {
+        use mosc_analyze::json::{value_to_json, Value};
+        let doc = Value::Object(vec![
+            ("status".to_owned(), Value::String("ok".to_owned())),
+            ("solver".to_owned(), Value::String(kind.id().to_owned())),
+            ("throughput".to_owned(), Value::Number(self.solution.throughput)),
+            ("peak_c".to_owned(), Value::Number(self.solution.peak_c(platform))),
+            ("feasible".to_owned(), Value::Bool(self.solution.feasible)),
+            ("m".to_owned(), Value::Number(self.solution.m as f64)),
+            (
+                "schedule".to_owned(),
+                Value::String(mosc_sched::text::to_text(&self.solution.schedule)),
+            ),
+        ]);
+        let mut line = value_to_json(&doc);
+        line.push('\n');
+        line
+    }
+}
+
 /// Runs solver `kind` on `platform` with `opts`, returning the uniform
 /// [`SolveReport`].
 ///
@@ -396,6 +425,23 @@ mod tests {
             assert_eq!(report.solution.algorithm, kind.label(), "{kind:?}");
             assert!(report.solution.throughput > 0.0, "{kind:?}");
         }
+    }
+
+    #[test]
+    fn claim_json_is_parseable_and_complete() {
+        use mosc_analyze::json::Value;
+        let p = mosc_sched::Platform::build(&PlatformSpec::paper(1, 2, 2, 55.0)).unwrap();
+        let report = solve(SolverKind::Ao, &p, &SolveOptions::default()).unwrap();
+        let claim = report.claim_json(SolverKind::Ao, &p);
+        let doc = Value::parse(&claim).expect("claim must be valid JSON");
+        assert_eq!(doc.get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(doc.get("solver").and_then(Value::as_str), Some("ao"));
+        assert_eq!(doc.get("throughput").and_then(Value::as_f64), Some(report.solution.throughput));
+        assert_eq!(doc.get("feasible").and_then(Value::as_bool), Some(true));
+        // The embedded schedule text round-trips through the sched parser.
+        let text = doc.get("schedule").and_then(Value::as_str).unwrap();
+        let parsed = mosc_sched::text::from_text(text).unwrap();
+        assert_eq!(parsed.n_cores(), p.n_cores());
     }
 
     #[test]

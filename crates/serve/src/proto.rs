@@ -399,93 +399,12 @@ pub fn overloaded_to_json(id: &str) -> String {
     format!("{{\"id\":{},\"status\":\"overloaded\",\"message\":\"queue full\"}}", json_string(id))
 }
 
-/// Serializes `v` preserving object member order — the writer for response
-/// payloads and access-log lines that are *built* as [`Value`] trees, where
-/// the construction order is the intended wire order. Numbers and strings
-/// format exactly as in [`canonical_json`]; only the member ordering
-/// differs (canonicalization would scramble e.g. `id` away from the front
-/// of a response line).
-#[must_use]
-pub fn value_to_json(v: &Value) -> String {
-    match v {
-        Value::Null => "null".to_owned(),
-        Value::Bool(b) => b.to_string(),
-        Value::Number(n) => {
-            if n.is_finite() {
-                format!("{n:?}")
-            } else {
-                "null".to_owned()
-            }
-        }
-        Value::String(s) => json_string(s),
-        Value::Array(items) => {
-            let inner: Vec<String> = items.iter().map(value_to_json).collect();
-            format!("[{}]", inner.join(","))
-        }
-        Value::Object(members) => {
-            let inner: Vec<String> = members
-                .iter()
-                .map(|(k, v)| format!("{}:{}", json_string(k), value_to_json(v)))
-                .collect();
-            format!("{{{}}}", inner.join(","))
-        }
-    }
-}
-
-/// Serializes `v` canonically: object members sorted by key at every level,
-/// numbers via shortest-round-trip formatting, no whitespace. Two
-/// structurally equal documents always serialize identically, which is what
-/// makes this the cache-key preimage.
-#[must_use]
-pub fn canonical_json(v: &Value) -> String {
-    match v {
-        Value::Null => "null".to_owned(),
-        Value::Bool(b) => b.to_string(),
-        Value::Number(n) => {
-            if n.is_finite() {
-                format!("{n:?}")
-            } else {
-                // JSON has no non-finite literals; the parser never produces
-                // them, so this only defends hand-built values.
-                "null".to_owned()
-            }
-        }
-        Value::String(s) => json_string(s),
-        Value::Array(items) => {
-            let inner: Vec<String> = items.iter().map(canonical_json).collect();
-            format!("[{}]", inner.join(","))
-        }
-        Value::Object(members) => {
-            let mut sorted: Vec<&(String, Value)> = members.iter().collect();
-            sorted.sort_by(|a, b| a.0.cmp(&b.0));
-            let inner: Vec<String> = sorted
-                .iter()
-                .map(|(k, v)| format!("{}:{}", json_string(k), canonical_json(v)))
-                .collect();
-            format!("{{{}}}", inner.join(","))
-        }
-    }
-}
-
-/// JSON string quoting with the standard escapes.
-#[must_use]
-pub fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
+// The serializers this protocol writes with — order-preserving
+// `value_to_json`, key-sorted `canonical_json` (the cache-key preimage) and
+// `json_string` quoting — live in `mosc_analyze::json` next to the parser,
+// so the workspace has exactly one JSON read+write module. Re-exported here
+// because they are part of this module's public wire-format API.
+pub use mosc_analyze::json::{canonical_json, json_string, value_to_json};
 
 #[cfg(test)]
 mod tests {

@@ -53,7 +53,7 @@ use mosc_obs::{TraceContext, TraceSnapshot};
 use std::fs::File;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -163,6 +163,8 @@ impl ServeStats {
 struct Job {
     req: SolveRequest,
     key: u64,
+    conn: u64,
+    seq: u64,
     writer: SharedWriter,
     deadline_at: Option<Instant>,
     t_recv: Instant,
@@ -181,6 +183,9 @@ struct Shared {
     access: Option<Mutex<File>>,
     start: Instant,
     shutdown: AtomicBool,
+    /// Connection-id allocator; ids start at 1 so `conn` is never falsy in
+    /// log-processing tools.
+    conns: AtomicU64,
 }
 
 impl Shared {
@@ -268,6 +273,7 @@ impl Server {
             access,
             start: Instant::now(),
             shutdown: AtomicBool::new(false),
+            conns: AtomicU64::new(0),
             addr,
             opts,
         });
@@ -342,7 +348,17 @@ struct Completion<'a> {
     /// `"ok"`, `"error"` or `"overloaded"`.
     status: &'a str,
     cached: bool,
+    /// Connection id and per-connection line sequence number — the join
+    /// fields the M093 lint orders the log by.
+    conn: u64,
+    seq: u64,
+    /// Canonical cache key for solve ops (the M082 lint joins hits to
+    /// fills on it); `None` for protocol ops.
+    key: Option<u64>,
     t_recv: Instant,
+    /// Queue-push time; reader-thread answers never queue, so it equals
+    /// `t_recv` for them.
+    t_enqueue: Instant,
     queue_wait: f64,
     service_start: Instant,
     deadline_at: Option<Instant>,
@@ -352,14 +368,25 @@ struct Completion<'a> {
 
 impl<'a> Completion<'a> {
     /// A protocol op or parse error: never queued, no solver attached.
-    fn proto(id: &'a str, op: &'a str, status: &'a str, t_recv: Instant) -> Self {
+    fn proto(
+        id: &'a str,
+        op: &'a str,
+        status: &'a str,
+        t_recv: Instant,
+        conn: u64,
+        seq: u64,
+    ) -> Self {
         Self {
             id,
             op,
             solver: None,
             status,
             cached: false,
+            conn,
+            seq,
+            key: None,
             t_recv,
+            t_enqueue: t_recv,
             queue_wait: 0.0,
             service_start: t_recv,
             deadline_at: None,
@@ -416,6 +443,15 @@ fn log_access(shared: &Shared, c: &Completion<'_>, done: Instant, service: f64, 
         ("period_map_matmuls".to_owned(), num(c.kernel.period_map_matmuls as f64)),
         ("steady_state_calls".to_owned(), num(c.kernel.steady_state_calls as f64)),
         ("linalg_matmuls".to_owned(), num(c.kernel.linalg_matmuls as f64)),
+        ("conn".to_owned(), num(c.conn as f64)),
+        ("seq".to_owned(), num(c.seq as f64)),
+        // The cache key travels as a hex string: JSON numbers are f64 and
+        // cannot carry 64 bits losslessly.
+        ("key".to_owned(), c.key.map_or(Value::Null, |k| Value::String(format!("{k:016x}")))),
+        ("t_recv_s".to_owned(), num(since_start(shared, c.t_recv))),
+        ("t_enqueue_s".to_owned(), num(since_start(shared, c.t_enqueue))),
+        ("t_dequeue_s".to_owned(), num(since_start(shared, c.service_start))),
+        ("t_done_s".to_owned(), num(since_start(shared, done))),
     ];
     if total >= shared.opts.slow_threshold.as_secs_f64() {
         if let Some(trace) = c.trace.as_ref().filter(|t| !t.is_empty()) {
@@ -425,6 +461,7 @@ fn log_access(shared: &Shared, c: &Completion<'_>, done: Instant, service: f64, 
                 .map(|s| {
                     Value::Object(vec![
                         ("path".to_owned(), Value::String(s.path.clone())),
+                        ("depth".to_owned(), num(s.depth as f64)),
                         ("calls".to_owned(), num(s.calls as f64)),
                         ("total_s".to_owned(), num(s.total.as_secs_f64())),
                         ("self_s".to_owned(), num(s.self_time.as_secs_f64())),
@@ -435,6 +472,12 @@ fn log_access(shared: &Shared, c: &Completion<'_>, done: Instant, service: f64, 
         }
     }
     write_access_line(access, &Value::Object(members));
+}
+
+/// Seconds since server start on the one monotone clock every lifecycle
+/// timestamp shares — the clock the M090/M092 lints assume.
+fn since_start(shared: &Shared, at: Instant) -> f64 {
+    at.saturating_duration_since(shared.start).as_secs_f64()
 }
 
 /// Seconds from `now` until `at`: positive when the deadline is still
@@ -512,7 +555,11 @@ fn process_job(shared: &Shared, job: &Job, t_dequeue: Instant) {
         solver: Some(job.req.kind),
         status: "ok",
         cached: false,
+        conn: job.conn,
+        seq: job.seq,
+        key: Some(job.key),
         t_recv: job.t_recv,
+        t_enqueue: job.t_enqueue,
         queue_wait,
         service_start: t_dequeue,
         deadline_at: job.deadline_at,
@@ -663,6 +710,8 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
     let Ok(write_half) = stream.try_clone() else { return };
     let writer: SharedWriter = Arc::new(Mutex::new(write_half));
+    let conn = shared.conns.fetch_add(1, Ordering::Relaxed) + 1;
+    let mut seq: u64 = 0;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
@@ -676,7 +725,8 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 let full = std::mem::take(&mut line);
                 let trimmed = full.trim();
                 if !trimmed.is_empty() {
-                    handle_line(trimmed, &writer, shared, t_recv);
+                    handle_line(trimmed, &writer, shared, t_recv, conn, seq);
+                    seq += 1;
                 }
             }
             Err(e)
@@ -694,8 +744,16 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     }
 }
 
-/// Dispatches one request line received at `t_recv`.
-fn handle_line(line: &str, writer: &SharedWriter, shared: &Shared, t_recv: Instant) {
+/// Dispatches the `seq`-th request line of connection `conn`, received at
+/// `t_recv`.
+fn handle_line(
+    line: &str,
+    writer: &SharedWriter,
+    shared: &Shared,
+    t_recv: Instant,
+    conn: u64,
+    seq: u64,
+) {
     let request = match parse_request(line) {
         Ok(r) => r,
         Err(ProtoError { message, id }) => {
@@ -704,7 +762,7 @@ fn handle_line(line: &str, writer: &SharedWriter, shared: &Shared, t_recv: Insta
                 shared,
                 writer,
                 &error_to_json(&id, "parse", &message),
-                &Completion::proto(&id, "parse", "error", t_recv),
+                &Completion::proto(&id, "parse", "error", t_recv, conn, seq),
             );
             return;
         }
@@ -712,11 +770,16 @@ fn handle_line(line: &str, writer: &SharedWriter, shared: &Shared, t_recv: Insta
     match request {
         Request::Ping { id } => {
             let pong = format!("{{\"id\":{},\"status\":\"ok\",\"pong\":true}}", json_string(&id));
-            finish(shared, writer, &pong, &Completion::proto(&id, "ping", "ok", t_recv));
+            finish(shared, writer, &pong, &Completion::proto(&id, "ping", "ok", t_recv, conn, seq));
         }
         Request::Stats { id } => {
             let line = shared.stats().to_json(&id);
-            finish(shared, writer, &line, &Completion::proto(&id, "stats", "ok", t_recv));
+            finish(
+                shared,
+                writer,
+                &line,
+                &Completion::proto(&id, "stats", "ok", t_recv, conn, seq),
+            );
         }
         Request::Metrics { id } => {
             let text = shared.metrics.render_prometheus(
@@ -729,12 +792,22 @@ fn handle_line(line: &str, writer: &SharedWriter, shared: &Shared, t_recv: Insta
                 json_string(&id),
                 json_string(&text)
             );
-            finish(shared, writer, &line, &Completion::proto(&id, "metrics", "ok", t_recv));
+            finish(
+                shared,
+                writer,
+                &line,
+                &Completion::proto(&id, "metrics", "ok", t_recv, conn, seq),
+            );
         }
         Request::Shutdown { id } => {
             let bye =
                 format!("{{\"id\":{},\"status\":\"ok\",\"shutting_down\":true}}", json_string(&id));
-            finish(shared, writer, &bye, &Completion::proto(&id, "shutdown", "ok", t_recv));
+            finish(
+                shared,
+                writer,
+                &bye,
+                &Completion::proto(&id, "shutdown", "ok", t_recv, conn, seq),
+            );
             shared.initiate_shutdown();
         }
         Request::Solve(req) => {
@@ -759,7 +832,11 @@ fn handle_line(line: &str, writer: &SharedWriter, shared: &Shared, t_recv: Insta
                         solver: Some(req.kind),
                         status: "ok",
                         cached: true,
+                        conn,
+                        seq,
+                        key: Some(key),
                         t_recv,
+                        t_enqueue: t_recv,
                         queue_wait: 0.0,
                         service_start: t_recv,
                         deadline_at: None,
@@ -773,6 +850,8 @@ fn handle_line(line: &str, writer: &SharedWriter, shared: &Shared, t_recv: Insta
                 req.options.deadline.or(shared.opts.default_deadline).map(|d| Instant::now() + d);
             let job = Job {
                 key,
+                conn,
+                seq,
                 writer: writer.clone(),
                 deadline_at,
                 t_recv,
@@ -787,13 +866,20 @@ fn handle_line(line: &str, writer: &SharedWriter, shared: &Shared, t_recv: Insta
                         shared,
                         &job.writer,
                         &overloaded_to_json(&job.req.id),
+                        // A rejected job never queued: its enqueue and
+                        // dequeue anchors collapse onto `t_recv` so the
+                        // logged pipeline order stays monotone.
                         &Completion {
                             id: &job.req.id,
                             op: "solve",
                             solver: Some(job.req.kind),
                             status: "overloaded",
                             cached: false,
+                            conn,
+                            seq,
+                            key: Some(job.key),
                             t_recv,
+                            t_enqueue: t_recv,
                             queue_wait: 0.0,
                             service_start: t_recv,
                             deadline_at: job.deadline_at,

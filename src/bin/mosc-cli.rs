@@ -28,12 +28,19 @@
 //! (`pretty`, the default), or JSONL suitable for `BENCH_obs.json`-style
 //! ingestion and the `M05x` telemetry lints (`json`).
 //!
-//! `analyze` runs the `mosc-analyze` lints over a JSON spec describing a
-//! platform and (optionally) a schedule and a claimed solution, printing
-//! rustc-style `error[M0xx]` / `warning[M0xx]` diagnostics. The exit code
-//! is nonzero when any error-severity finding is present. See
-//! `DESIGN.md` §7 for the full code table and `crates/analyze` for the
-//! spec format.
+//! `analyze` runs the `mosc-analyze` pass-manager engine over any number of
+//! artifact files — platform/schedule/solution specs, standalone schedule
+//! text, solve-claim JSON (from `solve --claim` or a serve response), and
+//! `.jsonl` telemetry or access-log streams — loading them once into a
+//! typed model so the cross-artifact (`M08x`) and concurrency (`M09x`)
+//! lints can join across files. Output is rustc-style text, a JSON findings
+//! document, or SARIF 2.1.0 (`--format`). Per-code severities come from
+//! repeatable `-A/-W/-D CODE` flags (`-D warnings` promotes all warnings)
+//! layered over an optional `analyze.toml`; `--write-baseline`/`--baseline`
+//! let CI acknowledge existing findings and fail only on new ones. Exit
+//! codes are typed: `0` clean or warnings only, `1` denied findings, `2`
+//! parse/structural, `4` I/O. See `DESIGN.md` §7 for the code table and
+//! §13 for the engine.
 //!
 //! `profile` builds the platform of a spec file and runs every solver on
 //! it — LNS, EXS, EXS-BnB, AO, PCO and the reactive governor — resetting
@@ -133,16 +140,21 @@ impl Args {
         }
     }
 
-    /// The `--out` target, or an error when the flag is present without a
-    /// usable value (previously that case fell through to stdout silently).
-    fn out_path(&self) -> Result<Option<&str>, CliError> {
-        match self.0.iter().position(|a| a == "--out") {
+    /// A path-valued flag, or an error when the flag is present without a
+    /// usable value (previously that case fell through silently).
+    fn path_flag(&self, name: &str) -> Result<Option<&str>, CliError> {
+        match self.0.iter().position(|a| a == name) {
             None => Ok(None),
             Some(i) => match self.0.get(i + 1) {
                 Some(v) if !v.starts_with("--") => Ok(Some(v)),
-                _ => Err(CliError::Usage("--out needs a file path".into())),
+                _ => Err(CliError::Usage(format!("{name} needs a file path"))),
             },
         }
+    }
+
+    /// The `--out` target.
+    fn out_path(&self) -> Result<Option<&str>, CliError> {
+        self.path_flag("--out")
     }
 }
 
@@ -200,10 +212,13 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   mosc-cli solve   --algo <lns|exs|exs-bnb|ao|pco|governor> [platform flags] [--out FILE]
+                   [--claim FILE]  (write the solution-claim JSON `analyze` verifies)
   mosc-cli peak    --schedule FILE [platform flags]
   mosc-cli compare [platform flags]
   mosc-cli trace   --schedule FILE [--periods N] [--out FILE] [platform flags]
-  mosc-cli analyze SPEC.json|TELEMETRY.jsonl
+  mosc-cli analyze FILE...  (spec.json, schedule.txt, claim.json, *.jsonl streams)
+                   [-A|-W|-D CODE]... [-D warnings] [--format text|json|sarif]
+                   [--baseline FILE] [--write-baseline FILE] [--config FILE | --no-config]
   mosc-cli profile SPEC.json
   mosc-cli serve   [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--deadline-ms MS]
                    [--access-log FILE] [--slow-ms MS]
@@ -212,7 +227,8 @@ const USAGE: &str = "usage:
   mosc-cli metrics [--addr HOST:PORT]  (print the Prometheus text exposition)
 global: --obs[=pretty|json]  append a mosc-obs telemetry report to the output
 platform flags: --rows R --cols C [--layers L] [--levels 2..5] --tmax C [--cooler default|budget|responsive]
-exit codes: 0 ok, 1 failure, 2 usage, 3 infeasible, 4 I/O";
+exit codes: 0 ok, 1 failure, 2 usage, 3 infeasible, 4 I/O
+            (analyze: 0 clean/warnings, 1 denied findings, 2 parse, 4 I/O)";
 
 fn run() -> Result<ExitCode, CliError> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -455,21 +471,149 @@ fn json_quote(s: &str) -> String {
     out
 }
 
-fn analyze(args: &Args) -> Result<ExitCode, CliError> {
-    let path = args.0.get(1).filter(|a| !a.starts_with("--")).ok_or_else(|| {
-        CliError::Usage("analyze needs a SPEC.json or TELEMETRY.jsonl path".into())
-    })?;
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
-    // `.jsonl` files are mosc-obs telemetry streams (M05x lints); anything
-    // else is a platform/schedule/solution spec.
-    let report = if path.ends_with(".jsonl") {
-        mosc::analyze::analyze_telemetry(&text)
-            .map_err(|e| CliError::Usage(format!("{path}: {e}")))?
-    } else {
-        mosc::analyze::analyze_spec(&text).map_err(|e| CliError::Usage(format!("{path}: {e}")))?
+/// Everything `mosc-cli analyze` parses out of its argument list.
+struct AnalyzeArgs {
+    paths: Vec<String>,
+    levels: Vec<(mosc::analyze::Code, mosc::analyze::pass::LintLevel)>,
+    deny_warnings: bool,
+    format: String,
+    baseline: Option<String>,
+    write_baseline: Option<String>,
+    config: Option<String>,
+    no_config: bool,
+}
+
+fn parse_analyze_args(args: &Args) -> Result<AnalyzeArgs, CliError> {
+    use mosc::analyze::pass::LintLevel;
+    use mosc::analyze::Code;
+    let mut out = AnalyzeArgs {
+        paths: Vec::new(),
+        levels: Vec::new(),
+        deny_warnings: false,
+        format: "text".to_owned(),
+        baseline: None,
+        write_baseline: None,
+        config: None,
+        no_config: false,
     };
-    print!("{}", report.render());
+    let rest = &args.0[1..];
+    let mut i = 0;
+    while i < rest.len() {
+        let a = rest[i].as_str();
+        let mut value = |what: &str| -> Result<String, CliError> {
+            i += 1;
+            rest.get(i).cloned().ok_or_else(|| CliError::Usage(format!("{a} needs {what}")))
+        };
+        match a {
+            "-A" | "--allow" | "-W" | "--warn" | "-D" | "--deny" => {
+                let level = match a {
+                    "-A" | "--allow" => LintLevel::Allow,
+                    "-W" | "--warn" => LintLevel::Warn,
+                    _ => LintLevel::Deny,
+                };
+                let v = value("a lint code")?;
+                if v == "warnings" {
+                    if level != LintLevel::Deny {
+                        return Err(CliError::Usage(format!(
+                            "'warnings' only combines with -D/--deny, not {a}"
+                        )));
+                    }
+                    out.deny_warnings = true;
+                } else {
+                    let code = Code::parse(&v).ok_or_else(|| {
+                        CliError::Usage(format!("unknown lint code '{v}' (expected M0xx)"))
+                    })?;
+                    out.levels.push((code, level));
+                }
+            }
+            "--format" => out.format = value("text, json or sarif")?,
+            "--baseline" => out.baseline = Some(value("a file path")?),
+            "--write-baseline" => out.write_baseline = Some(value("a file path")?),
+            "--config" => out.config = Some(value("a file path")?),
+            "--no-config" => out.no_config = true,
+            // The global --obs flag is handled by `run`; skip it here.
+            obs if obs == "--obs" || obs.starts_with("--obs=") => {}
+            flag if flag.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown analyze flag '{flag}'")));
+            }
+            path => out.paths.push(path.to_owned()),
+        }
+        i += 1;
+    }
+    if out.paths.is_empty() {
+        return Err(CliError::Usage("analyze needs at least one artifact path".into()));
+    }
+    Ok(out)
+}
+
+/// `mosc-cli analyze`: load every artifact into the typed model, run the
+/// pass registry, apply severity configuration and the baseline, render.
+///
+/// Exit codes: `0` clean or warnings only, `1` error-severity findings,
+/// `2` parse/structural failure in an artifact, `4` I/O failure.
+fn analyze(args: &Args) -> Result<ExitCode, CliError> {
+    use mosc::analyze::artifact::Artifacts;
+    use mosc::analyze::{output, pass};
+    let parsed = parse_analyze_args(args)?;
+
+    // analyze.toml: explicit --config, else ./analyze.toml when present
+    // (suppressed by --no-config). CLI flags layer on top.
+    let toml_path = match (&parsed.config, parsed.no_config) {
+        (Some(p), _) => Some(p.clone()),
+        (None, true) => None,
+        (None, false) => {
+            std::path::Path::new("analyze.toml").exists().then(|| "analyze.toml".to_owned())
+        }
+    };
+    let mut cfg = match &toml_path {
+        None => pass::Config::new(),
+        Some(p) => {
+            let text = std::fs::read_to_string(p)
+                .map_err(|e| CliError::Io(format!("cannot read {p}: {e}")))?;
+            pass::Config::from_toml(&text).map_err(|e| CliError::Usage(e.to_string()))?
+        }
+    };
+    for (code, level) in parsed.levels {
+        cfg.set_level(code, level);
+    }
+    if parsed.deny_warnings {
+        cfg.deny_warnings = true;
+    }
+
+    let mut inputs = Vec::with_capacity(parsed.paths.len());
+    for path in &parsed.paths {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+        inputs.push((path.clone(), text));
+    }
+    let artifacts = Artifacts::load(&inputs).map_err(|e| CliError::Usage(e.to_string()))?;
+    let configured = cfg.apply(&pass::run_passes(&artifacts));
+
+    if let Some(out) = &parsed.write_baseline {
+        std::fs::write(out, pass::render_baseline(&configured))
+            .map_err(|e| CliError::Io(format!("cannot write baseline to '{out}': {e}")))?;
+        println!("baseline ({} finding(s)) written to {out}", configured.diagnostics().len());
+        return Ok(ExitCode::SUCCESS);
+    }
+    let report = match parsed.baseline.as_ref().or(cfg.baseline.as_ref()) {
+        None => configured,
+        Some(bp) => {
+            let text = std::fs::read_to_string(bp)
+                .map_err(|e| CliError::Io(format!("cannot read baseline {bp}: {e}")))?;
+            pass::apply_baseline(&configured, &pass::parse_baseline(&text))
+        }
+    };
+
+    match parsed.format.as_str() {
+        "text" => print!("{}", report.render()),
+        "json" => print!("{}", output::render_json(&report)),
+        "sarif" => print!("{}", output::render_sarif(&report)),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --format '{other}' (expected text, json or sarif)"
+            )))
+        }
+    }
     if report.has_errors() {
         Ok(ExitCode::FAILURE)
     } else {
@@ -705,6 +849,13 @@ fn solve(args: &Args, platform: &Platform) -> Result<(), CliError> {
             "bnb: visited {} nodes ({} thermal prunes, {} throughput prunes)",
             stats.explored, stats.thermal_prunes, stats.throughput_prunes
         );
+    }
+    // `--claim FILE`: emit the solution-claim JSON that `analyze` verifies
+    // against the platform with the M081 lint.
+    if let Some(path) = args.path_flag("--claim")? {
+        std::fs::write(path, report.claim_json(kind, platform))
+            .map_err(|e| CliError::Io(format!("cannot write claim to '{path}': {e}")))?;
+        println!("claim written to {path}");
     }
     let sol = report.solution;
 

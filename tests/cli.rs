@@ -196,3 +196,116 @@ fn out_flag_errors_carry_the_path() {
         "{stderr}"
     );
 }
+
+const SPEC_1X2: &str =
+    r#"{"platform": {"rows": 1, "cols": 2, "levels": [0.6, 1.3], "t_max_c": 55.0}}"#;
+
+/// The analyze engine's typed exit codes: 0 clean/warnings, 1 denied
+/// findings, 2 parse/structural, 4 I/O.
+#[test]
+fn analyze_exit_codes_are_typed() {
+    let dir = std::env::temp_dir().join("mosc_cli_analyze_codes");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let spec = dir.join("spec.json");
+    std::fs::write(&spec, SPEC_1X2).expect("write spec");
+
+    // Clean spec -> 0.
+    let out = cli().args(["analyze"]).arg(&spec).output().expect("run");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Missing file -> 4 (I/O).
+    let out = cli().args(["analyze"]).arg(dir.join("missing.json")).output().expect("run");
+    assert_eq!(out.status.code(), Some(4), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Structural garbage -> 2 (parse).
+    let garbage = dir.join("garbage.json");
+    std::fs::write(&garbage, "not json at all").expect("write");
+    let out = cli().args(["analyze"]).arg(&garbage).output().expect("run");
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Off-table schedule voltage against the spec -> M080 error -> 1.
+    let sched = dir.join("sched.txt");
+    std::fs::write(&sched, "period 0.1\ncore 0: 0.9 x 0.1\ncore 1: 0.6 x 0.1\n").expect("write");
+    let out = cli().args(["analyze"]).arg(&spec).arg(&sched).output().expect("run");
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("M080"));
+
+    // The same finding allowed -> 0; demoted to warning -> 0.
+    for flags in [["-A", "M080"], ["-W", "M080"]] {
+        let out = cli().args(["analyze"]).args(flags).arg(&spec).arg(&sched).output().expect("run");
+        assert_eq!(out.status.code(), Some(0), "{flags:?}");
+    }
+
+    // Acknowledged in a baseline -> 0 on the next run.
+    let baseline = dir.join("baseline.txt");
+    let out = cli()
+        .args(["analyze", "--write-baseline"])
+        .arg(&baseline)
+        .arg(&spec)
+        .arg(&sched)
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = cli()
+        .args(["analyze", "--baseline"])
+        .arg(&baseline)
+        .arg(&spec)
+        .arg(&sched)
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+
+    // SARIF output is one valid JSON document even on findings.
+    let out =
+        cli().args(["analyze", "--format", "sarif"]).arg(&spec).arg(&sched).output().expect("run");
+    assert_eq!(out.status.code(), Some(1));
+    let sarif = String::from_utf8_lossy(&out.stdout);
+    assert!(sarif.contains("\"2.1.0\""), "{sarif}");
+    assert!(sarif.contains("M080"), "{sarif}");
+}
+
+/// `solve --claim` emits a claim document that `analyze` verifies clean
+/// against the matching spec — and catches when it is tampered with.
+#[test]
+fn solve_claim_round_trips_through_analyze() {
+    let dir = std::env::temp_dir().join("mosc_cli_claim");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let spec = dir.join("spec.json");
+    std::fs::write(&spec, SPEC_1X2).expect("write spec");
+    let claim = dir.join("claim.json");
+
+    let out = cli()
+        .args([
+            "solve", "--algo", "ao", "--rows", "1", "--cols", "2", "--levels", "2", "--tmax", "55",
+            "--claim",
+        ])
+        .arg(&claim)
+        .output()
+        .expect("run solve");
+    assert!(out.status.success(), "solve failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(claim.exists());
+
+    // The CLI platform flags build the same platform as the spec file, so
+    // the claim recomputes exactly: deny-warnings clean.
+    let out = cli()
+        .args(["analyze", "-D", "warnings"])
+        .arg(&spec)
+        .arg(&claim)
+        .output()
+        .expect("run analyze");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "claim did not verify:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // Tampering with the claimed throughput is caught (M081 -> exit 1).
+    let text = std::fs::read_to_string(&claim).expect("read claim");
+    let tampered = text.replacen("\"throughput\":", "\"throughput\":2e3,\"was\":", 1);
+    assert_ne!(tampered, text);
+    std::fs::write(&claim, tampered).expect("write tampered claim");
+    let out = cli().args(["analyze"]).arg(&spec).arg(&claim).output().expect("run analyze");
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("M081"));
+}
