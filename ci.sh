@@ -1,6 +1,14 @@
 #!/bin/sh
 # The full local CI gate. Run from the repository root before committing.
+#
+# Usage: ./ci.sh [--deny]
+#   --deny  promote the bench-baseline comparison from warn-only to a hard
+#           gate (release runs; the default tolerates machine-to-machine
+#           performance noise).
 set -eu
+
+DENY=0
+[ "${1:-}" = "--deny" ] && DENY=1
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -38,6 +46,8 @@ test $((dense_64 + expm_dense_64)) -ge $(((fast_64 + expm_fast_64) * 5)) \
 
 echo "==> period-map bench artifact (BENCH_periodmap.json)"
 cargo run -q --release -p mosc-bench --bin periodmap -- --csv target/bench >/dev/null
+# Record presence here; structure (schema-v2 meta, quantile ordering, rate
+# sanity) is the M10x deny-mode analyze gate below.
 grep -q '"type":"periodmap"' target/bench/BENCH_periodmap.json \
     || { echo "BENCH_periodmap.json missing periodmap records" >&2; exit 1; }
 
@@ -105,13 +115,18 @@ awk 'BEGIN {
 }' | ./target/release/mosc-cli client --addr "$obs_addr" > target/bench/serve_obs_responses.txt
 test "$(grep -c '"status":"ok"' target/bench/serve_obs_responses.txt)" -eq 100 \
     || { echo "observability smoke: not all 100 requests came back ok" >&2; exit 1; }
-./target/release/mosc-cli stats --addr "$obs_addr" | grep -q 'p50' \
+stats_out=$(./target/release/mosc-cli stats --addr "$obs_addr")
+echo "$stats_out" | grep -q 'p50' \
     || { echo "observability smoke: stats summary missing latency quantiles" >&2; exit 1; }
+echo "$stats_out" | grep -q 'p999' \
+    || { echo "observability smoke: stats summary missing the p999 tail quantile" >&2; exit 1; }
+echo "$stats_out" | grep -q 'queue' \
+    || { echo "observability smoke: stats summary missing queue depth" >&2; exit 1; }
 ./target/release/mosc-cli metrics --addr "$obs_addr" > target/bench/serve_metrics.txt
 # Every exposition line is a comment or `name[{labels}] value` ...
 awk '
     /^#/ { next }
-    /^mosc_serve_[a-z_]+(\{[^}]*\})? ([0-9eE+.-]+|\+Inf)$/ { ok++; next }
+    /^mosc_serve_[a-z0-9_]+(\{[^}]*\})? ([0-9eE+.-]+|\+Inf)$/ { ok++; next }
     { print "bad exposition line: " $0 > "/dev/stderr"; bad++ }
     END { exit (bad > 0 || ok == 0) }
 ' target/bench/serve_metrics.txt \
@@ -120,6 +135,22 @@ awk '
 hist_total=$(awk '/^mosc_serve_latency_seconds_count\{/ && /phase="total"/ && !/op="proto"/ { s += $2 } END { print s + 0 }' target/bench/serve_metrics.txt)
 test "$hist_total" -eq 100 \
     || { echo "observability smoke: histogram counts sum to $hist_total, expected 100" >&2; exit 1; }
+# The tail-quantile and queue-depth gauges parse as numbers, and the
+# quantile chain read off the exposition is monotone: p50 <= p99 <= p999.
+awk '
+    /^mosc_serve_latency_p50_seconds /  { p50  = $2 + 0; seen++ }
+    /^mosc_serve_latency_p99_seconds /  { p99  = $2 + 0; seen++ }
+    /^mosc_serve_latency_p999_seconds / { p999 = $2 + 0; seen++ }
+    /^mosc_serve_queue_depth /          { depth = $2 + 0; seen++ }
+    END {
+        if (seen != 4) { print "missing quantile/queue gauges (" seen "/4)" > "/dev/stderr"; exit 1 }
+        if (p50 <= 0 || p99 < p50 || p999 < p99) {
+            print "quantile gauges not monotone: " p50 " " p99 " " p999 > "/dev/stderr"; exit 1
+        }
+        if (depth < 0) { print "negative queue depth " depth > "/dev/stderr"; exit 1 }
+    }
+' target/bench/serve_metrics.txt \
+    || { echo "observability smoke: p999/queue-depth gauges missing or inconsistent" >&2; exit 1; }
 printf '%s\n' '{"id":"bye","op":"shutdown"}' \
     | ./target/release/mosc-cli client --addr "$obs_addr" >/dev/null
 wait "$obs_pid" || { echo "observability smoke: daemon exited non-zero" >&2; cat "$obs_log" >&2; exit 1; }
@@ -135,18 +166,56 @@ test -n "$gov_expm" && test "$gov_expm" -gt 0 \
 ./target/release/mosc-cli analyze -D warnings "$access_log" \
     || { echo "observability smoke: access log failed the M07x/M09x lints" >&2; exit 1; }
 
-echo "==> serve bench artifact (BENCH_serve.json)"
+echo "==> serve bench artifact (BENCH_serve.json, closed-loop)"
 cargo run -q --release -p mosc-bench --bin serve -- --csv target/bench >/dev/null
-grep -q '"type":"serve","clients":8' target/bench/BENCH_serve.json \
-    || { echo "BENCH_serve.json missing serve records" >&2; exit 1; }
-grep -q '"p99_ms":' target/bench/BENCH_serve.json \
-    || { echo "BENCH_serve.json missing latency quantiles" >&2; exit 1; }
+# Presence only; the quantile/metadata structure greps this section used to
+# carry are now the M10x lints in the deny-mode analyze gate below.
+grep -q '"type":"serve","mode":"closed","clients":8' target/bench/BENCH_serve.json \
+    || { echo "BENCH_serve.json missing closed-loop serve records" >&2; exit 1; }
 
-echo "==> deny-mode analyze over every produced artifact"
-for artifact in target/bench/BENCH_periodmap.json target/bench/BENCH_serve.json; do
+echo "==> open-loop loadgen smoke (live daemon, timeline, BENCH_loadgen.json)"
+cargo build -q --release -p mosc-bench --bin loadgen
+lg_log=target/bench/loadgen_daemon.log
+lg_timeline=target/bench/serve_timeline.jsonl
+./target/release/mosc-cli serve --obs=json --addr 127.0.0.1:0 \
+    --timeline "$lg_timeline" --timeline-window-ms 250 >"$lg_log" 2>&1 &
+lg_pid=$!
+for _ in $(seq 1 50); do
+    grep -q 'mosc-serve listening on' "$lg_log" && break
+    sleep 0.1
+done
+lg_addr=$(sed -n 's/^mosc-serve listening on //p' "$lg_log")
+test -n "$lg_addr" || { echo "loadgen smoke: daemon never announced its address" >&2; exit 1; }
+./target/release/loadgen --addr "$lg_addr" --rate 150 --duration 1.2 --warmup 0.3 \
+    --conns 2 --seed 42 --csv target/bench >/dev/null \
+    || { echo "loadgen smoke: generator failed" >&2; exit 1; }
+printf '%s\n' '{"id":"bye","op":"shutdown"}' \
+    | ./target/release/mosc-cli client --addr "$lg_addr" >/dev/null
+wait "$lg_pid" || { echo "loadgen smoke: daemon exited non-zero" >&2; cat "$lg_log" >&2; exit 1; }
+grep -q '"type":"bench_meta","schema":2' target/bench/BENCH_loadgen.json \
+    || { echo "loadgen smoke: artifact missing the schema-v2 meta header" >&2; exit 1; }
+grep -q '"type":"bench","mode":"open"' target/bench/BENCH_loadgen.json \
+    || { echo "loadgen smoke: artifact missing the open-loop summary" >&2; exit 1; }
+grep -q '"type":"timeline"' "$lg_timeline" \
+    || { echo "loadgen smoke: daemon produced no timeline windows" >&2; exit 1; }
+
+echo "==> deny-mode analyze over every produced artifact (incl. M10x bench lints)"
+for artifact in target/bench/BENCH_periodmap.json target/bench/BENCH_serve.json \
+    target/bench/BENCH_loadgen.json "$lg_timeline"; do
     ./target/release/mosc-cli analyze -D warnings "$artifact" \
         || { echo "deny-mode analyze failed on $artifact" >&2; exit 1; }
 done
+
+echo "==> bench baseline comparison (benches/baseline, direction-aware)"
+cargo build -q --release -p mosc-bench --bin compare
+if [ "$DENY" -eq 1 ]; then
+    ./target/release/compare benches/baseline/BENCH_loadgen.json target/bench/BENCH_loadgen.json \
+        || { echo "baseline compare: regression past threshold (deny mode)" >&2; exit 1; }
+else
+    ./target/release/compare --warn-only \
+        benches/baseline/BENCH_loadgen.json target/bench/BENCH_loadgen.json \
+        || { echo "baseline compare: artifacts not comparable" >&2; exit 1; }
+fi
 
 echo "==> solution-claim cross-check (solve --claim, M081 recompute, SARIF smoke)"
 printf '%s\n' '{"platform": {"rows": 1, "cols": 2, "levels": [0.6, 1.3], "t_max_c": 55.0}}' \

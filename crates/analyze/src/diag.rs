@@ -30,7 +30,8 @@ impl fmt::Display for Severity {
 /// `M001`–`M009` platform, `M011`–`M018` schedule, `M020`–`M024` solution,
 /// `M050`–`M054` telemetry, `M060`–`M062` serve telemetry, `M070`–`M073`
 /// serve access log, `M080`–`M083` cross-artifact consistency,
-/// `M090`–`M093` concurrency/trace invariants.
+/// `M090`–`M093` concurrency/trace invariants, `M100`–`M104` bench
+/// artifacts.
 ///
 /// DESIGN.md §7 maps each code to the paper theorem or equation it enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -160,6 +161,29 @@ pub enum Code {
     /// number repeats, or receive timestamps decrease as sequence numbers
     /// increase.
     SeqNonMonotonic,
+    /// M100 — a bench stream is malformed: bench records with no
+    /// schema-v2 `bench_meta` header (git sha, host, threads), a meta line
+    /// missing its required stamps, or a bench record missing the fields
+    /// its type requires (mode, rates, latency quantiles).
+    BenchMetaMissing,
+    /// M101 — a bench record's latency quantiles are out of order: the
+    /// report must satisfy `p50 ≤ p90 ≤ p99 ≤ p999 ≤ max` (a shared
+    /// histogram cannot produce anything else, so disorder means the
+    /// emitter mixed up fields or merged incompatible snapshots).
+    BenchQuantileOrder,
+    /// M102 — an empty measurement window: a bench summary whose measured
+    /// sample count is zero (latency quantiles of nothing), or a timeline
+    /// whose windows are all empty.
+    BenchWindowEmpty,
+    /// M103 — achieved-rate collapse: an open-loop run achieved less than
+    /// half its offered rate, so the generator outran the server and the
+    /// latency figures describe saturation, not service. Legitimate for
+    /// sweep points past the knee, hence a warning.
+    BenchRateCollapse,
+    /// M104 — a rate sweep is not sane: offered rates do not strictly
+    /// increase, or the achieved rate collapses far below its running
+    /// maximum mid-sweep (the server fell over and never recovered).
+    BenchSweepNonMonotone,
 }
 
 impl Code {
@@ -209,6 +233,11 @@ impl Code {
             Self::SpanTreeMalformed => "M091",
             Self::PhaseAccounting => "M092",
             Self::SeqNonMonotonic => "M093",
+            Self::BenchMetaMissing => "M100",
+            Self::BenchQuantileOrder => "M101",
+            Self::BenchWindowEmpty => "M102",
+            Self::BenchRateCollapse => "M103",
+            Self::BenchSweepNonMonotone => "M104",
         }
     }
 
@@ -258,6 +287,11 @@ impl Code {
         Self::SpanTreeMalformed,
         Self::PhaseAccounting,
         Self::SeqNonMonotonic,
+        Self::BenchMetaMissing,
+        Self::BenchQuantileOrder,
+        Self::BenchWindowEmpty,
+        Self::BenchRateCollapse,
+        Self::BenchSweepNonMonotone,
     ];
 
     /// Parses a stable `M0xx` string back into its code.
@@ -287,7 +321,9 @@ impl Code {
             | Self::ServeResponseOrphaned
             | Self::AccessDeadlineMissed
             | Self::AccessCacheInconsistent
-            | Self::KernelDeltaInconsistent => Severity::Warning,
+            | Self::KernelDeltaInconsistent
+            | Self::BenchRateCollapse
+            | Self::BenchSweepNonMonotone => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -451,7 +487,7 @@ mod tests {
 
     #[test]
     fn codes_are_stable_and_unique() {
-        assert_eq!(Code::ALL.len(), 42);
+        assert_eq!(Code::ALL.len(), 47);
         let mut seen = std::collections::HashSet::new();
         for &c in Code::ALL {
             assert!(seen.insert(c.as_str()), "duplicate code string {c}");
@@ -468,6 +504,8 @@ mod tests {
         assert_eq!(Code::SpanTreeMalformed.as_str(), "M091");
         assert_eq!(Code::PhaseAccounting.as_str(), "M092");
         assert_eq!(Code::SeqNonMonotonic.as_str(), "M093");
+        assert_eq!(Code::BenchMetaMissing.as_str(), "M100");
+        assert_eq!(Code::BenchSweepNonMonotone.as_str(), "M104");
         assert_eq!(Code::parse("M999"), None);
     }
 

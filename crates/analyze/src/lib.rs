@@ -36,6 +36,10 @@
 //!   invariants: timestamp ordering (M090), span-tree well-formedness
 //!   (M091), queue-wait accounting (M092), and per-connection sequence
 //!   monotonicity (M093).
+//! * **bench artifacts** ([`bench`]) — structural checks over the
+//!   `BENCH_*.json` streams: schema-v2 metadata presence (M100), latency
+//!   quantile ordering (M101), empty measurement windows (M102),
+//!   achieved-rate collapse (M103), and rate-sweep sanity (M104).
 //!
 //! Entry points:
 //!
@@ -53,6 +57,7 @@
 
 mod access;
 pub mod artifact;
+pub mod bench;
 pub mod cross;
 pub mod diag;
 pub mod json;

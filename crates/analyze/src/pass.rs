@@ -164,6 +164,25 @@ impl Lint for TracePass {
     }
 }
 
+/// The M10x bench-artifact lints.
+struct BenchPass;
+
+impl Lint for BenchPass {
+    fn name(&self) -> &'static str {
+        "bench"
+    }
+    fn description(&self) -> &'static str {
+        "bench artifact structure: schema-v2 metadata, quantile ordering, rate sanity (M100–M104)"
+    }
+    fn run(&self, artifacts: &Artifacts, report: &mut Report) {
+        per_file(artifacts, report, |kind, sub| {
+            if let ArtifactKind::Stream(records) = kind {
+                crate::bench::bench_lints(records, sub);
+            }
+        });
+    }
+}
+
 /// The registered passes, in execution order.
 #[must_use]
 pub fn registry() -> Vec<Box<dyn Lint>> {
@@ -173,6 +192,7 @@ pub fn registry() -> Vec<Box<dyn Lint>> {
         Box::new(StreamPass),
         Box::new(CrossPass),
         Box::new(TracePass),
+        Box::new(BenchPass),
     ]
 }
 
@@ -460,7 +480,7 @@ mod tests {
             assert!(names.insert(p.name()), "duplicate pass {}", p.name());
             assert!(!p.description().is_empty());
         }
-        assert_eq!(passes.len(), 5);
+        assert_eq!(passes.len(), 6);
     }
 
     #[test]

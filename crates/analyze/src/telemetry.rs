@@ -91,8 +91,9 @@ pub fn load_stream(text: &str) -> Result<Vec<StreamRecord>, SpecError> {
 }
 
 /// Analyzes one telemetry JSONL document: the `M05x`–`M07x` stream lints
-/// plus the cross-artifact (`M08x`) and concurrency/trace (`M09x`)
-/// families, which stay inert on streams lacking the fields they read.
+/// plus the cross-artifact (`M08x`), concurrency/trace (`M09x`) and bench
+/// artifact (`M10x`) families, which stay inert on streams lacking the
+/// fields they read.
 ///
 /// # Errors
 /// [`SpecError`] when a line is not valid JSON or not an object.
@@ -102,6 +103,7 @@ pub fn analyze_telemetry(text: &str) -> Result<Report, SpecError> {
     stream_lints(&records, &mut report);
     crate::cross::access_log_lints(&records, &mut report);
     crate::trace::trace_lints(&records, &mut report);
+    crate::bench::bench_lints(&records, &mut report);
     Ok(report)
 }
 

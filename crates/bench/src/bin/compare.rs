@@ -1,0 +1,83 @@
+//! `mosc-bench compare` — direction-aware regression gate between two
+//! BENCH schema-v2 artifacts.
+//!
+//! ```text
+//! compare [--json] [--warn-only] BASELINE.json CANDIDATE.json
+//! ```
+//!
+//! Matches records between the artifacts by identity key and flags every
+//! known metric that moved past its noise threshold in the bad direction
+//! (latency up, throughput down — see `mosc_bench::regress`). Exit codes
+//! are typed for CI:
+//!
+//! * `0` — comparable, no regression (improvements never fail a run)
+//! * `1` — at least one regression (suppressed by `--warn-only`)
+//! * `2` — usage, IO, or parse problem (including schema-v1 inputs)
+//! * `4` — both artifacts parsed but share no comparable records
+//!
+//! `--json` swaps the text report for one machine-readable JSON object;
+//! `--warn-only` keeps the report but always exits 0 on regressions, the
+//! default posture of `ci.sh` (its `--deny` flag drops it for release
+//! gating).
+
+use mosc_bench::regress::{compare_artifacts, CompareError};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: compare [--json] [--warn-only] BASELINE.json CANDIDATE.json";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut warn_only = false;
+    let mut files: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--warn-only" => warn_only = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag {flag}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    let [old_path, new_path] = files.as_slice() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let (old_text, new_text) = match (read(old_path), read(new_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match compare_artifacts(&old_text, &new_text) {
+        Ok(cmp) => {
+            if json {
+                println!("{}", cmp.render_json());
+            } else {
+                print!("{}", cmp.render_text());
+            }
+            if cmp.has_regressions() && !warn_only {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(CompareError::Parse(m)) => {
+            eprintln!("{m}");
+            ExitCode::from(2)
+        }
+        Err(CompareError::Incomparable(m)) => {
+            eprintln!("{m}");
+            ExitCode::from(4)
+        }
+    }
+}

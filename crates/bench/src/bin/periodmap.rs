@@ -12,7 +12,8 @@
 //! `BENCH_periodmap.json` (JSON lines, one record per m) — the artifact the
 //! `ci.sh` smoke checks for.
 
-use mosc_bench::{csv_dir_from_args, timed_obs, write_csv, Table};
+use mosc_bench::record::{BenchLog, RunMeta};
+use mosc_bench::{csv_dir_from_args, timed_obs, Table};
 use mosc_sched::eval::{compute_dense, SteadyState};
 use mosc_sched::{Platform, PlatformSpec, Schedule};
 use std::fmt::Write as _;
@@ -44,7 +45,8 @@ fn main() {
         "dense expm",
         "max |diff|",
     ]);
-    let mut json = String::new();
+    let meta = RunMeta::capture("periodmap").option("rows", 3).option("cols", 3);
+    let mut log = BenchLog::new(&meta);
 
     for &m in &[1usize, 4, 16, 64, 256] {
         let s = base.oscillated(m);
@@ -70,18 +72,20 @@ fn main() {
             d_expm.to_string(),
             format!("{diff:.2e}"),
         ]);
-        let _ = writeln!(
-            json,
+        let mut line = String::new();
+        let _ = write!(
+            line,
             "{{\"type\":\"periodmap\",\"rows\":3,\"cols\":3,\"m\":{m},\
              \"fast_wall_s\":{fast_wall:?},\"dense_wall_s\":{dense_wall:?},\
              \"fast_ops\":{f_ops},\"dense_ops\":{d_ops},\
              \"fast_expm\":{f_expm},\"dense_expm\":{d_expm},\
              \"max_abs_diff\":{diff:?}}}"
         );
+        log.push(&line);
     }
     print!("{}", table.render());
 
     if let Some(dir) = csv {
-        write_csv(&dir, "BENCH_periodmap.json", &json);
+        log.write(&dir, "BENCH_periodmap.json");
     }
 }

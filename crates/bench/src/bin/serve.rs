@@ -17,7 +17,8 @@
 //! (JSON lines, one record per client count) — the artifact the `ci.sh`
 //! smoke checks for.
 
-use mosc_bench::{csv_dir_from_args, timed, write_csv, Table};
+use mosc_bench::record::{BenchLog, RunMeta};
+use mosc_bench::{csv_dir_from_args, timed, Table};
 use mosc_serve::{ServeOptions, Server};
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write};
@@ -117,7 +118,10 @@ fn main() {
         "p50 (ms)",
         "p99 (ms)",
     ]);
-    let mut json = String::new();
+    let meta = RunMeta::capture("serve")
+        .option("requests_per_client", REQUESTS_PER_CLIENT)
+        .option("cache_keys", T_MAX_VARIANTS.len());
+    let mut log = BenchLog::new(&meta);
 
     for clients in [1usize, 4, 8] {
         let r = round(clients);
@@ -135,20 +139,22 @@ fn main() {
             format!("{:.3}", r.p50_ms),
             format!("{:.3}", r.p99_ms),
         ]);
-        let _ = writeln!(
-            json,
-            "{{\"type\":\"serve\",\"clients\":{clients},\"requests\":{requests},\
-             \"wall_s\":{:?},\"req_per_s\":{req_per_s:?},\
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{{\"type\":\"serve\",\"mode\":\"closed\",\"clients\":{clients},\
+             \"requests\":{requests},\"wall_s\":{:?},\"req_per_s\":{req_per_s:?},\
              \"cache_hits\":{},\"cache_misses\":{},\
              \"hit_ratio\":{hit_ratio:?},\"p50_ms\":{:?},\"p99_ms\":{:?}}}",
             r.wall, r.hits, r.misses, r.p50_ms, r.p99_ms
         );
+        log.push(&line);
     }
 
     println!("{}", table.render());
     println!("hot requests are answered from the LRU cache without touching a solver;");
     println!("throughput scales with client threads until the reader/writer path saturates.");
     if let Some(dir) = csv {
-        write_csv(&dir, "BENCH_serve.json", &json);
+        log.write(&dir, "BENCH_serve.json");
     }
 }

@@ -6,7 +6,10 @@
 //! for replotting.
 
 pub mod compare;
+pub mod loadgen;
 pub mod micro;
+pub mod record;
+pub mod regress;
 
 use std::fmt::Write as _;
 use std::path::PathBuf;

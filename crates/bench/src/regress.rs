@@ -1,0 +1,417 @@
+//! Direction-aware regression detection between two BENCH artifacts.
+//!
+//! `mosc-bench compare OLD.json NEW.json` answers one question: did
+//! performance get worse? "Worse" depends on the metric — latency going
+//! *up* and throughput going *down* are regressions; the opposite moves
+//! are improvements and never fail a run. Each known metric carries its
+//! own relative noise threshold (the log-bucketed quantiles step in
+//! ~33% increments, so latency needs a wider band than a request
+//! counter), and records are matched between artifacts by a stable
+//! identity key (`serve` rows by client count, sweep points by offered
+//! rate, ...), so reordering lines never misreports.
+//!
+//! Both artifacts must be schema v2 ([`crate::record`]): comparison
+//! refuses inputs without a `bench_meta` header, because a delta between
+//! runs of unknown provenance is noise dressed as signal.
+
+use mosc_analyze::json::Value;
+use std::fmt::Write as _;
+
+/// Which way a metric improves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Latencies, wall times: an increase is a regression.
+    LowerIsBetter,
+    /// Throughputs, hit rates: a decrease is a regression.
+    HigherIsBetter,
+}
+
+/// The known metrics: field name, direction, and the relative change below
+/// which a move is considered run-to-run noise.
+const METRICS: &[(&str, Direction, f64)] = &[
+    ("p50_ms", Direction::LowerIsBetter, 0.50),
+    ("p90_ms", Direction::LowerIsBetter, 0.50),
+    ("p99_ms", Direction::LowerIsBetter, 0.50),
+    ("p999_ms", Direction::LowerIsBetter, 0.50),
+    ("max_ms", Direction::LowerIsBetter, 1.00),
+    ("wall_s", Direction::LowerIsBetter, 0.50),
+    ("fast_wall_s", Direction::LowerIsBetter, 1.00),
+    ("dense_wall_s", Direction::LowerIsBetter, 1.00),
+    ("req_per_s", Direction::HigherIsBetter, 0.30),
+    ("achieved_req_per_s", Direction::HigherIsBetter, 0.30),
+    ("hit_ratio", Direction::HigherIsBetter, 0.15),
+    ("cache_hit_rate", Direction::HigherIsBetter, 0.15),
+];
+
+/// One metric's movement between matched records.
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    /// Identity of the record pair (`"serve clients=8 mode=closed"`).
+    pub key: String,
+    /// Metric field name.
+    pub metric: String,
+    /// Baseline value.
+    pub old: f64,
+    /// Candidate value.
+    pub new: f64,
+    /// Signed relative change `(new - old) / old`.
+    pub rel_change: f64,
+    /// The change exceeds the noise threshold in the bad direction.
+    pub regression: bool,
+    /// The change exceeds the noise threshold in the good direction.
+    pub improvement: bool,
+}
+
+/// The full outcome of comparing two artifacts.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// Every compared metric, in artifact order.
+    pub deltas: Vec<MetricDelta>,
+    /// Record keys present in the baseline but absent from the candidate.
+    pub missing: Vec<String>,
+    /// Non-fatal observations (unknown shas, zero baselines, ...).
+    pub warnings: Vec<String>,
+    /// `bench` stamp of the baseline header.
+    pub old_bench: String,
+    /// `bench` stamp of the candidate header.
+    pub new_bench: String,
+}
+
+impl Comparison {
+    /// `true` when any metric regressed past its threshold or a baseline
+    /// record vanished from the candidate.
+    #[must_use]
+    pub fn has_regressions(&self) -> bool {
+        !self.missing.is_empty() || self.deltas.iter().any(|d| d.regression)
+    }
+
+    /// Count of regressed metrics.
+    #[must_use]
+    pub fn regressions(&self) -> usize {
+        self.deltas.iter().filter(|d| d.regression).count()
+    }
+
+    /// Count of improved metrics.
+    #[must_use]
+    pub fn improvements(&self) -> usize {
+        self.deltas.iter().filter(|d| d.improvement).count()
+    }
+
+    /// Human-readable report.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "compare: {} (baseline) vs {} (candidate): {} metric(s), \
+             {} regression(s), {} improvement(s)",
+            self.old_bench,
+            self.new_bench,
+            self.deltas.len(),
+            self.regressions(),
+            self.improvements()
+        );
+        for d in &self.deltas {
+            let verdict = if d.regression {
+                "REGRESSION"
+            } else if d.improvement {
+                "improved"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                out,
+                "  [{verdict:>10}] {} {}: {:.4} -> {:.4} ({:+.1}%)",
+                d.key,
+                d.metric,
+                d.old,
+                d.new,
+                100.0 * d.rel_change
+            );
+        }
+        for m in &self.missing {
+            let _ = writeln!(out, "  [   MISSING] {m}: present in baseline, absent in candidate");
+        }
+        for w in &self.warnings {
+            let _ = writeln!(out, "  warning: {w}");
+        }
+        out
+    }
+
+    /// Machine-readable report: one JSON object.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let mut out = format!(
+            "{{\"type\":\"compare\",\"old_bench\":\"{}\",\"new_bench\":\"{}\",\
+             \"regressions\":{},\"improvements\":{},\"deltas\":[",
+            esc(&self.old_bench),
+            esc(&self.new_bench),
+            self.regressions(),
+            self.improvements()
+        );
+        for (i, d) in self.deltas.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"key\":\"{}\",\"metric\":\"{}\",\"old\":{:?},\"new\":{:?},\
+                 \"rel_change\":{:?},\"regression\":{},\"improvement\":{}}}",
+                esc(&d.key),
+                esc(&d.metric),
+                d.old,
+                d.new,
+                d.rel_change,
+                d.regression,
+                d.improvement
+            );
+        }
+        out.push_str("],\"missing\":[");
+        for (i, m) in self.missing.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", esc(m));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Why a comparison could not run — the variants map to distinct exit
+/// codes in the `compare` binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompareError {
+    /// An input is not parseable schema-v2 JSONL.
+    Parse(String),
+    /// Both inputs parsed but share no comparable records.
+    Incomparable(String),
+}
+
+impl std::fmt::Display for CompareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Parse(m) | Self::Incomparable(m) => f.write_str(m),
+        }
+    }
+}
+
+/// One parsed artifact: the meta header plus keyed records.
+struct Artifact {
+    bench: String,
+    git_sha: String,
+    records: Vec<(String, Value)>,
+}
+
+/// Identity fields per record type; records of other types are skipped.
+fn identity_fields(ty: &str) -> Option<&'static [&'static str]> {
+    match ty {
+        "serve" => Some(&["clients", "mode"]),
+        "bench" => Some(&["mode", "process", "offered_req_per_s"]),
+        "sweep" => Some(&["offered_req_per_s"]),
+        "periodmap" => Some(&["m"]),
+        _ => None,
+    }
+}
+
+/// Renders a record's identity key, e.g. `"serve clients=8 mode=closed"`.
+fn record_key(ty: &str, fields: &[&str], value: &Value) -> String {
+    let mut key = ty.to_string();
+    for f in fields {
+        let v = value.get(f).map_or_else(
+            || "?".to_string(),
+            |v| {
+                v.as_str().map_or_else(
+                    || v.as_f64().map_or_else(|| "?".to_string(), |n| format!("{n}")),
+                    ToString::to_string,
+                )
+            },
+        );
+        let _ = write!(key, " {f}={v}");
+    }
+    key
+}
+
+/// Parses one schema-v2 artifact, refusing inputs without a meta header.
+fn parse_artifact(label: &str, text: &str) -> Result<Artifact, String> {
+    let mut bench = None;
+    let mut git_sha = String::new();
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value = Value::parse(line)
+            .map_err(|e| format!("{label}: line {}: not valid JSON: {e:?}", i + 1))?;
+        let Some(ty) = value.get("type").and_then(Value::as_str) else { continue };
+        if ty == "bench_meta" {
+            bench =
+                Some(value.get("bench").and_then(Value::as_str).unwrap_or("unknown").to_string());
+            git_sha = value.get("git_sha").and_then(Value::as_str).unwrap_or("unknown").to_string();
+            continue;
+        }
+        if let Some(fields) = identity_fields(ty) {
+            let key = record_key(ty, fields, &value);
+            records.push((key, value));
+        }
+    }
+    let bench = bench.ok_or_else(|| {
+        format!(
+            "{label}: no bench_meta header — not a schema-v2 artifact; \
+             regenerate it with a current mosc-bench binary"
+        )
+    })?;
+    Ok(Artifact { bench, git_sha, records })
+}
+
+/// Compares two schema-v2 artifacts.
+///
+/// # Errors
+/// [`CompareError::Parse`] when either input is not parseable schema-v2
+/// JSONL; [`CompareError::Incomparable`] when the artifacts share no
+/// comparable records.
+pub fn compare_artifacts(old_text: &str, new_text: &str) -> Result<Comparison, CompareError> {
+    let old = parse_artifact("baseline", old_text).map_err(CompareError::Parse)?;
+    let new = parse_artifact("candidate", new_text).map_err(CompareError::Parse)?;
+    let mut cmp = Comparison {
+        old_bench: old.bench.clone(),
+        new_bench: new.bench.clone(),
+        ..Comparison::default()
+    };
+    for sha in [&old.git_sha, &new.git_sha] {
+        if sha == "unknown" || sha.is_empty() {
+            cmp.warnings.push("an artifact has an unknown git sha — provenance is weak".into());
+            break;
+        }
+    }
+
+    let mut compared = 0usize;
+    let mut taken = vec![false; new.records.len()];
+    for (key, old_rec) in &old.records {
+        // First unconsumed candidate record with the same key (duplicate
+        // keys pair up in order).
+        let matched = new.records.iter().enumerate().find(|(i, (k, _))| k == key && !taken[*i]);
+        let Some((idx, (_, new_rec))) = matched else {
+            cmp.missing.push(key.clone());
+            continue;
+        };
+        taken[idx] = true;
+        compared += 1;
+        for &(metric, direction, threshold) in METRICS {
+            let (Some(a), Some(b)) = (
+                old_rec.get(metric).and_then(Value::as_f64),
+                new_rec.get(metric).and_then(Value::as_f64),
+            ) else {
+                continue;
+            };
+            if !(a.is_finite() && b.is_finite()) || a <= 0.0 {
+                if a <= 0.0 && b > 0.0 {
+                    cmp.warnings.push(format!(
+                        "{key} {metric}: baseline is {a}, cannot normalize — skipped"
+                    ));
+                }
+                continue;
+            }
+            let rel = (b - a) / a;
+            let bad = match direction {
+                Direction::LowerIsBetter => rel,
+                Direction::HigherIsBetter => -rel,
+            };
+            cmp.deltas.push(MetricDelta {
+                key: key.clone(),
+                metric: metric.to_string(),
+                old: a,
+                new: b,
+                rel_change: rel,
+                regression: bad > threshold,
+                improvement: -bad > threshold,
+            });
+        }
+    }
+    if compared == 0 {
+        return Err(CompareError::Incomparable(format!(
+            "artifacts share no comparable records ({} baseline vs {} candidate records)",
+            old.records.len(),
+            new.records.len()
+        )));
+    }
+    Ok(cmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = concat!(
+        r#"{"type":"bench_meta","schema":2,"bench":"serve","git_sha":"abc1234","host":"ci","threads":8,"options":{}}"#,
+        "\n",
+        r#"{"type":"serve","mode":"closed","clients":8,"requests":320,"wall_s":0.05,"req_per_s":6400.0,"hit_ratio":0.95,"p50_ms":1.0,"p99_ms":3.0}"#,
+        "\n",
+        r#"{"type":"sweep","offered_req_per_s":200.0,"achieved_req_per_s":199.0,"p99_ms":2.0}"#,
+        "\n"
+    );
+
+    #[test]
+    fn self_compare_is_clean() {
+        let cmp = compare_artifacts(BASE, BASE).expect("comparable");
+        assert!(!cmp.has_regressions(), "{}", cmp.render_text());
+        assert_eq!(cmp.regressions(), 0);
+        assert!(!cmp.deltas.is_empty(), "metrics must actually be compared");
+        assert!(cmp.render_json().contains("\"regressions\":0"));
+    }
+
+    #[test]
+    fn latency_up_is_a_regression_but_down_is_not() {
+        let slow = BASE.replace("\"p99_ms\":3.0", "\"p99_ms\":9.0");
+        let cmp = compare_artifacts(BASE, &slow).expect("comparable");
+        assert!(cmp.has_regressions(), "{}", cmp.render_text());
+        assert!(cmp
+            .deltas
+            .iter()
+            .any(|d| d.metric == "p99_ms" && d.regression && d.key.starts_with("serve")));
+
+        // The same change in the other direction is an improvement.
+        let cmp = compare_artifacts(&slow, BASE).expect("comparable");
+        assert!(!cmp.has_regressions(), "{}", cmp.render_text());
+        assert!(cmp.improvements() > 0);
+    }
+
+    #[test]
+    fn throughput_down_is_a_regression() {
+        let slow = BASE.replace("\"req_per_s\":6400.0", "\"req_per_s\":3000.0");
+        let cmp = compare_artifacts(BASE, &slow).expect("comparable");
+        assert!(cmp.deltas.iter().any(|d| d.metric == "req_per_s" && d.regression));
+    }
+
+    #[test]
+    fn noise_inside_the_threshold_passes() {
+        let wiggle = BASE
+            .replace("\"p99_ms\":3.0", "\"p99_ms\":3.9")
+            .replace("\"req_per_s\":6400.0", "\"req_per_s\":5500.0");
+        let cmp = compare_artifacts(BASE, &wiggle).expect("comparable");
+        assert!(!cmp.has_regressions(), "{}", cmp.render_text());
+    }
+
+    #[test]
+    fn missing_baseline_record_is_a_regression() {
+        let gutted: String =
+            BASE.lines().filter(|l| !l.contains("\"sweep\"")).fold(String::new(), |mut acc, l| {
+                acc.push_str(l);
+                acc.push('\n');
+                acc
+            });
+        let cmp = compare_artifacts(BASE, &gutted).expect("comparable");
+        assert!(cmp.has_regressions(), "{}", cmp.render_text());
+        assert_eq!(cmp.missing.len(), 1);
+    }
+
+    #[test]
+    fn schema_v1_artifacts_are_refused() {
+        let v1 = r#"{"type":"serve","clients":8,"req_per_s":6400.0,"p99_ms":3.0}"#;
+        let err = compare_artifacts(v1, v1).expect_err("must refuse");
+        assert!(matches!(err, CompareError::Parse(_)), "{err}");
+        assert!(err.to_string().contains("bench_meta"), "{err}");
+    }
+}

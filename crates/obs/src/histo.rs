@@ -50,7 +50,7 @@ pub fn bucket_upper(i: usize) -> f64 {
 }
 
 /// The bucket index a sample falls into.
-fn bucket_index(v: f64) -> usize {
+pub(crate) fn bucket_index(v: f64) -> usize {
     if v <= MIN_BOUND {
         return 0;
     }

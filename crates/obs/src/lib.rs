@@ -53,6 +53,7 @@ mod metric;
 mod rate;
 mod report;
 mod span;
+mod timeline;
 mod trace;
 
 pub use event::{event, FieldValue, MAX_EVENTS};
@@ -61,6 +62,7 @@ pub use metric::{counter_value, Counter, CounterCell, Gauge, Histogram};
 pub use rate::RateWindow;
 pub use report::{EventRecord, HistSummary, SpanStats, Telemetry};
 pub use span::{span, SpanGuard};
+pub use timeline::{Timeline, TimelineWindow, MAX_GAP_WINDOWS};
 pub use trace::{TraceContext, TraceSnapshot};
 
 use std::sync::atomic::{AtomicBool, Ordering};

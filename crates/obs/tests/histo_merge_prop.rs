@@ -1,0 +1,121 @@
+//! Property tests for [`mosc_obs::HistoSnapshot`] merge algebra and
+//! quantile monotonicity — the two invariants the PR 7 bench pipeline
+//! leans on. Merge must be associative and commutative (the serve
+//! daemon folds per-op histograms in whatever order the scrape happens
+//! to visit them) and the quantile chain `p50 ≤ p90 ≤ p99 ≤ p999 ≤ max`
+//! must hold against the sorted-sample oracle (the `M101` lint fails
+//! artifacts that violate it, so the source had better be incapable of
+//! producing one).
+//!
+//! This file is its own test binary and holds exactly one `#[test]`, so
+//! the process-global recorder is not shared with any concurrent test.
+
+use mosc_obs::{HistoSnapshot, LogHistogram};
+use mosc_testutil::propcheck;
+
+/// Exact `q`-quantile of a sorted sample set, rank `ceil(q * n)` (the same
+/// rank definition the histogram uses).
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Structural equality up to float addition order: exact on bucket counts,
+/// count, min and max; tolerant on the running sum, which is accumulated
+/// in whatever order the merges happened.
+fn assert_equivalent(a: &HistoSnapshot, b: &HistoSnapshot, what: &str) {
+    assert_eq!(a.counts, b.counts, "{what}: bucket counts differ");
+    assert_eq!(a.count, b.count, "{what}: totals differ");
+    assert_eq!(a.min, b.min, "{what}: minima differ");
+    assert_eq!(a.max, b.max, "{what}: maxima differ");
+    assert!(
+        (a.sum - b.sum).abs() <= 1e-9 * a.sum.abs().max(1.0),
+        "{what}: sums diverge beyond reassociation tolerance ({} vs {})",
+        a.sum,
+        b.sum
+    );
+}
+
+#[test]
+fn merge_is_associative_commutative_and_quantiles_are_monotone() {
+    mosc_obs::enable();
+    propcheck("histogram merge algebra and quantile monotonicity", |rng| {
+        // Three independent shards with disjoint random samples, as if
+        // three ops' histograms were being folded into one summary.
+        let names = ["prop.merge.a", "prop.merge.b", "prop.merge.c"];
+        let mut all: Vec<f64> = Vec::new();
+        let snaps: Vec<HistoSnapshot> = names
+            .iter()
+            .map(|name| {
+                let hist = LogHistogram::new(name);
+                // A shard may be empty — merge must tolerate identity
+                // elements anywhere in the fold.
+                let n = rng.gen_range(0..120usize);
+                for _ in 0..n {
+                    let v = 10f64.powf(rng.gen_range(-6.0..3.0));
+                    all.push(v);
+                    hist.record(v);
+                }
+                hist.snapshot()
+            })
+            .collect();
+        let (a, b, c) = (&snaps[0], &snaps[1], &snaps[2]);
+
+        let fold = |parts: &[&HistoSnapshot]| {
+            let mut out = HistoSnapshot::empty();
+            for p in parts {
+                out.merge(p);
+            }
+            out
+        };
+        // Associativity: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+        let left = {
+            let mut ab = fold(&[a, b]);
+            ab.merge(c);
+            ab
+        };
+        let right = {
+            let bc = fold(&[b, c]);
+            let mut out = HistoSnapshot::empty();
+            out.merge(a);
+            out.merge(&bc);
+            out
+        };
+        assert_equivalent(&left, &right, "associativity");
+        // Commutativity: every visit order folds to the same summary.
+        assert_equivalent(&fold(&[a, b, c]), &fold(&[c, b, a]), "commutativity");
+        assert_equivalent(&fold(&[a, b, c]), &fold(&[b, a, c]), "commutativity");
+
+        // Quantile chain on the merged summary, pinned to the sorted
+        // oracle: each estimate is monotone in q and stays within one
+        // bucket of the exact value (never below it).
+        if all.is_empty() {
+            assert!(left.quantile(0.5).is_none(), "empty merge must have no quantiles");
+            return;
+        }
+        all.sort_by(f64::total_cmp);
+        let chain = [0.5, 0.9, 0.99, 0.999, 1.0];
+        let mut prev = 0.0_f64;
+        for q in chain {
+            let est = left.quantile(q).expect("non-empty merge");
+            let exact = exact_quantile(&all, q);
+            assert!(
+                est >= prev,
+                "quantile chain regressed at q{q}: {est} < {prev} (n={})",
+                all.len()
+            );
+            assert!(
+                est >= exact * (1.0 - 1e-12),
+                "q{q}: estimate {est} under-reports exact {exact}"
+            );
+            prev = est;
+        }
+        // p100 tops out at the true maximum the snapshot tracked.
+        assert!(
+            left.quantile(1.0).expect("non-empty") >= left.max * (1.0 - 1e-12),
+            "p100 must cover the maximum"
+        );
+    });
+    mosc_obs::disable();
+}

@@ -265,12 +265,18 @@ impl ServeMetrics {
         ] {
             let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
         }
+        let merged = self.solve_total();
+        let q = |p: f64| merged.quantile(p).unwrap_or(0.0);
         for (name, v) in [
             ("mosc_serve_queue_depth", queue_depth as f64),
             ("mosc_serve_queue_peak", self.queue_peak.get() as f64),
             ("mosc_serve_cache_len", cache_len as f64),
             ("mosc_serve_uptime_seconds", uptime_s),
             ("mosc_serve_req_per_s", self.rate.per_sec()),
+            ("mosc_serve_latency_p50_seconds", q(0.5)),
+            ("mosc_serve_latency_p90_seconds", q(0.9)),
+            ("mosc_serve_latency_p99_seconds", q(0.99)),
+            ("mosc_serve_latency_p999_seconds", q(0.999)),
         ] {
             let _ = writeln!(out, "# TYPE {name} gauge\n{name} {}", prom_f64(v));
         }
@@ -376,6 +382,23 @@ mod tests {
         let merged = m.solve_total();
         assert_eq!(merged.count, 6);
         assert!(merged.quantile(0.5).unwrap() < 0.1);
+        // Quantile gauges are exposed (p999 included) and read off the
+        // same merged histogram.
+        for (gauge, p) in [
+            ("mosc_serve_latency_p50_seconds", 0.5),
+            ("mosc_serve_latency_p99_seconds", 0.99),
+            ("mosc_serve_latency_p999_seconds", 0.999),
+        ] {
+            let line = text
+                .lines()
+                .find(|l| l.starts_with(gauge) && !l.starts_with('#'))
+                .unwrap_or_else(|| panic!("missing gauge {gauge}:\n{text}"));
+            let v: f64 = line.rsplit_once(' ').unwrap().1.parse().unwrap();
+            assert!(
+                (v - merged.quantile(p).unwrap()).abs() < 1e-12,
+                "{gauge} diverges from the merged histogram: {line}"
+            );
+        }
     }
 
     #[test]

@@ -81,6 +81,14 @@ pub struct ServeOptions {
     /// span tree attached to the access-log line (needs the `mosc-obs`
     /// recorder enabled for the spans to exist).
     pub slow_threshold: Duration,
+    /// Windowed timeline JSONL path (`None` disables it). Every completed
+    /// request lands in a [`mosc_obs::Timeline`] window; closed windows are
+    /// appended as `{"type":"timeline",...}` lines. Unlike the latency
+    /// histograms this is not gated on the `mosc-obs` recorder — the
+    /// timeline is explicitly opted into by setting the path.
+    pub timeline: Option<String>,
+    /// Width of one timeline window.
+    pub timeline_window: Duration,
 }
 
 impl Default for ServeOptions {
@@ -93,6 +101,8 @@ impl Default for ServeOptions {
             default_deadline: None,
             access_log: None,
             slow_threshold: Duration::from_millis(100),
+            timeline: None,
+            timeline_window: Duration::from_secs(1),
         }
     }
 }
@@ -122,6 +132,7 @@ pub struct ServeStats {
     pub p50_ms: f64,
     pub p90_ms: f64,
     pub p99_ms: f64,
+    pub p999_ms: f64,
     pub max_ms: f64,
 }
 
@@ -148,6 +159,7 @@ impl ServeStats {
             ("p50_ms".to_owned(), Value::Number(self.p50_ms)),
             ("p90_ms".to_owned(), Value::Number(self.p90_ms)),
             ("p99_ms".to_owned(), Value::Number(self.p99_ms)),
+            ("p999_ms".to_owned(), Value::Number(self.p999_ms)),
             ("max_ms".to_owned(), Value::Number(self.max_ms)),
         ]);
         let doc = Value::Object(vec![
@@ -181,6 +193,9 @@ struct Shared {
     cache: Mutex<LruCache>,
     metrics: ServeMetrics,
     access: Option<Mutex<File>>,
+    /// Windowed completion timeline plus its output file; closed windows
+    /// are appended as they fill, the in-progress window at drain.
+    timeline: Option<(mosc_obs::Timeline, Mutex<File>)>,
     start: Instant,
     shutdown: AtomicBool,
     /// Connection-id allocator; ids start at 1 so `conn` is never falsy in
@@ -209,6 +224,7 @@ impl Shared {
             p50_ms: q(0.5),
             p90_ms: q(0.9),
             p99_ms: q(0.99),
+            p999_ms: q(0.999),
             max_ms: if merged.count > 0 { merged.max * 1e3 } else { 0.0 },
         }
     }
@@ -266,11 +282,19 @@ impl Server {
             None => None,
             Some(path) => Some(Mutex::new(File::create(path)?)),
         };
+        let timeline = match &opts.timeline {
+            None => None,
+            Some(path) => Some((
+                mosc_obs::Timeline::new(opts.timeline_window.as_secs_f64()),
+                Mutex::new(File::create(path)?),
+            )),
+        };
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(opts.queue_capacity),
             cache: Mutex::new(LruCache::new(opts.cache_capacity)),
             metrics: ServeMetrics::new(),
             access,
+            timeline,
             start: Instant::now(),
             shutdown: AtomicBool::new(false),
             conns: AtomicU64::new(0),
@@ -323,6 +347,7 @@ impl Server {
             shared.queue.close();
         });
         write_access_trailer(shared);
+        write_timeline_trailer(shared);
         Ok(())
     }
 }
@@ -412,11 +437,37 @@ fn finish(shared: &Shared, writer: &SharedWriter, line: &str, c: &Completion<'_>
         Some(kind) => shared.metrics.record_solve(kind, c.queue_wait, service, total),
         None => shared.metrics.record_proto(total),
     }
+    record_timeline(shared, total, c.cached);
     log_access(shared, c, done, service, total);
     if c.solver.is_some() {
         respond(shared, writer, c.id, line);
     } else {
         respond_proto(shared, writer, line);
+    }
+}
+
+/// Lands one completion in the windowed timeline (when configured) and
+/// appends any windows that closed. Writing here, on the completion path,
+/// keeps the output ordered without a sampler thread; an idle server
+/// simply flushes its backlog of empty windows on the next request.
+fn record_timeline(shared: &Shared, total_s: f64, cached: bool) {
+    let Some((timeline, file)) = &shared.timeline else { return };
+    timeline.record(total_s, cached);
+    timeline.note_depth(shared.queue.len() as u64);
+    let closed = timeline.drain_closed();
+    if !closed.is_empty() {
+        let mut file = file.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = file.write_all(mosc_obs::Timeline::render_jsonl(&closed).as_bytes());
+    }
+}
+
+/// Flushes the in-progress timeline window at drain.
+fn write_timeline_trailer(shared: &Shared) {
+    let Some((timeline, file)) = &shared.timeline else { return };
+    let remaining = timeline.finish();
+    if !remaining.is_empty() {
+        let mut file = file.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = file.write_all(mosc_obs::Timeline::render_jsonl(&remaining).as_bytes());
     }
 }
 
@@ -919,6 +970,7 @@ mod tests {
             p50_ms: 10.0,
             p90_ms: 20.0,
             p99_ms: 30.0,
+            p999_ms: 31.0,
             max_ms: 31.5,
         };
         let line = stats.to_json("quote\"and\nnewline");
@@ -930,6 +982,7 @@ mod tests {
         assert_eq!(payload.get("malformed").and_then(Value::as_usize), Some(3));
         assert_eq!(payload.get("queue_peak").and_then(Value::as_usize), Some(4));
         assert_eq!(payload.get("p99_ms").and_then(Value::as_f64), Some(30.0));
+        assert_eq!(payload.get("p999_ms").and_then(Value::as_f64), Some(31.0));
         assert_eq!(payload.get("req_per_s").and_then(Value::as_f64), Some(2.5));
     }
 

@@ -221,7 +221,7 @@ const USAGE: &str = "usage:
                    [--baseline FILE] [--write-baseline FILE] [--config FILE | --no-config]
   mosc-cli profile SPEC.json
   mosc-cli serve   [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--deadline-ms MS]
-                   [--access-log FILE] [--slow-ms MS]
+                   [--access-log FILE] [--slow-ms MS] [--timeline FILE] [--timeline-window-ms MS]
   mosc-cli client  [--addr HOST:PORT]  (stdin request lines -> stdout response lines)
   mosc-cli stats   [--addr HOST:PORT] [--watch] [--interval-ms MS] [--count N]
   mosc-cli metrics [--addr HOST:PORT]  (print the Prometheus text exposition)
@@ -649,6 +649,14 @@ fn serve(args: &Args) -> Result<ExitCode, CliError> {
             }
             std::time::Duration::from_secs_f64(ms / 1e3)
         },
+        timeline: args.flag("--timeline").map(str::to_owned),
+        timeline_window: {
+            let ms: f64 = args.parse_or("--timeline-window-ms", 1000.0)?;
+            if !ms.is_finite() || ms <= 0.0 {
+                return Err(CliError::Usage("--timeline-window-ms must be > 0".into()));
+            }
+            std::time::Duration::from_secs_f64(ms / 1e3)
+        },
     };
     let addr = opts.addr.clone();
     let server = mosc::serve::Server::bind(opts)
@@ -746,7 +754,7 @@ fn render_stats(addr: &str, stats: &mosc::analyze::json::Value) -> String {
          rejected   {:>8}   deadline+ {:>8}   malformed {:>4}\n\
          cache      {:>8} hit / {} miss ({hit_rate:.1}% hit, {} evicted, {} live)\n\
          queue      {:>8} deep (peak {})\n\
-         latency ms {:>8.2} p50 {:>10.2} p90 {:>10.2} p99 {:>10.2} max\n",
+         latency ms {:>8.2} p50 {:>10.2} p90 {:>10.2} p99 {:>10.2} p999 {:>9.2} max\n",
         num("uptime_s"),
         int("requests"),
         int("responses"),
@@ -763,6 +771,7 @@ fn render_stats(addr: &str, stats: &mosc::analyze::json::Value) -> String {
         num("p50_ms"),
         num("p90_ms"),
         num("p99_ms"),
+        num("p999_ms"),
         num("max_ms"),
     )
 }
