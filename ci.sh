@@ -189,6 +189,12 @@ test -n "$lg_addr" || { echo "loadgen smoke: daemon never announced its address"
 ./target/release/loadgen --addr "$lg_addr" --rate 150 --duration 1.2 --warmup 0.3 \
     --conns 2 --seed 42 --csv target/bench >/dev/null \
     || { echo "loadgen smoke: generator failed" >&2; exit 1; }
+# Repeated-platform traffic: every arrival is a solve_batch against one
+# platform, so the daemon answers from the interned registry (no --csv;
+# the BENCH_loadgen.json baseline covers the default shape only).
+./target/release/loadgen --addr "$lg_addr" --rate 150 --duration 0.8 --warmup 0.2 \
+    --conns 2 --seed 7 --repeat-platform >/dev/null \
+    || { echo "loadgen smoke: repeat-platform mode failed" >&2; exit 1; }
 printf '%s\n' '{"id":"bye","op":"shutdown"}' \
     | ./target/release/mosc-cli client --addr "$lg_addr" >/dev/null
 wait "$lg_pid" || { echo "loadgen smoke: daemon exited non-zero" >&2; cat "$lg_log" >&2; exit 1; }
@@ -199,23 +205,73 @@ grep -q '"type":"bench","mode":"open"' target/bench/BENCH_loadgen.json \
 grep -q '"type":"timeline"' "$lg_timeline" \
     || { echo "loadgen smoke: daemon produced no timeline windows" >&2; exit 1; }
 
+echo "==> solve_batch smoke (client --batch, registry warm/cold, M110/M111 lints)"
+bt_access=target/bench/batch_access.jsonl
+bt_log=target/bench/batch_daemon.log
+./target/release/mosc-cli serve --obs=json --addr 127.0.0.1:0 \
+    --access-log "$bt_access" >"$bt_log" 2>&1 &
+bt_pid=$!
+for _ in $(seq 1 50); do
+    grep -q 'mosc-serve listening on' "$bt_log" && break
+    sleep 0.1
+done
+bt_addr=$(sed -n 's/^mosc-serve listening on //p' "$bt_log")
+test -n "$bt_addr" || { echo "batch smoke: daemon never announced its address" >&2; exit 1; }
+# Two solve lines over one platform: `client --batch` folds them into a
+# single solve_batch dispatch whose resolve interns the platform.
+batch_lines() {
+    printf '%s\n' \
+        "{\"id\":\"b1\",\"solver\":\"ao\",\"platform\":$smoke_platform,\"options\":{\"max_m\":64,\"m_patience\":4,\"t_unit_divisor\":50}}" \
+        "{\"id\":\"b2\",\"solver\":\"ao\",\"platform\":$smoke_platform,\"options\":{\"max_m\":64,\"m_patience\":4,\"t_unit_divisor\":50,\"threads\":2}}"
+}
+bt_cold=$(batch_lines | ./target/release/mosc-cli client --batch --addr "$bt_addr" 2>&1)
+echo "$bt_cold" | grep -q 'registry cold' \
+    || { echo "batch smoke: first batch did not resolve cold" >&2; echo "$bt_cold" >&2; exit 1; }
+test "$(echo "$bt_cold" | grep -c '"status":"ok"')" -eq 2 \
+    || { echo "batch smoke: cold batch did not answer both variants" >&2; echo "$bt_cold" >&2; exit 1; }
+bt_warm=$(batch_lines | ./target/release/mosc-cli client --batch --addr "$bt_addr" 2>&1)
+echo "$bt_warm" | grep -q 'registry warm' \
+    || { echo "batch smoke: repeated batch missed the registry" >&2; echo "$bt_warm" >&2; exit 1; }
+echo "$bt_warm" | grep -q '"cached":true' \
+    || { echo "batch smoke: repeated batch missed the solution cache" >&2; echo "$bt_warm" >&2; exit 1; }
+printf '%s\n' '{"id":"bye","op":"shutdown"}' \
+    | ./target/release/mosc-cli client --addr "$bt_addr" >/dev/null
+wait "$bt_pid" || { echo "batch smoke: daemon exited non-zero" >&2; cat "$bt_log" >&2; exit 1; }
+# The per-variant access entries carry registry attribution; the M110/M111
+# joins (warm-recompute, resolve disagreement) must pass in deny mode.
+./target/release/mosc-cli analyze -D warnings "$bt_access" \
+    || { echo "batch smoke: access log failed the M110/M111 registry lints" >&2; exit 1; }
+
+echo "==> batch bench artifact (BENCH_batch.json, registry amortization)"
+cargo run -q --release -p mosc-bench --bin batch -- --csv target/bench >/dev/null
+grep -q '"type":"batch","mode":"batch_warm"' target/bench/BENCH_batch.json \
+    || { echo "BENCH_batch.json missing the batch_warm record" >&2; exit 1; }
+# Sanity floor only — the checked-in baseline demonstrates the full warm
+# speedup and the compare band below polices regressions against it.
+bt_speedup=$(sed -n 's/.*"speedup_x":\([0-9.]*\).*/\1/p' target/bench/BENCH_batch.json)
+test -n "$bt_speedup" || { echo "BENCH_batch.json missing speedup_x" >&2; exit 1; }
+awk "BEGIN { exit !($bt_speedup >= 3.0) }" \
+    || { echo "batch bench: warm speedup ${bt_speedup}x below the 3x sanity floor" >&2; exit 1; }
+
 echo "==> deny-mode analyze over every produced artifact (incl. M10x bench lints)"
 for artifact in target/bench/BENCH_periodmap.json target/bench/BENCH_serve.json \
-    target/bench/BENCH_loadgen.json "$lg_timeline"; do
+    target/bench/BENCH_loadgen.json target/bench/BENCH_batch.json "$lg_timeline"; do
     ./target/release/mosc-cli analyze -D warnings "$artifact" \
         || { echo "deny-mode analyze failed on $artifact" >&2; exit 1; }
 done
 
 echo "==> bench baseline comparison (benches/baseline, direction-aware)"
 cargo build -q --release -p mosc-bench --bin compare
-if [ "$DENY" -eq 1 ]; then
-    ./target/release/compare benches/baseline/BENCH_loadgen.json target/bench/BENCH_loadgen.json \
-        || { echo "baseline compare: regression past threshold (deny mode)" >&2; exit 1; }
-else
-    ./target/release/compare --warn-only \
-        benches/baseline/BENCH_loadgen.json target/bench/BENCH_loadgen.json \
-        || { echo "baseline compare: artifacts not comparable" >&2; exit 1; }
-fi
+for bench in BENCH_loadgen.json BENCH_batch.json; do
+    if [ "$DENY" -eq 1 ]; then
+        ./target/release/compare "benches/baseline/$bench" "target/bench/$bench" \
+            || { echo "baseline compare: regression past threshold in $bench (deny mode)" >&2; exit 1; }
+    else
+        ./target/release/compare --warn-only \
+            "benches/baseline/$bench" "target/bench/$bench" \
+            || { echo "baseline compare: artifacts not comparable in $bench" >&2; exit 1; }
+    fi
+done
 
 echo "==> solution-claim cross-check (solve --claim, M081 recompute, SARIF smoke)"
 printf '%s\n' '{"platform": {"rows": 1, "cols": 2, "levels": [0.6, 1.3], "t_max_c": 55.0}}' \

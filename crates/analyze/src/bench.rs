@@ -33,7 +33,7 @@ use crate::telemetry::StreamRecord;
 /// daemon's `--timeline` stream carries the same records as live
 /// telemetry, with no bench run to stamp — timelines still get the
 /// field, quantile and emptiness checks, just not the meta requirement.
-const BENCH_TYPES: [&str; 4] = ["bench", "serve", "sweep", "periodmap"];
+const BENCH_TYPES: [&str; 5] = ["bench", "serve", "sweep", "periodmap", "batch"];
 
 /// Open-loop achieved/offered ratio below which the offered rate was
 /// unserious (`M103`).
@@ -60,6 +60,7 @@ fn required_fields(ty: &str) -> &'static [&'static str] {
         "timeline" => &["window", "start_s", "len_s", "count", "req_per_s", "p50_ms", "p999_ms"],
         "sweep" => &["offered_req_per_s", "achieved_req_per_s", "p99_ms"],
         "periodmap" => &["m", "fast_wall_s", "dense_wall_s", "fast_ops", "dense_ops"],
+        "batch" => &["mode", "variants", "count", "p50_ms", "max_ms"],
         _ => &[],
     }
 }
@@ -422,6 +423,25 @@ mod tests {
         );
         let r = analyze_telemetry(&collapsed).unwrap();
         assert!(r.has_code(Code::BenchSweepNonMonotone), "findings:\n{r}");
+    }
+
+    #[test]
+    fn batch_records_are_first_class_bench_records() {
+        let batch = r#"{"type":"batch","mode":"batch_warm","variants":6,"count":48,"wall_s":0.01,"p50_ms":0.2,"p90_ms":0.3,"p99_ms":0.4,"max_ms":0.5,"speedup_x":12.5}"#;
+        let r = analyze_telemetry(&format!("{META}\n{batch}\n")).unwrap();
+        assert!(r.is_clean(), "findings:\n{r}");
+
+        // No meta header: a bare batch record is a bench artifact too.
+        let r = analyze_telemetry(&format!("{batch}\n")).unwrap();
+        assert!(r.has_code(Code::BenchMetaMissing), "findings:\n{r}");
+
+        // Missing its typed fields.
+        let gutted = r#"{"type":"batch","mode":"batch_warm","p50_ms":0.2}"#;
+        let r = analyze_telemetry(&format!("{META}\n{gutted}\n")).unwrap();
+        let m100: Vec<_> =
+            r.diagnostics().iter().filter(|d| d.code == Code::BenchMetaMissing).collect();
+        assert_eq!(m100.len(), 1, "findings:\n{r}");
+        assert!(m100[0].message.contains("variants"), "{r}");
     }
 
     #[test]

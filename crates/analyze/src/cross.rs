@@ -211,9 +211,114 @@ fn solve_entries(records: &[StreamRecord]) -> Vec<SolveEntry<'_>> {
         .collect()
 }
 
-/// M082 + M083 over an access log's solve entries. Inert when the log
-/// predates the `key`/counter fields.
+/// One access-log entry that belongs to a `solve_batch` dispatch: the
+/// batch id it rode in on plus the registry attribution and the
+/// eigendecomposition count its kernel delta reported. Any status counts —
+/// an errored variant still shares the batch's single platform resolve.
+struct BatchEntry<'a> {
+    lineno: usize,
+    id: &'a str,
+    batch: &'a str,
+    /// Connection the dispatch arrived on (-1 when the log predates the
+    /// field). Batch ids are only unique per dispatch, and a dispatch
+    /// lives on one connection — so (conn, batch) scopes the M111 join.
+    conn: i64,
+    registry_hits: f64,
+    registry_misses: f64,
+    eigen_calls: f64,
+}
+
+fn batch_entries(records: &[StreamRecord]) -> Vec<BatchEntry<'_>> {
+    records
+        .iter()
+        .filter_map(|rec| {
+            let v = &rec.value;
+            if v.get("type").and_then(Value::as_str) != Some("access") {
+                return None;
+            }
+            let batch = v.get("batch").and_then(Value::as_str)?;
+            Some(BatchEntry {
+                lineno: rec.lineno,
+                id: v.get("id").and_then(Value::as_str).unwrap_or("?"),
+                batch,
+                conn: v.get("conn").and_then(Value::as_f64).map_or(-1, |c| c as i64),
+                registry_hits: v.get("registry_hits").and_then(Value::as_f64)?,
+                registry_misses: v.get("registry_misses").and_then(Value::as_f64)?,
+                eigen_calls: v.get("eigen_calls").and_then(Value::as_f64)?,
+            })
+        })
+        .collect()
+}
+
+/// M110 + M111 over an access log's batch entries. Inert when no entry
+/// carries the `batch` + registry fields (single solves, older logs).
+fn registry_lints(records: &[StreamRecord], report: &mut Report) {
+    let entries = batch_entries(records);
+
+    // --- M110: a warm registry resolve must not rebuild -------------------
+    // Eigendecompositions happen only in `Platform::build`; a variant that
+    // reports the batch's resolve as a hit while its delta shows eigen work
+    // means the registry handed out an interned platform *and* rebuilt it.
+    for e in &entries {
+        if e.registry_hits > 0.0 && e.eigen_calls > 0.0 {
+            report.push(
+                Code::RegistryWarmRecompute,
+                format!("line {} (id {})", e.lineno, e.id),
+                format!(
+                    "warm-registry solve (registry_hits {}) reports {} \
+                     eigendecomposition(s) — an interned platform is already \
+                     built, so a warm resolve must do zero eigen work",
+                    e.registry_hits, e.eigen_calls
+                ),
+            );
+        }
+    }
+
+    // --- M111: one batch dispatch is one resolve --------------------------
+    // Keyed by (conn, batch): clients may reuse a batch id across
+    // dispatches (ids are theirs to choose), but one dispatch's variants
+    // all ride one connection and share exactly one resolve.
+    let mut outcome_by_batch: HashMap<(i64, &str), (usize, bool)> = HashMap::new();
+    for e in &entries {
+        if e.registry_hits + e.registry_misses != 1.0 {
+            report.push(
+                Code::BatchRegistryDisagreement,
+                format!("line {} (id {})", e.lineno, e.id),
+                format!(
+                    "batch variant reports registry_hits {} / registry_misses {} — \
+                     each variant shares exactly one platform resolve, so the \
+                     attribution must be one hit xor one miss",
+                    e.registry_hits, e.registry_misses
+                ),
+            );
+            continue;
+        }
+        let warm = e.registry_hits > 0.0;
+        match outcome_by_batch.get(&(e.conn, e.batch)) {
+            None => {
+                outcome_by_batch.insert((e.conn, e.batch), (e.lineno, warm));
+            }
+            Some(&(first_lineno, first_warm)) if first_warm != warm => report.push(
+                Code::BatchRegistryDisagreement,
+                format!("line {} (id {})", e.lineno, e.id),
+                format!(
+                    "batch '{}' variants disagree about the shared resolve: this \
+                     entry says {} but line {first_lineno} said {} — one batch \
+                     resolves its platform exactly once",
+                    e.batch,
+                    if warm { "warm" } else { "cold" },
+                    if first_warm { "warm" } else { "cold" },
+                ),
+            ),
+            Some(_) => {}
+        }
+    }
+}
+
+/// M082 + M083 over an access log's solve entries, plus the batch/registry
+/// joins M110 + M111. Inert when the log predates the `key`/counter fields.
 pub fn access_log_lints(records: &[StreamRecord], report: &mut Report) {
+    registry_lints(records, report);
     let entries = solve_entries(records);
 
     // --- M082: cache hits must agree with canonical-key derivation -------
@@ -446,5 +551,104 @@ mod tests {
         let mut r = Report::new();
         access_log_lints(&records, &mut r);
         assert!(!r.has_code(Code::KernelDeltaInconsistent), "{r}");
+    }
+
+    /// A healthy two-variant batch: cold resolve (variant 0 carries the
+    /// build's eigen work), then the identical warm batch with zero eigen.
+    const BATCH_COLD_WARM: &str = concat!(
+        r#"{"type":"access","id":"b0#0","op":"solve","solver":"ao","status":"ok","cached":false,"key":"000000000000aaaa","expm_calls":0,"period_map_matmuls":40,"steady_state_calls":4,"linalg_matmuls":100,"eigen_calls":1,"registry_hits":0,"registry_misses":1,"batch":"b0"}"#,
+        "\n",
+        r#"{"type":"access","id":"b0#1","op":"solve","solver":"lns","status":"ok","cached":false,"key":"000000000000bbbb","expm_calls":6,"period_map_matmuls":0,"steady_state_calls":0,"linalg_matmuls":20,"eigen_calls":0,"registry_hits":0,"registry_misses":1,"batch":"b0"}"#,
+        "\n",
+        r#"{"type":"access","id":"b1#0","op":"solve","solver":"ao","status":"ok","cached":true,"key":"000000000000aaaa","expm_calls":0,"period_map_matmuls":0,"steady_state_calls":0,"linalg_matmuls":0,"eigen_calls":0,"registry_hits":1,"registry_misses":0,"batch":"b1"}"#,
+        "\n",
+        r#"{"type":"access","id":"b1#1","op":"solve","solver":"lns","status":"ok","cached":true,"key":"000000000000bbbb","expm_calls":0,"period_map_matmuls":0,"steady_state_calls":0,"linalg_matmuls":0,"eigen_calls":0,"registry_hits":1,"registry_misses":0,"batch":"b1"}"#,
+        "\n",
+    );
+
+    #[test]
+    fn cold_then_warm_batch_is_clean() {
+        let records = load_stream(BATCH_COLD_WARM).unwrap();
+        let mut r = Report::new();
+        access_log_lints(&records, &mut r);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn warm_batch_with_eigen_work_is_m110() {
+        // The warm batch's first variant suddenly reports a rebuild.
+        let lying = BATCH_COLD_WARM.replace(
+            r#""b1#0","op":"solve","solver":"ao","status":"ok","cached":true,"key":"000000000000aaaa","expm_calls":0,"period_map_matmuls":0,"steady_state_calls":0,"linalg_matmuls":0,"eigen_calls":0"#,
+            r#""b1#0","op":"solve","solver":"ao","status":"ok","cached":true,"key":"000000000000aaaa","expm_calls":0,"period_map_matmuls":0,"steady_state_calls":0,"linalg_matmuls":0,"eigen_calls":1"#,
+        );
+        assert_ne!(lying, BATCH_COLD_WARM, "replacement must apply");
+        let records = load_stream(&lying).unwrap();
+        let mut r = Report::new();
+        access_log_lints(&records, &mut r);
+        assert!(r.has_code(Code::RegistryWarmRecompute), "{r}");
+        assert!(r.has_errors(), "M110 is an error:\n{r}");
+        // A *cold* batch doing eigen work is the normal case — no M110.
+        let records = load_stream(BATCH_COLD_WARM).unwrap();
+        let mut r = Report::new();
+        access_log_lints(&records, &mut r);
+        assert!(!r.has_code(Code::RegistryWarmRecompute), "{r}");
+    }
+
+    #[test]
+    fn batch_variants_disagreeing_on_the_resolve_is_m111() {
+        // Variant b0#1 claims the shared resolve was warm while b0#0 says
+        // cold: impossible, the batch resolves its platform exactly once.
+        let split = BATCH_COLD_WARM.replace(
+            r#""linalg_matmuls":20,"eigen_calls":0,"registry_hits":0,"registry_misses":1,"batch":"b0""#,
+            r#""linalg_matmuls":20,"eigen_calls":0,"registry_hits":1,"registry_misses":0,"batch":"b0""#,
+        );
+        assert_ne!(split, BATCH_COLD_WARM, "replacement must apply");
+        let records = load_stream(&split).unwrap();
+        let mut r = Report::new();
+        access_log_lints(&records, &mut r);
+        assert!(r.has_code(Code::BatchRegistryDisagreement), "{r}");
+        assert!(!r.has_errors(), "M111 is a warning:\n{r}");
+
+        // Attribution that is not exactly one hit xor one miss also fires.
+        let double = BATCH_COLD_WARM.replace(
+            r#""registry_hits":1,"registry_misses":0,"batch":"b1""#,
+            r#""registry_hits":1,"registry_misses":1,"batch":"b1""#,
+        );
+        let records = load_stream(&double).unwrap();
+        let mut r = Report::new();
+        access_log_lints(&records, &mut r);
+        assert!(r.has_code(Code::BatchRegistryDisagreement), "{r}");
+    }
+
+    #[test]
+    fn a_batch_id_reused_across_connections_is_not_a_disagreement() {
+        // Batch ids are the client's to choose: two dispatches on different
+        // connections may reuse one id (e.g. the same stdin piped through
+        // `client --batch` twice, cold then warm). The M111 join is scoped
+        // to (conn, batch), so this must stay clean.
+        let reused = BATCH_COLD_WARM
+            .replace(
+                r#""registry_misses":1,"batch":"b0""#,
+                r#""registry_misses":1,"batch":"q","conn":1"#,
+            )
+            .replace(
+                r#""registry_misses":0,"batch":"b1""#,
+                r#""registry_misses":0,"batch":"q","conn":2"#,
+            );
+        assert_ne!(reused, BATCH_COLD_WARM, "replacement must apply");
+        let records = load_stream(&reused).unwrap();
+        let mut r = Report::new();
+        access_log_lints(&records, &mut r);
+        assert!(!r.has_code(Code::BatchRegistryDisagreement), "{r}");
+    }
+
+    #[test]
+    fn registry_lints_are_inert_without_batch_entries() {
+        // Single-solve logs (no `batch` member) never trip M110/M111.
+        let records = load_stream(HIT_AND_FILL).unwrap();
+        let mut r = Report::new();
+        access_log_lints(&records, &mut r);
+        assert!(!r.has_code(Code::RegistryWarmRecompute), "{r}");
+        assert!(!r.has_code(Code::BatchRegistryDisagreement), "{r}");
     }
 }

@@ -31,7 +31,7 @@ impl fmt::Display for Severity {
 /// `M050`–`M054` telemetry, `M060`–`M062` serve telemetry, `M070`–`M073`
 /// serve access log, `M080`–`M083` cross-artifact consistency,
 /// `M090`–`M093` concurrency/trace invariants, `M100`–`M104` bench
-/// artifacts.
+/// artifacts, `M110`–`M111` platform-registry/batch consistency.
 ///
 /// DESIGN.md §7 maps each code to the paper theorem or equation it enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -184,6 +184,18 @@ pub enum Code {
     /// increase, or the achieved rate collapses far below its running
     /// maximum mid-sweep (the server fell over and never recovered).
     BenchSweepNonMonotone,
+    /// M110 — a warm-registry batch solve did eigendecomposition work: an
+    /// access entry claims `registry_hits > 0` (the platform was served
+    /// interned) yet `eigen_calls > 0`. Eigendecompositions happen only in
+    /// `Platform::build`, so a warm resolve that rebuilt is lying about one
+    /// side or the other.
+    RegistryWarmRecompute,
+    /// M111 — the variants of one batch disagree about the shared platform
+    /// resolve: registry hit/miss attribution differs between variants, or
+    /// an entry reports anything other than exactly one hit xor one miss.
+    /// One batch is one resolve, so disagreement means the attribution (or
+    /// the batching) is broken.
+    BatchRegistryDisagreement,
 }
 
 impl Code {
@@ -238,6 +250,8 @@ impl Code {
             Self::BenchWindowEmpty => "M102",
             Self::BenchRateCollapse => "M103",
             Self::BenchSweepNonMonotone => "M104",
+            Self::RegistryWarmRecompute => "M110",
+            Self::BatchRegistryDisagreement => "M111",
         }
     }
 
@@ -292,6 +306,8 @@ impl Code {
         Self::BenchWindowEmpty,
         Self::BenchRateCollapse,
         Self::BenchSweepNonMonotone,
+        Self::RegistryWarmRecompute,
+        Self::BatchRegistryDisagreement,
     ];
 
     /// Parses a stable `M0xx` string back into its code.
@@ -323,7 +339,8 @@ impl Code {
             | Self::AccessCacheInconsistent
             | Self::KernelDeltaInconsistent
             | Self::BenchRateCollapse
-            | Self::BenchSweepNonMonotone => Severity::Warning,
+            | Self::BenchSweepNonMonotone
+            | Self::BatchRegistryDisagreement => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -487,7 +504,7 @@ mod tests {
 
     #[test]
     fn codes_are_stable_and_unique() {
-        assert_eq!(Code::ALL.len(), 47);
+        assert_eq!(Code::ALL.len(), 49);
         let mut seen = std::collections::HashSet::new();
         for &c in Code::ALL {
             assert!(seen.insert(c.as_str()), "duplicate code string {c}");
@@ -506,6 +523,8 @@ mod tests {
         assert_eq!(Code::SeqNonMonotonic.as_str(), "M093");
         assert_eq!(Code::BenchMetaMissing.as_str(), "M100");
         assert_eq!(Code::BenchSweepNonMonotone.as_str(), "M104");
+        assert_eq!(Code::RegistryWarmRecompute.as_str(), "M110");
+        assert_eq!(Code::BatchRegistryDisagreement.as_str(), "M111");
         assert_eq!(Code::parse("M999"), None);
     }
 

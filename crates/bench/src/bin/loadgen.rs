@@ -27,6 +27,14 @@
 //! Without `--addr`, an in-process `mosc-serve` server is spun up on
 //! `127.0.0.1:0` — the self-contained smoke CI runs. With `--addr
 //! HOST:PORT` it drives a live daemon.
+//!
+//! `--repeat-platform` switches the traffic shape from "four distinct
+//! cache keys" to "one platform forever": every arrival is a `solve_batch`
+//! request against the same platform with a cycling `threads` option, so
+//! after the first request the daemon answers from the interned platform
+//! registry (and, once the option cycle wraps, the solution cache). This
+//! is the traffic a design-space sweep generates, and the regime the
+//! registry exists for.
 
 use mosc_analyze::json::Value;
 use mosc_bench::loadgen::{arrival_schedule, saturation_knee, ArrivalProcess};
@@ -57,6 +65,20 @@ fn request_line(id: &str, t_max_c: f64) -> String {
         "{{\"id\":\"{id}\",\"solver\":\"ao\",\"platform\":{{\"rows\":1,\"cols\":2,\
          \"levels\":[0.6,1.3],\"t_max_c\":{t_max_c:?}}},\
          \"options\":{{\"max_m\":64,\"m_patience\":4,\"t_unit_divisor\":50}}}}"
+    )
+}
+
+/// `--repeat-platform` request: a single-variant `solve_batch` against one
+/// fixed platform. `threads` cycles 1..=8 — it is part of the cache key but
+/// does not change the math, so the first eight arrivals are real solves on
+/// the interned platform and the rest are solution-cache hits.
+fn batch_request_line(id: &str, k: usize) -> String {
+    format!(
+        "{{\"id\":\"{id}\",\"op\":\"solve_batch\",\"platform\":{{\"rows\":1,\"cols\":2,\
+         \"levels\":[0.6,1.3],\"t_max_c\":55.0}},\
+         \"variants\":[{{\"solver\":\"ao\",\"options\":{{\"max_m\":64,\"m_patience\":4,\
+         \"t_unit_divisor\":50,\"threads\":{}}}}}]}}",
+        k % 8 + 1
     )
 }
 
@@ -108,6 +130,7 @@ fn run_connection(
     start: Instant,
     timeline: &Timeline,
     in_flight: &AtomicU64,
+    repeat_platform: bool,
 ) -> (Vec<Sample>, usize) {
     let stream = TcpStream::connect(addr).expect("connect");
     stream.set_nodelay(true).expect("TCP_NODELAY");
@@ -123,7 +146,11 @@ fn run_connection(
                     std::thread::sleep(Duration::from_secs_f64(t - now));
                 }
                 let id = format!("c{conn}-{k}");
-                let mut line = request_line(&id, T_MAX_VARIANTS[k % T_MAX_VARIANTS.len()]);
+                let mut line = if repeat_platform {
+                    batch_request_line(&id, k)
+                } else {
+                    request_line(&id, T_MAX_VARIANTS[k % T_MAX_VARIANTS.len()])
+                };
                 line.push('\n');
                 in_flight.fetch_add(1, Ordering::Relaxed);
                 if stream.write_all(line.as_bytes()).is_err() {
@@ -176,7 +203,19 @@ fn run_connection(
             }
             let intended_s = schedule[k];
             let latency_s = (now - intended_s).max(0.0);
-            let cached = doc.get("cached").and_then(Value::as_bool).unwrap_or(false);
+            // Single solves carry `cached` at the top level; batch responses
+            // carry it per variant (one variant in repeat-platform mode).
+            let cached = doc
+                .get("cached")
+                .and_then(Value::as_bool)
+                .or_else(|| {
+                    doc.get("results")
+                        .and_then(Value::as_array)
+                        .and_then(|r| r.first())
+                        .and_then(|r| r.get("cached"))
+                        .and_then(Value::as_bool)
+                })
+                .unwrap_or(false);
             timeline.record_at(now, latency_s, cached);
             timeline.depth_at(now, depth);
             samples.push(Sample { intended_s, latency_s, cached });
@@ -198,6 +237,7 @@ fn run_open_loop(
     conns: usize,
     seed: u64,
     window_s: f64,
+    repeat_platform: bool,
 ) -> RunResult {
     let schedule = arrival_schedule(process, rate, duration_s, seed);
     let arrivals = schedule.len();
@@ -216,7 +256,9 @@ fn run_open_loop(
             .enumerate()
             .map(|(conn, sched)| {
                 let (timeline, in_flight) = (&timeline, &in_flight);
-                scope.spawn(move || run_connection(addr, conn, sched, start, timeline, in_flight))
+                scope.spawn(move || {
+                    run_connection(addr, conn, sched, start, timeline, in_flight, repeat_platform)
+                })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("connection thread")).collect()
@@ -253,11 +295,20 @@ fn run_open_loop(
     }
 }
 
-fn bench_record(r: &RunResult, process: ArrivalProcess, seed: u64, conns: usize) -> String {
+fn bench_record(
+    r: &RunResult,
+    process: ArrivalProcess,
+    seed: u64,
+    conns: usize,
+    repeat_platform: bool,
+) -> String {
+    // A distinct mode keeps repeat-platform records from colliding with the
+    // default traffic shape under `compare`'s (mode, process, rate) identity.
+    let mode = if repeat_platform { "open_repeat" } else { "open" };
     let mut line = String::new();
     let _ = write!(
         line,
-        "{{\"type\":\"bench\",\"mode\":\"open\",\"process\":\"{}\",\"seed\":{seed},\
+        "{{\"type\":\"bench\",\"mode\":\"{mode}\",\"process\":\"{}\",\"seed\":{seed},\
          \"conns\":{conns},\"offered_req_per_s\":{:?},\"achieved_req_per_s\":{:?},\
          \"arrivals\":{},\"completed\":{},\"count\":{},\"dropped\":{},\
          \"cache_hit_rate\":{:?},\"p50_ms\":{:?},\"p90_ms\":{:?},\"p99_ms\":{:?},\
@@ -289,6 +340,7 @@ struct Args {
     seed: u64,
     window_s: f64,
     sweep: Vec<f64>,
+    repeat_platform: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -302,6 +354,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         window_s: 0.25,
         sweep: Vec::new(),
+        repeat_platform: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -347,6 +400,12 @@ fn parse_args() -> Result<Args, String> {
                     .map(|r| r.trim().parse::<f64>().map_err(|e| format!("--sweep: {e}")))
                     .collect::<Result<_, _>>()?;
             }
+            // The only valueless flag: step past it alone.
+            "--repeat-platform" => {
+                out.repeat_platform = true;
+                i += 1;
+                continue;
+            }
             // Parsed by csv_dir_from_args; its value is skipped below like
             // every other flag's.
             "--csv" => {}
@@ -373,7 +432,7 @@ fn main() {
             eprintln!(
                 "loadgen: {e}\nusage: loadgen [--addr HOST:PORT] [--rate R] [--duration S] \
                  [--warmup S] [--conns N] [--process poisson|uniform] [--seed N] \
-                 [--window S] [--sweep r1,r2,...] [--csv DIR]"
+                 [--window S] [--sweep r1,r2,...] [--repeat-platform] [--csv DIR]"
             );
             std::process::exit(2);
         }
@@ -399,7 +458,7 @@ fn main() {
         }
     };
 
-    let meta = RunMeta::capture("loadgen")
+    let mut meta = RunMeta::capture("loadgen")
         .option("process", args.process.name())
         .option("rate", args.rate)
         .option("duration_s", args.duration_s)
@@ -407,6 +466,9 @@ fn main() {
         .option("conns", args.conns)
         .option("seed", args.seed)
         .option("window_s", args.window_s);
+    if args.repeat_platform {
+        meta = meta.option("repeat_platform", true);
+    }
     let mut log = BenchLog::new(&meta);
 
     println!(
@@ -444,6 +506,7 @@ fn main() {
             // Distinct seeds per sweep point, still fully deterministic.
             args.seed.wrapping_add(i as u64),
             args.window_s,
+            args.repeat_platform,
         );
         table.row(vec![
             format!("{:.0}", r.offered),
@@ -457,7 +520,13 @@ fn main() {
             format!("{:.3}", r.p999_ms),
             format!("{:.3}", r.max_ms),
         ]);
-        log.push(&bench_record(&r, args.process, args.seed.wrapping_add(i as u64), args.conns));
+        log.push(&bench_record(
+            &r,
+            args.process,
+            args.seed.wrapping_add(i as u64),
+            args.conns,
+            args.repeat_platform,
+        ));
         if sweeping {
             let mut line = String::new();
             let _ = write!(

@@ -41,6 +41,9 @@ const METRICS: &[(&str, Direction, f64)] = &[
     ("achieved_req_per_s", Direction::HigherIsBetter, 0.30),
     ("hit_ratio", Direction::HigherIsBetter, 0.15),
     ("cache_hit_rate", Direction::HigherIsBetter, 0.15),
+    // The warm-batch speedup over per-request solves: wide band, because
+    // the numerator is dominated by tiny warm-path times near clock noise.
+    ("speedup_x", Direction::HigherIsBetter, 0.40),
 ];
 
 /// One metric's movement between matched records.
@@ -211,6 +214,7 @@ fn identity_fields(ty: &str) -> Option<&'static [&'static str]> {
         "bench" => Some(&["mode", "process", "offered_req_per_s"]),
         "sweep" => Some(&["offered_req_per_s"]),
         "periodmap" => Some(&["m"]),
+        "batch" => Some(&["mode", "variants"]),
         _ => None,
     }
 }

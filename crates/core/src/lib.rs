@@ -44,12 +44,15 @@ pub mod exs_bnb;
 pub mod lns;
 pub mod pco;
 pub mod reactive;
+pub mod registry;
 pub mod solve;
 
 pub use ao::AoOptions;
 pub use mosc_sched::{Platform, PlatformSpec, Schedule, ACCEPT_EPS, FEASIBILITY_EPS};
+pub use registry::PlatformRegistry;
 pub use solve::{
-    solve, KernelDelta, SolveOptions, SolveReport, SolverKind, SolverStats, UnknownSolverError,
+    solve, solve_batch, BatchVariant, KernelDelta, SolveOptions, SolveReport, SolverKind,
+    SolverStats, UnknownSolverError,
 };
 
 /// Outcome of a scheduling algorithm: the schedule it constructed and the

@@ -250,6 +250,17 @@ pub struct KernelDelta {
     pub steady_state_calls: u64,
     /// General matrix products (`linalg.matmuls`).
     pub linalg_matmuls: u64,
+    /// Symmetric eigendecompositions (`eigen.calls`). These happen only in
+    /// `Platform::build`, so a solve on an already-built platform reports 0.
+    pub eigen_calls: u64,
+    /// Platform-registry hits (`registry.hits`): lookups served an interned
+    /// platform with its eigenbasis, T∞ vectors and propagators already
+    /// warm. A warm-registry solve must report `eigen_calls == 0` — the
+    /// `M110` analyzer lint enforces exactly that join.
+    pub registry_hits: u64,
+    /// Platform-registry misses (`registry.misses`): lookups that had to
+    /// build the platform (cold key, eviction, or a verified collision).
+    pub registry_misses: u64,
 }
 
 impl KernelDelta {
@@ -261,6 +272,9 @@ impl KernelDelta {
             period_map_matmuls: get("period_map.matmuls"),
             steady_state_calls: get("steady_state.calls"),
             linalg_matmuls: get("linalg.matmuls"),
+            eigen_calls: get("eigen.calls"),
+            registry_hits: get("registry.hits"),
+            registry_misses: get("registry.misses"),
         }
     }
 
@@ -274,6 +288,9 @@ impl KernelDelta {
             period_map_matmuls: self.period_map_matmuls.saturating_sub(earlier.period_map_matmuls),
             steady_state_calls: self.steady_state_calls.saturating_sub(earlier.steady_state_calls),
             linalg_matmuls: self.linalg_matmuls.saturating_sub(earlier.linalg_matmuls),
+            eigen_calls: self.eigen_calls.saturating_sub(earlier.eigen_calls),
+            registry_hits: self.registry_hits.saturating_sub(earlier.registry_hits),
+            registry_misses: self.registry_misses.saturating_sub(earlier.registry_misses),
         }
     }
 
@@ -379,6 +396,72 @@ pub fn solve(kind: SolverKind, platform: &Platform, opts: &SolveOptions) -> Resu
     let wall = start.elapsed();
     let kernel = KernelDelta::read().since(&kernel_before);
     Ok(SolveReport { solution, stats, wall, kernel })
+}
+
+/// One variant of a batched solve: a solver kind and its option set, run
+/// against the batch's shared platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchVariant {
+    /// Which algorithm to run.
+    pub kind: SolverKind,
+    /// Its options.
+    pub options: SolveOptions,
+}
+
+/// Solves every variant against one shared `platform`, fanning the variants
+/// out over `threads` scoped worker threads (`0` = all available, clamped
+/// to the variant count).
+///
+/// All variants share the platform's memoized kernel state — the
+/// eigendecomposition, per-voltage T∞ vectors, and interval propagators are
+/// computed at most once across the whole batch instead of once per solve.
+/// Results are returned in variant order and are bit-identical to calling
+/// [`solve`] on each variant sequentially: the fan-out is a round-robin
+/// partition with in-order collection, and the solvers themselves are
+/// deterministic for any thread count.
+#[must_use]
+pub fn solve_batch(
+    platform: &Platform,
+    variants: &[BatchVariant],
+    threads: usize,
+) -> Vec<Result<SolveReport>> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        threads
+    }
+    .min(variants.len())
+    .max(1);
+    if threads <= 1 {
+        return variants.iter().map(|v| solve(v.kind, platform, &v.options)).collect();
+    }
+    let mut slots: Vec<Option<Result<SolveReport>>> = Vec::new();
+    slots.resize_with(variants.len(), || None);
+    let mut chunks: Vec<&mut [Option<Result<SolveReport>>]> = Vec::with_capacity(slots.len());
+    chunks.extend(slots.iter_mut().map(std::slice::from_mut));
+    std::thread::scope(|scope| {
+        for (w, chunk_group) in partition_round_robin(chunks, threads).into_iter().enumerate() {
+            let offset = w;
+            scope.spawn(move || {
+                for (j, slot_chunk) in chunk_group.into_iter().enumerate() {
+                    let i = offset + j * threads;
+                    let v = &variants[i];
+                    slot_chunk[0] = Some(solve(v.kind, platform, &v.options));
+                }
+            });
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every variant slot is filled")).collect()
+}
+
+/// Deals `items` round-robin into `threads` groups, preserving in-group
+/// order (group `w` holds items `w, w+threads, w+2·threads, …`).
+fn partition_round_robin<T>(items: Vec<T>, threads: usize) -> Vec<Vec<T>> {
+    let mut groups: Vec<Vec<T>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        groups[i % threads].push(item);
+    }
+    groups
 }
 
 #[cfg(test)]

@@ -8,10 +8,23 @@
 //! clients spelling the same platform with different member order share an
 //! entry. The request deadline is excluded from the key: only successful
 //! solves are cached, and a success is the same solution under any deadline.
+//!
+//! Two properties fixed in PR 8:
+//!
+//! * **Collision safety.** A 64-bit hash is not an identity: the cache used
+//!   to index on the bare hash, so two requests colliding on it would
+//!   silently trade solutions. [`CacheKey`] now carries the canonical
+//!   preimage alongside the hash, and [`LruCache::get`] verifies it on
+//!   every hit — a collision degrades to a miss (and the later insert
+//!   overwrites the slot), never to a wrong answer.
+//! * **Cheap hits.** Entries are stored as `Arc<CachedSolve>`; a hit clones
+//!   the `Arc`, not the value, so hit cost no longer scales with
+//!   `schedule_text` size.
 
 use crate::proto::{canonical_json, options_to_json, SolveRequest};
 use mosc_core::{SolveOptions, SolverKind, SolverStats};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// 64-bit FNV-1a over raw bytes.
 #[must_use]
@@ -24,17 +37,40 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// A canonical cache key: the 64-bit FNV-1a hash used for indexing (and
+/// for the access log's `key` field), plus the preimage it was derived
+/// from so hits can be verified instead of trusted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey {
+    /// FNV-1a hash of [`preimage`](Self::preimage).
+    pub hash: u64,
+    /// The canonical `platform \0 kind \0 options` serialization.
+    pub preimage: String,
+}
+
 /// The cache key of a solve request: platform + solver kind + options, with
 /// the deadline masked out (see the module docs).
 #[must_use]
-pub fn cache_key(req: &SolveRequest) -> u64 {
-    let keyed_options = SolveOptions { deadline: None, ..req.options };
-    let mut preimage = canonical_json(&req.platform);
+pub fn cache_key(req: &SolveRequest) -> CacheKey {
+    cache_key_parts(&canonical_json(&req.platform), req.kind, &req.options)
+}
+
+/// [`cache_key`] from pre-serialized parts: the batch path canonicalizes
+/// the shared platform once and derives every variant's key from it.
+#[must_use]
+pub fn cache_key_parts(
+    canonical_platform: &str,
+    kind: SolverKind,
+    options: &SolveOptions,
+) -> CacheKey {
+    let keyed_options = SolveOptions { deadline: None, ..*options };
+    let mut preimage = String::with_capacity(canonical_platform.len() + 64);
+    preimage.push_str(canonical_platform);
     preimage.push('\0');
-    preimage.push_str(req.kind.id());
+    preimage.push_str(kind.id());
     preimage.push('\0');
     preimage.push_str(&options_to_json(&keyed_options));
-    fnv1a(preimage.as_bytes())
+    CacheKey { hash: fnv1a(preimage.as_bytes()), preimage }
 }
 
 /// A cached solve outcome: everything needed to render an `ok` response for
@@ -68,7 +104,7 @@ pub struct CachedSolve {
 pub struct LruCache {
     capacity: usize,
     clock: u64,
-    entries: HashMap<u64, (u64, CachedSolve)>,
+    entries: HashMap<u64, (u64, String, Arc<CachedSolve>)>,
 }
 
 impl LruCache {
@@ -79,31 +115,41 @@ impl LruCache {
         Self { capacity, clock: 0, entries: HashMap::new() }
     }
 
-    /// Looks up `key`, refreshing its recency on a hit.
-    pub fn get(&mut self, key: u64) -> Option<CachedSolve> {
+    /// Looks up `key`, refreshing its recency on a verified hit. The stored
+    /// preimage must match the key's — a hash collision answers `None`
+    /// (solve it again) instead of someone else's solution.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<CachedSolve>> {
         self.clock += 1;
         let clock = self.clock;
-        self.entries.get_mut(&key).map(|(stamp, v)| {
-            *stamp = clock;
-            v.clone()
-        })
+        match self.entries.get_mut(&key.hash) {
+            Some((stamp, preimage, v)) if *preimage == key.preimage => {
+                *stamp = clock;
+                Some(Arc::clone(v))
+            }
+            _ => None,
+        }
     }
 
     /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
-    /// when at capacity. Returns `true` when an eviction happened.
-    pub fn insert(&mut self, key: u64, value: CachedSolve) -> bool {
+    /// when at capacity. A colliding resident entry (same hash, different
+    /// preimage) is overwritten — latest writer wins, and [`get`](Self::get)
+    /// verification keeps either outcome correct. Returns `true` when a
+    /// capacity eviction happened.
+    pub fn insert(&mut self, key: &CacheKey, value: CachedSolve) -> bool {
         if self.capacity == 0 {
             return false;
         }
         self.clock += 1;
         let mut evicted = false;
-        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
-            if let Some((&oldest, _)) = self.entries.iter().min_by_key(|(_, (stamp, _))| *stamp) {
+        if !self.entries.contains_key(&key.hash) && self.entries.len() >= self.capacity {
+            if let Some(&oldest) =
+                self.entries.iter().min_by_key(|(_, (stamp, _, _))| *stamp).map(|(k, _)| k)
+            {
                 self.entries.remove(&oldest);
                 evicted = true;
             }
         }
-        self.entries.insert(key, (self.clock, value));
+        self.entries.insert(key.hash, (self.clock, key.preimage.clone(), Arc::new(value)));
         evicted
     }
 
@@ -138,34 +184,75 @@ mod tests {
         }
     }
 
+    /// A key whose hash is forced to `hash` regardless of the preimage —
+    /// the collision regression tests depend on constructing two distinct
+    /// preimages that index the same slot.
+    fn forced(hash: u64, preimage: &str) -> CacheKey {
+        CacheKey { hash, preimage: preimage.to_owned() }
+    }
+
+    fn key(n: u64) -> CacheKey {
+        forced(n, &format!("preimage-{n}"))
+    }
+
     #[test]
     fn lru_evicts_the_oldest_untouched_entry() {
         let mut c = LruCache::new(2);
-        assert!(!c.insert(1, dummy(1.0)));
-        assert!(!c.insert(2, dummy(2.0)));
+        assert!(!c.insert(&key(1), dummy(1.0)));
+        assert!(!c.insert(&key(2), dummy(2.0)));
         // Touch 1, so 2 is now the LRU entry.
-        assert!(c.get(1).is_some());
-        assert!(c.insert(3, dummy(3.0)));
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.insert(&key(3), dummy(3.0)));
         assert_eq!(c.len(), 2);
-        assert!(c.get(2).is_none(), "LRU entry should have been evicted");
-        assert!(c.get(1).is_some());
-        assert!(c.get(3).is_some());
+        assert!(c.get(&key(2)).is_none(), "LRU entry should have been evicted");
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(3)).is_some());
     }
 
     #[test]
     fn zero_capacity_disables_caching() {
         let mut c = LruCache::new(0);
-        assert!(!c.insert(1, dummy(1.0)));
+        assert!(!c.insert(&key(1), dummy(1.0)));
         assert!(c.is_empty());
-        assert!(c.get(1).is_none());
+        assert!(c.get(&key(1)).is_none());
     }
 
     #[test]
     fn reinserting_a_key_does_not_evict() {
         let mut c = LruCache::new(1);
-        assert!(!c.insert(7, dummy(1.0)));
-        assert!(!c.insert(7, dummy(2.0)), "refresh is not an eviction");
-        assert!((c.get(7).unwrap().throughput - 2.0).abs() < 1e-12);
+        assert!(!c.insert(&key(7), dummy(1.0)));
+        assert!(!c.insert(&key(7), dummy(2.0)), "refresh is not an eviction");
+        assert!((c.get(&key(7)).unwrap().throughput - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn colliding_keys_never_alias() {
+        // Regression: two entries forced onto the same 64-bit slot. Before
+        // the preimage check, the second request would have been answered
+        // with the first request's solution.
+        let mut c = LruCache::new(4);
+        let a = forced(0xdead_beef, "platform-a\0ao\0{}");
+        let b = forced(0xdead_beef, "platform-b\0ao\0{}");
+        assert!(!c.insert(&a, dummy(1.0)));
+        assert!(c.get(&b).is_none(), "collision must miss, not serve a's solution");
+        let hit = c.get(&a).expect("a still resolves");
+        assert!((hit.throughput - 1.0).abs() < 1e-12);
+        // The colliding insert overwrites the slot; verification now
+        // protects a instead.
+        assert!(!c.insert(&b, dummy(2.0)));
+        assert!(c.get(&a).is_none());
+        assert!((c.get(&b).unwrap().throughput - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hits_share_one_allocation() {
+        // The Arc rework: repeated hits must hand out the same allocation,
+        // not clones of the value.
+        let mut c = LruCache::new(2);
+        c.insert(&key(5), dummy(5.0));
+        let first = c.get(&key(5)).unwrap();
+        let second = c.get(&key(5)).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "hits must share the cached allocation");
     }
 
     #[test]
@@ -181,18 +268,33 @@ mod tests {
         let b = mk(r#"{"t_max_c":55.0,"levels":[0.6,1.3],"cols":2,"rows":1}"#);
         assert_eq!(cache_key(&a), cache_key(&b), "member order must not matter");
         let c = mk(r#"{"rows":1,"cols":2,"levels":[0.6,1.3],"t_max_c":56.0}"#);
-        assert_ne!(cache_key(&a), cache_key(&c), "values must matter");
+        assert_ne!(cache_key(&a).hash, cache_key(&c).hash, "values must matter");
         // The solver kind and options are part of the key; the deadline and
         // the id are not.
         let mut d = a.clone();
         d.kind = SolverKind::Lns;
-        assert_ne!(cache_key(&a), cache_key(&d));
+        assert_ne!(cache_key(&a).hash, cache_key(&d).hash);
         let mut e = a.clone();
         e.options.threads = 7;
-        assert_ne!(cache_key(&a), cache_key(&e));
+        assert_ne!(cache_key(&a).hash, cache_key(&e).hash);
         let mut f = a.clone();
         f.id = "other".into();
         f.options.deadline = Some(std::time::Duration::from_secs(1));
         assert_eq!(cache_key(&a), cache_key(&f));
+    }
+
+    #[test]
+    fn cache_key_parts_matches_cache_key() {
+        let req = SolveRequest {
+            id: "x".into(),
+            kind: SolverKind::Pco,
+            platform: Value::parse(r#"{"rows":1,"cols":2,"levels":[0.6,1.3],"t_max_c":55.0}"#)
+                .unwrap(),
+            options: SolveOptions::default(),
+            want_schedule: false,
+        };
+        let direct = cache_key(&req);
+        let parts = cache_key_parts(&canonical_json(&req.platform), req.kind, &req.options);
+        assert_eq!(direct, parts);
     }
 }

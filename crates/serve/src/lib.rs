@@ -35,7 +35,9 @@ pub mod proto;
 pub mod queue;
 pub mod server;
 
-pub use cache::{cache_key, LruCache};
-pub use proto::{parse_request, Request, SolveRequest, SolveResponse};
+pub use cache::{cache_key, cache_key_parts, CacheKey, CachedSolve, LruCache};
+pub use proto::{
+    parse_request, BatchRequest, BatchVariantRequest, Request, SolveRequest, SolveResponse,
+};
 pub use queue::{BoundedQueue, QueueFull};
 pub use server::{ServeHandle, ServeOptions, ServeStats, Server};

@@ -11,6 +11,7 @@
 //!
 //! ```json
 //! {"id":"r1","op":"solve","solver":"ao","platform":{"rows":1,"cols":2,"levels":[0.6,1.3],"t_max_c":55.0},"options":{"threads":2,"deadline_ms":5000},"want_schedule":false}
+//! {"id":"b1","op":"solve_batch","platform":{...},"variants":[{"solver":"ao"},{"solver":"pco","options":{"max_m":8}}]}
 //! {"id":"p1","op":"ping"}
 //! {"id":"s1","op":"stats"}
 //! {"id":"m1","op":"metrics"}
@@ -22,6 +23,15 @@
 //! Every `options` member is optional and defaults to
 //! [`SolveOptions::default`]; `deadline_ms` maps to
 //! [`SolveOptions::deadline`].
+//!
+//! `solve_batch` solves many option-variants of **one** platform in a
+//! single dispatch: the platform is resolved (and its thermal kernel
+//! interned) once, the variants fan out over the worker's threads, and the
+//! response is one line carrying a `results` array — per-variant objects in
+//! request order, each shaped exactly like a single-solve `ok`/`error`
+//! response with id `"<batch id>#<index>"`. The batch line also reports
+//! whether the platform came from the interning registry
+//! (`"registry":"warm"`) or had to be built (`"cold"`).
 //!
 //! ## Responses
 //!
@@ -62,6 +72,8 @@ impl std::error::Error for ProtoError {}
 pub enum Request {
     /// Run a solver (the default op).
     Solve(SolveRequest),
+    /// Run several option-variants against one shared platform.
+    SolveBatch(BatchRequest),
     /// Liveness probe.
     Ping {
         /// Request id to echo.
@@ -104,6 +116,34 @@ pub struct SolveRequest {
     pub want_schedule: bool,
 }
 
+/// A `solve_batch` request: one platform, many solver/option variants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRequest {
+    /// Client-chosen correlation id; variant `i`'s result answers as
+    /// `"<id>#<i>"`.
+    pub id: String,
+    /// The shared platform description.
+    pub platform: Value,
+    /// The variants, in request (and response) order.
+    pub variants: Vec<BatchVariantRequest>,
+}
+
+/// One variant of a [`BatchRequest`]: everything of a solve request except
+/// the platform, which the batch shares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchVariantRequest {
+    /// Which solver to run.
+    pub kind: SolverKind,
+    /// Solver options (wire-absent members take the defaults).
+    pub options: SolveOptions,
+    /// Whether this variant's result should carry the schedule text.
+    pub want_schedule: bool,
+}
+
+/// The most variants one `solve_batch` line may carry: bounds worst-case
+/// work a single dispatch can pin on the worker pool.
+pub const MAX_BATCH_VARIANTS: usize = 256;
+
 fn proto_err(id: &str, message: impl Into<String>) -> ProtoError {
     ProtoError { message: message.into(), id: id.to_owned() }
 }
@@ -135,6 +175,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         "metrics" => Ok(Request::Metrics { id }),
         "shutdown" => Ok(Request::Shutdown { id }),
         "solve" => parse_solve(&doc, id).map(Request::Solve),
+        "solve_batch" => parse_solve_batch(&doc, id).map(Request::SolveBatch),
         other => Err(proto_err(&id, format!("unknown op '{other}'"))),
     }
 }
@@ -163,6 +204,62 @@ fn parse_solve(doc: &Value, id: String) -> Result<SolveRequest, ProtoError> {
         Some(_) => return Err(proto_err(&id, "'want_schedule' must be a boolean")),
     };
     Ok(SolveRequest { id, kind: solver, platform, options, want_schedule })
+}
+
+fn parse_solve_batch(doc: &Value, id: String) -> Result<BatchRequest, ProtoError> {
+    let platform = match doc.get("platform") {
+        Some(p @ Value::Object(_)) => p.clone(),
+        Some(_) => return Err(proto_err(&id, "'platform' must be an object")),
+        None => return Err(proto_err(&id, "solve_batch request needs a 'platform' object")),
+    };
+    let raw = match doc.get("variants") {
+        Some(Value::Array(items)) => items,
+        Some(_) => return Err(proto_err(&id, "'variants' must be an array")),
+        None => return Err(proto_err(&id, "solve_batch request needs a 'variants' array")),
+    };
+    if raw.is_empty() {
+        return Err(proto_err(&id, "'variants' must not be empty"));
+    }
+    if raw.len() > MAX_BATCH_VARIANTS {
+        return Err(proto_err(
+            &id,
+            format!("'variants' is capped at {MAX_BATCH_VARIANTS} entries, got {}", raw.len()),
+        ));
+    }
+    let mut variants = Vec::with_capacity(raw.len());
+    for (i, v) in raw.iter().enumerate() {
+        if !v.is_object() {
+            return Err(proto_err(&id, format!("variants[{i}] must be an object")));
+        }
+        let kind = match v.get("solver") {
+            None => return Err(proto_err(&id, format!("variants[{i}] needs a 'solver' member"))),
+            Some(Value::String(s)) => s
+                .parse::<SolverKind>()
+                .map_err(|e| proto_err(&id, format!("variants[{i}]: {e}")))?,
+            Some(_) => {
+                return Err(proto_err(&id, format!("variants[{i}].solver must be a string")))
+            }
+        };
+        let options = match v.get("options") {
+            None => SolveOptions::default(),
+            Some(o @ Value::Object(_)) => parse_options(o, &id)?,
+            Some(_) => {
+                return Err(proto_err(&id, format!("variants[{i}].options must be an object")))
+            }
+        };
+        let want_schedule = match v.get("want_schedule") {
+            None => false,
+            Some(Value::Bool(b)) => *b,
+            Some(_) => {
+                return Err(proto_err(
+                    &id,
+                    format!("variants[{i}].want_schedule must be a boolean"),
+                ))
+            }
+        };
+        variants.push(BatchVariantRequest { kind, options, want_schedule });
+    }
+    Ok(BatchRequest { id, platform, variants })
 }
 
 fn parse_options(o: &Value, id: &str) -> Result<SolveOptions, ProtoError> {
@@ -352,6 +449,52 @@ pub fn request_to_json(req: &SolveRequest) -> String {
     out
 }
 
+/// Serializes a `solve_batch` request to one canonical line (no trailing
+/// newline).
+#[must_use]
+pub fn batch_request_to_json(req: &BatchRequest) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"id\":");
+    out.push_str(&json_string(&req.id));
+    out.push_str(",\"op\":\"solve_batch\",\"platform\":");
+    out.push_str(&canonical_json(&req.platform));
+    out.push_str(",\"variants\":[");
+    for (i, v) in req.variants.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"solver\":");
+        out.push_str(&json_string(v.kind.id()));
+        out.push_str(",\"options\":");
+        out.push_str(&options_to_json(&v.options));
+        out.push_str(&format!(",\"want_schedule\":{}}}", v.want_schedule));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// One `solve_batch` response line: the per-variant result objects (each
+/// already rendered as a single-solve `ok`/`error` object) in request
+/// order, plus whether the platform was interned (`"warm"`) or built
+/// (`"cold"`).
+#[must_use]
+pub fn batch_response_to_json(id: &str, registry_warm: bool, results: &[String]) -> String {
+    let mut out = String::with_capacity(64 + results.iter().map(String::len).sum::<usize>());
+    out.push_str("{\"id\":");
+    out.push_str(&json_string(id));
+    out.push_str(",\"status\":\"ok\",\"registry\":");
+    out.push_str(if registry_warm { "\"warm\"" } else { "\"cold\"" });
+    out.push_str(",\"results\":[");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(r);
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Serializes options with every member present, in canonical order.
 #[must_use]
 pub fn options_to_json(o: &SolveOptions) -> String {
@@ -437,6 +580,89 @@ mod tests {
         // The wire form canonicalizes the platform (sorted keys), so
         // compare canonical serializations rather than member order.
         assert_eq!(canonical_json(&parsed.platform), canonical_json(&req.platform));
+    }
+
+    #[test]
+    fn batch_request_round_trips_through_the_wire() {
+        let platform =
+            Value::parse(r#"{"rows":1,"cols":2,"levels":[0.6,1.3],"t_max_c":55.0}"#).unwrap();
+        let req = BatchRequest {
+            id: "b-1".into(),
+            platform,
+            variants: vec![
+                BatchVariantRequest {
+                    kind: SolverKind::Ao,
+                    options: SolveOptions::default(),
+                    want_schedule: false,
+                },
+                BatchVariantRequest {
+                    kind: SolverKind::Pco,
+                    options: SolveOptions { max_m: 8, ..SolveOptions::default() },
+                    want_schedule: true,
+                },
+            ],
+        };
+        let line = batch_request_to_json(&req);
+        let parsed = match parse_request(&line).unwrap() {
+            Request::SolveBatch(r) => r,
+            other => panic!("expected solve_batch, got {other:?}"),
+        };
+        assert_eq!(parsed.id, req.id);
+        assert_eq!(parsed.variants, req.variants);
+        assert_eq!(canonical_json(&parsed.platform), canonical_json(&req.platform));
+    }
+
+    #[test]
+    fn batch_requests_are_validated() {
+        let base = r#"{"rows":1,"cols":2,"levels":[0.6,1.3],"t_max_c":55.0}"#;
+        // Missing variants.
+        let err = parse_request(&format!(r#"{{"id":"b","op":"solve_batch","platform":{base}}}"#))
+            .unwrap_err();
+        assert_eq!(err.id, "b");
+        assert!(err.message.contains("variants"));
+        // Empty variants.
+        let err = parse_request(&format!(
+            r#"{{"id":"b","op":"solve_batch","platform":{base},"variants":[]}}"#
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("empty"));
+        // Variant without a solver.
+        let err = parse_request(&format!(
+            r#"{{"id":"b","op":"solve_batch","platform":{base},"variants":[{{}}]}}"#
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("variants[0]"));
+        // Too many variants.
+        let many: Vec<String> =
+            (0..=MAX_BATCH_VARIANTS).map(|_| r#"{"solver":"ao"}"#.to_owned()).collect();
+        let err = parse_request(&format!(
+            r#"{{"id":"b","op":"solve_batch","platform":{base},"variants":[{}]}}"#,
+            many.join(",")
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("capped"));
+    }
+
+    #[test]
+    fn batch_response_lines_parse_as_json() {
+        let results = vec![
+            r#"{"id":"b#0","status":"ok"}"#.to_owned(),
+            error_to_json("b#1", "infeasible", "too hot"),
+        ];
+        let line = batch_response_to_json("b", true, &results);
+        let doc = Value::parse(&line).unwrap();
+        assert_eq!(doc.get("registry").and_then(Value::as_str), Some("warm"));
+        match doc.get("results") {
+            Some(Value::Array(items)) => {
+                assert_eq!(items.len(), 2);
+                assert_eq!(items[0].get("id").and_then(Value::as_str), Some("b#0"));
+                assert_eq!(items[1].get("kind").and_then(Value::as_str), Some("infeasible"));
+            }
+            other => panic!("results must be an array, got {other:?}"),
+        }
+        let cold = batch_response_to_json("b", false, &[]);
+        let doc = Value::parse(&cold).unwrap();
+        assert_eq!(doc.get("registry").and_then(Value::as_str), Some("cold"));
     }
 
     #[test]

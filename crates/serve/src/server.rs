@@ -40,15 +40,15 @@
 //! job (each still gets its response), and joins all threads before
 //! returning from [`Server::run`].
 
-use crate::cache::{cache_key, fnv1a, CachedSolve, LruCache};
+use crate::cache::{cache_key, cache_key_parts, fnv1a, CacheKey, CachedSolve, LruCache};
 use crate::metrics::ServeMetrics;
 use crate::proto::{
-    error_to_json, json_string, overloaded_to_json, parse_request, value_to_json, ProtoError,
-    Request, SolveRequest, SolveResponse,
+    batch_response_to_json, canonical_json, error_to_json, json_string, overloaded_to_json,
+    parse_request, value_to_json, BatchRequest, ProtoError, Request, SolveRequest, SolveResponse,
 };
 use crate::queue::{BoundedQueue, QueueFull};
 use mosc_analyze::json::Value;
-use mosc_core::{AlgoError, KernelDelta, SolveOptions, SolverKind};
+use mosc_core::{AlgoError, BatchVariant, KernelDelta, SolveOptions, SolverKind};
 use mosc_obs::{TraceContext, TraceSnapshot};
 use std::fs::File;
 use std::io::{BufRead, BufReader, Write};
@@ -173,14 +173,26 @@ impl ServeStats {
 
 /// One queued unit of work, stamped at receipt and at enqueue.
 struct Job {
-    req: SolveRequest,
-    key: u64,
+    payload: Payload,
     conn: u64,
+    /// First per-connection sequence number of this line. A batch line
+    /// consumes one seq per variant (variant `i` logs as `seq + i`), so the
+    /// per-connection sequence stays collision-free for the M093 lint.
     seq: u64,
     writer: SharedWriter,
     deadline_at: Option<Instant>,
     t_recv: Instant,
     t_enqueue: Instant,
+}
+
+/// What a queued line asks for.
+enum Payload {
+    /// One solver on one platform, keyed for the solution cache.
+    Single(SolveRequest, CacheKey),
+    /// Many variants of one shared platform. The second field is the
+    /// canonical platform serialization — the interning-registry preimage —
+    /// computed once on the reader thread.
+    Batch(BatchRequest, String),
 }
 
 type SharedWriter = Arc<Mutex<TcpStream>>;
@@ -358,7 +370,12 @@ fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
         let t_dequeue = Instant::now();
         shared.metrics.on_queue_depth(shared.queue.len() as u64);
-        process_job(shared, &job, t_dequeue);
+        match &job.payload {
+            Payload::Single(req, key) => process_job(shared, &job, req, key, t_dequeue),
+            Payload::Batch(req, canonical_platform) => {
+                process_batch(shared, &job, req, canonical_platform, t_dequeue);
+            }
+        }
     }
 }
 
@@ -389,6 +406,10 @@ struct Completion<'a> {
     deadline_at: Option<Instant>,
     kernel: KernelDelta,
     trace: Option<TraceSnapshot>,
+    /// The enclosing `solve_batch` request id when this completion is one
+    /// variant of a batch (the M110/M111 lints group entries on it);
+    /// `None` for single solves and protocol ops.
+    batch: Option<&'a str>,
 }
 
 impl<'a> Completion<'a> {
@@ -417,6 +438,7 @@ impl<'a> Completion<'a> {
             deadline_at: None,
             kernel: KernelDelta::default(),
             trace: None,
+            batch: None,
         }
     }
 }
@@ -430,7 +452,18 @@ impl<'a> Completion<'a> {
 /// exclude the socket write itself, which is microseconds against
 /// millisecond solves.
 fn finish(shared: &Shared, writer: &SharedWriter, line: &str, c: &Completion<'_>) {
-    let done = Instant::now();
+    record_completion(shared, c, Instant::now());
+    if c.solver.is_some() {
+        respond(shared, writer, c.id, line);
+    } else {
+        respond_proto(shared, writer, line);
+    }
+}
+
+/// The recording half of [`finish`]: histograms, timeline and access log
+/// for one completion, without writing any response bytes. The batch path
+/// calls this once per variant and then frames a single response line.
+fn record_completion(shared: &Shared, c: &Completion<'_>, done: Instant) {
     let service = done.saturating_duration_since(c.service_start).as_secs_f64();
     let total = done.saturating_duration_since(c.t_recv).as_secs_f64();
     match c.solver {
@@ -439,11 +472,6 @@ fn finish(shared: &Shared, writer: &SharedWriter, line: &str, c: &Completion<'_>
     }
     record_timeline(shared, total, c.cached);
     log_access(shared, c, done, service, total);
-    if c.solver.is_some() {
-        respond(shared, writer, c.id, line);
-    } else {
-        respond_proto(shared, writer, line);
-    }
 }
 
 /// Lands one completion in the windowed timeline (when configured) and
@@ -494,6 +522,9 @@ fn log_access(shared: &Shared, c: &Completion<'_>, done: Instant, service: f64, 
         ("period_map_matmuls".to_owned(), num(c.kernel.period_map_matmuls as f64)),
         ("steady_state_calls".to_owned(), num(c.kernel.steady_state_calls as f64)),
         ("linalg_matmuls".to_owned(), num(c.kernel.linalg_matmuls as f64)),
+        ("eigen_calls".to_owned(), num(c.kernel.eigen_calls as f64)),
+        ("registry_hits".to_owned(), num(c.kernel.registry_hits as f64)),
+        ("registry_misses".to_owned(), num(c.kernel.registry_misses as f64)),
         ("conn".to_owned(), num(c.conn as f64)),
         ("seq".to_owned(), num(c.seq as f64)),
         // The cache key travels as a hex string: JSON numbers are f64 and
@@ -504,6 +535,9 @@ fn log_access(shared: &Shared, c: &Completion<'_>, done: Instant, service: f64, 
         ("t_dequeue_s".to_owned(), num(since_start(shared, c.service_start))),
         ("t_done_s".to_owned(), num(since_start(shared, done))),
     ];
+    if let Some(batch) = c.batch {
+        members.push(("batch".to_owned(), Value::String(batch.to_owned())));
+    }
     if total >= shared.opts.slow_threshold.as_secs_f64() {
         if let Some(trace) = c.trace.as_ref().filter(|t| !t.is_empty()) {
             let spans: Vec<Value> = trace
@@ -597,18 +631,18 @@ fn write_access_trailer(shared: &Shared) {
     write_access_line(access, &doc);
 }
 
-fn process_job(shared: &Shared, job: &Job, t_dequeue: Instant) {
-    let id = &job.req.id;
+fn process_job(shared: &Shared, job: &Job, req: &SolveRequest, key: &CacheKey, t_dequeue: Instant) {
+    let id = &req.id;
     let queue_wait = t_dequeue.saturating_duration_since(job.t_enqueue).as_secs_f64();
     let base = Completion {
         id,
         op: "solve",
-        solver: Some(job.req.kind),
+        solver: Some(req.kind),
         status: "ok",
         cached: false,
         conn: job.conn,
         seq: job.seq,
-        key: Some(job.key),
+        key: Some(key.hash),
         t_recv: job.t_recv,
         t_enqueue: job.t_enqueue,
         queue_wait,
@@ -616,6 +650,7 @@ fn process_job(shared: &Shared, job: &Job, t_dequeue: Instant) {
         deadline_at: job.deadline_at,
         kernel: KernelDelta::default(),
         trace: None,
+        batch: None,
     };
     // Deadline may already have burned off while queued.
     let remaining = match job.deadline_at {
@@ -635,15 +670,15 @@ fn process_job(shared: &Shared, job: &Job, t_dequeue: Instant) {
         },
     };
     // A duplicate may have filled the cache while this job waited.
-    if let Some(hit) = shared.lock_cache().get(job.key) {
+    if let Some(hit) = shared.lock_cache().get(key) {
         shared.metrics.on_cache_hit();
-        let line = render_ok(&job.req, &hit, true);
+        let line = render_ok(req, &hit, true);
         finish(shared, &job.writer, &line, &Completion { cached: true, ..base });
         return;
     }
     shared.metrics.on_cache_miss();
 
-    let doc = Value::Object(vec![("platform".to_owned(), job.req.platform.clone())]);
+    let doc = Value::Object(vec![("platform".to_owned(), req.platform.clone())]);
     let platform = match mosc_analyze::platform_from_doc(&doc) {
         Ok(p) => p,
         Err(e) => {
@@ -656,16 +691,37 @@ fn process_job(shared: &Shared, job: &Job, t_dequeue: Instant) {
             return;
         }
     };
-    let opts = SolveOptions { deadline: remaining, ..job.req.options };
+    let opts = SolveOptions { deadline: remaining, ..req.options };
     // The context hands this request's identity across the solve: the
     // solver's root span tree and counter increments recorded on this
     // thread land in the snapshot attached to the access-log line.
     let trace = TraceContext::new();
-    let result = trace.observe(|| mosc_core::solve(job.req.kind, &platform, &opts));
+    let result = trace.observe(|| mosc_core::solve(req.kind, &platform, &opts));
     match result {
         Ok(report) => {
+            // The deadline must hold when the response is written, not just
+            // at dequeue: the polynomial solvers run to completion by
+            // contract, so a slow solve can sail past it. Answer the
+            // deadline error the client asked for, and do NOT cache the
+            // late result — a cache fill logged as an error would leave
+            // later hits' keys unannounced for the M082 lint.
+            if job.deadline_at.is_some_and(|at| Instant::now() > at) {
+                shared.metrics.on_deadline_exceeded();
+                finish(
+                    shared,
+                    &job.writer,
+                    &error_to_json(id, "deadline", "deadline expired during solve"),
+                    &Completion {
+                        status: "error",
+                        kernel: report.kernel,
+                        trace: Some(trace.snapshot()),
+                        ..base
+                    },
+                );
+                return;
+            }
             let cached = CachedSolve {
-                solver: job.req.kind,
+                solver: req.kind,
                 throughput: report.solution.throughput,
                 peak_c: report.solution.peak_c(&platform),
                 feasible: report.solution.feasible,
@@ -674,10 +730,10 @@ fn process_job(shared: &Shared, job: &Job, t_dequeue: Instant) {
                 stats: report.stats,
                 schedule_text: mosc_sched::text::to_text(&report.solution.schedule),
             };
-            if shared.lock_cache().insert(job.key, cached.clone()) {
+            let line = render_ok(req, &cached, false);
+            if shared.lock_cache().insert(key, cached) {
                 shared.metrics.on_cache_eviction();
             }
-            let line = render_ok(&job.req, &cached, false);
             finish(
                 shared,
                 &job.writer,
@@ -705,10 +761,169 @@ fn process_job(shared: &Shared, job: &Job, t_dequeue: Instant) {
     }
 }
 
+/// One variant's outcome inside a batch: the rendered result object plus
+/// what its access-log entry must say.
+struct VariantOutcome {
+    line: String,
+    status: &'static str,
+    cached: bool,
+    kernel: KernelDelta,
+}
+
+/// The worker side of `solve_batch`: resolve the shared platform once
+/// through the interning registry, consult the solution cache per variant,
+/// fan the misses over [`mosc_core::solve_batch`], fill the cache, record
+/// one access entry per variant (op `"solve"`, ids `"<batch id>#<i>"`,
+/// sequence numbers `job.seq + i`), and answer with a single framed line.
+fn process_batch(
+    shared: &Shared,
+    job: &Job,
+    req: &BatchRequest,
+    canonical_platform: &str,
+    t_dequeue: Instant,
+) {
+    let queue_wait = t_dequeue.saturating_duration_since(job.t_enqueue).as_secs_f64();
+    let bid = &req.id;
+    // Resolve the platform once. Eigendecomposition work across the resolve
+    // is measured so the access log can prove a warm batch did none — the
+    // M110 lint joins `registry_hits > 0` against `eigen_calls`.
+    let eigs = || mosc_obs::counter_value("eigen.calls").unwrap_or(0);
+    let eigs_before = eigs();
+    let resolved = mosc_core::registry::intern_with(canonical_platform, || {
+        let doc = Value::Object(vec![("platform".to_owned(), req.platform.clone())]);
+        mosc_analyze::platform_from_doc(&doc)
+    });
+    let resolve_eigs = eigs().saturating_sub(eigs_before);
+    let (platform, warm) = match resolved {
+        Ok(resolved) => resolved,
+        Err(e) => {
+            // Every variant shares the broken platform: one error line for
+            // the whole batch, logged under the batch's first seq.
+            let c = Completion {
+                t_enqueue: job.t_enqueue,
+                queue_wait,
+                service_start: t_dequeue,
+                batch: Some(bid),
+                ..Completion::proto(bid, "solve_batch", "error", job.t_recv, job.conn, job.seq)
+            };
+            record_completion(shared, &c, Instant::now());
+            respond(shared, &job.writer, bid, &error_to_json(bid, "usage", &e.to_string()));
+            return;
+        }
+    };
+    let ids: Vec<String> = (0..req.variants.len()).map(|i| format!("{bid}#{i}")).collect();
+    let keys: Vec<CacheKey> = req
+        .variants
+        .iter()
+        .map(|v| cache_key_parts(canonical_platform, v.kind, &v.options))
+        .collect();
+    let mut outcomes: Vec<Option<VariantOutcome>> = Vec::with_capacity(req.variants.len());
+    let mut misses: Vec<usize> = Vec::new();
+    for (i, v) in req.variants.iter().enumerate() {
+        if let Some(hit) = shared.lock_cache().get(&keys[i]) {
+            shared.metrics.on_cache_hit();
+            outcomes.push(Some(VariantOutcome {
+                line: render_variant_ok(&ids[i], v.want_schedule, &hit, true),
+                status: "ok",
+                cached: true,
+                kernel: KernelDelta::default(),
+            }));
+        } else {
+            shared.metrics.on_cache_miss();
+            misses.push(i);
+            outcomes.push(None);
+        }
+    }
+    let variants: Vec<BatchVariant> = misses
+        .iter()
+        .map(|&i| BatchVariant { kind: req.variants[i].kind, options: req.variants[i].options })
+        .collect();
+    let results = mosc_core::solve_batch(&platform, &variants, 0);
+    for (&i, result) in misses.iter().zip(results) {
+        let v = &req.variants[i];
+        outcomes[i] = Some(match result {
+            Ok(report) => {
+                let cached = CachedSolve {
+                    solver: v.kind,
+                    throughput: report.solution.throughput,
+                    peak_c: report.solution.peak_c(&platform),
+                    feasible: report.solution.feasible,
+                    m: report.solution.m,
+                    wall_ms: report.wall.as_secs_f64() * 1e3,
+                    stats: report.stats,
+                    schedule_text: mosc_sched::text::to_text(&report.solution.schedule),
+                };
+                let line = render_variant_ok(&ids[i], v.want_schedule, &cached, false);
+                if shared.lock_cache().insert(&keys[i], cached) {
+                    shared.metrics.on_cache_eviction();
+                }
+                VariantOutcome { line, status: "ok", cached: false, kernel: report.kernel }
+            }
+            Err(e) => {
+                let kind = match &e {
+                    AlgoError::Infeasible { .. } => "infeasible",
+                    AlgoError::DeadlineExceeded => {
+                        shared.metrics.on_deadline_exceeded();
+                        "deadline"
+                    }
+                    AlgoError::InvalidOptions { .. } => "usage",
+                    AlgoError::Sched(_) => "internal",
+                };
+                VariantOutcome {
+                    line: error_to_json(&ids[i], kind, &e.to_string()),
+                    status: "error",
+                    cached: false,
+                    kernel: KernelDelta::default(),
+                }
+            }
+        });
+    }
+    // Record every variant, then answer once. Registry attribution is
+    // deterministic: each variant reports the batch's resolve outcome, and
+    // the resolve's eigendecomposition work lands on the first variant.
+    let done = Instant::now();
+    let mut lines = Vec::with_capacity(outcomes.len());
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        let Some(mut o) = outcome else { continue };
+        o.kernel.registry_hits = u64::from(warm);
+        o.kernel.registry_misses = u64::from(!warm);
+        if i == 0 {
+            o.kernel.eigen_calls = o.kernel.eigen_calls.saturating_add(resolve_eigs);
+        }
+        let c = Completion {
+            id: &ids[i],
+            op: "solve",
+            solver: Some(req.variants[i].kind),
+            status: o.status,
+            cached: o.cached,
+            conn: job.conn,
+            seq: job.seq + i as u64,
+            key: Some(keys[i].hash),
+            t_recv: job.t_recv,
+            t_enqueue: job.t_enqueue,
+            queue_wait,
+            service_start: t_dequeue,
+            deadline_at: None,
+            kernel: o.kernel,
+            trace: None,
+            batch: Some(bid),
+        };
+        record_completion(shared, &c, done);
+        lines.push(o.line);
+    }
+    respond(shared, &job.writer, bid, &batch_response_to_json(bid, warm, &lines));
+}
+
 /// Renders an ok response for `req` from a (fresh or cached) solve.
 fn render_ok(req: &SolveRequest, solve: &CachedSolve, cached: bool) -> String {
+    render_variant_ok(&req.id, req.want_schedule, solve, cached)
+}
+
+/// [`render_ok`] with the identity split out: the batch path answers each
+/// variant under a derived id (`"<batch id>#<i>"`).
+fn render_variant_ok(id: &str, want_schedule: bool, solve: &CachedSolve, cached: bool) -> String {
     SolveResponse {
-        id: req.id.clone(),
+        id: id.to_owned(),
         solver: solve.solver,
         throughput: solve.throughput,
         peak_c: solve.peak_c,
@@ -717,7 +932,7 @@ fn render_ok(req: &SolveRequest, solve: &CachedSolve, cached: bool) -> String {
         wall_ms: solve.wall_ms,
         cached,
         stats: solve.stats,
-        schedule: req.want_schedule.then(|| solve.schedule_text.clone()),
+        schedule: want_schedule.then(|| solve.schedule_text.clone()),
     }
     .to_json()
 }
@@ -776,8 +991,9 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 let full = std::mem::take(&mut line);
                 let trimmed = full.trim();
                 if !trimmed.is_empty() {
-                    handle_line(trimmed, &writer, shared, t_recv, conn, seq);
-                    seq += 1;
+                    // A line consumes one seq per logged completion — one
+                    // for most requests, one per variant for a batch.
+                    seq += handle_line(trimmed, &writer, shared, t_recv, conn, seq);
                 }
             }
             Err(e)
@@ -796,7 +1012,9 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 }
 
 /// Dispatches the `seq`-th request line of connection `conn`, received at
-/// `t_recv`.
+/// `t_recv`. Returns how many sequence numbers the line consumed (one per
+/// logged completion: 1 for everything except `solve_batch`, which claims
+/// one per variant).
 fn handle_line(
     line: &str,
     writer: &SharedWriter,
@@ -804,7 +1022,7 @@ fn handle_line(
     t_recv: Instant,
     conn: u64,
     seq: u64,
-) {
+) -> u64 {
     let request = match parse_request(line) {
         Ok(r) => r,
         Err(ProtoError { message, id }) => {
@@ -815,13 +1033,14 @@ fn handle_line(
                 &error_to_json(&id, "parse", &message),
                 &Completion::proto(&id, "parse", "error", t_recv, conn, seq),
             );
-            return;
+            return 1;
         }
     };
     match request {
         Request::Ping { id } => {
             let pong = format!("{{\"id\":{},\"status\":\"ok\",\"pong\":true}}", json_string(&id));
             finish(shared, writer, &pong, &Completion::proto(&id, "ping", "ok", t_recv, conn, seq));
+            1
         }
         Request::Stats { id } => {
             let line = shared.stats().to_json(&id);
@@ -831,6 +1050,7 @@ fn handle_line(
                 &line,
                 &Completion::proto(&id, "stats", "ok", t_recv, conn, seq),
             );
+            1
         }
         Request::Metrics { id } => {
             let text = shared.metrics.render_prometheus(
@@ -849,6 +1069,7 @@ fn handle_line(
                 &line,
                 &Completion::proto(&id, "metrics", "ok", t_recv, conn, seq),
             );
+            1
         }
         Request::Shutdown { id } => {
             let bye =
@@ -860,17 +1081,18 @@ fn handle_line(
                 &Completion::proto(&id, "shutdown", "ok", t_recv, conn, seq),
             );
             shared.initiate_shutdown();
+            1
         }
         Request::Solve(req) => {
             shared.metrics.on_request();
             let key = cache_key(&req);
             mosc_obs::event(
                 "serve.request",
-                &[("id", id_hash(&req.id).into()), ("key", (key & 0xFFFF_FFFF).into())],
+                &[("id", id_hash(&req.id).into()), ("key", (key.hash & 0xFFFF_FFFF).into())],
             );
             // Fast path: answer cache hits from the reader thread, without
             // occupying a queue slot or a worker.
-            if let Some(hit) = shared.lock_cache().get(key) {
+            if let Some(hit) = shared.lock_cache().get(&key) {
                 shared.metrics.on_cache_hit();
                 let line = render_ok(&req, &hit, true);
                 finish(
@@ -885,7 +1107,7 @@ fn handle_line(
                         cached: true,
                         conn,
                         seq,
-                        key: Some(key),
+                        key: Some(key.hash),
                         t_recv,
                         t_enqueue: t_recv,
                         queue_wait: 0.0,
@@ -893,42 +1115,43 @@ fn handle_line(
                         deadline_at: None,
                         kernel: KernelDelta::default(),
                         trace: None,
+                        batch: None,
                     },
                 );
-                return;
+                return 1;
             }
             let deadline_at =
                 req.options.deadline.or(shared.opts.default_deadline).map(|d| Instant::now() + d);
             let job = Job {
-                key,
+                payload: Payload::Single(req, key),
                 conn,
                 seq,
                 writer: writer.clone(),
                 deadline_at,
                 t_recv,
                 t_enqueue: Instant::now(),
-                req,
             };
             match shared.queue.try_push(job) {
                 Ok(depth) => shared.metrics.on_queue_depth(depth as u64),
                 Err(QueueFull(job)) => {
                     shared.metrics.on_rejected();
+                    let Payload::Single(req, key) = &job.payload else { unreachable!() };
                     finish(
                         shared,
                         &job.writer,
-                        &overloaded_to_json(&job.req.id),
+                        &overloaded_to_json(&req.id),
                         // A rejected job never queued: its enqueue and
                         // dequeue anchors collapse onto `t_recv` so the
                         // logged pipeline order stays monotone.
                         &Completion {
-                            id: &job.req.id,
+                            id: &req.id,
                             op: "solve",
-                            solver: Some(job.req.kind),
+                            solver: Some(req.kind),
                             status: "overloaded",
                             cached: false,
                             conn,
                             seq,
-                            key: Some(job.key),
+                            key: Some(key.hash),
                             t_recv,
                             t_enqueue: t_recv,
                             queue_wait: 0.0,
@@ -936,10 +1159,50 @@ fn handle_line(
                             deadline_at: job.deadline_at,
                             kernel: KernelDelta::default(),
                             trace: None,
+                            batch: None,
                         },
                     );
                 }
             }
+            1
+        }
+        Request::SolveBatch(req) => {
+            shared.metrics.on_request();
+            let consumed = req.variants.len() as u64;
+            // The registry preimage doubles as the request-event key, so
+            // repeated-platform batch traffic is visible in telemetry.
+            let canonical_platform = canonical_json(&req.platform);
+            mosc_obs::event(
+                "serve.request",
+                &[
+                    ("id", id_hash(&req.id).into()),
+                    ("key", (fnv1a(canonical_platform.as_bytes()) & 0xFFFF_FFFF).into()),
+                ],
+            );
+            let job = Job {
+                payload: Payload::Batch(req, canonical_platform),
+                conn,
+                seq,
+                writer: writer.clone(),
+                deadline_at: None,
+                t_recv,
+                t_enqueue: Instant::now(),
+            };
+            match shared.queue.try_push(job) {
+                Ok(depth) => shared.metrics.on_queue_depth(depth as u64),
+                Err(QueueFull(job)) => {
+                    shared.metrics.on_rejected();
+                    let Payload::Batch(req, _) = &job.payload else { unreachable!() };
+                    let c = Completion {
+                        status: "overloaded",
+                        batch: Some(&req.id),
+                        ..Completion::proto(&req.id, "solve_batch", "overloaded", t_recv, conn, seq)
+                    };
+                    record_completion(shared, &c, Instant::now());
+                    respond(shared, &job.writer, &req.id, &overloaded_to_json(&req.id));
+                }
+            }
+            consumed
         }
     }
 }

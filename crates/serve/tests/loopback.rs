@@ -184,6 +184,113 @@ fn malformed_and_unsolvable_requests_get_typed_errors() {
 }
 
 #[test]
+fn a_deadline_expiring_mid_solve_is_enforced_before_the_response() {
+    let (addr, handle, join) = start(quick_serve_options());
+    // The governor ignores deadlines by contract, so a fine-grained control
+    // period makes the solve reliably outlive a short deadline; the server
+    // must notice at completion and answer `deadline` instead of returning
+    // (and caching) a result the client already gave up on.
+    let line = format!(
+        concat!(
+            r#"{{"id":"slowdl","solver":"governor","platform":{p},"#,
+            r#""options":{{"deadline_ms":10,"governor_control_period":0.001}}}}"#
+        ),
+        p = PLATFORM
+    );
+    let doc = roundtrip(addr, &line);
+    assert_eq!(doc.get("status").and_then(Value::as_str), Some("error"), "{doc:?}");
+    assert_eq!(doc.get("kind").and_then(Value::as_str), Some("deadline"), "{doc:?}");
+    assert!(handle.stats().deadline_exceeded >= 1);
+    // The expired result must not have been cached (the deadline is masked
+    // out of the cache key): the same query without a deadline re-solves.
+    let line = format!(
+        concat!(
+            r#"{{"id":"fresh","solver":"governor","platform":{p},"#,
+            r#""options":{{"governor_control_period":0.001}}}}"#
+        ),
+        p = PLATFORM
+    );
+    let doc = roundtrip(addr, &line);
+    assert_eq!(doc.get("status").and_then(Value::as_str), Some("ok"), "{doc:?}");
+    assert_eq!(doc.get("cached").and_then(Value::as_bool), Some(false), "{doc:?}");
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn solve_batch_interns_the_platform_and_answers_per_variant() {
+    let (addr, handle, join) = start(quick_serve_options());
+    // A platform unique to this test: the interning registry is
+    // process-global, so sharing `PLATFORM` with other tests would make the
+    // cold/warm assertions racy.
+    let platform = r#"{"rows":1,"cols":2,"levels":[0.6,1.3],"t_max_c":56.0}"#;
+    let batch = |id: &str| {
+        format!(
+            concat!(
+                r#"{{"id":"{id}","op":"solve_batch","platform":{p},"#,
+                r#""variants":[{{"solver":"ao"}},{{"solver":"lns","want_schedule":true}}]}}"#
+            ),
+            id = id,
+            p = platform
+        )
+    };
+    let doc = roundtrip(addr, &batch("b0"));
+    assert_eq!(doc.get("status").and_then(Value::as_str), Some("ok"), "{doc:?}");
+    assert_eq!(doc.get("registry").and_then(Value::as_str), Some("cold"), "{doc:?}");
+    let results = doc.get("results").and_then(Value::as_array).expect("results array");
+    assert_eq!(results.len(), 2, "{doc:?}");
+    let throughput: Vec<f64> = results
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            assert_eq!(
+                r.get("id").and_then(Value::as_str).unwrap(),
+                format!("b0#{i}"),
+                "variant ids derive from the batch id, in order"
+            );
+            assert_eq!(r.get("status").and_then(Value::as_str), Some("ok"), "{r:?}");
+            assert_eq!(r.get("cached").and_then(Value::as_bool), Some(false), "{r:?}");
+            assert_eq!(r.get("feasible").and_then(Value::as_bool), Some(true), "{r:?}");
+            r.get("throughput").and_then(Value::as_f64).unwrap()
+        })
+        .collect();
+    assert!(results[0].get("schedule").is_none(), "schedule only where requested");
+    let schedule = results[1].get("schedule").and_then(Value::as_str).expect("schedule text");
+    assert_eq!(mosc_sched::text::from_text(schedule).expect("parses").n_cores(), 2);
+
+    // The identical batch again: warm registry, every variant a cache hit
+    // with bit-identical answers.
+    let doc = roundtrip(addr, &batch("b1"));
+    assert_eq!(doc.get("registry").and_then(Value::as_str), Some("warm"), "{doc:?}");
+    let results = doc.get("results").and_then(Value::as_array).expect("results array");
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(r.get("cached").and_then(Value::as_bool), Some(true), "{r:?}");
+        let t = r.get("throughput").and_then(Value::as_f64).unwrap();
+        assert!((t - throughput[i]).abs() < 1e-15, "cached variant must be identical");
+    }
+    let stats = handle.stats();
+    assert_eq!(stats.requests, 2, "one request per batch line, {stats:?}");
+    assert_eq!((stats.cache_misses, stats.cache_hits), (2, 2), "{stats:?}");
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn a_batch_with_a_broken_platform_gets_one_usage_error() {
+    let (addr, handle, join) = start(quick_serve_options());
+    let line = concat!(
+        r#"{"id":"bad","op":"solve_batch","platform":{"rows":0,"cols":0,"levels":[],"t_max_c":55.0},"#,
+        r#""variants":[{"solver":"ao"},{"solver":"lns"}]}"#
+    );
+    let doc = roundtrip(addr, line);
+    assert_eq!(doc.get("status").and_then(Value::as_str), Some("error"), "{doc:?}");
+    assert_eq!(doc.get("kind").and_then(Value::as_str), Some("usage"), "{doc:?}");
+    assert_eq!(doc.get("id").and_then(Value::as_str), Some("bad"), "{doc:?}");
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+#[test]
 fn shutdown_op_drains_and_stops_the_server() {
     let (addr, handle, join) = start(quick_serve_options());
     let doc = roundtrip(addr, r#"{"id":"p","op":"ping"}"#);

@@ -8,7 +8,7 @@
 //! mosc-cli analyze spec.json
 //! mosc-cli profile spec.json [--obs=json]
 //! mosc-cli serve --addr 127.0.0.1:7070 [--access-log FILE] [--slow-ms MS]
-//! mosc-cli client --addr 127.0.0.1:7070 < requests.jsonl
+//! mosc-cli client --addr 127.0.0.1:7070 [--batch] < requests.jsonl
 //! mosc-cli stats --addr 127.0.0.1:7070 [--watch] [--interval-ms MS] [--count N]
 //! mosc-cli metrics --addr 127.0.0.1:7070
 //! ```
@@ -56,6 +56,10 @@
 //! TCP; see DESIGN.md §11), and `client` is its line-oriented companion:
 //! stdin lines become request lines, each response line is printed to
 //! stdout — the zero-dependency stand-in for `nc` in scripts and `ci.sh`.
+//! `client --batch` folds stdin's solve lines (which must share one
+//! platform) into a single `solve_batch` request, so the daemon resolves
+//! the platform once through its interning registry; the per-variant
+//! results still print one per line.
 //! `--access-log FILE` appends one JSONL line per completed request (the
 //! `M07x` lints analyze it), and requests slower than `--slow-ms` carry
 //! their solver span tree in that line.
@@ -222,7 +226,8 @@ const USAGE: &str = "usage:
   mosc-cli profile SPEC.json
   mosc-cli serve   [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--deadline-ms MS]
                    [--access-log FILE] [--slow-ms MS] [--timeline FILE] [--timeline-window-ms MS]
-  mosc-cli client  [--addr HOST:PORT]  (stdin request lines -> stdout response lines)
+  mosc-cli client  [--addr HOST:PORT] [--batch]  (stdin request lines -> stdout response lines;
+                   --batch folds solve lines sharing one platform into a single solve_batch)
   mosc-cli stats   [--addr HOST:PORT] [--watch] [--interval-ms MS] [--count N]
   mosc-cli metrics [--addr HOST:PORT]  (print the Prometheus text exposition)
 global: --obs[=pretty|json]  append a mosc-obs telemetry report to the output
@@ -671,6 +676,12 @@ fn serve(args: &Args) -> Result<ExitCode, CliError> {
 
 /// `mosc-cli client`: forward stdin lines to a running daemon, printing
 /// one response line per request — the portable replacement for `nc`.
+///
+/// `--batch` changes the framing, not the input format: the stdin lines
+/// (plain solve requests sharing one platform) are folded into a single
+/// `solve_batch` request, so the daemon resolves the platform once through
+/// its interning registry, and the per-variant results are printed one per
+/// line — same line count as without the flag.
 fn client(args: &Args) -> Result<ExitCode, CliError> {
     let addr = args.flag("--addr").unwrap_or("127.0.0.1:7070");
     let io_err = |what: &'static str| {
@@ -684,6 +695,9 @@ fn client(args: &Args) -> Result<ExitCode, CliError> {
     let read_half = stream.try_clone().map_err(io_err("cannot clone socket for"))?;
     let mut responses = std::io::BufReader::new(read_half);
     let stdin = std::io::stdin();
+    if args.has("--batch") {
+        return client_batch(&mut stream, &mut responses, addr);
+    }
     for line in stdin.lock().lines() {
         let mut line = line.map_err(|e| CliError::Io(format!("client stdin: {e}")))?;
         if line.trim().is_empty() {
@@ -697,6 +711,95 @@ fn client(args: &Args) -> Result<ExitCode, CliError> {
             return Err(CliError::Io(format!("client: {addr} closed the connection")));
         }
         print!("{response}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The `client --batch` path: fold stdin's solve lines into one
+/// `solve_batch` request and unpack the framed response.
+fn client_batch(
+    stream: &mut std::net::TcpStream,
+    responses: &mut std::io::BufReader<std::net::TcpStream>,
+    addr: &str,
+) -> Result<ExitCode, CliError> {
+    use mosc::serve::proto::{batch_request_to_json, canonical_json};
+    use mosc::serve::{BatchRequest, BatchVariantRequest, Request};
+    let mut batch: Option<BatchRequest> = None;
+    let mut shared_platform = String::new();
+    let stdin = std::io::stdin();
+    for (lineno, line) in stdin.lock().lines().enumerate() {
+        let line = line.map_err(|e| CliError::Io(format!("client stdin: {e}")))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = mosc::serve::parse_request(&line)
+            .map_err(|e| CliError::Usage(format!("stdin line {}: {e}", lineno + 1)))?;
+        let Request::Solve(req) = parsed else {
+            return Err(CliError::Usage(format!(
+                "stdin line {}: --batch folds plain solve lines; protocol ops are not batchable",
+                lineno + 1
+            )));
+        };
+        let platform = canonical_json(&req.platform);
+        let variant = BatchVariantRequest {
+            kind: req.kind,
+            options: req.options,
+            want_schedule: req.want_schedule,
+        };
+        match &mut batch {
+            None => {
+                shared_platform = platform;
+                // The first line's id names the batch; variant i answers
+                // as "<id>#<i>".
+                batch = Some(BatchRequest {
+                    id: req.id,
+                    platform: req.platform,
+                    variants: vec![variant],
+                });
+            }
+            Some(b) => {
+                if platform != shared_platform {
+                    return Err(CliError::Usage(format!(
+                        "stdin line {}: --batch needs one shared platform, but this line's \
+                         platform differs from line 1's",
+                        lineno + 1
+                    )));
+                }
+                b.variants.push(variant);
+            }
+        }
+    }
+    let Some(batch) = batch else {
+        return Err(CliError::Usage("--batch got no request lines on stdin".into()));
+    };
+    let mut line = batch_request_to_json(&batch);
+    line.push('\n');
+    stream
+        .write_all(line.as_bytes())
+        .map_err(|e| CliError::Io(format!("cannot send to {addr}: {e}")))?;
+    let mut response = String::new();
+    let n = responses
+        .read_line(&mut response)
+        .map_err(|e| CliError::Io(format!("cannot read from {addr}: {e}")))?;
+    if n == 0 {
+        return Err(CliError::Io(format!("client: {addr} closed the connection")));
+    }
+    let doc = mosc::analyze::json::Value::parse(&response)
+        .map_err(|e| CliError::Other(format!("{addr} sent malformed JSON: {e}")))?;
+    match doc.get("results").and_then(mosc::analyze::json::Value::as_array) {
+        // One result line per stdin request, like the unbatched path —
+        // plus the batch verdict (registry state) on stderr for scripts.
+        Some(results) => {
+            if let Some(registry) = doc.get("registry").and_then(mosc::analyze::json::Value::as_str)
+            {
+                eprintln!("batch {}: registry {registry}, {} variant(s)", batch.id, results.len());
+            }
+            for r in results {
+                println!("{}", mosc::analyze::json::value_to_json(r));
+            }
+        }
+        // Errors (overloaded, usage) come back unframed; pass them through.
+        None => print!("{response}"),
     }
     Ok(ExitCode::SUCCESS)
 }
