@@ -205,6 +205,41 @@ grep -q '"type":"bench","mode":"open"' target/bench/BENCH_loadgen.json \
 grep -q '"type":"timeline"' "$lg_timeline" \
     || { echo "loadgen smoke: daemon produced no timeline windows" >&2; exit 1; }
 
+echo "==> event-loop front end smoke (1k idle conns + mixed traffic, BENCH_evloop.json)"
+ev_log=target/bench/evloop_daemon.log
+ev_access=target/bench/evloop_access.jsonl
+./target/release/mosc-cli serve --obs=json --addr 127.0.0.1:0 --frontend evloop \
+    --access-log "$ev_access" >"$ev_log" 2>&1 &
+ev_pid=$!
+for _ in $(seq 1 50); do
+    grep -q 'mosc-serve listening on' "$ev_log" && break
+    sleep 0.1
+done
+ev_addr=$(sed -n 's/^mosc-serve listening on //p' "$ev_log")
+test -n "$ev_addr" || { echo "evloop smoke: daemon never announced its address" >&2; exit 1; }
+# 1000 connections held idle across the run, mixed solve traffic on top;
+# the generator exits nonzero unless every held connection still answers
+# a ping afterwards.
+./target/release/loadgen --addr "$ev_addr" --rate 150 --duration 1.2 --warmup 0.3 \
+    --conns 2 --seed 42 --idle-conns 1000 --csv target/bench \
+    --artifact BENCH_evloop.json > target/bench/evloop_loadgen.txt \
+    || { echo "evloop smoke: generator failed" >&2; cat target/bench/evloop_loadgen.txt >&2; exit 1; }
+grep -q 'all 1000 idle connections survived' target/bench/evloop_loadgen.txt \
+    || { echo "evloop smoke: idle connections were not verified" >&2; exit 1; }
+printf '%s\n' '{"id":"bye","op":"shutdown"}' \
+    | ./target/release/mosc-cli client --addr "$ev_addr" >/dev/null
+wait "$ev_pid" || { echo "evloop smoke: daemon exited non-zero" >&2; cat "$ev_log" >&2; exit 1; }
+grep -q 'mosc-serve drained and stopped' "$ev_log" \
+    || { echo "evloop smoke: daemon did not drain cleanly" >&2; cat "$ev_log" >&2; exit 1; }
+grep -q '"type":"bench","mode":"open"' target/bench/BENCH_evloop.json \
+    || { echo "evloop smoke: artifact missing the open-loop summary" >&2; exit 1; }
+grep -q '"idle_conns":1000' target/bench/BENCH_evloop.json \
+    || { echo "evloop smoke: artifact does not record the held connections" >&2; exit 1; }
+# Deny-mode M06x-M11x over the event loop's access log: the new front end
+# must satisfy every serve/access/trace lint the threaded one does.
+./target/release/mosc-cli analyze -D warnings "$ev_access" \
+    || { echo "evloop smoke: access log failed the deny-mode lints" >&2; exit 1; }
+
 echo "==> solve_batch smoke (client --batch, registry warm/cold, M110/M111 lints)"
 bt_access=target/bench/batch_access.jsonl
 bt_log=target/bench/batch_daemon.log
@@ -255,14 +290,15 @@ awk "BEGIN { exit !($bt_speedup >= 3.0) }" \
 
 echo "==> deny-mode analyze over every produced artifact (incl. M10x bench lints)"
 for artifact in target/bench/BENCH_periodmap.json target/bench/BENCH_serve.json \
-    target/bench/BENCH_loadgen.json target/bench/BENCH_batch.json "$lg_timeline"; do
+    target/bench/BENCH_loadgen.json target/bench/BENCH_evloop.json \
+    target/bench/BENCH_batch.json "$lg_timeline"; do
     ./target/release/mosc-cli analyze -D warnings "$artifact" \
         || { echo "deny-mode analyze failed on $artifact" >&2; exit 1; }
 done
 
 echo "==> bench baseline comparison (benches/baseline, direction-aware)"
 cargo build -q --release -p mosc-bench --bin compare
-for bench in BENCH_loadgen.json BENCH_batch.json; do
+for bench in BENCH_loadgen.json BENCH_evloop.json BENCH_batch.json; do
     if [ "$DENY" -eq 1 ]; then
         ./target/release/compare "benches/baseline/$bench" "target/bench/$bench" \
             || { echo "baseline compare: regression past threshold in $bench (deny mode)" >&2; exit 1; }

@@ -25,9 +25,12 @@
 //! `--csv <dir>` the records land in `BENCH_batch.json` (schema v2), the
 //! artifact `ci.sh` lints and diffs against `benches/baseline`.
 
+use mosc_analyze::json::Value;
 use mosc_bench::record::{BenchLog, RunMeta};
 use mosc_bench::{csv_dir_from_args, timed, Table};
-use mosc_serve::{ServeOptions, Server};
+use mosc_core::reactive::GovernorOptions;
+use mosc_core::{SolveOptions, SolverKind};
+use mosc_serve::{BatchRequest, BatchVariantRequest, Request, Server, SolveRequest};
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -43,28 +46,50 @@ const ROUNDS: usize = 6;
 /// first batch does, every later batch finds it warm.
 const PLATFORM: &str = r#"{"rows":2,"cols":4,"levels":[0.6,1.3],"t_max_c":65.0}"#;
 
-/// Solver options shared by every variant; `threads` is appended per
-/// variant from a phase-disjoint namespace so no phase ever hits the
-/// solution cache on another phase's entries.
-const OPTIONS: &str =
-    r#""governor_horizon":1.0,"governor_warmup":0.25,"governor_control_period":0.1"#;
+fn platform() -> Value {
+    Value::parse(PLATFORM).expect("platform literal")
+}
+
+/// Solver options shared by every variant; `threads` comes from a
+/// phase-disjoint namespace so no phase ever hits the solution cache on
+/// another phase's entries.
+fn solve_options(threads: usize) -> SolveOptions {
+    SolveOptions {
+        threads,
+        governor: GovernorOptions {
+            horizon: 1.0,
+            warmup: 0.25,
+            control_period: 0.1,
+            ..GovernorOptions::default()
+        },
+        ..SolveOptions::default()
+    }
+}
 
 fn solve_line(id: &str, threads: usize) -> String {
-    format!(
-        r#"{{"id":"{id}","solver":"governor","platform":{PLATFORM},"options":{{{OPTIONS},"threads":{threads}}}}}"#
-    )
+    Request::Solve(SolveRequest {
+        id: id.to_owned(),
+        kind: SolverKind::Governor,
+        platform: platform(),
+        options: solve_options(threads),
+        want_schedule: false,
+    })
+    .to_json()
 }
 
 fn batch_line(id: &str, threads0: usize) -> String {
-    let variants: Vec<String> = (0..VARIANTS)
-        .map(|v| {
-            format!(r#"{{"solver":"governor","options":{{{OPTIONS},"threads":{}}}}}"#, threads0 + v)
-        })
-        .collect();
-    format!(
-        r#"{{"id":"{id}","op":"solve_batch","platform":{PLATFORM},"variants":[{}]}}"#,
-        variants.join(",")
-    )
+    Request::SolveBatch(BatchRequest {
+        id: id.to_owned(),
+        platform: platform(),
+        variants: (0..VARIANTS)
+            .map(|v| BatchVariantRequest {
+                kind: SolverKind::Governor,
+                options: solve_options(threads0 + v),
+                want_schedule: false,
+            })
+            .collect(),
+    })
+    .to_json()
 }
 
 /// Exact quantile of an ascending-sorted slice: smallest element whose
@@ -141,9 +166,7 @@ fn main() {
     mosc_obs::enable();
     let csv = csv_dir_from_args();
 
-    let server =
-        Server::bind(ServeOptions { addr: "127.0.0.1:0".into(), ..ServeOptions::default() })
-            .expect("bind 127.0.0.1:0");
+    let server = Server::builder().addr("127.0.0.1:0").bind().expect("bind 127.0.0.1:0");
     let addr = server.local_addr();
     let handle = server.handle();
     let join = std::thread::spawn(move || server.run().expect("serve loop"));

@@ -25,8 +25,15 @@
 //! (M100–M104) and `mosc-bench compare` diffs against a baseline.
 //!
 //! Without `--addr`, an in-process `mosc-serve` server is spun up on
-//! `127.0.0.1:0` — the self-contained smoke CI runs. With `--addr
-//! HOST:PORT` it drives a live daemon.
+//! `127.0.0.1:0` — the self-contained smoke CI runs; `--frontend
+//! threads|evloop` picks its front end. With `--addr HOST:PORT` it drives
+//! a live daemon.
+//!
+//! `--idle-conns N` opens N extra connections before the first run and
+//! holds them idle across every run — the many-mostly-quiet-clients regime
+//! the event-loop front end exists for. Each one must still answer a ping
+//! after the last run or the generator exits nonzero; the count is
+//! recorded as `idle_conns` on every bench record.
 //!
 //! `--repeat-platform` switches the traffic shape from "four distinct
 //! cache keys" to "one platform forever": every arrival is a `solve_batch`
@@ -40,10 +47,11 @@ use mosc_analyze::json::Value;
 use mosc_bench::loadgen::{arrival_schedule, saturation_knee, ArrivalProcess};
 use mosc_bench::record::{BenchLog, RunMeta};
 use mosc_bench::{csv_dir_from_args, Table};
+use mosc_core::{SolveOptions, SolverKind};
 use mosc_obs::Timeline;
-use mosc_serve::{ServeOptions, Server};
+use mosc_serve::{BatchRequest, BatchVariantRequest, Frontend, Request, Server, SolveRequest};
 use std::fmt::Write as _;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read as _, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -60,12 +68,24 @@ const KNEE_TOLERANCE: f64 = 0.9;
 /// stays silent this long gives up and counts the remainder as drops.
 const READ_TIMEOUT: Duration = Duration::from_secs(2);
 
+fn smoke_platform(t_max_c: f64) -> Value {
+    Value::parse(&format!(r#"{{"rows":1,"cols":2,"levels":[0.6,1.3],"t_max_c":{t_max_c:?}}}"#))
+        .expect("platform literal")
+}
+
+fn smoke_options() -> SolveOptions {
+    SolveOptions { max_m: 64, m_patience: 4, t_unit_divisor: 50, ..SolveOptions::default() }
+}
+
 fn request_line(id: &str, t_max_c: f64) -> String {
-    format!(
-        "{{\"id\":\"{id}\",\"solver\":\"ao\",\"platform\":{{\"rows\":1,\"cols\":2,\
-         \"levels\":[0.6,1.3],\"t_max_c\":{t_max_c:?}}},\
-         \"options\":{{\"max_m\":64,\"m_patience\":4,\"t_unit_divisor\":50}}}}"
-    )
+    Request::Solve(SolveRequest {
+        id: id.to_owned(),
+        kind: SolverKind::Ao,
+        platform: smoke_platform(t_max_c),
+        options: smoke_options(),
+        want_schedule: false,
+    })
+    .to_json()
 }
 
 /// `--repeat-platform` request: a single-variant `solve_batch` against one
@@ -73,13 +93,16 @@ fn request_line(id: &str, t_max_c: f64) -> String {
 /// does not change the math, so the first eight arrivals are real solves on
 /// the interned platform and the rest are solution-cache hits.
 fn batch_request_line(id: &str, k: usize) -> String {
-    format!(
-        "{{\"id\":\"{id}\",\"op\":\"solve_batch\",\"platform\":{{\"rows\":1,\"cols\":2,\
-         \"levels\":[0.6,1.3],\"t_max_c\":55.0}},\
-         \"variants\":[{{\"solver\":\"ao\",\"options\":{{\"max_m\":64,\"m_patience\":4,\
-         \"t_unit_divisor\":50,\"threads\":{}}}}}]}}",
-        k % 8 + 1
-    )
+    Request::SolveBatch(BatchRequest {
+        id: id.to_owned(),
+        platform: smoke_platform(55.0),
+        variants: vec![BatchVariantRequest {
+            kind: SolverKind::Ao,
+            options: SolveOptions { threads: k % 8 + 1, ..smoke_options() },
+            want_schedule: false,
+        }],
+    })
+    .to_json()
 }
 
 /// One completed request, in run-relative seconds.
@@ -119,6 +142,76 @@ fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
     let n = sorted.len();
     let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
     sorted[rank - 1]
+}
+
+/// Opens and holds `n` idle connections against the daemon. They carry no
+/// traffic while the measured runs proceed — their job is to occupy server
+/// connection slots, the regime the event-loop front end exists for.
+fn open_idle_conns(addr: SocketAddr, n: usize) -> Vec<TcpStream> {
+    let mut conns = Vec::with_capacity(n);
+    for i in 0..n {
+        let stream = TcpStream::connect(addr)
+            .unwrap_or_else(|e| panic!("idle connection {i} of {n} failed to open: {e}"));
+        stream.set_read_timeout(Some(READ_TIMEOUT)).expect("read timeout");
+        conns.push(stream);
+    }
+    conns
+}
+
+/// Reads one newline-terminated response off a blocking socket.
+fn read_response_line(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte)? {
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed",
+                ))
+            }
+            _ if byte[0] == b'\n' => {
+                return String::from_utf8(buf).map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 response")
+                })
+            }
+            _ => buf.push(byte[0]),
+        }
+    }
+}
+
+/// Proves every held connection survived the run: pings are pipelined
+/// across all of them first, then one pong is read per connection.
+/// Returns the number of dead connections.
+fn verify_idle_conns(conns: &mut [TcpStream]) -> usize {
+    let mut dead = 0usize;
+    let mut wrote = vec![true; conns.len()];
+    for (i, stream) in conns.iter_mut().enumerate() {
+        let mut line = Request::Ping { id: format!("idle-{i}") }.to_json();
+        line.push('\n');
+        if stream.write_all(line.as_bytes()).is_err() {
+            eprintln!("idle connection {i}: ping write failed");
+            wrote[i] = false;
+            dead += 1;
+        }
+    }
+    for (i, stream) in conns.iter_mut().enumerate() {
+        if !wrote[i] {
+            continue;
+        }
+        match read_response_line(stream) {
+            Ok(pong) if pong.contains("\"pong\"") && pong.contains(&format!("idle-{i}")) => {}
+            Ok(other) => {
+                eprintln!("idle connection {i}: unexpected response {other}");
+                dead += 1;
+            }
+            Err(e) => {
+                eprintln!("idle connection {i}: {e}");
+                dead += 1;
+            }
+        }
+    }
+    dead
 }
 
 /// One connection's work: a writer thread pacing the schedule and a
@@ -301,6 +394,7 @@ fn bench_record(
     seed: u64,
     conns: usize,
     repeat_platform: bool,
+    idle_conns: usize,
 ) -> String {
     // A distinct mode keeps repeat-platform records from colliding with the
     // default traffic shape under `compare`'s (mode, process, rate) identity.
@@ -309,7 +403,8 @@ fn bench_record(
     let _ = write!(
         line,
         "{{\"type\":\"bench\",\"mode\":\"{mode}\",\"process\":\"{}\",\"seed\":{seed},\
-         \"conns\":{conns},\"offered_req_per_s\":{:?},\"achieved_req_per_s\":{:?},\
+         \"conns\":{conns},\"idle_conns\":{idle_conns},\
+         \"offered_req_per_s\":{:?},\"achieved_req_per_s\":{:?},\
          \"arrivals\":{},\"completed\":{},\"count\":{},\"dropped\":{},\
          \"cache_hit_rate\":{:?},\"p50_ms\":{:?},\"p90_ms\":{:?},\"p99_ms\":{:?},\
          \"p999_ms\":{:?},\"max_ms\":{:?}}}",
@@ -341,6 +436,16 @@ struct Args {
     window_s: f64,
     sweep: Vec<f64>,
     repeat_platform: bool,
+    /// Extra connections opened before the first run and held idle (no
+    /// traffic) until after the last; every one must still answer a ping
+    /// at the end or the generator exits nonzero.
+    idle_conns: usize,
+    /// Front end for the in-process daemon (ignored with `--addr`).
+    frontend: Frontend,
+    /// File name of the artifact written under `--csv DIR`; the evloop CI
+    /// smoke writes `BENCH_evloop.json` so its baseline is gated apart
+    /// from the threaded-front-end `BENCH_loadgen.json`.
+    artifact: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -355,6 +460,9 @@ fn parse_args() -> Result<Args, String> {
         window_s: 0.25,
         sweep: Vec::new(),
         repeat_platform: false,
+        idle_conns: 0,
+        frontend: Frontend::default(),
+        artifact: "BENCH_loadgen.json".to_owned(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -400,6 +508,21 @@ fn parse_args() -> Result<Args, String> {
                     .map(|r| r.trim().parse::<f64>().map_err(|e| format!("--sweep: {e}")))
                     .collect::<Result<_, _>>()?;
             }
+            "--idle-conns" => {
+                out.idle_conns = value(&argv, i, "--idle-conns")?
+                    .parse()
+                    .map_err(|e| format!("--idle-conns: {e}"))?;
+            }
+            "--frontend" => {
+                out.frontend = value(&argv, i, "--frontend")?.parse()?;
+            }
+            "--artifact" => {
+                let name = value(&argv, i, "--artifact")?;
+                if name.contains('/') || !name.ends_with(".json") {
+                    return Err(format!("--artifact: '{name}' must be a bare *.json file name"));
+                }
+                out.artifact = name;
+            }
             // The only valueless flag: step past it alone.
             "--repeat-platform" => {
                 out.repeat_platform = true;
@@ -432,7 +555,8 @@ fn main() {
             eprintln!(
                 "loadgen: {e}\nusage: loadgen [--addr HOST:PORT] [--rate R] [--duration S] \
                  [--warmup S] [--conns N] [--process poisson|uniform] [--seed N] \
-                 [--window S] [--sweep r1,r2,...] [--repeat-platform] [--csv DIR]"
+                 [--window S] [--sweep r1,r2,...] [--repeat-platform] [--idle-conns N] \
+                 [--frontend threads|evloop] [--csv DIR] [--artifact NAME.json]"
             );
             std::process::exit(2);
         }
@@ -446,17 +570,25 @@ fn main() {
     let (addr, server) = match &args.addr {
         Some(a) => (a.parse().expect("--addr HOST:PORT"), None),
         None => {
-            let server = Server::bind(ServeOptions {
-                addr: "127.0.0.1:0".into(),
-                ..ServeOptions::default()
-            })
-            .expect("bind 127.0.0.1:0");
+            let server = Server::builder()
+                .addr("127.0.0.1:0")
+                .frontend(args.frontend)
+                .bind()
+                .expect("bind 127.0.0.1:0");
             let addr = server.local_addr();
             let handle = server.handle();
             let join = std::thread::spawn(move || server.run().expect("serve loop"));
             (addr, Some((handle, join)))
         }
     };
+
+    // The held-idle fleet opens before any traffic flows and must survive
+    // every run below untouched.
+    let mut idle = Vec::new();
+    if args.idle_conns > 0 {
+        idle = open_idle_conns(addr, args.idle_conns);
+        println!("holding {} idle connection(s) open across the whole run", idle.len());
+    }
 
     let mut meta = RunMeta::capture("loadgen")
         .option("process", args.process.name())
@@ -468,6 +600,12 @@ fn main() {
         .option("window_s", args.window_s);
     if args.repeat_platform {
         meta = meta.option("repeat_platform", true);
+    }
+    if args.idle_conns > 0 {
+        meta = meta.option("idle_conns", args.idle_conns);
+    }
+    if args.addr.is_none() {
+        meta = meta.option("frontend", args.frontend.to_string());
     }
     let mut log = BenchLog::new(&meta);
 
@@ -526,6 +664,7 @@ fn main() {
             args.seed.wrapping_add(i as u64),
             args.conns,
             args.repeat_platform,
+            args.idle_conns,
         ));
         if sweeping {
             let mut line = String::new();
@@ -570,10 +709,18 @@ fn main() {
         println!("the timeline windows in the artifact show the run second by second.");
     }
 
+    // Every held connection must have survived all runs and still answer.
+    if !idle.is_empty() {
+        let dead = verify_idle_conns(&mut idle);
+        assert!(dead == 0, "{dead} of {} idle connections died during the run", idle.len());
+        println!("all {} idle connections survived the run and answered a ping", idle.len());
+    }
+
     if let Some(dir) = csv {
-        log.write(&dir, "BENCH_loadgen.json");
+        log.write(&dir, &args.artifact);
     }
     if let Some((handle, join)) = server {
+        drop(idle);
         handle.shutdown();
         join.join().expect("server thread");
     }

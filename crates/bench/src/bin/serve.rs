@@ -17,9 +17,11 @@
 //! (JSON lines, one record per client count) — the artifact the `ci.sh`
 //! smoke checks for.
 
+use mosc_analyze::json::Value;
 use mosc_bench::record::{BenchLog, RunMeta};
 use mosc_bench::{csv_dir_from_args, timed, Table};
-use mosc_serve::{ServeOptions, Server};
+use mosc_core::{SolveOptions, SolverKind};
+use mosc_serve::{Request, Server, SolveRequest};
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -32,11 +34,22 @@ const REQUESTS_PER_CLIENT: usize = 40;
 const T_MAX_VARIANTS: [f64; 4] = [55.0, 56.0, 57.0, 58.0];
 
 fn request_line(id: &str, t_max_c: f64) -> String {
-    format!(
-        "{{\"id\":\"{id}\",\"solver\":\"ao\",\"platform\":{{\"rows\":1,\"cols\":2,\
-         \"levels\":[0.6,1.3],\"t_max_c\":{t_max_c:?}}},\
-         \"options\":{{\"max_m\":64,\"m_patience\":4,\"t_unit_divisor\":50}}}}"
-    )
+    let platform =
+        Value::parse(&format!(r#"{{"rows":1,"cols":2,"levels":[0.6,1.3],"t_max_c":{t_max_c:?}}}"#))
+            .expect("platform literal");
+    Request::Solve(SolveRequest {
+        id: id.to_owned(),
+        kind: SolverKind::Ao,
+        platform,
+        options: SolveOptions {
+            max_m: 64,
+            m_patience: 4,
+            t_unit_divisor: 50,
+            ..SolveOptions::default()
+        },
+        want_schedule: false,
+    })
+    .to_json()
 }
 
 /// One client thread: a persistent connection issuing its request quota
@@ -71,9 +84,7 @@ struct Round {
 
 /// Runs one round at `clients` threads.
 fn round(clients: usize) -> Round {
-    let server =
-        Server::bind(ServeOptions { addr: "127.0.0.1:0".into(), ..ServeOptions::default() })
-            .expect("bind 127.0.0.1:0");
+    let server = Server::builder().addr("127.0.0.1:0").bind().expect("bind 127.0.0.1:0");
     let addr = server.local_addr();
     let handle = server.handle();
     let join = std::thread::spawn(move || server.run().expect("serve loop"));

@@ -13,11 +13,23 @@
 //!   without re-solving;
 //! - per-request deadlines that abort the enumeration solvers (EXS, `BnB`)
 //!   cleanly through [`mosc_core::SolveOptions::deadline`];
-//! - graceful drain-then-exit on the `shutdown` op (the workspace forbids
-//!   `unsafe`, so a wire op stands in for a signal handler).
+//! - graceful drain-then-exit on the `shutdown` op (a wire op stands in
+//!   for a signal handler);
+//! - two interchangeable front ends behind one worker pool: the original
+//!   thread-per-connection reader ([`Frontend::Threads`]) and a
+//!   nonblocking event loop ([`Frontend::Evloop`], unix-only) that holds
+//!   tens of thousands of connections on a single I/O thread (DESIGN.md
+//!   §16). Both produce byte-identical response streams, pinned by a
+//!   front-end equivalence proptest.
 //!
-//! Run it as `mosc-cli serve --addr 127.0.0.1:7070`, or embed it via
-//! [`Server`] as the loopback tests do.
+//! The wire protocol is versioned: clients may open with a `hello` op to
+//! negotiate a protocol version and discover supported ops (see
+//! [`proto`]); v1 is today's line set, and unknown ops get a structured
+//! `unsupported` error instead of a dropped connection.
+//!
+//! Run it as `mosc-cli serve --addr 127.0.0.1:7070 --frontend evloop`, or
+//! embed it via [`Server::builder`] ([`ServeBuilder`]) as the loopback
+//! tests do.
 //!
 //! Observability (DESIGN.md §12): every request is stamped through its
 //! lifecycle (receive → enqueue → dequeue → respond) and the phase
@@ -30,14 +42,20 @@
 //! M060–M062 (telemetry) and M070–M073 (access log) checks.
 
 pub mod cache;
+#[cfg(unix)]
+mod evloop;
 mod metrics;
+#[cfg(unix)]
+mod poller;
 pub mod proto;
 pub mod queue;
 pub mod server;
 
 pub use cache::{cache_key, cache_key_parts, CacheKey, CachedSolve, LruCache};
 pub use proto::{
-    parse_request, BatchRequest, BatchVariantRequest, Request, SolveRequest, SolveResponse,
+    negotiate_version, parse_request, BatchRequest, BatchResponse, BatchVariantRequest, ErrorKind,
+    HelloResponse, Request, Response, SolveRequest, SolveResponse, PROTO_VERSION_MAX,
+    PROTO_VERSION_MIN,
 };
 pub use queue::{BoundedQueue, QueueFull};
-pub use server::{ServeHandle, ServeOptions, ServeStats, Server};
+pub use server::{Frontend, ServeBuilder, ServeHandle, ServeOptions, ServeStats, Server};

@@ -16,6 +16,7 @@
 //! {"id":"s1","op":"stats"}
 //! {"id":"m1","op":"metrics"}
 //! {"id":"q1","op":"shutdown"}
+//! {"id":"h1","op":"hello","max_version":1}
 //! ```
 //!
 //! `op` defaults to `"solve"`. The `platform` object uses the same schema
@@ -42,12 +43,121 @@
 //! ```
 //!
 //! `status` is `"ok"`, `"error"`, or `"overloaded"`; error responses
-//! classify themselves through `kind` (`"parse"`, `"usage"`,
-//! `"infeasible"`, `"deadline"`, `"internal"`).
+//! classify themselves through `kind` (see [`ErrorKind`]). Both directions
+//! of the wire are typed: [`Request`] and [`Response`] each have exactly
+//! one parse/serialize pair, and the property tests pin that a value
+//! round-trips through its own lines bit-identically.
+//!
+//! ## Versioning
+//!
+//! The `hello` op negotiates a protocol version. Version **1** is the line
+//! protocol this module documents; a client sends its newest understood
+//! version as `max_version` (optional — absent means "newest you have")
+//! and the daemon answers with the version both sides will speak plus its
+//! full supported range and op list:
+//!
+//! | version | contents |
+//! |---------|----------|
+//! | 1       | `solve`, `solve_batch`, `ping`, `stats`, `metrics`, `shutdown`, `hello`; responses `ok`/`error`/`overloaded` |
+//!
+//! Unknown ops never drop the connection: they answer a structured
+//! `{"status":"error","kind":"unsupported",...}` line naming the op, so a
+//! newer client degrades gracefully against an older daemon.
 
 use mosc_analyze::json::Value;
-use mosc_core::{SolveOptions, SolverKind, SolverStats};
+use mosc_core::{AlgoError, SolveOptions, SolverKind, SolverStats};
 use std::time::Duration;
+
+/// Oldest protocol version this build can still speak.
+pub const PROTO_VERSION_MIN: u32 = 1;
+/// Newest protocol version this build speaks (and prefers).
+pub const PROTO_VERSION_MAX: u32 = 1;
+
+/// Every op name the daemon understands, sorted; advertised by `hello`.
+pub const OPS: &[&str] = &["hello", "metrics", "ping", "shutdown", "solve", "solve_batch", "stats"];
+
+/// Picks the protocol version for a session from the client's advertised
+/// `max_version` (`None` = "newest you have"): the newest version both
+/// sides understand.
+///
+/// # Errors
+/// A human-readable message when the client's newest version predates
+/// everything this build can speak.
+pub fn negotiate_version(client_max: Option<u32>) -> Result<u32, String> {
+    let client_max = client_max.unwrap_or(PROTO_VERSION_MAX);
+    if client_max < PROTO_VERSION_MIN {
+        return Err(format!(
+            "protocol version {client_max} is no longer spoken (oldest supported: {PROTO_VERSION_MIN})"
+        ));
+    }
+    Ok(client_max.min(PROTO_VERSION_MAX))
+}
+
+/// What went wrong, as carried on the wire in an error response's `kind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request line was not a well-formed request.
+    Parse,
+    /// The line parsed but named an op this daemon does not implement.
+    Unsupported,
+    /// The request was well-formed but semantically wrong (bad platform,
+    /// invalid option combination, unspeakable protocol version).
+    Usage,
+    /// No schedule satisfies the thermal constraint.
+    Infeasible,
+    /// The per-request deadline expired before the response was ready.
+    Deadline,
+    /// An internal invariant failed; the request was not at fault.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire spelling of this kind.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Self::Parse => "parse",
+            Self::Unsupported => "unsupported",
+            Self::Usage => "usage",
+            Self::Infeasible => "infeasible",
+            Self::Deadline => "deadline",
+            Self::Internal => "internal",
+        }
+    }
+
+    /// Classifies a solver failure for the wire.
+    #[must_use]
+    pub fn of_algo(e: &AlgoError) -> Self {
+        match e {
+            AlgoError::Infeasible { .. } => Self::Infeasible,
+            AlgoError::DeadlineExceeded => Self::Deadline,
+            AlgoError::InvalidOptions { .. } => Self::Usage,
+            AlgoError::Sched(_) => Self::Internal,
+        }
+    }
+}
+
+impl std::str::FromStr for ErrorKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "parse" => Ok(Self::Parse),
+            "unsupported" => Ok(Self::Unsupported),
+            "usage" => Ok(Self::Usage),
+            "infeasible" => Ok(Self::Infeasible),
+            "deadline" => Ok(Self::Deadline),
+            "internal" => Ok(Self::Internal),
+            other => Err(format!("unknown error kind '{other}'")),
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
 
 /// A malformed request line: the human-readable reason, echoed back in the
 /// error response.
@@ -57,6 +167,10 @@ pub struct ProtoError {
     pub message: String,
     /// The request id, when one could be recovered before the failure.
     pub id: String,
+    /// How the error response should classify itself: [`ErrorKind::Parse`]
+    /// for malformed lines, [`ErrorKind::Unsupported`] for well-formed
+    /// lines naming an op this daemon does not implement.
+    pub kind: ErrorKind,
 }
 
 impl std::fmt::Display for ProtoError {
@@ -98,6 +212,60 @@ pub enum Request {
         /// Request id to echo.
         id: String,
     },
+    /// Version handshake: advertise the newest protocol version the client
+    /// understands, get back the negotiated session version plus the
+    /// daemon's supported range and op list.
+    Hello {
+        /// Request id to echo.
+        id: String,
+        /// Newest protocol version the client speaks; `None` means "the
+        /// newest you have".
+        max_version: Option<u32>,
+    },
+}
+
+impl Request {
+    /// The request's correlation id (empty when the client sent none).
+    #[must_use]
+    pub fn id(&self) -> &str {
+        match self {
+            Self::Solve(r) => &r.id,
+            Self::SolveBatch(r) => &r.id,
+            Self::Ping { id }
+            | Self::Stats { id }
+            | Self::Metrics { id }
+            | Self::Shutdown { id }
+            | Self::Hello { id, .. } => id,
+        }
+    }
+
+    /// Serializes to one canonical request line (no trailing newline) that
+    /// [`parse_request`] maps back to this exact value. Every in-repo
+    /// client (the CLI, loadgen, the benches) composes request lines
+    /// through this, so the wire has one writer for each direction.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        match self {
+            Self::Solve(r) => request_to_json(r),
+            Self::SolveBatch(r) => batch_request_to_json(r),
+            Self::Ping { id } => simple_op_to_json(id, "ping"),
+            Self::Stats { id } => simple_op_to_json(id, "stats"),
+            Self::Metrics { id } => simple_op_to_json(id, "metrics"),
+            Self::Shutdown { id } => simple_op_to_json(id, "shutdown"),
+            Self::Hello { id, max_version } => {
+                let mut out = format!("{{\"id\":{},\"op\":\"hello\"", json_string(id));
+                if let Some(v) = max_version {
+                    out.push_str(&format!(",\"max_version\":{v}"));
+                }
+                out.push('}');
+                out
+            }
+        }
+    }
+}
+
+fn simple_op_to_json(id: &str, op: &str) -> String {
+    format!("{{\"id\":{},\"op\":\"{op}\"}}", json_string(id))
 }
 
 /// A solve request: which solver, on what platform, with what options.
@@ -145,7 +313,7 @@ pub struct BatchVariantRequest {
 pub const MAX_BATCH_VARIANTS: usize = 256;
 
 fn proto_err(id: &str, message: impl Into<String>) -> ProtoError {
-    ProtoError { message: message.into(), id: id.to_owned() }
+    ProtoError { message: message.into(), id: id.to_owned(), kind: ErrorKind::Parse }
 }
 
 /// Parses one request line.
@@ -174,9 +342,24 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         "stats" => Ok(Request::Stats { id }),
         "metrics" => Ok(Request::Metrics { id }),
         "shutdown" => Ok(Request::Shutdown { id }),
+        "hello" => {
+            let max_version = match doc.get("max_version") {
+                None => None,
+                Some(v) => {
+                    Some(v.as_usize().and_then(|n| u32::try_from(n).ok()).ok_or_else(|| {
+                        proto_err(&id, "'max_version' must be a non-negative integer")
+                    })?)
+                }
+            };
+            Ok(Request::Hello { id, max_version })
+        }
         "solve" => parse_solve(&doc, id).map(Request::Solve),
         "solve_batch" => parse_solve_batch(&doc, id).map(Request::SolveBatch),
-        other => Err(proto_err(&id, format!("unknown op '{other}'"))),
+        other => Err(ProtoError {
+            message: format!("unknown op '{other}' (supported: {})", OPS.join(", ")),
+            id,
+            kind: ErrorKind::Unsupported,
+        }),
     }
 }
 
@@ -429,6 +612,401 @@ impl SolveResponse {
             id,
         })
     }
+}
+
+/// A point-in-time snapshot of the service counters plus the latency
+/// summary (milliseconds) of the merged per-op solve histograms — the
+/// payload of a `stats` response.
+///
+/// The latency quantiles come from the `mosc-obs` latency histograms,
+/// which record only while the global recorder is enabled; a server run
+/// without `--obs` reports them as `0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)] // field names mirror the serve.* metrics one-to-one
+pub struct ServeStats {
+    pub requests: u64,
+    pub responses: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_evictions: u64,
+    pub rejected: u64,
+    pub deadline_exceeded: u64,
+    pub malformed: u64,
+    pub queue_depth: u64,
+    pub queue_peak: u64,
+    pub cache_len: u64,
+    pub uptime_s: f64,
+    pub req_per_s: f64,
+    pub p50_ms: f64,
+    pub p90_ms: f64,
+    pub p99_ms: f64,
+    pub p999_ms: f64,
+    pub max_ms: f64,
+}
+
+impl ServeStats {
+    /// Renders the `stats` response payload (one line, no newline) through
+    /// the shared protocol serializer.
+    #[must_use]
+    pub fn to_json(&self, id: &str) -> String {
+        let n = |v: u64| Value::Number(v as f64);
+        let stats = Value::Object(vec![
+            ("requests".to_owned(), n(self.requests)),
+            ("responses".to_owned(), n(self.responses)),
+            ("cache_hits".to_owned(), n(self.cache_hits)),
+            ("cache_misses".to_owned(), n(self.cache_misses)),
+            ("cache_evictions".to_owned(), n(self.cache_evictions)),
+            ("rejected".to_owned(), n(self.rejected)),
+            ("deadline_exceeded".to_owned(), n(self.deadline_exceeded)),
+            ("malformed".to_owned(), n(self.malformed)),
+            ("queue_depth".to_owned(), n(self.queue_depth)),
+            ("queue_peak".to_owned(), n(self.queue_peak)),
+            ("cache_len".to_owned(), n(self.cache_len)),
+            ("uptime_s".to_owned(), Value::Number(self.uptime_s)),
+            ("req_per_s".to_owned(), Value::Number(self.req_per_s)),
+            ("p50_ms".to_owned(), Value::Number(self.p50_ms)),
+            ("p90_ms".to_owned(), Value::Number(self.p90_ms)),
+            ("p99_ms".to_owned(), Value::Number(self.p99_ms)),
+            ("p999_ms".to_owned(), Value::Number(self.p999_ms)),
+            ("max_ms".to_owned(), Value::Number(self.max_ms)),
+        ]);
+        let doc = Value::Object(vec![
+            ("id".to_owned(), Value::String(id.to_owned())),
+            ("status".to_owned(), Value::String("ok".to_owned())),
+            ("stats".to_owned(), stats),
+        ]);
+        value_to_json(&doc)
+    }
+
+    /// Parses the `stats` member of a stats response line.
+    ///
+    /// # Errors
+    /// [`ProtoError`] when a member is missing or mistyped.
+    pub fn from_value(doc: &Value) -> Result<Self, ProtoError> {
+        let count = |name: &str| -> Result<u64, ProtoError> {
+            doc.get(name)
+                .and_then(Value::as_f64)
+                .filter(|v| *v >= 0.0)
+                .map(|v| v as u64)
+                .ok_or_else(|| proto_err("", format!("stats.{name} must be a count")))
+        };
+        let num = |name: &str| -> Result<f64, ProtoError> {
+            doc.get(name)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| proto_err("", format!("stats.{name} must be a number")))
+        };
+        Ok(Self {
+            requests: count("requests")?,
+            responses: count("responses")?,
+            cache_hits: count("cache_hits")?,
+            cache_misses: count("cache_misses")?,
+            cache_evictions: count("cache_evictions")?,
+            rejected: count("rejected")?,
+            deadline_exceeded: count("deadline_exceeded")?,
+            malformed: count("malformed")?,
+            queue_depth: count("queue_depth")?,
+            queue_peak: count("queue_peak")?,
+            cache_len: count("cache_len")?,
+            uptime_s: num("uptime_s")?,
+            req_per_s: num("req_per_s")?,
+            p50_ms: num("p50_ms")?,
+            p90_ms: num("p90_ms")?,
+            p99_ms: num("p99_ms")?,
+            p999_ms: num("p999_ms")?,
+            max_ms: num("max_ms")?,
+        })
+    }
+}
+
+/// A `solve_batch` response: per-variant results in request order, plus
+/// whether the shared platform came from the interning registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResponse {
+    /// The batch request's correlation id.
+    pub id: String,
+    /// Whether the platform was interned (`"registry":"warm"` on the wire)
+    /// or had to be built (`"cold"`).
+    pub registry_warm: bool,
+    /// Per-variant results: each an [`Response::Ok`] or [`Response::Error`]
+    /// with id `"<batch id>#<index>"`.
+    pub results: Vec<Response>,
+}
+
+/// A `hello` response: the negotiated session version plus what else the
+/// daemon could speak.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HelloResponse {
+    /// The request's correlation id.
+    pub id: String,
+    /// The server implementation name (`"mosc-serve"`).
+    pub server: String,
+    /// The negotiated session version (see [`negotiate_version`]).
+    pub version: u32,
+    /// Every protocol version this daemon can speak, ascending.
+    pub versions: Vec<u32>,
+    /// Every op name this daemon understands, sorted.
+    pub ops: Vec<String>,
+}
+
+impl HelloResponse {
+    /// The handshake answer this build gives for a client's `max_version`.
+    ///
+    /// # Errors
+    /// A human-readable message when no common version exists (the caller
+    /// wraps it in an [`ErrorKind::Usage`] error response).
+    pub fn negotiate(id: &str, client_max: Option<u32>) -> Result<Self, String> {
+        Ok(Self {
+            id: id.to_owned(),
+            server: "mosc-serve".to_owned(),
+            version: negotiate_version(client_max)?,
+            versions: (PROTO_VERSION_MIN..=PROTO_VERSION_MAX).collect(),
+            ops: OPS.iter().map(|&s| s.to_owned()).collect(),
+        })
+    }
+}
+
+/// One parsed (or to-be-serialized) response line: the typed mirror of
+/// every line the daemon writes. [`Response::to_json`] and
+/// [`Response::parse`] are the single serialize/parse pair for the
+/// response direction; the property tests pin the round trip.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A successful solve.
+    Ok(SolveResponse),
+    /// A `solve_batch` answer: one line, per-variant results inside.
+    Batch(BatchResponse),
+    /// The request failed; `kind` classifies how.
+    Error {
+        /// The request's correlation id (empty when none was recovered).
+        id: String,
+        /// What went wrong.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The bounded queue was full: immediate load-shed, try again later.
+    Overloaded {
+        /// The request's correlation id.
+        id: String,
+    },
+    /// Liveness answer.
+    Pong {
+        /// The request's correlation id.
+        id: String,
+    },
+    /// Service counters and latency summary.
+    Stats {
+        /// The request's correlation id.
+        id: String,
+        /// The counter snapshot.
+        stats: ServeStats,
+    },
+    /// Prometheus text exposition, JSON-escaped into one member.
+    Metrics {
+        /// The request's correlation id.
+        id: String,
+        /// The full scrape body.
+        text: String,
+    },
+    /// Acknowledges a `shutdown` op; the daemon drains and exits after.
+    ShuttingDown {
+        /// The request's correlation id.
+        id: String,
+    },
+    /// The version-handshake answer.
+    Hello(HelloResponse),
+}
+
+impl Response {
+    /// The correlation id this response answers.
+    #[must_use]
+    pub fn id(&self) -> &str {
+        match self {
+            Self::Ok(r) => &r.id,
+            Self::Batch(r) => &r.id,
+            Self::Hello(r) => &r.id,
+            Self::Error { id, .. }
+            | Self::Overloaded { id }
+            | Self::Pong { id }
+            | Self::Stats { id, .. }
+            | Self::Metrics { id, .. }
+            | Self::ShuttingDown { id } => id,
+        }
+    }
+
+    /// Serializes to one canonical response line (no trailing newline),
+    /// byte-identical to what the daemon writes on the wire.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        match self {
+            Self::Ok(r) => r.to_json(),
+            Self::Batch(b) => {
+                let results: Vec<String> = b.results.iter().map(Self::to_json).collect();
+                batch_response_to_json(&b.id, b.registry_warm, &results)
+            }
+            Self::Error { id, kind, message } => error_to_json(id, kind.id(), message),
+            Self::Overloaded { id } => overloaded_to_json(id),
+            Self::Pong { id } => {
+                format!("{{\"id\":{},\"status\":\"ok\",\"pong\":true}}", json_string(id))
+            }
+            Self::Stats { id, stats } => stats.to_json(id),
+            Self::Metrics { id, text } => format!(
+                "{{\"id\":{},\"status\":\"ok\",\"metrics\":{}}}",
+                json_string(id),
+                json_string(text)
+            ),
+            Self::ShuttingDown { id } => {
+                format!("{{\"id\":{},\"status\":\"ok\",\"shutting_down\":true}}", json_string(id))
+            }
+            Self::Hello(h) => {
+                let mut out = format!(
+                    "{{\"id\":{},\"status\":\"ok\",\"server\":{},\"version\":{}",
+                    json_string(&h.id),
+                    json_string(&h.server),
+                    h.version
+                );
+                out.push_str(",\"versions\":[");
+                for (i, v) in h.versions.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&v.to_string());
+                }
+                out.push_str("],\"ops\":[");
+                for (i, op) in h.ops.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&json_string(op));
+                }
+                out.push_str("]}");
+                out
+            }
+        }
+    }
+
+    /// Parses one response line produced by [`Self::to_json`].
+    ///
+    /// # Errors
+    /// [`ProtoError`] for malformed JSON or a line that matches no known
+    /// response shape.
+    pub fn parse(line: &str) -> Result<Self, ProtoError> {
+        let doc = Value::parse(line).map_err(|e| proto_err("", format!("invalid JSON: {e}")))?;
+        Self::from_value(&doc)
+    }
+
+    /// Classifies and parses an already-parsed response document.
+    ///
+    /// # Errors
+    /// [`ProtoError`] when the document matches no known response shape.
+    pub fn from_value(doc: &Value) -> Result<Self, ProtoError> {
+        if !doc.is_object() {
+            return Err(proto_err("", "response must be a JSON object"));
+        }
+        let id = match doc.get("id") {
+            Some(Value::String(s)) => s.clone(),
+            _ => return Err(proto_err("", "response 'id' must be a string")),
+        };
+        match doc.get("status").and_then(Value::as_str) {
+            Some("overloaded") => Ok(Self::Overloaded { id }),
+            Some("error") => {
+                let kind = doc
+                    .get("kind")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| proto_err(&id, "error response 'kind' must be a string"))?
+                    .parse::<ErrorKind>()
+                    .map_err(|e| proto_err(&id, e))?;
+                let message = doc
+                    .get("message")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| proto_err(&id, "error response 'message' must be a string"))?
+                    .to_owned();
+                Ok(Self::Error { id, kind, message })
+            }
+            Some("ok") => {
+                if doc.get("pong").is_some() {
+                    return Ok(Self::Pong { id });
+                }
+                if doc.get("shutting_down").is_some() {
+                    return Ok(Self::ShuttingDown { id });
+                }
+                // Solve responses carry their own `stats` member (the
+                // solver counters), so the `solver` marker must be
+                // checked before the stats-response shape.
+                if doc.get("solver").is_some() {
+                    return SolveResponse::from_value(doc).map(Self::Ok);
+                }
+                if let Some(stats) = doc.get("stats") {
+                    return Ok(Self::Stats { id, stats: ServeStats::from_value(stats)? });
+                }
+                if let Some(text) = doc.get("metrics") {
+                    let Value::String(text) = text else {
+                        return Err(proto_err(&id, "response 'metrics' must be a string"));
+                    };
+                    return Ok(Self::Metrics { id, text: text.clone() });
+                }
+                if doc.get("server").is_some() {
+                    return Ok(Self::Hello(parse_hello(doc, id)?));
+                }
+                if doc.get("registry").is_some() {
+                    return Ok(Self::Batch(parse_batch_response(doc, id)?));
+                }
+                SolveResponse::from_value(doc).map(Self::Ok)
+            }
+            Some(other) => Err(proto_err(&id, format!("unknown response status '{other}'"))),
+            None => Err(proto_err(&id, "response 'status' must be a string")),
+        }
+    }
+}
+
+fn parse_hello(doc: &Value, id: String) -> Result<HelloResponse, ProtoError> {
+    let server = doc
+        .get("server")
+        .and_then(Value::as_str)
+        .ok_or_else(|| proto_err(&id, "hello response 'server' must be a string"))?
+        .to_owned();
+    let version = doc
+        .get("version")
+        .and_then(Value::as_usize)
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| proto_err(&id, "hello response 'version' must be an integer"))?;
+    let versions = match doc.get("versions") {
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|v| v.as_usize().and_then(|n| u32::try_from(n).ok()))
+            .collect::<Option<Vec<u32>>>()
+            .ok_or_else(|| proto_err(&id, "hello response 'versions' must hold integers"))?,
+        _ => return Err(proto_err(&id, "hello response 'versions' must be an array")),
+    };
+    let ops = match doc.get("ops") {
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|v| v.as_str().map(str::to_owned))
+            .collect::<Option<Vec<String>>>()
+            .ok_or_else(|| proto_err(&id, "hello response 'ops' must hold strings"))?,
+        _ => return Err(proto_err(&id, "hello response 'ops' must be an array")),
+    };
+    Ok(HelloResponse { id, server, version, versions, ops })
+}
+
+fn parse_batch_response(doc: &Value, id: String) -> Result<BatchResponse, ProtoError> {
+    let registry_warm = match doc.get("registry").and_then(Value::as_str) {
+        Some("warm") => true,
+        Some("cold") => false,
+        _ => return Err(proto_err(&id, "batch response 'registry' must be 'warm' or 'cold'")),
+    };
+    let Some(Value::Array(raw)) = doc.get("results") else {
+        return Err(proto_err(&id, "batch response 'results' must be an array"));
+    };
+    let mut results = Vec::with_capacity(raw.len());
+    for item in raw {
+        let r = Response::from_value(item)?;
+        if !matches!(r, Response::Ok(_) | Response::Error { .. }) {
+            return Err(proto_err(&id, "batch results must be solve ok/error objects"));
+        }
+        results.push(r);
+    }
+    Ok(BatchResponse { id, registry_warm, results })
 }
 
 /// Serializes a solve request to one canonical line (no trailing newline).

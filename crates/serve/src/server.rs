@@ -43,12 +43,13 @@
 use crate::cache::{cache_key, cache_key_parts, fnv1a, CacheKey, CachedSolve, LruCache};
 use crate::metrics::ServeMetrics;
 use crate::proto::{
-    batch_response_to_json, canonical_json, error_to_json, json_string, overloaded_to_json,
-    parse_request, value_to_json, BatchRequest, ProtoError, Request, SolveRequest, SolveResponse,
+    batch_response_to_json, canonical_json, error_to_json, overloaded_to_json, parse_request,
+    value_to_json, BatchRequest, ErrorKind, HelloResponse, ProtoError, Request, Response,
+    SolveRequest, SolveResponse,
 };
 use crate::queue::{BoundedQueue, QueueFull};
 use mosc_analyze::json::Value;
-use mosc_core::{AlgoError, BatchVariant, KernelDelta, SolveOptions, SolverKind};
+use mosc_core::{BatchVariant, KernelDelta, SolveOptions, SolverKind};
 use mosc_obs::{TraceContext, TraceSnapshot};
 use std::fs::File;
 use std::io::{BufRead, BufReader, Write};
@@ -57,9 +58,46 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
+pub use crate::proto::ServeStats;
+
 /// How long a blocked reader waits before re-checking the shutdown flag.
 /// This bounds the drain latency contributed by idle connections.
 const READ_POLL: Duration = Duration::from_millis(200);
+
+/// Which connection-handling front end drives the worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Frontend {
+    /// One reader thread per connection (the original front end). Simple
+    /// and fine for tens of clients; each connection costs a thread.
+    #[default]
+    Threads,
+    /// A single nonblocking I/O thread owning every socket (epoll on
+    /// Linux, poll(2) elsewhere or with the `poll-backend` feature).
+    /// Holds tens of thousands of connections; bit-compatible with
+    /// [`Frontend::Threads`] on the wire.
+    Evloop,
+}
+
+impl std::str::FromStr for Frontend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threads" => Ok(Self::Threads),
+            "evloop" => Ok(Self::Evloop),
+            other => Err(format!("unknown frontend '{other}' (expected 'threads' or 'evloop')")),
+        }
+    }
+}
+
+impl std::fmt::Display for Frontend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Threads => "threads",
+            Self::Evloop => "evloop",
+        })
+    }
+}
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -89,6 +127,12 @@ pub struct ServeOptions {
     pub timeline: Option<String>,
     /// Width of one timeline window.
     pub timeline_window: Duration,
+    /// Which connection-handling front end to run.
+    pub frontend: Frontend,
+    /// Close connections that have been idle (no bytes received, no
+    /// responses pending) for this long. `None` keeps them forever — the
+    /// historical behavior, and the default.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServeOptions {
@@ -103,83 +147,147 @@ impl Default for ServeOptions {
             slow_threshold: Duration::from_millis(100),
             timeline: None,
             timeline_window: Duration::from_secs(1),
+            frontend: Frontend::Threads,
+            idle_timeout: None,
         }
     }
 }
 
-/// A point-in-time snapshot of the service counters plus the latency
-/// summary (milliseconds) of the merged per-op solve histograms.
+/// Fluent configuration for a [`Server`]: the blessed construction API.
 ///
-/// The latency quantiles come from the `mosc-obs` latency histograms,
-/// which record only while the global recorder is enabled; a server run
-/// without `--obs` reports them as `0`.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[allow(missing_docs)] // field names mirror the serve.* metrics one-to-one
-pub struct ServeStats {
-    pub requests: u64,
-    pub responses: u64,
-    pub cache_hits: u64,
-    pub cache_misses: u64,
-    pub cache_evictions: u64,
-    pub rejected: u64,
-    pub deadline_exceeded: u64,
-    pub malformed: u64,
-    pub queue_depth: u64,
-    pub queue_peak: u64,
-    pub cache_len: u64,
-    pub uptime_s: f64,
-    pub req_per_s: f64,
-    pub p50_ms: f64,
-    pub p90_ms: f64,
-    pub p99_ms: f64,
-    pub p999_ms: f64,
-    pub max_ms: f64,
+/// ```no_run
+/// use mosc_serve::{Frontend, Server};
+/// use std::time::Duration;
+///
+/// let server = Server::builder()
+///     .addr("127.0.0.1:0")
+///     .frontend(Frontend::Evloop)
+///     .workers(4)
+///     .queue_capacity(256)
+///     .cache_capacity(1024)
+///     .default_deadline(Duration::from_secs(5))
+///     .idle_timeout(Duration::from_secs(300))
+///     .bind()
+///     .expect("bind");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ServeBuilder {
+    opts: ServeOptions,
 }
 
-impl ServeStats {
-    /// Renders the `stats` response payload (one line, no newline) through
-    /// the shared protocol serializer.
+impl ServeBuilder {
+    /// Starts from [`ServeOptions::default`].
     #[must_use]
-    pub fn to_json(&self, id: &str) -> String {
-        let n = |v: u64| Value::Number(v as f64);
-        let stats = Value::Object(vec![
-            ("requests".to_owned(), n(self.requests)),
-            ("responses".to_owned(), n(self.responses)),
-            ("cache_hits".to_owned(), n(self.cache_hits)),
-            ("cache_misses".to_owned(), n(self.cache_misses)),
-            ("cache_evictions".to_owned(), n(self.cache_evictions)),
-            ("rejected".to_owned(), n(self.rejected)),
-            ("deadline_exceeded".to_owned(), n(self.deadline_exceeded)),
-            ("malformed".to_owned(), n(self.malformed)),
-            ("queue_depth".to_owned(), n(self.queue_depth)),
-            ("queue_peak".to_owned(), n(self.queue_peak)),
-            ("cache_len".to_owned(), n(self.cache_len)),
-            ("uptime_s".to_owned(), Value::Number(self.uptime_s)),
-            ("req_per_s".to_owned(), Value::Number(self.req_per_s)),
-            ("p50_ms".to_owned(), Value::Number(self.p50_ms)),
-            ("p90_ms".to_owned(), Value::Number(self.p90_ms)),
-            ("p99_ms".to_owned(), Value::Number(self.p99_ms)),
-            ("p999_ms".to_owned(), Value::Number(self.p999_ms)),
-            ("max_ms".to_owned(), Value::Number(self.max_ms)),
-        ]);
-        let doc = Value::Object(vec![
-            ("id".to_owned(), Value::String(id.to_owned())),
-            ("status".to_owned(), Value::String("ok".to_owned())),
-            ("stats".to_owned(), stats),
-        ]);
-        value_to_json(&doc)
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Listen address, e.g. `127.0.0.1:7070` (`:0` picks a free port).
+    #[must_use]
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.opts.addr = addr.into();
+        self
+    }
+
+    /// Worker threads solving queued requests (`0` = all available cores).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.opts.workers = workers;
+        self
+    }
+
+    /// Bounded queue capacity; pushes beyond it answer `overloaded`.
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.opts.queue_capacity = capacity;
+        self
+    }
+
+    /// LRU solution-cache capacity (`0` disables caching).
+    #[must_use]
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.opts.cache_capacity = capacity;
+        self
+    }
+
+    /// Deadline applied to requests that do not carry their own.
+    #[must_use]
+    pub fn default_deadline(mut self, deadline: Duration) -> Self {
+        self.opts.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Structured JSONL access-log sink (truncated at bind: one run, one
+    /// log).
+    #[must_use]
+    pub fn access_log(mut self, path: impl Into<String>) -> Self {
+        self.opts.access_log = Some(path.into());
+        self
+    }
+
+    /// Requests at least this slow get their span tree attached to the
+    /// access-log line.
+    #[must_use]
+    pub fn slow_threshold(mut self, threshold: Duration) -> Self {
+        self.opts.slow_threshold = threshold;
+        self
+    }
+
+    /// Windowed timeline JSONL sink.
+    #[must_use]
+    pub fn timeline(mut self, path: impl Into<String>) -> Self {
+        self.opts.timeline = Some(path.into());
+        self
+    }
+
+    /// Width of one timeline window.
+    #[must_use]
+    pub fn timeline_window(mut self, window: Duration) -> Self {
+        self.opts.timeline_window = window;
+        self
+    }
+
+    /// Which connection-handling front end to run.
+    #[must_use]
+    pub fn frontend(mut self, frontend: Frontend) -> Self {
+        self.opts.frontend = frontend;
+        self
+    }
+
+    /// Close connections idle (no bytes, no pending responses) this long.
+    #[must_use]
+    pub fn idle_timeout(mut self, timeout: Duration) -> Self {
+        self.opts.idle_timeout = Some(timeout);
+        self
+    }
+
+    /// The assembled options (the builder's backing store), for callers
+    /// that need to inspect or persist the configuration.
+    #[must_use]
+    pub fn options(&self) -> &ServeOptions {
+        &self.opts
+    }
+
+    /// Binds the listen socket and creates the configured sinks; the
+    /// server only starts serving on [`Server::run`].
+    ///
+    /// # Errors
+    /// I/O errors from binding, inspecting the socket, or creating the
+    /// access-log/timeline files.
+    pub fn bind(self) -> std::io::Result<Server> {
+        Server::bind_with(self.opts)
     }
 }
 
 /// One queued unit of work, stamped at receipt and at enqueue.
-struct Job {
+pub(crate) struct Job {
     payload: Payload,
     conn: u64,
     /// First per-connection sequence number of this line. A batch line
     /// consumes one seq per variant (variant `i` logs as `seq + i`), so the
     /// per-connection sequence stays collision-free for the M093 lint.
     seq: u64,
-    writer: SharedWriter,
+    writer: ConnWriter,
     deadline_at: Option<Instant>,
     t_recv: Instant,
     t_enqueue: Instant,
@@ -195,24 +303,59 @@ enum Payload {
     Batch(BatchRequest, String),
 }
 
-type SharedWriter = Arc<Mutex<TcpStream>>;
+/// Where a connection's response lines go. The worker pool is front-end
+/// agnostic: the threaded front end hands it a mutex-serialized socket
+/// clone, the event loop a handle into its completion outbox. Either way
+/// each response is framed as exactly one line and lands unfragmented.
+#[derive(Clone)]
+pub(crate) enum ConnWriter {
+    /// Threaded front end: write directly; the mutex keeps reader-thread
+    /// answers and worker answers from interleaving bytes.
+    Direct(Arc<Mutex<TcpStream>>),
+    /// Event-loop front end: queue the framed line for the I/O thread
+    /// (which owns the socket) and wake it.
+    #[cfg(unix)]
+    Event {
+        /// Which connection the line answers.
+        conn: u64,
+        /// The event loop's completion outbox.
+        outbox: Arc<crate::evloop::Outbox>,
+    },
+}
 
-/// State shared by the accept loop, readers and workers.
-struct Shared {
-    opts: ServeOptions,
+impl ConnWriter {
+    /// Hands one framed (newline-terminated) response line to the socket.
+    /// Write errors mean the client went away; the daemon has nothing
+    /// useful to do about it.
+    fn write_line(&self, framed: String) {
+        match self {
+            Self::Direct(stream) => {
+                let mut stream = stream.lock().unwrap_or_else(PoisonError::into_inner);
+                let _ = stream.write_all(framed.as_bytes());
+            }
+            #[cfg(unix)]
+            Self::Event { conn, outbox } => outbox.push(*conn, framed),
+        }
+    }
+}
+
+/// State shared by the front end (accept loop + readers, or the event
+/// loop) and the workers.
+pub(crate) struct Shared {
+    pub(crate) opts: ServeOptions,
     addr: SocketAddr,
-    queue: BoundedQueue<Job>,
+    pub(crate) queue: BoundedQueue<Job>,
     cache: Mutex<LruCache>,
-    metrics: ServeMetrics,
+    pub(crate) metrics: ServeMetrics,
     access: Option<Mutex<File>>,
     /// Windowed completion timeline plus its output file; closed windows
     /// are appended as they fill, the in-progress window at drain.
     timeline: Option<(mosc_obs::Timeline, Mutex<File>)>,
     start: Instant,
-    shutdown: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
     /// Connection-id allocator; ids start at 1 so `conn` is never falsy in
     /// log-processing tools.
-    conns: AtomicU64,
+    pub(crate) conns: AtomicU64,
 }
 
 impl Shared {
@@ -243,6 +386,15 @@ impl Shared {
 
     fn lock_cache(&self) -> std::sync::MutexGuard<'_, LruCache> {
         self.cache.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The configured worker-pool size (`0` = all available cores).
+    fn worker_count(&self) -> usize {
+        if self.opts.workers == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.opts.workers
+        }
     }
 
     /// Flags shutdown and wakes the accept loop with a throwaway
@@ -281,13 +433,26 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listen socket and (when configured) creates the access
-    /// log. The server only starts serving on [`run`](Self::run).
+    /// Starts a fluent configuration; finish with [`ServeBuilder::bind`].
+    #[must_use]
+    pub fn builder() -> ServeBuilder {
+        ServeBuilder::new()
+    }
+
+    /// Binds the listen socket from a positional options struct.
     ///
     /// # Errors
     /// I/O errors from binding, inspecting the socket, or creating the
     /// access-log file.
+    #[deprecated(note = "construct through `Server::builder()` (ServeBuilder); \
+                the positional ServeOptions surface is frozen")]
     pub fn bind(opts: ServeOptions) -> std::io::Result<Self> {
+        Self::bind_with(opts)
+    }
+
+    /// Binds the listen socket and (when configured) creates the access
+    /// log. The server only starts serving on [`run`](Self::run).
+    fn bind_with(opts: ServeOptions) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&opts.addr)?;
         let addr = listener.local_addr()?;
         let access = match &opts.access_log {
@@ -334,17 +499,30 @@ impl Server {
     /// `serve_summary` trailer lines.
     ///
     /// # Errors
-    /// Fatal accept-loop I/O errors only; per-connection errors are
-    /// contained to their connection.
+    /// Fatal accept-loop / event-loop I/O errors only; per-connection
+    /// errors are contained to their connection.
     pub fn run(self) -> std::io::Result<()> {
+        match self.shared.opts.frontend {
+            Frontend::Threads => {
+                self.run_threads();
+                Ok(())
+            }
+            #[cfg(unix)]
+            Frontend::Evloop => self.run_evloop(),
+            #[cfg(not(unix))]
+            Frontend::Evloop => Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "the evloop frontend needs poll(2)/epoll and is unix-only",
+            )),
+        }
+    }
+
+    /// The original front end: blocking accept loop, one reader thread per
+    /// connection.
+    fn run_threads(self) {
         let shared = &self.shared;
-        let workers = if shared.opts.workers == 0 {
-            std::thread::available_parallelism().map_or(1, usize::from)
-        } else {
-            shared.opts.workers
-        };
         std::thread::scope(|scope| {
-            for _ in 0..workers {
+            for _ in 0..shared.worker_count() {
                 scope.spawn(|| worker_loop(shared));
             }
             for stream in self.listener.incoming() {
@@ -360,7 +538,26 @@ impl Server {
         });
         write_access_trailer(shared);
         write_timeline_trailer(shared);
-        Ok(())
+    }
+
+    /// The event-loop front end: one nonblocking I/O thread owns every
+    /// socket; the same worker pool runs behind it.
+    #[cfg(unix)]
+    fn run_evloop(self) -> std::io::Result<()> {
+        let shared = &self.shared;
+        let result = std::thread::scope(|scope| {
+            for _ in 0..shared.worker_count() {
+                scope.spawn(|| worker_loop(shared));
+            }
+            let result = crate::evloop::run(&self.listener, shared);
+            // The event loop closes the queue when its drain starts; an
+            // early error must still release the blocked workers.
+            shared.queue.close();
+            result
+        });
+        write_access_trailer(shared);
+        write_timeline_trailer(shared);
+        result
     }
 }
 
@@ -443,6 +640,17 @@ impl<'a> Completion<'a> {
     }
 }
 
+/// Proof that [`record_completion`] ran for a request. The response
+/// writers ([`respond`], [`respond_proto`]) each consume one, so
+/// "stamp the histograms/timeline/access log, **then** write the bytes" is
+/// the only order the code can express. The guarantee this buys: a client
+/// that reads its response and immediately scrapes `stats`, `metrics`, or
+/// the access log is certain to see its own request already recorded —
+/// including the reader-thread cache-hit fast path, which used to make
+/// that ordering a per-call-site convention rather than a type invariant.
+#[must_use = "a completion stamp exists to be spent on the response write"]
+struct Stamped(());
+
 /// Records the request's phase latencies into the per-op histograms,
 /// appends the access-log line, then writes the response. The single exit
 /// path for every request, so no completion can miss a histogram or log
@@ -451,19 +659,20 @@ impl<'a> Completion<'a> {
 /// is guaranteed to see its own request counted. The phases therefore
 /// exclude the socket write itself, which is microseconds against
 /// millisecond solves.
-fn finish(shared: &Shared, writer: &SharedWriter, line: &str, c: &Completion<'_>) {
-    record_completion(shared, c, Instant::now());
+fn finish(shared: &Shared, writer: &ConnWriter, line: &str, c: &Completion<'_>) {
+    let stamped = record_completion(shared, c, Instant::now());
     if c.solver.is_some() {
-        respond(shared, writer, c.id, line);
+        respond(shared, writer, c.id, line, stamped);
     } else {
-        respond_proto(shared, writer, line);
+        respond_proto(shared, writer, line, stamped);
     }
 }
 
 /// The recording half of [`finish`]: histograms, timeline and access log
 /// for one completion, without writing any response bytes. The batch path
 /// calls this once per variant and then frames a single response line.
-fn record_completion(shared: &Shared, c: &Completion<'_>, done: Instant) {
+/// Returns the [`Stamped`] receipt the response writers demand.
+fn record_completion(shared: &Shared, c: &Completion<'_>, done: Instant) -> Stamped {
     let service = done.saturating_duration_since(c.service_start).as_secs_f64();
     let total = done.saturating_duration_since(c.t_recv).as_secs_f64();
     match c.solver {
@@ -472,6 +681,7 @@ fn record_completion(shared: &Shared, c: &Completion<'_>, done: Instant) {
     }
     record_timeline(shared, total, c.cached);
     log_access(shared, c, done, service, total);
+    Stamped(())
 }
 
 /// Lands one completion in the windowed timeline (when configured) and
@@ -742,19 +952,14 @@ fn process_job(shared: &Shared, job: &Job, req: &SolveRequest, key: &CacheKey, t
             );
         }
         Err(e) => {
-            let kind = match &e {
-                AlgoError::Infeasible { .. } => "infeasible",
-                AlgoError::DeadlineExceeded => {
-                    shared.metrics.on_deadline_exceeded();
-                    "deadline"
-                }
-                AlgoError::InvalidOptions { .. } => "usage",
-                AlgoError::Sched(_) => "internal",
-            };
+            let kind = ErrorKind::of_algo(&e);
+            if kind == ErrorKind::Deadline {
+                shared.metrics.on_deadline_exceeded();
+            }
             finish(
                 shared,
                 &job.writer,
-                &error_to_json(id, kind, &e.to_string()),
+                &error_to_json(id, kind.id(), &e.to_string()),
                 &Completion { status: "error", trace: Some(trace.snapshot()), ..base },
             );
         }
@@ -806,8 +1011,14 @@ fn process_batch(
                 batch: Some(bid),
                 ..Completion::proto(bid, "solve_batch", "error", job.t_recv, job.conn, job.seq)
             };
-            record_completion(shared, &c, Instant::now());
-            respond(shared, &job.writer, bid, &error_to_json(bid, "usage", &e.to_string()));
+            let stamped = record_completion(shared, &c, Instant::now());
+            respond(
+                shared,
+                &job.writer,
+                bid,
+                &error_to_json(bid, "usage", &e.to_string()),
+                stamped,
+            );
             return;
         }
     };
@@ -860,17 +1071,12 @@ fn process_batch(
                 VariantOutcome { line, status: "ok", cached: false, kernel: report.kernel }
             }
             Err(e) => {
-                let kind = match &e {
-                    AlgoError::Infeasible { .. } => "infeasible",
-                    AlgoError::DeadlineExceeded => {
-                        shared.metrics.on_deadline_exceeded();
-                        "deadline"
-                    }
-                    AlgoError::InvalidOptions { .. } => "usage",
-                    AlgoError::Sched(_) => "internal",
-                };
+                let kind = ErrorKind::of_algo(&e);
+                if kind == ErrorKind::Deadline {
+                    shared.metrics.on_deadline_exceeded();
+                }
                 VariantOutcome {
-                    line: error_to_json(&ids[i], kind, &e.to_string()),
+                    line: error_to_json(&ids[i], kind.id(), &e.to_string()),
                     status: "error",
                     cached: false,
                     kernel: KernelDelta::default(),
@@ -883,6 +1089,7 @@ fn process_batch(
     // the resolve's eigendecomposition work lands on the first variant.
     let done = Instant::now();
     let mut lines = Vec::with_capacity(outcomes.len());
+    let mut stamped = None;
     for (i, outcome) in outcomes.into_iter().enumerate() {
         let Some(mut o) = outcome else { continue };
         o.kernel.registry_hits = u64::from(warm);
@@ -908,10 +1115,12 @@ fn process_batch(
             trace: None,
             batch: Some(bid),
         };
-        record_completion(shared, &c, done);
+        stamped = Some(record_completion(shared, &c, done));
         lines.push(o.line);
     }
-    respond(shared, &job.writer, bid, &batch_response_to_json(bid, warm, &lines));
+    // The parser guarantees at least one variant, so at least one stamp.
+    let Some(stamped) = stamped else { return };
+    respond(shared, &job.writer, bid, &batch_response_to_json(bid, warm, &lines), stamped);
 }
 
 /// Renders an ok response for `req` from a (fresh or cached) solve.
@@ -939,26 +1148,31 @@ fn render_variant_ok(id: &str, want_schedule: bool, solve: &CachedSolve, cached:
 
 /// Writes one solve-response line: response metrics plus the
 /// `serve.response` event the M062 lint pairs against `serve.request`.
-fn respond(shared: &Shared, writer: &SharedWriter, id: &str, line: &str) {
-    respond_proto(shared, writer, line);
+/// Demands the caller's [`Stamped`] receipt: no response without its
+/// completion recorded first.
+fn respond(shared: &Shared, writer: &ConnWriter, id: &str, line: &str, stamped: Stamped) {
+    respond_proto(shared, writer, line, stamped);
     mosc_obs::event("serve.response", &[("id", id_hash(id).into())]);
 }
 
 /// Writes one response line and records the response metrics, without the
 /// request/response event pairing — protocol ops (ping/stats/metrics/
 /// shutdown) and parse errors answer lines that no `serve.request` event
-/// announced. Write errors mean the client went away; the daemon has
-/// nothing useful to do about it.
-fn respond_proto(shared: &Shared, writer: &SharedWriter, line: &str) {
-    // Count before writing: the moment the bytes land, a client may read
-    // them and query `stats`, and the response it just received must
-    // already be in the counter.
+/// announced. The [`Stamped`] receipt proves the completion was recorded
+/// before any byte lands.
+// Taking `Stamped` by value (not reference) is the whole point of the
+// receipt: a moved-in token cannot be spent on two response writes.
+#[allow(clippy::needless_pass_by_value)]
+fn respond_proto(shared: &Shared, writer: &ConnWriter, line: &str, stamped: Stamped) {
+    let Stamped(()) = stamped; // spent: the record precedes the write.
+                               // Count before writing: the moment the bytes land, a client may read
+                               // them and query `stats`, and the response it just received must
+                               // already be in the counter.
     shared.metrics.on_response();
     let mut framed = String::with_capacity(line.len() + 1);
     framed.push_str(line);
     framed.push('\n');
-    let mut stream = writer.lock().unwrap_or_else(PoisonError::into_inner);
-    let _ = stream.write_all(framed.as_bytes());
+    writer.write_line(framed);
 }
 
 /// 32-bit id hash for obs events: event fields travel through JSON numbers
@@ -967,17 +1181,18 @@ fn id_hash(id: &str) -> u64 {
     fnv1a(id.as_bytes()) & 0xFFFF_FFFF
 }
 
-/// The reader side: one thread per connection, line-oriented, polling the
-/// shutdown flag between reads.
+/// The reader side of the threaded front end: one thread per connection,
+/// line-oriented, polling the shutdown flag between reads.
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_read_timeout(Some(READ_POLL));
     // Responses are single small writes; Nagle + delayed ACK would add tens
     // of milliseconds of latency per request on an otherwise idle link.
     let _ = stream.set_nodelay(true);
     let Ok(write_half) = stream.try_clone() else { return };
-    let writer: SharedWriter = Arc::new(Mutex::new(write_half));
+    let writer = ConnWriter::Direct(Arc::new(Mutex::new(write_half)));
     let conn = shared.conns.fetch_add(1, Ordering::Relaxed) + 1;
     let mut seq: u64 = 0;
+    let mut last_activity = Instant::now();
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
@@ -988,6 +1203,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             Ok(0) => return, // EOF: client closed its write half.
             Ok(_) => {
                 let t_recv = Instant::now();
+                last_activity = t_recv;
                 let full = std::mem::take(&mut line);
                 let trimmed = full.trim();
                 if !trimmed.is_empty() {
@@ -1003,7 +1219,11 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 ) =>
             {
                 // Timeout with a partial line already buffered in `line`:
-                // keep accumulating on the next pass.
+                // keep accumulating on the next pass — unless the idle
+                // budget ran out, in which case the connection is dropped.
+                if shared.opts.idle_timeout.is_some_and(|limit| last_activity.elapsed() >= limit) {
+                    return;
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(_) => return,
@@ -1014,10 +1234,12 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 /// Dispatches the `seq`-th request line of connection `conn`, received at
 /// `t_recv`. Returns how many sequence numbers the line consumed (one per
 /// logged completion: 1 for everything except `solve_batch`, which claims
-/// one per variant).
-fn handle_line(
+/// one per variant). Every non-empty line produces **exactly one**
+/// response line, now or when a worker completes — the event loop's
+/// close-when-drained accounting depends on that invariant.
+pub(crate) fn handle_line(
     line: &str,
-    writer: &SharedWriter,
+    writer: &ConnWriter,
     shared: &Shared,
     t_recv: Instant,
     conn: u64,
@@ -1025,12 +1247,12 @@ fn handle_line(
 ) -> u64 {
     let request = match parse_request(line) {
         Ok(r) => r,
-        Err(ProtoError { message, id }) => {
+        Err(ProtoError { message, id, kind }) => {
             shared.metrics.on_malformed();
             finish(
                 shared,
                 writer,
-                &error_to_json(&id, "parse", &message),
+                &error_to_json(&id, kind.id(), &message),
                 &Completion::proto(&id, "parse", "error", t_recv, conn, seq),
             );
             return 1;
@@ -1038,12 +1260,12 @@ fn handle_line(
     };
     match request {
         Request::Ping { id } => {
-            let pong = format!("{{\"id\":{},\"status\":\"ok\",\"pong\":true}}", json_string(&id));
+            let pong = Response::Pong { id: id.clone() }.to_json();
             finish(shared, writer, &pong, &Completion::proto(&id, "ping", "ok", t_recv, conn, seq));
             1
         }
         Request::Stats { id } => {
-            let line = shared.stats().to_json(&id);
+            let line = Response::Stats { id: id.clone(), stats: shared.stats() }.to_json();
             finish(
                 shared,
                 writer,
@@ -1058,11 +1280,7 @@ fn handle_line(
                 shared.lock_cache().len() as u64,
                 shared.start.elapsed().as_secs_f64(),
             );
-            let line = format!(
-                "{{\"id\":{},\"status\":\"ok\",\"metrics\":{}}}",
-                json_string(&id),
-                json_string(&text)
-            );
+            let line = Response::Metrics { id: id.clone(), text }.to_json();
             finish(
                 shared,
                 writer,
@@ -1071,9 +1289,21 @@ fn handle_line(
             );
             1
         }
+        Request::Hello { id, max_version } => {
+            let (line, status) = match HelloResponse::negotiate(&id, max_version) {
+                Ok(hello) => (Response::Hello(hello).to_json(), "ok"),
+                Err(message) => (error_to_json(&id, ErrorKind::Usage.id(), &message), "error"),
+            };
+            finish(
+                shared,
+                writer,
+                &line,
+                &Completion::proto(&id, "hello", status, t_recv, conn, seq),
+            );
+            1
+        }
         Request::Shutdown { id } => {
-            let bye =
-                format!("{{\"id\":{},\"status\":\"ok\",\"shutting_down\":true}}", json_string(&id));
+            let bye = Response::ShuttingDown { id: id.clone() }.to_json();
             finish(
                 shared,
                 writer,
@@ -1198,8 +1428,8 @@ fn handle_line(
                         batch: Some(&req.id),
                         ..Completion::proto(&req.id, "solve_batch", "overloaded", t_recv, conn, seq)
                     };
-                    record_completion(shared, &c, Instant::now());
-                    respond(shared, &job.writer, &req.id, &overloaded_to_json(&req.id));
+                    let stamped = record_completion(shared, &c, Instant::now());
+                    respond(shared, &job.writer, &req.id, &overloaded_to_json(&req.id), stamped);
                 }
             }
             consumed

@@ -1,26 +1,61 @@
 //! Loopback integration tests: a real in-process [`Server`] on `127.0.0.1:0`
 //! with real TCP clients — concurrency, exactly-once responses, cache
 //! counters, backpressure and drain-then-exit, all on the `specs/smoke.json`
-//! platform.
+//! platform. Every test runs once per front end (threaded and, on unix,
+//! the event loop): the wire behavior is identical by contract.
 
 use mosc_analyze::json::Value;
-use mosc_serve::{ServeOptions, Server};
+use mosc_serve::{Frontend, ServeBuilder, Server};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 
 /// The `specs/smoke.json` platform, inlined.
 const PLATFORM: &str = r#"{"rows":1,"cols":2,"levels":[0.6,1.3],"t_max_c":55.0}"#;
 
-fn start(opts: ServeOptions) -> (SocketAddr, mosc_serve::ServeHandle, std::thread::JoinHandle<()>) {
-    let server = Server::bind(opts).expect("bind 127.0.0.1:0");
+/// Expands one `fn body(Frontend)` into a `#[test]` per front end.
+macro_rules! per_frontend {
+    ($($name:ident),+ $(,)?) => {$(
+        mod $name {
+            #[test]
+            fn threads() {
+                super::$name(mosc_serve::Frontend::Threads);
+            }
+            #[cfg(unix)]
+            #[test]
+            fn evloop() {
+                super::$name(mosc_serve::Frontend::Evloop);
+            }
+        }
+    )+};
+}
+
+per_frontend!(
+    concurrent_clients_each_get_exactly_one_response,
+    repeated_identical_requests_are_answered_from_the_cache,
+    want_schedule_round_trips_through_the_text_format,
+    a_full_queue_answers_overloaded_immediately,
+    malformed_and_unsolvable_requests_get_typed_errors,
+    a_deadline_expiring_mid_solve_is_enforced_before_the_response,
+    solve_batch_interns_the_platform_and_answers_per_variant,
+    a_batch_with_a_broken_platform_gets_one_usage_error,
+    shutdown_op_drains_and_stops_the_server,
+    hello_negotiates_the_protocol_version,
+    pipelined_requests_are_answered_in_order,
+    a_half_closed_connection_still_receives_its_responses,
+);
+
+fn start(
+    builder: ServeBuilder,
+) -> (SocketAddr, mosc_serve::ServeHandle, std::thread::JoinHandle<()>) {
+    let server = builder.bind().expect("bind 127.0.0.1:0");
     let addr = server.local_addr();
     let handle = server.handle();
     let join = std::thread::spawn(move || server.run().expect("serve loop"));
     (addr, handle, join)
 }
 
-fn quick_serve_options() -> ServeOptions {
-    ServeOptions { addr: "127.0.0.1:0".into(), ..ServeOptions::default() }
+fn quick_builder(frontend: Frontend) -> ServeBuilder {
+    Server::builder().addr("127.0.0.1:0").frontend(frontend)
 }
 
 /// Sends `line` and reads one response line on a fresh connection.
@@ -38,9 +73,27 @@ fn solve_line(id: &str, solver: &str) -> String {
     format!(r#"{{"id":"{id}","solver":"{solver}","platform":{PLATFORM}}}"#)
 }
 
+/// The frozen positional-options constructor keeps working behind the
+/// builder: out-of-repo callers that have not migrated yet still get a
+/// serving daemon with identical defaults.
 #[test]
-fn concurrent_clients_each_get_exactly_one_response() {
-    let (addr, handle, join) = start(quick_serve_options());
+fn deprecated_positional_bind_still_serves() {
+    #[allow(deprecated)]
+    let server =
+        Server::bind(mosc_serve::ServeOptions { addr: "127.0.0.1:0".into(), ..Default::default() })
+            .expect("bind 127.0.0.1:0");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("serve loop"));
+    let doc = roundtrip(addr, r#"{"id":"shim","op":"ping"}"#);
+    assert_eq!(doc.get("status").and_then(Value::as_str), Some("ok"), "{doc:?}");
+    assert_eq!(doc.get("pong").and_then(Value::as_bool), Some(true), "{doc:?}");
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+fn concurrent_clients_each_get_exactly_one_response(frontend: Frontend) {
+    let (addr, handle, join) = start(quick_builder(frontend));
     // Warm the cache sequentially so the concurrent round is deterministic
     // (identical misses racing in parallel would each count a miss).
     roundtrip(addr, &solve_line("warm-ao", "ao"));
@@ -71,9 +124,8 @@ fn concurrent_clients_each_get_exactly_one_response() {
     join.join().expect("server thread");
 }
 
-#[test]
-fn repeated_identical_requests_are_answered_from_the_cache() {
-    let (addr, handle, join) = start(quick_serve_options());
+fn repeated_identical_requests_are_answered_from_the_cache(frontend: Frontend) {
+    let (addr, handle, join) = start(quick_builder(frontend));
     let first = roundtrip(addr, &solve_line("r0", "ao"));
     assert_eq!(first.get("cached").and_then(Value::as_bool), Some(false), "{first:?}");
     let throughput = first.get("throughput").and_then(Value::as_f64).unwrap();
@@ -95,9 +147,8 @@ fn repeated_identical_requests_are_answered_from_the_cache() {
     join.join().expect("server thread");
 }
 
-#[test]
-fn want_schedule_round_trips_through_the_text_format() {
-    let (addr, handle, join) = start(quick_serve_options());
+fn want_schedule_round_trips_through_the_text_format(frontend: Frontend) {
+    let (addr, handle, join) = start(quick_builder(frontend));
     let line = format!(r#"{{"id":"ws","solver":"ao","platform":{PLATFORM},"want_schedule":true}}"#);
     let doc = roundtrip(addr, &line);
     let schedule_text = doc.get("schedule").and_then(Value::as_str).expect("schedule text");
@@ -107,18 +158,11 @@ fn want_schedule_round_trips_through_the_text_format() {
     join.join().expect("server thread");
 }
 
-#[test]
-fn a_full_queue_answers_overloaded_immediately() {
+fn a_full_queue_answers_overloaded_immediately(frontend: Frontend) {
     // One worker, one queue slot. Park the worker on a deliberately slow
     // request (9-core 4-level EXS), fill the slot, then watch the next
     // request bounce.
-    let opts = ServeOptions {
-        addr: "127.0.0.1:0".into(),
-        workers: 1,
-        queue_capacity: 1,
-        ..ServeOptions::default()
-    };
-    let (addr, handle, join) = start(opts);
+    let (addr, handle, join) = start(quick_builder(frontend).workers(1).queue_capacity(1));
     let slow = r#"{"rows":3,"cols":3,"levels":[0.6,0.8,1.0,1.3],"t_max_c":65.0}"#;
     let parked = {
         let line = format!(
@@ -155,14 +199,22 @@ fn a_full_queue_answers_overloaded_immediately() {
     join.join().expect("server thread");
 }
 
-#[test]
-fn malformed_and_unsolvable_requests_get_typed_errors() {
-    let (addr, handle, join) = start(quick_serve_options());
+fn malformed_and_unsolvable_requests_get_typed_errors(frontend: Frontend) {
+    let (addr, handle, join) = start(quick_builder(frontend));
     let doc = roundtrip(addr, "this is not json");
     assert_eq!(doc.get("status").and_then(Value::as_str), Some("error"), "{doc:?}");
     assert_eq!(doc.get("kind").and_then(Value::as_str), Some("parse"), "{doc:?}");
 
-    let doc = roundtrip(addr, &solve_line("u", "warp-drive"));
+    // An unknown op is a structured `unsupported` error naming the real
+    // ops, not a dropped connection (and an unknown solver stays `parse`).
+    let doc = roundtrip(addr, r#"{"id":"u","op":"warp"}"#);
+    assert_eq!(doc.get("status").and_then(Value::as_str), Some("error"), "{doc:?}");
+    assert_eq!(doc.get("kind").and_then(Value::as_str), Some("unsupported"), "{doc:?}");
+    assert!(
+        doc.get("message").and_then(Value::as_str).is_some_and(|m| m.contains("solve_batch")),
+        "the error lists the supported ops: {doc:?}"
+    );
+    let doc = roundtrip(addr, &solve_line("u2", "warp-drive"));
     assert_eq!(doc.get("kind").and_then(Value::as_str), Some("parse"), "{doc:?}");
 
     // An infeasible platform (T_max below what the floor level can hold).
@@ -183,9 +235,8 @@ fn malformed_and_unsolvable_requests_get_typed_errors() {
     join.join().expect("server thread");
 }
 
-#[test]
-fn a_deadline_expiring_mid_solve_is_enforced_before_the_response() {
-    let (addr, handle, join) = start(quick_serve_options());
+fn a_deadline_expiring_mid_solve_is_enforced_before_the_response(frontend: Frontend) {
+    let (addr, handle, join) = start(quick_builder(frontend));
     // The governor ignores deadlines by contract, so a fine-grained control
     // period makes the solve reliably outlive a short deadline; the server
     // must notice at completion and answer `deadline` instead of returning
@@ -217,13 +268,16 @@ fn a_deadline_expiring_mid_solve_is_enforced_before_the_response() {
     join.join().expect("server thread");
 }
 
-#[test]
-fn solve_batch_interns_the_platform_and_answers_per_variant() {
-    let (addr, handle, join) = start(quick_serve_options());
-    // A platform unique to this test: the interning registry is
-    // process-global, so sharing `PLATFORM` with other tests would make the
-    // cold/warm assertions racy.
-    let platform = r#"{"rows":1,"cols":2,"levels":[0.6,1.3],"t_max_c":56.0}"#;
+fn solve_batch_interns_the_platform_and_answers_per_variant(frontend: Frontend) {
+    let (addr, handle, join) = start(quick_builder(frontend));
+    // A platform unique to this test *and* front end: the interning
+    // registry is process-global, so sharing a platform across tests would
+    // make the cold/warm assertions racy.
+    let t_max = match frontend {
+        Frontend::Threads => 56.0,
+        Frontend::Evloop => 56.5,
+    };
+    let platform = format!(r#"{{"rows":1,"cols":2,"levels":[0.6,1.3],"t_max_c":{t_max}}}"#);
     let batch = |id: &str| {
         format!(
             concat!(
@@ -275,9 +329,8 @@ fn solve_batch_interns_the_platform_and_answers_per_variant() {
     join.join().expect("server thread");
 }
 
-#[test]
-fn a_batch_with_a_broken_platform_gets_one_usage_error() {
-    let (addr, handle, join) = start(quick_serve_options());
+fn a_batch_with_a_broken_platform_gets_one_usage_error(frontend: Frontend) {
+    let (addr, handle, join) = start(quick_builder(frontend));
     let line = concat!(
         r#"{"id":"bad","op":"solve_batch","platform":{"rows":0,"cols":0,"levels":[],"t_max_c":55.0},"#,
         r#""variants":[{"solver":"ao"},{"solver":"lns"}]}"#
@@ -290,9 +343,8 @@ fn a_batch_with_a_broken_platform_gets_one_usage_error() {
     join.join().expect("server thread");
 }
 
-#[test]
-fn shutdown_op_drains_and_stops_the_server() {
-    let (addr, handle, join) = start(quick_serve_options());
+fn shutdown_op_drains_and_stops_the_server(frontend: Frontend) {
+    let (addr, handle, join) = start(quick_builder(frontend));
     let doc = roundtrip(addr, r#"{"id":"p","op":"ping"}"#);
     assert_eq!(doc.get("pong").and_then(Value::as_bool), Some(true), "{doc:?}");
 
@@ -302,4 +354,77 @@ fn shutdown_op_drains_and_stops_the_server() {
     join.join().expect("server thread exits after the shutdown op");
     let stats = handle.stats();
     assert_eq!(stats.responses, 2, "{stats:?}");
+}
+
+fn hello_negotiates_the_protocol_version(frontend: Frontend) {
+    let (addr, handle, join) = start(quick_builder(frontend));
+    // A plain hello negotiates the newest version the server speaks.
+    let doc = roundtrip(addr, r#"{"id":"h","op":"hello"}"#);
+    assert_eq!(doc.get("status").and_then(Value::as_str), Some("ok"), "{doc:?}");
+    assert_eq!(doc.get("server").and_then(Value::as_str), Some("mosc-serve"), "{doc:?}");
+    assert_eq!(
+        doc.get("version").and_then(Value::as_usize),
+        Some(mosc_serve::PROTO_VERSION_MAX as usize),
+        "{doc:?}"
+    );
+    let ops = doc.get("ops").and_then(Value::as_array).expect("ops array");
+    let ops: Vec<&str> = ops.iter().filter_map(Value::as_str).collect();
+    assert!(ops.contains(&"solve") && ops.contains(&"hello"), "{ops:?}");
+
+    // A client capped below the server's floor gets a usage error; one
+    // capped above settles on the server's max.
+    let doc = roundtrip(addr, r#"{"id":"h0","op":"hello","max_version":0}"#);
+    assert_eq!(doc.get("status").and_then(Value::as_str), Some("error"), "{doc:?}");
+    assert_eq!(doc.get("kind").and_then(Value::as_str), Some("usage"), "{doc:?}");
+    let doc = roundtrip(addr, r#"{"id":"h9","op":"hello","max_version":9}"#);
+    assert_eq!(
+        doc.get("version").and_then(Value::as_usize),
+        Some(mosc_serve::PROTO_VERSION_MAX as usize),
+        "{doc:?}"
+    );
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+fn pipelined_requests_are_answered_in_order(frontend: Frontend) {
+    // One worker serializes execution, so responses to a burst written in
+    // one packet must come back in request order, one line each.
+    let (addr, handle, join) = start(quick_builder(frontend).workers(1));
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let burst: String =
+        (0..10).map(|i| format!(r#"{{"id":"pl{i}","op":"ping"}}"#) + "\n").collect();
+    stream.write_all(burst.as_bytes()).expect("send burst");
+    let mut reader = BufReader::new(stream);
+    for i in 0..10 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read response");
+        let doc = Value::parse(&line).expect("response parses");
+        assert_eq!(doc.get("id").and_then(Value::as_str), Some(format!("pl{i}").as_str()));
+    }
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+fn a_half_closed_connection_still_receives_its_responses(frontend: Frontend) {
+    // Write requests, shut down the send half, then read: the responses
+    // must still arrive (EOF does not cancel in-flight work).
+    let (addr, handle, join) = start(quick_builder(frontend));
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let lines = format!("{}\n{}\n", solve_line("hc0", "ao"), r#"{"id":"hc1","op":"ping"}"#);
+    stream.write_all(lines.as_bytes()).expect("send");
+    stream.shutdown(std::net::Shutdown::Write).expect("half-close");
+    let mut reader = BufReader::new(stream);
+    let mut got = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).expect("read") == 0 {
+            break;
+        }
+        let doc = Value::parse(&line).expect("response parses");
+        got.push(doc.get("id").and_then(Value::as_str).unwrap().to_string());
+    }
+    got.sort();
+    assert_eq!(got, ["hc0", "hc1"], "both responses delivered after half-close");
+    handle.shutdown();
+    join.join().expect("server thread");
 }

@@ -7,7 +7,7 @@
 //! other loopback tests' assumptions.
 
 use mosc_analyze::json::Value;
-use mosc_serve::{ServeOptions, Server};
+use mosc_serve::Server;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -29,16 +29,15 @@ fn latency_metrics_and_access_log_cover_every_request() {
     mosc_obs::enable();
     let log_path =
         std::env::temp_dir().join(format!("mosc-serve-access-{}.jsonl", std::process::id()));
-    let opts = ServeOptions {
-        addr: "127.0.0.1:0".into(),
-        workers: 2,
+    let server = Server::builder()
+        .addr("127.0.0.1:0")
+        .workers(2)
         // Zero threshold: every request counts as slow, so solved requests
         // must carry their span trees.
-        slow_threshold: Duration::ZERO,
-        access_log: Some(log_path.to_string_lossy().into_owned()),
-        ..ServeOptions::default()
-    };
-    let server = Server::bind(opts).expect("bind 127.0.0.1:0");
+        .slow_threshold(Duration::ZERO)
+        .access_log(log_path.to_string_lossy().into_owned())
+        .bind()
+        .expect("bind 127.0.0.1:0");
     let addr = server.local_addr();
     let join = std::thread::spawn(move || server.run().expect("serve loop"));
 

@@ -5,7 +5,9 @@
 use mosc_analyze::json::Value;
 use mosc_core::{SolveOptions, SolverKind, SolverStats};
 use mosc_serve::proto::{
-    canonical_json, parse_request, request_to_json, Request, SolveRequest, SolveResponse,
+    canonical_json, parse_request, request_to_json, BatchRequest, BatchResponse,
+    BatchVariantRequest, ErrorKind, HelloResponse, Request, Response, ServeStats, SolveRequest,
+    SolveResponse,
 };
 use mosc_testutil::{propcheck, Rng64};
 use std::time::Duration;
@@ -118,5 +120,184 @@ fn solve_responses_round_trip_through_the_wire() {
         let parsed =
             SolveResponse::from_value(&doc).unwrap_or_else(|e| panic!("from_value {line}: {e:?}"));
         assert_eq!(parsed, response, "line: {line}");
+    });
+}
+
+fn random_solve_response(rng: &mut Rng64) -> SolveResponse {
+    SolveResponse {
+        id: random_string(rng),
+        solver: random_kind(rng),
+        throughput: random_f64(rng),
+        peak_c: random_f64(rng),
+        feasible: rng.below(2) == 1,
+        m: rng.below(100_000) as usize,
+        wall_ms: random_f64(rng),
+        cached: rng.below(2) == 1,
+        stats: SolverStats {
+            explored: rng.below(1 << 32),
+            thermal_prunes: rng.below(1 << 32),
+            throughput_prunes: rng.below(1 << 32),
+            transitions: rng.below(1 << 32),
+            violation_time: random_f64(rng),
+        },
+        schedule: if rng.below(2) == 0 { None } else { Some(random_string(rng)) },
+    }
+}
+
+fn random_error_kind(rng: &mut Rng64) -> ErrorKind {
+    const ALL: &[ErrorKind] = &[
+        ErrorKind::Parse,
+        ErrorKind::Unsupported,
+        ErrorKind::Usage,
+        ErrorKind::Infeasible,
+        ErrorKind::Deadline,
+        ErrorKind::Internal,
+    ];
+    ALL[rng.below(ALL.len() as u64) as usize]
+}
+
+fn random_serve_stats(rng: &mut Rng64) -> ServeStats {
+    let mut count = || rng.below(1 << 32);
+    ServeStats {
+        requests: count(),
+        responses: count(),
+        cache_hits: count(),
+        cache_misses: count(),
+        cache_evictions: count(),
+        rejected: count(),
+        deadline_exceeded: count(),
+        malformed: count(),
+        queue_depth: count(),
+        queue_peak: count(),
+        cache_len: count(),
+        uptime_s: random_f64(rng),
+        req_per_s: random_f64(rng),
+        p50_ms: random_f64(rng),
+        p90_ms: random_f64(rng),
+        p99_ms: random_f64(rng),
+        p999_ms: random_f64(rng),
+        max_ms: random_f64(rng),
+    }
+}
+
+/// A random response of every shape the daemon can write, including batch
+/// results (which may only nest ok/error shapes, as on the wire).
+fn random_response(rng: &mut Rng64) -> Response {
+    match rng.below(9) {
+        0 => Response::Ok(random_solve_response(rng)),
+        1 => Response::Batch(BatchResponse {
+            id: random_string(rng),
+            registry_warm: rng.below(2) == 1,
+            results: (0..rng.below(4))
+                .map(|_| {
+                    if rng.below(2) == 0 {
+                        Response::Ok(random_solve_response(rng))
+                    } else {
+                        Response::Error {
+                            id: random_string(rng),
+                            kind: random_error_kind(rng),
+                            message: random_string(rng),
+                        }
+                    }
+                })
+                .collect(),
+        }),
+        2 => Response::Error {
+            id: random_string(rng),
+            kind: random_error_kind(rng),
+            message: random_string(rng),
+        },
+        3 => Response::Overloaded { id: random_string(rng) },
+        4 => Response::Pong { id: random_string(rng) },
+        5 => Response::Stats { id: random_string(rng), stats: random_serve_stats(rng) },
+        6 => Response::Metrics { id: random_string(rng), text: random_string(rng) },
+        7 => Response::ShuttingDown { id: random_string(rng) },
+        _ => Response::Hello(HelloResponse {
+            id: random_string(rng),
+            server: random_string(rng),
+            version: rng.below(1 << 16) as u32,
+            versions: (0..1 + rng.below(4)).map(|_| rng.below(1 << 16) as u32).collect(),
+            ops: (0..rng.below(5)).map(|_| random_string(rng)).collect(),
+        }),
+    }
+}
+
+#[test]
+fn responses_of_every_shape_round_trip_through_the_wire() {
+    propcheck("typed response wire round-trip", |rng| {
+        let response = random_response(rng);
+        let line = response.to_json();
+        let parsed = Response::parse(&line).unwrap_or_else(|e| panic!("parse {line}: {e:?}"));
+        assert_eq!(parsed, response, "line: {line}");
+        assert_eq!(parsed.id(), response.id());
+    });
+}
+
+/// A random request of every op, matching what [`Request::to_json`] can
+/// express.
+fn random_request(rng: &mut Rng64) -> Request {
+    match rng.below(7) {
+        0 => Request::Solve(SolveRequest {
+            id: random_string(rng),
+            kind: random_kind(rng),
+            platform: random_platform(rng),
+            options: random_options(rng),
+            want_schedule: rng.below(2) == 1,
+        }),
+        1 => Request::SolveBatch(BatchRequest {
+            id: random_string(rng),
+            platform: random_platform(rng),
+            variants: (0..1 + rng.below(4))
+                .map(|_| BatchVariantRequest {
+                    kind: random_kind(rng),
+                    options: random_options(rng),
+                    want_schedule: rng.below(2) == 1,
+                })
+                .collect(),
+        }),
+        2 => Request::Ping { id: random_string(rng) },
+        3 => Request::Stats { id: random_string(rng) },
+        4 => Request::Metrics { id: random_string(rng) },
+        5 => Request::Shutdown { id: random_string(rng) },
+        _ => Request::Hello {
+            id: random_string(rng),
+            max_version: if rng.below(2) == 0 { None } else { Some(1 + rng.below(16) as u32) },
+        },
+    }
+}
+
+#[test]
+fn requests_of_every_op_round_trip_through_the_wire() {
+    propcheck("typed request wire round-trip", |rng| {
+        let req = random_request(rng);
+        let line = req.to_json();
+        let parsed = parse_request(&line).unwrap_or_else(|e| panic!("parse_request {line}: {e:?}"));
+        // The serializers canonicalize platform member order (the batch
+        // platform is the registry preimage), so value equality is modulo
+        // that; the wire form itself must be a fixpoint.
+        assert_eq!(parsed.to_json(), line, "serialize→parse→serialize must be a fixpoint");
+        assert_eq!(parsed.id(), req.id());
+        match (&parsed, &req) {
+            (Request::Solve(p), Request::Solve(r)) => {
+                assert_eq!(
+                    canonical_json(&p.platform),
+                    canonical_json(&r.platform),
+                    "line: {line}"
+                );
+                assert_eq!(
+                    (&p.kind, &p.options, p.want_schedule),
+                    (&r.kind, &r.options, r.want_schedule)
+                );
+            }
+            (Request::SolveBatch(p), Request::SolveBatch(r)) => {
+                assert_eq!(
+                    canonical_json(&p.platform),
+                    canonical_json(&r.platform),
+                    "line: {line}"
+                );
+                assert_eq!(p.variants, r.variants, "line: {line}");
+            }
+            _ => assert_eq!(parsed, req, "line: {line}"),
+        }
     });
 }

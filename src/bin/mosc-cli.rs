@@ -226,6 +226,7 @@ const USAGE: &str = "usage:
   mosc-cli profile SPEC.json
   mosc-cli serve   [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--deadline-ms MS]
                    [--access-log FILE] [--slow-ms MS] [--timeline FILE] [--timeline-window-ms MS]
+                   [--frontend threads|evloop] [--idle-timeout-ms MS]
   mosc-cli client  [--addr HOST:PORT] [--batch]  (stdin request lines -> stdout response lines;
                    --batch folds solve lines sharing one platform into a single solve_batch)
   mosc-cli stats   [--addr HOST:PORT] [--watch] [--interval-ms MS] [--count N]
@@ -629,43 +630,55 @@ fn analyze(args: &Args) -> Result<ExitCode, CliError> {
 /// `mosc-cli serve`: run the solve daemon until a `shutdown` op arrives,
 /// then drain and exit.
 fn serve(args: &Args) -> Result<ExitCode, CliError> {
-    let opts = mosc::serve::ServeOptions {
-        addr: args.flag("--addr").unwrap_or("127.0.0.1:7070").to_owned(),
-        workers: args.parse_or("--workers", 0usize)?,
-        queue_capacity: args.parse_or("--queue", 64usize)?,
-        cache_capacity: args.parse_or("--cache", 128usize)?,
-        default_deadline: match args.flag("--deadline-ms") {
-            None => None,
-            Some(s) => {
-                let ms: f64 = s.parse().map_err(|_| {
-                    CliError::Usage(format!("cannot parse --deadline-ms value '{s}'"))
-                })?;
-                if !ms.is_finite() || ms < 0.0 {
-                    return Err(CliError::Usage("--deadline-ms must be >= 0".into()));
-                }
-                Some(std::time::Duration::from_secs_f64(ms / 1e3))
-            }
-        },
-        access_log: args.flag("--access-log").map(str::to_owned),
-        slow_threshold: {
+    let addr = args.flag("--addr").unwrap_or("127.0.0.1:7070").to_owned();
+    let mut builder = mosc::serve::Server::builder()
+        .addr(addr.clone())
+        .workers(args.parse_or("--workers", 0usize)?)
+        .queue_capacity(args.parse_or("--queue", 64usize)?)
+        .cache_capacity(args.parse_or("--cache", 128usize)?)
+        .frontend(match args.flag("--frontend") {
+            None => mosc::serve::Frontend::default(),
+            Some(s) => s.parse().map_err(CliError::Usage)?,
+        })
+        .slow_threshold({
             let ms: f64 = args.parse_or("--slow-ms", 100.0)?;
             if !ms.is_finite() || ms < 0.0 {
                 return Err(CliError::Usage("--slow-ms must be >= 0".into()));
             }
             std::time::Duration::from_secs_f64(ms / 1e3)
-        },
-        timeline: args.flag("--timeline").map(str::to_owned),
-        timeline_window: {
+        })
+        .timeline_window({
             let ms: f64 = args.parse_or("--timeline-window-ms", 1000.0)?;
             if !ms.is_finite() || ms <= 0.0 {
                 return Err(CliError::Usage("--timeline-window-ms must be > 0".into()));
             }
             std::time::Duration::from_secs_f64(ms / 1e3)
-        },
-    };
-    let addr = opts.addr.clone();
-    let server = mosc::serve::Server::bind(opts)
-        .map_err(|e| CliError::Io(format!("cannot bind {addr}: {e}")))?;
+        });
+    if let Some(s) = args.flag("--deadline-ms") {
+        let ms: f64 = s
+            .parse()
+            .map_err(|_| CliError::Usage(format!("cannot parse --deadline-ms value '{s}'")))?;
+        if !ms.is_finite() || ms < 0.0 {
+            return Err(CliError::Usage("--deadline-ms must be >= 0".into()));
+        }
+        builder = builder.default_deadline(std::time::Duration::from_secs_f64(ms / 1e3));
+    }
+    if let Some(s) = args.flag("--idle-timeout-ms") {
+        let ms: f64 = s
+            .parse()
+            .map_err(|_| CliError::Usage(format!("cannot parse --idle-timeout-ms value '{s}'")))?;
+        if !ms.is_finite() || ms <= 0.0 {
+            return Err(CliError::Usage("--idle-timeout-ms must be > 0".into()));
+        }
+        builder = builder.idle_timeout(std::time::Duration::from_secs_f64(ms / 1e3));
+    }
+    if let Some(path) = args.flag("--access-log") {
+        builder = builder.access_log(path);
+    }
+    if let Some(path) = args.flag("--timeline") {
+        builder = builder.timeline(path);
+    }
+    let server = builder.bind().map_err(|e| CliError::Io(format!("cannot bind {addr}: {e}")))?;
     println!("mosc-serve listening on {}", server.local_addr());
     // Scripts wait for the line above before connecting.
     let _ = std::io::stdout().flush();
@@ -722,7 +735,7 @@ fn client_batch(
     responses: &mut std::io::BufReader<std::net::TcpStream>,
     addr: &str,
 ) -> Result<ExitCode, CliError> {
-    use mosc::serve::proto::{batch_request_to_json, canonical_json};
+    use mosc::serve::proto::canonical_json;
     use mosc::serve::{BatchRequest, BatchVariantRequest, Request};
     let mut batch: Option<BatchRequest> = None;
     let mut shared_platform = String::new();
@@ -772,7 +785,7 @@ fn client_batch(
     let Some(batch) = batch else {
         return Err(CliError::Usage("--batch got no request lines on stdin".into()));
     };
-    let mut line = batch_request_to_json(&batch);
+    let mut line = Request::SolveBatch(batch.clone()).to_json();
     line.push('\n');
     stream
         .write_all(line.as_bytes())
@@ -893,7 +906,8 @@ fn stats(args: &Args) -> Result<ExitCode, CliError> {
     let mut client = WireClient::connect(addr)?;
     let mut served = 0u64;
     loop {
-        let doc = client.request("{\"op\":\"stats\",\"id\":\"cli-stats\"}")?;
+        let doc = client
+            .request(&mosc::serve::Request::Stats { id: "cli-stats".to_owned() }.to_json())?;
         let stats = doc
             .get("stats")
             .ok_or_else(|| CliError::Other(format!("{addr}: stats response has no payload")))?;
@@ -919,7 +933,8 @@ fn stats(args: &Args) -> Result<ExitCode, CliError> {
 fn metrics(args: &Args) -> Result<ExitCode, CliError> {
     let addr = args.flag("--addr").unwrap_or("127.0.0.1:7070");
     let mut client = WireClient::connect(addr)?;
-    let doc = client.request("{\"op\":\"metrics\",\"id\":\"cli-metrics\"}")?;
+    let doc = client
+        .request(&mosc::serve::Request::Metrics { id: "cli-metrics".to_owned() }.to_json())?;
     let text = doc
         .get("metrics")
         .and_then(mosc::analyze::json::Value::as_str)
