@@ -123,10 +123,12 @@ echo "$stats_out" | grep -q 'p999' \
 echo "$stats_out" | grep -q 'queue' \
     || { echo "observability smoke: stats summary missing queue depth" >&2; exit 1; }
 ./target/release/mosc-cli metrics --addr "$obs_addr" > target/bench/serve_metrics.txt
-# Every exposition line is a comment or `name[{labels}] value` ...
+# Every exposition line is a comment or `name[{labels}] value`, with an
+# optional OpenMetrics exemplar suffix (` # {trace_id="..."} value`) on
+# histogram buckets ...
 awk '
     /^#/ { next }
-    /^mosc_serve_[a-z0-9_]+(\{[^}]*\})? ([0-9eE+.-]+|\+Inf)$/ { ok++; next }
+    /^mosc_serve_[a-z0-9_]+(\{[^}]*\})? ([0-9eE+.-]+|\+Inf)( # \{trace_id="[0-9a-f]+"\} [0-9eE+.-]+)?$/ { ok++; next }
     { print "bad exposition line: " $0 > "/dev/stderr"; bad++ }
     END { exit (bad > 0 || ok == 0) }
 ' target/bench/serve_metrics.txt \
@@ -288,17 +290,121 @@ test -n "$bt_speedup" || { echo "BENCH_batch.json missing speedup_x" >&2; exit 1
 awk "BEGIN { exit !($bt_speedup >= 3.0) }" \
     || { echo "batch bench: warm speedup ${bt_speedup}x below the 3x sanity floor" >&2; exit 1; }
 
+echo "==> distributed-tracing smoke (v1+v2 clients, flight dumps, exemplars, waterfall, M12x)"
+tr_access=target/bench/trace_access.jsonl
+tr_flight=target/bench/trace_flight.jsonl
+tr_log=target/bench/trace_daemon.log
+# Flight recorder armed (--flight-dump), every request "slow" so each one
+# leaves a ring snapshot behind, access log on for the trace identities.
+./target/release/mosc-cli serve --obs=json --addr 127.0.0.1:0 \
+    --access-log "$tr_access" --flight-dump "$tr_flight" --slow-ms 0 >"$tr_log" 2>&1 &
+tr_pid=$!
+for _ in $(seq 1 50); do
+    grep -q 'mosc-serve listening on' "$tr_log" && break
+    sleep 0.1
+done
+tr_addr=$(sed -n 's/^mosc-serve listening on //p' "$tr_log")
+test -n "$tr_addr" || { echo "trace smoke: daemon never announced its address" >&2; exit 1; }
+# A v1 client first: no trace member on the wire, and the response must be
+# byte-compatible with the pre-trace protocol.
+v1_out=$(printf '%s\n' "{\"id\":\"v1req\",\"solver\":\"ao\",\"platform\":$smoke_platform}" \
+    | ./target/release/mosc-cli client --addr "$tr_addr")
+echo "$v1_out" | grep -q '"id":"v1req","status":"ok"' \
+    || { echo "trace smoke: v1 client request failed" >&2; echo "$v1_out" >&2; exit 1; }
+if echo "$v1_out" | grep -q '"trace"'; then
+    echo "trace smoke: v1 response unexpectedly grew a trace member" >&2; exit 1
+fi
+# A v2 client: --trace originates a context per request and prints the
+# minted trace id to stderr — the id this whole section follows around.
+tr_err=target/bench/trace_client.err
+printf '%s\n' "{\"id\":\"t1\",\"solver\":\"ao\",\"platform\":$smoke_platform}" \
+    | ./target/release/mosc-cli client --addr "$tr_addr" --trace \
+    > target/bench/trace_client.out 2>"$tr_err"
+grep -q '"id":"t1","status":"ok"' target/bench/trace_client.out \
+    || { echo "trace smoke: v2 client request failed" >&2; cat target/bench/trace_client.out >&2; exit 1; }
+trace_id=$(sed -n 's/^trace \([0-9a-f]\{32\}\).*/\1/p' "$tr_err" | head -n 1)
+test -n "$trace_id" || { echo "trace smoke: client printed no trace id" >&2; cat "$tr_err" >&2; exit 1; }
+# The trace id must reach at least one histogram exemplar in the
+# exposition before any later request can displace it from its bucket.
+./target/release/mosc-cli metrics --addr "$tr_addr" > target/bench/trace_metrics.txt
+grep -q "# {trace_id=\"$trace_id\"}" target/bench/trace_metrics.txt \
+    || { echo "trace smoke: exposition has no exemplar for trace $trace_id" >&2; exit 1; }
+# A traced solve_batch: every variant entry must continue one trace.
+tb_err=target/bench/trace_batch.err
+batch_lines | ./target/release/mosc-cli client --batch --addr "$tr_addr" --trace \
+    > target/bench/trace_batch.out 2>"$tb_err"
+test "$(grep -c '"status":"ok"' target/bench/trace_batch.out)" -eq 2 \
+    || { echo "trace smoke: traced batch did not answer both variants" >&2; cat target/bench/trace_batch.out >&2; exit 1; }
+batch_trace=$(sed -n 's/^trace \([0-9a-f]\{32\}\).*/\1/p' "$tb_err" | head -n 1)
+test -n "$batch_trace" || { echo "trace smoke: batch client printed no trace id" >&2; cat "$tb_err" >&2; exit 1; }
+# Force a deadline-exceeded anomaly: an already-expired deadline trips the
+# queued-deadline check, which snapshots the flight ring with reason
+# "deadline". The reader thread answers cache hits before the queue, so
+# the request carries a threads value no earlier request used — threads is
+# part of the cache key — guaranteeing a miss and a real enqueue.
+printf '%s\n' "{\"id\":\"tdl\",\"solver\":\"ao\",\"platform\":$smoke_platform,\"options\":{\"deadline_ms\":0,\"threads\":777}}" \
+    | ./target/release/mosc-cli client --addr "$tr_addr" --trace \
+    > target/bench/trace_deadline.out 2>/dev/null
+grep -q '"kind":"deadline"' target/bench/trace_deadline.out \
+    || { echo "trace smoke: expired deadline not answered with a deadline error" >&2; cat target/bench/trace_deadline.out >&2; exit 1; }
+printf '%s\n' '{"id":"bye","op":"shutdown"}' \
+    | ./target/release/mosc-cli client --addr "$tr_addr" >/dev/null
+wait "$tr_pid" || { echo "trace smoke: daemon exited non-zero" >&2; cat "$tr_log" >&2; exit 1; }
+# The v2 trace id appears verbatim in the access log ...
+grep -q "\"trace_id\":\"$trace_id\"" "$tr_access" \
+    || { echo "trace smoke: trace $trace_id missing from the access log" >&2; exit 1; }
+# ... in every variant entry of the batch dispatch, all sharing one parent
+# (the dispatch span) ...
+test "$(grep -c "\"trace_id\":\"$batch_trace\"" "$tr_access")" -ge 2 \
+    || { echo "trace smoke: batch variants did not continue trace $batch_trace" >&2; exit 1; }
+batch_parents=$(grep "\"trace_id\":\"$batch_trace\"" "$tr_access" \
+    | sed -n 's/.*"parent_id":"\([0-9a-f]*\)".*/\1/p' | sort -u | wc -l)
+test "$batch_parents" -eq 1 \
+    || { echo "trace smoke: batch variants disagree on their dispatch parent" >&2; exit 1; }
+# ... and in a flight dump, including the forced deadline dump.
+grep -q '"type":"flight_dump"' "$tr_flight" \
+    || { echo "trace smoke: no flight dump was written" >&2; exit 1; }
+grep -q '"reason":"deadline"' "$tr_flight" \
+    || { echo "trace smoke: the deadline anomaly left no flight dump" >&2; exit 1; }
+grep -q "$trace_id" "$tr_flight" \
+    || { echo "trace smoke: trace $trace_id missing from the flight dumps" >&2; exit 1; }
+# The joined waterfall renders the trace from those artifacts ...
+./target/release/mosc-cli trace "$tr_access" "$tr_flight" --trace-id "$trace_id" \
+    > target/bench/trace_waterfall.txt
+grep -q "trace $trace_id" target/bench/trace_waterfall.txt \
+    || { echo "trace smoke: waterfall did not render trace $trace_id" >&2; cat target/bench/trace_waterfall.txt >&2; exit 1; }
+grep -q 'span ' target/bench/trace_waterfall.txt \
+    || { echo "trace smoke: waterfall has no span rows" >&2; exit 1; }
+./target/release/mosc-cli trace "$tr_access" "$tr_flight" --format json \
+    | grep -q "\"trace_id\":\"$batch_trace\"" \
+    || { echo "trace smoke: JSON join lost the batch trace" >&2; exit 1; }
+# ... and the whole story passes deny-mode M120-M124 (plus the M06x-M11x
+# lints the artifacts already answer to).
+./target/release/mosc-cli analyze -D warnings "$tr_access" "$tr_flight" \
+    || { echo "trace smoke: artifacts failed the deny-mode M12x lints" >&2; exit 1; }
+
+echo "==> tracing-overhead guard (BENCH_trace.json, traced vs untraced p50)"
+# One arrival schedule replayed twice against an in-process daemon —
+# tracing off, then on; the p50 ratio lands in the compare-gated artifact.
+./target/release/loadgen --rate 150 --duration 1.2 --warmup 0.3 --conns 2 --seed 42 \
+    --trace-overhead --csv target/bench --artifact BENCH_trace.json >/dev/null \
+    || { echo "trace overhead: generator failed" >&2; exit 1; }
+grep -q '"type":"trace_overhead"' target/bench/BENCH_trace.json \
+    || { echo "BENCH_trace.json missing the trace_overhead record" >&2; exit 1; }
+grep -q '"mode":"open_traced"' target/bench/BENCH_trace.json \
+    || { echo "BENCH_trace.json missing the traced run" >&2; exit 1; }
+
 echo "==> deny-mode analyze over every produced artifact (incl. M10x bench lints)"
 for artifact in target/bench/BENCH_periodmap.json target/bench/BENCH_serve.json \
     target/bench/BENCH_loadgen.json target/bench/BENCH_evloop.json \
-    target/bench/BENCH_batch.json "$lg_timeline"; do
+    target/bench/BENCH_batch.json target/bench/BENCH_trace.json "$lg_timeline"; do
     ./target/release/mosc-cli analyze -D warnings "$artifact" \
         || { echo "deny-mode analyze failed on $artifact" >&2; exit 1; }
 done
 
 echo "==> bench baseline comparison (benches/baseline, direction-aware)"
 cargo build -q --release -p mosc-bench --bin compare
-for bench in BENCH_loadgen.json BENCH_evloop.json BENCH_batch.json; do
+for bench in BENCH_loadgen.json BENCH_evloop.json BENCH_batch.json BENCH_trace.json; do
     if [ "$DENY" -eq 1 ]; then
         ./target/release/compare "benches/baseline/$bench" "target/bench/$bench" \
             || { echo "baseline compare: regression past threshold in $bench (deny mode)" >&2; exit 1; }

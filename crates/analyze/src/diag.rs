@@ -31,7 +31,9 @@ impl fmt::Display for Severity {
 /// `M050`–`M054` telemetry, `M060`–`M062` serve telemetry, `M070`–`M073`
 /// serve access log, `M080`–`M083` cross-artifact consistency,
 /// `M090`–`M093` concurrency/trace invariants, `M100`–`M104` bench
-/// artifacts, `M110`–`M111` platform-registry/batch consistency.
+/// artifacts, `M110`–`M111` platform-registry/batch consistency,
+/// `M120`–`M124` distributed tracing (wire trace ids, flight dumps,
+/// exemplars).
 ///
 /// DESIGN.md §7 maps each code to the paper theorem or equation it enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -196,6 +198,29 @@ pub enum Code {
     /// One batch is one resolve, so disagreement means the attribution (or
     /// the batching) is broken.
     BatchRegistryDisagreement,
+    /// M120 — an access entry's trace identity is malformed: `trace_id` is
+    /// not 32 lowercase hex digits (or is zero), `span_id`/`parent_id` are
+    /// not 16 lowercase hex digits (or the span id is zero), or only part
+    /// of the identity triple is present.
+    TraceFieldMalformed,
+    /// M121 — span identity conflicts within one trace: a span id appears
+    /// on two different access entries of the same trace, or an entry
+    /// claims to be its own parent.
+    TraceSpanConflict,
+    /// M122 — the variants of one `solve_batch` disagree about their trace:
+    /// every variant of a batch is a child of one dispatch span, so all of
+    /// them must share one `trace_id` and one `parent_id`.
+    BatchTraceDisagreement,
+    /// M123 — a `flight_dump` line's ring accounting is broken: entry
+    /// sequence numbers are not strictly increasing, a sequence number is
+    /// at or past `head`, `dropped` differs from `max(0, head − capacity)`,
+    /// or the dump holds more entries than `min(head, capacity)`.
+    FlightDumpBroken,
+    /// M124 — a histogram exemplar does not join: a `hist_snapshot`
+    /// exemplar's trace id matches no access entry in the same log, so the
+    /// metric points at a request the log never saw. Exemplars are
+    /// last-writer-wins and logs can rotate, hence a warning.
+    ExemplarUnjoined,
 }
 
 impl Code {
@@ -252,6 +277,11 @@ impl Code {
             Self::BenchSweepNonMonotone => "M104",
             Self::RegistryWarmRecompute => "M110",
             Self::BatchRegistryDisagreement => "M111",
+            Self::TraceFieldMalformed => "M120",
+            Self::TraceSpanConflict => "M121",
+            Self::BatchTraceDisagreement => "M122",
+            Self::FlightDumpBroken => "M123",
+            Self::ExemplarUnjoined => "M124",
         }
     }
 
@@ -308,6 +338,11 @@ impl Code {
         Self::BenchSweepNonMonotone,
         Self::RegistryWarmRecompute,
         Self::BatchRegistryDisagreement,
+        Self::TraceFieldMalformed,
+        Self::TraceSpanConflict,
+        Self::BatchTraceDisagreement,
+        Self::FlightDumpBroken,
+        Self::ExemplarUnjoined,
     ];
 
     /// Parses a stable `M0xx` string back into its code.
@@ -340,7 +375,8 @@ impl Code {
             | Self::KernelDeltaInconsistent
             | Self::BenchRateCollapse
             | Self::BenchSweepNonMonotone
-            | Self::BatchRegistryDisagreement => Severity::Warning,
+            | Self::BatchRegistryDisagreement
+            | Self::ExemplarUnjoined => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -504,7 +540,7 @@ mod tests {
 
     #[test]
     fn codes_are_stable_and_unique() {
-        assert_eq!(Code::ALL.len(), 49);
+        assert_eq!(Code::ALL.len(), 54);
         let mut seen = std::collections::HashSet::new();
         for &c in Code::ALL {
             assert!(seen.insert(c.as_str()), "duplicate code string {c}");
@@ -525,6 +561,11 @@ mod tests {
         assert_eq!(Code::BenchSweepNonMonotone.as_str(), "M104");
         assert_eq!(Code::RegistryWarmRecompute.as_str(), "M110");
         assert_eq!(Code::BatchRegistryDisagreement.as_str(), "M111");
+        assert_eq!(Code::TraceFieldMalformed.as_str(), "M120");
+        assert_eq!(Code::TraceSpanConflict.as_str(), "M121");
+        assert_eq!(Code::BatchTraceDisagreement.as_str(), "M122");
+        assert_eq!(Code::FlightDumpBroken.as_str(), "M123");
+        assert_eq!(Code::ExemplarUnjoined.as_str(), "M124");
         assert_eq!(Code::parse("M999"), None);
     }
 

@@ -153,7 +153,7 @@ impl Lint for TracePass {
         "trace"
     }
     fn description(&self) -> &'static str {
-        "concurrency and trace invariants over access logs (M090–M093)"
+        "concurrency and distributed-trace invariants over access logs (M090–M093, M120–M124)"
     }
     fn run(&self, artifacts: &Artifacts, report: &mut Report) {
         per_file(artifacts, report, |kind, sub| {

@@ -30,7 +30,10 @@ use mosc_bench::record::{BenchLog, RunMeta};
 use mosc_bench::{csv_dir_from_args, timed, Table};
 use mosc_core::reactive::GovernorOptions;
 use mosc_core::{SolveOptions, SolverKind};
-use mosc_serve::{BatchRequest, BatchVariantRequest, Request, Server, SolveRequest};
+use mosc_serve::{
+    fresh_span_id, fresh_trace_id, BatchRequest, BatchVariantRequest, Request, Server,
+    SolveRequest, TraceContext,
+};
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -66,6 +69,13 @@ fn solve_options(threads: usize) -> SolveOptions {
     }
 }
 
+/// Every bench request originates a fresh root trace context, so the
+/// daemon's trace-continuation path (including per-variant fan-out) is on
+/// the measured path, exactly as a v2 client would drive it.
+fn origin() -> TraceContext {
+    TraceContext { trace_id: fresh_trace_id(), parent_id: fresh_span_id() }
+}
+
 fn solve_line(id: &str, threads: usize) -> String {
     Request::Solve(SolveRequest {
         id: id.to_owned(),
@@ -73,6 +83,7 @@ fn solve_line(id: &str, threads: usize) -> String {
         platform: platform(),
         options: solve_options(threads),
         want_schedule: false,
+        trace: Some(origin()),
     })
     .to_json()
 }
@@ -88,6 +99,7 @@ fn batch_line(id: &str, threads0: usize) -> String {
                 want_schedule: false,
             })
             .collect(),
+        trace: Some(origin()),
     })
     .to_json()
 }

@@ -35,6 +35,13 @@
 //! after the last run or the generator exits nonzero; the count is
 //! recorded as `idle_conns` on every bench record.
 //!
+//! `--trace` originates a fresh v2 trace context (random 128-bit trace id
+//! plus a root span id) on every request, exercising the daemon's trace
+//! continuation path end to end. `--trace-overhead` runs every rate twice —
+//! tracing off, then on — and emits a `{"type":"trace_overhead",...}`
+//! record whose `trace_overhead_x` (traced p50 over untraced p50) is
+//! compare-gated against the checked-in `BENCH_trace.json` baseline.
+//!
 //! `--repeat-platform` switches the traffic shape from "four distinct
 //! cache keys" to "one platform forever": every arrival is a `solve_batch`
 //! request against the same platform with a cycling `threads` option, so
@@ -49,7 +56,10 @@ use mosc_bench::record::{BenchLog, RunMeta};
 use mosc_bench::{csv_dir_from_args, Table};
 use mosc_core::{SolveOptions, SolverKind};
 use mosc_obs::Timeline;
-use mosc_serve::{BatchRequest, BatchVariantRequest, Frontend, Request, Server, SolveRequest};
+use mosc_serve::{
+    fresh_span_id, fresh_trace_id, BatchRequest, BatchVariantRequest, Frontend, Request, Server,
+    SolveRequest, TraceContext,
+};
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Read as _, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -77,13 +87,20 @@ fn smoke_options() -> SolveOptions {
     SolveOptions { max_m: 64, m_patience: 4, t_unit_divisor: 50, ..SolveOptions::default() }
 }
 
-fn request_line(id: &str, t_max_c: f64) -> String {
+/// Mints a fresh root trace context when tracing is on; `None` keeps the
+/// request line byte-identical to the pre-v2 wire form.
+fn origin(trace: bool) -> Option<TraceContext> {
+    trace.then(|| TraceContext { trace_id: fresh_trace_id(), parent_id: fresh_span_id() })
+}
+
+fn request_line(id: &str, t_max_c: f64, trace: bool) -> String {
     Request::Solve(SolveRequest {
         id: id.to_owned(),
         kind: SolverKind::Ao,
         platform: smoke_platform(t_max_c),
         options: smoke_options(),
         want_schedule: false,
+        trace: origin(trace),
     })
     .to_json()
 }
@@ -92,7 +109,7 @@ fn request_line(id: &str, t_max_c: f64) -> String {
 /// fixed platform. `threads` cycles 1..=8 — it is part of the cache key but
 /// does not change the math, so the first eight arrivals are real solves on
 /// the interned platform and the rest are solution-cache hits.
-fn batch_request_line(id: &str, k: usize) -> String {
+fn batch_request_line(id: &str, k: usize, trace: bool) -> String {
     Request::SolveBatch(BatchRequest {
         id: id.to_owned(),
         platform: smoke_platform(55.0),
@@ -101,6 +118,7 @@ fn batch_request_line(id: &str, k: usize) -> String {
             options: SolveOptions { threads: k % 8 + 1, ..smoke_options() },
             want_schedule: false,
         }],
+        trace: origin(trace),
     })
     .to_json()
 }
@@ -216,6 +234,7 @@ fn verify_idle_conns(conns: &mut [TcpStream]) -> usize {
 
 /// One connection's work: a writer thread pacing the schedule and a
 /// reader thread matching responses by id against intended send times.
+#[allow(clippy::too_many_arguments)]
 fn run_connection(
     addr: SocketAddr,
     conn: usize,
@@ -224,6 +243,7 @@ fn run_connection(
     timeline: &Timeline,
     in_flight: &AtomicU64,
     repeat_platform: bool,
+    trace: bool,
 ) -> (Vec<Sample>, usize) {
     let stream = TcpStream::connect(addr).expect("connect");
     stream.set_nodelay(true).expect("TCP_NODELAY");
@@ -240,9 +260,9 @@ fn run_connection(
                 }
                 let id = format!("c{conn}-{k}");
                 let mut line = if repeat_platform {
-                    batch_request_line(&id, k)
+                    batch_request_line(&id, k, trace)
                 } else {
-                    request_line(&id, T_MAX_VARIANTS[k % T_MAX_VARIANTS.len()])
+                    request_line(&id, T_MAX_VARIANTS[k % T_MAX_VARIANTS.len()], trace)
                 };
                 line.push('\n');
                 in_flight.fetch_add(1, Ordering::Relaxed);
@@ -331,6 +351,7 @@ fn run_open_loop(
     seed: u64,
     window_s: f64,
     repeat_platform: bool,
+    trace: bool,
 ) -> RunResult {
     let schedule = arrival_schedule(process, rate, duration_s, seed);
     let arrivals = schedule.len();
@@ -350,7 +371,16 @@ fn run_open_loop(
             .map(|(conn, sched)| {
                 let (timeline, in_flight) = (&timeline, &in_flight);
                 scope.spawn(move || {
-                    run_connection(addr, conn, sched, start, timeline, in_flight, repeat_platform)
+                    run_connection(
+                        addr,
+                        conn,
+                        sched,
+                        start,
+                        timeline,
+                        in_flight,
+                        repeat_platform,
+                        trace,
+                    )
                 })
             })
             .collect();
@@ -388,6 +418,7 @@ fn run_open_loop(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn bench_record(
     r: &RunResult,
     process: ArrivalProcess,
@@ -395,10 +426,17 @@ fn bench_record(
     conns: usize,
     repeat_platform: bool,
     idle_conns: usize,
+    trace: bool,
 ) -> String {
-    // A distinct mode keeps repeat-platform records from colliding with the
-    // default traffic shape under `compare`'s (mode, process, rate) identity.
-    let mode = if repeat_platform { "open_repeat" } else { "open" };
+    // A distinct mode keeps repeat-platform (and traced) records from
+    // colliding with the default traffic shape under `compare`'s
+    // (mode, process, rate) identity.
+    let mode = match (repeat_platform, trace) {
+        (true, false) => "open_repeat",
+        (true, true) => "open_repeat_traced",
+        (false, false) => "open",
+        (false, true) => "open_traced",
+    };
     let mut line = String::new();
     let _ = write!(
         line,
@@ -436,6 +474,11 @@ struct Args {
     window_s: f64,
     sweep: Vec<f64>,
     repeat_platform: bool,
+    /// Originate a fresh v2 trace context on every request.
+    trace: bool,
+    /// Run each rate twice — tracing off then on — and emit a
+    /// `trace_overhead` record comparing the two p50s.
+    trace_overhead: bool,
     /// Extra connections opened before the first run and held idle (no
     /// traffic) until after the last; every one must still answer a ping
     /// at the end or the generator exits nonzero.
@@ -460,6 +503,8 @@ fn parse_args() -> Result<Args, String> {
         window_s: 0.25,
         sweep: Vec::new(),
         repeat_platform: false,
+        trace: false,
+        trace_overhead: false,
         idle_conns: 0,
         frontend: Frontend::default(),
         artifact: "BENCH_loadgen.json".to_owned(),
@@ -523,9 +568,19 @@ fn parse_args() -> Result<Args, String> {
                 }
                 out.artifact = name;
             }
-            // The only valueless flag: step past it alone.
+            // Valueless flags: step past them alone.
             "--repeat-platform" => {
                 out.repeat_platform = true;
+                i += 1;
+                continue;
+            }
+            "--trace" => {
+                out.trace = true;
+                i += 1;
+                continue;
+            }
+            "--trace-overhead" => {
+                out.trace_overhead = true;
                 i += 1;
                 continue;
             }
@@ -545,6 +600,9 @@ fn parse_args() -> Result<Args, String> {
     if out.conns == 0 {
         return Err("--conns must be at least 1".into());
     }
+    if out.trace_overhead && !out.sweep.is_empty() {
+        return Err("--trace-overhead and --sweep are mutually exclusive".into());
+    }
     Ok(out)
 }
 
@@ -555,7 +613,8 @@ fn main() {
             eprintln!(
                 "loadgen: {e}\nusage: loadgen [--addr HOST:PORT] [--rate R] [--duration S] \
                  [--warmup S] [--conns N] [--process poisson|uniform] [--seed N] \
-                 [--window S] [--sweep r1,r2,...] [--repeat-platform] [--idle-conns N] \
+                 [--window S] [--sweep r1,r2,...] [--repeat-platform] [--trace] \
+                 [--trace-overhead] [--idle-conns N] \
                  [--frontend threads|evloop] [--csv DIR] [--artifact NAME.json]"
             );
             std::process::exit(2);
@@ -601,6 +660,12 @@ fn main() {
     if args.repeat_platform {
         meta = meta.option("repeat_platform", true);
     }
+    if args.trace {
+        meta = meta.option("trace", true);
+    }
+    if args.trace_overhead {
+        meta = meta.option("trace_overhead", true);
+    }
     if args.idle_conns > 0 {
         meta = meta.option("idle_conns", args.idle_conns);
     }
@@ -634,51 +699,76 @@ fn main() {
     let mut knee_points: Vec<(f64, f64)> = Vec::new();
 
     for (i, &rate) in rates.iter().enumerate() {
-        let r = run_open_loop(
-            addr,
-            args.process,
-            rate,
-            args.duration_s,
-            args.warmup_s,
-            args.conns,
-            // Distinct seeds per sweep point, still fully deterministic.
-            args.seed.wrapping_add(i as u64),
-            args.window_s,
-            args.repeat_platform,
-        );
-        table.row(vec![
-            format!("{:.0}", r.offered),
-            format!("{:.0}", r.achieved),
-            r.measured.to_string(),
-            r.dropped.to_string(),
-            format!("{:.3}", r.hit_rate),
-            format!("{:.3}", r.p50_ms),
-            format!("{:.3}", r.p90_ms),
-            format!("{:.3}", r.p99_ms),
-            format!("{:.3}", r.p999_ms),
-            format!("{:.3}", r.max_ms),
-        ]);
-        log.push(&bench_record(
-            &r,
-            args.process,
-            args.seed.wrapping_add(i as u64),
-            args.conns,
-            args.repeat_platform,
-            args.idle_conns,
-        ));
-        if sweeping {
+        // Distinct seeds per sweep point, still fully deterministic; the
+        // overhead pair reuses one seed so both runs replay one schedule.
+        let seed = args.seed.wrapping_add(i as u64);
+        let modes: &[bool] = if args.trace_overhead { &[false, true] } else { &[args.trace] };
+        let mut p50s = Vec::with_capacity(modes.len());
+        for &trace in modes {
+            let r = run_open_loop(
+                addr,
+                args.process,
+                rate,
+                args.duration_s,
+                args.warmup_s,
+                args.conns,
+                seed,
+                args.window_s,
+                args.repeat_platform,
+                trace,
+            );
+            table.row(vec![
+                format!("{:.0}", r.offered),
+                format!("{:.0}", r.achieved),
+                r.measured.to_string(),
+                r.dropped.to_string(),
+                format!("{:.3}", r.hit_rate),
+                format!("{:.3}", r.p50_ms),
+                format!("{:.3}", r.p90_ms),
+                format!("{:.3}", r.p99_ms),
+                format!("{:.3}", r.p999_ms),
+                format!("{:.3}", r.max_ms),
+            ]);
+            log.push(&bench_record(
+                &r,
+                args.process,
+                seed,
+                args.conns,
+                args.repeat_platform,
+                args.idle_conns,
+                trace,
+            ));
+            if sweeping {
+                let mut line = String::new();
+                let _ = write!(
+                    line,
+                    "{{\"type\":\"sweep\",\"offered_req_per_s\":{:?},\
+                     \"achieved_req_per_s\":{:?},\"p50_ms\":{:?},\"p99_ms\":{:?},\
+                     \"p999_ms\":{:?}}}",
+                    r.offered, r.achieved, r.p50_ms, r.p99_ms, r.p999_ms
+                );
+                log.push(&line);
+                knee_points.push((r.offered, r.achieved));
+            } else if !args.trace_overhead {
+                log.push_block(&r.timeline_jsonl);
+            }
+            p50s.push(r.p50_ms);
+        }
+        if let [off, on] = p50s[..] {
+            let overhead_x = on / off.max(1e-6);
+            println!(
+                "tracing overhead at {rate:.0} req/s: p50 {off:.3} ms off -> {on:.3} ms on \
+                 ({overhead_x:.2}x)"
+            );
             let mut line = String::new();
             let _ = write!(
                 line,
-                "{{\"type\":\"sweep\",\"offered_req_per_s\":{:?},\
-                 \"achieved_req_per_s\":{:?},\"p50_ms\":{:?},\"p99_ms\":{:?},\
-                 \"p999_ms\":{:?}}}",
-                r.offered, r.achieved, r.p50_ms, r.p99_ms, r.p999_ms
+                "{{\"type\":\"trace_overhead\",\"process\":\"{}\",\
+                 \"offered_req_per_s\":{rate:?},\"p50_off_ms\":{off:?},\
+                 \"p50_on_ms\":{on:?},\"trace_overhead_x\":{overhead_x:?}}}",
+                args.process.name()
             );
             log.push(&line);
-            knee_points.push((r.offered, r.achieved));
-        } else {
-            log.push_block(&r.timeline_jsonl);
         }
     }
     println!("{}", table.render());

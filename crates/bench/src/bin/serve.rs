@@ -48,6 +48,7 @@ fn request_line(id: &str, t_max_c: f64) -> String {
             ..SolveOptions::default()
         },
         want_schedule: false,
+        trace: None,
     })
     .to_json()
 }

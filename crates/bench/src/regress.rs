@@ -44,6 +44,9 @@ const METRICS: &[(&str, Direction, f64)] = &[
     // The warm-batch speedup over per-request solves: wide band, because
     // the numerator is dominated by tiny warm-path times near clock noise.
     ("speedup_x", Direction::HigherIsBetter, 0.40),
+    // Traced-over-untraced p50 ratio: a ratio of two near-clock-noise
+    // medians, so only a doubling counts as a real tracing regression.
+    ("trace_overhead_x", Direction::LowerIsBetter, 1.00),
 ];
 
 /// One metric's movement between matched records.
@@ -215,6 +218,7 @@ fn identity_fields(ty: &str) -> Option<&'static [&'static str]> {
         "sweep" => Some(&["offered_req_per_s"]),
         "periodmap" => Some(&["m"]),
         "batch" => Some(&["mode", "variants"]),
+        "trace_overhead" => Some(&["process", "offered_req_per_s"]),
         _ => None,
     }
 }

@@ -63,6 +63,71 @@ pub(crate) fn bucket_index(v: f64) -> usize {
     idx.min(LOG_BUCKETS - 1)
 }
 
+/// The most recent `(trace id, value)` sample retained for one bucket —
+/// the `OpenMetrics` exemplar concept: a concrete request you can open when a
+/// bucket's count alone ("p99 is 40 ms") is not actionable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exemplar {
+    /// The distributed trace id of the exemplified sample (never 0).
+    pub trace_id: u128,
+    /// The sample value itself.
+    pub value: f64,
+}
+
+/// One bucket's exemplar slot: a tiny seqlock over three payload words, so
+/// concurrent stamps and reads stay `unsafe`-free and lock-free. `seq` is
+/// even when the payload is consistent (0 = never written) and odd while a
+/// writer is mid-stamp; a concurrent writer simply drops its stamp —
+/// exemplars are "most recent", not "every".
+#[derive(Debug)]
+struct ExemplarSlot {
+    seq: AtomicU64,
+    trace_hi: AtomicU64,
+    trace_lo: AtomicU64,
+    value_bits: AtomicU64,
+}
+
+impl ExemplarSlot {
+    const fn new() -> Self {
+        Self {
+            seq: AtomicU64::new(0),
+            trace_hi: AtomicU64::new(0),
+            trace_lo: AtomicU64::new(0),
+            value_bits: AtomicU64::new(0),
+        }
+    }
+
+    fn stamp(&self, trace_id: u128, value: f64) {
+        let s = self.seq.load(Ordering::Relaxed);
+        if s & 1 == 1 {
+            return;
+        }
+        if self.seq.compare_exchange(s, s + 1, Ordering::Acquire, Ordering::Relaxed).is_err() {
+            return;
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        self.trace_hi.store((trace_id >> 64) as u64, Ordering::Relaxed);
+        #[allow(clippy::cast_possible_truncation)]
+        self.trace_lo.store(trace_id as u64, Ordering::Relaxed);
+        self.value_bits.store(value.to_bits(), Ordering::Relaxed);
+        self.seq.store(s + 2, Ordering::Release);
+    }
+
+    fn load(&self) -> Option<Exemplar> {
+        let s1 = self.seq.load(Ordering::Acquire);
+        if s1 == 0 || s1 & 1 == 1 {
+            return None;
+        }
+        let trace_id = (u128::from(self.trace_hi.load(Ordering::Relaxed)) << 64)
+            | u128::from(self.trace_lo.load(Ordering::Relaxed));
+        let value = f64::from_bits(self.value_bits.load(Ordering::Relaxed));
+        if self.seq.load(Ordering::Acquire) != s1 {
+            return None;
+        }
+        Some(Exemplar { trace_id, value })
+    }
+}
+
 /// A fixed-layout, log-bucketed histogram. `const`-constructible, so it can
 /// be a `static` or an owned struct field; recording is lock-free and inert
 /// while the recorder is disabled.
@@ -75,6 +140,9 @@ pub struct LogHistogram {
     /// Min/max as ordered keys (see `metric::f64_to_ordered`).
     min_key: AtomicU64,
     max_key: AtomicU64,
+    /// Per-bucket most-recent exemplars (stamped only by
+    /// [`Self::record_traced`] with a nonzero trace id).
+    exemplars: [ExemplarSlot; LOG_BUCKETS],
 }
 
 impl LogHistogram {
@@ -84,12 +152,15 @@ impl LogHistogram {
     pub const fn new(name: &'static str) -> Self {
         #[allow(clippy::declare_interior_mutable_const)]
         const ZERO: AtomicU64 = AtomicU64::new(0);
+        #[allow(clippy::declare_interior_mutable_const)]
+        const EMPTY: ExemplarSlot = ExemplarSlot::new();
         Self {
             name,
             counts: [ZERO; LOG_BUCKETS],
             sum_bits: AtomicU64::new(0),
             min_key: AtomicU64::new(u64::MAX),
             max_key: AtomicU64::new(0),
+            exemplars: [EMPTY; LOG_BUCKETS],
         }
     }
 
@@ -102,10 +173,20 @@ impl LogHistogram {
     /// Records one sample (seconds, or any positive quantity). NaN samples
     /// are dropped. No-op while the recorder is disabled.
     pub fn record(&self, v: f64) {
+        self.record_traced(v, 0);
+    }
+
+    /// Records one sample and, when `trace_id` is nonzero, stamps it as the
+    /// bucket's most-recent exemplar. Same gating as [`Self::record`].
+    pub fn record_traced(&self, v: f64, trace_id: u128) {
         if !crate::enabled() || v.is_nan() {
             return;
         }
-        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        let idx = bucket_index(v);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        if trace_id != 0 {
+            self.exemplars[idx].stamp(trace_id, v);
+        }
         let mut cur = self.sum_bits.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + v).to_bits();
@@ -146,6 +227,21 @@ impl LogHistogram {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.counts.iter().all(|c| c.load(Ordering::Relaxed) == 0)
+    }
+
+    /// The most-recent exemplar of bucket `i`, when one was ever stamped.
+    #[must_use]
+    pub fn exemplar(&self, i: usize) -> Option<Exemplar> {
+        self.exemplars.get(i).and_then(ExemplarSlot::load)
+    }
+
+    /// Every stamped exemplar as `(bucket index, exemplar)`, ascending.
+    /// Separate from [`HistoSnapshot`] on purpose: snapshots are `Copy`
+    /// plain data that merge element-wise, while exemplars are per-instance
+    /// pointers into a trace store and do not merge.
+    #[must_use]
+    pub fn exemplars(&self) -> Vec<(usize, Exemplar)> {
+        (0..LOG_BUCKETS).filter_map(|i| self.exemplar(i).map(|e| (i, e))).collect()
     }
 }
 
@@ -354,8 +450,37 @@ mod tests {
         crate::disable();
         let h = LogHistogram::new("histo.inert");
         h.record(0.5);
+        h.record_traced(0.5, 42);
         assert!(h.is_empty());
         assert_eq!(h.snapshot().count, 0);
         assert_eq!(h.snapshot().quantile(0.5), None);
+        assert!(h.exemplars().is_empty(), "disabled record_traced must not stamp exemplars");
+    }
+
+    #[test]
+    fn exemplars_keep_the_most_recent_traced_sample_per_bucket() {
+        let _guard = test_lock::hold();
+        crate::enable();
+        let h = LogHistogram::new("histo.exemplars");
+        h.record(0.009); // untraced: counts, but no exemplar
+        assert!(h.exemplars().is_empty());
+        assert_eq!(bucket_index(0.008), bucket_index(0.009));
+        h.record_traced(0.008, 0xaaaa);
+        h.record_traced(0.009, 0xbbbb); // same bucket: replaces
+        h.record_traced(5.0, 0xcccc); // different bucket
+        h.record_traced(5.0, 0); // zero trace id: counts, no stamp
+        let ex = h.exemplars();
+        assert_eq!(ex.len(), 2);
+        let (i_fast, fast) = ex[0];
+        let (i_slow, slow) = ex[1];
+        assert!(i_fast < i_slow);
+        assert_eq!(fast.trace_id, 0xbbbb, "newest stamp wins within a bucket");
+        assert!((fast.value - 0.009).abs() < 1e-12);
+        assert_eq!(slow.trace_id, 0xcccc);
+        assert_eq!(h.exemplar(i_slow), Some(slow));
+        assert_eq!(h.exemplar(i_slow + 1), None);
+        // Counts are unaffected by tracing: five samples total.
+        assert_eq!(h.snapshot().count, 5);
+        crate::disable();
     }
 }

@@ -48,6 +48,7 @@
 //! ```
 
 mod event;
+mod flight;
 mod histo;
 mod metric;
 mod rate;
@@ -57,7 +58,10 @@ mod timeline;
 mod trace;
 
 pub use event::{event, FieldValue, MAX_EVENTS};
-pub use histo::{bucket_upper, HistoSnapshot, LogHistogram, LOG_BUCKETS};
+pub use flight::{
+    FlightEntry, FlightKind, FlightRecorder, FlightSnapshot, DEFAULT_FLIGHT_CAPACITY,
+};
+pub use histo::{bucket_upper, Exemplar, HistoSnapshot, LogHistogram, LOG_BUCKETS};
 pub use metric::{counter_value, Counter, CounterCell, Gauge, Histogram};
 pub use rate::RateWindow;
 pub use report::{EventRecord, HistSummary, SpanStats, Telemetry};

@@ -374,6 +374,81 @@ mod tests {
     }
 
     #[test]
+    fn leading_empty_windows_are_emitted() {
+        let t = Timeline::new(1.0);
+        t.record_at(2.5, 0.001, false); // the run starts idle: 0 and 1 close empty
+        let all = t.finish();
+        assert_eq!(all.iter().map(|w| w.index).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!((all[0].count(), all[1].count(), all[2].count()), (0, 0, 1));
+        assert!(all[0].start_s.abs() < 1e-12);
+        assert!((all[0].req_per_s()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trailing_empty_window_closes_at_finish() {
+        let t = Timeline::new(1.0);
+        t.record_at(0.5, 0.001, false);
+        t.depth_at(2.7, 0); // the run goes quiet; the clock advance closes 0 and 1
+        let all = t.finish();
+        assert_eq!(all.iter().map(|w| w.index).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(all[2].count(), 0); // trailing idle window is present, empty
+        let line = all[2].to_json_line();
+        assert!(!line.contains("inf") && !line.contains("NaN"), "{line}");
+    }
+
+    #[test]
+    fn boundary_exact_samples_open_the_next_window() {
+        let t = Timeline::new(0.5);
+        t.record_at(0.0, 0.001, false);
+        t.record_at(0.5, 0.002, false); // exactly on the edge: first instant of window 1
+        t.record_at(1.0, 0.003, false);
+        let all = t.finish();
+        let counts: Vec<(u64, u64)> = all.iter().map(|w| (w.index, w.count())).collect();
+        assert_eq!(counts, vec![(0, 1), (1, 1), (2, 1)]);
+        assert!((all[1].start_s - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backwards_clocks_never_panic_or_lose_samples() {
+        mosc_testutil::propcheck("timeline monotonic-clock regressions", |rng| {
+            let window_s = rng.gen_range(0.01..=1.0);
+            let t = Timeline::new(window_s);
+            let n = rng.gen_range(1..40usize);
+            let mut clock = 0.0f64;
+            let mut recorded = 0u64;
+            for _ in 0..n {
+                // A wobbling wall clock: mostly forward, sometimes a
+                // regression, occasionally a long stall. Stamps saturate at
+                // zero — a monotonic source never hands out negative time.
+                let delta = match rng.gen_range(0..10usize) {
+                    0..=5 => rng.gen_range(0.0..0.2),
+                    6 | 7 => -rng.gen_range(0.0..0.3),
+                    _ => rng.gen_range(1.0..40.0),
+                };
+                clock = (clock + delta).max(0.0);
+                if rng.gen_range(0..8usize) == 0 {
+                    t.depth_at(clock, rng.gen_range(0..32usize) as u64);
+                } else {
+                    t.record_at(clock, rng.gen_range(0.0..0.1), rng.gen_range(0..2usize) == 1);
+                    recorded += 1;
+                }
+            }
+            let all = t.finish();
+            // Backdated samples clamp forward, so none are ever dropped...
+            assert_eq!(all.iter().map(TimelineWindow::count).sum::<u64>(), recorded);
+            // ...and the window sequence never runs backwards.
+            for pair in all.windows(2) {
+                assert!(pair[0].index < pair[1].index, "indices must stay strictly increasing");
+            }
+            for w in &all {
+                assert!(w.count() == 0 || w.histo.max.is_finite());
+                let line = w.to_json_line();
+                assert!(!line.contains("inf") && !line.contains("NaN"), "{line}");
+            }
+        });
+    }
+
+    #[test]
     fn invalid_latencies_are_dropped() {
         let t = Timeline::new(1.0);
         t.record_at(0.1, f64::NAN, false);

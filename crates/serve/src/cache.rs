@@ -263,6 +263,7 @@ mod tests {
             platform: Value::parse(platform).unwrap(),
             options: SolveOptions::default(),
             want_schedule: false,
+            trace: None,
         };
         let a = mk(r#"{"rows":1,"cols":2,"levels":[0.6,1.3],"t_max_c":55.0}"#);
         let b = mk(r#"{"t_max_c":55.0,"levels":[0.6,1.3],"cols":2,"rows":1}"#);
@@ -292,6 +293,7 @@ mod tests {
                 .unwrap(),
             options: SolveOptions::default(),
             want_schedule: false,
+            trace: None,
         };
         let direct = cache_key(&req);
         let parts = cache_key_parts(&canonical_json(&req.platform), req.kind, &req.options);

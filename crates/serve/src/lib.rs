@@ -53,9 +53,9 @@ pub mod server;
 
 pub use cache::{cache_key, cache_key_parts, CacheKey, CachedSolve, LruCache};
 pub use proto::{
-    negotiate_version, parse_request, BatchRequest, BatchResponse, BatchVariantRequest, ErrorKind,
-    HelloResponse, Request, Response, SolveRequest, SolveResponse, PROTO_VERSION_MAX,
-    PROTO_VERSION_MIN,
+    fresh_span_id, fresh_trace_id, negotiate_version, parse_request, BatchRequest, BatchResponse,
+    BatchVariantRequest, ErrorKind, HelloResponse, Request, Response, SolveRequest, SolveResponse,
+    TraceContext, PROTO_VERSION_MAX, PROTO_VERSION_MIN,
 };
 pub use queue::{BoundedQueue, QueueFull};
 pub use server::{Frontend, ServeBuilder, ServeHandle, ServeOptions, ServeStats, Server};

@@ -18,7 +18,7 @@
 //! [`Gauge`]: mosc_obs::Gauge
 
 use mosc_core::SolverKind;
-use mosc_obs::{CounterCell, HistoSnapshot, LogHistogram, RateWindow};
+use mosc_obs::{CounterCell, Exemplar, HistoSnapshot, LogHistogram, RateWindow};
 use std::fmt::Write as _;
 
 /// Solve requests received (all ops except ping/stats/metrics/shutdown).
@@ -39,6 +39,10 @@ static DEADLINE_EXCEEDED: mosc_obs::Counter = mosc_obs::Counter::new("serve.dead
 static QUEUE_DEPTH: mosc_obs::Gauge = mosc_obs::Gauge::new("serve.queue_depth");
 /// Highest queue depth observed since start.
 static QUEUE_PEAK: mosc_obs::Gauge = mosc_obs::Gauge::new("serve.queue_peak");
+
+/// One named histogram snapshot plus its stamped `(bucket, exemplar)`
+/// pairs, as handed to the drain-time `hist_snapshot` serializer.
+pub(crate) type NamedSnapshot = (&'static str, HistoSnapshot, Vec<(usize, Exemplar)>);
 
 /// The three request phases measured per solve op.
 pub(crate) struct OpLatency {
@@ -199,11 +203,20 @@ impl ServeMetrics {
     // -- latency ----------------------------------------------------------
 
     /// Records one completed solve request's phase latencies (seconds).
-    pub(crate) fn record_solve(&self, kind: SolverKind, queue_wait: f64, service: f64, total: f64) {
+    /// A nonzero `trace_id` stamps each phase bucket's most-recent exemplar,
+    /// linking the exposition back to the access log.
+    pub(crate) fn record_solve(
+        &self,
+        kind: SolverKind,
+        queue_wait: f64,
+        service: f64,
+        total: f64,
+        trace_id: u128,
+    ) {
         let op = &self.solve[op_index(kind)];
-        op.queue_wait.record(queue_wait);
-        op.service.record(service);
-        op.total.record(total);
+        op.queue_wait.record_traced(queue_wait, trace_id);
+        op.service.record_traced(service, trace_id);
+        op.total.record_traced(total, trace_id);
     }
 
     /// Records one protocol-op (or parse-error) total latency.
@@ -222,21 +235,37 @@ impl ServeMetrics {
         merged
     }
 
-    /// Every non-empty latency histogram as `(name, snapshot)`, for the
-    /// drain-time `hist_snapshot` access-log lines.
-    pub(crate) fn latency_snapshots(&self) -> Vec<(&'static str, HistoSnapshot)> {
+    /// Every non-empty latency histogram as `(name, snapshot, exemplars)`,
+    /// for the drain-time `hist_snapshot` access-log lines.
+    pub(crate) fn latency_snapshots(&self) -> Vec<NamedSnapshot> {
         let mut out = Vec::new();
         for op in &self.solve {
             for h in [&op.queue_wait, &op.service, &op.total] {
                 if !h.is_empty() {
-                    out.push((h.name(), h.snapshot()));
+                    out.push((h.name(), h.snapshot(), h.exemplars()));
                 }
             }
         }
         if !self.proto.is_empty() {
-            out.push((self.proto.name(), self.proto.snapshot()));
+            out.push((self.proto.name(), self.proto.snapshot(), self.proto.exemplars()));
         }
         out
+    }
+
+    /// The exemplar of the highest non-empty total-latency bucket across
+    /// every solver kind: the slowest recently-traced solve, the one a
+    /// `stats` reader would want to open first. `None` until a traced solve
+    /// has been recorded.
+    pub(crate) fn slow_exemplar(&self) -> Option<Exemplar> {
+        let mut best: Option<(usize, Exemplar)> = None;
+        for op in &self.solve {
+            for (i, e) in op.total.exemplars() {
+                if best.as_ref().is_none_or(|&(bi, _)| i >= bi) {
+                    best = Some((i, e));
+                }
+            }
+        }
+        best.map(|(_, e)| e)
     }
 
     // -- exposition -------------------------------------------------------
@@ -294,13 +323,16 @@ impl ServeMetrics {
     }
 }
 
-/// One histogram's series block; empty histograms emit nothing.
+/// One histogram's series block; empty histograms emit nothing. Buckets
+/// with a stamped exemplar carry it as an `OpenMetrics` exemplar suffix
+/// (`... # {trace_id="<hex>"} <value>`), the join key back into the access
+/// log (the M124 lint verifies the join).
 fn render_histogram(out: &mut String, op: &str, phase: &str, h: &LogHistogram) {
     if h.is_empty() {
         return;
     }
     let snap = h.snapshot();
-    let labels = format!("op=\"{op}\",phase=\"{phase}\"");
+    let labels = format!("op=\"{}\",phase=\"{}\"", prom_label(op), prom_label(phase));
     let mut prev = 0u64;
     let cumulative = snap.cumulative();
     for (i, &(le, cum)) in cumulative.iter().enumerate() {
@@ -310,10 +342,33 @@ fn render_histogram(out: &mut String, op: &str, phase: &str, h: &LogHistogram) {
         }
         prev = cum;
         let bound = if last { "+Inf".to_owned() } else { prom_f64(le) };
-        let _ = writeln!(out, "mosc_serve_latency_seconds_bucket{{{labels},le=\"{bound}\"}} {cum}");
+        let _ = write!(out, "mosc_serve_latency_seconds_bucket{{{labels},le=\"{bound}\"}} {cum}");
+        if let Some(e) = h.exemplar(i) {
+            let _ = write!(out, " # {{trace_id=\"{:032x}\"}} {}", e.trace_id, prom_f64(e.value));
+        }
+        out.push('\n');
     }
     let _ = writeln!(out, "mosc_serve_latency_seconds_sum{{{labels}}} {}", prom_f64(snap.sum));
     let _ = writeln!(out, "mosc_serve_latency_seconds_count{{{labels}}} {}", snap.count);
+}
+
+/// Escapes one Prometheus label value. The text format's quoted-string
+/// escapes are a strict subset of JSON's: backslash and double quote escape
+/// exactly as `mosc_analyze::json::json_string` writes them, plus `\n` for
+/// newlines (Prometheus label values never contain other control escapes).
+/// Sharing the convention keeps the exposition and the JSON artifacts
+/// greppable by the same trace-id strings.
+fn prom_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
 }
 
 /// Prometheus float formatting: shortest round-trip, `+Inf`/`-Inf`/`NaN`
@@ -343,10 +398,10 @@ mod tests {
         let m = ServeMetrics::new();
         for _ in 0..5 {
             m.on_request();
-            m.record_solve(SolverKind::Ao, 1e-4, 2e-3, 2.1e-3);
+            m.record_solve(SolverKind::Ao, 1e-4, 2e-3, 2.1e-3, 0x00c0_ffee);
         }
         m.on_request();
-        m.record_solve(SolverKind::Governor, 0.0, 0.5, 0.5);
+        m.record_solve(SolverKind::Governor, 0.0, 0.5, 0.5, 0);
         m.on_queue_depth(3);
         let text = m.render_prometheus(1, 2, 12.5);
 
@@ -369,10 +424,17 @@ mod tests {
             ),
             "{text}"
         );
-        // Bucket series are cumulative and monotone per (op, phase).
+        // Traced solves surface as OpenMetrics exemplars on their bucket.
+        assert!(
+            text.contains(" # {trace_id=\"00000000000000000000000000c0ffee\"}"),
+            "traced buckets must carry their exemplar suffix:\n{text}"
+        );
+        // Bucket series are cumulative and monotone per (op, phase). Any
+        // exemplar suffix sits after the sample value, behind " # ".
         let mut per_series: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();
         for line in text.lines().filter(|l| l.starts_with("mosc_serve_latency_seconds_bucket")) {
-            let (series, value) = line.rsplit_once(' ').unwrap();
+            let sample = line.split(" # ").next().unwrap();
+            let (series, value) = sample.rsplit_once(' ').unwrap();
             let v: u64 = value.parse().unwrap();
             let prev = per_series.entry(series.split("le=").next().unwrap()).or_insert(0);
             assert!(v >= *prev, "non-monotone bucket series: {line}");
@@ -399,6 +461,41 @@ mod tests {
                 "{gauge} diverges from the merged histogram: {line}"
             );
         }
+    }
+
+    #[test]
+    fn hostile_label_values_escape_like_json_strings() {
+        // The op/phase labels are static today, but the escaping must hold
+        // for any value the renderer is ever handed: backslash and quote
+        // escape exactly as the JSON serializer writes them, newline as \n.
+        mosc_obs::enable();
+        let h = LogHistogram::new("metrics.hostile_labels");
+        h.record(0.001);
+        let mut out = String::new();
+        render_histogram(&mut out, "evil\"op\\name", "pha\nse", &h);
+        assert!(
+            out.contains("op=\"evil\\\"op\\\\name\",phase=\"pha\\nse\""),
+            "hostile label values must escape: {out}"
+        );
+        assert!(!out.contains("op=\"evil\"op"), "raw quote must never reach a label: {out}");
+        // The shared convention: on quote and backslash, the JSON string
+        // serializer produces the identical escape bytes.
+        let json = mosc_analyze::json::json_string("\"\\");
+        assert_eq!(json, "\"\\\"\\\\\"");
+        assert_eq!(prom_label("\"\\"), &json[1..json.len() - 1]);
+    }
+
+    #[test]
+    fn slow_exemplar_picks_the_highest_traced_bucket() {
+        mosc_obs::enable();
+        let m = ServeMetrics::new();
+        assert!(m.slow_exemplar().is_none());
+        m.record_solve(SolverKind::Ao, 1e-4, 2e-3, 2.1e-3, 0xfa57);
+        m.record_solve(SolverKind::Pco, 1e-4, 0.4, 0.5, 0x510);
+        m.record_solve(SolverKind::Exs, 1e-4, 5e-3, 6e-3, 0xbeef);
+        let slow = m.slow_exemplar().expect("traced solves must yield an exemplar");
+        assert_eq!(slow.trace_id, 0x510, "the slowest traced solve wins");
+        assert!((slow.value - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -59,10 +59,14 @@
 //! | version | contents |
 //! |---------|----------|
 //! | 1       | `solve`, `solve_batch`, `ping`, `stats`, `metrics`, `shutdown`, `hello`; responses `ok`/`error`/`overloaded` |
+//! | 2       | v1 plus distributed tracing: `solve`/`solve_batch` accept an optional `trace` member (`"<128-bit trace id>-<64-bit parent span id>"`, lower-case hex) that the daemon continues through worker handoff and batch fan-out into the access log, flight dumps and histogram exemplars |
 //!
 //! Unknown ops never drop the connection: they answer a structured
 //! `{"status":"error","kind":"unsupported",...}` line naming the op, so a
-//! newer client degrades gracefully against an older daemon.
+//! newer client degrades gracefully against an older daemon. The v2 `trace`
+//! member degrades the same way downward: a v1 daemon ignores unknown
+//! request members, so a v2 client that sends trace context to an old
+//! daemon still gets its solve answered — only the trace is dropped.
 
 use mosc_analyze::json::Value;
 use mosc_core::{AlgoError, SolveOptions, SolverKind, SolverStats};
@@ -71,7 +75,7 @@ use std::time::Duration;
 /// Oldest protocol version this build can still speak.
 pub const PROTO_VERSION_MIN: u32 = 1;
 /// Newest protocol version this build speaks (and prefers).
-pub const PROTO_VERSION_MAX: u32 = 1;
+pub const PROTO_VERSION_MAX: u32 = 2;
 
 /// Every op name the daemon understands, sorted; advertised by `hello`.
 pub const OPS: &[&str] = &["hello", "metrics", "ping", "shutdown", "solve", "solve_batch", "stats"];
@@ -91,6 +95,107 @@ pub fn negotiate_version(client_max: Option<u32>) -> Result<u32, String> {
         ));
     }
     Ok(client_max.min(PROTO_VERSION_MAX))
+}
+
+/// Wire trace context (protocol v2): the 128-bit trace id naming one
+/// end-to-end operation plus the 64-bit id of the span that dispatched this
+/// request — W3C-traceparent-style, spelled `"<32 hex>-<16 hex>"` on the
+/// wire. A daemon that receives one continues the trace: it mints a fresh
+/// span id for its own work, records the client's span as the parent, and
+/// stamps all three ids on the access-log entry, so a cross-process hop is
+/// one more parent/child edge in the same trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The 128-bit id shared by every span of one distributed operation.
+    /// Never zero on a well-formed wire line.
+    pub trace_id: u128,
+    /// The 64-bit id of the client-side span that issued this request.
+    pub parent_id: u64,
+}
+
+impl TraceContext {
+    /// Mints a fresh root context: a new trace id and a new origin span id.
+    #[must_use]
+    pub fn root() -> Self {
+        Self { trace_id: fresh_trace_id(), parent_id: fresh_span_id() }
+    }
+
+    /// The canonical wire spelling: `"<trace_id:032x>-<parent_id:016x>"`.
+    #[must_use]
+    pub fn to_wire(&self) -> String {
+        format!("{:032x}-{:016x}", self.trace_id, self.parent_id)
+    }
+
+    /// Parses the wire spelling written by [`Self::to_wire`]: exactly 32
+    /// lower-case hex digits, a dash, exactly 16 lower-case hex digits,
+    /// with a nonzero trace id.
+    #[must_use]
+    pub fn parse_wire(s: &str) -> Option<Self> {
+        let (t, p) = s.split_once('-')?;
+        if t.len() != 32 || p.len() != 16 {
+            return None;
+        }
+        let lower_hex =
+            |s: &str| s.bytes().all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b));
+        if !lower_hex(t) || !lower_hex(p) {
+            return None;
+        }
+        let trace_id = u128::from_str_radix(t, 16).ok()?;
+        let parent_id = u64::from_str_radix(p, 16).ok()?;
+        if trace_id == 0 {
+            return None;
+        }
+        Some(Self { trace_id, parent_id })
+    }
+}
+
+/// A process-global splitmix64 stream for span/trace ids: seeded once from
+/// the wall clock and address-space entropy, stepped with an atomic
+/// counter. Not cryptographic — ids only need to be unique enough that two
+/// concurrent requests never collide in one trace store.
+fn id_entropy() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    static SEED: AtomicU64 = AtomicU64::new(0);
+    let mut seed = SEED.load(Ordering::Relaxed);
+    if seed == 0 {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0x9e37_79b9_7f4a_7c15, |d| d.as_nanos() as u64);
+        // The address of a static differs across ASLR'd processes, so two
+        // daemons started the same nanosecond still diverge.
+        let aslr = std::ptr::addr_of!(COUNTER) as u64;
+        seed = (nanos ^ aslr.rotate_left(32)) | 1;
+        let _ = SEED.compare_exchange(0, seed, Ordering::Relaxed, Ordering::Relaxed);
+        seed = SEED.load(Ordering::Relaxed);
+    }
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut z = seed.wrapping_add(n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mints a fresh nonzero 128-bit trace id.
+#[must_use]
+pub fn fresh_trace_id() -> u128 {
+    loop {
+        let id = (u128::from(id_entropy()) << 64) | u128::from(id_entropy());
+        if id != 0 {
+            return id;
+        }
+    }
+}
+
+/// Mints a fresh nonzero 64-bit span id.
+#[must_use]
+pub fn fresh_span_id() -> u64 {
+    loop {
+        let id = id_entropy();
+        if id != 0 {
+            return id;
+        }
+    }
 }
 
 /// What went wrong, as carried on the wire in an error response's `kind`.
@@ -282,6 +387,9 @@ pub struct SolveRequest {
     /// Whether the response should carry the schedule in
     /// `mosc-sched::text` form.
     pub want_schedule: bool,
+    /// Distributed trace context (protocol v2); v1 clients leave it out
+    /// and the wire form is byte-identical to v1.
+    pub trace: Option<TraceContext>,
 }
 
 /// A `solve_batch` request: one platform, many solver/option variants.
@@ -294,6 +402,9 @@ pub struct BatchRequest {
     pub platform: Value,
     /// The variants, in request (and response) order.
     pub variants: Vec<BatchVariantRequest>,
+    /// Distributed trace context (protocol v2), shared by every variant of
+    /// the dispatch; v1 clients leave it out.
+    pub trace: Option<TraceContext>,
 }
 
 /// One variant of a [`BatchRequest`]: everything of a solve request except
@@ -386,7 +497,19 @@ fn parse_solve(doc: &Value, id: String) -> Result<SolveRequest, ProtoError> {
         Some(Value::Bool(b)) => *b,
         Some(_) => return Err(proto_err(&id, "'want_schedule' must be a boolean")),
     };
-    Ok(SolveRequest { id, kind: solver, platform, options, want_schedule })
+    let trace = parse_trace(doc, &id)?;
+    Ok(SolveRequest { id, kind: solver, platform, options, want_schedule, trace })
+}
+
+/// Parses the optional v2 `trace` member of a solve/`solve_batch` line.
+fn parse_trace(doc: &Value, id: &str) -> Result<Option<TraceContext>, ProtoError> {
+    match doc.get("trace") {
+        None => Ok(None),
+        Some(Value::String(s)) => TraceContext::parse_wire(s).map(Some).ok_or_else(|| {
+            proto_err(id, "'trace' must be '<32 hex trace id>-<16 hex parent span id>'")
+        }),
+        Some(_) => Err(proto_err(id, "'trace' must be a string")),
+    }
 }
 
 fn parse_solve_batch(doc: &Value, id: String) -> Result<BatchRequest, ProtoError> {
@@ -442,7 +565,8 @@ fn parse_solve_batch(doc: &Value, id: String) -> Result<BatchRequest, ProtoError
         };
         variants.push(BatchVariantRequest { kind, options, want_schedule });
     }
-    Ok(BatchRequest { id, platform, variants })
+    let trace = parse_trace(doc, &id)?;
+    Ok(BatchRequest { id, platform, variants, trace })
 }
 
 fn parse_options(o: &Value, id: &str) -> Result<SolveOptions, ProtoError> {
@@ -642,6 +766,12 @@ pub struct ServeStats {
     pub p99_ms: f64,
     pub p999_ms: f64,
     pub max_ms: f64,
+    /// Trace id of the slowest recently exemplified solve (the exemplar of
+    /// the highest non-empty latency bucket); `0` when no traced solve has
+    /// been recorded. Travels as a 32-hex-digit string and is omitted from
+    /// the wire entirely while zero, so stats lines from untraced runs stay
+    /// byte-identical to v1.
+    pub slow_exemplar: u128,
 }
 
 impl ServeStats {
@@ -650,7 +780,7 @@ impl ServeStats {
     #[must_use]
     pub fn to_json(&self, id: &str) -> String {
         let n = |v: u64| Value::Number(v as f64);
-        let stats = Value::Object(vec![
+        let mut stats = Value::Object(vec![
             ("requests".to_owned(), n(self.requests)),
             ("responses".to_owned(), n(self.responses)),
             ("cache_hits".to_owned(), n(self.cache_hits)),
@@ -670,6 +800,14 @@ impl ServeStats {
             ("p999_ms".to_owned(), Value::Number(self.p999_ms)),
             ("max_ms".to_owned(), Value::Number(self.max_ms)),
         ]);
+        if self.slow_exemplar != 0 {
+            if let Value::Object(members) = &mut stats {
+                members.push((
+                    "slow_exemplar".to_owned(),
+                    Value::String(format!("{:032x}", self.slow_exemplar)),
+                ));
+            }
+        }
         let doc = Value::Object(vec![
             ("id".to_owned(), Value::String(id.to_owned())),
             ("status".to_owned(), Value::String("ok".to_owned())),
@@ -714,6 +852,12 @@ impl ServeStats {
             p99_ms: num("p99_ms")?,
             p999_ms: num("p999_ms")?,
             max_ms: num("max_ms")?,
+            slow_exemplar: match doc.get("slow_exemplar") {
+                None => 0,
+                Some(Value::String(s)) => u128::from_str_radix(s, 16)
+                    .map_err(|_| proto_err("", "stats.slow_exemplar must be a hex trace id"))?,
+                Some(_) => return Err(proto_err("", "stats.slow_exemplar must be a hex trace id")),
+            },
         })
     }
 }
@@ -1023,7 +1167,11 @@ pub fn request_to_json(req: &SolveRequest) -> String {
     out.push_str(&canonical_json(&req.platform));
     out.push_str(",\"options\":");
     out.push_str(&options_to_json(&req.options));
-    out.push_str(&format!(",\"want_schedule\":{}}}", req.want_schedule));
+    out.push_str(&format!(",\"want_schedule\":{}", req.want_schedule));
+    if let Some(trace) = &req.trace {
+        out.push_str(&format!(",\"trace\":\"{}\"", trace.to_wire()));
+    }
+    out.push('}');
     out
 }
 
@@ -1047,7 +1195,11 @@ pub fn batch_request_to_json(req: &BatchRequest) -> String {
         out.push_str(&options_to_json(&v.options));
         out.push_str(&format!(",\"want_schedule\":{}}}", v.want_schedule));
     }
-    out.push_str("]}");
+    out.push(']');
+    if let Some(trace) = &req.trace {
+        out.push_str(&format!(",\"trace\":\"{}\"", trace.to_wire()));
+    }
+    out.push('}');
     out
 }
 
@@ -1145,6 +1297,7 @@ mod tests {
                 ..SolveOptions::default()
             },
             want_schedule: true,
+            trace: None,
         };
         let line = request_to_json(&req);
         let parsed = match parse_request(&line).unwrap() {
@@ -1179,6 +1332,7 @@ mod tests {
                     want_schedule: true,
                 },
             ],
+            trace: Some(TraceContext { trace_id: 0xfeed_beef, parent_id: 7 }),
         };
         let line = batch_request_to_json(&req);
         let parsed = match parse_request(&line).unwrap() {
@@ -1187,7 +1341,42 @@ mod tests {
         };
         assert_eq!(parsed.id, req.id);
         assert_eq!(parsed.variants, req.variants);
+        assert_eq!(parsed.trace, req.trace);
         assert_eq!(canonical_json(&parsed.platform), canonical_json(&req.platform));
+    }
+
+    #[test]
+    fn trace_contexts_round_trip_and_malformed_ones_are_rejected() {
+        let ctx = TraceContext {
+            trace_id: 0x0123_4567_89ab_cdef_0123_4567_89ab_cdef,
+            parent_id: 0xdead_beef,
+        };
+        assert_eq!(TraceContext::parse_wire(&ctx.to_wire()), Some(ctx));
+        let root = TraceContext::root();
+        assert_ne!(root.trace_id, 0);
+        assert_ne!(root.parent_id, 0);
+        assert_ne!(TraceContext::root().trace_id, root.trace_id, "trace ids must be unique");
+        for bad in [
+            "",
+            "abc",
+            "0123456789abcdef0123456789abcdef", // no parent
+            "0123456789abcdef0123456789abcdef-00000000000000", // parent too short
+            "0123456789ABCDEF0123456789abcdef-0000000000000001", // upper-case hex
+            "00000000000000000000000000000000-0000000000000001", // zero trace id
+            "0123456789abcdef0123456789abcdeg-0000000000000001", // non-hex
+        ] {
+            assert_eq!(TraceContext::parse_wire(bad), None, "{bad:?} must be rejected");
+        }
+        // On the wire: a malformed trace member is a parse error that still
+        // recovers the id; an absent one parses as None.
+        let base = r#""op":"solve","solver":"ao","platform":{"rows":1,"cols":1,"levels":[0.6,1.3],"t_max_c":55.0}"#;
+        let err = parse_request(&format!(r#"{{"id":"t","trace":"nope",{base}}}"#)).unwrap_err();
+        assert_eq!(err.id, "t");
+        assert!(err.message.contains("trace"));
+        match parse_request(&format!(r#"{{"id":"t",{base}}}"#)).unwrap() {
+            Request::Solve(r) => assert_eq!(r.trace, None),
+            other => panic!("expected solve, got {other:?}"),
+        }
     }
 
     #[test]

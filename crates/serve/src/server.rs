@@ -43,14 +43,16 @@
 use crate::cache::{cache_key, cache_key_parts, fnv1a, CacheKey, CachedSolve, LruCache};
 use crate::metrics::ServeMetrics;
 use crate::proto::{
-    batch_response_to_json, canonical_json, error_to_json, overloaded_to_json, parse_request,
-    value_to_json, BatchRequest, ErrorKind, HelloResponse, ProtoError, Request, Response,
-    SolveRequest, SolveResponse,
+    batch_response_to_json, canonical_json, error_to_json, fresh_span_id, fresh_trace_id,
+    overloaded_to_json, parse_request, value_to_json, BatchRequest, ErrorKind, HelloResponse,
+    ProtoError, Request, Response, SolveRequest, SolveResponse,
 };
 use crate::queue::{BoundedQueue, QueueFull};
 use mosc_analyze::json::Value;
 use mosc_core::{BatchVariant, KernelDelta, SolveOptions, SolverKind};
-use mosc_obs::{TraceContext, TraceSnapshot};
+use mosc_obs::{
+    bucket_upper, FlightKind, FlightRecorder, TraceContext, TraceSnapshot, LOG_BUCKETS,
+};
 use std::fs::File;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -133,6 +135,16 @@ pub struct ServeOptions {
     /// responses pending) for this long. `None` keeps them forever — the
     /// historical behavior, and the default.
     pub idle_timeout: Option<Duration>,
+    /// Flight-recorder dump path (`None` disables the recorder entirely).
+    /// When set, every request milestone lands in a fixed-size in-memory
+    /// ring, and each anomaly — deadline exceeded, queue saturation, a
+    /// request over [`Self::slow_threshold`], a worker panic — snapshots
+    /// the ring into one `{"type":"flight_dump"}` JSONL line here. The
+    /// file is truncated at bind time, like the access log.
+    pub flight_dump: Option<String>,
+    /// Flight-recorder ring capacity in entries (rounded up to a power of
+    /// two; ignored unless [`Self::flight_dump`] is set).
+    pub flight_capacity: usize,
 }
 
 impl Default for ServeOptions {
@@ -149,6 +161,8 @@ impl Default for ServeOptions {
             timeline_window: Duration::from_secs(1),
             frontend: Frontend::Threads,
             idle_timeout: None,
+            flight_dump: None,
+            flight_capacity: mosc_obs::DEFAULT_FLIGHT_CAPACITY,
         }
     }
 }
@@ -261,6 +275,22 @@ impl ServeBuilder {
         self
     }
 
+    /// Flight-recorder dump sink: anomalies snapshot the milestone ring
+    /// into `{"type":"flight_dump"}` JSONL lines at this path.
+    #[must_use]
+    pub fn flight_dump(mut self, path: impl Into<String>) -> Self {
+        self.opts.flight_dump = Some(path.into());
+        self
+    }
+
+    /// Flight-recorder ring capacity in entries (rounded up to a power of
+    /// two).
+    #[must_use]
+    pub fn flight_capacity(mut self, capacity: usize) -> Self {
+        self.opts.flight_capacity = capacity;
+        self
+    }
+
     /// The assembled options (the builder's backing store), for callers
     /// that need to inspect or persist the configuration.
     #[must_use]
@@ -279,6 +309,38 @@ impl ServeBuilder {
     }
 }
 
+/// The distributed-tracing identity of one server-side unit of work: which
+/// trace it belongs to, the span the server minted for it, and the span it
+/// descends from (`0` = a root the server originated itself). Every access
+/// log entry carries all three, so `mosc-cli trace` can join client, queue
+/// and solver views of one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct TraceIds {
+    pub(crate) trace_id: u128,
+    pub(crate) span_id: u64,
+    pub(crate) parent_id: u64,
+}
+
+impl TraceIds {
+    /// Continues a wire trace context (the v2 `trace` member) under a fresh
+    /// server span, or originates a new root trace when the client sent
+    /// none — either way every request ends up traceable.
+    fn continue_from(wire: Option<&crate::proto::TraceContext>) -> Self {
+        match wire {
+            Some(t) => {
+                Self { trace_id: t.trace_id, span_id: fresh_span_id(), parent_id: t.parent_id }
+            }
+            None => Self { trace_id: fresh_trace_id(), span_id: fresh_span_id(), parent_id: 0 },
+        }
+    }
+
+    /// A child span of `self` in the same trace (batch variants hang off
+    /// their dispatch span this way).
+    fn child(self) -> Self {
+        Self { trace_id: self.trace_id, span_id: fresh_span_id(), parent_id: self.span_id }
+    }
+}
+
 /// One queued unit of work, stamped at receipt and at enqueue.
 pub(crate) struct Job {
     payload: Payload,
@@ -291,6 +353,9 @@ pub(crate) struct Job {
     deadline_at: Option<Instant>,
     t_recv: Instant,
     t_enqueue: Instant,
+    /// The server span for this line (the dispatch span for a batch, whose
+    /// variants each get a child span).
+    trace: TraceIds,
 }
 
 /// What a queued line asks for.
@@ -351,6 +416,9 @@ pub(crate) struct Shared {
     /// Windowed completion timeline plus its output file; closed windows
     /// are appended as they fill, the in-progress window at drain.
     timeline: Option<(mosc_obs::Timeline, Mutex<File>)>,
+    /// Flight recorder plus its dump file: request milestones ring-buffer
+    /// in memory, anomalies snapshot the ring as `flight_dump` JSONL lines.
+    flight: Option<(FlightRecorder, Mutex<File>)>,
     start: Instant,
     pub(crate) shutdown: AtomicBool,
     /// Connection-id allocator; ids start at 1 so `conn` is never falsy in
@@ -381,6 +449,7 @@ impl Shared {
             p99_ms: q(0.99),
             p999_ms: q(0.999),
             max_ms: if merged.count > 0 { merged.max * 1e3 } else { 0.0 },
+            slow_exemplar: self.metrics.slow_exemplar().map_or(0, |e| e.trace_id),
         }
     }
 
@@ -466,12 +535,21 @@ impl Server {
                 Mutex::new(File::create(path)?),
             )),
         };
+        let flight = match &opts.flight_dump {
+            None => None,
+            Some(path) => {
+                let recorder = FlightRecorder::new(opts.flight_capacity);
+                recorder.enable();
+                Some((recorder, Mutex::new(File::create(path)?)))
+            }
+        };
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(opts.queue_capacity),
             cache: Mutex::new(LruCache::new(opts.cache_capacity)),
             metrics: ServeMetrics::new(),
             access,
             timeline,
+            flight,
             start: Instant::now(),
             shutdown: AtomicBool::new(false),
             conns: AtomicU64::new(0),
@@ -562,16 +640,27 @@ impl Server {
 }
 
 /// The worker side: pop, enforce the deadline, consult the cache, solve,
-/// respond.
+/// respond. A panicking solve must not shrink the worker pool for the rest
+/// of the process lifetime, so each job runs under `catch_unwind`; a panic
+/// is recorded as a flight anomaly (with a ring dump) and the worker moves
+/// on. The poisoned-mutex consequences are already handled everywhere via
+/// `PoisonError::into_inner`.
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
         let t_dequeue = Instant::now();
         shared.metrics.on_queue_depth(shared.queue.len() as u64);
-        match &job.payload {
-            Payload::Single(req, key) => process_job(shared, &job, req, key, t_dequeue),
-            Payload::Batch(req, canonical_platform) => {
-                process_batch(shared, &job, req, canonical_platform, t_dequeue);
-            }
+        let wait_us = t_dequeue.saturating_duration_since(job.t_enqueue).as_micros() as u64;
+        flight_record(shared, FlightKind::Dequeue, job.trace, wait_us);
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &job.payload {
+                Payload::Single(req, key) => process_job(shared, &job, req, key, t_dequeue),
+                Payload::Batch(req, canonical_platform) => {
+                    process_batch(shared, &job, req, canonical_platform, t_dequeue);
+                }
+            }));
+        if outcome.is_err() {
+            flight_record(shared, FlightKind::Panic, job.trace, 0);
+            flight_dump(shared, "panic");
         }
     }
 }
@@ -607,6 +696,9 @@ struct Completion<'a> {
     /// variant of a batch (the M110/M111 lints group entries on it);
     /// `None` for single solves and protocol ops.
     batch: Option<&'a str>,
+    /// Distributed-trace identity: continued from the client's wire trace
+    /// when one arrived, originated by the server otherwise.
+    ids: TraceIds,
 }
 
 impl<'a> Completion<'a> {
@@ -636,6 +728,7 @@ impl<'a> Completion<'a> {
             kernel: KernelDelta::default(),
             trace: None,
             batch: None,
+            ids: TraceIds::continue_from(None),
         }
     }
 }
@@ -676,8 +769,16 @@ fn record_completion(shared: &Shared, c: &Completion<'_>, done: Instant) -> Stam
     let service = done.saturating_duration_since(c.service_start).as_secs_f64();
     let total = done.saturating_duration_since(c.t_recv).as_secs_f64();
     match c.solver {
-        Some(kind) => shared.metrics.record_solve(kind, c.queue_wait, service, total),
+        Some(kind) => {
+            shared.metrics.record_solve(kind, c.queue_wait, service, total, c.ids.trace_id);
+        }
         None => shared.metrics.record_proto(total),
+    }
+    let total_us = (total * 1e6) as u64;
+    flight_record(shared, FlightKind::Done, c.ids, total_us);
+    if total >= shared.opts.slow_threshold.as_secs_f64() {
+        flight_record(shared, FlightKind::Slow, c.ids, total_us);
+        flight_dump(shared, "slow");
     }
     record_timeline(shared, total, c.cached);
     log_access(shared, c, done, service, total);
@@ -709,6 +810,57 @@ fn write_timeline_trailer(shared: &Shared) {
     }
 }
 
+/// Lands one milestone in the flight ring (no-op without `--flight-dump`).
+fn flight_record(shared: &Shared, kind: FlightKind, ids: TraceIds, value: u64) {
+    if let Some((recorder, _)) = &shared.flight {
+        recorder.record(kind, ids.trace_id, ids.span_id, value);
+    }
+}
+
+/// Snapshots the flight ring into one `{"type":"flight_dump"}` JSONL line —
+/// the "what led up to this" record an anomaly leaves behind. Torn entries
+/// (overwritten mid-copy) are counted, never emitted, so every entry in the
+/// dump is internally consistent; the M123 lint checks the accounting.
+fn flight_dump(shared: &Shared, reason: &str) {
+    let Some((recorder, file)) = &shared.flight else { return };
+    let snap = recorder.snapshot();
+    let num = Value::Number;
+    let entries: Vec<Value> = snap
+        .entries
+        .iter()
+        .map(|e| {
+            Value::Object(vec![
+                ("seq".to_owned(), num(e.seq as f64)),
+                ("t_us".to_owned(), num(e.t_us as f64)),
+                (
+                    "kind".to_owned(),
+                    e.kind.map_or(Value::Null, |k| Value::String(k.as_str().to_owned())),
+                ),
+                ("trace_id".to_owned(), Value::String(format!("{:032x}", e.trace_id))),
+                ("span_id".to_owned(), Value::String(format!("{:016x}", e.span_id))),
+                ("value".to_owned(), num(e.value as f64)),
+            ])
+        })
+        .collect();
+    let doc = Value::Object(vec![
+        ("type".to_owned(), Value::String("flight_dump".to_owned())),
+        ("reason".to_owned(), Value::String(reason.to_owned())),
+        ("t_s".to_owned(), num(shared.start.elapsed().as_secs_f64())),
+        ("head".to_owned(), num(snap.head as f64)),
+        ("capacity".to_owned(), num(snap.capacity as f64)),
+        ("dropped".to_owned(), num(snap.dropped as f64)),
+        ("torn".to_owned(), num(snap.torn as f64)),
+        ("entries".to_owned(), Value::Array(entries)),
+    ]);
+    let line = value_to_json(&doc);
+    let mut file = file.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = writeln!(file, "{line}");
+}
+
+/// Most spans one access-log line may carry; anything beyond is dropped
+/// and accounted in `spans_truncated`.
+const MAX_ACCESS_SPANS: usize = 256;
+
 /// Appends one `{"type":"access",...}` JSONL line for a completed request.
 fn log_access(shared: &Shared, c: &Completion<'_>, done: Instant, service: f64, total: f64) {
     let Some(access) = &shared.access else { return };
@@ -737,6 +889,19 @@ fn log_access(shared: &Shared, c: &Completion<'_>, done: Instant, service: f64, 
         ("registry_misses".to_owned(), num(c.kernel.registry_misses as f64)),
         ("conn".to_owned(), num(c.conn as f64)),
         ("seq".to_owned(), num(c.seq as f64)),
+        // Distributed-trace identity, hex like the wire form: JSON numbers
+        // are f64 and cannot carry 64/128 bits losslessly. A null parent
+        // marks a server-originated root (the client sent no trace).
+        ("trace_id".to_owned(), Value::String(format!("{:032x}", c.ids.trace_id))),
+        ("span_id".to_owned(), Value::String(format!("{:016x}", c.ids.span_id))),
+        (
+            "parent_id".to_owned(),
+            if c.ids.parent_id == 0 {
+                Value::Null
+            } else {
+                Value::String(format!("{:016x}", c.ids.parent_id))
+            },
+        ),
         // The cache key travels as a hex string: JSON numbers are f64 and
         // cannot carry 64 bits losslessly.
         ("key".to_owned(), c.key.map_or(Value::Null, |k| Value::String(format!("{k:016x}")))),
@@ -750,9 +915,14 @@ fn log_access(shared: &Shared, c: &Completion<'_>, done: Instant, service: f64, 
     }
     if total >= shared.opts.slow_threshold.as_secs_f64() {
         if let Some(trace) = c.trace.as_ref().filter(|t| !t.is_empty()) {
+            // A pathological solve can open thousands of distinct span
+            // paths; cap the attachment so one bad request cannot balloon
+            // the log line, and say how much was cut (the M091 span lint
+            // skips containment checks on truncated entries).
             let spans: Vec<Value> = trace
                 .spans
                 .iter()
+                .take(MAX_ACCESS_SPANS)
                 .map(|s| {
                     Value::Object(vec![
                         ("path".to_owned(), Value::String(s.path.clone())),
@@ -764,6 +934,10 @@ fn log_access(shared: &Shared, c: &Completion<'_>, done: Instant, service: f64, 
                 })
                 .collect();
             members.push(("spans".to_owned(), Value::Array(spans)));
+            if trace.spans.len() > MAX_ACCESS_SPANS {
+                let cut = trace.spans.len() - MAX_ACCESS_SPANS;
+                members.push(("spans_truncated".to_owned(), num(cut as f64)));
+            }
         }
     }
     write_access_line(access, &Value::Object(members));
@@ -799,7 +973,7 @@ fn write_access_line(access: &Mutex<File>, doc: &Value) {
 fn write_access_trailer(shared: &Shared) {
     let Some(access) = &shared.access else { return };
     let num = Value::Number;
-    for (name, snap) in shared.metrics.latency_snapshots() {
+    for (name, snap, exemplars) in shared.metrics.latency_snapshots() {
         let cumulative = snap.cumulative();
         let mut buckets = Vec::new();
         let mut prev = 0u64;
@@ -815,14 +989,32 @@ fn write_access_trailer(shared: &Shared) {
                 ("cum".to_owned(), num(cum as f64)),
             ]));
         }
-        let doc = Value::Object(vec![
+        let mut doc = vec![
             ("type".to_owned(), Value::String("hist_snapshot".to_owned())),
             ("name".to_owned(), Value::String(name.to_owned())),
             ("count".to_owned(), num(snap.count as f64)),
             ("sum".to_owned(), num(snap.sum)),
             ("buckets".to_owned(), Value::Array(buckets)),
-        ]);
-        write_access_line(access, &doc);
+        ];
+        if !exemplars.is_empty() {
+            let list: Vec<Value> = exemplars
+                .iter()
+                .map(|&(i, e)| {
+                    let le = if i == LOG_BUCKETS - 1 {
+                        Value::String("+Inf".to_owned())
+                    } else {
+                        Value::Number(bucket_upper(i))
+                    };
+                    Value::Object(vec![
+                        ("le".to_owned(), le),
+                        ("trace_id".to_owned(), Value::String(format!("{:032x}", e.trace_id))),
+                        ("value".to_owned(), num(e.value)),
+                    ])
+                })
+                .collect();
+            doc.push(("exemplars".to_owned(), Value::Array(list)));
+        }
+        write_access_line(access, &Value::Object(doc));
     }
     let s = shared.stats();
     let doc = Value::Object(vec![
@@ -861,6 +1053,7 @@ fn process_job(shared: &Shared, job: &Job, req: &SolveRequest, key: &CacheKey, t
         kernel: KernelDelta::default(),
         trace: None,
         batch: None,
+        ids: job.trace,
     };
     // Deadline may already have burned off while queued.
     let remaining = match job.deadline_at {
@@ -869,6 +1062,8 @@ fn process_job(shared: &Shared, job: &Job, req: &SolveRequest, key: &CacheKey, t
             Some(left) if left > Duration::ZERO => Some(left),
             _ => {
                 shared.metrics.on_deadline_exceeded();
+                flight_record(shared, FlightKind::Deadline, job.trace, 0);
+                flight_dump(shared, "deadline");
                 finish(
                     shared,
                     &job.writer,
@@ -917,6 +1112,11 @@ fn process_job(shared: &Shared, job: &Job, req: &SolveRequest, key: &CacheKey, t
             // later hits' keys unannounced for the M082 lint.
             if job.deadline_at.is_some_and(|at| Instant::now() > at) {
                 shared.metrics.on_deadline_exceeded();
+                let late_us = Instant::now()
+                    .saturating_duration_since(job.deadline_at.unwrap_or_else(Instant::now))
+                    .as_micros() as u64;
+                flight_record(shared, FlightKind::Deadline, job.trace, late_us);
+                flight_dump(shared, "deadline");
                 finish(
                     shared,
                     &job.writer,
@@ -1009,6 +1209,7 @@ fn process_batch(
                 queue_wait,
                 service_start: t_dequeue,
                 batch: Some(bid),
+                ids: job.trace,
                 ..Completion::proto(bid, "solve_batch", "error", job.t_recv, job.conn, job.seq)
             };
             let stamped = record_completion(shared, &c, Instant::now());
@@ -1114,6 +1315,10 @@ fn process_batch(
             kernel: o.kernel,
             trace: None,
             batch: Some(bid),
+            // Every variant is a child span of the batch's dispatch span:
+            // one shared trace id, one shared parent, a fresh span each —
+            // the containment the M122 lint asserts.
+            ids: job.trace.child(),
         };
         stamped = Some(record_completion(shared, &c, done));
         lines.push(o.line);
@@ -1315,6 +1520,8 @@ pub(crate) fn handle_line(
         }
         Request::Solve(req) => {
             shared.metrics.on_request();
+            let ids = TraceIds::continue_from(req.trace.as_ref());
+            flight_record(shared, FlightKind::Recv, ids, 0);
             let key = cache_key(&req);
             mosc_obs::event(
                 "serve.request",
@@ -1346,6 +1553,7 @@ pub(crate) fn handle_line(
                         kernel: KernelDelta::default(),
                         trace: None,
                         batch: None,
+                        ids,
                     },
                 );
                 return 1;
@@ -1360,11 +1568,17 @@ pub(crate) fn handle_line(
                 deadline_at,
                 t_recv,
                 t_enqueue: Instant::now(),
+                trace: ids,
             };
             match shared.queue.try_push(job) {
-                Ok(depth) => shared.metrics.on_queue_depth(depth as u64),
+                Ok(depth) => {
+                    shared.metrics.on_queue_depth(depth as u64);
+                    flight_record(shared, FlightKind::Enqueue, ids, depth as u64);
+                }
                 Err(QueueFull(job)) => {
                     shared.metrics.on_rejected();
+                    flight_record(shared, FlightKind::Overload, ids, shared.queue.len() as u64);
+                    flight_dump(shared, "overload");
                     let Payload::Single(req, key) = &job.payload else { unreachable!() };
                     finish(
                         shared,
@@ -1390,6 +1604,7 @@ pub(crate) fn handle_line(
                             kernel: KernelDelta::default(),
                             trace: None,
                             batch: None,
+                            ids,
                         },
                     );
                 }
@@ -1399,6 +1614,11 @@ pub(crate) fn handle_line(
         Request::SolveBatch(req) => {
             shared.metrics.on_request();
             let consumed = req.variants.len() as u64;
+            // The dispatch span: one server span for the whole batch line,
+            // minted here so every variant (a child span solved later by a
+            // worker) shares it as parent.
+            let ids = TraceIds::continue_from(req.trace.as_ref());
+            flight_record(shared, FlightKind::Recv, ids, consumed);
             // The registry preimage doubles as the request-event key, so
             // repeated-platform batch traffic is visible in telemetry.
             let canonical_platform = canonical_json(&req.platform);
@@ -1417,15 +1637,22 @@ pub(crate) fn handle_line(
                 deadline_at: None,
                 t_recv,
                 t_enqueue: Instant::now(),
+                trace: ids,
             };
             match shared.queue.try_push(job) {
-                Ok(depth) => shared.metrics.on_queue_depth(depth as u64),
+                Ok(depth) => {
+                    shared.metrics.on_queue_depth(depth as u64);
+                    flight_record(shared, FlightKind::Enqueue, ids, depth as u64);
+                }
                 Err(QueueFull(job)) => {
                     shared.metrics.on_rejected();
+                    flight_record(shared, FlightKind::Overload, ids, shared.queue.len() as u64);
+                    flight_dump(shared, "overload");
                     let Payload::Batch(req, _) = &job.payload else { unreachable!() };
                     let c = Completion {
                         status: "overloaded",
                         batch: Some(&req.id),
+                        ids,
                         ..Completion::proto(&req.id, "solve_batch", "overloaded", t_recv, conn, seq)
                     };
                     let stamped = record_completion(shared, &c, Instant::now());
@@ -1465,6 +1692,7 @@ mod tests {
             p99_ms: 30.0,
             p999_ms: 31.0,
             max_ms: 31.5,
+            slow_exemplar: 0xdead_beef,
         };
         let line = stats.to_json("quote\"and\nnewline");
         let doc = Value::parse(&line).expect("stats line must be valid JSON");
@@ -1477,6 +1705,11 @@ mod tests {
         assert_eq!(payload.get("p99_ms").and_then(Value::as_f64), Some(30.0));
         assert_eq!(payload.get("p999_ms").and_then(Value::as_f64), Some(31.0));
         assert_eq!(payload.get("req_per_s").and_then(Value::as_f64), Some(2.5));
+        assert_eq!(
+            payload.get("slow_exemplar").and_then(Value::as_str),
+            Some("000000000000000000000000deadbeef"),
+            "the slow exemplar travels as a 32-hex trace id"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@ use mosc_core::{SolveOptions, SolverKind, SolverStats};
 use mosc_serve::proto::{
     canonical_json, parse_request, request_to_json, BatchRequest, BatchResponse,
     BatchVariantRequest, ErrorKind, HelloResponse, Request, Response, ServeStats, SolveRequest,
-    SolveResponse,
+    SolveResponse, TraceContext,
 };
 use mosc_testutil::{propcheck, Rng64};
 use std::time::Duration;
@@ -25,6 +25,16 @@ fn random_string(rng: &mut Rng64) -> String {
 /// shortest-round-trip writer and any correct decimal parser agree exactly.
 fn random_f64(rng: &mut Rng64) -> f64 {
     (rng.below(1 << 20) as f64) / 256.0
+}
+
+/// An optional random v2 trace context: absent half the time (the v1 wire
+/// shape), otherwise a random nonzero trace id with a random parent span.
+fn random_trace(rng: &mut Rng64) -> Option<TraceContext> {
+    if rng.below(2) == 0 {
+        return None;
+    }
+    let trace_id = ((u128::from(rng.below(u64::MAX)) << 64) | u128::from(rng.below(u64::MAX))) | 1;
+    Some(TraceContext { trace_id, parent_id: rng.below(u64::MAX) })
 }
 
 fn random_kind(rng: &mut Rng64) -> SolverKind {
@@ -80,6 +90,7 @@ fn solve_requests_round_trip_through_the_wire() {
             platform: random_platform(rng),
             options: random_options(rng),
             want_schedule: rng.below(2) == 1,
+            trace: random_trace(rng),
         };
         let line = request_to_json(&req);
         let parsed = match parse_request(&line) {
@@ -90,6 +101,7 @@ fn solve_requests_round_trip_through_the_wire() {
         assert_eq!(parsed.kind, req.kind, "line: {line}");
         assert_eq!(parsed.options, req.options, "line: {line}");
         assert_eq!(parsed.want_schedule, req.want_schedule, "line: {line}");
+        assert_eq!(parsed.trace, req.trace, "line: {line}");
         assert_eq!(canonical_json(&parsed.platform), canonical_json(&req.platform), "line: {line}");
     });
 }
@@ -177,6 +189,11 @@ fn random_serve_stats(rng: &mut Rng64) -> ServeStats {
         p99_ms: random_f64(rng),
         p999_ms: random_f64(rng),
         max_ms: random_f64(rng),
+        slow_exemplar: if rng.below(2) == 0 {
+            0
+        } else {
+            (u128::from(rng.below(u64::MAX)) << 64) | u128::from(rng.below(u64::MAX))
+        },
     }
 }
 
@@ -243,6 +260,7 @@ fn random_request(rng: &mut Rng64) -> Request {
             platform: random_platform(rng),
             options: random_options(rng),
             want_schedule: rng.below(2) == 1,
+            trace: random_trace(rng),
         }),
         1 => Request::SolveBatch(BatchRequest {
             id: random_string(rng),
@@ -254,6 +272,7 @@ fn random_request(rng: &mut Rng64) -> Request {
                     want_schedule: rng.below(2) == 1,
                 })
                 .collect(),
+            trace: random_trace(rng),
         }),
         2 => Request::Ping { id: random_string(rng) },
         3 => Request::Stats { id: random_string(rng) },
@@ -285,8 +304,8 @@ fn requests_of_every_op_round_trip_through_the_wire() {
                     "line: {line}"
                 );
                 assert_eq!(
-                    (&p.kind, &p.options, p.want_schedule),
-                    (&r.kind, &r.options, r.want_schedule)
+                    (&p.kind, &p.options, p.want_schedule, &p.trace),
+                    (&r.kind, &r.options, r.want_schedule, &r.trace)
                 );
             }
             (Request::SolveBatch(p), Request::SolveBatch(r)) => {
@@ -296,6 +315,7 @@ fn requests_of_every_op_round_trip_through_the_wire() {
                     "line: {line}"
                 );
                 assert_eq!(p.variants, r.variants, "line: {line}");
+                assert_eq!(p.trace, r.trace, "line: {line}");
             }
             _ => assert_eq!(parsed, req, "line: {line}"),
         }

@@ -5,6 +5,7 @@
 //! mosc-cli peak  --rows 2 --cols 3 --tmax 55 --schedule schedule.txt
 //! mosc-cli compare --rows 3 --cols 3 --levels 2 --tmax 55
 //! mosc-cli trace --rows 1 --cols 3 --tmax 65 --schedule schedule.txt --periods 20 [--out trace.csv]
+//! mosc-cli trace access.jsonl flight.jsonl [--trace-id HEX] [--format text|json]
 //! mosc-cli analyze spec.json
 //! mosc-cli profile spec.json [--obs=json]
 //! mosc-cli serve --addr 127.0.0.1:7070 [--access-log FILE] [--slow-ms MS]
@@ -63,6 +64,18 @@
 //! `--access-log FILE` appends one JSONL line per completed request (the
 //! `M07x` lints analyze it), and requests slower than `--slow-ms` carry
 //! their solver span tree in that line.
+//!
+//! The v2 protocol threads a distributed-trace identity through all of
+//! this: `client --trace` stamps each request with a fresh 128-bit trace
+//! id (reported on stderr), the daemon continues it into per-request
+//! server spans (batch variants become children of the dispatch span),
+//! and every access-log line carries `trace_id`/`span_id`/`parent_id`.
+//! `serve --flight-dump FILE` arms a lock-light in-memory flight ring of
+//! request milestones; anomalies (deadline exceeded, queue saturation,
+//! slow requests, worker panics) snapshot it into `flight_dump` JSONL
+//! lines. `trace FILE...` (without `--schedule`) joins those artifacts by
+//! trace id into per-trace waterfalls, and the `M120`–`M124` analyzer
+//! lints check the identities line up.
 //!
 //! `stats` queries a running daemon's `stats` op and renders a one-screen
 //! service summary — request/response counters, cache hit rate, queue
@@ -220,6 +233,8 @@ const USAGE: &str = "usage:
   mosc-cli peak    --schedule FILE [platform flags]
   mosc-cli compare [platform flags]
   mosc-cli trace   --schedule FILE [--periods N] [--out FILE] [platform flags]
+  mosc-cli trace   FILE.jsonl...  [--trace-id HEX] [--format text|json]
+                   (join access logs + flight dumps by trace id into waterfalls)
   mosc-cli analyze FILE...  (spec.json, schedule.txt, claim.json, *.jsonl streams)
                    [-A|-W|-D CODE]... [-D warnings] [--format text|json|sarif]
                    [--baseline FILE] [--write-baseline FILE] [--config FILE | --no-config]
@@ -227,8 +242,10 @@ const USAGE: &str = "usage:
   mosc-cli serve   [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--deadline-ms MS]
                    [--access-log FILE] [--slow-ms MS] [--timeline FILE] [--timeline-window-ms MS]
                    [--frontend threads|evloop] [--idle-timeout-ms MS]
-  mosc-cli client  [--addr HOST:PORT] [--batch]  (stdin request lines -> stdout response lines;
-                   --batch folds solve lines sharing one platform into a single solve_batch)
+                   [--flight-dump FILE] [--flight-capacity N]
+  mosc-cli client  [--addr HOST:PORT] [--batch] [--trace]  (stdin request lines -> stdout
+                   response lines; --batch folds solve lines sharing one platform into a
+                   single solve_batch; --trace stamps fresh trace ids, reported on stderr)
   mosc-cli stats   [--addr HOST:PORT] [--watch] [--interval-ms MS] [--count N]
   mosc-cli metrics [--addr HOST:PORT]  (print the Prometheus text exposition)
 global: --obs[=pretty|json]  append a mosc-obs telemetry report to the output
@@ -263,6 +280,11 @@ fn run() -> Result<ExitCode, CliError> {
         "client" => return client(&args),
         "stats" => return stats(&args),
         "metrics" => return metrics(&args),
+        // `trace` is two tools: with `--schedule` it is the legacy thermal
+        // transient trace (a platform subcommand, handled below); with
+        // artifact paths it joins access logs and flight dumps by trace id
+        // into a per-trace waterfall.
+        "trace" if !args.has("--schedule") => return trace_join(&args),
         _ => {}
     }
 
@@ -678,6 +700,15 @@ fn serve(args: &Args) -> Result<ExitCode, CliError> {
     if let Some(path) = args.flag("--timeline") {
         builder = builder.timeline(path);
     }
+    if let Some(path) = args.flag("--flight-dump") {
+        builder = builder.flight_dump(path);
+        let capacity: usize =
+            args.parse_or("--flight-capacity", mosc::obs::DEFAULT_FLIGHT_CAPACITY)?;
+        if capacity == 0 {
+            return Err(CliError::Usage("--flight-capacity must be > 0".into()));
+        }
+        builder = builder.flight_capacity(capacity);
+    }
     let server = builder.bind().map_err(|e| CliError::Io(format!("cannot bind {addr}: {e}")))?;
     println!("mosc-serve listening on {}", server.local_addr());
     // Scripts wait for the line above before connecting.
@@ -707,14 +738,18 @@ fn client(args: &Args) -> Result<ExitCode, CliError> {
     stream.set_nodelay(true).map_err(io_err("cannot set TCP_NODELAY on"))?;
     let read_half = stream.try_clone().map_err(io_err("cannot clone socket for"))?;
     let mut responses = std::io::BufReader::new(read_half);
+    let trace = args.has("--trace");
     let stdin = std::io::stdin();
     if args.has("--batch") {
-        return client_batch(&mut stream, &mut responses, addr);
+        return client_batch(&mut stream, &mut responses, addr, trace);
     }
-    for line in stdin.lock().lines() {
+    for (lineno, line) in stdin.lock().lines().enumerate() {
         let mut line = line.map_err(|e| CliError::Io(format!("client stdin: {e}")))?;
         if line.trim().is_empty() {
             continue;
+        }
+        if trace {
+            line = originate_trace(&line, lineno + 1)?;
         }
         line.push('\n');
         stream.write_all(line.as_bytes()).map_err(io_err("cannot send to"))?;
@@ -728,12 +763,42 @@ fn client(args: &Args) -> Result<ExitCode, CliError> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `client --trace`: stamps a solve or `solve_batch` line with a fresh root
+/// trace context (the line's own context wins when it already carries one)
+/// and reports the originated trace id on stderr so scripts can join the
+/// daemon's access log and flight dumps against it with `mosc-cli trace`.
+fn originate_trace(line: &str, lineno: usize) -> Result<String, CliError> {
+    use mosc::serve::{Request, TraceContext};
+    let parsed = mosc::serve::parse_request(line)
+        .map_err(|e| CliError::Usage(format!("stdin line {lineno}: {e}")))?;
+    let root = || TraceContext {
+        trace_id: mosc::serve::fresh_trace_id(),
+        parent_id: mosc::serve::fresh_span_id(),
+    };
+    let stamped = match parsed {
+        Request::Solve(mut req) => {
+            let ctx = *req.trace.get_or_insert_with(root);
+            eprintln!("trace {:032x} (line {lineno}, id {})", ctx.trace_id, req.id);
+            Request::Solve(req)
+        }
+        Request::SolveBatch(mut req) => {
+            let ctx = *req.trace.get_or_insert_with(root);
+            eprintln!("trace {:032x} (line {lineno}, id {})", ctx.trace_id, req.id);
+            Request::SolveBatch(req)
+        }
+        // Protocol ops carry no trace context; forward them untouched.
+        other => other,
+    };
+    Ok(stamped.to_json())
+}
+
 /// The `client --batch` path: fold stdin's solve lines into one
 /// `solve_batch` request and unpack the framed response.
 fn client_batch(
     stream: &mut std::net::TcpStream,
     responses: &mut std::io::BufReader<std::net::TcpStream>,
     addr: &str,
+    trace: bool,
 ) -> Result<ExitCode, CliError> {
     use mosc::serve::proto::canonical_json;
     use mosc::serve::{BatchRequest, BatchVariantRequest, Request};
@@ -763,11 +828,13 @@ fn client_batch(
             None => {
                 shared_platform = platform;
                 // The first line's id names the batch; variant i answers
-                // as "<id>#<i>".
+                // as "<id>#<i>". The first line's trace context (if any)
+                // becomes the whole batch's.
                 batch = Some(BatchRequest {
                     id: req.id,
                     platform: req.platform,
                     variants: vec![variant],
+                    trace: req.trace,
                 });
             }
             Some(b) => {
@@ -782,9 +849,16 @@ fn client_batch(
             }
         }
     }
-    let Some(batch) = batch else {
+    let Some(mut batch) = batch else {
         return Err(CliError::Usage("--batch got no request lines on stdin".into()));
     };
+    if trace {
+        let ctx = *batch.trace.get_or_insert_with(|| mosc::serve::TraceContext {
+            trace_id: mosc::serve::fresh_trace_id(),
+            parent_id: mosc::serve::fresh_span_id(),
+        });
+        eprintln!("trace {:032x} (batch {})", ctx.trace_id, batch.id);
+    }
     let mut line = Request::SolveBatch(batch.clone()).to_json();
     line.push('\n');
     stream
@@ -864,7 +938,7 @@ fn render_stats(addr: &str, stats: &mosc::analyze::json::Value) -> String {
     let int = |key: &str| num(key) as u64;
     let (hits, misses) = (num("cache_hits"), num("cache_misses"));
     let hit_rate = if hits + misses > 0.0 { 100.0 * hits / (hits + misses) } else { 0.0 };
-    format!(
+    let mut out = format!(
         "mosc-serve {addr}  up {:.1} s\n\
          requests   {:>8}   responses {:>8}   req/s {:>8.1}\n\
          rejected   {:>8}   deadline+ {:>8}   malformed {:>4}\n\
@@ -889,7 +963,13 @@ fn render_stats(addr: &str, stats: &mosc::analyze::json::Value) -> String {
         num("p99_ms"),
         num("p999_ms"),
         num("max_ms"),
-    )
+    );
+    // The slowest-bucket exemplar, when the daemon has one: the trace id to
+    // feed `mosc-cli trace` for a worked example of the tail latency.
+    if let Some(t) = stats.get("slow_exemplar").and_then(mosc::analyze::json::Value::as_str) {
+        out.push_str(&format!("slow trace {t}\n"));
+    }
+    out
 }
 
 /// `mosc-cli stats`: poll a running daemon's `stats` op and render a live
@@ -941,6 +1021,288 @@ fn metrics(args: &Args) -> Result<ExitCode, CliError> {
         .ok_or_else(|| CliError::Other(format!("{addr}: metrics response has no payload")))?;
     print!("{text}");
     Ok(ExitCode::SUCCESS)
+}
+
+/// One access-log entry's server span, as joined by `mosc-cli trace`.
+struct JoinSpan {
+    span_id: String,
+    parent_id: Option<String>,
+    op: String,
+    id: String,
+    status: String,
+    start_s: Option<f64>,
+    total_s: Option<f64>,
+    source: String,
+}
+
+/// One flight-ring milestone attributed to a trace. `seq` is the ring's
+/// global sequence number: overlapping dumps re-export the same slots, so
+/// the joiner dedups on it.
+struct JoinEvent {
+    seq: u64,
+    span_id: String,
+    kind: String,
+    t_us: f64,
+    value: f64,
+    reason: String,
+}
+
+/// `mosc-cli trace FILE...`: joins access-log and flight-dump JSONL
+/// artifacts by trace id and renders each trace as a waterfall — server
+/// spans indented under their parents with offset/duration bars, followed
+/// by the flight-ring milestones the daemon dumped for that trace.
+/// `--trace-id HEX` narrows to one trace; `--format json` emits one
+/// `{"type":"trace",...}` line per trace instead of text.
+fn trace_join(args: &Args) -> Result<ExitCode, CliError> {
+    use mosc::analyze::json::Value;
+    use std::collections::BTreeMap;
+    let mut paths: Vec<&str> = Vec::new();
+    let mut want_trace: Option<&str> = None;
+    let mut format = "text";
+    let rest = &args.0[1..];
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--trace-id" | "--format" => {
+                let flag = rest[i].as_str();
+                i += 1;
+                let v = rest
+                    .get(i)
+                    .map(String::as_str)
+                    .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
+                if flag == "--trace-id" {
+                    want_trace = Some(v);
+                } else {
+                    format = v;
+                }
+            }
+            obs if obs == "--obs" || obs.starts_with("--obs=") => {}
+            flag if flag.starts_with('-') => {
+                return Err(CliError::Usage(format!(
+                    "unknown trace flag '{flag}' (artifact-join mode; --schedule selects \
+                     the thermal transient trace)"
+                )));
+            }
+            path => paths.push(path),
+        }
+        i += 1;
+    }
+    if paths.is_empty() {
+        return Err(CliError::Usage(
+            "trace needs artifact paths (access log / flight dump JSONL) or --schedule FILE".into(),
+        ));
+    }
+    if format != "text" && format != "json" {
+        return Err(CliError::Usage(format!(
+            "unknown --format '{format}' (expected text or json)"
+        )));
+    }
+
+    // trace id -> (spans, flight events), deterministically ordered.
+    let mut traces: BTreeMap<String, (Vec<JoinSpan>, Vec<JoinEvent>)> = BTreeMap::new();
+    for path in paths {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Ok(v) = Value::parse(line) else { continue };
+            let str_of =
+                |v: &Value, key: &str| v.get(key).and_then(Value::as_str).map(String::from);
+            let num_of = |v: &Value, key: &str| v.get(key).and_then(Value::as_f64);
+            match v.get("type").and_then(Value::as_str) {
+                Some("access") => {
+                    let (Some(trace_id), Some(span_id)) =
+                        (str_of(&v, "trace_id"), str_of(&v, "span_id"))
+                    else {
+                        continue;
+                    };
+                    traces.entry(trace_id).or_default().0.push(JoinSpan {
+                        span_id,
+                        parent_id: str_of(&v, "parent_id"),
+                        op: str_of(&v, "op").unwrap_or_else(|| "?".into()),
+                        id: str_of(&v, "id").unwrap_or_else(|| "?".into()),
+                        status: str_of(&v, "status").unwrap_or_else(|| "?".into()),
+                        start_s: num_of(&v, "t_recv_s"),
+                        total_s: num_of(&v, "total_s"),
+                        source: format!("{path}:{}", lineno + 1),
+                    });
+                }
+                Some("flight_dump") => {
+                    let reason = str_of(&v, "reason").unwrap_or_else(|| "?".into());
+                    for e in v.get("entries").and_then(Value::as_array).unwrap_or(&[]) {
+                        let (Some(trace_id), Some(span_id)) =
+                            (str_of(e, "trace_id"), str_of(e, "span_id"))
+                        else {
+                            continue;
+                        };
+                        traces.entry(trace_id).or_default().1.push(JoinEvent {
+                            seq: num_of(e, "seq").unwrap_or(0.0) as u64,
+                            span_id,
+                            kind: str_of(e, "kind").unwrap_or_else(|| "?".into()),
+                            t_us: num_of(e, "t_us").unwrap_or(0.0),
+                            value: num_of(e, "value").unwrap_or(0.0),
+                            reason: reason.clone(),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    if let Some(want) = want_trace {
+        traces.retain(|t, _| t == want);
+        if traces.is_empty() {
+            return Err(CliError::Usage(format!("trace id {want} appears in no artifact")));
+        }
+    }
+    if traces.is_empty() {
+        println!("no traced entries in the given artifacts");
+        return Ok(ExitCode::SUCCESS);
+    }
+    for (trace_id, (spans, events)) in &mut traces {
+        spans.sort_by(|a, b| a.start_s.unwrap_or(0.0).total_cmp(&b.start_s.unwrap_or(0.0)));
+        // Overlapping ring dumps re-export the same slots; the ring seq is
+        // globally unique, so it dedups them exactly.
+        events.sort_by_key(|e| e.seq);
+        events.dedup_by_key(|e| e.seq);
+        if format == "json" {
+            println!("{}", render_trace_json(trace_id, spans, events));
+        } else {
+            print!("{}", render_trace_text(trace_id, spans, events));
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// One trace as a JSONL object, for scripted consumers of `mosc-cli trace`.
+fn render_trace_json(trace_id: &str, spans: &[JoinSpan], events: &[JoinEvent]) -> String {
+    let mut out = format!("{{\"type\":\"trace\",\"trace_id\":{}", json_quote(trace_id));
+    out.push_str(",\"spans\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"span_id\":{},\"parent_id\":{},\"op\":{},\"id\":{},\"status\":{},\
+             \"start_s\":{},\"total_s\":{},\"source\":{}}}",
+            json_quote(&s.span_id),
+            s.parent_id.as_deref().map_or_else(|| "null".into(), json_quote),
+            json_quote(&s.op),
+            json_quote(&s.id),
+            json_quote(&s.status),
+            s.start_s.map_or_else(|| "null".into(), |v| format!("{v:?}")),
+            s.total_s.map_or_else(|| "null".into(), |v| format!("{v:?}")),
+            json_quote(&s.source),
+        ));
+    }
+    out.push_str("],\"events\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"span_id\":{},\"kind\":{},\"t_us\":{},\"value\":{},\"reason\":{}}}",
+            json_quote(&e.span_id),
+            json_quote(&e.kind),
+            e.t_us,
+            e.value,
+            json_quote(&e.reason),
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// One trace as an indented text waterfall over one shared time axis.
+fn render_trace_text(trace_id: &str, spans: &[JoinSpan], events: &[JoinEvent]) -> String {
+    const BAR: usize = 24;
+    let mut out =
+        format!("trace {trace_id} — {} span(s), {} flight event(s)\n", spans.len(), events.len());
+    // The trace's time axis: [earliest start, latest end] over timed spans.
+    let t0 = spans.iter().filter_map(|s| s.start_s).fold(f64::INFINITY, f64::min);
+    let t1 = spans
+        .iter()
+        .filter_map(|s| Some(s.start_s? + s.total_s.unwrap_or(0.0)))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let axis = (t1 - t0).max(1e-9);
+    // Parent-first rendering: roots are spans whose parent is absent from
+    // the trace (the client side is never logged); children indent one stop.
+    let here: std::collections::HashSet<&str> = spans.iter().map(|s| s.span_id.as_str()).collect();
+    let mut rendered = vec![false; spans.len()];
+    let mut order: Vec<(usize, usize)> = Vec::with_capacity(spans.len());
+    for (i, s) in spans.iter().enumerate() {
+        let is_root = s.parent_id.as_deref().is_none_or(|p| !here.contains(p));
+        if is_root && !rendered[i] {
+            push_span_subtree(i, 0, spans, &mut rendered, &mut order);
+        }
+    }
+    // Cycles or self-parents (the M121 defects) would otherwise vanish.
+    for i in 0..spans.len() {
+        if !rendered[i] {
+            push_span_subtree(i, 0, spans, &mut rendered, &mut order);
+        }
+    }
+    for (i, depth) in order {
+        let s = &spans[i];
+        let indent = "  ".repeat(depth + 1);
+        match (s.start_s, s.total_s) {
+            (Some(start), total) => {
+                let total = total.unwrap_or(0.0);
+                let lo = (((start - t0) / axis) * BAR as f64).floor() as usize;
+                let hi = ((((start + total) - t0) / axis) * BAR as f64).ceil() as usize;
+                let (lo, hi) = (lo.min(BAR - 1), hi.clamp(lo + 1, BAR));
+                let bar: String =
+                    (0..BAR).map(|p| if p >= lo && p < hi { '=' } else { '·' }).collect();
+                out.push_str(&format!(
+                    "{indent}span {} {:<12} {:<10} {:<7} +{:>9.3}ms |{bar}| {:.3}ms  ({})\n",
+                    s.span_id,
+                    s.op,
+                    s.id,
+                    s.status,
+                    (start - t0) * 1e3,
+                    total * 1e3,
+                    s.source,
+                ));
+            }
+            (None, _) => out.push_str(&format!(
+                "{indent}span {} {:<12} {:<10} {:<7} (no timing)  ({})\n",
+                s.span_id, s.op, s.id, s.status, s.source,
+            )),
+        }
+    }
+    for e in events {
+        out.push_str(&format!(
+            "  flight {} {:<9} t+{:.3}ms value {} (dump: {})\n",
+            e.span_id,
+            e.kind,
+            e.t_us / 1e3,
+            e.value,
+            e.reason,
+        ));
+    }
+    out
+}
+
+/// Depth-first pre-order walk over one span's subtree (children = spans
+/// naming it as parent), appending `(index, depth)` rows to `order`.
+fn push_span_subtree(
+    i: usize,
+    depth: usize,
+    spans: &[JoinSpan],
+    rendered: &mut [bool],
+    order: &mut Vec<(usize, usize)>,
+) {
+    rendered[i] = true;
+    order.push((i, depth));
+    let me = spans[i].span_id.as_str();
+    for (j, s) in spans.iter().enumerate() {
+        if !rendered[j] && s.parent_id.as_deref() == Some(me) {
+            push_span_subtree(j, depth + 1, spans, rendered, order);
+        }
+    }
 }
 
 fn build_platform(args: &Args) -> Result<Platform, CliError> {
